@@ -1,0 +1,42 @@
+//! Criterion bench for **E8a**: ACO cost scaling with colony size —
+//! cycles and ants are the levers that trade quality for compute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+use snooze_consolidation::problem::{Consolidator, InstanceGenerator};
+use snooze_simcore::rng::SimRng;
+
+fn bench_cycles(c: &mut Criterion) {
+    let inst = InstanceGenerator::grid11().generate(80, &mut SimRng::new(5));
+    let mut group = c.benchmark_group("aco_cycles");
+    group.sample_size(10);
+    for &cycles in &[5usize, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(cycles), &inst, |b, inst| {
+            let algo = AcoConsolidator::new(AcoParams { n_cycles: cycles, ..AcoParams::default() });
+            b.iter(|| black_box(algo.consolidate(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ants(c: &mut Criterion) {
+    let inst = InstanceGenerator::grid11().generate(80, &mut SimRng::new(5));
+    let mut group = c.benchmark_group("aco_ants_count");
+    group.sample_size(10);
+    for &ants in &[4usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(ants), &inst, |b, inst| {
+            let algo = AcoConsolidator::new(AcoParams {
+                n_ants: ants,
+                n_cycles: 10,
+                ..AcoParams::default()
+            });
+            b.iter(|| black_box(algo.consolidate(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles, bench_ants);
+criterion_main!(benches);

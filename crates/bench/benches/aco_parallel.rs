@@ -1,0 +1,30 @@
+//! Criterion bench for **E3**: sequential vs Rayon-parallel ant
+//! construction ("the algorithm is well suited for parallelization").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+use snooze_consolidation::problem::InstanceGenerator;
+use snooze_simcore::rng::SimRng;
+
+fn bench_parallel_ants(c: &mut Criterion) {
+    let inst = InstanceGenerator::grid11().generate(200, &mut SimRng::new(3));
+    let mut group = c.benchmark_group("aco_ants");
+    group.sample_size(10);
+    for (label, parallel) in [("sequential", false), ("rayon", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inst, |b, inst| {
+            let algo = AcoConsolidator::new(AcoParams {
+                n_ants: 16,
+                n_cycles: 8,
+                parallel_ants: parallel,
+                ..AcoParams::default()
+            });
+            b.iter(|| black_box(algo.run(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_ants);
+criterion_main!(benches);

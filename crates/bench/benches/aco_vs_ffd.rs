@@ -1,0 +1,52 @@
+//! Criterion bench for **E1/E2**: consolidation-algorithm kernels on
+//! GRID'11 instances — the FFD family, ACO, and the exact solver at the
+//! sizes the paper solved optimally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+use snooze_consolidation::exact::BranchAndBound;
+use snooze_consolidation::ffd::{BestFit, FirstFitDecreasing, SortKey};
+use snooze_consolidation::problem::{Consolidator, Instance, InstanceGenerator};
+use snooze_simcore::rng::SimRng;
+
+fn instance(n: usize, seed: u64) -> Instance {
+    InstanceGenerator::grid11().generate(n, &mut SimRng::new(seed))
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consolidate");
+    for &n in &[50usize, 100, 200] {
+        let inst = instance(n, 42);
+        group.bench_with_input(BenchmarkId::new("FFD-cpu", n), &inst, |b, inst| {
+            let algo = FirstFitDecreasing { key: SortKey::Cpu };
+            b.iter(|| black_box(algo.consolidate(black_box(inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("BFD-l2", n), &inst, |b, inst| {
+            let algo = BestFit { key: SortKey::L2 };
+            b.iter(|| black_box(algo.consolidate(black_box(inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("ACO", n), &inst, |b, inst| {
+            let algo = AcoConsolidator::new(AcoParams { n_cycles: 10, ..AcoParams::default() });
+            b.iter(|| black_box(algo.consolidate(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_optimal");
+    group.sample_size(10);
+    for &n in &[10usize, 14, 18] {
+        let inst = instance(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            let solver = BranchAndBound::default();
+            b.iter(|| black_box(solver.solve(black_box(inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for the simulation substrate itself: raw event
+//! throughput of the discrete-event engine (timer storms and message
+//! ping-pong), which bounds how large a cluster the experiments can
+//! simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use snooze_simcore::prelude::*;
+
+struct TimerStorm {
+    remaining: u64,
+}
+
+impl Component for TimerStorm {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(SimSpan::from_micros(1), 0);
+    }
+    fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimSpan::from_micros(1), 0);
+        }
+    }
+}
+
+struct PingPong {
+    peer: Option<ComponentId>,
+    remaining: u64,
+}
+
+impl Component for PingPong {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if let Some(peer) = self.peer {
+            ctx.send(peer, Box::new(0u64));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(src, Box::new(0u64));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_with_input(BenchmarkId::new("timer_storm", EVENTS), &EVENTS, |b, &n| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(1).build();
+            sim.add_component("storm", TimerStorm { remaining: n });
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("ping_pong", EVENTS), &EVENTS, |b, &n| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(1).network(NetworkConfig::lan()).build();
+            let a = sim.add_component("a", PingPong { peer: None, remaining: n / 2 });
+            let _b = sim.add_component("b", PingPong { peer: Some(a), remaining: n / 2 });
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for **E6**: control-plane healing — the cost of
+//! electing a GL from scratch and of recovering from a GL crash.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_simcore::prelude::*;
+
+fn converge(seed: u64) -> bool {
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig::fast_test();
+    let nodes = NodeSpec::standard_cluster(8);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+    sim.run_until(SimTime::from_secs(15));
+    system.current_gl(&sim).is_some()
+}
+
+fn heal_after_gl_crash(seed: u64) -> bool {
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig::fast_test();
+    let nodes = NodeSpec::standard_cluster(8);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+    sim.run_until(SimTime::from_secs(15));
+    let gl = system.current_gl(&sim).expect("converged");
+    sim.schedule_crash(SimTime::from_secs(16), gl);
+    sim.run_until(SimTime::from_secs(40));
+    system.current_gl(&sim).is_some()
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failover");
+    group.sample_size(10);
+    group.bench_function("initial_convergence", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            assert!(black_box(converge(seed)));
+        })
+    });
+    group.bench_function("gl_crash_heal", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            assert!(black_box(heal_after_gl_crash(seed)));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! run_experiments [--csv <dir>] [e1|e2|...|e10|all]...
+//! ```
+//!
+//! With no experiment arguments, runs everything. Each experiment prints
+//! the table documented in DESIGN.md's per-experiment index (and, with
+//! `--csv`, writes a machine-readable copy); EXPERIMENTS.md records
+//! paper-vs-measured.
+
+use snooze_bench::table::Table;
+use snooze_bench::*;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| "experiment_csv".into());
+            args.drain(i..=(i + 1).min(args.len() - 1));
+            std::path::PathBuf::from(dir)
+        });
+    let emit = |table: &Table, slug: &str| {
+        table.print();
+        if let Some(dir) = &csv_dir {
+            table.write_csv(dir, slug).expect("write csv");
+        }
+    };
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+
+    if want("e1") {
+        eprintln!("[e1] ACO vs FFD vs optimal …");
+        emit(&e1_aco_vs_ffd_vs_optimal::render(&e1_aco_vs_ffd_vs_optimal::default_rows()), "e1");
+    }
+    if want("e2") {
+        eprintln!("[e2] scaling …");
+        emit(&e2_scaling::render(&e2_scaling::default_rows()), "e2");
+    }
+    if want("e3") {
+        eprintln!("[e3] parallel ants …");
+        emit(&e3_parallel::render(&e3_parallel::default_rows()), "e3");
+    }
+    if want("e4") {
+        eprintln!("[e4] submission scalability (144 LCs, up to 500 VMs) …");
+        emit(&e4_submission_scalability::render(&e4_submission_scalability::default_rows()), "e4");
+    }
+    if want("e5") {
+        eprintln!("[e5] distributed-management overhead …");
+        emit(&e5_distribution_overhead::render(&e5_distribution_overhead::default_rows()), "e5");
+    }
+    if want("e6") {
+        eprintln!("[e6] fault tolerance …");
+        emit(&e6_fault_tolerance::render(&e6_fault_tolerance::default_report()), "e6");
+    }
+    if want("e7") {
+        eprintln!("[e7] energy savings …");
+        emit(&e7_energy_savings::render(&e7_energy_savings::default_rows()), "e7");
+    }
+    if want("e7") {
+        eprintln!("[e7b] idle-threshold sweep …");
+        emit(&e7_energy_savings::render_thresholds(&e7_energy_savings::default_threshold_rows()), "e7b");
+    }
+    if want("e8") {
+        eprintln!("[e8] ablations …");
+        emit(&e8_ablations::render_aco(&e8_ablations::default_aco_rows()), "e8a");
+        emit(&e8_ablations::render_ffd(&e8_ablations::default_ffd_rows()), "e8b");
+    }
+    if want("e9") {
+        eprintln!("[e9] failover sensitivity …");
+        emit(&e9_failover_sensitivity::render(&e9_failover_sensitivity::default_rows()), "e9");
+    }
+    if want("e10") {
+        eprintln!("[e10] distributed consolidation …");
+        emit(
+            &e10_distributed_consolidation::render_offline(
+                &e10_distributed_consolidation::default_offline_rows(),
+            ),
+            "e10a",
+        );
+        emit(
+            &e10_distributed_consolidation::render_system(
+                &e10_distributed_consolidation::default_system_rows(),
+            ),
+            "e10b",
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! **E10 — distributed consolidation** (paper §V, evaluated):
+//!
+//! > "a distributed version of the algorithm will be developed and
+//! > evaluated along with the energy-saving features of Snooze under
+//! > realistic workloads."
+//!
+//! Two complementary views:
+//!
+//! 1. **Offline**: the partitioned `DistributedAco` versus the
+//!    centralized colony on the same instances — the quality cost and
+//!    runtime benefit of partitioning (each colony only sees `n/k`
+//!    items).
+//! 2. **In the hierarchy**: Snooze's per-GM reconfiguration *is* the
+//!    distributed deployment — each GM consolidates only its own LCs.
+//!    Sweeping the GM count on a fixed cluster measures how partitioning
+//!    the consolidation scope affects the nodes the system manages to
+//!    power down.
+
+use std::time::Instant;
+
+use snooze::prelude::*;
+use snooze::scheduling::placement::PlacementKind;
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+use snooze_consolidation::distributed::{DistributedAco, DistributedParams};
+use snooze_consolidation::problem::{Consolidator, InstanceGenerator};
+use snooze_simcore::prelude::*;
+use snooze_simcore::rng::SimRng;
+
+use crate::simrun::{burst, deploy, Deployment};
+use crate::table::{f2, Table};
+
+/// One offline comparison row.
+#[derive(Clone, Debug)]
+pub struct E10OfflineRow {
+    /// Instance size.
+    pub n: usize,
+    /// Partitions.
+    pub partitions: usize,
+    /// Mean hosts, centralized colony.
+    pub central_hosts: f64,
+    /// Mean hosts, distributed colonies + ring exchange.
+    pub distributed_hosts: f64,
+    /// Mean runtime of the centralized colony, ms.
+    pub central_ms: f64,
+    /// Mean runtime of the distributed scheme, ms.
+    pub distributed_ms: f64,
+}
+
+/// Offline sweep.
+pub fn run_offline(sizes: &[usize], partitions: usize, repeats: u64, seed: u64) -> Vec<E10OfflineRow> {
+    let gen = InstanceGenerator::grid11();
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut row = E10OfflineRow {
+                n,
+                partitions,
+                central_hosts: 0.0,
+                distributed_hosts: 0.0,
+                central_ms: 0.0,
+                distributed_ms: 0.0,
+            };
+            let mut solved = 0u64;
+            for rep in 0..repeats {
+                let inst = gen.generate(n, &mut SimRng::new(seed ^ ((n as u64) << 8) ^ rep));
+                let central = AcoConsolidator::new(AcoParams::default());
+                let distributed = DistributedAco::new(DistributedParams {
+                    partitions,
+                    exchange_rounds: 2,
+                    aco: AcoParams::default(),
+                });
+                let t0 = Instant::now();
+                let c = central.consolidate(&inst);
+                let c_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let t1 = Instant::now();
+                let d = distributed.consolidate(&inst);
+                let d_ms = t1.elapsed().as_secs_f64() * 1e3;
+                if let (Some(c), Some(d)) = (c, d) {
+                    solved += 1;
+                    row.central_hosts += c.bins_used() as f64;
+                    row.distributed_hosts += d.bins_used() as f64;
+                    row.central_ms += c_ms;
+                    row.distributed_ms += d_ms;
+                }
+            }
+            if solved > 0 {
+                let k = solved as f64;
+                row.central_hosts /= k;
+                row.distributed_hosts /= k;
+                row.central_ms /= k;
+                row.distributed_ms /= k;
+            }
+            row
+        })
+        .collect()
+}
+
+/// One in-hierarchy row.
+#[derive(Clone, Debug)]
+pub struct E10SystemRow {
+    /// Group managers sharing the cluster.
+    pub gms: usize,
+    /// Nodes still powered on at the end (fewer = better packing).
+    pub nodes_on: usize,
+    /// Cluster energy over the horizon, Wh.
+    pub energy_wh: f64,
+    /// Migrations the reconfigurations commanded.
+    pub migrations: u64,
+    /// VMs placed.
+    pub placed: usize,
+}
+
+/// In-hierarchy sweep: same cluster and fleet, varying how many GMs the
+/// consolidation scope is partitioned across.
+pub fn run_in_hierarchy(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E10SystemRow> {
+    gm_counts
+        .iter()
+        .map(|&gms| {
+            let config = SnoozeConfig {
+                placement: PlacementKind::RoundRobin, // spread first
+                idle_suspend_after: Some(SimSpan::from_secs(60)),
+                underload_threshold: 0.0, // isolate reconfiguration
+                reconfiguration: Some(ReconfigurationConfig {
+                    period: SimSpan::from_secs(120),
+                    aco: AcoParams { n_cycles: 15, ..AcoParams::default() },
+                    max_migrations: 16,
+                }),
+                ..SnoozeConfig::default()
+            };
+            let dep = Deployment { managers: gms + 1, lcs, eps: 1, seed: seed ^ gms as u64 };
+            let mut live =
+                deploy(&dep, &config, burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.6));
+            let horizon = SimTime::from_secs(1800);
+            live.sim.run_until(horizon);
+            let (on, transitioning, _) = live.system.power_census(&live.sim);
+            let migrations: u64 = live
+                .system
+                .lcs
+                .iter()
+                .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
+                .map(|l| l.stats.migrations_out)
+                .sum();
+            E10SystemRow {
+                gms,
+                nodes_on: on + transitioning,
+                energy_wh: live.system.total_energy_wh(&live.sim, horizon),
+                migrations,
+                placed: live.client().placed.len(),
+            }
+        })
+        .collect()
+}
+
+/// Default offline rows for `run_experiments e10`.
+pub fn default_offline_rows() -> Vec<E10OfflineRow> {
+    run_offline(&[60, 120, 240], 4, 3, 0x10)
+}
+
+/// Default in-hierarchy rows for `run_experiments e10`.
+pub fn default_system_rows() -> Vec<E10SystemRow> {
+    run_in_hierarchy(&[1, 2, 4], 24, 36, 0x10)
+}
+
+/// Render the offline table.
+pub fn render_offline(rows: &[E10OfflineRow]) -> Table {
+    let mut t = Table::new(
+        "E10a: distributed vs centralized ACO (offline) — partitioning cost",
+        &["n", "parts", "central hosts", "dist hosts", "central ms", "dist ms"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.partitions.to_string(),
+            f2(r.central_hosts),
+            f2(r.distributed_hosts),
+            f2(r.central_ms),
+            f2(r.distributed_ms),
+        ]);
+    }
+    t
+}
+
+/// Render the in-hierarchy table.
+pub fn render_system(rows: &[E10SystemRow]) -> Table {
+    let mut t = Table::new(
+        "E10b: per-GM reconfiguration in the hierarchy — consolidation scope vs GM count",
+        &["GMs", "nodes on", "energy Wh", "migrations", "placed"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.gms.to_string(),
+            r.nodes_on.to_string(),
+            f2(r.energy_wh),
+            r.migrations.to_string(),
+            r.placed.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_costs_a_bounded_amount_of_quality() {
+        let rows = run_offline(&[60], 3, 2, 5);
+        let r = &rows[0];
+        assert!(r.central_hosts > 0.0 && r.distributed_hosts > 0.0);
+        assert!(
+            r.distributed_hosts <= r.central_hosts * 1.3,
+            "distributed within 30%: {} vs {}",
+            r.distributed_hosts,
+            r.central_hosts
+        );
+    }
+
+    #[test]
+    fn in_hierarchy_consolidation_powers_down_nodes_at_any_gm_count() {
+        let rows = run_in_hierarchy(&[1, 2], 10, 10, 9);
+        for r in &rows {
+            assert_eq!(r.placed, 10, "gms={}", r.gms);
+            assert!(
+                r.nodes_on < 10,
+                "gms={}: consolidation should empty some nodes, on={}",
+                r.gms,
+                r.nodes_on
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! **E3 — ACO parallelization** (paper §III-A: "the algorithm is well
+//! suited for parallelization").
+//!
+//! Measures colony wall-time with sequential ant construction versus
+//! Rayon-parallel ants over varying thread counts, and verifies the
+//! parallel run produces the identical solution (determinism is part of
+//! the contract, see `crates/consolidation/src/aco.rs`).
+
+use std::time::Instant;
+
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+use snooze_consolidation::problem::InstanceGenerator;
+use snooze_simcore::rng::SimRng;
+
+use crate::table::{f2, Table};
+
+/// One measurement.
+#[derive(Clone, Debug)]
+pub struct E3Row {
+    /// Number of VMs.
+    pub n: usize,
+    /// Threads in the Rayon pool (1 = sequential path).
+    pub threads: usize,
+    /// Colony wall time, milliseconds.
+    pub runtime_ms: f64,
+    /// Speedup vs the 1-thread row of the same size.
+    pub speedup: f64,
+    /// Hosts used (must be identical across thread counts).
+    pub hosts: usize,
+}
+
+/// Run E3 for the given sizes and thread counts.
+pub fn run(sizes: &[usize], threads: &[usize], seed: u64) -> Vec<E3Row> {
+    let gen = InstanceGenerator::grid11();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let instance = gen.generate(n, &mut SimRng::new(seed ^ (n as u64)));
+        let mut base_ms = 0.0;
+        for &t in threads {
+            let params = AcoParams {
+                n_ants: 16,
+                parallel_ants: t > 1,
+                seed: 0xE3,
+                ..AcoParams::default()
+            };
+            let aco = AcoConsolidator::new(params);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("pool");
+            let start = Instant::now();
+            let run = pool.install(|| aco.run(&instance));
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if t == threads[0] {
+                base_ms = ms;
+            }
+            rows.push(E3Row {
+                n,
+                threads: t,
+                runtime_ms: ms,
+                speedup: if ms > 0.0 { base_ms / ms } else { 0.0 },
+                hosts: run.solution.map(|s| s.bins_used()).unwrap_or(0),
+            });
+        }
+    }
+    rows
+}
+
+/// Default configuration used by `run_experiments e3`.
+pub fn default_rows() -> Vec<E3Row> {
+    let max = num_threads_available();
+    let mut threads = vec![1, 2, 4, 8];
+    threads.retain(|&t| t <= max);
+    run(&[100, 200, 400], &threads, 0xE3)
+}
+
+fn num_threads_available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Render the table.
+pub fn render(rows: &[E3Row]) -> Table {
+    let mut t = Table::new(
+        "E3: ACO parallel ants — runtime and speedup vs sequential",
+        &["n", "threads", "runtime ms", "speedup", "hosts"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.threads.to_string(),
+            f2(r.runtime_ms),
+            f2(r.speedup),
+            r.hosts.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_quality_is_thread_invariant() {
+        let rows = run(&[60], &[1, 2], 5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].hosts, rows[1].hosts, "parallelism must not change the answer");
+        assert!(rows[0].hosts > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! **E4 — submission scalability** (paper §II-F / \[7\]).
+//!
+//! "Snooze was evaluated on a 144 nodes cluster … Up to 500 VMs were
+//! submitted. … the system remains highly scalable with increasing
+//! amounts of VMs and hosts." Reproduced as: a 144-LC hierarchy receives
+//! bursts of 50–500 VM submissions; the table reports placement success
+//! and submission→running latency, which should grow only mildly with
+//! the burst size.
+
+use snooze::prelude::SnoozeConfig;
+use snooze_simcore::time::SimTime;
+
+use crate::simrun::{burst, deploy, Deployment};
+use crate::table::{f2, Table};
+
+/// One burst size's outcome.
+#[derive(Clone, Debug)]
+pub struct E4Row {
+    /// VMs submitted.
+    pub vms: usize,
+    /// LCs in the cluster.
+    pub lcs: usize,
+    /// VMs successfully placed.
+    pub placed: usize,
+    /// VMs rejected.
+    pub rejected: usize,
+    /// Mean submission→running latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_s: f64,
+    /// Simulator events executed (management work proxy).
+    pub sim_events: u64,
+    /// Wall-clock of the whole simulated run, ms.
+    pub wall_ms: f64,
+}
+
+/// Run E4 with the given burst sizes on a `lcs`-node cluster.
+pub fn run(vm_counts: &[usize], lcs: usize, managers: usize, seed: u64) -> Vec<E4Row> {
+    vm_counts
+        .iter()
+        .map(|&n| {
+            let config = SnoozeConfig {
+                // Power management off: the CCGrid scalability runs kept
+                // nodes on; wake latency would otherwise dominate.
+                idle_suspend_after: None,
+                ..SnoozeConfig::default()
+            };
+            let dep = Deployment { managers, lcs, eps: 1, seed: seed ^ n as u64 };
+            let schedule = burst(n, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
+            let mut live = deploy(&dep, &config, schedule);
+            live.run_until_settled(SimTime::from_secs(1800));
+            let c = live.client();
+            E4Row {
+                vms: n,
+                lcs,
+                placed: c.placed.len(),
+                rejected: c.rejected.len(),
+                mean_latency_s: c.mean_latency_secs(),
+                p95_latency_s: c.p95_latency_secs(),
+                sim_events: live.sim.events_executed(),
+                wall_ms: live.wall_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Default configuration used by `run_experiments e4`: the paper's
+/// 144-node cluster, bursts up to 500 VMs, 4 managers (1 GL + 3 GMs).
+pub fn default_rows() -> Vec<E4Row> {
+    run(&[50, 100, 200, 300, 400, 500], 144, 4, 0xE4)
+}
+
+/// Render the table.
+pub fn render(rows: &[E4Row]) -> Table {
+    let mut t = Table::new(
+        "E4: submission scalability on a 144-LC hierarchy (paper: scalable up to 500 VMs)",
+        &["VMs", "LCs", "placed", "rejected", "mean lat s", "p95 lat s", "sim events", "wall ms"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.vms.to_string(),
+            r.lcs.to_string(),
+            r.placed.to_string(),
+            r.rejected.to_string(),
+            f2(r.mean_latency_s),
+            f2(r.p95_latency_s),
+            r.sim_events.to_string(),
+            f2(r.wall_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cluster_places_all_and_latency_grows_mildly() {
+        let rows = run(&[10, 40], 16, 3, 21);
+        assert_eq!(rows[0].placed, 10);
+        assert_eq!(rows[1].placed, 40);
+        // Latency should not blow up with 4× the submissions (scalability
+        // claim): allow 3× headroom on the mean.
+        assert!(
+            rows[1].mean_latency_s < rows[0].mean_latency_s * 3.0 + 5.0,
+            "{} vs {}",
+            rows[1].mean_latency_s,
+            rows[0].mean_latency_s
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! **E5 — cost of distributed management** (paper §II-F).
+//!
+//! "negligible cost is involved in performing distributed VM management".
+//! Reproduced by placing the same workload on the same cluster while
+//! varying only the number of Group Managers: 1 GM (all LCs under one
+//! manager — the centralized extreme) up to 8 GMs. If distribution is
+//! cheap, placement latency stays flat while the management hierarchy
+//! spreads the monitoring load.
+
+use snooze::prelude::SnoozeConfig;
+use snooze_simcore::time::SimTime;
+
+use crate::simrun::{burst, deploy, Deployment};
+use crate::table::{f2, Table};
+
+/// One hierarchy width's outcome.
+#[derive(Clone, Debug)]
+pub struct E5Row {
+    /// Group managers (managers minus the GL).
+    pub gms: usize,
+    /// VMs placed (of the fixed burst).
+    pub placed: usize,
+    /// Mean submission→running latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_s: f64,
+    /// Management messages sent during the run.
+    pub messages: u64,
+    /// Messages per placed VM (the per-VM management cost).
+    pub messages_per_vm: f64,
+}
+
+/// Run E5: fixed burst & cluster, varying GM count.
+pub fn run(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E5Row> {
+    gm_counts
+        .iter()
+        .map(|&gms| {
+            let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
+            let dep = Deployment { managers: gms + 1, lcs, eps: 1, seed: seed ^ gms as u64 };
+            let schedule = burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
+            let mut live = deploy(&dep, &config, schedule);
+            live.run_until_settled(SimTime::from_secs(1200));
+            let placed = live.client().placed.len();
+            let mean = live.client().mean_latency_secs();
+            let p95 = live.client().p95_latency_secs();
+            let messages = live.messages_sent();
+            E5Row {
+                gms,
+                placed,
+                mean_latency_s: mean,
+                p95_latency_s: p95,
+                messages,
+                messages_per_vm: if placed > 0 { messages as f64 / placed as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Default configuration used by `run_experiments e5`.
+pub fn default_rows() -> Vec<E5Row> {
+    run(&[1, 2, 4, 8], 64, 200, 0xE5)
+}
+
+/// Render the table.
+pub fn render(rows: &[E5Row]) -> Table {
+    let mut t = Table::new(
+        "E5: distributed-management overhead — 1 GM (centralized) vs many (paper: negligible cost)",
+        &["GMs", "placed", "mean lat s", "p95 lat s", "messages", "msgs/VM"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.gms.to_string(),
+            r.placed.to_string(),
+            f2(r.mean_latency_s),
+            f2(r.p95_latency_s),
+            r.messages.to_string(),
+            f2(r.messages_per_vm),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_does_not_degrade_latency() {
+        let rows = run(&[1, 4], 16, 24, 31);
+        assert_eq!(rows[0].placed, 24);
+        assert_eq!(rows[1].placed, 24);
+        // The distributed hierarchy must be within 2× of centralized
+        // latency (the paper claims "negligible" — shape, not exactness).
+        assert!(
+            rows[1].mean_latency_s <= rows[0].mean_latency_s * 2.0 + 2.0,
+            "1 GM: {:.2}s, 4 GMs: {:.2}s",
+            rows[0].mean_latency_s,
+            rows[1].mean_latency_s
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! **E7 — energy savings from power management** (paper §III).
+//!
+//! Snooze's energy story has three stages: (1) idle nodes suspend after
+//! the administrator's idle threshold; (2) underload relocation drains
+//! lightly loaded nodes to create idle time; (3) periodic ACO
+//! reconfiguration packs moderately loaded nodes. This experiment runs
+//! the same staggered, partly-terminating workload under three
+//! configurations — no power management, suspend-only, and suspend +
+//! ACO reconfiguration — and reports cluster energy over the horizon.
+
+use snooze::prelude::*;
+use snooze::scheduling::placement::PlacementKind;
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze_consolidation::aco::AcoParams;
+use snooze_simcore::prelude::*;
+use snooze_simcore::rng::SimRng;
+
+use crate::simrun::{deploy, vm_item, Deployment};
+use crate::table::{f2, pct, Table};
+
+/// One configuration's outcome.
+#[derive(Clone, Debug)]
+pub struct E7Row {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Total cluster energy over the horizon, Wh.
+    pub energy_wh: f64,
+    /// Savings vs the no-power-management baseline.
+    pub savings: f64,
+    /// Live migrations performed.
+    pub migrations: u64,
+    /// Suspend transitions performed.
+    pub suspends: u64,
+    /// Mean powered-on node count (sampled every minute).
+    pub mean_nodes_on: f64,
+    /// VMs placed.
+    pub placed: usize,
+}
+
+fn schedule(n: usize, seed: u64) -> Vec<ScheduledVm> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let cores = rng.uniform(1.0, 3.0);
+            let mem = rng.uniform(2048.0, 8192.0);
+            let util = rng.uniform(0.4, 0.9);
+            let mut item = vm_item(i as u64, cores, mem, util);
+            item.at = SimTime::from_secs(30) + SimSpan::from_secs(rng.range(0, 600) as u64);
+            // Half the fleet terminates mid-run, creating the idle times
+            // the energy manager exploits.
+            if i % 2 == 0 {
+                item.lifetime = Some(SimSpan::from_secs(rng.range(1200, 3600) as u64));
+            }
+            item
+        })
+        .collect()
+}
+
+fn run_one(
+    label: &'static str,
+    config: SnoozeConfig,
+    lcs: usize,
+    vms: usize,
+    horizon: SimTime,
+    seed: u64,
+) -> E7Row {
+    let dep = Deployment { managers: 3, lcs, eps: 1, seed };
+    let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
+    let mut on_samples = 0.0;
+    let mut samples = 0u32;
+    while live.sim.now() < horizon {
+        let next = (live.sim.now() + SimSpan::from_secs(60)).min(horizon);
+        live.sim.run_until(next);
+        let (on, transitioning, _) = live.system.power_census(&live.sim);
+        on_samples += (on + transitioning) as f64;
+        samples += 1;
+    }
+    let energy = live.system.total_energy_wh(&live.sim, horizon);
+    let (migrations, suspends) = live
+        .system
+        .lcs
+        .iter()
+        .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
+        .fold((0u64, 0u64), |(m, s), l| (m + l.stats.migrations_out, s + l.stats.suspensions));
+    E7Row {
+        config: label,
+        energy_wh: energy,
+        savings: 0.0, // filled in by `run`
+        migrations,
+        suspends,
+        mean_nodes_on: if samples > 0 { on_samples / samples as f64 } else { 0.0 },
+        placed: live.client().placed.len(),
+    }
+}
+
+/// Run E7 with `lcs` nodes and `vms` VMs over `horizon_secs`.
+pub fn run(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<E7Row> {
+    let horizon = SimTime::from_secs(horizon_secs);
+    let base = SnoozeConfig {
+        placement: PlacementKind::RoundRobin, // spread first; PM must earn its keep
+        ..SnoozeConfig::default()
+    };
+
+    let no_pm = SnoozeConfig { idle_suspend_after: None, ..base.clone() };
+    let pm = SnoozeConfig { idle_suspend_after: Some(SimSpan::from_secs(120)), ..base.clone() };
+    let pm_reconf = SnoozeConfig {
+        idle_suspend_after: Some(SimSpan::from_secs(120)),
+        reconfiguration: Some(ReconfigurationConfig {
+            period: SimSpan::from_secs(900),
+            aco: AcoParams { n_cycles: 15, ..AcoParams::default() },
+            max_migrations: 12,
+        }),
+        ..base
+    };
+
+    let mut rows = vec![
+        run_one("no power mgmt", no_pm, lcs, vms, horizon, seed),
+        run_one("suspend only", pm, lcs, vms, horizon, seed),
+        run_one("suspend + ACO reconf", pm_reconf, lcs, vms, horizon, seed),
+    ];
+    let baseline = rows[0].energy_wh;
+    for r in &mut rows {
+        r.savings = 1.0 - r.energy_wh / baseline;
+    }
+    rows
+}
+
+/// Default configuration used by `run_experiments e7`.
+pub fn default_rows() -> Vec<E7Row> {
+    run(32, 48, 7200, 0xE7)
+}
+
+/// One idle-threshold setting's outcome (E7b).
+#[derive(Clone, Debug)]
+pub struct ThresholdRow {
+    /// Idle time before suspend, seconds.
+    pub threshold_s: u64,
+    /// Total energy, Wh.
+    pub energy_wh: f64,
+    /// Suspend transitions.
+    pub suspends: u64,
+    /// Wake-ups commanded (each costs ~25 s of placement latency).
+    pub wakeups: u64,
+    /// VMs placed.
+    pub placed: usize,
+}
+
+/// E7b: sweep the administrator's idle threshold. Aggressive thresholds
+/// save more energy but churn nodes through suspend/resume (and make
+/// placements wait on wake-ups); the sweep exposes the knee.
+pub fn run_threshold_sweep(
+    thresholds_s: &[u64],
+    lcs: usize,
+    vms: usize,
+    horizon_secs: u64,
+    seed: u64,
+) -> Vec<ThresholdRow> {
+    let horizon = SimTime::from_secs(horizon_secs);
+    thresholds_s
+        .iter()
+        .map(|&th| {
+            let config = SnoozeConfig {
+                placement: PlacementKind::RoundRobin,
+                idle_suspend_after: Some(SimSpan::from_secs(th)),
+                ..SnoozeConfig::default()
+            };
+            let dep = Deployment { managers: 3, lcs, eps: 1, seed: seed ^ th };
+            let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
+            live.sim.run_until(horizon);
+            let (suspends, wakeups) = live
+                .system
+                .lcs
+                .iter()
+                .filter_map(|&lc| live.sim.component_as::<snooze::prelude::LocalController>(lc))
+                .fold((0u64, 0u64), |(s, w), l| {
+                    (s + l.stats.suspensions, w + l.stats.wakeups)
+                });
+            ThresholdRow {
+                threshold_s: th,
+                energy_wh: live.system.total_energy_wh(&live.sim, horizon),
+                suspends,
+                wakeups,
+                placed: live.client().placed.len(),
+            }
+        })
+        .collect()
+}
+
+/// Default E7b sweep.
+pub fn default_threshold_rows() -> Vec<ThresholdRow> {
+    run_threshold_sweep(&[30, 120, 600, 1800], 24, 36, 7200, 0xE7B)
+}
+
+/// Render the E7b table.
+pub fn render_thresholds(rows: &[ThresholdRow]) -> Table {
+    let mut t = Table::new(
+        "E7b: idle-threshold sweep — energy vs suspend churn",
+        &["threshold s", "energy Wh", "suspends", "wakeups", "placed"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.threshold_s.to_string(),
+            f2(r.energy_wh),
+            r.suspends.to_string(),
+            r.wakeups.to_string(),
+            r.placed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render the table.
+pub fn render(rows: &[E7Row]) -> Table {
+    let mut t = Table::new(
+        "E7: cluster energy under power management (paper §III: suspend idle nodes, drain underloaded ones, consolidate)",
+        &["config", "energy Wh", "savings", "migrations", "suspends", "mean nodes on", "placed"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.config.to_string(),
+            f2(r.energy_wh),
+            pct(r.savings),
+            r.migrations.to_string(),
+            r.suspends.to_string(),
+            f2(r.mean_nodes_on),
+            r.placed.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_management_saves_energy_without_losing_placements() {
+        // Small, fast variant of the default run.
+        let rows = run(8, 12, 1800, 23);
+        let no_pm = &rows[0];
+        let pm = &rows[1];
+        assert_eq!(no_pm.placed, 12);
+        assert_eq!(pm.placed, 12);
+        assert!(
+            pm.energy_wh < no_pm.energy_wh,
+            "suspend must save energy: {} vs {}",
+            pm.energy_wh,
+            no_pm.energy_wh
+        );
+        assert!(pm.suspends > 0);
+        assert!(pm.mean_nodes_on < no_pm.mean_nodes_on);
+    }
+}

@@ -1,0 +1,153 @@
+//! **E9 — failover-time sensitivity** (ablation on §II-D/§II-E).
+//!
+//! The self-healing latencies the paper describes are governed by two
+//! administrator knobs: the coordination session timeout (GL failover)
+//! and the heartbeat/timeout pair (GM failure detection, LC rejoin).
+//! This sweep measures, for each setting, how long the hierarchy is
+//! headless after a GL crash and how long orphaned LCs take to rejoin
+//! after a GM crash — the figure that tells an operator what the
+//! heartbeat knobs buy.
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_simcore::prelude::*;
+
+use crate::table::{f1, Table};
+
+/// One timeout configuration's measured healing latencies.
+#[derive(Clone, Debug)]
+pub struct E9Row {
+    /// ZK session timeout (drives GL failover), seconds.
+    pub session_timeout_s: f64,
+    /// Heartbeat period at all levels, seconds.
+    pub heartbeat_s: f64,
+    /// Time from GL crash to a new GL being elected, seconds.
+    pub gl_failover_s: f64,
+    /// Time from GM crash until all its LCs re-assigned, seconds.
+    pub lc_rejoin_s: f64,
+}
+
+fn measure(session_timeout: SimSpan, heartbeat: SimSpan, seed: u64) -> E9Row {
+    let config = SnoozeConfig {
+        gl_heartbeat_period: heartbeat,
+        gm_heartbeat_period: heartbeat,
+        gm_lc_heartbeat_period: heartbeat,
+        lc_monitoring_period: heartbeat,
+        gm_timeout: heartbeat * 4,
+        lc_timeout: heartbeat * 4,
+        gm_silence_for_lc: heartbeat * 4,
+        zk_session_timeout: session_timeout,
+        election_ping_period: session_timeout / 3,
+        idle_suspend_after: None,
+        ..SnoozeConfig::default()
+    };
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let nodes = NodeSpec::standard_cluster(8);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 4, &nodes, 1);
+    sim.run_until(SimTime::from_secs(60));
+
+    // --- GL failover time ---
+    let gl = system.current_gl(&sim).expect("converged");
+    let t_crash = sim.now();
+    sim.schedule_crash(t_crash, gl);
+    let mut gl_failover_s = f64::NAN;
+    for step in 1..600 {
+        sim.run_until(t_crash + SimSpan::from_millis(step * 500));
+        if system.current_gl(&sim).is_some() {
+            gl_failover_s = (step as f64) * 0.5;
+            break;
+        }
+    }
+
+    // --- LC rejoin time after GM crash ---
+    sim.run_until(sim.now() + SimSpan::from_secs(60));
+    let gm = system.active_gms(&sim)[0];
+    let t_crash = sim.now();
+    sim.schedule_crash(t_crash, gm);
+    let mut lc_rejoin_s = f64::NAN;
+    for step in 1..600 {
+        sim.run_until(t_crash + SimSpan::from_millis(step * 500));
+        let live = system.active_gms(&sim);
+        let all_ok = system.lcs.iter().all(|&lc| {
+            sim.component_as::<LocalController>(lc)
+                .and_then(|l| l.assigned_gm())
+                .map(|g| live.contains(&g))
+                .unwrap_or(false)
+        });
+        if all_ok {
+            lc_rejoin_s = (step as f64) * 0.5;
+            break;
+        }
+    }
+
+    E9Row {
+        session_timeout_s: session_timeout.as_secs_f64(),
+        heartbeat_s: heartbeat.as_secs_f64(),
+        gl_failover_s,
+        lc_rejoin_s,
+    }
+}
+
+/// Run the sweep.
+pub fn run(seed: u64) -> Vec<E9Row> {
+    let mut rows = Vec::new();
+    for (session_s, hb_ms) in
+        [(4u64, 1000u64), (8, 2000), (16, 4000), (30, 8000)]
+    {
+        rows.push(measure(
+            SimSpan::from_secs(session_s),
+            SimSpan::from_millis(hb_ms),
+            seed ^ session_s,
+        ));
+    }
+    rows
+}
+
+/// Default configuration used by `run_experiments e9`.
+pub fn default_rows() -> Vec<E9Row> {
+    run(0xE9)
+}
+
+/// Render the table.
+pub fn render(rows: &[E9Row]) -> Table {
+    let mut t = Table::new(
+        "E9: self-healing latency vs heartbeat/session knobs (§II-D/E ablation)",
+        &["session s", "heartbeat s", "GL failover s", "LC rejoin s"],
+    );
+    for r in rows {
+        t.row(vec![
+            f1(r.session_timeout_s),
+            f1(r.heartbeat_s),
+            f1(r.gl_failover_s),
+            f1(r.lc_rejoin_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healing_latency_scales_with_timeouts() {
+        let fast = measure(SimSpan::from_secs(3), SimSpan::from_millis(500), 5);
+        let slow = measure(SimSpan::from_secs(20), SimSpan::from_secs(5), 5);
+        assert!(fast.gl_failover_s.is_finite() && slow.gl_failover_s.is_finite());
+        assert!(fast.lc_rejoin_s.is_finite() && slow.lc_rejoin_s.is_finite());
+        assert!(
+            fast.gl_failover_s < slow.gl_failover_s,
+            "shorter sessions heal faster: {} vs {}",
+            fast.gl_failover_s,
+            slow.gl_failover_s
+        );
+        assert!(
+            fast.lc_rejoin_s < slow.lc_rejoin_s,
+            "shorter heartbeats rejoin faster: {} vs {}",
+            fast.lc_rejoin_s,
+            slow.lc_rejoin_s
+        );
+        // Failover is bounded by a small multiple of the session timeout.
+        assert!(fast.gl_failover_s <= 4.0 * 3.0 + 5.0);
+    }
+}

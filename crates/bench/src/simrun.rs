@@ -1,0 +1,121 @@
+//! Shared harness for the full-system experiments (E4–E7): deploy a
+//! Snooze hierarchy, drive it with a scripted client, and collect the
+//! metrics the tables report.
+
+use std::time::Instant;
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_simcore::prelude::*;
+
+/// Deployment shape for a system experiment.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Manager components (one becomes GL; the rest serve as GMs).
+    pub managers: usize,
+    /// Physical nodes / LCs.
+    pub lcs: usize,
+    /// Entry points.
+    pub eps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A deployed system plus its driver client.
+pub struct LiveSystem {
+    /// The engine.
+    pub sim: Engine,
+    /// Component handles.
+    pub system: SnoozeSystem,
+    /// The scripted client.
+    pub client: ComponentId,
+    wall_start: Instant,
+}
+
+/// Build a flat-utilization VM spec of `cores` cores.
+pub fn vm_item(id: u64, cores: f64, mem_mb: f64, util: f64) -> ScheduledVm {
+    let mut spec = VmSpec::new(VmId(id), ResourceVector::new(cores, mem_mb, 100.0, 100.0));
+    spec.image_mb = 1024.0; // small OS image: migrations stay fast
+    ScheduledVm {
+        at: SimTime::ZERO,
+        spec,
+        workload: VmWorkload {
+            cpu: UsageShape::Constant(util),
+            memory: UsageShape::Constant(util),
+            network: UsageShape::Constant(util),
+            seed: id,
+        },
+        lifetime: None,
+    }
+}
+
+/// A burst of `n` identical VMs at `at`.
+pub fn burst(n: usize, at: SimTime, cores: f64, mem_mb: f64, util: f64) -> Vec<ScheduledVm> {
+    (0..n)
+        .map(|i| ScheduledVm { at, ..vm_item(i as u64, cores, mem_mb, util) })
+        .collect()
+}
+
+/// Deploy a system with the given config and client schedule.
+pub fn deploy(deployment: &Deployment, config: &SnoozeConfig, schedule: Vec<ScheduledVm>) -> LiveSystem {
+    let mut sim = SimBuilder::new(deployment.seed).network(NetworkConfig::lan()).build();
+    let nodes = NodeSpec::standard_cluster(deployment.lcs);
+    let system = SnoozeSystem::deploy(&mut sim, config, deployment.managers, &nodes, deployment.eps);
+    let ep = system.eps[0];
+    let client =
+        sim.add_component("client", ClientDriver::new(ep, schedule, SimSpan::from_secs(15)));
+    LiveSystem { sim, system, client, wall_start: Instant::now() }
+}
+
+impl LiveSystem {
+    /// Run until `deadline` or until the client has an answer for every
+    /// scheduled VM (whichever is first), stepping so the check stays
+    /// cheap.
+    pub fn run_until_settled(&mut self, deadline: SimTime) {
+        let step = SimSpan::from_secs(5);
+        while self.sim.now() < deadline {
+            let next = (self.sim.now() + step).min(deadline);
+            self.sim.run_until(next);
+            if self.client().done() {
+                break;
+            }
+        }
+    }
+
+    /// The driver client.
+    pub fn client(&self) -> &ClientDriver {
+        self.sim
+            .component_as::<ClientDriver>(self.client)
+            .expect("client exists")
+    }
+
+    /// Wall-clock milliseconds since deployment.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Management messages sent so far (the distributed-management cost
+    /// E5 reports).
+    pub fn messages_sent(&self) -> u64 {
+        self.sim.metrics().counter("net.sent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_places_a_small_burst() {
+        let dep = Deployment { managers: 2, lcs: 4, eps: 1, seed: 1 };
+        let schedule = burst(4, SimTime::from_secs(10), 2.0, 4096.0, 0.5);
+        let mut live = deploy(&dep, &SnoozeConfig::fast_test(), schedule);
+        live.run_until_settled(SimTime::from_secs(300));
+        assert_eq!(live.client().placed.len(), 4);
+        assert!(live.messages_sent() > 0);
+        assert!(live.wall_ms() >= 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Per-node hypervisor simulation — the libvirt/KVM stand-in.
+//!
+//! A [`Hypervisor`] is a *passive* state container owned by a Local
+//! Controller component: it tracks the guests on one node, enforces
+//! reservation-based admission, aggregates time-varying usage, and applies
+//! proportional-share throttling when demand exceeds capacity (which is
+//! how overload manifests as "performance degradation" — the thing
+//! §II-C's overload relocation exists to mitigate).
+
+use std::collections::BTreeMap;
+
+use snooze_simcore::time::SimTime;
+
+use crate::resources::{ResourceVector, DIMS};
+use crate::vm::{VmId, VmSpec, VmState};
+use crate::workload::VmWorkload;
+
+/// A guest VM resident on a node.
+#[derive(Clone, Debug)]
+pub struct GuestVm {
+    /// The guest's specification.
+    pub spec: VmSpec,
+    /// Its demand generator.
+    pub workload: VmWorkload,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// When it was admitted to this node.
+    pub admitted_at: SimTime,
+}
+
+/// Why admission failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdmitError {
+    /// Admitting would oversubscribe the node's reservation capacity.
+    InsufficientCapacity,
+    /// A guest with this id is already resident.
+    DuplicateVm,
+}
+
+/// Hypervisor state for one node.
+#[derive(Clone, Debug)]
+pub struct Hypervisor {
+    capacity: ResourceVector,
+    guests: BTreeMap<VmId, GuestVm>,
+    reserved: ResourceVector,
+}
+
+impl Hypervisor {
+    /// A hypervisor managing a node of the given capacity.
+    pub fn new(capacity: ResourceVector) -> Self {
+        Hypervisor { capacity, guests: BTreeMap::new(), reserved: ResourceVector::ZERO }
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.capacity
+    }
+
+    /// Sum of resident reservations.
+    pub fn reserved(&self) -> ResourceVector {
+        self.reserved
+    }
+
+    /// Capacity not yet reserved.
+    pub fn free(&self) -> ResourceVector {
+        self.capacity.saturating_sub(&self.reserved)
+    }
+
+    /// Number of resident guests.
+    pub fn guest_count(&self) -> usize {
+        self.guests.len()
+    }
+
+    /// True when no guests are resident — the precondition for the energy
+    /// manager to suspend the node.
+    pub fn is_idle(&self) -> bool {
+        self.guests.is_empty()
+    }
+
+    /// Whether `spec` fits in the remaining reservation capacity.
+    pub fn can_admit(&self, spec: &VmSpec) -> bool {
+        !self.guests.contains_key(&spec.id)
+            && (self.reserved + spec.requested).fits_within(&self.capacity)
+    }
+
+    /// Admit a guest. Reservation-based: fails if the sum of reservations
+    /// would exceed capacity in any dimension.
+    pub fn admit(
+        &mut self,
+        spec: VmSpec,
+        workload: VmWorkload,
+        now: SimTime,
+    ) -> Result<(), AdmitError> {
+        if self.guests.contains_key(&spec.id) {
+            return Err(AdmitError::DuplicateVm);
+        }
+        if !(self.reserved + spec.requested).fits_within(&self.capacity) {
+            return Err(AdmitError::InsufficientCapacity);
+        }
+        self.reserved += spec.requested;
+        self.guests.insert(
+            spec.id,
+            GuestVm { spec, workload, state: VmState::Running, admitted_at: now },
+        );
+        Ok(())
+    }
+
+    /// Remove a guest (migration source side, termination, or crash
+    /// cleanup). Returns the removed guest, if present.
+    pub fn remove(&mut self, id: VmId) -> Option<GuestVm> {
+        let guest = self.guests.remove(&id)?;
+        self.reserved = self.reserved.saturating_sub(&guest.spec.requested);
+        Some(guest)
+    }
+
+    /// Remove every guest (node crash: "in the event of a LC failure, VMs
+    /// are also terminated", §II-E).
+    pub fn clear(&mut self) -> Vec<GuestVm> {
+        self.reserved = ResourceVector::ZERO;
+        std::mem::take(&mut self.guests).into_values().collect()
+    }
+
+    /// Look up a guest.
+    pub fn guest(&self, id: VmId) -> Option<&GuestVm> {
+        self.guests.get(&id)
+    }
+
+    /// Mutable access to a guest (e.g. to flip its state to Migrating).
+    pub fn guest_mut(&mut self, id: VmId) -> Option<&mut GuestVm> {
+        self.guests.get_mut(&id)
+    }
+
+    /// Iterate guests in `VmId` order (deterministic).
+    pub fn guests(&self) -> impl Iterator<Item = &GuestVm> {
+        self.guests.values()
+    }
+
+    /// Aggregate *demanded* usage at `t` (may exceed capacity — that's an
+    /// overload).
+    pub fn demand_at(&self, t: SimTime) -> ResourceVector {
+        self.guests
+            .values()
+            .map(|g| g.workload.usage_at(t, &g.spec.requested))
+            .sum()
+    }
+
+    /// Aggregate usage actually *delivered* at `t`: demand throttled
+    /// proportionally in any dimension where it exceeds capacity.
+    pub fn delivered_at(&self, t: SimTime) -> ResourceVector {
+        let demand = self.demand_at(t);
+        demand.min(&self.capacity)
+    }
+
+    /// Fraction of demanded work actually delivered at `t`, in `(0, 1]`.
+    /// 1.0 means no contention. This is the "application performance"
+    /// signal the fault-tolerance experiment (E6) monitors.
+    pub fn performance_at(&self, t: SimTime) -> f64 {
+        let demand = self.demand_at(t);
+        let mut worst: f64 = 1.0;
+        for d in 0..DIMS {
+            let dem = demand.get(d);
+            let cap = self.capacity.get(d);
+            if dem > cap && dem > 0.0 {
+                worst = worst.min(cap / dem);
+            }
+        }
+        worst
+    }
+
+    /// Per-dimension utilization of capacity by demand at `t` (can exceed
+    /// 1.0 under overload).
+    pub fn utilization_at(&self, t: SimTime) -> ResourceVector {
+        self.demand_at(t).normalize_by(&self.capacity)
+    }
+
+    /// True when demand exceeds `threshold` (fraction of capacity) in any
+    /// dimension. The LC reports this to its GM as an overload anomaly.
+    pub fn is_overloaded(&self, t: SimTime, threshold: f64) -> bool {
+        let u = self.utilization_at(t);
+        (0..DIMS).any(|d| u.get(d) > threshold)
+    }
+
+    /// True when the node hosts guests but demand is below `threshold` in
+    /// every dimension — an underload anomaly, a candidate for draining.
+    pub fn is_underloaded(&self, t: SimTime, threshold: f64) -> bool {
+        if self.guests.is_empty() {
+            return false;
+        }
+        let u = self.utilization_at(t);
+        (0..DIMS).all(|d| u.get(d) < threshold)
+    }
+
+    /// Guests sorted by descending demand (L1 at `t`) — the order overload
+    /// relocation considers migration candidates in.
+    pub fn guests_by_demand(&self, t: SimTime) -> Vec<&GuestVm> {
+        let mut gs: Vec<&GuestVm> = self.guests.values().collect();
+        gs.sort_by(|a, b| {
+            let ua = a.workload.usage_at(t, &a.spec.requested).l1();
+            let ub = b.workload.usage_at(t, &b.spec.requested).l1();
+            ub.partial_cmp(&ua).unwrap_or(std::cmp::Ordering::Equal).then(a.spec.id.cmp(&b.spec.id))
+        });
+        gs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::UsageShape;
+
+    fn cap() -> ResourceVector {
+        ResourceVector::new(8.0, 32_768.0, 1000.0, 1000.0)
+    }
+
+    fn spec(id: u64, cores: f64, mem: f64) -> VmSpec {
+        VmSpec::new(VmId(id), ResourceVector::new(cores, mem, 100.0, 100.0))
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn admission_respects_capacity() {
+        let mut h = Hypervisor::new(cap());
+        assert!(h.admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0()).is_ok());
+        assert!(h.admit(spec(2, 4.0, 16_000.0), VmWorkload::flat_full(2), t0()).is_ok());
+        // Third VM would oversubscribe CPU.
+        assert_eq!(
+            h.admit(spec(3, 1.0, 100.0), VmWorkload::flat_full(3), t0()),
+            Err(AdmitError::InsufficientCapacity)
+        );
+        assert_eq!(h.guest_count(), 2);
+        assert_eq!(h.reserved().cpu, 8.0);
+        assert_eq!(h.free().cpu, 0.0);
+    }
+
+    #[test]
+    fn duplicate_admission_rejected() {
+        let mut h = Hypervisor::new(cap());
+        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        assert_eq!(
+            h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()),
+            Err(AdmitError::DuplicateVm)
+        );
+        assert!(!h.can_admit(&spec(1, 0.1, 1.0)));
+    }
+
+    #[test]
+    fn remove_releases_reservation() {
+        let mut h = Hypervisor::new(cap());
+        h.admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        let g = h.remove(VmId(1)).unwrap();
+        assert_eq!(g.spec.id, VmId(1));
+        assert_eq!(h.reserved(), ResourceVector::ZERO);
+        assert!(h.is_idle());
+        assert!(h.remove(VmId(1)).is_none());
+    }
+
+    #[test]
+    fn clear_evicts_everything() {
+        let mut h = Hypervisor::new(cap());
+        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        h.admit(spec(2, 1.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        let evicted = h.clear();
+        assert_eq!(evicted.len(), 2);
+        assert!(h.is_idle());
+        assert_eq!(h.reserved(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn demand_aggregates_workloads() {
+        let mut h = Hypervisor::new(cap());
+        let half = VmWorkload {
+            cpu: UsageShape::Constant(0.5),
+            memory: UsageShape::Constant(0.5),
+            network: UsageShape::Constant(0.5),
+            seed: 1,
+        };
+        h.admit(spec(1, 4.0, 8000.0), half.clone(), t0()).unwrap();
+        h.admit(spec(2, 2.0, 4000.0), half, t0()).unwrap();
+        let d = h.demand_at(t0());
+        assert!((d.cpu - 3.0).abs() < 1e-9);
+        assert!((d.memory - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_degrades_only_under_overload() {
+        // Two VMs each demanding 3 cores on an 8-core node: fine.
+        let mut h = Hypervisor::new(cap());
+        h.admit(spec(1, 3.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        h.admit(spec(2, 3.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        assert_eq!(h.performance_at(t0()), 1.0);
+        assert!(!h.is_overloaded(t0(), 0.9));
+
+        // Reservation-based admission prevents true demand overload, so
+        // emulate a smaller node to observe throttling.
+        let mut tiny = Hypervisor::new(ResourceVector::new(4.0, 32_768.0, 1000.0, 1000.0));
+        tiny.admit(spec(1, 2.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        tiny.admit(spec(2, 2.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        assert_eq!(tiny.performance_at(t0()), 1.0);
+        // Shrink capacity out from under it (as if a core were lost):
+        tiny.capacity = ResourceVector::new(2.0, 32_768.0, 1000.0, 1000.0);
+        assert!((tiny.performance_at(t0()) - 0.5).abs() < 1e-9);
+        assert!(tiny.is_overloaded(t0(), 0.9));
+        let delivered = tiny.delivered_at(t0());
+        assert!((delivered.cpu - 2.0).abs() < 1e-9, "throttled to capacity");
+    }
+
+    #[test]
+    fn underload_detection() {
+        let mut h = Hypervisor::new(cap());
+        assert!(!h.is_underloaded(t0(), 0.2), "empty node is idle, not underloaded");
+        let light = VmWorkload {
+            cpu: UsageShape::Constant(0.1),
+            memory: UsageShape::Constant(0.1),
+            network: UsageShape::Constant(0.1),
+            seed: 1,
+        };
+        h.admit(spec(1, 1.0, 1000.0), light, t0()).unwrap();
+        assert!(h.is_underloaded(t0(), 0.2));
+        assert!(!h.is_underloaded(t0(), 0.001));
+    }
+
+    #[test]
+    fn guests_by_demand_sorts_descending() {
+        let mut h = Hypervisor::new(cap());
+        let load = |u: f64, seed: u64| VmWorkload {
+            cpu: UsageShape::Constant(u),
+            memory: UsageShape::Constant(u),
+            network: UsageShape::Constant(u),
+            seed,
+        };
+        h.admit(spec(1, 2.0, 2000.0), load(0.2, 1), t0()).unwrap();
+        h.admit(spec(2, 2.0, 2000.0), load(0.9, 2), t0()).unwrap();
+        h.admit(spec(3, 2.0, 2000.0), load(0.5, 3), t0()).unwrap();
+        let order: Vec<VmId> = h.guests_by_demand(t0()).iter().map(|g| g.spec.id).collect();
+        assert_eq!(order, vec![VmId(2), VmId(3), VmId(1)]);
+    }
+}

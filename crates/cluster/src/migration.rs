@@ -1,0 +1,168 @@
+//! Analytic pre-copy live-migration model.
+//!
+//! Snooze "ships with integrated live migration support" (§IV) and all
+//! relocation/reconfiguration policies depend on it. We reproduce the
+//! standard pre-copy algorithm (as implemented by KVM/Xen): the memory
+//! image is copied while the guest runs, then dirtied pages are re-copied
+//! in rounds; when the residual set is small enough (or rounds are
+//! exhausted, or the dirty rate outruns the link) the guest is paused and
+//! the residue is transferred — that pause is the downtime.
+
+use snooze_simcore::time::SimSpan;
+
+/// Parameters of the migration path.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationModel {
+    /// Usable migration bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+    /// Residual size (MB) below which stop-and-copy is triggered.
+    pub stop_copy_threshold_mb: f64,
+}
+
+impl MigrationModel {
+    /// A 1 Gbit/s management network: ~110 MB/s usable, 30 rounds max,
+    /// stop-and-copy under 50 MB of residue (≈0.45 s of downtime).
+    pub fn gigabit() -> Self {
+        MigrationModel { bandwidth_mbps: 110.0, max_rounds: 30, stop_copy_threshold_mb: 50.0 }
+    }
+}
+
+/// Outcome of a modelled migration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationEstimate {
+    /// Total wall-clock duration, including downtime.
+    pub duration: SimSpan,
+    /// Guest pause at the end (stop-and-copy phase).
+    pub downtime: SimSpan,
+    /// Total bytes moved, in MB.
+    pub transferred_mb: f64,
+    /// Pre-copy rounds executed (round 1 is the full image).
+    pub rounds: u32,
+}
+
+impl MigrationModel {
+    /// Estimate a migration of a guest with `image_mb` of memory dirtying
+    /// pages at `dirty_mbps`.
+    ///
+    /// Follows the classic geometric model: round *i+1* must move the
+    /// pages dirtied during round *i*, so round sizes form a geometric
+    /// series with ratio `dirty_mbps / bandwidth_mbps`. If that ratio is
+    /// ≥ 1 the series does not converge and the model falls back to
+    /// stop-and-copy after the first round.
+    pub fn estimate(&self, image_mb: f64, dirty_mbps: f64) -> MigrationEstimate {
+        assert!(self.bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(image_mb >= 0.0 && dirty_mbps >= 0.0, "inputs must be non-negative");
+
+        let bw = self.bandwidth_mbps;
+        let ratio = dirty_mbps / bw;
+        let mut remaining = image_mb;
+        let mut transferred = 0.0;
+        let mut live_secs = 0.0;
+        let mut rounds = 0;
+
+        // Pre-copy rounds while the guest keeps running.
+        while rounds < self.max_rounds {
+            if remaining <= self.stop_copy_threshold_mb {
+                break;
+            }
+            if rounds > 0 && ratio >= 1.0 {
+                break; // dirtying outruns the link — pre-copy cannot converge
+            }
+            rounds += 1;
+            let round_secs = remaining / bw;
+            transferred += remaining;
+            live_secs += round_secs;
+            remaining = dirty_mbps * round_secs; // pages dirtied this round
+        }
+
+        // Stop-and-copy the residue while the guest is paused.
+        let downtime_secs = remaining / bw;
+        transferred += remaining;
+
+        MigrationEstimate {
+            duration: SimSpan::from_secs_f64(live_secs + downtime_secs),
+            downtime: SimSpan::from_secs_f64(downtime_secs),
+            transferred_mb: transferred,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MigrationModel {
+        MigrationModel::gigabit()
+    }
+
+    #[test]
+    fn idle_guest_migrates_in_one_round() {
+        // No dirtying: one full-image round, then a zero-ish residue.
+        let est = model().estimate(4096.0, 0.0);
+        assert_eq!(est.rounds, 1);
+        assert_eq!(est.downtime, SimSpan::ZERO);
+        assert!((est.transferred_mb - 4096.0).abs() < 1e-9);
+        let expect = 4096.0 / 110.0;
+        assert!((est.duration.as_secs_f64() - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn busy_guest_transfers_more_and_pauses_briefly() {
+        let quiet = model().estimate(4096.0, 5.0);
+        let busy = model().estimate(4096.0, 60.0);
+        assert!(busy.transferred_mb > quiet.transferred_mb);
+        assert!(busy.duration > quiet.duration);
+        assert!(busy.rounds >= quiet.rounds);
+        // Converging pre-copy keeps downtime under ~0.5 s on gigabit.
+        assert!(busy.downtime <= SimSpan::from_millis(500));
+    }
+
+    #[test]
+    fn non_converging_dirty_rate_forces_stop_and_copy() {
+        // Dirty rate above bandwidth: after round 1 the residue grows, so
+        // the model must bail out rather than loop.
+        let est = model().estimate(8192.0, 200.0);
+        assert_eq!(est.rounds, 1);
+        assert!(est.downtime > SimSpan::from_secs(1), "large residue ⇒ long pause");
+        assert!(est.transferred_mb > 8192.0);
+    }
+
+    #[test]
+    fn tiny_image_goes_straight_to_stop_and_copy() {
+        let est = model().estimate(40.0, 10.0);
+        assert_eq!(est.rounds, 0);
+        assert!((est.transferred_mb - 40.0).abs() < 1e-9);
+        assert_eq!(est.duration, est.downtime);
+    }
+
+    #[test]
+    fn round_cap_bounds_duration() {
+        let capped = MigrationModel { max_rounds: 2, ..model() };
+        let est = capped.estimate(4096.0, 100.0); // ratio ~0.9: converges slowly
+        assert!(est.rounds <= 2);
+        // Geometric tail cut off at round 2 ⇒ residue = image · ratio².
+        let ratio: f64 = 100.0 / 110.0;
+        let residue = 4096.0 * ratio.powi(2);
+        assert!((est.downtime.as_secs_f64() - residue / 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faster_link_shortens_everything() {
+        let slow = MigrationModel { bandwidth_mbps: 50.0, ..model() }.estimate(2048.0, 20.0);
+        let fast = MigrationModel { bandwidth_mbps: 1000.0, ..model() }.estimate(2048.0, 20.0);
+        assert!(fast.duration < slow.duration);
+        assert!(fast.downtime <= slow.downtime);
+        assert!(fast.transferred_mb <= slow.transferred_mb);
+    }
+
+    #[test]
+    fn zero_image_is_free() {
+        let est = model().estimate(0.0, 50.0);
+        assert_eq!(est.duration, SimSpan::ZERO);
+        assert_eq!(est.transferred_mb, 0.0);
+        assert_eq!(est.rounds, 0);
+    }
+}

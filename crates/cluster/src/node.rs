@@ -1,0 +1,356 @@
+//! Physical nodes and their power-state machine.
+//!
+//! Snooze transitions idle Local Controllers "into the system administrator
+//! specified power-state (e.g. suspend)" and wakes them "upon new VM
+//! submission" (paper §I, §III). Those transitions are not instantaneous on
+//! real hardware — suspend-to-RAM takes seconds, wake-up tens of seconds —
+//! and that latency is exactly what makes the idle-time threshold policy
+//! interesting. [`PowerStateMachine`] models the six states and their
+//! timed transitions.
+
+use std::sync::Arc;
+
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::power::{LinearPower, PowerModel};
+use crate::resources::ResourceVector;
+
+/// Identifies a physical node within a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Transition latencies of the platform's power management.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionTimes {
+    /// Entering suspend-to-RAM.
+    pub suspend: SimSpan,
+    /// Waking from suspend-to-RAM.
+    pub resume: SimSpan,
+    /// Entering soft-off (S5).
+    pub shutdown: SimSpan,
+    /// Cold boot from off to ready.
+    pub boot: SimSpan,
+}
+
+impl TransitionTimes {
+    /// Typical 2011-era server: 8 s to suspend, 25 s to resume, 30 s to
+    /// shut down, 180 s to cold-boot to a ready hypervisor.
+    pub fn typical_server() -> Self {
+        TransitionTimes {
+            suspend: SimSpan::from_secs(8),
+            resume: SimSpan::from_secs(25),
+            shutdown: SimSpan::from_secs(30),
+            boot: SimSpan::from_secs(180),
+        }
+    }
+
+    /// Instant transitions — for unit tests where timing is noise.
+    pub fn instant() -> Self {
+        TransitionTimes {
+            suspend: SimSpan::ZERO,
+            resume: SimSpan::ZERO,
+            shutdown: SimSpan::ZERO,
+            boot: SimSpan::ZERO,
+        }
+    }
+}
+
+/// The power state of a node. Transitional states carry their completion
+/// time; callers advance the machine with [`PowerStateMachine::tick`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PowerState {
+    /// Powered on and able to host VMs.
+    On,
+    /// Entering suspend; done at the contained time.
+    Suspending(SimTime),
+    /// Suspended to RAM.
+    Suspended,
+    /// Waking from suspend; done at the contained time.
+    Resuming(SimTime),
+    /// Shutting down; done at the contained time.
+    ShuttingDown(SimTime),
+    /// Powered off.
+    Off,
+    /// Cold-booting; done at the contained time.
+    Booting(SimTime),
+}
+
+impl PowerState {
+    /// True when the node can run VMs right now.
+    pub fn is_on(&self) -> bool {
+        matches!(self, PowerState::On)
+    }
+
+    /// True when the node is in a low-power state (suspended or off).
+    pub fn is_low_power(&self) -> bool {
+        matches!(self, PowerState::Suspended | PowerState::Off)
+    }
+
+    /// Completion time of an in-flight transition, if any.
+    pub fn transition_done_at(&self) -> Option<SimTime> {
+        match *self {
+            PowerState::Suspending(t)
+            | PowerState::Resuming(t)
+            | PowerState::ShuttingDown(t)
+            | PowerState::Booting(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from illegal power-state requests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PowerError {
+    /// The requested transition is not legal from the current state.
+    IllegalTransition,
+}
+
+/// A node's power-state machine.
+#[derive(Clone, Debug)]
+pub struct PowerStateMachine {
+    state: PowerState,
+    times: TransitionTimes,
+}
+
+impl PowerStateMachine {
+    /// A machine that starts powered on.
+    pub fn new_on(times: TransitionTimes) -> Self {
+        PowerStateMachine { state: PowerState::On, times }
+    }
+
+    /// A machine that starts powered off.
+    pub fn new_off(times: TransitionTimes) -> Self {
+        PowerStateMachine { state: PowerState::Off, times }
+    }
+
+    /// Current state (without advancing transitions; call
+    /// [`PowerStateMachine::tick`] first if time has passed).
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Advance any in-flight transition whose completion time has passed.
+    /// Returns the state after advancement.
+    pub fn tick(&mut self, now: SimTime) -> PowerState {
+        if let Some(done) = self.state.transition_done_at() {
+            if now >= done {
+                self.state = match self.state {
+                    PowerState::Suspending(_) => PowerState::Suspended,
+                    PowerState::Resuming(_) => PowerState::On,
+                    PowerState::ShuttingDown(_) => PowerState::Off,
+                    PowerState::Booting(_) => PowerState::On,
+                    s => s,
+                };
+            }
+        }
+        self.state
+    }
+
+    /// Begin suspend-to-RAM. Legal only from `On`. Returns the completion
+    /// time.
+    pub fn suspend(&mut self, now: SimTime) -> Result<SimTime, PowerError> {
+        self.tick(now);
+        if !self.state.is_on() {
+            return Err(PowerError::IllegalTransition);
+        }
+        let done = now + self.times.suspend;
+        self.state = PowerState::Suspending(done);
+        self.tick(now); // zero-latency transitions complete immediately
+        Ok(done)
+    }
+
+    /// Begin waking from suspend. Legal from `Suspended` (and from
+    /// `Suspending`, modelling a wake-on-LAN racing the suspend — it takes
+    /// effect after the suspend completes, costing the full resume time).
+    pub fn resume(&mut self, now: SimTime) -> Result<SimTime, PowerError> {
+        self.tick(now);
+        let base = match self.state {
+            PowerState::Suspended => now,
+            PowerState::Suspending(done) => done,
+            _ => return Err(PowerError::IllegalTransition),
+        };
+        let done = base + self.times.resume;
+        self.state = PowerState::Resuming(done);
+        self.tick(now);
+        Ok(done)
+    }
+
+    /// Begin a shutdown. Legal only from `On`.
+    pub fn shutdown(&mut self, now: SimTime) -> Result<SimTime, PowerError> {
+        self.tick(now);
+        if !self.state.is_on() {
+            return Err(PowerError::IllegalTransition);
+        }
+        let done = now + self.times.shutdown;
+        self.state = PowerState::ShuttingDown(done);
+        self.tick(now);
+        Ok(done)
+    }
+
+    /// Begin a cold boot. Legal only from `Off`.
+    pub fn boot(&mut self, now: SimTime) -> Result<SimTime, PowerError> {
+        self.tick(now);
+        if self.state != PowerState::Off {
+            return Err(PowerError::IllegalTransition);
+        }
+        let done = now + self.times.boot;
+        self.state = PowerState::Booting(done);
+        self.tick(now);
+        Ok(done)
+    }
+
+    /// Instantaneous power draw in the current state, given a power model
+    /// and the node's CPU utilization (only meaningful when on).
+    ///
+    /// Transitional states draw idle power: hardware is busy but not doing
+    /// guest work.
+    pub fn watts(&self, model: &dyn PowerModel, utilization: f64) -> f64 {
+        match self.state {
+            PowerState::On => model.active_watts(utilization),
+            PowerState::Suspending(_)
+            | PowerState::Resuming(_)
+            | PowerState::ShuttingDown(_)
+            | PowerState::Booting(_) => model.active_watts(0.0),
+            PowerState::Suspended => model.suspended_watts(),
+            PowerState::Off => model.off_watts(),
+        }
+    }
+}
+
+/// Static description of a node: identity, capacity, power behaviour.
+#[derive(Clone)]
+pub struct NodeSpec {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Total resource capacity.
+    pub capacity: ResourceVector,
+    /// Power-state transition latencies.
+    pub transitions: TransitionTimes,
+    /// Power model.
+    pub power: Arc<dyn PowerModel>,
+}
+
+impl NodeSpec {
+    /// A homogeneous mid-2011 server: 8 cores, 32 GB RAM, 1 Gbit/s each
+    /// way, Grid'5000-style power profile.
+    pub fn standard(id: NodeId) -> Self {
+        NodeSpec {
+            id,
+            capacity: ResourceVector::new(8.0, 32_768.0, 1000.0, 1000.0),
+            transitions: TransitionTimes::typical_server(),
+            power: Arc::new(LinearPower::grid5000()),
+        }
+    }
+
+    /// Build `n` standard nodes with ids `0..n`.
+    pub fn standard_cluster(n: usize) -> Vec<NodeSpec> {
+        (0..n).map(|i| NodeSpec::standard(NodeId(i))).collect()
+    }
+}
+
+impl std::fmt::Debug for NodeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSpec")
+            .field("id", &self.id)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn suspend_resume_cycle() {
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        let done = m.suspend(t(100)).unwrap();
+        assert_eq!(done, t(108));
+        assert_eq!(m.state(), PowerState::Suspending(t(108)));
+        assert_eq!(m.tick(t(105)), PowerState::Suspending(t(108)), "not done yet");
+        assert_eq!(m.tick(t(108)), PowerState::Suspended);
+        let done = m.resume(t(200)).unwrap();
+        assert_eq!(done, t(225));
+        assert_eq!(m.tick(t(225)), PowerState::On);
+    }
+
+    #[test]
+    fn wake_racing_suspend_takes_effect_after_suspend_completes() {
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        m.suspend(t(100)).unwrap();
+        // Wake request arrives mid-suspend.
+        let done = m.resume(t(103)).unwrap();
+        assert_eq!(done, t(108) + SimSpan::from_secs(25));
+        assert_eq!(m.tick(done), PowerState::On);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut m = PowerStateMachine::new_off(TransitionTimes::typical_server());
+        assert_eq!(m.suspend(t(0)), Err(PowerError::IllegalTransition));
+        assert_eq!(m.resume(t(0)), Err(PowerError::IllegalTransition));
+        assert_eq!(m.shutdown(t(0)), Err(PowerError::IllegalTransition));
+        m.boot(t(0)).unwrap();
+        // Can't boot while booting.
+        assert_eq!(m.boot(t(1)), Err(PowerError::IllegalTransition));
+        m.tick(t(180));
+        assert_eq!(m.state(), PowerState::On);
+        // Can't resume an already-on machine.
+        assert_eq!(m.resume(t(181)), Err(PowerError::IllegalTransition));
+    }
+
+    #[test]
+    fn shutdown_boot_cycle() {
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        let down = m.shutdown(t(10)).unwrap();
+        assert_eq!(down, t(40));
+        assert_eq!(m.tick(t(40)), PowerState::Off);
+        let up = m.boot(t(100)).unwrap();
+        assert_eq!(up, t(280));
+        assert_eq!(m.tick(t(280)), PowerState::On);
+    }
+
+    #[test]
+    fn instant_transitions_complete_synchronously() {
+        let mut m = PowerStateMachine::new_on(TransitionTimes::instant());
+        m.suspend(t(5)).unwrap();
+        assert_eq!(m.state(), PowerState::Suspended);
+        m.resume(t(5)).unwrap();
+        assert_eq!(m.state(), PowerState::On);
+    }
+
+    #[test]
+    fn power_draw_by_state() {
+        let model = LinearPower { idle_watts: 100.0, max_watts: 200.0, suspend_watts: 5.0 };
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        assert_eq!(m.watts(&model, 0.5), 150.0);
+        m.suspend(t(0)).unwrap();
+        assert_eq!(m.watts(&model, 0.5), 100.0, "transitions draw idle power");
+        m.tick(t(8));
+        assert_eq!(m.watts(&model, 0.5), 5.0);
+        let mut off = PowerStateMachine::new_off(TransitionTimes::typical_server());
+        assert_eq!(off.watts(&model, 0.0), 0.0);
+        off.boot(t(0)).unwrap();
+        assert_eq!(off.watts(&model, 0.0), 100.0);
+    }
+
+    #[test]
+    fn low_power_predicate() {
+        assert!(PowerState::Suspended.is_low_power());
+        assert!(PowerState::Off.is_low_power());
+        assert!(!PowerState::On.is_low_power());
+        assert!(!PowerState::Suspending(t(1)).is_low_power());
+    }
+
+    #[test]
+    fn standard_cluster_is_homogeneous() {
+        let nodes = NodeSpec::standard_cluster(5);
+        assert_eq!(nodes.len(), 5);
+        assert!(nodes.iter().enumerate().all(|(i, n)| n.id == NodeId(i)));
+        assert!(nodes.windows(2).all(|w| w[0].capacity == w[1].capacity));
+    }
+}

@@ -1,0 +1,519 @@
+//! Workload generation: per-VM utilization shapes and fleet generators.
+//!
+//! The paper's evaluations drive the system with up to 500 VMs whose
+//! resource usage varies over time (that variation is what creates the
+//! overload/underload events §II-C's relocation policies respond to, and
+//! the idle times §III's energy manager exploits). Real traces are not
+//! available, so this module generates synthetic ones with the usual cloud
+//! workload shapes: constant reservations, diurnal sinusoids, bursty
+//! on/off processes, and replayed step traces.
+//!
+//! Sampling is **stateless and deterministic**: `usage_at(t)` depends only
+//! on the shape, the VM's seed and `t`, so monitoring probes may sample at
+//! arbitrary instants and replays are exact.
+
+use std::sync::Arc;
+
+use snooze_simcore::rng::SimRng;
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::resources::ResourceVector;
+use crate::vm::{VmId, VmSpec};
+
+/// splitmix64 finalizer — the hash behind stateless per-slot randomness.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Uniform `[0,1)` derived from a hash of `(seed, slot)`.
+fn hash_unit(seed: u64, slot: u64) -> f64 {
+    (mix(seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A time-varying utilization multiplier in `[0, 1]`, applied to a VM's
+/// reservation to obtain actual usage.
+#[derive(Clone, Debug)]
+pub enum UsageShape {
+    /// Flat utilization.
+    Constant(f64),
+    /// Sinusoidal day/night pattern between `low` and `high` with the
+    /// given period; `phase` in `[0, 1)` shifts the peak.
+    Diurnal {
+        /// Trough utilization.
+        low: f64,
+        /// Peak utilization.
+        high: f64,
+        /// Cycle length.
+        period: SimSpan,
+        /// Fraction of a period by which the cycle is shifted.
+        phase: f64,
+    },
+    /// Bursty on/off process: time is cut into `slot` intervals; in each,
+    /// the VM runs at `on_level` with probability `duty`, else `off_level`.
+    OnOff {
+        /// Utilization while bursting.
+        on_level: f64,
+        /// Utilization while quiescent.
+        off_level: f64,
+        /// Probability a slot is a burst.
+        duty: f64,
+        /// Slot length.
+        slot: SimSpan,
+    },
+    /// Replay of a step trace: sample `i` holds for `step`, the trace
+    /// loops at the end.
+    Trace {
+        /// Utilization samples in `[0, 1]`.
+        samples: Arc<Vec<f64>>,
+        /// Duration each sample holds.
+        step: SimSpan,
+    },
+}
+
+impl UsageShape {
+    /// Build a PlanetLab-style trace: a mean-reverting random walk in
+    /// `[0, 1]`, the statistical shape of the per-VM CPU traces commonly
+    /// used in consolidation studies (e.g. the CoMon/PlanetLab dataset).
+    /// `volatility` is the per-step standard deviation; the walk reverts
+    /// toward `mean` with strength 0.1 per step.
+    pub fn random_walk_trace(
+        samples: usize,
+        step: SimSpan,
+        mean: f64,
+        volatility: f64,
+        rng: &mut SimRng,
+    ) -> UsageShape {
+        assert!(samples > 0, "trace needs at least one sample");
+        let mut v = mean.clamp(0.0, 1.0);
+        let data: Vec<f64> = (0..samples)
+            .map(|_| {
+                v += 0.1 * (mean - v) + rng.normal(0.0, volatility);
+                v = v.clamp(0.0, 1.0);
+                v
+            })
+            .collect();
+        UsageShape::Trace { samples: Arc::new(data), step }
+    }
+
+    /// Utilization in `[0, 1]` at time `t` for a VM whose stream seed is
+    /// `seed`.
+    pub fn sample(&self, t: SimTime, seed: u64) -> f64 {
+        match self {
+            UsageShape::Constant(u) => u.clamp(0.0, 1.0),
+            UsageShape::Diurnal { low, high, period, phase } => {
+                let p = period.as_secs_f64().max(1e-9);
+                let x = t.as_secs_f64() / p + phase;
+                let s = 0.5 - 0.5 * (std::f64::consts::TAU * x).cos(); // 0 at trough
+                (low + (high - low) * s).clamp(0.0, 1.0)
+            }
+            UsageShape::OnOff { on_level, off_level, duty, slot } => {
+                let slot_idx = t.as_micros() / slot.as_micros().max(1);
+                if hash_unit(seed, slot_idx) < *duty {
+                    on_level.clamp(0.0, 1.0)
+                } else {
+                    off_level.clamp(0.0, 1.0)
+                }
+            }
+            UsageShape::Trace { samples, step } => {
+                if samples.is_empty() {
+                    return 0.0;
+                }
+                let idx = (t.as_micros() / step.as_micros().max(1)) as usize % samples.len();
+                samples[idx].clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// The full time-varying demand of one VM: a shape per resource class.
+/// Memory is typically near-constant on real VMs; CPU and network move.
+#[derive(Clone, Debug)]
+pub struct VmWorkload {
+    /// CPU utilization shape.
+    pub cpu: UsageShape,
+    /// Memory utilization shape.
+    pub memory: UsageShape,
+    /// Network (both directions) utilization shape.
+    pub network: UsageShape,
+    /// Per-VM seed for stateless randomness.
+    pub seed: u64,
+}
+
+impl VmWorkload {
+    /// A workload that always uses the full reservation.
+    pub fn flat_full(seed: u64) -> Self {
+        VmWorkload {
+            cpu: UsageShape::Constant(1.0),
+            memory: UsageShape::Constant(1.0),
+            network: UsageShape::Constant(1.0),
+            seed,
+        }
+    }
+
+    /// Actual usage at `t`, as a fraction of `requested` per dimension.
+    pub fn usage_at(&self, t: SimTime, requested: &ResourceVector) -> ResourceVector {
+        let net = self.network.sample(t, self.seed.wrapping_add(2));
+        ResourceVector {
+            cpu: requested.cpu * self.cpu.sample(t, self.seed),
+            memory: requested.memory * self.memory.sample(t, self.seed.wrapping_add(1)),
+            net_rx: requested.net_rx * net,
+            net_tx: requested.net_tx * net,
+        }
+    }
+
+    /// Memory dirty-page rate in MB/s at time `t` — drives live-migration
+    /// cost. Modelled as proportional to CPU activity: a busy guest
+    /// touches more pages.
+    pub fn dirty_rate_mbps(&self, t: SimTime, requested: &ResourceVector) -> f64 {
+        // An active core dirties on the order of 10–50 MB/s; scale with
+        // utilization and the reservation's core count.
+        20.0 * requested.cpu * self.cpu.sample(t, self.seed)
+    }
+}
+
+/// How a fleet of VM submissions arrives at the system.
+#[derive(Clone, Debug)]
+pub enum ArrivalPattern {
+    /// Everything at one instant (the CCGrid evaluation's burst submission).
+    Burst(SimTime),
+    /// Poisson arrivals at `rate_per_sec`, starting at `start`.
+    Poisson {
+        /// When arrivals begin.
+        start: SimTime,
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+    },
+    /// One submission every `spacing`, starting at `start`.
+    Staggered {
+        /// First submission time.
+        start: SimTime,
+        /// Gap between consecutive submissions.
+        spacing: SimSpan,
+    },
+}
+
+impl ArrivalPattern {
+    /// Generate `n` arrival times (non-decreasing).
+    pub fn times(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        match *self {
+            ArrivalPattern::Burst(t) => vec![t; n],
+            ArrivalPattern::Poisson { start, rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be > 0");
+                let mut t = start;
+                (0..n)
+                    .map(|_| {
+                        t += SimSpan::from_secs_f64(rng.exponential(1.0 / rate_per_sec));
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalPattern::Staggered { start, spacing } => {
+                (0..n).map(|i| start + spacing * i as u64).collect()
+            }
+        }
+    }
+}
+
+/// Distribution of one VM dimension's reservation, as a fraction of a
+/// reference node capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct FractionRange {
+    /// Smallest fraction.
+    pub lo: f64,
+    /// Largest fraction (exclusive).
+    pub hi: f64,
+}
+
+impl FractionRange {
+    /// The GRID'11 instance family: demands uniform in 10–60 % of host
+    /// capacity per dimension.
+    pub fn grid11() -> Self {
+        FractionRange { lo: 0.1, hi: 0.6 }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+/// Kinds of workload shape a generated fleet mixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Constant at the reservation.
+    Flat,
+    /// Diurnal sinusoid.
+    Diurnal,
+    /// Bursty on/off.
+    Bursty,
+}
+
+/// Generates fleets of `(VmSpec, VmWorkload)` for experiments.
+#[derive(Clone, Debug)]
+pub struct FleetGenerator {
+    /// Reference node capacity reservations are expressed against.
+    pub reference_capacity: ResourceVector,
+    /// Reservation size distribution (per dimension).
+    pub demand: FractionRange,
+    /// Mix of workload kinds, sampled uniformly.
+    pub kinds: Vec<WorkloadKind>,
+    /// Period used by diurnal shapes.
+    pub diurnal_period: SimSpan,
+}
+
+impl FleetGenerator {
+    /// The default experiment fleet: GRID'11 demand sizes against a
+    /// standard node, flat workloads (consolidation experiments reason
+    /// about reservations).
+    pub fn grid11(reference_capacity: ResourceVector) -> Self {
+        FleetGenerator {
+            reference_capacity,
+            demand: FractionRange::grid11(),
+            kinds: vec![WorkloadKind::Flat],
+            diurnal_period: SimSpan::from_secs(24 * 3600),
+        }
+    }
+
+    /// A mixed interactive/batch fleet for the energy experiments.
+    pub fn mixed(reference_capacity: ResourceVector) -> Self {
+        FleetGenerator {
+            reference_capacity,
+            demand: FractionRange::grid11(),
+            kinds: vec![WorkloadKind::Flat, WorkloadKind::Diurnal, WorkloadKind::Bursty],
+            diurnal_period: SimSpan::from_secs(24 * 3600),
+        }
+    }
+
+    /// Generate `n` VMs with ids starting at `first_id`.
+    pub fn generate(&self, n: usize, first_id: u64, rng: &mut SimRng) -> Vec<(VmSpec, VmWorkload)> {
+        (0..n)
+            .map(|i| {
+                let id = VmId(first_id + i as u64);
+                let requested = ResourceVector::new(
+                    self.reference_capacity.cpu * self.demand.sample(rng),
+                    self.reference_capacity.memory * self.demand.sample(rng),
+                    self.reference_capacity.net_rx * self.demand.sample(rng),
+                    self.reference_capacity.net_tx * self.demand.sample(rng),
+                );
+                let seed = rng.next_u64();
+                let kind = *rng.choose(&self.kinds).unwrap_or(&WorkloadKind::Flat);
+                let workload = self.make_workload(kind, seed, rng);
+                (VmSpec::new(id, requested), workload)
+            })
+            .collect()
+    }
+
+    fn make_workload(&self, kind: WorkloadKind, seed: u64, rng: &mut SimRng) -> VmWorkload {
+        let cpu = match kind {
+            WorkloadKind::Flat => UsageShape::Constant(rng.uniform(0.7, 1.0)),
+            WorkloadKind::Diurnal => UsageShape::Diurnal {
+                low: rng.uniform(0.05, 0.2),
+                high: rng.uniform(0.6, 1.0),
+                period: self.diurnal_period,
+                phase: rng.f64(),
+            },
+            WorkloadKind::Bursty => UsageShape::OnOff {
+                on_level: rng.uniform(0.7, 1.0),
+                off_level: rng.uniform(0.02, 0.1),
+                duty: rng.uniform(0.2, 0.5),
+                slot: SimSpan::from_secs(300),
+            },
+        };
+        VmWorkload {
+            cpu: cpu.clone(),
+            memory: UsageShape::Constant(rng.uniform(0.6, 0.95)),
+            network: cpu,
+            seed,
+        }
+    }
+}
+
+use rand::RngCore as _; // for rng.next_u64 in generate
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_shape_clamps() {
+        assert_eq!(UsageShape::Constant(0.5).sample(t(100), 1), 0.5);
+        assert_eq!(UsageShape::Constant(1.5).sample(t(0), 1), 1.0);
+        assert_eq!(UsageShape::Constant(-0.5).sample(t(0), 1), 0.0);
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let shape = UsageShape::Diurnal {
+            low: 0.1,
+            high: 0.9,
+            period: SimSpan::from_secs(100),
+            phase: 0.0,
+        };
+        assert!((shape.sample(t(0), 0) - 0.1).abs() < 1e-9, "trough at phase 0");
+        assert!((shape.sample(t(50), 0) - 0.9).abs() < 1e-9, "peak at half period");
+        assert!((shape.sample(t(100), 0) - 0.1).abs() < 1e-9, "periodic");
+    }
+
+    #[test]
+    fn diurnal_phase_shifts_peak() {
+        let shape = UsageShape::Diurnal {
+            low: 0.0,
+            high: 1.0,
+            period: SimSpan::from_secs(100),
+            phase: 0.5,
+        };
+        assert!((shape.sample(t(0), 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onoff_is_deterministic_and_two_valued() {
+        let shape = UsageShape::OnOff {
+            on_level: 0.9,
+            off_level: 0.1,
+            duty: 0.5,
+            slot: SimSpan::from_secs(10),
+        };
+        let mut on = 0;
+        let mut off = 0;
+        for i in 0..200 {
+            let v = shape.sample(t(i * 10), 42);
+            assert_eq!(v, shape.sample(t(i * 10 + 5), 42), "constant within slot");
+            if v == 0.9 {
+                on += 1;
+            } else {
+                assert_eq!(v, 0.1);
+                off += 1;
+            }
+        }
+        assert!(on > 60 && off > 60, "duty 0.5 should mix: on={on} off={off}");
+        // Different seeds give different schedules.
+        let diff = (0..100).filter(|&i| shape.sample(t(i * 10), 1) != shape.sample(t(i * 10), 2)).count();
+        assert!(diff > 10);
+    }
+
+    #[test]
+    fn trace_replays_and_loops() {
+        let shape = UsageShape::Trace {
+            samples: Arc::new(vec![0.2, 0.4, 0.8]),
+            step: SimSpan::from_secs(10),
+        };
+        assert_eq!(shape.sample(t(0), 0), 0.2);
+        assert_eq!(shape.sample(t(15), 0), 0.4);
+        assert_eq!(shape.sample(t(25), 0), 0.8);
+        assert_eq!(shape.sample(t(30), 0), 0.2, "loops");
+        let empty = UsageShape::Trace { samples: Arc::new(vec![]), step: SimSpan::from_secs(1) };
+        assert_eq!(empty.sample(t(5), 0), 0.0);
+    }
+
+    #[test]
+    fn random_walk_trace_stays_in_bounds_and_reverts() {
+        let mut rng = SimRng::new(21);
+        let shape =
+            UsageShape::random_walk_trace(2000, SimSpan::from_secs(300), 0.4, 0.08, &mut rng);
+        let mut sum = 0.0;
+        for i in 0..2000u64 {
+            let v = shape.sample(SimTime::from_secs(i * 300), 0);
+            assert!((0.0..=1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 2000.0;
+        assert!((mean - 0.4).abs() < 0.1, "mean reversion toward 0.4, got {mean}");
+    }
+
+    #[test]
+    fn random_walk_trace_is_seed_deterministic() {
+        let a = UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
+        let b = UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
+        for i in 0..50u64 {
+            let t = SimTime::from_secs(i);
+            assert_eq!(a.sample(t, 0), b.sample(t, 0));
+        }
+    }
+
+    #[test]
+    fn workload_usage_scales_reservation() {
+        let req = ResourceVector::new(4.0, 8000.0, 100.0, 200.0);
+        let w = VmWorkload {
+            cpu: UsageShape::Constant(0.5),
+            memory: UsageShape::Constant(0.25),
+            network: UsageShape::Constant(1.0),
+            seed: 7,
+        };
+        let u = w.usage_at(t(0), &req);
+        assert_eq!(u.cpu, 2.0);
+        assert_eq!(u.memory, 2000.0);
+        assert_eq!(u.net_rx, 100.0);
+        assert_eq!(u.net_tx, 200.0);
+        assert!(u.fits_within(&req));
+    }
+
+    #[test]
+    fn dirty_rate_tracks_cpu_activity() {
+        let req = ResourceVector::new(2.0, 4096.0, 0.0, 0.0);
+        let busy = VmWorkload::flat_full(1);
+        let idle = VmWorkload {
+            cpu: UsageShape::Constant(0.0),
+            ..VmWorkload::flat_full(1)
+        };
+        assert!(busy.dirty_rate_mbps(t(0), &req) > 0.0);
+        assert_eq!(idle.dirty_rate_mbps(t(0), &req), 0.0);
+    }
+
+    #[test]
+    fn arrival_patterns() {
+        let mut rng = SimRng::new(3);
+        let burst = ArrivalPattern::Burst(t(5)).times(3, &mut rng);
+        assert_eq!(burst, vec![t(5); 3]);
+
+        let stag = ArrivalPattern::Staggered { start: t(10), spacing: SimSpan::from_secs(2) }
+            .times(3, &mut rng);
+        assert_eq!(stag, vec![t(10), t(12), t(14)]);
+
+        let poisson =
+            ArrivalPattern::Poisson { start: t(0), rate_per_sec: 10.0 }.times(1000, &mut rng);
+        assert!(poisson.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Mean inter-arrival should be ~0.1 s ⇒ 1000 arrivals in ~100 s.
+        let span = poisson.last().unwrap().as_secs_f64();
+        assert!((70.0..140.0).contains(&span), "span {span}");
+    }
+
+    #[test]
+    fn fleet_generator_respects_demand_range() {
+        let cap = ResourceVector::new(8.0, 32_768.0, 1000.0, 1000.0);
+        let gen = FleetGenerator::grid11(cap);
+        let mut rng = SimRng::new(11);
+        let fleet = gen.generate(100, 0, &mut rng);
+        assert_eq!(fleet.len(), 100);
+        for (i, (spec, _)) in fleet.iter().enumerate() {
+            assert_eq!(spec.id, VmId(i as u64));
+            let f = spec.requested.normalize_by(&cap);
+            for d in 0..crate::resources::DIMS {
+                assert!(
+                    (0.1..0.6).contains(&f.get(d)),
+                    "vm {i} dim {d} fraction {} out of range",
+                    f.get(d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_generator_is_deterministic_per_seed() {
+        let cap = ResourceVector::new(8.0, 32_768.0, 1000.0, 1000.0);
+        let gen = FleetGenerator::mixed(cap);
+        let a = gen.generate(20, 0, &mut SimRng::new(5));
+        let b = gen.generate(20, 0, &mut SimRng::new(5));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.seed, y.1.seed);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The ACO-based VM consolidation algorithm (paper §III-A).
+//!
+//! Reproduces the algorithm of the GRID'11 companion paper (Feller,
+//! Rilling, Morin — "Energy-aware ant colony based workload placement in
+//! clouds"), as summarized in the PhD-forum paper:
+//!
+//! > "multiple agents (i.e. artificial ants) compute solutions
+//! > probabilistically and simultaneously within multiple cycles. Thereby,
+//! > they communicate indirectly by depositing … pheromone on each VM–LC
+//! > pair within a pheromone matrix. In each cycle the ants receive VMs,
+//! > and start constructing local solutions (i.e. VM to LC assignments) by
+//! > the use of a probabilistic decision rule … based on the current
+//! > pheromone concentration … and a heuristic information which guides
+//! > the ants towards choosing VMs leading to better overall LC
+//! > utilization. … At the end of each cycle, local solutions are compared
+//! > and the one requiring the least number of LCs is saved as the new
+//! > globally optimal solution. Afterwards, the pheromone matrix is
+//! > updated to simulate pheromone evaporation and reinforce VM–LC pairs
+//! > which belonged to the so-far best solution."
+//!
+//! Each ant packs bins one at a time: among the still-unassigned VMs that
+//! fit the current bin's residual capacity, it draws one with probability
+//! proportional to `τ(vm, bin)^α · η(vm, residual)^β`, where the heuristic
+//! η rewards choices that leave little slack (better bin utilization).
+//! When nothing fits, the ant moves to the next bin. Max–Min-style
+//! pheromone bounds keep the colony from stagnating.
+//!
+//! The per-cycle ant loop is embarrassingly parallel — ants only read the
+//! shared pheromone matrix — and is parallelized with Rayon when
+//! [`AcoParams::parallel_ants`] is set, preserving bit-for-bit determinism
+//! (each ant's RNG stream is forked from the cycle and ant index, and the
+//! reduction order is fixed).
+
+use rayon::prelude::*;
+
+use snooze_cluster::resources::ResourceVector;
+use snooze_simcore::rng::SimRng;
+
+use crate::problem::{Consolidator, Instance, Solution};
+
+/// How pheromone is reinforced at the end of a cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UpdateRule {
+    /// Max–Min style: only the global-best solution deposits (the
+    /// behaviour the paper describes — "reinforce VM–LC pairs which
+    /// belonged to the so-far best solution").
+    #[default]
+    GlobalBest,
+    /// Classic Ant System: every ant deposits on its own solution,
+    /// weighted by quality. Included as an ablation (E8).
+    AllAnts,
+}
+
+/// Tunable parameters of the colony.
+#[derive(Clone, Copy, Debug)]
+pub struct AcoParams {
+    /// Ants per cycle.
+    pub n_ants: usize,
+    /// Cycles.
+    pub n_cycles: usize,
+    /// Pheromone exponent α.
+    pub alpha: f64,
+    /// Heuristic exponent β.
+    pub beta: f64,
+    /// Evaporation rate ρ in `(0, 1)`.
+    pub rho: f64,
+    /// Reinforcement scale: the global best deposits `q / bins_used`.
+    pub q: f64,
+    /// Initial pheromone τ₀ (also the Max–Min upper bound).
+    pub tau0: f64,
+    /// Max–Min lower bound on pheromone.
+    pub tau_min: f64,
+    /// Master seed for the colony's randomness.
+    pub seed: u64,
+    /// Construct the cycle's ants in parallel with Rayon.
+    pub parallel_ants: bool,
+    /// Pheromone reinforcement rule.
+    pub update_rule: UpdateRule,
+    /// Run the bin-emptying local search on the final solution: try to
+    /// drain the least-filled bins into the others' residual capacity.
+    /// Cheap, and recovers most of the quality gap on large instances.
+    pub local_search: bool,
+}
+
+impl Default for AcoParams {
+    fn default() -> Self {
+        AcoParams {
+            n_ants: 10,
+            n_cycles: 30,
+            alpha: 1.0,
+            beta: 2.0,
+            rho: 0.3,
+            q: 10.0,
+            tau0: 1.0,
+            tau_min: 0.01,
+            seed: 0xAC0,
+            parallel_ants: false,
+            update_rule: UpdateRule::GlobalBest,
+            local_search: false,
+        }
+    }
+}
+
+impl AcoParams {
+    /// A cheap configuration for unit tests and small instances.
+    pub fn fast() -> Self {
+        AcoParams { n_ants: 6, n_cycles: 12, ..Default::default() }
+    }
+}
+
+/// Dense pheromone matrix over (item, bin) pairs.
+#[derive(Clone, Debug)]
+struct PheromoneMatrix {
+    tau: Vec<f64>,
+    n_bins: usize,
+}
+
+impl PheromoneMatrix {
+    fn new(n_items: usize, n_bins: usize, tau0: f64) -> Self {
+        PheromoneMatrix { tau: vec![tau0; n_items * n_bins], n_bins }
+    }
+
+    #[inline]
+    fn get(&self, item: usize, bin: usize) -> f64 {
+        self.tau[item * self.n_bins + bin]
+    }
+
+    fn evaporate(&mut self, rho: f64, tau_min: f64) {
+        for t in &mut self.tau {
+            *t = ((1.0 - rho) * *t).max(tau_min);
+        }
+    }
+
+    fn deposit(&mut self, item: usize, bin: usize, amount: f64, tau_max: f64) {
+        let t = &mut self.tau[item * self.n_bins + bin];
+        *t = (*t + amount).min(tau_max);
+    }
+}
+
+/// Result of a full colony run, including per-cycle convergence data for
+/// the convergence figure (experiment E8).
+#[derive(Clone, Debug)]
+pub struct AcoRun {
+    /// Best solution found (feasible), if any ant ever completed one.
+    pub solution: Option<Solution>,
+    /// Bins used by the global best after each cycle.
+    pub best_bins_per_cycle: Vec<usize>,
+    /// Total ants that failed to construct a feasible solution.
+    pub failed_ants: usize,
+}
+
+/// The ACO consolidator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcoConsolidator {
+    /// Colony parameters.
+    pub params: AcoParams,
+}
+
+impl AcoConsolidator {
+    /// A consolidator with the given parameters.
+    pub fn new(params: AcoParams) -> Self {
+        AcoConsolidator { params }
+    }
+
+    /// Run the colony, returning the full run record.
+    pub fn run(&self, instance: &Instance) -> AcoRun {
+        let p = self.params;
+        let n_items = instance.n_items();
+        if n_items == 0 {
+            return AcoRun {
+                solution: Some(Solution { assignment: vec![] }),
+                best_bins_per_cycle: vec![],
+                failed_ants: 0,
+            };
+        }
+        let mut pheromone = PheromoneMatrix::new(n_items, instance.n_bins(), p.tau0);
+        let master = SimRng::new(p.seed);
+        let mut global_best: Option<(Solution, usize, f64)> = None; // (sol, bins, util)
+        let mut best_per_cycle = Vec::with_capacity(p.n_cycles);
+        let mut failed = 0usize;
+
+        for cycle in 0..p.n_cycles {
+            let construct = |ant: usize| -> Option<Solution> {
+                let mut rng = master.fork((cycle * p.n_ants + ant) as u64 + 1);
+                construct_solution(instance, &pheromone, &p, &mut rng)
+            };
+            let candidates: Vec<Option<Solution>> = if p.parallel_ants {
+                (0..p.n_ants).into_par_iter().map(construct).collect()
+            } else {
+                (0..p.n_ants).map(construct).collect()
+            };
+
+            let mut cycle_solutions: Vec<Solution> = Vec::new();
+            for sol in candidates {
+                match sol {
+                    Some(sol) => {
+                        let bins = sol.bins_used();
+                        let util = sol.avg_used_bin_utilization(instance);
+                        let better = match &global_best {
+                            None => true,
+                            Some((_, gb, gu)) => bins < *gb || (bins == *gb && util > *gu),
+                        };
+                        if better {
+                            global_best = Some((sol.clone(), bins, util));
+                        }
+                        cycle_solutions.push(sol);
+                    }
+                    None => failed += 1,
+                }
+            }
+
+            // Evaporation, then reinforcement per the configured rule.
+            pheromone.evaporate(p.rho, p.tau_min);
+            match p.update_rule {
+                UpdateRule::GlobalBest => {
+                    // Max–Min ant system: only the best deposits, with
+                    // bounds.
+                    if let Some((sol, bins, _)) = &global_best {
+                        let amount = p.q / (*bins as f64).max(1.0);
+                        for (item, &bin) in sol.assignment.iter().enumerate() {
+                            pheromone.deposit(item, bin, amount, p.tau0 * 10.0);
+                        }
+                    }
+                }
+                UpdateRule::AllAnts => {
+                    // Classic Ant System: every ant deposits, weighted by
+                    // its own solution quality.
+                    for sol in &cycle_solutions {
+                        let amount = p.q / (sol.bins_used() as f64).max(1.0);
+                        for (item, &bin) in sol.assignment.iter().enumerate() {
+                            pheromone.deposit(item, bin, amount, p.tau0 * 10.0);
+                        }
+                    }
+                }
+            }
+            best_per_cycle.push(global_best.as_ref().map(|(_, b, _)| *b).unwrap_or(usize::MAX));
+        }
+
+        let mut solution = global_best.map(|(s, _, _)| s);
+        if p.local_search {
+            if let Some(sol) = &mut solution {
+                bin_emptying_local_search(instance, sol);
+                debug_assert!(sol.is_feasible(instance));
+            }
+        }
+        AcoRun { solution, best_bins_per_cycle: best_per_cycle, failed_ants: failed }
+    }
+}
+
+/// Bin-emptying local search: repeatedly take the least-utilized used
+/// bin and try to best-fit *all* of its items into the residual capacity
+/// of the other used bins; apply only complete drains (a partial drain
+/// frees nothing). Stops at the first bin that cannot be drained.
+pub fn bin_emptying_local_search(instance: &Instance, solution: &mut Solution) {
+    loop {
+        let loads = solution.bin_loads(instance);
+        let mut used: Vec<usize> =
+            (0..instance.n_bins()).filter(|&b| loads[b].l1() > 0.0).collect();
+        if used.len() <= 1 {
+            return;
+        }
+        // Least-utilized used bin is the drain candidate.
+        used.sort_by(|&a, &b| {
+            let ua = loads[a].normalize_by(&instance.bins[a]).l1();
+            let ub = loads[b].normalize_by(&instance.bins[b]).l1();
+            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let victim = used[0];
+        let mut movers: Vec<usize> =
+            (0..instance.n_items()).filter(|&i| solution.assignment[i] == victim).collect();
+        // Largest first.
+        movers.sort_by(|&a, &b| {
+            instance.items[b]
+                .l1()
+                .partial_cmp(&instance.items[a].l1())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut residuals: Vec<(usize, ResourceVector)> = used[1..]
+            .iter()
+            .map(|&b| (b, instance.bins[b].saturating_sub(&loads[b])))
+            .collect();
+        let mut placement = Vec::with_capacity(movers.len());
+        let mut ok = true;
+        for &item in &movers {
+            let demand = instance.items[item];
+            let slot = residuals
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, r))| demand.fits_within(r))
+                .min_by(|(_, (_, ra)), (_, (_, rb))| {
+                    let sa = ra.saturating_sub(&demand).l1();
+                    let sb = rb.saturating_sub(&demand).l1();
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(idx, _)| idx);
+            match slot {
+                Some(idx) => {
+                    let (bin, r) = &mut residuals[idx];
+                    *r = r.saturating_sub(&demand);
+                    placement.push((item, *bin));
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            return; // the emptiest bin is stuck ⇒ nothing easier exists
+        }
+        for (item, bin) in placement {
+            solution.assignment[item] = bin;
+        }
+    }
+}
+
+/// One ant's solution construction.
+fn construct_solution(
+    instance: &Instance,
+    pheromone: &PheromoneMatrix,
+    p: &AcoParams,
+    rng: &mut SimRng,
+) -> Option<Solution> {
+    let n_items = instance.n_items();
+    let mut unassigned: Vec<usize> = (0..n_items).collect();
+    let mut assignment = vec![usize::MAX; n_items];
+    let mut bin = 0usize;
+    let mut residual = *instance.bins.first()?;
+
+    // Scratch buffers reused across iterations (allocation-conscious: the
+    // inner loop runs n_items times per ant).
+    let mut candidates: Vec<usize> = Vec::with_capacity(n_items);
+    let mut weights: Vec<f64> = Vec::with_capacity(n_items);
+
+    while !unassigned.is_empty() {
+        candidates.clear();
+        weights.clear();
+        for (slot, &item) in unassigned.iter().enumerate() {
+            if instance.items[item].fits_within(&residual) {
+                candidates.push(slot);
+                let eta = heuristic(&instance.items[item], &residual, &instance.bins[bin]);
+                let tau = pheromone.get(item, bin);
+                weights.push(tau.powf(p.alpha) * eta.powf(p.beta));
+            }
+        }
+        if candidates.is_empty() {
+            // Current bin is as full as this ant can make it — move on.
+            bin += 1;
+            if bin >= instance.n_bins() {
+                return None; // out of hosts
+            }
+            residual = instance.bins[bin];
+            continue;
+        }
+        let pick = rng.weighted_index(&weights).unwrap_or(0);
+        let slot = candidates[pick];
+        let item = unassigned.swap_remove(slot);
+        assignment[item] = bin;
+        residual = residual.saturating_sub(&instance.items[item]);
+    }
+    Some(Solution { assignment })
+}
+
+/// Heuristic desirability η of packing `item` into a bin with `residual`
+/// capacity left (out of `capacity` total): inversely proportional to the
+/// normalized slack that would remain, so choices that fill the bin
+/// tightly are favoured — "guides the ants towards choosing VMs leading
+/// to better overall LC utilization" (§III-A).
+#[inline]
+fn heuristic(item: &ResourceVector, residual: &ResourceVector, capacity: &ResourceVector) -> f64 {
+    let slack_after = residual.saturating_sub(item).normalize_by(capacity).l1();
+    1.0 / (1.0 + slack_after)
+}
+
+impl Consolidator for AcoConsolidator {
+    fn consolidate(&self, instance: &Instance) -> Option<Solution> {
+        self.run(instance).solution
+    }
+
+    fn name(&self) -> &'static str {
+        "ACO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ffd::{FirstFitDecreasing, SortKey};
+    use crate::problem::InstanceGenerator;
+
+    fn unit_instance(sizes: &[f64], n_bins: usize) -> Instance {
+        Instance::homogeneous(
+            sizes.iter().map(|&s| ResourceVector::splat(s)).collect(),
+            n_bins,
+            ResourceVector::splat(1.0),
+        )
+    }
+
+    #[test]
+    fn solves_trivial_instance_optimally() {
+        let inst = unit_instance(&[0.5, 0.5, 0.5, 0.5], 4);
+        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        assert!(sol.is_feasible(&inst));
+        assert_eq!(sol.bins_used(), 2);
+    }
+
+    #[test]
+    fn finds_complementary_pairings() {
+        // 0.7+0.3 pairs: optimal 3 bins; a bad packing needs 4+.
+        let inst = unit_instance(&[0.7, 0.7, 0.7, 0.3, 0.3, 0.3], 6);
+        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        assert!(sol.is_feasible(&inst));
+        assert_eq!(sol.bins_used(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(30, &mut SimRng::new(3));
+        let a = AcoConsolidator::new(AcoParams::fast()).run(&inst);
+        let b = AcoConsolidator::new(AcoParams::fast()).run(&inst);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.best_bins_per_cycle, b.best_bins_per_cycle);
+    }
+
+    #[test]
+    fn parallel_ants_match_sequential_exactly() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(40, &mut SimRng::new(5));
+        let seq = AcoConsolidator::new(AcoParams { parallel_ants: false, ..AcoParams::fast() });
+        let par = AcoConsolidator::new(AcoParams { parallel_ants: true, ..AcoParams::fast() });
+        assert_eq!(seq.run(&inst).solution, par.run(&inst).solution);
+    }
+
+    #[test]
+    fn beats_or_matches_cpu_ffd_on_grid11_instances() {
+        // The paper's headline (E1): ACO uses fewer hosts than FFD. On
+        // any single instance it must at least never be *worse* than the
+        // single-dimension FFD baseline; across seeds it should win some.
+        let gen = InstanceGenerator::grid11();
+        let mut wins = 0;
+        let mut losses = 0;
+        for seed in 0..6 {
+            let inst = gen.generate(40, &mut SimRng::new(seed));
+            let ffd = FirstFitDecreasing { key: SortKey::Cpu }
+                .consolidate(&inst)
+                .unwrap()
+                .bins_used();
+            let aco = AcoConsolidator::new(AcoParams { n_cycles: 25, ..AcoParams::default() })
+                .consolidate(&inst)
+                .unwrap()
+                .bins_used();
+            if aco < ffd {
+                wins += 1;
+            }
+            if aco > ffd {
+                losses += 1;
+            }
+        }
+        assert_eq!(losses, 0, "ACO lost to FFD-cpu {losses} times");
+        assert!(wins >= 1, "ACO should beat FFD-cpu at least once over 6 seeds");
+    }
+
+    #[test]
+    fn respects_lower_bound_and_feasibility() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(25, &mut SimRng::new(8));
+        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        assert!(sol.is_feasible(&inst));
+        assert!(sol.bins_used() >= inst.lower_bound());
+    }
+
+    #[test]
+    fn convergence_is_monotone_non_increasing() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(40, &mut SimRng::new(2));
+        let run = AcoConsolidator::new(AcoParams::default()).run(&inst);
+        let series = run.best_bins_per_cycle;
+        assert!(!series.is_empty());
+        assert!(series.windows(2).all(|w| w[1] <= w[0]), "global best can only improve: {series:?}");
+    }
+
+    #[test]
+    fn fails_gracefully_when_bins_insufficient() {
+        let inst = unit_instance(&[0.9, 0.9, 0.9], 2);
+        let run = AcoConsolidator::new(AcoParams::fast()).run(&inst);
+        assert!(run.solution.is_none());
+        assert_eq!(run.failed_ants, AcoParams::fast().n_ants * AcoParams::fast().n_cycles);
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_solved() {
+        let inst = unit_instance(&[], 3);
+        let run = AcoConsolidator::new(AcoParams::fast()).run(&inst);
+        assert_eq!(run.solution.unwrap().assignment.len(), 0);
+    }
+
+    #[test]
+    fn oversized_item_cannot_be_placed() {
+        let inst = unit_instance(&[1.2], 3);
+        assert!(AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).is_none());
+    }
+
+    #[test]
+    fn heuristic_prefers_tight_fits() {
+        let cap = ResourceVector::splat(1.0);
+        let residual = ResourceVector::splat(0.6);
+        let big = ResourceVector::splat(0.55);
+        let small = ResourceVector::splat(0.1);
+        assert!(heuristic(&big, &residual, &cap) > heuristic(&small, &residual, &cap));
+    }
+
+    #[test]
+    fn all_ants_update_rule_is_feasible_and_deterministic() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(30, &mut SimRng::new(6));
+        let aco = AcoConsolidator::new(AcoParams {
+            update_rule: UpdateRule::AllAnts,
+            ..AcoParams::fast()
+        });
+        let a = aco.run(&inst);
+        let b = aco.run(&inst);
+        assert_eq!(a.solution, b.solution);
+        let sol = a.solution.unwrap();
+        assert!(sol.is_feasible(&inst));
+        assert!(sol.bins_used() >= inst.lower_bound());
+    }
+
+    #[test]
+    fn local_search_never_hurts_and_stays_feasible() {
+        let gen = InstanceGenerator::grid11();
+        for seed in 0..5 {
+            let inst = gen.generate(50, &mut SimRng::new(100 + seed));
+            let plain = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+            let polished = AcoConsolidator::new(AcoParams {
+                local_search: true,
+                ..AcoParams::fast()
+            })
+            .consolidate(&inst)
+            .unwrap();
+            assert!(polished.is_feasible(&inst), "seed {seed}");
+            assert!(
+                polished.bins_used() <= plain.bins_used(),
+                "seed {seed}: {} vs {}",
+                polished.bins_used(),
+                plain.bins_used()
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_empties_an_obviously_drainable_bin() {
+        // Two items of 0.3 in separate bins: one drain suffices.
+        let inst = unit_instance(&[0.3, 0.3], 2);
+        let mut sol = Solution { assignment: vec![0, 1] };
+        bin_emptying_local_search(&inst, &mut sol);
+        assert_eq!(sol.bins_used(), 1);
+        assert!(sol.is_feasible(&inst));
+    }
+
+    #[test]
+    fn local_search_leaves_tight_packings_alone() {
+        let inst = unit_instance(&[0.9, 0.9], 2);
+        let mut sol = Solution { assignment: vec![0, 1] };
+        bin_emptying_local_search(&inst, &mut sol);
+        assert_eq!(sol.assignment, vec![0, 1]);
+    }
+
+    #[test]
+    fn more_cycles_do_not_hurt() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(35, &mut SimRng::new(4));
+        let short = AcoConsolidator::new(AcoParams { n_cycles: 3, ..AcoParams::default() })
+            .consolidate(&inst)
+            .unwrap()
+            .bins_used();
+        let long = AcoConsolidator::new(AcoParams { n_cycles: 40, ..AcoParams::default() })
+            .consolidate(&inst)
+            .unwrap()
+            .bins_used();
+        assert!(long <= short, "long {long} vs short {short}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Exact branch-and-bound solver — the CPLEX stand-in.
+//!
+//! The paper computed "the optimal solution" with CPLEX for small
+//! instances and reported that the ACO algorithm "achieves nearly optimal
+//! solutions (i.e. 1.1% deviation)". CPLEX is proprietary; optimality is
+//! not. This module finds the minimum number of bins by depth-first
+//! branch and bound over homogeneous vector bin packing:
+//!
+//! * items are branched in descending size order (large items first
+//!   maximizes early pruning);
+//! * a node assigns the next item to each feasible *open* bin, or to one
+//!   fresh bin (opening more than one fresh bin is symmetric, so only the
+//!   first is explored);
+//! * nodes are pruned when `used + incremental lower bound ≥ best`, where
+//!   the incremental bound accounts for remaining demand that cannot fit
+//!   in the open bins' residual capacity;
+//! * a node budget bounds worst-case runtime; exceeding it yields the best
+//!   incumbent with `optimal = false`.
+
+use snooze_cluster::resources::{ResourceVector, DIMS};
+
+use crate::ffd::{FirstFitDecreasing, SortKey};
+use crate::problem::{Consolidator, Instance, Solution};
+
+/// Outcome of an exact solve.
+#[derive(Clone, Debug)]
+pub struct ExactOutcome {
+    /// Best solution found (in original item order), if any.
+    pub solution: Option<Solution>,
+    /// Whether the search proved optimality (budget not exhausted).
+    pub optimal: bool,
+    /// Search nodes expanded.
+    pub nodes: u64,
+}
+
+/// The branch-and-bound solver. Only valid for homogeneous instances
+/// (all bins identical), which is what the paper's evaluation uses.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchAndBound {
+    /// Maximum search nodes before giving up on proving optimality.
+    pub node_budget: u64,
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        BranchAndBound { node_budget: 20_000_000 }
+    }
+}
+
+struct Search<'a> {
+    items: &'a [ResourceVector], // sorted descending
+    capacity: ResourceVector,
+    max_bins: usize,
+    /// Suffix sums of demand: `suffix[i]` = total demand of items `i..`.
+    suffix: Vec<ResourceVector>,
+    residuals: Vec<ResourceVector>, // residual of each open bin
+    assignment: Vec<usize>,
+    best: Option<(usize, Vec<usize>)>, // (bins, assignment-over-sorted-items)
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    /// Lower bound on *additional* bins needed beyond the open ones:
+    /// remaining demand that exceeds the open bins' aggregate residual,
+    /// divided by the bin capacity, per dimension.
+    fn incremental_bound(&self, next_item: usize, open: usize) -> usize {
+        let remaining = self.suffix[next_item];
+        let mut free_open = ResourceVector::ZERO;
+        for r in &self.residuals[..open] {
+            free_open += *r;
+        }
+        let mut extra = 0usize;
+        for d in 0..DIMS {
+            let cap = self.capacity.get(d);
+            if cap > 0.0 {
+                let overflow = remaining.get(d) - free_open.get(d);
+                if overflow > 1e-9 {
+                    extra = extra.max((overflow / cap - 1e-9).ceil() as usize);
+                }
+            }
+        }
+        extra
+    }
+
+    fn dfs(&mut self, item: usize, open: usize) {
+        if self.nodes >= self.budget {
+            return;
+        }
+        self.nodes += 1;
+        if item == self.items.len() {
+            let better = self.best.as_ref().map(|(b, _)| open < *b).unwrap_or(true);
+            if better {
+                self.best = Some((open, self.assignment.clone()));
+            }
+            return;
+        }
+        let best_bins = self.best.as_ref().map(|(b, _)| *b).unwrap_or(usize::MAX);
+        if open + self.incremental_bound(item, open) >= best_bins {
+            return; // cannot improve
+        }
+        let demand = self.items[item];
+
+        // Try each open bin (distinct residuals only would be an extra
+        // symmetry break; open bins differ in content so keep all).
+        for b in 0..open {
+            if demand.fits_within(&self.residuals[b]) {
+                let saved = self.residuals[b];
+                self.residuals[b] = saved.saturating_sub(&demand);
+                self.assignment[item] = b;
+                self.dfs(item + 1, open);
+                self.residuals[b] = saved;
+            }
+        }
+        // Try one fresh bin (only if it improves on the incumbent and a
+        // host is available).
+        if open < self.max_bins && open + 1 < best_bins {
+            self.residuals[open] = self.capacity.saturating_sub(&demand);
+            self.assignment[item] = open;
+            self.dfs(item + 1, open + 1);
+        }
+    }
+}
+
+impl BranchAndBound {
+    /// Solve `instance` to optimality (or best-effort within the budget).
+    pub fn solve(&self, instance: &Instance) -> ExactOutcome {
+        let n = instance.n_items();
+        if n == 0 {
+            return ExactOutcome {
+                solution: Some(Solution { assignment: vec![] }),
+                optimal: true,
+                nodes: 0,
+            };
+        }
+        let capacity = instance.bins[0];
+        assert!(
+            instance.is_homogeneous(),
+            "BranchAndBound requires homogeneous bins (its fresh-bin symmetry \
+             breaking is unsound otherwise); use the heuristics for mixed fleets"
+        );
+
+        // Sort items descending by normalized L1 size; remember permutation.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ka = instance.items[a].normalize_by(&capacity).l1();
+            let kb = instance.items[b].normalize_by(&capacity).l1();
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        let sorted: Vec<ResourceVector> = order.iter().map(|&i| instance.items[i]).collect();
+
+        // Reject impossible items up front.
+        if sorted.iter().any(|it| !it.fits_within(&capacity)) {
+            return ExactOutcome { solution: None, optimal: true, nodes: 0 };
+        }
+
+        // Suffix demand sums for the incremental bound.
+        let mut suffix = vec![ResourceVector::ZERO; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + sorted[i];
+        }
+
+        // Seed the incumbent with FFD so pruning bites immediately.
+        let ffd_incumbent = FirstFitDecreasing { key: SortKey::L1 }.consolidate(instance);
+        let mut search = Search {
+            items: &sorted,
+            capacity,
+            max_bins: instance.n_bins(),
+            suffix,
+            residuals: vec![ResourceVector::ZERO; instance.n_bins()],
+            assignment: vec![usize::MAX; n],
+            best: ffd_incumbent.map(|s| {
+                let mut canon = s.clone();
+                canon.canonicalize();
+                // Re-express over the sorted item order.
+                let over_sorted: Vec<usize> = order.iter().map(|&i| canon.assignment[i]).collect();
+                (canon.bins_used(), over_sorted)
+            }),
+            nodes: 0,
+            budget: self.node_budget,
+        };
+        search.dfs(0, 0);
+
+        let optimal = search.nodes < self.node_budget;
+        let nodes = search.nodes;
+        let solution = search.best.map(|(_, sorted_assignment)| {
+            // Map back to original item order.
+            let mut assignment = vec![usize::MAX; n];
+            for (pos, &orig) in order.iter().enumerate() {
+                assignment[orig] = sorted_assignment[pos];
+            }
+            Solution { assignment }
+        });
+        ExactOutcome { solution, optimal, nodes }
+    }
+}
+
+impl Consolidator for BranchAndBound {
+    fn consolidate(&self, instance: &Instance) -> Option<Solution> {
+        self.solve(instance).solution
+    }
+
+    fn name(&self) -> &'static str {
+        "B&B(optimal)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aco::{AcoConsolidator, AcoParams};
+    use crate::problem::InstanceGenerator;
+    use snooze_simcore::rng::SimRng;
+
+    fn unit_instance(sizes: &[f64], n_bins: usize) -> Instance {
+        Instance::homogeneous(
+            sizes.iter().map(|&s| ResourceVector::splat(s)).collect(),
+            n_bins,
+            ResourceVector::splat(1.0),
+        )
+    }
+
+    #[test]
+    fn solves_complementary_pairs_optimally() {
+        let inst = unit_instance(&[0.7, 0.7, 0.7, 0.3, 0.3, 0.3], 6);
+        let out = BranchAndBound::default().solve(&inst);
+        assert!(out.optimal);
+        let sol = out.solution.unwrap();
+        assert!(sol.is_feasible(&inst));
+        assert_eq!(sol.bins_used(), 3);
+    }
+
+    #[test]
+    fn beats_ffd_where_ffd_is_suboptimal() {
+        // Classic FFD pathology: 0.55×2 + 0.45×2 + 0.3×2.
+        // FFD-L1: [0.55,0.3], [0.55,0.3], [0.45,0.45] = 3 bins — actually
+        // optimal here; craft a genuinely hard one instead:
+        // sizes where FFD gives 3 but optimal is 2: 0.5,0.5,0.34,0.33,0.33.
+        let inst = unit_instance(&[0.5, 0.5, 0.34, 0.33, 0.33], 5);
+        let ffd = FirstFitDecreasing { key: SortKey::L1 }.consolidate(&inst).unwrap();
+        let out = BranchAndBound::default().solve(&inst);
+        assert!(out.optimal);
+        let opt = out.solution.unwrap();
+        assert!(opt.is_feasible(&inst));
+        assert_eq!(opt.bins_used(), 2, "0.5+0.5 | 0.34+0.33+0.33");
+        assert!(ffd.bins_used() >= opt.bins_used());
+    }
+
+    #[test]
+    fn optimum_at_most_any_heuristic_on_random_instances() {
+        let gen = InstanceGenerator::grid11();
+        for seed in 0..8 {
+            let inst = gen.generate(12, &mut SimRng::new(seed));
+            let out = BranchAndBound::default().solve(&inst);
+            assert!(out.optimal, "seed {seed} should solve within budget");
+            let opt = out.solution.unwrap();
+            assert!(opt.is_feasible(&inst));
+            assert!(opt.bins_used() >= inst.lower_bound());
+            let ffd = FirstFitDecreasing { key: SortKey::L2 }.consolidate(&inst).unwrap();
+            let aco = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+            assert!(opt.bins_used() <= ffd.bins_used(), "seed {seed}");
+            assert!(opt.bins_used() <= aco.bins_used(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_instances() {
+        let out = BranchAndBound::default().solve(&unit_instance(&[], 2));
+        assert!(out.optimal);
+        assert_eq!(out.solution.unwrap().assignment.len(), 0);
+
+        let inst = unit_instance(&[0.4], 2);
+        let out = BranchAndBound::default().solve(&inst);
+        assert_eq!(out.solution.unwrap().bins_used(), 1);
+    }
+
+    #[test]
+    fn oversized_item_is_unsolvable() {
+        let out = BranchAndBound::default().solve(&unit_instance(&[1.5], 2));
+        assert!(out.solution.is_none());
+        assert!(out.optimal);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_incumbent() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(30, &mut SimRng::new(1));
+        let out = BranchAndBound { node_budget: 50 }.solve(&inst);
+        assert!(!out.optimal);
+        // FFD incumbent is still returned.
+        let sol = out.solution.unwrap();
+        assert!(sol.is_feasible(&inst));
+    }
+
+    #[test]
+    fn solution_is_in_original_item_order() {
+        // One big and one small item; big sorts first internally, but the
+        // returned assignment must be indexed by original position.
+        let inst = unit_instance(&[0.1, 0.9], 2);
+        let sol = BranchAndBound::default().solve(&inst).solution.unwrap();
+        assert_eq!(sol.assignment.len(), 2);
+        assert!(sol.is_feasible(&inst));
+        // 0.1 + 0.9 fit together: must use a single bin.
+        assert_eq!(sol.bins_used(), 1);
+        assert_eq!(sol.assignment[0], sol.assignment[1]);
+    }
+}

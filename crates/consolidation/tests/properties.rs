@@ -1,0 +1,184 @@
+//! Property-based tests over the consolidation algorithms: for random
+//! instances — homogeneous and heterogeneous — every algorithm must
+//! produce feasible solutions (or decline), respect the lower bound, and
+//! keep its documented relationships (local search never hurts, the
+//! optimum is never beaten, canonicalization preserves structure).
+
+use proptest::prelude::*;
+
+use snooze_cluster::resources::ResourceVector;
+use snooze_consolidation::aco::{bin_emptying_local_search, AcoConsolidator, AcoParams};
+use snooze_consolidation::distributed::{DistributedAco, DistributedParams};
+use snooze_consolidation::exact::BranchAndBound;
+use snooze_consolidation::ffd::{BestFit, FirstFitDecreasing, NextFit, SortKey, WorstFit};
+use snooze_consolidation::problem::{Consolidator, Instance, Solution};
+
+/// Strategy: a random homogeneous instance with unit bins and items in
+/// (0, 0.7] per dimension — always solvable with enough bins.
+fn homogeneous_instance() -> impl Strategy<Value = Instance> {
+    (1usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = snooze_simcore::rng::SimRng::new(seed);
+        let items: Vec<ResourceVector> = (0..n)
+            .map(|_| {
+                ResourceVector::new(
+                    rng.uniform(0.05, 0.7),
+                    rng.uniform(0.05, 0.7),
+                    rng.uniform(0.05, 0.7),
+                    rng.uniform(0.05, 0.7),
+                )
+            })
+            .collect();
+        Instance::homogeneous(items, n, ResourceVector::splat(1.0))
+    })
+}
+
+/// Strategy: same but with alternating 1× / 2× bins.
+fn heterogeneous_instance() -> impl Strategy<Value = Instance> {
+    homogeneous_instance().prop_map(|mut inst| {
+        for (i, b) in inst.bins.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *b = ResourceVector::splat(2.0);
+            }
+        }
+        inst
+    })
+}
+
+fn algorithms() -> Vec<Box<dyn Consolidator>> {
+    vec![
+        Box::new(FirstFitDecreasing { key: SortKey::Cpu }),
+        Box::new(FirstFitDecreasing { key: SortKey::L2 }),
+        Box::new(BestFit { key: SortKey::L1 }),
+        Box::new(WorstFit { key: SortKey::Linf }),
+        Box::new(NextFit { key: SortKey::L2 }),
+        Box::new(AcoConsolidator::new(AcoParams { n_ants: 4, n_cycles: 4, ..AcoParams::fast() })),
+        Box::new(DistributedAco::new(DistributedParams {
+            partitions: 2,
+            exchange_rounds: 1,
+            aco: AcoParams { n_ants: 4, n_cycles: 4, ..AcoParams::fast() },
+        })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_feasible_on_homogeneous(inst in homogeneous_instance()) {
+        for algo in algorithms() {
+            if let Some(sol) = algo.consolidate(&inst) {
+                prop_assert!(sol.is_feasible(&inst), "{} infeasible", algo.name());
+                prop_assert!(
+                    sol.bins_used() >= inst.lower_bound(),
+                    "{} beat the lower bound", algo.name()
+                );
+                prop_assert!(sol.avg_used_bin_utilization(&inst) <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_feasible_on_heterogeneous(inst in heterogeneous_instance()) {
+        for algo in algorithms() {
+            if let Some(sol) = algo.consolidate(&inst) {
+                prop_assert!(sol.is_feasible(&inst), "{} infeasible on mixed fleet", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_is_never_beaten(inst in homogeneous_instance()) {
+        prop_assume!(inst.n_items() <= 12); // keep B&B instant
+        let out = BranchAndBound { node_budget: 2_000_000 }.solve(&inst);
+        if let Some(opt) = out.solution {
+            prop_assert!(opt.is_feasible(&inst));
+            if out.optimal {
+                for algo in algorithms() {
+                    if let Some(sol) = algo.consolidate(&inst) {
+                        prop_assert!(
+                            sol.bins_used() >= opt.bins_used(),
+                            "{} ({}) beat the proven optimum ({})",
+                            algo.name(), sol.bins_used(), opt.bins_used()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_is_monotone_and_feasible(inst in homogeneous_instance()) {
+        let ffd = FirstFitDecreasing { key: SortKey::Cpu };
+        if let Some(mut sol) = ffd.consolidate(&inst) {
+            let before = sol.bins_used();
+            bin_emptying_local_search(&inst, &mut sol);
+            prop_assert!(sol.is_feasible(&inst));
+            prop_assert!(sol.bins_used() <= before);
+            prop_assert!(sol.bins_used() >= inst.lower_bound());
+        }
+    }
+
+    #[test]
+    fn canonicalize_preserves_feasibility_and_bin_count(inst in homogeneous_instance()) {
+        let ffd = FirstFitDecreasing { key: SortKey::L1 };
+        if let Some(sol) = ffd.consolidate(&inst) {
+            let mut canon = sol.clone();
+            canon.canonicalize();
+            prop_assert_eq!(canon.bins_used(), sol.bins_used());
+            prop_assert!(canon.is_feasible(&inst));
+            // Canonical bins are exactly 0..bins_used.
+            let max_bin = canon.assignment.iter().copied().max().unwrap_or(0);
+            if !canon.assignment.is_empty() {
+                prop_assert_eq!(max_bin + 1, canon.bins_used());
+            }
+        }
+    }
+
+    #[test]
+    fn solution_metrics_are_consistent(inst in homogeneous_instance()) {
+        let ffd = FirstFitDecreasing { key: SortKey::L2 };
+        if let Some(sol) = ffd.consolidate(&inst) {
+            let loads = sol.bin_loads(&inst);
+            // Total load equals total demand.
+            let total_load: ResourceVector = loads.iter().copied().sum();
+            let total_demand: ResourceVector = inst.items.iter().copied().sum();
+            for d in 0..snooze_cluster::resources::DIMS {
+                prop_assert!((total_load.get(d) - total_demand.get(d)).abs() < 1e-6);
+            }
+            // bins_used agrees with non-empty loads.
+            let nonempty = loads.iter().filter(|l| l.l1() > 0.0).count();
+            prop_assert_eq!(nonempty, sol.bins_used());
+        }
+    }
+}
+
+#[test]
+fn exact_solver_rejects_heterogeneous_instances() {
+    let inst = Instance {
+        items: vec![ResourceVector::splat(0.5)],
+        bins: vec![ResourceVector::splat(1.0), ResourceVector::splat(2.0)],
+    };
+    assert!(!inst.is_homogeneous());
+    let result = std::panic::catch_unwind(|| BranchAndBound::default().solve(&inst));
+    assert!(result.is_err(), "must refuse unsound input loudly");
+}
+
+#[test]
+fn heterogeneous_generator_produces_mixed_bins() {
+    use snooze_consolidation::problem::InstanceGenerator;
+    let gen = InstanceGenerator::grid11();
+    let inst = gen.generate_heterogeneous(20, &mut snooze_simcore::rng::SimRng::new(1));
+    assert!(!inst.is_homogeneous());
+    // Heuristics still solve it.
+    let sol = BestFit { key: SortKey::L2 }.consolidate(&inst).unwrap();
+    assert!(sol.is_feasible(&inst));
+}
+
+#[test]
+fn empty_solution_is_feasible_for_empty_instance() {
+    let inst = Instance::homogeneous(vec![], 3, ResourceVector::splat(1.0));
+    let sol = Solution { assignment: vec![] };
+    assert!(sol.is_feasible(&inst));
+    assert_eq!(sol.bins_used(), 0);
+    assert_eq!(sol.avg_used_bin_utilization(&inst), 0.0);
+}

@@ -1,0 +1,160 @@
+//! Heartbeats and timeout-based failure detection.
+//!
+//! Paper §II-A: "To support failure detection and self-organization,
+//! multicast-based heartbeat protocols are implemented at all levels of
+//! the hierarchy." Emission is trivial (a periodic timer plus
+//! [`snooze_simcore::engine::Ctx::multicast`]); the reusable piece is the
+//! receiving side: [`FailureDetector`] tracks the last time each peer was
+//! heard from and reports the ones that have gone quiet.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use snooze_simcore::time::{SimSpan, SimTime};
+
+/// A timeout-based failure detector over peers identified by `K`.
+///
+/// `K` is whatever the protocol identifies peers by — component ids at
+/// the hierarchy levels, node ids at the physical layer.
+#[derive(Clone, Debug)]
+pub struct FailureDetector<K: Eq + Hash + Copy + Ord> {
+    timeout: SimSpan,
+    last_heard: HashMap<K, SimTime>,
+}
+
+impl<K: Eq + Hash + Copy + Ord> FailureDetector<K> {
+    /// A detector declaring peers failed after `timeout` of silence.
+    pub fn new(timeout: SimSpan) -> Self {
+        FailureDetector { timeout, last_heard: HashMap::new() }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimSpan {
+        self.timeout
+    }
+
+    /// Record a heartbeat (or any sign of life) from `peer` at `now`.
+    /// Returns `true` if this peer was previously unknown (a join).
+    pub fn heard(&mut self, peer: K, now: SimTime) -> bool {
+        self.last_heard.insert(peer, now).is_none()
+    }
+
+    /// Stop tracking `peer` (graceful leave or after eviction).
+    pub fn forget(&mut self, peer: K) {
+        self.last_heard.remove(&peer);
+    }
+
+    /// Whether `peer` is currently tracked.
+    pub fn knows(&self, peer: K) -> bool {
+        self.last_heard.contains_key(&peer)
+    }
+
+    /// Peers currently tracked, sorted for determinism.
+    pub fn peers(&self) -> Vec<K> {
+        let mut ps: Vec<K> = self.last_heard.keys().copied().collect();
+        ps.sort_unstable();
+        ps
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.last_heard.len()
+    }
+
+    /// True when no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_heard.is_empty()
+    }
+
+    /// Remove and return every peer not heard from within the timeout,
+    /// sorted for determinism. Call from a periodic timer.
+    pub fn expire(&mut self, now: SimTime) -> Vec<K> {
+        let timeout = self.timeout;
+        let mut dead: Vec<K> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.since(t) > timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        dead.sort_unstable();
+        for k in &dead {
+            self.last_heard.remove(k);
+        }
+        dead
+    }
+
+    /// Drop all tracked peers (e.g. when the host component restarts).
+    pub fn reset(&mut self) {
+        self.last_heard.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn join_is_reported_once() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
+        assert!(fd.heard(1, t(0)), "first contact is a join");
+        assert!(!fd.heard(1, t(1)), "subsequent heartbeats are not");
+        assert!(fd.knows(1));
+        assert_eq!(fd.len(), 1);
+    }
+
+    #[test]
+    fn silence_past_timeout_expires_peer() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
+        fd.heard(1, t(0));
+        fd.heard(2, t(3));
+        assert_eq!(fd.expire(t(5)), Vec::<u32>::new(), "exactly at timeout is still alive");
+        assert_eq!(fd.expire(t(6)), vec![1]);
+        assert!(!fd.knows(1));
+        assert!(fd.knows(2));
+        assert_eq!(fd.expire(t(20)), vec![2]);
+        assert!(fd.is_empty());
+    }
+
+    #[test]
+    fn heartbeats_keep_peers_alive() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
+        fd.heard(1, t(0));
+        for s in 1..20 {
+            fd.heard(1, t(s));
+            assert!(fd.expire(t(s + 1)).is_empty());
+        }
+    }
+
+    #[test]
+    fn expire_returns_sorted_batch() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(1));
+        for k in [5u32, 1, 9, 3] {
+            fd.heard(k, t(0));
+        }
+        assert_eq!(fd.expire(t(10)), vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn forget_and_reset() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
+        fd.heard(1, t(0));
+        fd.heard(2, t(0));
+        fd.forget(1);
+        assert!(!fd.knows(1));
+        fd.reset();
+        assert!(fd.is_empty());
+    }
+
+    #[test]
+    fn peers_listing_is_sorted() {
+        let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
+        for k in [4u32, 2, 8] {
+            fd.heard(k, t(0));
+        }
+        assert_eq!(fd.peers(), vec![2, 4, 8]);
+    }
+}

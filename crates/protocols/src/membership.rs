@@ -1,0 +1,168 @@
+//! Epoch-stamped membership views.
+//!
+//! The Group Leader keeps a registry of Group Managers ("keeps aggregated
+//! GM resource summary information, assigns LCs to GMs", §II-A), and each
+//! Group Manager keeps a registry of its Local Controllers. Both are the
+//! same data structure: a map from member key to caller-defined metadata,
+//! with an epoch that advances on every change so observers can detect
+//! staleness cheaply.
+
+use std::collections::BTreeMap;
+
+use snooze_simcore::time::SimTime;
+
+/// A membership view: members of type `K` carrying metadata `M`.
+///
+/// Iteration order is key order (the map is a `BTreeMap`), so scheduling
+/// decisions made by iterating a view are deterministic.
+#[derive(Clone, Debug)]
+pub struct MembershipView<K: Ord + Copy, M> {
+    members: BTreeMap<K, Member<M>>,
+    epoch: u64,
+}
+
+/// A member record.
+#[derive(Clone, Debug)]
+pub struct Member<M> {
+    /// Caller-defined metadata (e.g. resource summaries).
+    pub meta: M,
+    /// When the member joined this view.
+    pub joined_at: SimTime,
+}
+
+impl<K: Ord + Copy, M> Default for MembershipView<K, M> {
+    fn default() -> Self {
+        MembershipView { members: BTreeMap::new(), epoch: 0 }
+    }
+}
+
+impl<K: Ord + Copy, M> MembershipView<K, M> {
+    /// Empty view at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The view epoch; bumps on every join, leave or metadata update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Add or replace a member. Returns `true` on a fresh join.
+    pub fn join(&mut self, key: K, meta: M, now: SimTime) -> bool {
+        self.epoch += 1;
+        self.members.insert(key, Member { meta, joined_at: now }).is_none()
+    }
+
+    /// Remove a member. Returns its record if it was present.
+    pub fn leave(&mut self, key: K) -> Option<Member<M>> {
+        let gone = self.members.remove(&key);
+        if gone.is_some() {
+            self.epoch += 1;
+        }
+        gone
+    }
+
+    /// Update a member's metadata in place. Returns `false` for unknown
+    /// members (no epoch bump).
+    pub fn update(&mut self, key: K, meta: M) -> bool {
+        match self.members.get_mut(&key) {
+            Some(m) => {
+                m.meta = meta;
+                self.epoch += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is `key` a member?
+    pub fn contains(&self, key: K) -> bool {
+        self.members.contains_key(&key)
+    }
+
+    /// A member's record.
+    pub fn get(&self, key: K) -> Option<&Member<M>> {
+        self.members.get(&key)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when there are no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// `(key, record)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &Member<M>)> {
+        self.members.iter().map(|(k, m)| (*k, m))
+    }
+
+    /// Drop everything (host restart).
+    pub fn clear(&mut self) {
+        if !self.members.is_empty() {
+            self.epoch += 1;
+        }
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn join_leave_update_cycle() {
+        let mut v: MembershipView<u32, &str> = MembershipView::new();
+        assert_eq!(v.epoch(), 0);
+        assert!(v.join(1, "a", t(0)));
+        assert!(!v.join(1, "b", t(1)), "re-join replaces");
+        assert_eq!(v.get(1).unwrap().meta, "b");
+        assert_eq!(v.epoch(), 2);
+        assert!(v.update(1, "c"));
+        assert!(!v.update(9, "x"));
+        assert_eq!(v.epoch(), 3);
+        assert!(v.leave(1).is_some());
+        assert!(v.leave(1).is_none());
+        assert_eq!(v.epoch(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut v: MembershipView<u32, ()> = MembershipView::new();
+        for k in [5u32, 1, 3] {
+            v.join(k, (), t(0));
+        }
+        assert_eq!(v.keys().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn clear_bumps_epoch_only_when_nonempty() {
+        let mut v: MembershipView<u32, ()> = MembershipView::new();
+        v.clear();
+        assert_eq!(v.epoch(), 0);
+        v.join(1, (), t(0));
+        v.clear();
+        assert_eq!(v.epoch(), 2);
+    }
+
+    #[test]
+    fn join_records_time() {
+        let mut v: MembershipView<u32, ()> = MembershipView::new();
+        v.join(7, (), t(42));
+        assert_eq!(v.get(7).unwrap().joined_at, t(42));
+    }
+}

@@ -1,0 +1,791 @@
+//! The discrete-event engine.
+//!
+//! User logic lives in [`Component`]s. Each component is addressed by a
+//! [`ComponentId`] and reacts to three stimuli: a start signal, messages
+//! from other components (routed through the simulated [`crate::network`]),
+//! and timers it set on itself. All interaction with the simulation happens
+//! through the [`Ctx`] handle passed into every callback — components never
+//! hold references to one another, which is what makes crash injection and
+//! deterministic replay trivial.
+//!
+//! Events are executed in `(time, sequence)` order; the sequence number
+//! breaks ties in scheduling order, so the engine is fully deterministic.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::metrics::MetricsRegistry;
+use crate::network::{Network, NetworkConfig};
+use crate::rng::SimRng;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::Trace;
+
+/// Identifies a registered component. Ids are dense indices assigned in
+/// registration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub usize);
+
+impl ComponentId {
+    /// Pseudo-sender for messages injected from outside the simulation
+    /// (e.g. a test driver posting a client request).
+    pub const EXTERNAL: ComponentId = ComponentId(usize::MAX);
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ComponentId::EXTERNAL {
+            write!(f, "ext")
+        } else {
+            write!(f, "c{}", self.0)
+        }
+    }
+}
+
+/// Identifies a multicast group on the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub usize);
+
+/// Type-erased message payload. Receivers downcast to the concrete types
+/// they understand; unknown payloads should be ignored.
+pub type AnyMsg = Box<dyn Any>;
+
+/// Handle for cancelling a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(u64);
+
+/// A simulated process.
+///
+/// `Any` is a supertrait so tests and drivers can downcast components back
+/// to their concrete types for inspection via [`Engine::component_as`].
+pub trait Component: Any {
+    /// Called once when the simulation starts (or never, if the component
+    /// is registered after `run` began — use messages to bootstrap those).
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// A message arrived from `src` over the simulated network.
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg);
+
+    /// A timer set via [`Ctx::set_timer`] fired. `tag` is the caller-chosen
+    /// discriminator.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+
+    /// The failure injector crashed this component. State is *not* cleared
+    /// automatically — a crashed process keeps its memory so tests can
+    /// inspect it — but no events will be delivered until restart.
+    fn on_crash(&mut self, _now: SimTime) {}
+
+    /// The failure injector restarted this component. Implementations
+    /// should reset volatile state here, as a freshly exec'd process would.
+    fn on_restart(&mut self, _ctx: &mut Ctx) {}
+}
+
+enum EventKind {
+    Start(ComponentId),
+    Deliver { src: ComponentId, dst: ComponentId, msg: AnyMsg },
+    Timer { dst: ComponentId, tag: u64, incarnation: u32, id: u64 },
+    Crash(ComponentId),
+    Restart(ComponentId),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything the engine owns apart from the components themselves.
+/// Split out so a component can be borrowed mutably while its [`Ctx`]
+/// mutates the rest of the engine.
+pub(crate) struct EngineCore {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    rng: SimRng,
+    pub(crate) network: Network,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) trace: Trace,
+    alive: Vec<bool>,
+    incarnation: Vec<u32>,
+    names: Vec<String>,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    halted: bool,
+    events_executed: u64,
+}
+
+impl EngineCore {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time: at.max(self.now), seq, kind }));
+    }
+
+    fn send_via_network(&mut self, src: ComponentId, dst: ComponentId, extra: SimSpan, msg: AnyMsg) {
+        let departs = self.now + extra;
+        match self.network.transit(src, dst, departs, &mut self.rng) {
+            Some(arrival) => {
+                self.schedule(arrival, EventKind::Deliver { src, dst, msg });
+            }
+            None => {
+                self.metrics.incr("net.dropped");
+            }
+        }
+    }
+}
+
+/// The context handle passed to every component callback.
+pub struct Ctx<'a> {
+    core: &'a mut EngineCore,
+    me: ComponentId,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Id of the component being invoked.
+    pub fn id(&self) -> ComponentId {
+        self.me
+    }
+
+    /// The engine-wide RNG. Components needing an independent stream should
+    /// fork one at construction time instead.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// Send `msg` to `dst` over the simulated network (subject to latency,
+    /// loss and partitions).
+    pub fn send(&mut self, dst: ComponentId, msg: AnyMsg) {
+        self.core.metrics.incr("net.sent");
+        let me = self.me;
+        self.core.send_via_network(me, dst, SimSpan::ZERO, msg);
+    }
+
+    /// Send after an additional local processing delay (still subject to
+    /// network latency on top).
+    pub fn send_after(&mut self, delay: SimSpan, dst: ComponentId, msg: AnyMsg) {
+        self.core.metrics.incr("net.sent");
+        let me = self.me;
+        self.core.send_via_network(me, dst, delay, msg);
+    }
+
+    /// Multicast to every current member of `group` except the sender.
+    /// `make` is invoked once per receiver because payloads are type-erased
+    /// and not necessarily `Clone`.
+    pub fn multicast<F: Fn() -> AnyMsg>(&mut self, group: GroupId, make: F) {
+        let members = self.core.network.group_members(group).to_vec();
+        for dst in members {
+            if dst != self.me {
+                self.send(dst, make());
+            }
+        }
+    }
+
+    /// Join a multicast group.
+    pub fn join_group(&mut self, group: GroupId) {
+        let me = self.me;
+        self.core.network.join_group(group, me);
+    }
+
+    /// Leave a multicast group.
+    pub fn leave_group(&mut self, group: GroupId) {
+        let me = self.me;
+        self.core.network.leave_group(group, me);
+    }
+
+    /// Arrange for [`Component::on_timer`] to be called on this component
+    /// after `delay`, carrying `tag`. Timers die with the incarnation that
+    /// set them: if the component crashes, pending timers never fire.
+    pub fn set_timer(&mut self, delay: SimSpan, tag: u64) -> TimerHandle {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        let at = self.core.now + delay;
+        let incarnation = self.core.incarnation[self.me.0];
+        let dst = self.me;
+        self.core.schedule(at, EventKind::Timer { dst, tag, incarnation, id });
+        TimerHandle(id)
+    }
+
+    /// Cancel a timer previously set with [`Ctx::set_timer`]. Cancelling an
+    /// already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.core.cancelled_timers.insert(handle.0);
+    }
+
+    /// Whether `other` is currently alive (not crashed). Real processes
+    /// cannot ask this of remote peers — only failure detectors built on
+    /// heartbeats should use it for *remote* components; it is exposed
+    /// mainly so a component can cheaply model local knowledge (e.g. a
+    /// hypervisor knows its own host is up).
+    pub fn is_alive(&self, other: ComponentId) -> bool {
+        self.core.alive.get(other.0).copied().unwrap_or(false)
+    }
+
+    /// Record a metric counter increment.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.core.metrics
+    }
+
+    /// Append a line to the bounded event trace.
+    pub fn trace(&mut self, category: &'static str, text: impl Into<String>) {
+        let now = self.core.now;
+        let me = self.me;
+        self.core.trace.record(now, me, category, text.into());
+    }
+
+    /// Stop the simulation after the current event completes.
+    pub fn halt(&mut self) {
+        self.core.halted = true;
+    }
+}
+
+/// Builder for [`Engine`].
+pub struct SimBuilder {
+    seed: u64,
+    network: NetworkConfig,
+    trace_capacity: usize,
+    max_events: u64,
+}
+
+impl SimBuilder {
+    /// Start building a simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            seed,
+            network: NetworkConfig::default(),
+            trace_capacity: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Configure the simulated network.
+    pub fn network(mut self, config: NetworkConfig) -> Self {
+        self.network = config;
+        self
+    }
+
+    /// Keep the last `capacity` trace records (0 disables tracing).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Abort the run after this many events (runaway-loop guard).
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Engine {
+        let rng = SimRng::new(self.seed);
+        Engine {
+            core: EngineCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng,
+                network: Network::new(self.network),
+                metrics: MetricsRegistry::new(),
+                trace: Trace::new(self.trace_capacity),
+                alive: Vec::new(),
+                incarnation: Vec::new(),
+                names: Vec::new(),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                halted: false,
+                events_executed: 0,
+            },
+            components: Vec::new(),
+            started: false,
+            max_events: self.max_events,
+        }
+    }
+}
+
+/// The simulation engine: owns all components, the event queue, the
+/// network, metrics and trace.
+pub struct Engine {
+    core: EngineCore,
+    components: Vec<Option<Box<dyn Component>>>,
+    started: bool,
+    max_events: u64,
+}
+
+impl Engine {
+    /// Register a component; its `on_start` runs at time zero when the
+    /// simulation starts (or immediately-ish if already running).
+    pub fn add_component(&mut self, name: impl Into<String>, component: impl Component) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        self.core.alive.push(true);
+        self.core.incarnation.push(0);
+        self.core.names.push(name.into());
+        self.core.schedule(self.core.now, EventKind::Start(id));
+        id
+    }
+
+    /// Create a fresh multicast group.
+    pub fn create_group(&mut self) -> GroupId {
+        self.core.network.create_group()
+    }
+
+    /// Add a component to a multicast group from outside the simulation.
+    pub fn join_group(&mut self, group: GroupId, id: ComponentId) {
+        self.core.network.join_group(group, id);
+    }
+
+    /// Inject a message from outside the simulation, delivered to `dst` at
+    /// absolute time `at` (no network latency is applied).
+    pub fn post(&mut self, at: SimTime, dst: ComponentId, msg: AnyMsg) {
+        self.core.schedule(at, EventKind::Deliver { src: ComponentId::EXTERNAL, dst, msg });
+    }
+
+    /// Schedule a crash of `id` at time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, id: ComponentId) {
+        self.core.schedule(at, EventKind::Crash(id));
+    }
+
+    /// Schedule a restart of `id` at time `at`.
+    pub fn schedule_restart(&mut self, at: SimTime, id: ComponentId) {
+        self.core.schedule(at, EventKind::Restart(id));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.core.events_executed
+    }
+
+    /// Whether `id` is currently alive.
+    pub fn is_alive(&self, id: ComponentId) -> bool {
+        self.core.alive.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// The registered name of `id`.
+    pub fn name_of(&self, id: ComponentId) -> &str {
+        self.core.names.get(id.0).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Metrics collected during the run.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.metrics
+    }
+
+    /// Mutable metrics (e.g. for a driver recording external observations).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.core.metrics
+    }
+
+    /// The bounded event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Direct mutable access to the simulated network (partitions etc.).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.core.network
+    }
+
+    /// Borrow a registered component for inspection. Panics if the id is
+    /// unknown. Returns `None` only while that component is being invoked
+    /// (impossible from outside the run loop).
+    pub fn component(&self, id: ComponentId) -> &dyn Component {
+        self.components[id.0].as_deref().expect("component checked out")
+    }
+
+    /// Downcast a registered component to a concrete type for inspection.
+    pub fn component_as<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        let c: &dyn Component = self.component(id);
+        (c as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Execute a single event. Returns `false` when the queue is empty or
+    /// the simulation halted.
+    pub fn step(&mut self) -> bool {
+        if self.core.halted || self.core.events_executed >= self.max_events {
+            return false;
+        }
+        let Reverse(ev) = match self.core.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(ev.time >= self.core.now);
+        self.core.now = ev.time;
+        self.core.events_executed += 1;
+        match ev.kind {
+            EventKind::Start(id) => {
+                self.with_component(id, |comp, ctx| comp.on_start(ctx));
+            }
+            EventKind::Deliver { src, dst, msg } => {
+                if self.core.alive.get(dst.0).copied().unwrap_or(false) {
+                    self.core.metrics.incr("net.delivered");
+                    self.with_component(dst, |comp, ctx| comp.on_message(ctx, src, msg));
+                } else {
+                    self.core.metrics.incr("net.to_dead");
+                }
+            }
+            EventKind::Timer { dst, tag, incarnation, id } => {
+                let stale = self.core.cancelled_timers.remove(&id)
+                    || self.core.incarnation[dst.0] != incarnation
+                    || !self.core.alive[dst.0];
+                if !stale {
+                    self.with_component(dst, |comp, ctx| comp.on_timer(ctx, tag));
+                }
+            }
+            EventKind::Crash(id) => {
+                if self.core.alive[id.0] {
+                    self.core.alive[id.0] = false;
+                    // Bump the incarnation so timers set by the dead
+                    // incarnation never fire, even across a restart.
+                    self.core.incarnation[id.0] += 1;
+                    self.core.metrics.incr("failure.crashes");
+                    let now = self.core.now;
+                    if let Some(comp) = self.components[id.0].as_deref_mut() {
+                        comp.on_crash(now);
+                    }
+                    let name = self.core.names[id.0].clone();
+                    self.core.trace.record(now, id, "crash", name);
+                }
+            }
+            EventKind::Restart(id) => {
+                if !self.core.alive[id.0] {
+                    self.core.alive[id.0] = true;
+                    self.core.metrics.incr("failure.restarts");
+                    self.with_component(id, |comp, ctx| comp.on_restart(ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn with_component<F: FnOnce(&mut dyn Component, &mut Ctx)>(&mut self, id: ComponentId, f: F) {
+        self.started = true;
+        let mut comp = match self.components.get_mut(id.0).and_then(Option::take) {
+            Some(c) => c,
+            None => return, // unknown or re-entrant — drop the event
+        };
+        {
+            let mut ctx = Ctx { core: &mut self.core, me: id };
+            f(comp.as_mut(), &mut ctx);
+        }
+        self.components[id.0] = Some(comp);
+    }
+
+    /// Run until the queue drains, the engine halts, or `max_events` hits.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are executed). Time advances to `deadline` even if the
+    /// queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let next = match self.core.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => ev.time,
+                _ => break,
+            };
+            let _ = next;
+            if !self.step() {
+                break;
+            }
+        }
+        if self.core.now < deadline && !self.core.halted {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Run for an additional span of virtual time.
+    pub fn run_for(&mut self, span: SimSpan) {
+        let deadline = self.core.now + span;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to its sender `bounces` times.
+    struct Echo {
+        bounces: u32,
+        seen: u32,
+    }
+
+    impl Component for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+            self.seen += 1;
+            if self.bounces > 0 && src != ComponentId::EXTERNAL {
+                self.bounces -= 1;
+                ctx.send(src, Box::new(()));
+            }
+        }
+    }
+
+    struct Kickoff {
+        peer: ComponentId,
+    }
+
+    impl Component for Kickoff {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.send(self.peer, Box::new(()));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+            ctx.send(src, Box::new(()));
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates() {
+        let mut sim = SimBuilder::new(1).build();
+        let echo = sim.add_component("echo", Echo { bounces: 5, seen: 0 });
+        let _kick = sim.add_component("kick", Kickoff { peer: echo });
+        sim.run();
+        let echo_ref = sim.component_as::<Echo>(echo).unwrap();
+        assert_eq!(echo_ref.seen, 6); // initial + 5 replies to its bounces
+        assert_eq!(echo_ref.bounces, 0);
+    }
+
+    #[test]
+    fn time_advances_with_network_latency() {
+        let mut sim = SimBuilder::new(1).build();
+        let echo = sim.add_component("echo", Echo { bounces: 0, seen: 0 });
+        sim.post(SimTime::from_secs(3), echo, Box::new(()));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    struct TimerUser {
+        fired: Vec<u64>,
+        cancel_second: bool,
+    }
+
+    impl Component for TimerUser {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimSpan::from_secs(1), 1);
+            let h = ctx.set_timer(SimSpan::from_secs(2), 2);
+            ctx.set_timer(SimSpan::from_secs(3), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(h);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx, tag: u64) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: false });
+        sim.run();
+        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: true });
+        sim.run();
+        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn crash_suppresses_delivery_and_timers() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: false });
+        sim.schedule_crash(SimTime::from_secs(1) + SimSpan::from_micros(1), id);
+        sim.post(SimTime::from_secs(2), id, Box::new(()));
+        sim.run();
+        // Only the first timer fired before the crash.
+        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1]);
+        assert_eq!(sim.metrics().counter("net.to_dead"), 1);
+    }
+
+    struct RestartProbe {
+        restarts: u32,
+        crashes: u32,
+    }
+
+    impl Component for RestartProbe {
+        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+        fn on_crash(&mut self, _now: SimTime) {
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Ctx) {
+            self.restarts += 1;
+        }
+    }
+
+    #[test]
+    fn crash_restart_lifecycle() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("p", RestartProbe { restarts: 0, crashes: 0 });
+        sim.schedule_crash(SimTime::from_secs(1), id);
+        sim.schedule_restart(SimTime::from_secs(2), id);
+        // Crash while already dead and restart while alive are no-ops.
+        sim.schedule_crash(SimTime::from_secs(1) + SimSpan::from_millis(1), id);
+        sim.schedule_restart(SimTime::from_secs(3), id);
+        sim.run();
+        let p = sim.component_as::<RestartProbe>(id).unwrap();
+        assert_eq!(p.crashes, 1);
+        assert_eq!(p.restarts, 1);
+        assert!(sim.is_alive(id));
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_empty_queue() {
+        let mut sim = SimBuilder::new(1).build();
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        fn history(seed: u64) -> (u64, SimTime) {
+            let mut sim = SimBuilder::new(seed).build();
+            let echo = sim.add_component("echo", Echo { bounces: 50, seen: 0 });
+            let _k = sim.add_component("kick", Kickoff { peer: echo });
+            sim.run();
+            (sim.events_executed(), sim.now())
+        }
+        assert_eq!(history(42), history(42));
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_except_sender() {
+        struct Caster {
+            group: GroupId,
+        }
+        impl Component for Caster {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.join_group(self.group);
+                ctx.multicast(self.group, || Box::new(()));
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {
+                panic!("sender must not receive its own multicast");
+            }
+        }
+        let mut sim = SimBuilder::new(1).build();
+        let group = sim.create_group();
+        let a = sim.add_component("a", Echo { bounces: 0, seen: 0 });
+        let b = sim.add_component("b", Echo { bounces: 0, seen: 0 });
+        sim.join_group(group, a);
+        sim.join_group(group, b);
+        let _c = sim.add_component("caster", Caster { group });
+        sim.run();
+        assert_eq!(sim.component_as::<Echo>(a).unwrap().seen, 1);
+        assert_eq!(sim.component_as::<Echo>(b).unwrap().seen, 1);
+    }
+
+    #[test]
+    fn max_events_guard_stops_runaway() {
+        struct Loopy;
+        impl Component for Loopy {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimSpan::from_micros(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+                ctx.set_timer(SimSpan::from_micros(1), 0);
+            }
+        }
+        let mut sim = SimBuilder::new(1).max_events(100).build();
+        sim.add_component("loopy", Loopy);
+        sim.run();
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn run_for_advances_relative_spans() {
+        let mut sim = SimBuilder::new(1).build();
+        sim.run_for(SimSpan::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_for(SimSpan::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn component_as_wrong_type_returns_none() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("echo", Echo { bounces: 0, seen: 0 });
+        assert!(sim.component_as::<Echo>(id).is_some());
+        assert!(sim.component_as::<Kickoff>(id).is_none());
+    }
+
+    #[test]
+    fn external_posts_report_external_sender() {
+        struct SrcProbe {
+            from_external: bool,
+        }
+        impl Component for SrcProbe {
+            fn on_message(&mut self, _: &mut Ctx, src: ComponentId, _: AnyMsg) {
+                self.from_external = src == ComponentId::EXTERNAL;
+            }
+        }
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("p", SrcProbe { from_external: false });
+        sim.post(SimTime::from_secs(1), id, Box::new(()));
+        sim.run();
+        assert!(sim.component_as::<SrcProbe>(id).unwrap().from_external);
+    }
+
+    #[test]
+    fn name_of_unknown_component_is_safe() {
+        let sim = SimBuilder::new(1).build();
+        assert_eq!(sim.name_of(ComponentId(99)), "?");
+        assert!(!sim.is_alive(ComponentId(99)));
+    }
+
+    #[test]
+    fn halt_stops_run() {
+        struct Halter;
+        impl Component for Halter {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimSpan::from_secs(1), 0);
+                ctx.set_timer(SimSpan::from_secs(100), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                if tag == 0 {
+                    ctx.halt();
+                } else {
+                    panic!("should have halted");
+                }
+            }
+        }
+        let mut sim = SimBuilder::new(1).build();
+        sim.add_component("h", Halter);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+}

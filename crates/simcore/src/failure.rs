@@ -1,0 +1,207 @@
+//! Failure injection plans.
+//!
+//! The paper's §II-E describes recovery from GL, GM and LC failures; the
+//! CCGrid evaluation killed components mid-run and measured that
+//! "fault tolerance features of the framework do not impact application
+//! performance". [`FailurePlan`] expresses those experiments declaratively:
+//! a list of crash/restart actions applied to an [`Engine`] before the run,
+//! plus generators for random failure schedules.
+
+use crate::engine::{ComponentId, Engine};
+use crate::rng::SimRng;
+use crate::time::{SimSpan, SimTime};
+
+/// One scheduled failure action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Crash the component at the given time.
+    Crash(SimTime, ComponentId),
+    /// Restart the component at the given time.
+    Restart(SimTime, ComponentId),
+}
+
+impl FailureAction {
+    /// When this action fires.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            FailureAction::Crash(t, _) | FailureAction::Restart(t, _) => t,
+        }
+    }
+
+    /// The component affected.
+    pub fn target(&self) -> ComponentId {
+        match *self {
+            FailureAction::Crash(_, c) | FailureAction::Restart(_, c) => c,
+        }
+    }
+}
+
+/// A declarative failure schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    actions: Vec<FailureAction>,
+}
+
+impl FailurePlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash `id` at `at`.
+    pub fn crash(mut self, at: SimTime, id: ComponentId) -> Self {
+        self.actions.push(FailureAction::Crash(at, id));
+        self
+    }
+
+    /// Restart `id` at `at`.
+    pub fn restart(mut self, at: SimTime, id: ComponentId) -> Self {
+        self.actions.push(FailureAction::Restart(at, id));
+        self
+    }
+
+    /// Crash `id` at `at` and restart it after `downtime`.
+    pub fn crash_for(self, at: SimTime, downtime: SimSpan, id: ComponentId) -> Self {
+        self.crash(at, id).restart(at + downtime, id)
+    }
+
+    /// A schedule of independent crash/repair cycles: each target fails
+    /// with exponentially distributed inter-failure times (`mttf` mean) and
+    /// recovers after exponentially distributed repair times (`mttr` mean),
+    /// until `horizon`.
+    pub fn random_crash_repair(
+        targets: &[ComponentId],
+        mttf: SimSpan,
+        mttr: SimSpan,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut plan = FailurePlan::new();
+        for &t in targets {
+            let mut clock = SimTime::ZERO;
+            loop {
+                clock += rng.exp_span(mttf);
+                if clock >= horizon {
+                    break;
+                }
+                let down = rng.exp_span(mttr);
+                plan = plan.crash(clock, t);
+                clock += down;
+                if clock >= horizon {
+                    break;
+                }
+                plan = plan.restart(clock, t);
+            }
+        }
+        plan.sorted()
+    }
+
+    /// Actions sorted by time (stable for equal times).
+    fn sorted(mut self) -> Self {
+        self.actions.sort_by_key(|a| a.time());
+        self
+    }
+
+    /// The scheduled actions.
+    pub fn actions(&self) -> &[FailureAction] {
+        &self.actions
+    }
+
+    /// Number of crash actions in the plan.
+    pub fn crash_count(&self) -> usize {
+        self.actions.iter().filter(|a| matches!(a, FailureAction::Crash(..))).count()
+    }
+
+    /// Install every action into the engine's event queue.
+    pub fn apply(&self, engine: &mut Engine) {
+        for action in &self.actions {
+            match *action {
+                FailureAction::Crash(at, id) => engine.schedule_crash(at, id),
+                FailureAction::Restart(at, id) => engine.schedule_restart(at, id),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AnyMsg, Component, Ctx, SimBuilder};
+
+    struct Dummy;
+    impl Component for Dummy {
+        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+    }
+
+    #[test]
+    fn builder_accumulates_actions() {
+        let plan = FailurePlan::new()
+            .crash_for(SimTime::from_secs(1), SimSpan::from_secs(2), ComponentId(0))
+            .crash(SimTime::from_secs(9), ComponentId(1));
+        assert_eq!(plan.actions().len(), 3);
+        assert_eq!(plan.crash_count(), 2);
+        assert_eq!(plan.actions()[1], FailureAction::Restart(SimTime::from_secs(3), ComponentId(0)));
+    }
+
+    #[test]
+    fn apply_drives_engine_lifecycle() {
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component("d", Dummy);
+        FailurePlan::new()
+            .crash_for(SimTime::from_secs(1), SimSpan::from_secs(1), id)
+            .apply(&mut sim);
+        sim.run_until(SimTime::from_secs(1) + SimSpan::from_millis(1));
+        assert!(!sim.is_alive(id));
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.is_alive(id));
+    }
+
+    #[test]
+    fn random_plan_is_sorted_and_alternates_per_target() {
+        let mut rng = SimRng::new(5);
+        let targets = [ComponentId(0), ComponentId(1), ComponentId(2)];
+        let plan = FailurePlan::random_crash_repair(
+            &targets,
+            SimSpan::from_secs(100),
+            SimSpan::from_secs(10),
+            SimTime::from_secs(2000),
+            &mut rng,
+        );
+        let times: Vec<SimTime> = plan.actions().iter().map(|a| a.time()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "plan must be time-ordered");
+        // Per-target, actions must strictly alternate crash/restart.
+        for &t in &targets {
+            let mut expect_crash = true;
+            for a in plan.actions().iter().filter(|a| a.target() == t) {
+                match a {
+                    FailureAction::Crash(..) => {
+                        assert!(expect_crash, "two crashes in a row for {t:?}");
+                        expect_crash = false;
+                    }
+                    FailureAction::Restart(..) => {
+                        assert!(!expect_crash, "restart before crash for {t:?}");
+                        expect_crash = true;
+                    }
+                }
+            }
+        }
+        assert!(plan.crash_count() > 0, "horizon long enough to see failures");
+    }
+
+    #[test]
+    fn random_plan_respects_horizon() {
+        let mut rng = SimRng::new(9);
+        let plan = FailurePlan::random_crash_repair(
+            &[ComponentId(0)],
+            SimSpan::from_secs(5),
+            SimSpan::from_secs(1),
+            SimTime::from_secs(100),
+            &mut rng,
+        );
+        for a in plan.actions() {
+            assert!(a.time() < SimTime::from_secs(100));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # snooze-simcore
+//!
+//! A deterministic discrete-event simulation (DES) engine used as the
+//! substrate for the Snooze reproduction. The real Snooze system ran on a
+//! 144-node Grid'5000 cluster; this crate replaces the physical testbed with
+//! a virtual-time event loop so that the management protocols (heartbeats,
+//! leader election, scheduling, energy management) execute against the same
+//! event orderings they would see on real hardware — reproducibly.
+//!
+//! ## Architecture
+//!
+//! * [`time`] — virtual time ([`SimTime`]) and spans ([`SimSpan`]).
+//! * [`engine`] — the event loop. User logic lives in [`Component`]s which
+//!   react to messages and timers through a [`Ctx`] handle.
+//! * [`network`] — a simulated message bus with pluggable latency models,
+//!   message loss, partitions and multicast groups.
+//! * [`failure`] — crash/restart injection for any component.
+//! * [`rng`] — seedable, stream-splittable randomness so every run is
+//!   replayable from a single `u64` seed.
+//! * [`metrics`] — counters, gauges, histograms and time series collected
+//!   during a run.
+//! * [`trace`] — a bounded in-memory event trace for debugging and
+//!   visualization.
+//!
+//! ## Determinism
+//!
+//! The engine is single-threaded. Events are totally ordered by
+//! `(time, sequence-number)`, and all randomness flows from one master seed
+//! through per-purpose [`rng::SimRng`] streams, so two runs with the same
+//! seed produce byte-identical histories.
+//!
+//! ## Example
+//!
+//! ```
+//! use snooze_simcore::prelude::*;
+//!
+//! struct Ping { peer: ComponentId, left: u32 }
+//!
+//! impl Component for Ping {
+//!     fn on_start(&mut self, ctx: &mut Ctx) {
+//!         ctx.send(self.peer, Box::new("ping"));
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+//!         if self.left > 0 {
+//!             self.left -= 1;
+//!             ctx.send(src, Box::new("pong"));
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = SimBuilder::new(42).build();
+//! let a = sim.add_component("a", Ping { peer: ComponentId(1), left: 3 });
+//! let b = sim.add_component("b", Ping { peer: ComponentId(0), left: 3 });
+//! assert_eq!(a, ComponentId(0));
+//! assert_eq!(b, ComponentId(1));
+//! sim.run();
+//! assert!(sim.now() > SimTime::ZERO);
+//! ```
+
+pub mod engine;
+pub mod failure;
+pub mod metrics;
+pub mod network;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{AnyMsg, Component, ComponentId, Ctx, Engine, SimBuilder};
+pub use time::{SimSpan, SimTime};
+
+/// Convenient glob import for simulation authors.
+pub mod prelude {
+    pub use crate::engine::{AnyMsg, Component, ComponentId, Ctx, Engine, SimBuilder};
+    pub use crate::metrics::MetricsRegistry;
+    pub use crate::network::{LatencyModel, NetworkConfig};
+    pub use crate::rng::SimRng;
+    pub use crate::time::{SimSpan, SimTime};
+}

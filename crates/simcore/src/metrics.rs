@@ -1,0 +1,275 @@
+//! Run-time metrics: counters, gauges, histograms and time series.
+//!
+//! The experiment harness reads these after a run to produce the rows of
+//! each reproduced table. Histograms keep raw samples (runs here are small
+//! enough that exact percentiles beat bucketing error), and time series
+//! record `(time, value)` pairs for figures like cluster power draw over a
+//! diurnal cycle.
+
+use std::collections::HashMap;
+
+use crate::time::SimTime;
+
+/// A histogram over `f64` samples with exact percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// Sample standard deviation, or 0 with fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Exact percentile via nearest-rank on a sorted copy; `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// All raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    /// Map the ±∞ produced by folds over empty sets to 0.
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Registry of named metrics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
+    series: HashMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increment counter `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        if let Some(v) = self.counters.get_mut(key) {
+            *v += n;
+        } else {
+            self.counters.insert(key.to_owned(), n);
+        }
+    }
+
+    /// Current value of counter `key` (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `key`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        if let Some(v) = self.gauges.get_mut(key) {
+            *v = value;
+        } else {
+            self.gauges.insert(key.to_owned(), value);
+        }
+    }
+
+    /// Current value of gauge `key` (0 if never set).
+    pub fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Record a histogram sample under `key`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            self.histograms.insert(key.to_owned(), h);
+        }
+    }
+
+    /// Histogram under `key`, if any samples were recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Append a `(time, value)` point to series `key`.
+    pub fn push_series(&mut self, key: &str, time: SimTime, value: f64) {
+        if let Some(s) = self.series.get_mut(key) {
+            s.push((time, value));
+        } else {
+            self.series.insert(key.to_owned(), vec![(time, value)]);
+        }
+    }
+
+    /// Series under `key` (empty slice if never touched).
+    pub fn series(&self, key: &str) -> &[(SimTime, f64)] {
+        self.series.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Time-weighted average of series `key` between the first and last
+    /// points (each value holds until the next point). Returns 0 for
+    /// series with fewer than two points.
+    pub fn series_time_weighted_mean(&self, key: &str) -> f64 {
+        let s = self.series(key);
+        if s.len() < 2 {
+            return s.first().map(|&(_, v)| v).unwrap_or(0.0);
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for w in s.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            weighted += w[0].1 * dt;
+            total += dt;
+        }
+        if total > 0.0 {
+            weighted / total
+        } else {
+            s[0].1
+        }
+    }
+
+    /// Names of all counters, sorted (for reporting).
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counters.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimSpan;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.incr("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), 2.5);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+        assert!((h.std_dev() - 1.5811).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn series_time_weighted_mean_weights_by_duration() {
+        let mut m = MetricsRegistry::new();
+        let t0 = SimTime::ZERO;
+        // Value 10 for 9 seconds, then 0 for 1 second.
+        m.push_series("p", t0, 10.0);
+        m.push_series("p", t0 + SimSpan::from_secs(9), 0.0);
+        m.push_series("p", t0 + SimSpan::from_secs(10), 0.0);
+        let mean = m.series_time_weighted_mean("p");
+        assert!((mean - 9.0).abs() < 1e-9, "got {mean}");
+    }
+
+    #[test]
+    fn series_degenerate_cases() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.series_time_weighted_mean("none"), 0.0);
+        m.push_series("one", SimTime::ZERO, 7.0);
+        assert_eq!(m.series_time_weighted_mean("one"), 7.0);
+    }
+
+    #[test]
+    fn observe_builds_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.observe("lat", 2.0);
+        m.observe("lat", 4.0);
+        assert_eq!(m.histogram("lat").unwrap().mean(), 3.0);
+        assert!(m.histogram("other").is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! Simulated network: latency models, loss, partitions, multicast groups.
+//!
+//! Snooze's protocols (heartbeat multicast, REST-style request/response,
+//! monitoring uploads) all ride on a data-center LAN. The network model
+//! here captures what those protocols are sensitive to — delivery latency,
+//! loss, and reachability — without simulating packets: each logical
+//! message gets a sampled one-way transit time, or is dropped.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::engine::{ComponentId, GroupId};
+use crate::rng::SimRng;
+use crate::time::{SimSpan, SimTime};
+
+/// Samples a one-way transit latency for a message.
+pub trait LatencyModel: Send + 'static {
+    /// Latency from `src` to `dst`. Implementations may use `rng` for jitter.
+    fn sample(&self, src: ComponentId, dst: ComponentId, rng: &mut SimRng) -> SimSpan;
+}
+
+/// Fixed latency for every pair.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency(pub SimSpan);
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&self, _: ComponentId, _: ComponentId, _: &mut SimRng) -> SimSpan {
+        self.0
+    }
+}
+
+/// Uniformly jittered latency in `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLatency {
+    /// Minimum one-way latency.
+    pub lo: SimSpan,
+    /// Maximum (exclusive) one-way latency.
+    pub hi: SimSpan,
+}
+
+impl LatencyModel for UniformLatency {
+    fn sample(&self, _: ComponentId, _: ComponentId, rng: &mut SimRng) -> SimSpan {
+        rng.span_between(self.lo, self.hi)
+    }
+}
+
+/// A two-tier (rack/aggregation) topology: messages within the same rack
+/// see `intra`, messages crossing racks see `inter`. Components not
+/// assigned to any rack default to rack 0.
+pub struct TwoTierLatency {
+    /// `rack_of[component_index]` — rack assignment.
+    pub rack_of: Vec<usize>,
+    /// Latency range within a rack.
+    pub intra: UniformLatency,
+    /// Latency range across racks.
+    pub inter: UniformLatency,
+}
+
+impl TwoTierLatency {
+    fn rack(&self, c: ComponentId) -> usize {
+        self.rack_of.get(c.0).copied().unwrap_or(0)
+    }
+}
+
+impl LatencyModel for TwoTierLatency {
+    fn sample(&self, src: ComponentId, dst: ComponentId, rng: &mut SimRng) -> SimSpan {
+        if self.rack(src) == self.rack(dst) {
+            self.intra.sample(src, dst, rng)
+        } else {
+            self.inter.sample(src, dst, rng)
+        }
+    }
+}
+
+/// Network configuration handed to [`crate::engine::SimBuilder`].
+pub struct NetworkConfig {
+    /// Transit-latency model.
+    pub latency: Box<dyn LatencyModel>,
+    /// Independent per-message loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+}
+
+impl NetworkConfig {
+    /// A typical data-center LAN: 100–500 µs one-way, no loss.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            latency: Box::new(UniformLatency {
+                lo: SimSpan::from_micros(100),
+                hi: SimSpan::from_micros(500),
+            }),
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A LAN with a given message-loss probability.
+    pub fn lossy_lan(loss_rate: f64) -> Self {
+        NetworkConfig { loss_rate, ..Self::lan() }
+    }
+
+    /// Zero-latency, lossless network — for unit tests where latency is noise.
+    pub fn instant() -> Self {
+        NetworkConfig { latency: Box::new(ConstantLatency(SimSpan::ZERO)), loss_rate: 0.0 }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// Live network state owned by the engine.
+pub struct Network {
+    config: NetworkConfig,
+    groups: Vec<Vec<ComponentId>>,
+    /// Pairs `(a, b)` with `a < b` that cannot communicate.
+    blocked_pairs: HashSet<(usize, usize)>,
+    /// Components cut off from everyone.
+    isolated: HashSet<usize>,
+    /// Last scheduled arrival per directed `(src, dst)` pair — enforces
+    /// per-pair FIFO, matching the TCP connections Snooze's RESTful
+    /// services ride on.
+    last_arrival: HashMap<(usize, usize), SimTime>,
+}
+
+impl Network {
+    pub(crate) fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            groups: Vec::new(),
+            blocked_pairs: HashSet::new(),
+            isolated: HashSet::new(),
+            last_arrival: HashMap::new(),
+        }
+    }
+
+    /// Compute the arrival time of a message departing at `departs`, or
+    /// `None` if it is lost (random loss, partition, or isolation).
+    /// Arrival times per directed pair are non-decreasing (FIFO channels).
+    pub(crate) fn transit(
+        &mut self,
+        src: ComponentId,
+        dst: ComponentId,
+        departs: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        if src != ComponentId::EXTERNAL {
+            if self.isolated.contains(&src.0) || self.isolated.contains(&dst.0) {
+                return None;
+            }
+            let key = pair_key(src, dst);
+            if self.blocked_pairs.contains(&key) {
+                return None;
+            }
+            if self.config.loss_rate > 0.0 && rng.chance(self.config.loss_rate) {
+                return None;
+            }
+        }
+        let mut arrival = departs + self.config.latency.sample(src, dst, rng);
+        if src != ComponentId::EXTERNAL {
+            let slot = self.last_arrival.entry((src.0, dst.0)).or_insert(SimTime::ZERO);
+            arrival = arrival.max(*slot);
+            *slot = arrival;
+        }
+        Some(arrival)
+    }
+
+    /// Create a new, empty multicast group.
+    pub fn create_group(&mut self) -> GroupId {
+        self.groups.push(Vec::new());
+        GroupId(self.groups.len() - 1)
+    }
+
+    /// Add `id` to `group` (idempotent).
+    pub fn join_group(&mut self, group: GroupId, id: ComponentId) {
+        let members = &mut self.groups[group.0];
+        if !members.contains(&id) {
+            members.push(id);
+        }
+    }
+
+    /// Remove `id` from `group` (idempotent).
+    pub fn leave_group(&mut self, group: GroupId, id: ComponentId) {
+        self.groups[group.0].retain(|m| *m != id);
+    }
+
+    /// Current members of `group`.
+    pub fn group_members(&self, group: GroupId) -> &[ComponentId] {
+        self.groups.get(group.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Block all communication between the two sets (a symmetric partition).
+    pub fn partition(&mut self, side_a: &[ComponentId], side_b: &[ComponentId]) {
+        for &a in side_a {
+            for &b in side_b {
+                if a != b {
+                    self.blocked_pairs.insert(pair_key(a, b));
+                }
+            }
+        }
+    }
+
+    /// Remove every pairwise partition.
+    pub fn heal_partitions(&mut self) {
+        self.blocked_pairs.clear();
+    }
+
+    /// Cut a single component off from the network entirely.
+    pub fn isolate(&mut self, id: ComponentId) {
+        self.isolated.insert(id.0);
+    }
+
+    /// Reconnect an isolated component.
+    pub fn reconnect(&mut self, id: ComponentId) {
+        self.isolated.remove(&id.0);
+    }
+
+    /// Change the loss rate mid-run.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.config.loss_rate = rate.clamp(0.0, 1.0);
+    }
+}
+
+fn pair_key(a: ComponentId, b: ComponentId) -> (usize, usize) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = ConstantLatency(SimSpan::from_millis(2));
+        let mut r = rng();
+        assert_eq!(m.sample(ComponentId(0), ComponentId(1), &mut r), SimSpan::from_millis(2));
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = UniformLatency { lo: SimSpan::from_micros(100), hi: SimSpan::from_micros(200) };
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = m.sample(ComponentId(0), ComponentId(1), &mut r);
+            assert!(s >= SimSpan::from_micros(100) && s < SimSpan::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn two_tier_differs_by_rack() {
+        let m = TwoTierLatency {
+            rack_of: vec![0, 0, 1],
+            intra: UniformLatency { lo: SimSpan::from_micros(10), hi: SimSpan::from_micros(11) },
+            inter: UniformLatency { lo: SimSpan::from_micros(500), hi: SimSpan::from_micros(501) },
+        };
+        let mut r = rng();
+        assert!(m.sample(ComponentId(0), ComponentId(1), &mut r) < SimSpan::from_micros(100));
+        assert!(m.sample(ComponentId(0), ComponentId(2), &mut r) >= SimSpan::from_micros(500));
+        // Unassigned components land in rack 0.
+        assert!(m.sample(ComponentId(0), ComponentId(99), &mut r) < SimSpan::from_micros(100));
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut net = Network::new(NetworkConfig::instant());
+        let mut r = rng();
+        let (a, b) = (ComponentId(1), ComponentId(2));
+        assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_some());
+        net.partition(&[a], &[b]);
+        assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_none());
+        assert!(net.transit(b, a, SimTime::ZERO, &mut r).is_none(), "partition must be symmetric");
+        net.heal_partitions();
+        assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_some());
+    }
+
+    #[test]
+    fn isolation_blocks_both_directions() {
+        let mut net = Network::new(NetworkConfig::instant());
+        let mut r = rng();
+        let (a, b, c) = (ComponentId(1), ComponentId(2), ComponentId(3));
+        net.isolate(a);
+        assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_none());
+        assert!(net.transit(c, a, SimTime::ZERO, &mut r).is_none());
+        assert!(net.transit(b, c, SimTime::ZERO, &mut r).is_some());
+        net.reconnect(a);
+        assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_some());
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_that_fraction() {
+        let mut net = Network::new(NetworkConfig::lossy_lan(0.25));
+        let mut r = rng();
+        let lost = (0..4000)
+            .filter(|_| net.transit(ComponentId(0), ComponentId(1), SimTime::ZERO, &mut r).is_none())
+            .count();
+        assert!((800..1200).contains(&lost), "lost {lost} of 4000, expected ~1000");
+    }
+
+    #[test]
+    fn external_sender_bypasses_loss_and_partitions() {
+        let mut net = Network::new(NetworkConfig::lossy_lan(1.0));
+        let mut r = rng();
+        assert!(net.transit(ComponentId::EXTERNAL, ComponentId(1), SimTime::ZERO, &mut r).is_some());
+    }
+
+    #[test]
+    fn group_membership_is_idempotent() {
+        let mut net = Network::new(NetworkConfig::instant());
+        let g = net.create_group();
+        net.join_group(g, ComponentId(5));
+        net.join_group(g, ComponentId(5));
+        assert_eq!(net.group_members(g), &[ComponentId(5)]);
+        net.leave_group(g, ComponentId(5));
+        net.leave_group(g, ComponentId(5));
+        assert!(net.group_members(g).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Bounded in-memory event trace.
+//!
+//! Snooze's CLI supported "live visualizing and exporting of the hierarchy
+//! organization" (paper §II-A); the trace is the data source for the
+//! equivalent here — the `hierarchy_visualizer` example renders it. It is a
+//! ring buffer so long experiments don't accumulate unbounded history.
+
+use std::collections::VecDeque;
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Which component reported it.
+    pub component: ComponentId,
+    /// Static category (e.g. `"join"`, `"election"`, `"migrate"`).
+    pub category: &'static str,
+    /// Free-form details.
+    pub text: String,
+}
+
+/// Ring buffer of [`TraceRecord`]s. Capacity 0 disables recording.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Trace {
+    /// Create a trace keeping the last `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace { records: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Append a record, evicting the oldest if full. No-op when disabled.
+    pub fn record(&mut self, time: SimTime, component: ComponentId, category: &'static str, text: String) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { time, component, category, text });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records in a category, oldest first.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Total records ever submitted (including evicted or disabled ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: &mut Trace, n: u64, cat: &'static str) {
+        trace.record(SimTime(n), ComponentId(0), cat, format!("r{n}"));
+    }
+
+    #[test]
+    fn keeps_only_last_capacity_records() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            rec(&mut t, i, "a");
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let texts: Vec<&str> = t.records().map(|r| r.text.as_str()).collect();
+        assert_eq!(texts, ["r2", "r3", "r4"]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention_but_counts() {
+        let mut t = Trace::new(0);
+        rec(&mut t, 1, "a");
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 1);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::new(10);
+        rec(&mut t, 1, "join");
+        rec(&mut t, 2, "crash");
+        rec(&mut t, 3, "join");
+        assert_eq!(t.by_category("join").count(), 2);
+        assert_eq!(t.by_category("crash").count(), 1);
+        assert_eq!(t.by_category("none").count(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! A scripted cloud client.
+//!
+//! Drives experiments the way the CCGrid evaluation drove the real
+//! system: submit a fleet of VMs on a schedule through an Entry Point,
+//! retry unacknowledged submissions, and record per-VM placement latency
+//! (submission → running acknowledgment) plus rejections.
+
+use std::collections::HashMap;
+
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::VmWorkload;
+use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx};
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::messages::{DestroyVm, SubmitVm, VmPlaced, VmRejected};
+use crate::tags::*;
+
+/// One scheduled submission.
+#[derive(Clone, Debug)]
+pub struct ScheduledVm {
+    /// When to submit.
+    pub at: SimTime,
+    /// What to submit.
+    pub spec: VmSpec,
+    /// Its workload.
+    pub workload: VmWorkload,
+    /// Destroy the VM this long after it is acknowledged (None = forever).
+    pub lifetime: Option<SimSpan>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Outstanding {
+    schedule_idx: usize,
+    submitted_at: SimTime,
+    attempts: u32,
+}
+
+/// A completed placement as the client saw it.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementAck {
+    /// The VM.
+    pub vm: VmId,
+    /// Where it runs.
+    pub lc: ComponentId,
+    /// Submission → acknowledgment latency.
+    pub latency: SimSpan,
+}
+
+/// The client component.
+pub struct ClientDriver {
+    /// Entry points, tried in rotation — the paper's EPs are
+    /// "replicated", and the client is where that replication pays off:
+    /// a retry after silence goes to the *next* EP.
+    eps: Vec<ComponentId>,
+    ep_cursor: usize,
+    schedule: Vec<ScheduledVm>,
+    retry_period: SimSpan,
+    max_attempts: u32,
+    outstanding: HashMap<VmId, Outstanding>,
+    vm_locations: HashMap<VmId, ComponentId>,
+    /// Successful placements, in acknowledgment order.
+    pub placed: Vec<PlacementAck>,
+    /// VMs the system rejected.
+    pub rejected: Vec<VmId>,
+    /// VMs that exhausted client-side retries without any answer.
+    pub abandoned: Vec<VmId>,
+}
+
+impl ClientDriver {
+    /// A client submitting `schedule` through a single `ep`, retrying
+    /// silently dropped submissions every `retry_period`.
+    pub fn new(ep: ComponentId, schedule: Vec<ScheduledVm>, retry_period: SimSpan) -> Self {
+        Self::with_eps(vec![ep], schedule, retry_period)
+    }
+
+    /// A client aware of several replicated entry points; retries rotate
+    /// across them, so one dead EP costs one retry period, not liveness.
+    pub fn with_eps(
+        eps: Vec<ComponentId>,
+        schedule: Vec<ScheduledVm>,
+        retry_period: SimSpan,
+    ) -> Self {
+        assert!(!eps.is_empty(), "client needs at least one entry point");
+        ClientDriver {
+            eps,
+            ep_cursor: 0,
+            schedule,
+            retry_period,
+            max_attempts: 30,
+            outstanding: HashMap::new(),
+            vm_locations: HashMap::new(),
+            placed: Vec::new(),
+            rejected: Vec::new(),
+            abandoned: Vec::new(),
+        }
+    }
+
+    /// True when every scheduled VM has been answered or abandoned.
+    pub fn done(&self) -> bool {
+        self.placed.len() + self.rejected.len() + self.abandoned.len() == self.schedule.len()
+    }
+
+    /// Mean placement latency in seconds (0 if nothing placed).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.placed.is_empty() {
+            return 0.0;
+        }
+        self.placed.iter().map(|p| p.latency.as_secs_f64()).sum::<f64>() / self.placed.len() as f64
+    }
+
+    /// 95th-percentile placement latency in seconds.
+    pub fn p95_latency_secs(&self) -> f64 {
+        if self.placed.is_empty() {
+            return 0.0;
+        }
+        let mut lats: Vec<f64> = self.placed.iter().map(|p| p.latency.as_secs_f64()).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((lats.len() as f64 - 1.0) * 0.95).round() as usize;
+        lats[rank.min(lats.len() - 1)]
+    }
+
+    fn submit(&mut self, ctx: &mut Ctx, idx: usize) {
+        let item = &self.schedule[idx];
+        let vm = item.spec.id;
+        let entry = self.outstanding.entry(vm).or_insert(Outstanding {
+            schedule_idx: idx,
+            submitted_at: ctx.now(),
+            attempts: 0,
+        });
+        entry.attempts += 1;
+        let attempts = entry.attempts;
+        let me = ctx.id();
+        let msg = SubmitVm { spec: item.spec, workload: item.workload.clone(), client: me };
+        // First attempt uses the preferred EP; retries rotate.
+        let ep = self.eps[(self.ep_cursor + attempts as usize - 1) % self.eps.len()];
+        ctx.send(ep, Box::new(msg));
+    }
+}
+
+impl Component for ClientDriver {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        for (idx, item) in self.schedule.iter().enumerate() {
+            let delay = item.at.since(now);
+            ctx.set_timer(delay, tag(CLIENT_SUBMIT, idx as u64));
+        }
+        if !self.schedule.is_empty() {
+            ctx.set_timer(self.retry_period, tag(CLIENT_RETRY, 0));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+        let now = ctx.now();
+        if let Some(placed) = msg.downcast_ref::<VmPlaced>() {
+            if let Some(out) = self.outstanding.remove(&placed.vm) {
+                let latency = now.since(out.submitted_at);
+                self.placed.push(PlacementAck { vm: placed.vm, lc: placed.lc, latency });
+                self.vm_locations.insert(placed.vm, placed.lc);
+                ctx.metrics().observe("client.placement_latency_s", latency.as_secs_f64());
+                if let Some(lifetime) = self.schedule[out.schedule_idx].lifetime {
+                    ctx.set_timer(lifetime, tag(CLIENT_DESTROY, out.schedule_idx as u64));
+                }
+            }
+        } else if let Some(rej) = msg.downcast_ref::<VmRejected>() {
+            if self.outstanding.remove(&rej.vm).is_some() {
+                self.rejected.push(rej.vm);
+                ctx.metrics().incr("client.rejections");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+        match tag_kind(t) {
+            CLIENT_SUBMIT => {
+                let idx = tag_payload(t) as usize;
+                self.submit(ctx, idx);
+            }
+            CLIENT_RETRY => {
+                let now = ctx.now();
+                // Resend submissions that have waited a full retry period
+                // (EP had no GL, message lost, GM died mid-dispatch, …).
+                let retry_period = self.retry_period;
+                let max = self.max_attempts;
+                let mut to_retry: Vec<(VmId, usize, bool)> = self
+                    .outstanding
+                    .iter()
+                    .filter(|(_, o)| now.since(o.submitted_at) > retry_period * o.attempts as u64)
+                    .map(|(&vm, o)| (vm, o.schedule_idx, o.attempts >= max))
+                    .collect();
+                to_retry.sort_unstable_by_key(|(vm, ..)| *vm); // deterministic resend order
+                for (vm, idx, give_up) in to_retry {
+                    if give_up {
+                        self.outstanding.remove(&vm);
+                        self.abandoned.push(vm);
+                        ctx.metrics().incr("client.abandoned");
+                    } else {
+                        self.submit(ctx, idx);
+                    }
+                }
+                if !self.done() {
+                    ctx.set_timer(self.retry_period, tag(CLIENT_RETRY, 0));
+                }
+            }
+            CLIENT_DESTROY => {
+                let idx = tag_payload(t) as usize;
+                let vm = self.schedule[idx].spec.id;
+                if let Some(lc) = self.vm_locations.get(&vm).copied() {
+                    ctx.send(lc, Box::new(DestroyVm { vm }));
+                }
+            }
+            _ => {}
+        }
+    }
+}

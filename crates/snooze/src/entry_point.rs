@@ -1,0 +1,173 @@
+//! The Entry Point (EP) — the client-facing layer.
+//!
+//! Paper §II-A: "A client layer provides the user interface which is
+//! implemented by a predefined number of replicated Entry Points (EPs)
+//! and queried by the clients to discover the current GL."
+//!
+//! EPs listen for GL heartbeats on the GL multicast group, answer
+//! [`DiscoverGl`] queries, and forward [`SubmitVm`] requests to the
+//! current GL (dropping them when no GL is known — clients retry).
+
+use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::time::SimTime;
+
+use crate::config::SnoozeConfig;
+use crate::messages::{DiscoverGl, GlHeartbeat, GlInfo, SubmitVm};
+
+/// The Entry Point component.
+pub struct EntryPoint {
+    config: SnoozeConfig,
+    gl_group: GroupId,
+    gl: Option<ComponentId>,
+    last_gl_heartbeat: SimTime,
+    /// Submissions forwarded to the GL.
+    pub forwarded: u64,
+    /// Submissions dropped because no GL was known.
+    pub dropped: u64,
+}
+
+impl EntryPoint {
+    /// An EP discovering the GL through heartbeats on `gl_group`.
+    pub fn new(config: SnoozeConfig, gl_group: GroupId) -> Self {
+        EntryPoint {
+            config,
+            gl_group,
+            gl: None,
+            last_gl_heartbeat: SimTime::ZERO,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The GL this EP currently believes in.
+    pub fn current_gl(&self) -> Option<ComponentId> {
+        self.gl
+    }
+
+    fn gl_if_fresh(&self, now: SimTime) -> Option<ComponentId> {
+        // A GL silent for several heartbeat periods is presumed dead;
+        // withhold it from clients until a heartbeat re-confirms.
+        let stale = now.since(self.last_gl_heartbeat) > self.config.gl_heartbeat_period * 4;
+        if stale {
+            None
+        } else {
+            self.gl
+        }
+    }
+}
+
+impl Component for EntryPoint {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.gl_group);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+        let now = ctx.now();
+        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
+            if self.gl != Some(hb.gl) {
+                ctx.trace("ep", format!("GL is now {:?}", hb.gl));
+            }
+            self.gl = Some(hb.gl);
+            self.last_gl_heartbeat = now;
+        } else if msg.downcast_ref::<DiscoverGl>().is_some() {
+            let info = GlInfo { gl: self.gl_if_fresh(now) };
+            ctx.send(src, Box::new(info));
+        } else if msg.downcast_ref::<SubmitVm>().is_some() {
+            let submit = msg.downcast::<SubmitVm>().unwrap();
+            match self.gl_if_fresh(now) {
+                Some(gl) => {
+                    self.forwarded += 1;
+                    ctx.send(gl, submit);
+                }
+                None => {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx) {
+        self.gl = None;
+        self.forwarded = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::GlHeartbeat;
+    use snooze_simcore::prelude::*;
+
+    /// Poses as a GL: multicasts heartbeats for a while, then goes quiet.
+    struct FakeGl {
+        group: GroupId,
+        beats_left: u32,
+    }
+
+    impl Component for FakeGl {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.join_group(self.group);
+            ctx.set_timer(SimSpan::from_millis(500), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+            if self.beats_left > 0 {
+                self.beats_left -= 1;
+                let me = ctx.id();
+                ctx.multicast(self.group, move || Box::new(GlHeartbeat { gl: me }));
+                ctx.set_timer(SimSpan::from_millis(500), 0);
+            }
+        }
+    }
+
+    /// Queries DiscoverGl on a schedule and records the answers.
+    struct Asker {
+        ep: ComponentId,
+        at: Vec<SimTime>,
+        answers: Vec<(SimTime, Option<ComponentId>)>,
+    }
+
+    impl Component for Asker {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for (i, t) in self.at.clone().into_iter().enumerate() {
+                ctx.set_timer(t.since(SimTime::ZERO), i as u64);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+            if let Some(info) = msg.downcast_ref::<GlInfo>() {
+                self.answers.push((ctx.now(), info.gl));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+            let ep = self.ep;
+            ctx.send(ep, Box::new(DiscoverGl));
+        }
+    }
+
+    #[test]
+    fn ep_withholds_a_silent_gl() {
+        let config = crate::config::SnoozeConfig::fast_test(); // hb 500 ms ⇒ stale after 2 s
+        let mut sim = SimBuilder::new(3).network(NetworkConfig::lan()).build();
+        let group = sim.create_group();
+        let ep = sim.add_component("ep", EntryPoint::new(config, group));
+        sim.join_group(group, ep);
+        // 6 heartbeats (3 s of life), then silence.
+        let gl = sim.add_component("fake-gl", FakeGl { group, beats_left: 6 });
+        let asker = sim.add_component(
+            "asker",
+            Asker {
+                ep,
+                at: vec![SimTime::from_secs(2), SimTime::from_secs(10)],
+                answers: vec![],
+            },
+        );
+        sim.run_until(SimTime::from_secs(12));
+        let a = sim.component_as::<Asker>(asker).unwrap();
+        assert_eq!(a.answers.len(), 2);
+        assert_eq!(a.answers[0].1, Some(gl), "fresh GL is reported");
+        assert_eq!(a.answers[1].1, None, "silent GL is withheld");
+        // The EP still remembers who it was (for trace continuity).
+        assert_eq!(sim.component_as::<EntryPoint>(ep).unwrap().current_gl(), Some(gl));
+    }
+}

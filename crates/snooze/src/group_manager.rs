@@ -1,0 +1,1073 @@
+//! The Group Manager (GM) — and, when elected, the Group Leader (GL).
+//!
+//! Paper §II-A/§II-D: every manager node runs the same component; the
+//! leader-election recipe decides which one currently acts as GL ("each
+//! group manager (GM) is promoted to a group leader (GL) dynamically
+//! during the leader election procedure"). Accordingly this component has
+//! two modes:
+//!
+//! * **GM mode** — manages a set of LCs: receives their monitoring,
+//!   estimates demand, runs placement/relocation/reconfiguration
+//!   policies, manages energy (suspends idle LCs, wakes them on demand),
+//!   and reports an aggregated summary to the GL.
+//! * **GL mode** — oversees the GMs: keeps their summaries, assigns
+//!   joining LCs to GMs, dispatches VM submissions with a candidate list
+//!   plus linear search (§II-C), and multicasts GL heartbeats that EPs,
+//!   GMs and unassigned LCs discover it by. A GM promoted to GL abandons
+//!   its LCs (dedicated roles, §II-A); they rejoin other GMs through the
+//!   self-organization protocol.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::VmWorkload;
+use snooze_protocols::coordination::ZkReply;
+use snooze_protocols::election::{Elector, ElectorEvent, ELECTION_PING_TAG};
+use snooze_protocols::heartbeat::FailureDetector;
+use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::time::SimTime;
+
+use crate::config::SnoozeConfig;
+use crate::estimator::DemandEstimator;
+use crate::local_controller::LcJoinAckWithGroup;
+use crate::messages::*;
+use crate::scheduling::dispatching::Dispatcher;
+use crate::scheduling::placement::Placer;
+use crate::scheduling::relocation::{
+    plan_overload_relocation, plan_underload_relocation, PlannedMigration, VmView,
+};
+use crate::scheduling::reconfiguration::plan_reconfiguration;
+use crate::scheduling::{GmSummaryView, LcView};
+use crate::tags::*;
+use snooze_consolidation::aco::AcoConsolidator;
+
+/// GM → GL: a dispatched VM is now running on `lc`.
+#[derive(Clone, Copy, Debug)]
+pub struct VmActive {
+    /// The VM.
+    pub vm: VmId,
+    /// Where it runs.
+    pub lc: ComponentId,
+}
+
+/// GM → GL: a previously accepted VM could not be started after retries.
+#[derive(Clone, Copy, Debug)]
+pub struct VmFailed {
+    /// The VM.
+    pub vm: VmId,
+}
+
+/// Role of the manager right now.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Campaigning; no role yet.
+    Candidate,
+    /// Acting Group Leader.
+    Gl,
+    /// Managing LCs under the contained GL.
+    Gm(ComponentId),
+}
+
+/// Per-LC record kept by a GM.
+struct LcRecord {
+    capacity: ResourceVector,
+    reserved: ResourceVector,
+    usage: DemandEstimator,
+    powered_on: bool,
+    waking: bool,
+    /// When the last WakeNode was sent (wake commands ride the same
+    /// lossy network as everything else and are re-sent if unanswered).
+    wake_sent_at: Option<SimTime>,
+    idle_since: Option<SimTime>,
+    vms: BTreeMap<VmId, VmRecord>,
+}
+
+/// Per-VM record kept by a GM (needed for relocation, reconfiguration
+/// and §II-E's snapshot-based rescheduling).
+#[derive(Clone)]
+struct VmRecord {
+    spec: VmSpec,
+    workload: VmWorkload,
+    usage: DemandEstimator,
+    migrating_to: Option<ComponentId>,
+    /// Confirmed running: a StartVmResult(ok) arrived or the LC reported
+    /// it. Unconfirmed records get their StartVm re-sent (the command
+    /// rides the same lossy network as everything else).
+    confirmed: bool,
+    /// When the (latest) StartVm was sent.
+    start_sent_at: SimTime,
+}
+
+/// A placement waiting for capacity (e.g. a node waking up).
+struct PendingPlacement {
+    spec: VmSpec,
+    workload: VmWorkload,
+    retries: u32,
+}
+
+/// Dispatch state the GL keeps per in-flight submission.
+struct DispatchState {
+    spec: VmSpec,
+    workload: VmWorkload,
+    client: ComponentId,
+    candidates: Vec<ComponentId>,
+    next: usize,
+    started_at: SimTime,
+    /// A GM took responsibility (possibly waking a node); stop the
+    /// linear-search timeout clock.
+    accepted: bool,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GmStats {
+    /// Placements performed in GM mode.
+    pub placements: u64,
+    /// Placement requests this GM had to refuse.
+    pub placement_rejections: u64,
+    /// Migrations commanded (relocation + reconfiguration).
+    pub migrations_commanded: u64,
+    /// Suspend commands issued.
+    pub suspends_issued: u64,
+    /// Wake commands issued.
+    pub wakes_issued: u64,
+    /// LCs declared failed.
+    pub lc_failures_detected: u64,
+    /// VMs rescheduled after LC failures (snapshot recovery).
+    pub vms_rescheduled: u64,
+    /// Submissions dispatched while acting as GL.
+    pub dispatched_as_gl: u64,
+    /// Submissions rejected while acting as GL.
+    pub rejected_as_gl: u64,
+    /// GMs declared failed while acting as GL.
+    pub gm_failures_detected: u64,
+    /// Reconfiguration passes run.
+    pub reconfigurations: u64,
+}
+
+/// The Group Manager component.
+pub struct GroupManager {
+    config: SnoozeConfig,
+    gl_group: GroupId,
+    lc_group: GroupId,
+    elector: Elector,
+    mode: Mode,
+
+    // --- GM-mode state ---
+    lcs: BTreeMap<ComponentId, LcRecord>,
+    lc_fd: FailureDetector<ComponentId>,
+    placer: Placer,
+    pending: VecDeque<PendingPlacement>,
+    gm_timer_armed: bool,
+
+    // --- GL-mode state ---
+    gm_summaries: BTreeMap<ComponentId, GmHeartbeat>,
+    gm_fd: FailureDetector<ComponentId>,
+    dispatcher: Dispatcher,
+    dispatches: HashMap<VmId, DispatchState>,
+    /// Idempotence registry: VMs already placed this GL term, so client
+    /// retries re-ack instead of double-placing.
+    placed_registry: HashMap<VmId, (ComponentId, ComponentId)>,
+
+    /// Statistics.
+    pub stats: GmStats,
+}
+
+impl GroupManager {
+    /// A manager contending for leadership at coordination service `zk`,
+    /// heartbeating on `gl_group` when leader and on `lc_group` toward
+    /// its LCs when manager.
+    pub fn new(
+        config: SnoozeConfig,
+        zk: ComponentId,
+        gl_group: GroupId,
+        lc_group: GroupId,
+    ) -> Self {
+        let elector = Elector::new(zk, "gl-election", config.election_ping_period);
+        GroupManager {
+            lc_fd: FailureDetector::new(config.lc_timeout),
+            gm_fd: FailureDetector::new(config.gm_timeout),
+            placer: Placer::new(config.placement),
+            dispatcher: Dispatcher::new(config.dispatching),
+            config,
+            gl_group,
+            lc_group,
+            elector,
+            mode: Mode::Candidate,
+            lcs: BTreeMap::new(),
+            pending: VecDeque::new(),
+            gm_timer_armed: false,
+            gm_summaries: BTreeMap::new(),
+            dispatches: HashMap::new(),
+            placed_registry: HashMap::new(),
+            stats: GmStats::default(),
+        }
+    }
+
+    /// Current mode (inspection).
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// True if currently the Group Leader.
+    pub fn is_gl(&self) -> bool {
+        self.mode == Mode::Gl
+    }
+
+    /// Number of LCs currently managed.
+    pub fn lc_count(&self) -> usize {
+        self.lcs.len()
+    }
+
+    /// Number of VMs currently tracked across managed LCs.
+    pub fn vm_count(&self) -> usize {
+        self.lcs.values().map(|l| l.vms.len()).sum()
+    }
+
+    /// Number of GMs known (GL mode).
+    pub fn known_gms(&self) -> usize {
+        self.gm_summaries.len()
+    }
+
+    /// Step down from the manager role entirely: resign the election
+    /// (releasing the znode so no stale leadership lingers) and drop all
+    /// manager state. Used by the unified-node extension (paper §V) when
+    /// the framework demotes this node back to a Local Controller.
+    pub fn resign(&mut self, ctx: &mut Ctx) {
+        self.elector.resign(ctx);
+        self.mode = Mode::Candidate;
+        self.lcs.clear();
+        self.lc_fd.reset();
+        self.pending.clear();
+        self.gm_summaries.clear();
+        self.gm_fd.reset();
+        self.dispatches.clear();
+        self.placed_registry.clear();
+        self.gm_timer_armed = false;
+        ctx.trace("role", "resigned manager role");
+    }
+
+    // ------------------------------------------------------------------
+    // Views
+    // ------------------------------------------------------------------
+
+    fn lc_views(&self) -> Vec<LcView> {
+        self.lcs
+            .iter()
+            .map(|(&lc, r)| LcView {
+                lc,
+                capacity: r.capacity,
+                reserved: r.reserved,
+                used_estimate: r.usage.estimate(),
+                powered_on: r.powered_on,
+                waking: r.waking,
+                n_vms: r.vms.len(),
+            })
+            .collect()
+    }
+
+    fn summary(&self) -> GmHeartbeat {
+        let mut used = ResourceVector::ZERO;
+        let mut total = ResourceVector::ZERO;
+        let mut reserved = ResourceVector::ZERO;
+        let mut n_vms = 0;
+        for r in self.lcs.values() {
+            // Suspended capacity counts: it is wakeable on demand.
+            total += r.capacity;
+            reserved += r.reserved;
+            used += r.usage.estimate();
+            n_vms += r.vms.len();
+        }
+        GmHeartbeat { used, total, reserved, n_lcs: self.lcs.len(), n_vms }
+    }
+
+    // ------------------------------------------------------------------
+    // GM-mode actions
+    // ------------------------------------------------------------------
+
+    /// Try to place a VM now; returns the LC on success. On failure,
+    /// optionally wakes a suspended LC with enough capacity.
+    fn try_place(&mut self, ctx: &mut Ctx, spec: &VmSpec, workload: &VmWorkload) -> Option<ComponentId> {
+        let views = self.lc_views();
+        if let Some(lc) = self.placer.place(spec, &views) {
+            let record = self.lcs.get_mut(&lc).expect("placer returned managed LC");
+            record.reserved += spec.requested;
+            record.idle_since = None;
+            record.vms.insert(
+                spec.id,
+                VmRecord {
+                    spec: *spec,
+                    workload: workload.clone(),
+                    usage: DemandEstimator::new(self.config.estimator),
+                    migrating_to: None,
+                    confirmed: false,
+                    start_sent_at: ctx.now(),
+                },
+            );
+            self.stats.placements += 1;
+            ctx.send(lc, Box::new(StartVm { spec: *spec, workload: workload.clone() }));
+            return Some(lc);
+        }
+        // No powered-on LC fits. Wake a sleeping one that would.
+        let wake_target = self
+            .lcs
+            .iter()
+            .find(|(_, r)| {
+                !r.powered_on && !r.waking && (r.reserved + spec.requested).fits_within(&r.capacity)
+            })
+            .map(|(&lc, _)| lc);
+        if let Some(lc) = wake_target {
+            let r = self.lcs.get_mut(&lc).unwrap();
+            r.waking = true;
+            r.wake_sent_at = Some(ctx.now());
+            self.stats.wakes_issued += 1;
+            ctx.trace("energy", format!("waking {lc:?}"));
+            ctx.send(lc, Box::new(WakeNode));
+        }
+        None
+    }
+
+    /// Queue a placement for retry (wake in progress / transient full).
+    fn enqueue_pending(&mut self, ctx: &mut Ctx, spec: VmSpec, workload: VmWorkload) {
+        self.pending.push_back(PendingPlacement { spec, workload, retries: 0 });
+        if self.pending.len() == 1 {
+            ctx.set_timer(self.config.placement_retry_period, tag(GM_RETRY, 0));
+        }
+    }
+
+    fn drain_pending(&mut self, ctx: &mut Ctx) {
+        let mut still_pending = VecDeque::new();
+        while let Some(mut p) = self.pending.pop_front() {
+            if let Some(lc) = self.try_place(ctx, &p.spec, &p.workload) {
+                let _ = lc;
+                continue;
+            }
+            // A wake in flight is progress, not a failed retry — resume
+            // latency must not eat into the retry budget.
+            if !self.lcs.values().any(|r| r.waking) {
+                p.retries += 1;
+            }
+            if p.retries >= self.config.placement_max_retries {
+                self.stats.placement_rejections += 1;
+                if let Mode::Gm(gl) = self.mode {
+                    ctx.send(gl, Box::new(VmFailed { vm: p.spec.id }));
+                }
+            } else {
+                still_pending.push_back(p);
+            }
+        }
+        self.pending = still_pending;
+        if !self.pending.is_empty() {
+            ctx.set_timer(self.config.placement_retry_period, tag(GM_RETRY, 0));
+        }
+    }
+
+    /// Issue a planned migration and update reservation bookkeeping.
+    fn command_migration(&mut self, ctx: &mut Ctx, m: PlannedMigration) {
+        let Some(src) = self.lcs.get_mut(&m.from) else { return };
+        let Some(vm) = src.vms.get_mut(&m.vm) else { return };
+        if vm.migrating_to.is_some() {
+            return;
+        }
+        vm.migrating_to = Some(m.to);
+        let requested = vm.spec.requested;
+        if let Some(dst) = self.lcs.get_mut(&m.to) {
+            dst.reserved += requested;
+            dst.idle_since = None;
+        }
+        self.stats.migrations_commanded += 1;
+        ctx.send(m.from, Box::new(MigrateVm { vm: m.vm, to: m.to }));
+    }
+
+    fn vm_views_of(&self, lc: ComponentId) -> Vec<VmView> {
+        self.lcs
+            .get(&lc)
+            .map(|r| {
+                r.vms
+                    .values()
+                    .filter(|v| v.migrating_to.is_none())
+                    .map(|v| VmView {
+                        vm: v.spec.id,
+                        requested: v.spec.requested,
+                        used: v.usage.estimate(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn handle_lc_failure(&mut self, ctx: &mut Ctx, lc: ComponentId) {
+        self.stats.lc_failures_detected += 1;
+        ctx.trace("failure", format!("LC {lc:?} declared dead"));
+        let Some(record) = self.lcs.remove(&lc) else { return };
+        if self.config.reschedule_on_lc_failure {
+            // §II-E: snapshot-based recovery — "allow the GM to reschedule
+            // the failed VMs on its active LCs".
+            for vm in record.vms.into_values() {
+                self.stats.vms_rescheduled += 1;
+                self.enqueue_pending(ctx, vm.spec, vm.workload);
+            }
+        }
+    }
+
+    fn energy_sweep(&mut self, ctx: &mut Ctx) {
+        let Some(threshold) = self.config.idle_suspend_after else { return };
+        let now = ctx.now();
+        let targets: Vec<ComponentId> = self
+            .lcs
+            .iter()
+            .filter(|(_, r)| {
+                r.powered_on
+                    && !r.waking
+                    && r.vms.is_empty()
+                    && r.idle_since.map(|t| now.since(t) >= threshold).unwrap_or(false)
+            })
+            .map(|(&lc, _)| lc)
+            .collect();
+        for lc in targets {
+            let r = self.lcs.get_mut(&lc).unwrap();
+            r.powered_on = false; // optimistic; LC confirms
+            r.idle_since = None;
+            self.lc_fd.forget(lc); // no heartbeats while asleep
+            self.stats.suspends_issued += 1;
+            ctx.trace("energy", format!("suspending {lc:?}"));
+            ctx.send(lc, Box::new(SuspendNode));
+        }
+    }
+
+    /// Re-send StartVm for placements whose acknowledgment is overdue
+    /// (the command or its result was lost). Safe because the LC treats
+    /// StartVm idempotently.
+    fn retry_unconfirmed_starts(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let patience = self.config.vm_boot_delay + self.config.placement_retry_period * 4;
+        let mut resend: Vec<(ComponentId, VmSpec, VmWorkload)> = Vec::new();
+        for (&lc, record) in &mut self.lcs {
+            if !record.powered_on {
+                continue;
+            }
+            for rec in record.vms.values_mut() {
+                if !rec.confirmed
+                    && rec.migrating_to.is_none()
+                    && now.since(rec.start_sent_at) > patience
+                {
+                    rec.start_sent_at = now;
+                    resend.push((lc, rec.spec, rec.workload.clone()));
+                }
+            }
+        }
+        for (lc, spec, workload) in resend {
+            ctx.trace("retry", format!("re-sending StartVm {:?} to {lc:?}", spec.id));
+            ctx.send(lc, Box::new(StartVm { spec, workload }));
+        }
+    }
+
+    /// Re-send WakeNode to nodes that have been "waking" implausibly
+    /// long — the original command (or the confirmation) was lost.
+    fn retry_stale_wakes(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        let patience = self.config.placement_retry_period * 12;
+        let stale: Vec<ComponentId> = self
+            .lcs
+            .iter()
+            .filter(|(_, r)| {
+                r.waking
+                    && r.wake_sent_at.map(|t| now.since(t) > patience).unwrap_or(true)
+            })
+            .map(|(&lc, _)| lc)
+            .collect();
+        for lc in stale {
+            if let Some(r) = self.lcs.get_mut(&lc) {
+                r.wake_sent_at = Some(now);
+            }
+            ctx.trace("energy", format!("re-waking {lc:?}"));
+            ctx.send(lc, Box::new(WakeNode));
+        }
+    }
+
+    fn reconfigure(&mut self, ctx: &mut Ctx) {
+        let Some(rc) = self.config.reconfiguration else { return };
+        self.stats.reconfigurations += 1;
+        let views = self.lc_views();
+        let placements: Vec<(VmView, ComponentId)> = self
+            .lcs
+            .iter()
+            .flat_map(|(&lc, r)| {
+                r.vms
+                    .values()
+                    .filter(|v| v.migrating_to.is_none())
+                    .map(move |v| {
+                        (
+                            VmView {
+                                vm: v.spec.id,
+                                requested: v.spec.requested,
+                                used: v.usage.estimate(),
+                            },
+                            lc,
+                        )
+                    })
+            })
+            .collect();
+        let consolidator = AcoConsolidator::new(rc.aco);
+        let plan = plan_reconfiguration(
+            &views,
+            &placements,
+            &consolidator,
+            rc.max_migrations,
+            self.config.overload_threshold,
+        );
+        if !plan.is_empty() {
+            ctx.trace("reconf", format!("{} migrations", plan.len()));
+        }
+        for m in plan {
+            self.command_migration(ctx, m);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mode transitions
+    // ------------------------------------------------------------------
+
+    fn become_gl(&mut self, ctx: &mut Ctx) {
+        ctx.trace("election", "promoted to GL");
+        self.mode = Mode::Gl;
+        // Dedicated roles: a GL does not manage LCs. Drop them; they will
+        // notice the missing GM heartbeats and rejoin through the GL.
+        self.lcs.clear();
+        self.lc_fd.reset();
+        self.pending.clear();
+        self.gm_summaries.clear();
+        self.gm_fd.reset();
+        self.dispatches.clear();
+        self.placed_registry.clear();
+        ctx.set_timer(self.config.gl_heartbeat_period, tag(GL_TICK, 0));
+        // Announce immediately: EPs and orphaned LCs are waiting.
+        let me = ctx.id();
+        ctx.multicast(self.gl_group, move || Box::new(GlHeartbeat { gl: me }));
+    }
+
+    fn become_gm(&mut self, ctx: &mut Ctx, gl: ComponentId) {
+        if self.mode == Mode::Gl {
+            // Demotion does not happen in the ZK recipe (a leader keeps
+            // its lowest znode until it dies), but guard anyway.
+            self.gm_summaries.clear();
+            self.gm_fd.reset();
+        }
+        self.mode = Mode::Gm(gl);
+        ctx.trace("election", format!("following GL {gl:?}"));
+        ctx.send(gl, Box::new(GmJoin));
+        if !self.gm_timer_armed {
+            self.gm_timer_armed = true;
+            ctx.set_timer(self.config.gm_heartbeat_period, tag(GM_TICK, 0));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // GL-mode actions
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ctx: &mut Ctx, submit: SubmitVm) {
+        // Client submissions are at-least-once; placement must not be.
+        if let Some(&(gm, lc)) = self.placed_registry.get(&submit.spec.id) {
+            ctx.send(submit.client, Box::new(VmPlaced { vm: submit.spec.id, gm, lc }));
+            return;
+        }
+        if self.dispatches.contains_key(&submit.spec.id) {
+            return; // already in flight
+        }
+        let summaries: Vec<GmSummaryView> = self
+            .gm_summaries
+            .iter()
+            .map(|(&gm, s)| GmSummaryView {
+                gm,
+                used: s.used,
+                total: s.total,
+                reserved: s.reserved,
+                n_lcs: s.n_lcs,
+                n_vms: s.n_vms,
+            })
+            .collect();
+        let candidates = self.dispatcher.candidates(&submit.spec, &summaries);
+        if candidates.is_empty() {
+            self.stats.rejected_as_gl += 1;
+            ctx.send(submit.client, Box::new(VmRejected { vm: submit.spec.id }));
+            return;
+        }
+        let first = candidates[0];
+        self.stats.dispatched_as_gl += 1;
+        self.dispatches.insert(
+            submit.spec.id,
+            DispatchState {
+                spec: submit.spec,
+                workload: submit.workload.clone(),
+                client: submit.client,
+                candidates,
+                next: 1,
+                started_at: ctx.now(),
+                accepted: false,
+            },
+        );
+        ctx.send(first, Box::new(PlaceVmRequest { spec: submit.spec, workload: submit.workload }));
+    }
+
+    /// Linear search continuation: the previous candidate refused.
+    fn advance_dispatch(&mut self, ctx: &mut Ctx, vm: VmId) {
+        let Some(state) = self.dispatches.get_mut(&vm) else { return };
+        // Skip candidates that have since been declared dead.
+        while state.next < state.candidates.len() {
+            let gm = state.candidates[state.next];
+            state.next += 1;
+            if self.gm_summaries.contains_key(&gm) {
+                state.started_at = ctx.now();
+                state.accepted = false;
+                let req =
+                    PlaceVmRequest { spec: state.spec, workload: state.workload.clone() };
+                ctx.send(gm, Box::new(req));
+                return;
+            }
+        }
+        let state = self.dispatches.remove(&vm).unwrap();
+        self.stats.rejected_as_gl += 1;
+        ctx.send(state.client, Box::new(VmRejected { vm }));
+    }
+
+    fn handle_gm_failure(&mut self, ctx: &mut Ctx, gm: ComponentId) {
+        // "GM failures are detected by the GL based on missing heartbeats,
+        // and its contact information is gracefully removed in order to
+        // prevent new VMs from being scheduled on it" (§II-E).
+        self.stats.gm_failures_detected += 1;
+        self.gm_summaries.remove(&gm);
+        ctx.trace("failure", format!("GM {gm:?} declared dead"));
+        // Any dispatch waiting on that GM moves to the next candidate.
+        let mut stuck: Vec<VmId> = self
+            .dispatches
+            .iter()
+            .filter(|(_, s)| s.next > 0 && s.candidates.get(s.next - 1) == Some(&gm))
+            .map(|(&vm, _)| vm)
+            .collect();
+        stuck.sort_unstable(); // HashMap order must not leak into messages
+        for vm in stuck {
+            self.advance_dispatch(ctx, vm);
+        }
+    }
+
+    fn gl_tick(&mut self, ctx: &mut Ctx) {
+        let me = ctx.id();
+        ctx.multicast(self.gl_group, move || Box::new(GlHeartbeat { gl: me }));
+        for gm in self.gm_fd.expire(ctx.now()) {
+            self.handle_gm_failure(ctx, gm);
+        }
+        // Time out dispatches whose current candidate never answered —
+        // and, with a much longer fuse, *accepted* dispatches whose GM
+        // went silent (a lost StartVm/VmActive would otherwise wedge the
+        // VM forever behind the in-flight dedupe). The accepted deadline
+        // must comfortably exceed a node wake (≈25 s) plus a VM boot.
+        let deadline = self.config.placement_retry_period * 4;
+        let accepted_deadline = self.config.dispatch_accept_timeout;
+        let now = ctx.now();
+        let mut stale: Vec<VmId> = self
+            .dispatches
+            .iter()
+            .filter(|(_, s)| {
+                let age = now.since(s.started_at);
+                if s.accepted {
+                    age > accepted_deadline
+                } else {
+                    age > deadline
+                }
+            })
+            .map(|(&vm, _)| vm)
+            .collect();
+        stale.sort_unstable(); // HashMap order must not leak into messages
+        for vm in stale {
+            self.advance_dispatch(ctx, vm);
+        }
+        ctx.set_timer(self.config.gl_heartbeat_period, tag(GL_TICK, 0));
+    }
+
+    fn gm_tick(&mut self, ctx: &mut Ctx) {
+        if let Mode::Gm(gl) = self.mode {
+            let summary = self.summary();
+            ctx.send(gl, Box::new(summary));
+            let me = ctx.id();
+            ctx.multicast(self.lc_group, move || Box::new(GmLcHeartbeat { gm: me }));
+            for lc in self.lc_fd.expire(ctx.now()) {
+                self.handle_lc_failure(ctx, lc);
+            }
+            self.retry_stale_wakes(ctx);
+            self.retry_unconfirmed_starts(ctx);
+            self.energy_sweep(ctx);
+            ctx.set_timer(self.config.gm_heartbeat_period, tag(GM_TICK, 0));
+        } else {
+            self.gm_timer_armed = false;
+        }
+    }
+}
+
+impl Component for GroupManager {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.gl_group);
+        self.elector.start(ctx);
+        if let Some(rc) = self.config.reconfiguration {
+            ctx.set_timer(rc.period, tag(GM_RECONF, 0));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+        let now = ctx.now();
+
+        // --- election plumbing ---
+        if let Some(reply) = msg.downcast_ref::<ZkReply>() {
+            if let Some(event) = self.elector.handle_reply(ctx, reply) {
+                match event {
+                    ElectorEvent::BecameLeader => self.become_gl(ctx),
+                    ElectorEvent::FollowingLeader(gl) => self.become_gm(ctx, gl),
+                }
+            }
+            return;
+        }
+
+        // --- messages any mode can receive ---
+        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
+            // A GM re-syncs with a GL it didn't know (e.g. after the
+            // elector converged before the GmJoin got through a partition).
+            if let Mode::Gm(gl) = self.mode {
+                if gl != hb.gl {
+                    self.become_gm(ctx, hb.gl);
+                }
+            }
+            return;
+        }
+
+        match self.mode {
+            Mode::Gl => {
+                if msg.downcast_ref::<GmJoin>().is_some() {
+                    self.gm_fd.heard(src, now);
+                    self.gm_summaries.entry(src).or_insert(GmHeartbeat {
+                        used: ResourceVector::ZERO,
+                        total: ResourceVector::ZERO,
+                        reserved: ResourceVector::ZERO,
+                        n_lcs: 0,
+                        n_vms: 0,
+                    });
+                } else if let Some(hb) = msg.downcast_ref::<GmHeartbeat>() {
+                    self.gm_fd.heard(src, now);
+                    self.gm_summaries.insert(src, *hb);
+                } else if msg.downcast_ref::<LcAssignRequest>().is_some() {
+                    // Assign to the GM with the fewest LCs ("e.g. to least
+                    // loaded GMs", §II-D).
+                    let target = self
+                        .gm_summaries
+                        .iter()
+                        .min_by_key(|(gm, s)| (s.n_lcs, **gm))
+                        .map(|(&gm, _)| gm);
+                    if let Some(gm) = target {
+                        // Count the assignment so a burst of joins spreads.
+                        if let Some(s) = self.gm_summaries.get_mut(&gm) {
+                            s.n_lcs += 1;
+                        }
+                        ctx.send(src, Box::new(LcAssignment { gm }));
+                    }
+                    // No GMs yet: drop; the LC retries on later heartbeats.
+                } else if msg.downcast_ref::<SubmitVm>().is_some() {
+                    let submit = msg.downcast::<SubmitVm>().unwrap();
+                    self.dispatch(ctx, *submit);
+                } else if let Some(resp) = msg.downcast_ref::<PlaceVmResponse>() {
+                    if resp.placed_on.is_some() {
+                        // Accepted; wait for VmActive before acking client.
+                        if let Some(state) = self.dispatches.get_mut(&resp.vm) {
+                            state.accepted = true;
+                            state.started_at = now; // acceptance clock
+                        }
+                    } else {
+                        self.advance_dispatch(ctx, resp.vm);
+                    }
+                } else if let Some(active) = msg.downcast_ref::<VmActive>() {
+                    self.placed_registry.insert(active.vm, (src, active.lc));
+                    if let Some(state) = self.dispatches.remove(&active.vm) {
+                        let placed = VmPlaced { vm: active.vm, gm: src, lc: active.lc };
+                        ctx.send(state.client, Box::new(placed));
+                    }
+                } else if let Some(fail) = msg.downcast_ref::<VmFailed>() {
+                    if let Some(state) = self.dispatches.remove(&fail.vm) {
+                        self.stats.rejected_as_gl += 1;
+                        ctx.send(state.client, Box::new(VmRejected { vm: fail.vm }));
+                    }
+                } else if msg.downcast_ref::<crate::unified::ManagerCensusQuery>().is_some() {
+                    // Unified-node extension (§V): the role director asks
+                    // how many managers are alive (GMs we know + us).
+                    let managers = self.gm_summaries.len() + 1;
+                    ctx.send(src, Box::new(crate::unified::ManagerCensusReply { managers }));
+                } else if msg.downcast_ref::<HierarchyQuery>().is_some() {
+                    // "Exporting of the hierarchy organization" (§II-A).
+                    let snapshot = HierarchySnapshot {
+                        gl: ctx.id(),
+                        gms: self.gm_summaries.iter().map(|(&gm, s)| (gm, *s)).collect(),
+                    };
+                    ctx.send(src, Box::new(snapshot));
+                }
+            }
+
+            Mode::Gm(gl) => {
+                if let Some(join) = msg.downcast_ref::<LcJoin>() {
+                    self.lc_fd.heard(src, now);
+                    self.lcs.entry(src).or_insert_with(|| LcRecord {
+                        capacity: join.capacity,
+                        reserved: ResourceVector::ZERO,
+                        usage: DemandEstimator::new(self.config.estimator),
+                        powered_on: true,
+                        waking: false,
+                        wake_sent_at: None,
+                        idle_since: Some(now),
+                        vms: BTreeMap::new(),
+                    });
+                    ctx.trace("join", format!("LC {src:?} joined"));
+                    let group = self.lc_group;
+                    ctx.send(src, Box::new(LcJoinAckWithGroup { group }));
+                } else if msg.downcast_ref::<LcMonitoring>().is_some() {
+                    let report = msg.downcast::<LcMonitoring>().unwrap();
+                    let estimator_kind = self.config.estimator;
+                    let Some(record) = self.lcs.get_mut(&src) else { return };
+                    if !record.powered_on && report.powered_on {
+                        // In-flight report racing a suspend command: if it
+                        // refreshed the record, the failure detector would
+                        // later expire the silent sleeper and evict it.
+                        // The LC announces genuine wake-ups (and refused
+                        // suspends) via NodePowerChanged.
+                        return;
+                    }
+                    self.lc_fd.heard(src, now);
+                    record.capacity = report.capacity;
+                    record.reserved = report.reserved;
+                    record.powered_on = report.powered_on;
+                    if report.powered_on {
+                        record.waking = false;
+                        record.wake_sent_at = None;
+                    }
+                    let mut total_used = ResourceVector::ZERO;
+                    // Sync the VM set with the LC's authoritative list.
+                    let reported: std::collections::BTreeSet<VmId> =
+                        report.vms.iter().map(|v| v.vm).collect();
+                    record.vms.retain(|vm, rec| {
+                        // VMs mid-migration linger in bookkeeping until
+                        // MigrationDone even if the LC dropped them, and
+                        // unconfirmed records survive until their StartVm
+                        // is acknowledged (it may still be in flight).
+                        reported.contains(vm) || rec.migrating_to.is_some() || !rec.confirmed
+                    });
+                    for vu in &report.vms {
+                        total_used += vu.used;
+                        let rec = record.vms.entry(vu.vm).or_insert_with(|| VmRecord {
+                            spec: snooze_cluster::vm::VmSpec::new(vu.vm, vu.requested),
+                            workload: VmWorkload::flat_full(vu.vm.0),
+                            usage: DemandEstimator::new(estimator_kind),
+                            migrating_to: None,
+                            confirmed: true,
+                            start_sent_at: now,
+                        });
+                        rec.confirmed = true; // the LC vouches for it
+                        rec.usage.observe(vu.used);
+                    }
+                    record.usage.observe(total_used);
+                    record.idle_since = match (record.vms.is_empty(), record.idle_since) {
+                        (true, None) => Some(now),
+                        (true, keep) => keep,
+                        (false, _) => None,
+                    };
+                } else if msg.downcast_ref::<AnomalyReport>().is_some() {
+                    let report = msg.downcast::<AnomalyReport>().unwrap();
+                    self.lc_fd.heard(src, now);
+                    let views = self.lc_views();
+                    match report.kind {
+                        AnomalyKind::Overload => {
+                            let vms = self.vm_views_of(src);
+                            if let Some(m) = plan_overload_relocation(src, &vms, &views) {
+                                ctx.trace("relocate", format!("overload: {m:?}"));
+                                self.command_migration(ctx, m);
+                            }
+                        }
+                        AnomalyKind::Underload => {
+                            let vms = self.vm_views_of(src);
+                            if let Some(plan) = plan_underload_relocation(
+                                src,
+                                &vms,
+                                &views,
+                                self.config.underload_threshold,
+                            ) {
+                                ctx.trace("relocate", format!("underload: drain {} vms", plan.len()));
+                                for m in plan {
+                                    self.command_migration(ctx, m);
+                                }
+                            }
+                        }
+                    }
+                } else if msg.downcast_ref::<PlaceVmRequest>().is_some() {
+                    let req = msg.downcast::<PlaceVmRequest>().unwrap();
+                    if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload) {
+                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: Some(lc) };
+                        ctx.send(src, Box::new(resp));
+                    } else if self.lcs.values().any(|r| r.waking) {
+                        // Capacity is waking up: accept and queue.
+                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: Some(src) };
+                        ctx.send(src, Box::new(resp));
+                        self.enqueue_pending(ctx, req.spec, req.workload);
+                    } else {
+                        self.stats.placement_rejections += 1;
+                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: None };
+                        ctx.send(src, Box::new(resp));
+                    }
+                } else if let Some(result) = msg.downcast_ref::<StartVmResult>() {
+                    if result.ok {
+                        if let Some(record) = self.lcs.get_mut(&src) {
+                            if let Some(rec) = record.vms.get_mut(&result.vm) {
+                                rec.confirmed = true;
+                            }
+                        }
+                        ctx.send(gl, Box::new(VmActive { vm: result.vm, lc: src }));
+                    } else {
+                        // Admission raced; roll back and retry elsewhere.
+                        if let Some(record) = self.lcs.get_mut(&src) {
+                            if let Some(rec) = record.vms.remove(&result.vm) {
+                                record.reserved =
+                                    record.reserved.saturating_sub(&rec.spec.requested);
+                                self.enqueue_pending(ctx, rec.spec, rec.workload);
+                            }
+                        }
+                    }
+                } else if let Some(refused) = msg.downcast_ref::<MigrateRefused>() {
+                    // Roll back: the VM stays where it is; release the
+                    // destination's reservation.
+                    let vm = refused.vm;
+                    let rollback = self.lcs.values_mut().find_map(|r| {
+                        let rec = r.vms.get_mut(&vm)?;
+                        rec.migrating_to.take().map(|dest| (rec.spec.requested, dest))
+                    });
+                    if let Some((requested, dest)) = rollback {
+                        if let Some(dst) = self.lcs.get_mut(&dest) {
+                            dst.reserved = dst.reserved.saturating_sub(&requested);
+                        }
+                    }
+                } else if let Some(done) = msg.downcast_ref::<MigrationDone>() {
+                    // src is the *destination* LC.
+                    self.lc_fd.heard(src, now);
+                    let vm = done.vm;
+                    // Find the source record holding this VM in-flight.
+                    let source = self
+                        .lcs
+                        .iter()
+                        .find(|(_, r)| {
+                            r.vms.get(&vm).map(|v| v.migrating_to == Some(src)).unwrap_or(false)
+                        })
+                        .map(|(&lc, _)| lc);
+                    if let Some(from) = source {
+                        let rec = {
+                            let src_rec = self.lcs.get_mut(&from).unwrap();
+                            let rec = src_rec.vms.remove(&vm).unwrap();
+                            src_rec.reserved =
+                                src_rec.reserved.saturating_sub(&rec.spec.requested);
+                            if src_rec.vms.is_empty() {
+                                src_rec.idle_since = Some(now);
+                            }
+                            rec
+                        };
+                        if done.ok {
+                            if let Some(dst_rec) = self.lcs.get_mut(&src) {
+                                dst_rec.vms.insert(
+                                    vm,
+                                    VmRecord { migrating_to: None, ..rec },
+                                );
+                            }
+                        } else {
+                            // Destination refused the hand-off: the VM is
+                            // gone from the source. Recover if configured.
+                            if let Some(dst_rec) = self.lcs.get_mut(&src) {
+                                dst_rec.reserved =
+                                    dst_rec.reserved.saturating_sub(&rec.spec.requested);
+                            }
+                            if self.config.reschedule_on_lc_failure {
+                                self.stats.vms_rescheduled += 1;
+                                self.enqueue_pending(ctx, rec.spec, rec.workload);
+                            }
+                        }
+                    }
+                } else if let Some(d) = msg.downcast_ref::<DestroyVm>() {
+                    // Forwarded by an LC the VM migrated away from: route
+                    // to wherever our bookkeeping says it lives now.
+                    let vm = d.vm;
+                    let host = self
+                        .lcs
+                        .iter()
+                        .find(|(&lc, r)| lc != src && r.vms.contains_key(&vm))
+                        .map(|(&lc, _)| lc);
+                    if let Some(lc) = host {
+                        ctx.send(lc, Box::new(DestroyVm { vm }));
+                    }
+                } else if let Some(pc) = msg.downcast_ref::<NodePowerChanged>() {
+                    if let Some(record) = self.lcs.get_mut(&src) {
+                        record.powered_on = pc.powered_on;
+                        if pc.powered_on {
+                            record.waking = false;
+                            record.wake_sent_at = None;
+                            self.lc_fd.heard(src, now);
+                            // Capacity came online: retry queued work now.
+                            self.drain_pending(ctx);
+                        } else {
+                            self.lc_fd.forget(src);
+                        }
+                    }
+                }
+            }
+
+            Mode::Candidate => {
+                // Not yet part of the hierarchy; only election traffic
+                // (handled above) matters.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+        if t == ELECTION_PING_TAG {
+            self.elector.tick(ctx);
+            return;
+        }
+        match tag_kind(t) {
+            GL_TICK if self.mode == Mode::Gl => self.gl_tick(ctx),
+            GL_TICK => {}
+            GM_TICK => self.gm_tick(ctx),
+            GM_RETRY => {
+                if matches!(self.mode, Mode::Gm(_)) {
+                    self.drain_pending(ctx);
+                }
+            }
+            GM_RECONF => {
+                if matches!(self.mode, Mode::Gm(_)) {
+                    self.reconfigure(ctx);
+                }
+                if let Some(rc) = self.config.reconfiguration {
+                    ctx.set_timer(rc.period, tag(GM_RECONF, 0));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        // Fresh process: volatile state is gone (§II-E's self-healing
+        // relies on re-joining, not on persistence).
+        self.mode = Mode::Candidate;
+        self.lcs.clear();
+        self.lc_fd.reset();
+        self.pending.clear();
+        self.gm_summaries.clear();
+        self.gm_fd.reset();
+        self.dispatches.clear();
+        self.placed_registry.clear();
+        self.gm_timer_armed = false;
+        ctx.trace("restart", "GM back up");
+        self.elector.start(ctx);
+        if let Some(rc) = self.config.reconfiguration {
+            ctx.set_timer(rc.period, tag(GM_RECONF, 0));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # snooze
+//!
+//! A Rust reproduction of **Snooze** — the scalable, autonomic and
+//! energy-aware virtual-machine management framework of Feller & Morin,
+//! *Autonomous and Energy-Aware Management of Large-Scale Cloud
+//! Infrastructures* (IPDPS 2012 PhD Forum).
+//!
+//! The system is a self-organizing hierarchy (paper Figure 1):
+//!
+//! ```text
+//!   clients ──► Entry Points (replicated)
+//!                  │   discover the GL via multicast heartbeats
+//!                  ▼
+//!              Group Leader  ◄─ elected among the managers (ZooKeeper recipe)
+//!               │  dispatching: candidate GMs + linear search
+//!               ▼
+//!          Group Managers    ◄─ placement / relocation / reconfiguration,
+//!               │               demand estimation, energy management
+//!               ▼
+//!         Local Controllers  ◄─ one per node: hypervisor, monitoring,
+//!                                anomaly detection, power state
+//! ```
+//!
+//! * [`system`] assembles a full deployment inside a
+//!   [`snooze_simcore::engine::Engine`] simulation.
+//! * [`group_manager`], [`local_controller`], [`entry_point`] are the
+//!   hierarchy's components; [`client`] is a scripted test client.
+//! * [`scheduling`] holds the two-level scheduling policies of §II-C;
+//!   [`estimator`] the demand estimation of §II-B.
+//! * Consolidation algorithms (the §III contribution) live in the
+//!   companion crate `snooze-consolidation` and plug in through
+//!   [`scheduling::reconfiguration`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snooze::prelude::*;
+//! use snooze_cluster::node::NodeSpec;
+//! use snooze_simcore::prelude::*;
+//!
+//! let mut sim = SimBuilder::new(7).network(NetworkConfig::lan()).build();
+//! let config = SnoozeConfig::fast_test();
+//! let nodes = NodeSpec::standard_cluster(4);
+//! let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
+//! sim.run_until(SimTime::from_secs(10));
+//! assert!(system.current_gl(&sim).is_some(), "hierarchy converged");
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod entry_point;
+pub mod estimator;
+pub mod group_manager;
+pub mod local_controller;
+pub mod messages;
+pub mod scheduling;
+pub mod system;
+pub mod tags;
+pub mod unified;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::client::{ClientDriver, ScheduledVm};
+    pub use crate::config::SnoozeConfig;
+    pub use crate::entry_point::EntryPoint;
+    pub use crate::group_manager::{GroupManager, Mode};
+    pub use crate::local_controller::LocalController;
+    pub use crate::messages::*;
+    pub use crate::system::SnoozeSystem;
+    pub use crate::unified::{NodeRole, RoleDirector, UnifiedNode, UnifiedSystem};
+}

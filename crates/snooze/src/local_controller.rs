@@ -1,0 +1,493 @@
+//! The Local Controller (LC) — one per physical node.
+//!
+//! Paper §II-A: "LCs enforce VM and host management commands coming from
+//! the GM. Moreover, they detect local overload/underload anomaly
+//! situations and report them to the assigned GM."
+//!
+//! The LC owns the node's hypervisor ([`Hypervisor`]), its power-state
+//! machine, and an energy meter. It self-organizes per §II-D: on start
+//! (or after losing its GM) it listens for GL heartbeats, asks the GL for
+//! a GM assignment, joins that GM's multicast group and starts sending
+//! monitoring reports, which double as its heartbeat.
+
+use snooze_cluster::hypervisor::Hypervisor;
+use snooze_cluster::node::{NodeSpec, PowerState, PowerStateMachine};
+use snooze_cluster::power::EnergyMeter;
+use snooze_cluster::vm::{VmId, VmState};
+use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::config::SnoozeConfig;
+use crate::messages::*;
+use crate::tags::*;
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LcStats {
+    /// VMs successfully started here.
+    pub vms_started: u64,
+    /// VMs destroyed by client request.
+    pub vms_destroyed: u64,
+    /// Outbound live migrations completed.
+    pub migrations_out: u64,
+    /// Inbound live migrations accepted.
+    pub migrations_in: u64,
+    /// Inbound migrations rejected for lack of capacity.
+    pub migrations_rejected: u64,
+    /// Times this node entered suspend.
+    pub suspensions: u64,
+    /// Times this node was woken.
+    pub wakeups: u64,
+    /// Wake-ups initiated by the RTC watchdog (self-healing check-ins).
+    pub watchdog_wakes: u64,
+    /// Overload anomaly reports sent.
+    pub overload_reports: u64,
+    /// Underload anomaly reports sent.
+    pub underload_reports: u64,
+    /// VMs lost to a crash of this node.
+    pub vms_lost_to_crash: u64,
+}
+
+/// The Local Controller component.
+pub struct LocalController {
+    node: NodeSpec,
+    config: SnoozeConfig,
+    gl_group: GroupId,
+
+    hypervisor: Hypervisor,
+    power: PowerStateMachine,
+    energy: EnergyMeter,
+    gm: Option<ComponentId>,
+    gm_group: Option<GroupId>,
+    last_gm_heartbeat: SimTime,
+    assignment_requested_at: Option<SimTime>,
+    /// Outbound migrations in flight: vm → destination.
+    migrating_out: Vec<(VmId, ComponentId)>,
+    last_anomaly_at: SimTime,
+    /// Statistics.
+    pub stats: LcStats,
+}
+
+impl LocalController {
+    /// A controller for `node`, discovering the hierarchy through GL
+    /// heartbeats on `gl_group`.
+    pub fn new(node: NodeSpec, config: SnoozeConfig, gl_group: GroupId) -> Self {
+        let hypervisor = Hypervisor::new(node.capacity);
+        let power = PowerStateMachine::new_on(node.transitions);
+        let idle_watts = node.power.active_watts(0.0);
+        LocalController {
+            node,
+            config,
+            gl_group,
+            hypervisor,
+            power,
+            energy: EnergyMeter::new(SimTime::ZERO, idle_watts),
+            gm: None,
+            gm_group: None,
+            last_gm_heartbeat: SimTime::ZERO,
+            assignment_requested_at: None,
+            migrating_out: Vec::new(),
+            last_anomaly_at: SimTime::ZERO,
+            stats: LcStats::default(),
+        }
+    }
+
+    /// The node's hypervisor (inspection).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hypervisor
+    }
+
+    /// Current power state.
+    pub fn power_state(&self) -> PowerState {
+        self.power.state()
+    }
+
+    /// The GM this LC is assigned to, if any.
+    pub fn assigned_gm(&self) -> Option<ComponentId> {
+        self.gm
+    }
+
+    /// Energy consumed up to `now`, in watt-hours.
+    pub fn energy_wh(&self, now: SimTime) -> f64 {
+        self.energy.wh_at(now)
+    }
+
+    /// Fraction of demanded work delivered right now (1.0 = no
+    /// contention) — the application-performance signal for E6.
+    pub fn performance_at(&self, now: SimTime) -> f64 {
+        self.hypervisor.performance_at(now)
+    }
+
+    fn is_on(&self) -> bool {
+        self.power.state().is_on()
+    }
+
+    fn meter_update(&mut self, now: SimTime) {
+        let util = if self.is_on() {
+            let u = self.hypervisor.utilization_at(now);
+            u.cpu.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let watts = self.power.watts(self.node.power.as_ref(), util);
+        self.energy.update(now, watts);
+    }
+
+    fn send_monitoring(&mut self, ctx: &mut Ctx, powered_on: bool) {
+        let Some(gm) = self.gm else { return };
+        let now = ctx.now();
+        let vms: Vec<VmUsage> = self
+            .hypervisor
+            .guests()
+            .map(|g| VmUsage {
+                vm: g.spec.id,
+                requested: g.spec.requested,
+                used: g.workload.usage_at(now, &g.spec.requested),
+            })
+            .collect();
+        let report = LcMonitoring {
+            capacity: self.hypervisor.capacity(),
+            reserved: self.hypervisor.reserved(),
+            vms,
+            powered_on,
+            sampled_at: now,
+        };
+        ctx.send(gm, Box::new(report));
+    }
+
+    fn check_anomalies(&mut self, ctx: &mut Ctx) {
+        let Some(gm) = self.gm else { return };
+        let now = ctx.now();
+        // Rate-limit anomaly spam: one report per three monitoring ticks.
+        if now.since(self.last_anomaly_at) < self.config.lc_monitoring_period * 3 {
+            return;
+        }
+        // VMs mid-migration are about to leave; don't double-report them.
+        let kind = if self.hypervisor.is_overloaded(now, self.config.overload_threshold) {
+            Some(AnomalyKind::Overload)
+        } else if self.migrating_out.is_empty()
+            && self.hypervisor.is_underloaded(now, self.config.underload_threshold)
+        {
+            Some(AnomalyKind::Underload)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            self.last_anomaly_at = now;
+            match kind {
+                AnomalyKind::Overload => self.stats.overload_reports += 1,
+                AnomalyKind::Underload => self.stats.underload_reports += 1,
+            }
+            let vms: Vec<VmUsage> = self
+                .hypervisor
+                .guests()
+                .filter(|g| g.state == VmState::Running)
+                .map(|g| VmUsage {
+                    vm: g.spec.id,
+                    requested: g.spec.requested,
+                    used: g.workload.usage_at(now, &g.spec.requested),
+                })
+                .collect();
+            let monitoring = LcMonitoring {
+                capacity: self.hypervisor.capacity(),
+                reserved: self.hypervisor.reserved(),
+                vms,
+                powered_on: true,
+                sampled_at: now,
+            };
+            ctx.trace("anomaly", format!("{kind:?}"));
+            ctx.send(gm, Box::new(AnomalyReport { kind, monitoring }));
+        }
+    }
+
+    fn leave_gm(&mut self, ctx: &mut Ctx) {
+        if let Some(group) = self.gm_group.take() {
+            ctx.leave_group(group);
+        }
+        self.gm = None;
+        self.assignment_requested_at = None;
+    }
+
+    /// Whether this node could currently give up its LC role (powered
+    /// on, hosting nothing, no migrations in flight). Used by the
+    /// unified-node extension (paper §V) before a promotion.
+    pub fn promotable(&self) -> bool {
+        self.power.state().is_on() && self.hypervisor.is_idle() && self.migrating_out.is_empty()
+    }
+
+    /// Detach from the hierarchy in preparation for a role change:
+    /// leaves the GM group and forgets the assignment. Only legal when
+    /// [`LocalController::promotable`]; returns whether it detached.
+    pub fn detach(&mut self, ctx: &mut Ctx) -> bool {
+        if !self.promotable() {
+            return false;
+        }
+        self.leave_gm(ctx);
+        true
+    }
+}
+
+impl Component for LocalController {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.gl_group);
+        self.energy = EnergyMeter::new(ctx.now(), self.node.power.active_watts(0.0));
+        ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+        let now = ctx.now();
+        self.power.tick(now);
+
+        // While suspended, the NIC only honours wake-on-LAN.
+        if !self.is_on() {
+            if msg.downcast_ref::<WakeNode>().is_some() {
+                if let Ok(done) = self.power.resume(now) {
+                    self.meter_update(now);
+                    self.stats.wakeups += 1;
+                    ctx.set_timer(done - now, tag(LC_POWER, 0));
+                    ctx.trace("power", "waking");
+                }
+            }
+            return;
+        }
+
+        if msg.downcast_ref::<GlHeartbeat>().is_some() {
+            let hb = msg.downcast::<GlHeartbeat>().unwrap();
+            // Unassigned LCs use GL heartbeats to (re)join the hierarchy.
+            if self.gm.is_none() {
+                let stale = self
+                    .assignment_requested_at
+                    .map(|t| now.since(t) > self.config.placement_retry_period)
+                    .unwrap_or(true);
+                if stale {
+                    self.assignment_requested_at = Some(now);
+                    let capacity = self.hypervisor.capacity();
+                    ctx.send(hb.gl, Box::new(LcAssignRequest { capacity }));
+                }
+            }
+        } else if let Some(assign) = msg.downcast_ref::<LcAssignment>() {
+            if self.gm.is_none() {
+                let capacity = self.hypervisor.capacity();
+                ctx.send(assign.gm, Box::new(LcJoin { capacity }));
+            }
+        } else if let Some(ack) = msg.downcast_ref::<LcJoinAckWithGroup>() {
+            self.gm = Some(src);
+            self.last_gm_heartbeat = now;
+            let group = ack.group;
+            self.gm_group = Some(group);
+            ctx.join_group(group);
+            ctx.trace("join", format!("joined GM {src:?}"));
+            // Report immediately so the GM learns our capacity and guests.
+            self.send_monitoring(ctx, true);
+        } else if let Some(hb) = msg.downcast_ref::<GmLcHeartbeat>() {
+            if Some(hb.gm) == self.gm {
+                self.last_gm_heartbeat = now;
+            }
+        } else if msg.downcast_ref::<StartVm>().is_some() {
+            let start = msg.downcast::<StartVm>().unwrap();
+            let vm = start.spec.id;
+            // Idempotent: a GM may re-send a StartVm whose acknowledgment
+            // was lost. An already-running guest is re-acked; a booting
+            // one will be acked by its boot timer.
+            if let Some(existing) = self.hypervisor.guest(vm) {
+                if existing.state == VmState::Running {
+                    ctx.send(src, Box::new(StartVmResult { vm, ok: true }));
+                }
+                return;
+            }
+            match self.hypervisor.admit(start.spec, start.workload, now) {
+                Ok(()) => {
+                    if let Some(g) = self.hypervisor.guest_mut(vm) {
+                        g.state = VmState::Booting;
+                    }
+                    self.meter_update(now);
+                    ctx.set_timer(self.config.vm_boot_delay, tag(LC_VM_BOOT, vm.0));
+                }
+                Err(_) => {
+                    ctx.send(src, Box::new(StartVmResult { vm, ok: false }));
+                }
+            }
+        } else if let Some(d) = msg.downcast_ref::<DestroyVm>() {
+            if self.hypervisor.remove(d.vm).is_some() {
+                self.stats.vms_destroyed += 1;
+                self.meter_update(now);
+            } else if let Some(gm) = self.gm {
+                // Not here (migrated away since the client's ack): the GM
+                // knows where intra-group relocation put it.
+                if src != gm {
+                    ctx.send(gm, Box::new(*d));
+                }
+            }
+        } else if let Some(m) = msg.downcast_ref::<MigrateVm>() {
+            let Some(guest) = self.hypervisor.guest_mut(m.vm) else {
+                if let Some(gm) = self.gm {
+                    ctx.send(gm, Box::new(MigrateRefused { vm: m.vm }));
+                }
+                return;
+            };
+            if guest.state != VmState::Running {
+                // Booting or already migrating — tell the GM so it can
+                // roll back its bookkeeping instead of waiting forever.
+                let vm = m.vm;
+                if let Some(gm) = self.gm {
+                    ctx.send(gm, Box::new(MigrateRefused { vm }));
+                }
+                return;
+            }
+            guest.state = VmState::Migrating;
+            let dirty = guest.workload.dirty_rate_mbps(now, &guest.spec.requested);
+            let image = guest.spec.image_mb;
+            let est = self.config.migration.estimate(image, dirty);
+            self.migrating_out.push((m.vm, m.to));
+            ctx.trace("migrate", format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration));
+            ctx.set_timer(est.duration, tag(LC_MIG_OUT, m.vm.0));
+        } else if msg.downcast_ref::<VmHandoff>().is_some() {
+            let handoff = msg.downcast::<VmHandoff>().unwrap();
+            let vm = handoff.spec.id;
+            let ok = self.hypervisor.admit(handoff.spec, handoff.workload, now).is_ok();
+            if ok {
+                self.stats.migrations_in += 1;
+                self.meter_update(now);
+            } else {
+                self.stats.migrations_rejected += 1;
+            }
+            if let Some(gm) = self.gm {
+                ctx.send(gm, Box::new(MigrationDone { vm, ok }));
+            }
+        } else if msg.downcast_ref::<SuspendNode>().is_some() {
+            if self.hypervisor.is_idle() {
+                if let Ok(done) = self.power.suspend(now) {
+                    self.stats.suspensions += 1;
+                    self.meter_update(now);
+                    ctx.set_timer(done - now, tag(LC_POWER, 0));
+                    ctx.trace("power", "suspending");
+                    if let Some(gm) = self.gm {
+                        ctx.send(gm, Box::new(NodePowerChanged { powered_on: false }));
+                    }
+                }
+            } else if let Some(gm) = self.gm {
+                // Stale command: correct the GM's view.
+                self.send_monitoring(ctx, true);
+                ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+            }
+        } else if msg.downcast_ref::<WakeNode>().is_some() {
+            // Already on — confirm so the GM stops waiting.
+            if let Some(gm) = self.gm {
+                ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+        let now = ctx.now();
+        self.power.tick(now);
+        match tag_kind(t) {
+            // While suspended the monitoring loop stops; it is restarted
+            // by the LC_POWER timer on wake-up.
+            LC_MONITOR if self.is_on() => {
+                self.meter_update(now);
+                self.send_monitoring(ctx, true);
+                self.check_anomalies(ctx);
+                // GM liveness: silent too long ⇒ rejoin the hierarchy.
+                if self.gm.is_some()
+                    && now.since(self.last_gm_heartbeat) > self.config.gm_silence_for_lc
+                {
+                    ctx.trace("rejoin", "GM heartbeats lost");
+                    self.leave_gm(ctx);
+                }
+                ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
+            }
+            LC_MONITOR => {}
+            LC_VM_BOOT => {
+                let vm = VmId(tag_payload(t));
+                if let Some(g) = self.hypervisor.guest_mut(vm) {
+                    g.state = VmState::Running;
+                    self.stats.vms_started += 1;
+                    self.meter_update(now);
+                    if let Some(gm) = self.gm {
+                        ctx.send(gm, Box::new(StartVmResult { vm, ok: true }));
+                    }
+                }
+            }
+            LC_MIG_OUT => {
+                let vm = VmId(tag_payload(t));
+                let Some(pos) = self.migrating_out.iter().position(|(v, _)| *v == vm) else {
+                    return;
+                };
+                let (_, dest) = self.migrating_out.swap_remove(pos);
+                if let Some(guest) = self.hypervisor.remove(vm) {
+                    self.stats.migrations_out += 1;
+                    self.meter_update(now);
+                    ctx.send(dest, Box::new(VmHandoff { spec: guest.spec, workload: guest.workload }));
+                }
+            }
+            // RTC check-in: a suspended node wakes periodically so it can
+            // notice a dead GM and rejoin (no one else can wake an
+            // orphaned sleeper).
+            LC_WATCHDOG if self.power.state() == PowerState::Suspended => {
+                if let Ok(done) = self.power.resume(now) {
+                    self.stats.watchdog_wakes += 1;
+                    self.stats.wakeups += 1;
+                    self.meter_update(now);
+                    ctx.set_timer(done - now, tag(LC_POWER, 0));
+                    ctx.trace("power", "watchdog wake");
+                }
+            }
+            LC_WATCHDOG => {}
+            LC_POWER => {
+                let state = self.power.tick(now);
+                self.meter_update(now);
+                if state == PowerState::Suspended {
+                    ctx.set_timer(self.config.suspend_watchdog, tag(LC_WATCHDOG, 0));
+                }
+                if state.is_on() {
+                    ctx.trace("power", "awake");
+                    // Give the GM a grace period before liveness checks.
+                    self.last_gm_heartbeat = now;
+                    if let Some(gm) = self.gm {
+                        ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+                        self.send_monitoring(ctx, true);
+                    }
+                    ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        // "In the event of a LC failure, VMs are also terminated" (§II-E).
+        self.stats.vms_lost_to_crash += self.hypervisor.guest_count() as u64;
+        self.energy.update(now, 0.0);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        self.hypervisor = Hypervisor::new(self.node.capacity);
+        self.power = PowerStateMachine::new_on(self.node.transitions);
+        self.energy = EnergyMeter::new(now, self.node.power.active_watts(0.0));
+        self.migrating_out.clear();
+        if let Some(group) = self.gm_group.take() {
+            ctx.leave_group(group);
+        }
+        self.gm = None;
+        self.assignment_requested_at = None;
+        self.last_gm_heartbeat = now;
+        ctx.trace("restart", "LC back up");
+        ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
+    }
+}
+
+/// GM → LC: join acknowledgement carrying the GM's heartbeat multicast
+/// group. (Defined here rather than in [`crate::messages`] because it
+/// references the engine's `GroupId`.)
+#[derive(Clone, Copy, Debug)]
+pub struct LcJoinAckWithGroup {
+    /// The GM's LC-heartbeat multicast group.
+    pub group: GroupId,
+}
+
+/// Convenience for tests: the spec for one LC's silence-based timeouts.
+pub fn gm_considered_dead_after(config: &SnoozeConfig) -> SimSpan {
+    config.gm_silence_for_lc
+}

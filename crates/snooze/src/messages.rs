@@ -1,0 +1,291 @@
+//! The management-plane message protocol.
+//!
+//! In the original system these are Java RESTful web-service calls
+//! (§II-A); here they are typed payloads on the simulated network. One
+//! module holds every message so the protocol is readable in one place.
+
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::VmWorkload;
+use snooze_simcore::engine::ComponentId;
+use snooze_simcore::time::SimTime;
+
+// ---------------------------------------------------------------------------
+// Client ↔ Entry Point ↔ Group Leader
+// ---------------------------------------------------------------------------
+
+/// Client → EP: ask who the current Group Leader is.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoverGl;
+
+/// EP → client: the current Group Leader, if known.
+#[derive(Clone, Copy, Debug)]
+pub struct GlInfo {
+    /// The GL's component id, if the EP has heard a GL heartbeat.
+    pub gl: Option<ComponentId>,
+}
+
+/// Client → EP (forwarded to GL): start this VM somewhere.
+#[derive(Clone, Debug)]
+pub struct SubmitVm {
+    /// What to run.
+    pub spec: VmSpec,
+    /// Its demand generator (shipped with the image in the real system).
+    pub workload: VmWorkload,
+    /// Who to notify of the outcome.
+    pub client: ComponentId,
+}
+
+/// GL → client: the VM was placed.
+#[derive(Clone, Copy, Debug)]
+pub struct VmPlaced {
+    /// The placed VM.
+    pub vm: VmId,
+    /// The Group Manager responsible for it.
+    pub gm: ComponentId,
+    /// The Local Controller hosting it.
+    pub lc: ComponentId,
+}
+
+/// GL → client: no Group Manager could place the VM.
+#[derive(Clone, Copy, Debug)]
+pub struct VmRejected {
+    /// The rejected VM.
+    pub vm: VmId,
+}
+
+/// Client → LC: destroy a VM it hosts. An LC that no longer hosts the
+/// VM (it migrated away) forwards the request to its GM, which routes it
+/// to the current host — relocation and reconfiguration never move VMs
+/// across GM boundaries, so the GM always knows.
+#[derive(Clone, Copy, Debug)]
+pub struct DestroyVm {
+    /// The VM to destroy.
+    pub vm: VmId,
+}
+
+/// Anyone → GL: export the current hierarchy organization — the data
+/// behind the original CLI's "live visualizing and exporting of the
+/// hierarchy organization" (§II-A).
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyQuery;
+
+/// GL → requester: the hierarchy snapshot.
+#[derive(Clone, Debug)]
+pub struct HierarchySnapshot {
+    /// The GL answering.
+    pub gl: ComponentId,
+    /// Every known GM with its latest summary.
+    pub gms: Vec<(ComponentId, GmHeartbeat)>,
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+/// GL → `gl` multicast group: "I am the leader". EPs use it for
+/// discovery, unassigned LCs use it to find someone to join, GMs use it
+/// to learn the new GL after failover.
+#[derive(Clone, Copy, Debug)]
+pub struct GlHeartbeat {
+    /// The sender (the current GL).
+    pub gl: ComponentId,
+}
+
+/// GM → GL: periodic aliveness plus the aggregated resource summary the
+/// GL's dispatching policies run on (§II-B: "each GM periodically sends
+/// aggregated resource monitoring information to the GL").
+#[derive(Clone, Copy, Debug)]
+pub struct GmHeartbeat {
+    /// Estimated used capacity across the GM's LCs.
+    pub used: ResourceVector,
+    /// Total capacity across the GM's LCs (powered-on or wakeable).
+    pub total: ResourceVector,
+    /// Reserved capacity across the GM's LCs.
+    pub reserved: ResourceVector,
+    /// Number of LCs managed.
+    pub n_lcs: usize,
+    /// Number of VMs managed.
+    pub n_vms: usize,
+}
+
+/// GM → its LC multicast group: "your GM is alive".
+#[derive(Clone, Copy, Debug)]
+pub struct GmLcHeartbeat {
+    /// The sending GM.
+    pub gm: ComponentId,
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy self-organization
+// ---------------------------------------------------------------------------
+
+/// GM → GL: join the hierarchy as a manager.
+#[derive(Clone, Copy, Debug)]
+pub struct GmJoin;
+
+/// LC → GL: I need a GM assigned (sent after hearing a GL heartbeat).
+#[derive(Clone, Copy, Debug)]
+pub struct LcAssignRequest {
+    /// The LC's total capacity (lets the GL use capacity-aware policies).
+    pub capacity: ResourceVector,
+}
+
+/// GL → LC: join this GM.
+#[derive(Clone, Copy, Debug)]
+pub struct LcAssignment {
+    /// The GM to join.
+    pub gm: ComponentId,
+}
+
+/// LC → GM: join your group. (The acknowledgment,
+/// [`crate::local_controller::LcJoinAckWithGroup`], carries the GM's
+/// heartbeat multicast group.)
+#[derive(Clone, Copy, Debug)]
+pub struct LcJoin {
+    /// The LC's total capacity.
+    pub capacity: ResourceVector,
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring (doubles as the LC heartbeat)
+// ---------------------------------------------------------------------------
+
+/// Usage snapshot of one VM, as observed by its LC.
+#[derive(Clone, Copy, Debug)]
+pub struct VmUsage {
+    /// Which VM.
+    pub vm: VmId,
+    /// Reserved capacity.
+    pub requested: ResourceVector,
+    /// Demand observed at sampling time.
+    pub used: ResourceVector,
+}
+
+/// LC → GM: periodic monitoring report ("VM monitoring data reception
+/// from LCs", §II-A). Its arrival also feeds the GM's failure detector.
+#[derive(Clone, Debug)]
+pub struct LcMonitoring {
+    /// The LC's total capacity.
+    pub capacity: ResourceVector,
+    /// Sum of resident reservations.
+    pub reserved: ResourceVector,
+    /// Per-VM usage snapshots.
+    pub vms: Vec<VmUsage>,
+    /// True if the node is powered on (false while suspended — sent as a
+    /// final report when entering suspend).
+    pub powered_on: bool,
+    /// When the LC sampled this.
+    pub sampled_at: SimTime,
+}
+
+/// Anomaly class an LC can detect locally (§II-A: LCs "detect local
+/// overload/underload anomaly situations and report them").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnomalyKind {
+    /// Demand above the overload threshold in some dimension.
+    Overload,
+    /// Demand below the underload threshold in every dimension.
+    Underload,
+}
+
+/// LC → GM: anomaly report.
+#[derive(Clone, Debug)]
+pub struct AnomalyReport {
+    /// What was detected.
+    pub kind: AnomalyKind,
+    /// Snapshot backing the detection.
+    pub monitoring: LcMonitoring,
+}
+
+// ---------------------------------------------------------------------------
+// GL → GM dispatching, GM → LC commands
+// ---------------------------------------------------------------------------
+
+/// GL → GM: try to place this VM on one of your LCs.
+#[derive(Clone, Debug)]
+pub struct PlaceVmRequest {
+    /// What to place.
+    pub spec: VmSpec,
+    /// Its workload.
+    pub workload: VmWorkload,
+}
+
+/// GM → GL: placement outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaceVmResponse {
+    /// Which VM.
+    pub vm: VmId,
+    /// The LC it landed on, or `None` if the GM had no room.
+    pub placed_on: Option<ComponentId>,
+}
+
+/// GM → LC: start a VM.
+#[derive(Clone, Debug)]
+pub struct StartVm {
+    /// What to start.
+    pub spec: VmSpec,
+    /// Its workload.
+    pub workload: VmWorkload,
+}
+
+/// LC → GM: VM start outcome (sent after the boot delay).
+#[derive(Clone, Copy, Debug)]
+pub struct StartVmResult {
+    /// Which VM.
+    pub vm: VmId,
+    /// Whether admission succeeded.
+    pub ok: bool,
+}
+
+/// GM → LC: live-migrate a VM to another LC.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrateVm {
+    /// The VM to move.
+    pub vm: VmId,
+    /// Destination LC.
+    pub to: ComponentId,
+}
+
+/// Source LC → GM: the migration command cannot be executed right now
+/// (the guest is booting or already migrating). The GM rolls back its
+/// bookkeeping and may retry on a later anomaly report.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrateRefused {
+    /// Which VM.
+    pub vm: VmId,
+}
+
+/// Source LC → destination LC: the migrated VM's state (the final
+/// stop-and-copy hand-off).
+#[derive(Clone, Debug)]
+pub struct VmHandoff {
+    /// The VM's spec.
+    pub spec: VmSpec,
+    /// Its workload.
+    pub workload: VmWorkload,
+}
+
+/// Destination LC → GM: migration completed (or failed on admission).
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationDone {
+    /// Which VM.
+    pub vm: VmId,
+    /// Whether the destination admitted it.
+    pub ok: bool,
+}
+
+/// GM → LC: enter the administrator-configured low-power state.
+#[derive(Clone, Copy, Debug)]
+pub struct SuspendNode;
+
+/// GM → LC: wake up (wake-on-LAN reaches suspended nodes).
+#[derive(Clone, Copy, Debug)]
+pub struct WakeNode;
+
+/// LC → GM: power-state change notification.
+#[derive(Clone, Copy, Debug)]
+pub struct NodePowerChanged {
+    /// True once the node is back on; false when it entered suspend.
+    pub powered_on: bool,
+}

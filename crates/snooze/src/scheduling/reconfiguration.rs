@@ -1,0 +1,283 @@
+//! Periodic reconfiguration — consolidation as a scheduling policy
+//! (paper §II-C).
+//!
+//! "Complementary to the event-based placement and relocation policies,
+//! reconfiguration policies can be specified which will be called
+//! periodically … For example, a VM consolidation policy can be enabled
+//! to weekly optimize the VM placement by packing VMs on as few nodes as
+//! possible."
+//!
+//! The planner builds a bin-packing [`Instance`] from the GM's current
+//! view (bins = its LCs, items = its VMs' reservations), runs a
+//! [`Consolidator`] (the ACO algorithm in the paper's vision, §V "we plan
+//! to integrate the proposed algorithm in Snooze"), and converts the
+//! solution into a bounded migration plan. The plan is only adopted when
+//! it actually reduces the number of occupied LCs — migrations are not
+//! free.
+
+use snooze_consolidation::problem::{Consolidator, Instance};
+use snooze_simcore::engine::ComponentId;
+use snooze_simcore::time::SimSpan;
+
+use super::relocation::{PlannedMigration, VmView};
+use super::LcView;
+use snooze_consolidation::aco::AcoParams;
+
+/// Configuration of the periodic reconfiguration pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigurationConfig {
+    /// How often the pass runs.
+    pub period: SimSpan,
+    /// Colony parameters for the ACO consolidator.
+    pub aco: AcoParams,
+    /// Maximum migrations issued per pass (live migration has a cost).
+    pub max_migrations: usize,
+}
+
+impl Default for ReconfigurationConfig {
+    fn default() -> Self {
+        ReconfigurationConfig {
+            period: SimSpan::from_secs(600),
+            aco: AcoParams::default(),
+            max_migrations: 16,
+        }
+    }
+}
+
+/// Plan a consolidation pass.
+///
+/// `placements` maps each VM (with its reservation view) to its current
+/// LC. Returns a migration plan, possibly empty when the current
+/// placement is already as tight as the consolidator can make it.
+///
+/// `overload_threshold` scopes the pass to *moderately loaded* nodes, as
+/// §II-C specifies: LCs whose estimated utilization exceeds it neither
+/// contribute their VMs nor receive new ones (relieving them is the
+/// overload-relocation policy's job, not consolidation's).
+pub fn plan_reconfiguration(
+    lcs: &[LcView],
+    placements: &[(VmView, ComponentId)],
+    consolidator: &dyn Consolidator,
+    max_migrations: usize,
+    overload_threshold: f64,
+) -> Vec<PlannedMigration> {
+    // Only powered-on, not-overloaded LCs participate: waking nodes to
+    // consolidate onto them would be self-defeating, and packing more
+    // onto hot nodes would trade energy for performance.
+    let active: Vec<&LcView> =
+        lcs.iter().filter(|l| l.powered_on && l.utilization() <= overload_threshold).collect();
+    if active.is_empty() || placements.is_empty() {
+        return Vec::new();
+    }
+    let bin_of_lc: std::collections::HashMap<ComponentId, usize> =
+        active.iter().enumerate().map(|(i, l)| (l.lc, i)).collect();
+
+    // VMs on non-participating LCs (mid-wake, suspended) are left alone.
+    let movable: Vec<&(VmView, ComponentId)> =
+        placements.iter().filter(|(_, lc)| bin_of_lc.contains_key(lc)).collect();
+    if movable.is_empty() {
+        return Vec::new();
+    }
+
+    let instance = Instance {
+        items: movable.iter().map(|(v, _)| v.requested).collect(),
+        bins: active.iter().map(|l| l.capacity).collect(),
+    };
+    let solution = match consolidator.consolidate(&instance) {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    debug_assert!(solution.is_feasible(&instance));
+
+    let current_bins_used: usize = {
+        let mut used: Vec<bool> = vec![false; active.len()];
+        for (_, lc) in &movable {
+            used[bin_of_lc[lc]] = true;
+        }
+        used.iter().filter(|u| **u).count()
+    };
+    if solution.bins_used() >= current_bins_used {
+        return Vec::new(); // no win — don't churn
+    }
+
+    let mut plan: Vec<PlannedMigration> = Vec::new();
+    for (idx, (vm_view, current_lc)) in movable.iter().enumerate() {
+        let target_lc = active[solution.assignment[idx]].lc;
+        if target_lc != *current_lc {
+            plan.push(PlannedMigration { vm: vm_view.vm, from: *current_lc, to: target_lc });
+        }
+    }
+    // Bounded churn: prefer migrations off the least-utilized sources —
+    // those are the nodes consolidation is trying to free.
+    plan.sort_by_key(|m| {
+        let src = active[bin_of_lc[&m.from]];
+        // Sort ascending by utilization per-mill (integer for a stable key).
+        (src.utilization() * 1000.0) as u64
+    });
+    plan.truncate(max_migrations);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snooze_cluster::resources::ResourceVector;
+    use snooze_cluster::vm::VmId;
+    use snooze_consolidation::aco::AcoConsolidator;
+    use snooze_consolidation::ffd::{FirstFitDecreasing, SortKey};
+
+    fn lc(id: usize, cap: f64, used: f64, on: bool) -> LcView {
+        LcView {
+            lc: ComponentId(id),
+            capacity: ResourceVector::splat(cap),
+            reserved: ResourceVector::splat(used),
+            used_estimate: ResourceVector::splat(used),
+            powered_on: on,
+            waking: false,
+            n_vms: 1,
+        }
+    }
+
+    fn vm(id: u64, req: f64) -> VmView {
+        VmView {
+            vm: VmId(id),
+            requested: ResourceVector::splat(req),
+            used: ResourceVector::splat(req),
+        }
+    }
+
+    #[test]
+    fn consolidates_spread_vms_onto_fewer_lcs() {
+        // Four LCs each hosting one 0.25-sized VM (cap 1.0): packable to 1.
+        let lcs: Vec<LcView> = (0..4).map(|i| lc(i, 1.0, 0.25, true)).collect();
+        let placements: Vec<(VmView, ComponentId)> =
+            (0..4).map(|i| (vm(i as u64, 0.25), ComponentId(i))).collect();
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            1.0,
+        );
+        assert_eq!(plan.len(), 3, "three VMs move onto the anchor, plan: {plan:?}");
+        // After applying, exactly one LC is occupied.
+        let mut occupancy: std::collections::HashMap<ComponentId, usize> = Default::default();
+        for (v, cur) in &placements {
+            let dest = plan.iter().find(|m| m.vm == v.vm).map(|m| m.to).unwrap_or(*cur);
+            *occupancy.entry(dest).or_default() += 1;
+        }
+        assert_eq!(occupancy.len(), 1);
+    }
+
+    #[test]
+    fn already_tight_placement_is_left_alone() {
+        let lcs = vec![lc(0, 1.0, 0.75, true), lc(1, 1.0, 0.0, true)];
+        let placements = vec![
+            (vm(0, 0.25), ComponentId(0)),
+            (vm(1, 0.25), ComponentId(0)),
+            (vm(2, 0.25), ComponentId(0)),
+        ];
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            1.0,
+        );
+        assert!(plan.is_empty(), "1 bin already optimal: {plan:?}");
+    }
+
+    #[test]
+    fn migration_cap_is_respected() {
+        let lcs: Vec<LcView> = (0..8).map(|i| lc(i, 1.0, 0.2, true)).collect();
+        let placements: Vec<(VmView, ComponentId)> =
+            (0..8).map(|i| (vm(i as u64, 0.2), ComponentId(i))).collect();
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &FirstFitDecreasing { key: SortKey::L1 },
+            2,
+            1.0,
+        );
+        assert!(plan.len() <= 2);
+    }
+
+    #[test]
+    fn suspended_lcs_and_their_vms_are_untouched() {
+        let lcs = vec![lc(0, 1.0, 0.3, true), lc(1, 1.0, 0.3, false), lc(2, 1.0, 0.3, true)];
+        let placements = vec![
+            (vm(0, 0.3), ComponentId(0)),
+            (vm(1, 0.3), ComponentId(1)), // on the suspended node (edge case)
+            (vm(2, 0.3), ComponentId(2)),
+        ];
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            1.0,
+        );
+        assert!(plan.iter().all(|m| m.vm != VmId(1)), "vm on suspended node must not move");
+        assert!(plan.iter().all(|m| m.to != ComponentId(1)), "suspended node is not a target");
+    }
+
+    #[test]
+    fn works_with_aco_consolidator() {
+        let lcs: Vec<LcView> = (0..6).map(|i| lc(i, 1.0, 0.3, true)).collect();
+        let placements: Vec<(VmView, ComponentId)> =
+            (0..6).map(|i| (vm(i as u64, 0.3), ComponentId(i))).collect();
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &AcoConsolidator::new(AcoParams::fast()),
+            16,
+            1.0,
+        );
+        // 6 × 0.3 pack into 2 bins ⇒ at least 4 migrations.
+        assert!(plan.len() >= 4, "plan: {plan:?}");
+    }
+
+    #[test]
+    fn overloaded_nodes_are_left_out_of_consolidation() {
+        // lc0 and lc2 lightly loaded, lc1 hot (95% estimated): the plan
+        // must neither move lc1's VM nor target lc1.
+        let lcs = vec![lc(0, 1.0, 0.2, true), lc(1, 1.0, 0.95, true), lc(2, 1.0, 0.2, true)];
+        let placements = vec![
+            (vm(0, 0.2), ComponentId(0)),
+            (vm(1, 0.5), ComponentId(1)),
+            (vm(2, 0.2), ComponentId(2)),
+        ];
+        let plan = plan_reconfiguration(
+            &lcs,
+            &placements,
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            0.9,
+        );
+        assert!(plan.iter().all(|m| m.vm != VmId(1)), "hot node's VM stays: {plan:?}");
+        assert!(plan.iter().all(|m| m.to != ComponentId(1)), "hot node gets nothing: {plan:?}");
+        // The two cool VMs still consolidate onto one node.
+        assert_eq!(plan.len(), 1, "{plan:?}");
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_plans() {
+        assert!(plan_reconfiguration(
+            &[],
+            &[],
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            1.0
+        )
+        .is_empty());
+        let lcs = vec![lc(0, 1.0, 0.0, true)];
+        assert!(plan_reconfiguration(
+            &lcs,
+            &[],
+            &FirstFitDecreasing { key: SortKey::L1 },
+            16,
+            1.0
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! System assembly: build a full Snooze deployment inside a simulation.
+//!
+//! Mirrors Figure 1 of the paper: a coordination service, a set of
+//! manager nodes (GMs, one of which will be elected GL), a Local
+//! Controller per physical node, and replicated Entry Points.
+
+use snooze_cluster::node::{NodeSpec, PowerState};
+use snooze_protocols::coordination::CoordinationService;
+use snooze_simcore::engine::{ComponentId, Engine, GroupId};
+use snooze_simcore::time::SimTime;
+
+use crate::config::SnoozeConfig;
+use crate::entry_point::EntryPoint;
+use crate::group_manager::{GroupManager, Mode};
+use crate::local_controller::LocalController;
+
+/// Handles to every component of a deployed system.
+pub struct SnoozeSystem {
+    /// The coordination service (ZooKeeper stand-in).
+    pub zk: ComponentId,
+    /// The GL-heartbeat multicast group.
+    pub gl_group: GroupId,
+    /// Manager components (GMs; one acts as GL at any time).
+    pub gms: Vec<ComponentId>,
+    /// Local Controllers, in node order.
+    pub lcs: Vec<ComponentId>,
+    /// Entry Points.
+    pub eps: Vec<ComponentId>,
+}
+
+impl SnoozeSystem {
+    /// Deploy a system: `n_gms` manager nodes, one LC per entry of
+    /// `nodes`, and `n_eps` entry points, all sharing `config`.
+    pub fn deploy(
+        engine: &mut Engine,
+        config: &SnoozeConfig,
+        n_gms: usize,
+        nodes: &[NodeSpec],
+        n_eps: usize,
+    ) -> SnoozeSystem {
+        assert!(
+            n_gms >= 2,
+            "need at least two managers: one is elected GL and, having a \
+             dedicated role (§II-A), manages no LCs itself"
+        );
+        let zk = engine.add_component(
+            "zk",
+            CoordinationService::new(config.zk_session_timeout),
+        );
+        let gl_group = engine.create_group();
+
+        let gms: Vec<ComponentId> = (0..n_gms)
+            .map(|i| {
+                let lc_group = engine.create_group();
+                engine.add_component(
+                    format!("gm{i}"),
+                    GroupManager::new(config.clone(), zk, gl_group, lc_group),
+                )
+            })
+            .collect();
+
+        let lcs: Vec<ComponentId> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                engine.add_component(
+                    format!("lc{i}"),
+                    LocalController::new(node.clone(), config.clone(), gl_group),
+                )
+            })
+            .collect();
+
+        let eps: Vec<ComponentId> = (0..n_eps)
+            .map(|i| engine.add_component(format!("ep{i}"), EntryPoint::new(config.clone(), gl_group)))
+            .collect();
+
+        SnoozeSystem { zk, gl_group, gms, lcs, eps }
+    }
+
+    /// The component currently acting as GL, if the hierarchy has
+    /// converged.
+    pub fn current_gl(&self, engine: &Engine) -> Option<ComponentId> {
+        let leaders: Vec<ComponentId> = self
+            .gms
+            .iter()
+            .copied()
+            .filter(|&gm| {
+                engine.is_alive(gm)
+                    && engine
+                        .component_as::<GroupManager>(gm)
+                        .map(|g| g.is_gl())
+                        .unwrap_or(false)
+            })
+            .collect();
+        match leaders.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Managers currently in GM (non-leader) mode with at least one LC.
+    pub fn active_gms(&self, engine: &Engine) -> Vec<ComponentId> {
+        self.gms
+            .iter()
+            .copied()
+            .filter(|&gm| {
+                engine.is_alive(gm)
+                    && engine
+                        .component_as::<GroupManager>(gm)
+                        .map(|g| matches!(g.mode(), Mode::Gm(_)))
+                        .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Total VMs currently resident across all LC hypervisors.
+    pub fn total_vms(&self, engine: &Engine) -> usize {
+        self.lcs
+            .iter()
+            .filter(|&&lc| engine.is_alive(lc))
+            .filter_map(|&lc| engine.component_as::<LocalController>(lc))
+            .map(|l| l.hypervisor().guest_count())
+            .sum()
+    }
+
+    /// Cluster-wide energy consumed up to `now`, in watt-hours (alive
+    /// LCs only — crashed nodes stopped metering at the crash).
+    pub fn total_energy_wh(&self, engine: &Engine, now: SimTime) -> f64 {
+        self.lcs
+            .iter()
+            .filter_map(|&lc| engine.component_as::<LocalController>(lc))
+            .map(|l| l.energy_wh(now))
+            .sum()
+    }
+
+    /// How many LCs are in each coarse power state: `(on, transitioning,
+    /// low_power)`.
+    pub fn power_census(&self, engine: &Engine) -> (usize, usize, usize) {
+        let mut on = 0;
+        let mut transitioning = 0;
+        let mut low = 0;
+        for &lc in &self.lcs {
+            if !engine.is_alive(lc) {
+                continue;
+            }
+            let Some(l) = engine.component_as::<LocalController>(lc) else { continue };
+            match l.power_state() {
+                PowerState::On => on += 1,
+                s if s.is_low_power() => low += 1,
+                _ => transitioning += 1,
+            }
+        }
+        (on, transitioning, low)
+    }
+
+    /// Mean application performance across LCs hosting VMs (1.0 = no
+    /// contention anywhere).
+    pub fn mean_performance(&self, engine: &Engine, now: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &lc in &self.lcs {
+            if !engine.is_alive(lc) {
+                continue;
+            }
+            let Some(l) = engine.component_as::<LocalController>(lc) else { continue };
+            if l.hypervisor().guest_count() > 0 {
+                sum += l.performance_at(now);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+}

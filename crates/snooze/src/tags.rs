@@ -1,0 +1,78 @@
+//! Timer-tag encoding.
+//!
+//! Components multiplex many timers over the engine's single `u64` tag:
+//! the top byte carries the timer kind, the low 56 bits an optional
+//! payload (usually a VM id).
+
+/// Build a tag from a kind and payload.
+#[inline]
+pub fn tag(kind: u8, payload: u64) -> u64 {
+    debug_assert!(payload < (1u64 << 56), "payload overflows tag");
+    ((kind as u64) << 56) | payload
+}
+
+/// Extract the kind byte.
+#[inline]
+pub fn tag_kind(tag: u64) -> u8 {
+    (tag >> 56) as u8
+}
+
+/// Extract the payload.
+#[inline]
+pub fn tag_payload(tag: u64) -> u64 {
+    tag & ((1u64 << 56) - 1)
+}
+
+// Kinds used by the Local Controller.
+/// Periodic monitoring tick.
+pub const LC_MONITOR: u8 = 1;
+/// A VM finished booting (payload = VM id).
+pub const LC_VM_BOOT: u8 = 2;
+/// An outbound migration completed (payload = VM id).
+pub const LC_MIG_OUT: u8 = 3;
+/// A power transition completed.
+pub const LC_POWER: u8 = 4;
+/// Suspended-node RTC watchdog fired.
+pub const LC_WATCHDOG: u8 = 5;
+
+// Kinds used by the Group Manager / Group Leader.
+/// GM heartbeat + housekeeping tick.
+pub const GM_TICK: u8 = 16;
+/// GL heartbeat + housekeeping tick.
+pub const GL_TICK: u8 = 17;
+/// Pending-placement retry sweep.
+pub const GM_RETRY: u8 = 18;
+/// Periodic reconfiguration (consolidation) pass.
+pub const GM_RECONF: u8 = 19;
+
+// Kinds used by clients.
+/// Submit the nth VM (payload = schedule index).
+pub const CLIENT_SUBMIT: u8 = 32;
+/// Retry sweep for unacknowledged submissions.
+pub const CLIENT_RETRY: u8 = 33;
+/// Destroy the nth VM (payload = schedule index).
+pub const CLIENT_DESTROY: u8 = 34;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = tag(LC_VM_BOOT, 123_456);
+        assert_eq!(tag_kind(t), LC_VM_BOOT);
+        assert_eq!(tag_payload(t), 123_456);
+    }
+
+    #[test]
+    fn zero_payload() {
+        let t = tag(GM_TICK, 0);
+        assert_eq!(tag_kind(t), GM_TICK);
+        assert_eq!(tag_payload(t), 0);
+    }
+
+    #[test]
+    fn distinct_kinds_do_not_collide() {
+        assert_ne!(tag(LC_MONITOR, 7), tag(LC_VM_BOOT, 7));
+    }
+}

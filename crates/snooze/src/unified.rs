@@ -1,0 +1,435 @@
+//! Unified nodes — the paper's future work, implemented (§V):
+//!
+//! > "In the future, we plan to make the system even more autonomic by
+//! > removing the distinction between GMs and LCs. Consequently, the
+//! > decisions when a node should play the role of GM or LC in the
+//! > hierarchy will be taken by the framework instead of the system
+//! > administrator upon configuration."
+//!
+//! A [`UnifiedNode`] owns *both* a [`LocalController`] and a
+//! [`GroupManager`] and plays exactly one role at a time. A
+//! [`RoleDirector`] watches the management plane through GL heartbeats
+//! and a census of live managers; when managers die it promotes idle
+//! LCs into the manager pool, and when the pool is over target it
+//! demotes a surplus (never the acting GL). Promotion is refused by
+//! nodes hosting VMs — the framework only converts capacity that is
+//! actually spare.
+//!
+//! Role changes reuse the self-healing already in the hierarchy: a
+//! promoted node simply campaigns (its old GM times it out), and a
+//! demoted node resigns its election znode and rejoins as a fresh LC.
+
+use snooze_cluster::node::NodeSpec;
+use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::config::SnoozeConfig;
+use crate::group_manager::GroupManager;
+use crate::local_controller::LocalController;
+use crate::messages::GlHeartbeat;
+use crate::tags::{tag, tag_kind};
+
+/// Which role a unified node currently plays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeRole {
+    /// Serving as a Local Controller (hosting VMs).
+    LocalController,
+    /// Serving as a manager (GM, possibly elected GL).
+    Manager,
+}
+
+/// Director → node: become a manager if you are idle.
+#[derive(Clone, Copy, Debug)]
+pub struct PromoteIfIdle;
+
+/// Director → node: give up the manager role and rejoin as an LC.
+#[derive(Clone, Copy, Debug)]
+pub struct DemoteToLc;
+
+/// Node → director: the node's current role (sent in reply to
+/// [`QueryRole`] and spontaneously after a role change).
+#[derive(Clone, Copy, Debug)]
+pub struct RoleReport {
+    /// Current role.
+    pub role: NodeRole,
+    /// True when the node could be promoted right now (idle LC).
+    pub promotable: bool,
+}
+
+/// Director → node: report your role.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryRole;
+
+/// Director → GL: how many managers are alive?
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerCensusQuery;
+
+/// GL → director: manager census (GMs it knows, plus itself).
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerCensusReply {
+    /// Live managers, GL included.
+    pub managers: usize,
+}
+
+/// A node that can play either hierarchy role.
+pub struct UnifiedNode {
+    lc: LocalController,
+    gm: GroupManager,
+    role: NodeRole,
+    /// Times this node changed roles (inspection).
+    pub role_changes: u64,
+}
+
+impl UnifiedNode {
+    /// A unified node for `node`, wired like both an LC (discovering the
+    /// hierarchy on `gl_group`) and a dormant manager (contending at
+    /// `zk`, heartbeating its own `lc_group` when promoted).
+    pub fn new(
+        node: NodeSpec,
+        config: SnoozeConfig,
+        zk: ComponentId,
+        gl_group: GroupId,
+        lc_group: GroupId,
+    ) -> Self {
+        UnifiedNode {
+            lc: LocalController::new(node, config.clone(), gl_group),
+            gm: GroupManager::new(config, zk, gl_group, lc_group),
+            role: NodeRole::LocalController,
+            role_changes: 0,
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// The LC persona (state is only meaningful in LC role).
+    pub fn as_lc(&self) -> &LocalController {
+        &self.lc
+    }
+
+    /// The manager persona (state is only meaningful in Manager role).
+    pub fn as_manager(&self) -> &GroupManager {
+        &self.gm
+    }
+
+    fn report(&self, ctx: &mut Ctx, to: ComponentId) {
+        let report = RoleReport {
+            role: self.role,
+            promotable: self.role == NodeRole::LocalController && self.lc.promotable(),
+        };
+        ctx.send(to, Box::new(report));
+    }
+
+    fn promote(&mut self, ctx: &mut Ctx) -> bool {
+        if self.role == NodeRole::Manager || !self.lc.detach(ctx) {
+            return false;
+        }
+        self.role = NodeRole::Manager;
+        self.role_changes += 1;
+        ctx.trace("role", "promoted to manager");
+        // A fresh manager process: campaign and join the hierarchy.
+        self.gm.on_restart(ctx);
+        true
+    }
+
+    fn demote(&mut self, ctx: &mut Ctx) -> bool {
+        if self.role == NodeRole::LocalController {
+            return false;
+        }
+        // Never demote an acting GL out from under the hierarchy; the
+        // director avoids this, but defend anyway.
+        if self.gm.is_gl() {
+            return false;
+        }
+        self.role = NodeRole::LocalController;
+        self.role_changes += 1;
+        ctx.trace("role", "demoted to LC");
+        self.gm.resign(ctx);
+        // A fresh LC process: rediscover the hierarchy and start serving.
+        self.lc.on_restart(ctx);
+        true
+    }
+}
+
+impl Component for UnifiedNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.lc.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+        if msg.downcast_ref::<QueryRole>().is_some() {
+            self.report(ctx, src);
+        } else if msg.downcast_ref::<PromoteIfIdle>().is_some() {
+            self.promote(ctx);
+            self.report(ctx, src);
+        } else if msg.downcast_ref::<DemoteToLc>().is_some() {
+            self.demote(ctx);
+            self.report(ctx, src);
+        } else {
+            match self.role {
+                NodeRole::LocalController => self.lc.on_message(ctx, src, msg),
+                NodeRole::Manager => self.gm.on_message(ctx, src, msg),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+        // Timer tags are disjoint between the personas (LC_* vs GM_*/
+        // election); route by tag so a stale timer from the inactive
+        // persona dies silently instead of reviving it.
+        let is_lc_timer = matches!(tag_kind(t), 1..=15);
+        match (self.role, is_lc_timer) {
+            (NodeRole::LocalController, true) => self.lc.on_timer(ctx, t),
+            (NodeRole::Manager, false) => self.gm.on_timer(ctx, t),
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        self.lc.on_crash(now);
+        self.gm.on_crash(now);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        // A rebooted node comes back in the default role.
+        self.role = NodeRole::LocalController;
+        self.lc.on_restart(ctx);
+    }
+}
+
+/// Timer tag for the director's periodic check.
+const DIRECTOR_TICK: u8 = 48;
+
+/// The role director: keeps the manager pool at its target size.
+pub struct RoleDirector {
+    nodes: Vec<ComponentId>,
+    gl_group: GroupId,
+    target_managers: usize,
+    period: SimSpan,
+    gl: Option<ComponentId>,
+    roles: Vec<Option<RoleReport>>,
+    cursor: usize,
+    /// Promotions commanded (inspection).
+    pub promotions: u64,
+    /// Demotions commanded (inspection).
+    pub demotions: u64,
+}
+
+impl RoleDirector {
+    /// A director maintaining `target_managers` managers among `nodes`.
+    pub fn new(
+        nodes: Vec<ComponentId>,
+        gl_group: GroupId,
+        target_managers: usize,
+        period: SimSpan,
+    ) -> Self {
+        assert!(target_managers >= 2, "hierarchy needs a GL plus at least one GM");
+        let roles = vec![None; nodes.len()];
+        RoleDirector {
+            nodes,
+            gl_group,
+            target_managers,
+            period,
+            gl: None,
+            roles,
+            cursor: 0,
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    fn known_managers(&self) -> usize {
+        self.roles
+            .iter()
+            .flatten()
+            .filter(|r| r.role == NodeRole::Manager)
+            .count()
+    }
+
+    fn act(&mut self, ctx: &mut Ctx, census: usize) {
+        if census < self.target_managers {
+            // Promote the next promotable LC (round-robin for wear
+            // leveling).
+            for probe in 0..self.nodes.len() {
+                let i = (self.cursor + probe) % self.nodes.len();
+                if self.roles[i].map(|r| r.promotable).unwrap_or(false) {
+                    self.cursor = i + 1;
+                    self.promotions += 1;
+                    let node = self.nodes[i];
+                    ctx.trace("role", format!("promoting {node:?}"));
+                    ctx.send(node, Box::new(PromoteIfIdle));
+                    return;
+                }
+            }
+        } else if census > self.target_managers {
+            // Demote a surplus manager — never the GL.
+            let gl = self.gl;
+            for (i, r) in self.roles.iter().enumerate() {
+                let node = self.nodes[i];
+                if Some(node) == gl {
+                    continue;
+                }
+                if r.map(|r| r.role == NodeRole::Manager).unwrap_or(false) {
+                    self.demotions += 1;
+                    ctx.trace("role", format!("demoting {node:?}"));
+                    ctx.send(node, Box::new(DemoteToLc));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Component for RoleDirector {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.join_group(self.gl_group);
+        ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
+            self.gl = Some(hb.gl);
+        } else if let Some(report) = msg.downcast_ref::<RoleReport>() {
+            if let Some(i) = self.nodes.iter().position(|&n| n == src) {
+                self.roles[i] = Some(*report);
+            }
+        } else if let Some(census) = msg.downcast_ref::<ManagerCensusReply>() {
+            self.act(ctx, census.managers);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+        if tag_kind(t) != DIRECTOR_TICK {
+            return;
+        }
+        // Refresh role knowledge and ask the GL for the census.
+        for &node in &self.nodes.clone() {
+            ctx.send(node, Box::new(QueryRole));
+        }
+        match self.gl {
+            Some(gl) => ctx.send(gl, Box::new(ManagerCensusQuery)),
+            None => {
+                // No GL known: bootstrap. If we know of no manager at
+                // all, promote two seeds so an election can happen.
+                let managers = self.known_managers();
+                if managers < self.target_managers {
+                    self.act(ctx, managers);
+                }
+            }
+        }
+        ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        self.gl = None;
+        self.roles = vec![None; self.nodes.len()];
+        ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
+    }
+}
+
+/// Handles to a deployed unified-node system.
+pub struct UnifiedSystem {
+    /// The coordination service.
+    pub zk: ComponentId,
+    /// The GL-heartbeat multicast group.
+    pub gl_group: GroupId,
+    /// Every unified node, in deployment order.
+    pub nodes: Vec<ComponentId>,
+    /// The role director.
+    pub director: ComponentId,
+    /// Entry points.
+    pub eps: Vec<ComponentId>,
+}
+
+impl UnifiedSystem {
+    /// Deploy `n_nodes` unified nodes plus a director maintaining
+    /// `target_managers` managers — no administrator-assigned roles at
+    /// all (the §V vision).
+    pub fn deploy(
+        engine: &mut snooze_simcore::engine::Engine,
+        config: &SnoozeConfig,
+        specs: &[NodeSpec],
+        target_managers: usize,
+        n_eps: usize,
+    ) -> UnifiedSystem {
+        use snooze_protocols::coordination::CoordinationService;
+
+        let zk = engine
+            .add_component("zk", CoordinationService::new(config.zk_session_timeout));
+        let gl_group = engine.create_group();
+        let nodes: Vec<ComponentId> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let lc_group = engine.create_group();
+                engine.add_component(
+                    format!("node{i}"),
+                    UnifiedNode::new(spec.clone(), config.clone(), zk, gl_group, lc_group),
+                )
+            })
+            .collect();
+        let director = engine.add_component(
+            "director",
+            RoleDirector::new(nodes.clone(), gl_group, target_managers, config.gm_heartbeat_period * 2),
+        );
+        let eps: Vec<ComponentId> = (0..n_eps)
+            .map(|i| {
+                engine.add_component(
+                    format!("ep{i}"),
+                    crate::entry_point::EntryPoint::new(config.clone(), gl_group),
+                )
+            })
+            .collect();
+        UnifiedSystem { zk, gl_group, nodes, director, eps }
+    }
+
+    /// Nodes currently in each role: `(managers, lcs)`.
+    pub fn role_census(&self, engine: &snooze_simcore::engine::Engine) -> (usize, usize) {
+        let mut managers = 0;
+        let mut lcs = 0;
+        for &node in &self.nodes {
+            if !engine.is_alive(node) {
+                continue;
+            }
+            match engine.component_as::<UnifiedNode>(node).map(|n| n.role()) {
+                Some(NodeRole::Manager) => managers += 1,
+                Some(NodeRole::LocalController) => lcs += 1,
+                None => {}
+            }
+        }
+        (managers, lcs)
+    }
+
+    /// The node currently acting as GL, if exactly one exists.
+    pub fn current_gl(&self, engine: &snooze_simcore::engine::Engine) -> Option<ComponentId> {
+        let leaders: Vec<ComponentId> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| {
+                engine.is_alive(n)
+                    && engine
+                        .component_as::<UnifiedNode>(n)
+                        .map(|u| u.role() == NodeRole::Manager && u.as_manager().is_gl())
+                        .unwrap_or(false)
+            })
+            .collect();
+        match leaders.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Total VMs resident across nodes currently in LC role.
+    pub fn total_vms(&self, engine: &snooze_simcore::engine::Engine) -> usize {
+        self.nodes
+            .iter()
+            .filter(|&&n| engine.is_alive(n))
+            .filter_map(|&n| engine.component_as::<UnifiedNode>(n))
+            .filter(|u| u.role() == NodeRole::LocalController)
+            .map(|u| u.as_lc().hypervisor().guest_count())
+            .sum()
+    }
+}

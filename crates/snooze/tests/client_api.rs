@@ -1,0 +1,129 @@
+//! Tests of the client-facing API surface: GL discovery through EPs,
+//! hierarchy export, and VM destruction (including chasing a VM that
+//! migrated after placement).
+
+use snooze::prelude::*;
+use snooze::scheduling::placement::PlacementKind;
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_consolidation::aco::AcoParams;
+use snooze_simcore::prelude::*;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A scripted ops client probing DiscoverGl and HierarchyQuery.
+struct OpsProbe {
+    ep: ComponentId,
+    gl_info: Option<GlInfo>,
+    snapshot: Option<HierarchySnapshot>,
+}
+
+impl Component for OpsProbe {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(SimSpan::from_secs(10), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+        if let Some(info) = msg.downcast_ref::<GlInfo>() {
+            self.gl_info = Some(*info);
+            if let Some(gl) = info.gl {
+                ctx.send(gl, Box::new(HierarchyQuery));
+            }
+        } else if msg.downcast_ref::<HierarchySnapshot>().is_some() {
+            self.snapshot = Some(*msg.downcast::<HierarchySnapshot>().unwrap());
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        let ep = self.ep;
+        ctx.send(ep, Box::new(DiscoverGl));
+    }
+}
+
+#[test]
+fn discover_gl_and_export_hierarchy() {
+    let mut sim = SimBuilder::new(71).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let nodes = NodeSpec::standard_cluster(4);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+    let probe = sim.add_component(
+        "ops",
+        OpsProbe { ep: system.eps[0], gl_info: None, snapshot: None },
+    );
+    sim.run_until(secs(30));
+
+    let p = sim.component_as::<OpsProbe>(probe).unwrap();
+    let gl = system.current_gl(&sim).unwrap();
+    assert_eq!(p.gl_info.unwrap().gl, Some(gl), "EP answered DiscoverGl with the real GL");
+    let snap = p.snapshot.as_ref().expect("GL answered HierarchyQuery");
+    assert_eq!(snap.gl, gl);
+    assert_eq!(snap.gms.len(), 2, "both GMs in the export");
+    let total_lcs: usize = snap.gms.iter().map(|(_, s)| s.n_lcs).sum();
+    assert_eq!(total_lcs, 4, "summaries cover the whole cluster");
+}
+
+#[test]
+fn destroy_chases_a_migrated_vm() {
+    // Place 4 small VMs spread over 4 nodes, let ACO reconfiguration
+    // consolidate them elsewhere, then destroy them via the *original*
+    // placement LCs — the forwarding path must find them.
+    let mut config = SnoozeConfig::fast_test();
+    config.placement = PlacementKind::RoundRobin;
+    config.idle_suspend_after = None;
+    config.underload_threshold = 0.0;
+    config.reconfiguration = Some(ReconfigurationConfig {
+        period: SimSpan::from_secs(30),
+        aco: AcoParams::fast(),
+        max_migrations: 8,
+    });
+    let mut sim = SimBuilder::new(72).network(NetworkConfig::lan()).build();
+    let nodes = NodeSpec::standard_cluster(4);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
+
+    let schedule: Vec<ScheduledVm> = (0..4)
+        .map(|i| {
+            let mut spec = VmSpec::new(VmId(i), ResourceVector::new(2.0, 4096.0, 100.0, 100.0));
+            spec.image_mb = 512.0;
+            ScheduledVm {
+                at: secs(10),
+                spec,
+                workload: VmWorkload {
+                    cpu: UsageShape::Constant(0.5),
+                    memory: UsageShape::Constant(0.5),
+                    network: UsageShape::Constant(0.2),
+                    seed: i,
+                },
+                lifetime: None,
+            }
+        })
+        .collect();
+    let client = sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
+    );
+
+    // Wait for placement + at least one consolidation pass.
+    sim.run_until(secs(200));
+    assert_eq!(system.total_vms(&sim), 4);
+    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let original: Vec<(VmId, ComponentId)> = c.placed.iter().map(|p| (p.vm, p.lc)).collect();
+    assert_eq!(original.len(), 4);
+    // Consolidation moved at least one VM off its original LC.
+    let moved = original
+        .iter()
+        .filter(|(vm, lc)| {
+            sim.component_as::<LocalController>(*lc).unwrap().hypervisor().guest(*vm).is_none()
+        })
+        .count();
+    assert!(moved >= 1, "reconfiguration should have relocated something");
+
+    // Destroy every VM via its *original* LC.
+    for &(vm, lc) in &original {
+        sim.post(sim.now(), lc, Box::new(DestroyVm { vm }));
+    }
+    sim.run_until(sim.now() + SimSpan::from_secs(30));
+    assert_eq!(system.total_vms(&sim), 0, "forwarding found and destroyed every migrated VM");
+}

@@ -1,0 +1,114 @@
+//! Autonomic roles — the paper's future work (§V), running: deploy a
+//! cluster of *unified* nodes with no administrator-assigned roles; the
+//! framework promotes idle nodes into managers, backfills when managers
+//! die, and demotes rebooted ex-managers that would make the pool
+//! oversized.
+//!
+//! ```text
+//! cargo run --example autonomic_roles
+//! ```
+
+use snooze::prelude::*;
+use snooze::unified::UnifiedSystem;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_simcore::prelude::*;
+
+fn show(sim: &Engine, system: &UnifiedSystem, label: &str) {
+    let (managers, lcs) = system.role_census(sim);
+    let gl = system
+        .current_gl(sim)
+        .map(|g| sim.name_of(g).to_string())
+        .unwrap_or_else(|| "—".into());
+    let mut roles = String::new();
+    for &n in &system.nodes {
+        roles.push(if !sim.is_alive(n) {
+            'x'
+        } else {
+            match sim.component_as::<UnifiedNode>(n).map(|u| u.role()) {
+                Some(NodeRole::Manager) => 'M',
+                Some(NodeRole::LocalController) => 'L',
+                None => '?',
+            }
+        });
+    }
+    println!(
+        "[{label:<22}] t={:>4}s  roles={roles}  managers={managers} lcs={lcs}  GL={gl}  VMs={}",
+        sim.now().as_micros() / 1_000_000,
+        system.total_vms(sim)
+    );
+}
+
+fn main() {
+    let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
+    let specs = NodeSpec::standard_cluster(10);
+    let system = UnifiedSystem::deploy(&mut sim, &config, &specs, 3, 1);
+
+    println!("10 identical nodes, zero configured roles, target: 3 managers\n");
+    show(&sim, &system, "boot");
+    sim.run_until(SimTime::from_secs(60));
+    show(&sim, &system, "self-organized");
+
+    // Load the LC pool.
+    let schedule: Vec<ScheduledVm> = (0..10)
+        .map(|i| ScheduledVm {
+            at: SimTime::from_secs(70),
+            spec: VmSpec::new(VmId(i), ResourceVector::new(2.0, 4096.0, 100.0, 100.0)),
+            workload: VmWorkload {
+                cpu: UsageShape::Constant(0.6),
+                memory: UsageShape::Constant(0.6),
+                network: UsageShape::Constant(0.3),
+                seed: i,
+            },
+            lifetime: None,
+        })
+        .collect();
+    sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
+    );
+    sim.run_until(SimTime::from_secs(150));
+    show(&sim, &system, "workload placed");
+
+    // Kill a manager: the framework must backfill from the idle LCs —
+    // never from one that hosts VMs.
+    let gl = system.current_gl(&sim).unwrap();
+    let victim = *system
+        .nodes
+        .iter()
+        .find(|&&n| {
+            n != gl
+                && sim
+                    .component_as::<UnifiedNode>(n)
+                    .map(|u| u.role() == NodeRole::Manager)
+                    .unwrap_or(false)
+        })
+        .unwrap();
+    println!("\nkilling manager {} …", sim.name_of(victim));
+    sim.schedule_crash(SimTime::from_secs(151), victim);
+    sim.run_until(SimTime::from_secs(170));
+    show(&sim, &system, "just after crash");
+    sim.run_until(SimTime::from_secs(300));
+    show(&sim, &system, "backfilled");
+
+    // The dead node reboots: it must come back as an LC, and the pool
+    // must settle back at target.
+    println!("\nrebooting {} …", sim.name_of(victim));
+    sim.schedule_restart(SimTime::from_secs(301), victim);
+    sim.run_until(SimTime::from_secs(450));
+    show(&sim, &system, "rebooted, settled");
+
+    let promoted: Vec<&str> = system
+        .nodes
+        .iter()
+        .filter(|&&n| {
+            sim.is_alive(n)
+                && sim.component_as::<UnifiedNode>(n).map(|u| u.role_changes > 0).unwrap_or(false)
+        })
+        .map(|&n| sim.name_of(n))
+        .collect();
+    println!("\nnodes the framework ever re-roled: {}", promoted.join(", "));
+}

@@ -1,0 +1,114 @@
+//! Hierarchy visualizer — the equivalent of the Snooze CLI's "live
+//! visualizing and exporting of the hierarchy organization" (paper
+//! §II-A): renders the GL → GM → LC → VM tree at several points in time,
+//! including across a GL failover.
+//!
+//! ```text
+//! cargo run --example hierarchy_visualizer
+//! ```
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_simcore::prelude::*;
+
+fn render(sim: &Engine, system: &SnoozeSystem) {
+    println!("t = {}", sim.now());
+    match system.current_gl(sim) {
+        Some(gl) => println!("└─ GL {}", sim.name_of(gl)),
+        None => {
+            println!("└─ (no group leader)");
+            return;
+        }
+    }
+    // Collect LC → GM assignments from the LCs themselves (the source of
+    // truth for the self-organized topology).
+    let gms = system.active_gms(sim);
+    for (gi, &gm) in gms.iter().enumerate() {
+        let last_gm = gi + 1 == gms.len();
+        let branch = if last_gm { "   └─" } else { "   ├─" };
+        let g = sim.component_as::<GroupManager>(gm).unwrap();
+        println!("{branch} GM {} ({} LCs, {} VMs)", sim.name_of(gm), g.lc_count(), g.vm_count());
+        let my_lcs: Vec<ComponentId> = system
+            .lcs
+            .iter()
+            .copied()
+            .filter(|&lc| {
+                sim.is_alive(lc)
+                    && sim
+                        .component_as::<LocalController>(lc)
+                        .and_then(|l| l.assigned_gm())
+                        == Some(gm)
+            })
+            .collect();
+        for (li, &lc) in my_lcs.iter().enumerate() {
+            let l = sim.component_as::<LocalController>(lc).unwrap();
+            let cont = if last_gm { "      " } else { "   │  " };
+            let lc_branch = if li + 1 == my_lcs.len() { "└─" } else { "├─" };
+            let vms: Vec<String> =
+                l.hypervisor().guests().map(|g| format!("{:?}", g.spec.id)).collect();
+            println!(
+                "{cont}{lc_branch} LC {} [{:?}] {}",
+                sim.name_of(lc),
+                l.power_state(),
+                if vms.is_empty() { "(idle)".to_string() } else { vms.join(" ") }
+            );
+        }
+    }
+    let orphans = system
+        .lcs
+        .iter()
+        .filter(|&&lc| {
+            sim.is_alive(lc)
+                && sim.component_as::<LocalController>(lc).and_then(|l| l.assigned_gm()).is_none()
+        })
+        .count();
+    if orphans > 0 {
+        println!("   (+ {orphans} LCs awaiting assignment)");
+    }
+    println!();
+}
+
+fn main() {
+    let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
+    let nodes = NodeSpec::standard_cluster(6);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+
+    let schedule: Vec<ScheduledVm> = (0..8)
+        .map(|i| ScheduledVm {
+            at: SimTime::from_secs(20),
+            spec: VmSpec::new(VmId(i), ResourceVector::new(2.0, 4096.0, 100.0, 100.0)),
+            workload: VmWorkload {
+                // 70% utilization: busy but below the overload threshold,
+                // so the tree stays put unless a failure moves it.
+                cpu: UsageShape::Constant(0.7),
+                memory: UsageShape::Constant(0.7),
+                network: UsageShape::Constant(0.3),
+                seed: i,
+            },
+            lifetime: None,
+        })
+        .collect();
+    sim.add_component("client", ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)));
+
+    println!("== after convergence ==");
+    sim.run_until(SimTime::from_secs(15));
+    render(&sim, &system);
+
+    println!("== after placement ==");
+    sim.run_until(SimTime::from_secs(90));
+    render(&sim, &system);
+
+    println!("== 5 s after GL crash ==");
+    let gl = system.current_gl(&sim).unwrap();
+    sim.schedule_crash(SimTime::from_secs(91), gl);
+    sim.run_until(SimTime::from_secs(96));
+    render(&sim, &system);
+
+    println!("== healed ==");
+    sim.run_until(SimTime::from_secs(180));
+    render(&sim, &system);
+}

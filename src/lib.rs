@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the Snooze reproduction crates so
+//! the examples and integration tests in this repository can use one
+//! import root.
+
+pub use snooze;
+pub use snooze_cluster as cluster;
+pub use snooze_consolidation as consolidation;
+pub use snooze_protocols as protocols;
+pub use snooze_simcore as simcore;

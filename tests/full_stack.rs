@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the full Snooze stack (simcore +
+//! protocols + cluster + consolidation + hierarchy) under partitions,
+//! random failure storms, and consolidation-in-the-loop.
+
+use snooze::prelude::*;
+use snooze::scheduling::placement::PlacementKind;
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_consolidation::aco::AcoParams;
+use snooze_simcore::failure::FailurePlan;
+use snooze_simcore::prelude::*;
+use snooze_simcore::rng::SimRng;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn schedule(n: u64, at: SimTime, util: f64) -> Vec<ScheduledVm> {
+    (0..n)
+        .map(|i| {
+            let mut spec = VmSpec::new(VmId(i), ResourceVector::new(2.0, 4096.0, 100.0, 100.0));
+            spec.image_mb = 1024.0;
+            ScheduledVm {
+                at,
+                spec,
+                workload: VmWorkload {
+                    cpu: UsageShape::Constant(util),
+                    memory: UsageShape::Constant(util),
+                    network: UsageShape::Constant(0.3),
+                    seed: i,
+                },
+                lifetime: None,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn partitioned_gl_causes_no_lasting_split_brain() {
+    let mut sim = SimBuilder::new(51).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let nodes = NodeSpec::standard_cluster(6);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+    sim.run_until(secs(10));
+    let old_gl = system.current_gl(&sim).expect("converged");
+
+    // Partition the GL away from the world. Its coordination session
+    // expires; a new GL is elected on the majority side.
+    sim.network_mut().isolate(old_gl);
+    sim.run_until(secs(40));
+    let leaders: Vec<ComponentId> = system
+        .gms
+        .iter()
+        .copied()
+        .filter(|&gm| {
+            sim.component_as::<GroupManager>(gm).map(|g| g.is_gl()).unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(leaders.len(), 2, "during the partition, both sides believe");
+
+    // Heal. SessionExpired must depose the old GL.
+    sim.network_mut().reconnect(old_gl);
+    sim.run_until(secs(90));
+    let gl = system.current_gl(&sim).expect("exactly one GL after healing");
+    assert_ne!(gl, old_gl, "deposed leader must not return to power");
+    let old = sim.component_as::<GroupManager>(old_gl).unwrap();
+    assert!(matches!(old.mode(), Mode::Gm(g) if g == gl), "old GL now follows: {:?}", old.mode());
+}
+
+#[test]
+fn survives_a_random_failure_storm_with_invariants_intact() {
+    let mut sim = SimBuilder::new(52).network(NetworkConfig::lossy_lan(0.01)).build();
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        reschedule_on_lc_failure: true,
+        ..SnoozeConfig::fast_test()
+    };
+    let nodes = NodeSpec::standard_cluster(10);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 4, &nodes, 1);
+    let client = sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule(12, secs(10), 0.5), SimSpan::from_secs(10)),
+    );
+
+    // Random crash/repair cycles on managers and half the LCs.
+    let mut chaos_rng = SimRng::new(0xBAD);
+    let mut targets: Vec<ComponentId> = system.gms.clone();
+    targets.extend(&system.lcs[..5]);
+    FailurePlan::random_crash_repair(
+        &targets,
+        SimSpan::from_secs(120), // MTTF
+        SimSpan::from_secs(15),  // MTTR
+        secs(500),
+        &mut chaos_rng,
+    )
+    .apply(&mut sim);
+
+    // Long quiet tail so everything heals.
+    sim.run_until(secs(800));
+
+    // Invariant: exactly one GL among alive managers.
+    assert!(system.current_gl(&sim).is_some(), "hierarchy re-converged");
+    // Invariant: every alive LC is assigned to an alive manager.
+    let live_gms = system.active_gms(&sim);
+    for &lc in &system.lcs {
+        if !sim.is_alive(lc) {
+            continue;
+        }
+        let l = sim.component_as::<LocalController>(lc).unwrap();
+        if let Some(gm) = l.assigned_gm() {
+            assert!(live_gms.contains(&gm), "LC {lc:?} bound to dead GM {gm:?}");
+        }
+    }
+    // Invariant: the client got an answer (or gave up) for every VM.
+    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    assert_eq!(
+        c.placed.len() + c.rejected.len() + c.abandoned.len(),
+        12,
+        "every submission resolved"
+    );
+    // The storm was survivable: most VMs should have landed.
+    assert!(c.placed.len() >= 8, "placed only {} of 12", c.placed.len());
+}
+
+#[test]
+fn consolidation_in_the_loop_reduces_powered_nodes() {
+    let run = |reconf: bool| -> (usize, f64) {
+        let mut sim = SimBuilder::new(53).network(NetworkConfig::lan()).build();
+        let config = SnoozeConfig {
+            placement: PlacementKind::RoundRobin,
+            idle_suspend_after: Some(SimSpan::from_secs(20)),
+            underload_threshold: 0.0, // isolate the reconfiguration effect
+            reconfiguration: reconf.then(|| ReconfigurationConfig {
+                period: SimSpan::from_secs(60),
+                aco: AcoParams::fast(),
+                max_migrations: 16,
+            }),
+            ..SnoozeConfig::fast_test()
+        };
+        let nodes = NodeSpec::standard_cluster(8);
+        let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
+        sim.add_component(
+            "client",
+            ClientDriver::new(system.eps[0], schedule(8, secs(10), 0.5), SimSpan::from_secs(10)),
+        );
+        let horizon = secs(600);
+        sim.run_until(horizon);
+        let (on, _, _) = system.power_census(&sim);
+        (on, system.total_energy_wh(&sim, horizon))
+    };
+
+    let (on_without, wh_without) = run(false);
+    let (on_with, wh_with) = run(true);
+    assert!(
+        on_with < on_without,
+        "ACO reconfiguration must empty nodes: {on_with} vs {on_without}"
+    );
+    assert!(wh_with < wh_without, "fewer powered nodes ⇒ less energy");
+    // 8 VMs × 2 cores pack into 2 hosts of 8 cores.
+    assert!(on_with <= 3, "packed cluster should run ≤3 nodes, got {on_with}");
+}
+
+#[test]
+fn lossy_network_delays_but_does_not_break_placement() {
+    let mut sim = SimBuilder::new(54).network(NetworkConfig::lossy_lan(0.05)).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let nodes = NodeSpec::standard_cluster(6);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
+    let client = sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule(10, secs(10), 0.5), SimSpan::from_secs(10)),
+    );
+    sim.run_until(secs(600));
+    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    assert_eq!(c.placed.len(), 10, "retries overcome 5% loss: {:?}", c.abandoned);
+    assert!(sim.metrics().counter("net.dropped") > 0, "loss actually happened");
+}
+
+#[test]
+fn energy_accounting_matches_power_model_bounds() {
+    // Sanity link between the hierarchy's metered energy and the power
+    // model: a fully idle, never-suspended cluster burns exactly
+    // idle-watts × nodes × time (modulo float).
+    let mut sim = SimBuilder::new(55).network(NetworkConfig::lan()).build();
+    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let nodes = NodeSpec::standard_cluster(4);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
+    let horizon = secs(3600);
+    sim.run_until(horizon);
+    let measured = system.total_energy_wh(&sim, horizon);
+    let expected = 4.0 * 160.0 * 1.0; // 4 nodes × 160 W idle × 1 h
+    assert!(
+        (measured - expected).abs() < expected * 0.01,
+        "measured {measured} Wh vs expected {expected} Wh"
+    );
+}
