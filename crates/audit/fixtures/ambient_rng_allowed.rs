@@ -1,0 +1,5 @@
+// Fixture: ambient entropy suppressed with an untargeted allow marker.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // audit-allow: fixture demonstrating suppression
+    rng.gen()
+}

@@ -1,0 +1,5 @@
+// Fixture: ambient entropy must fire `ambient-rng` anywhere in the tree.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,5 @@
+// Fixture: exact float equality suppressed with a targeted allow marker.
+fn untouched(tau: f64) -> bool {
+    // audit-allow(float-eq): sentinel value assigned verbatim, never computed
+    tau == -1.0
+}

@@ -1,0 +1,4 @@
+// Fixture: exact float equality against a literal must fire `float-eq`.
+fn saturated(utilization: f64) -> bool {
+    utilization == 1.0
+}

@@ -1,0 +1,11 @@
+// Fixture: a handler unwrap suppressed with a targeted allow marker.
+struct Node;
+
+impl Component for Node {
+    fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+        if msg.downcast_ref::<u32>().is_some() {
+            let payload = msg.downcast::<u32>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
+            let _ = payload;
+        }
+    }
+}

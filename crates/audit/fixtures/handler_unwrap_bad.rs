@@ -1,0 +1,18 @@
+// Fixture: unwrapping inside an `on_message` handler must fire
+// `handler-unwrap`, while the same call outside a handler must not.
+struct Node;
+
+impl Node {
+    fn helper(&self, v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+
+impl Component for Node {
+    fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+        let payload = msg.downcast::<u32>().unwrap();
+        let _ = payload;
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+}

@@ -1,0 +1,15 @@
+// Fixture: the same iteration, suppressed with an inline allow marker.
+use std::collections::HashMap;
+
+struct Registry {
+    members: HashMap<u64, String>,
+}
+
+impl Registry {
+    fn sorted_names(&self) -> Vec<&str> {
+        // audit-allow(hash-iter): sorted immediately below
+        let mut names: Vec<&str> = self.members.values().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}

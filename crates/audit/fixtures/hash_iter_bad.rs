@@ -1,0 +1,14 @@
+// Fixture: iterating a HashMap in simulation-path code must fire `hash-iter`.
+use std::collections::HashMap;
+
+struct Registry {
+    members: HashMap<u64, String>,
+}
+
+impl Registry {
+    fn broadcast(&self) {
+        for (id, name) in self.members.iter() {
+            println!("{id}: {name}");
+        }
+    }
+}

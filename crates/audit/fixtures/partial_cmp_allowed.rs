@@ -1,0 +1,5 @@
+// Fixture: the same comparison, suppressed with a targeted allow marker.
+fn best(scores: &[f64]) -> Option<&f64> {
+    // audit-allow(partial-cmp-unwrap): inputs are pheromone values, always finite
+    scores.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

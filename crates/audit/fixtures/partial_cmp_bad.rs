@@ -1,0 +1,4 @@
+// Fixture: `.partial_cmp(..).unwrap()` must fire `partial-cmp-unwrap`.
+fn best(scores: &[f64]) -> Option<&f64> {
+    scores.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

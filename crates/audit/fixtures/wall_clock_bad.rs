@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads outside crates/bench must fire `wall-clock`.
+use std::time::Instant;
+
+fn measure() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,203 @@
+//! The `snooze-audit determinism` subcommand: run one full-stack Snooze
+//! scenario twice from the same seed and diff the run fingerprints.
+//!
+//! The scenario deliberately mirrors the repository's tier-1 replay
+//! test: a lossy LAN, a full hierarchy (GL election, GMs, LCs), a batch
+//! of on/off-workload VMs, and a mid-run GM crash — determinism must
+//! hold *through* failure handling, not just on the happy path. The
+//! fingerprint combines independent witnesses:
+//!
+//! * the engine's executed-event digest ([`snooze_simcore::Engine::digest`]),
+//! * the trace-stream digest ([`snooze_simcore::trace::Trace::digest`]),
+//! * executed event count and final placements,
+//! * accumulated energy (formatted, so the comparison is exact).
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_simcore::prelude::*;
+
+/// Scenario knobs, all defaulted by the CLI.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Master seed.
+    pub seed: u64,
+    /// Cluster size (LC nodes).
+    pub nodes: usize,
+    /// VMs submitted by the client.
+    pub vms: u64,
+    /// Virtual seconds to run.
+    pub secs: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            seed: 77,
+            nodes: 8,
+            vms: 10,
+            secs: 300,
+        }
+    }
+}
+
+/// Everything one run produces that a replay must reproduce exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Executed-event digest from the engine.
+    pub event_digest: u64,
+    /// Digest of the full trace stream.
+    pub trace_digest: u64,
+    /// Number of events executed.
+    pub events: u64,
+    /// FNV-1a over the (vm, lc) placement pairs, in placement order.
+    pub placements: u64,
+    /// Count of placed VMs.
+    pub placed: usize,
+    /// Total energy, formatted to µWh precision.
+    pub energy: String,
+}
+
+fn fnv1a_words(mut hash: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for w in words {
+        for b in w.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+/// Run the scenario once and fingerprint it.
+pub fn run_once(sc: &Scenario) -> Fingerprint {
+    let mut sim = SimBuilder::new(sc.seed)
+        .network(NetworkConfig::lossy_lan(0.02))
+        .build();
+    let config = SnoozeConfig::fast_test();
+    let nodes = NodeSpec::standard_cluster(sc.nodes);
+    let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
+    let schedule: Vec<ScheduledVm> = (0..sc.vms)
+        .map(|i| ScheduledVm {
+            at: SimTime::from_secs(10),
+            spec: VmSpec::new(VmId(i), ResourceVector::new(2.0, 4096.0, 100.0, 100.0)),
+            workload: VmWorkload {
+                cpu: UsageShape::OnOff {
+                    on_level: 0.9,
+                    off_level: 0.1,
+                    duty: 0.4,
+                    slot: SimSpan::from_secs(60),
+                },
+                memory: UsageShape::Constant(0.7),
+                network: UsageShape::Constant(0.2),
+                seed: i,
+            },
+            lifetime: None,
+        })
+        .collect();
+    let client = sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
+    );
+    // Determinism must hold through failure handling, so crash a GM.
+    sim.schedule_crash(SimTime::from_secs(40), system.gms[0]);
+    sim.run_until(SimTime::from_secs(sc.secs));
+
+    let driver = sim
+        .component_as::<ClientDriver>(client)
+        .expect("client driver present");
+    let placements = fnv1a_words(
+        0xcbf2_9ce4_8422_2325,
+        driver.placed.iter().flat_map(|p| [p.vm.0, p.lc.0 as u64]),
+    );
+    Fingerprint {
+        event_digest: sim.digest(),
+        trace_digest: sim.trace().digest(),
+        events: sim.events_executed(),
+        placements,
+        placed: driver.placed.len(),
+        energy: format!("{:.6}", system.total_energy_wh(&sim, sim.now())),
+    }
+}
+
+/// Outcome of the two-run diff.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// First run.
+    pub first: Fingerprint,
+    /// Second run.
+    pub second: Fingerprint,
+}
+
+impl Verdict {
+    /// Whether the two runs are indistinguishable.
+    pub fn identical(&self) -> bool {
+        self.first == self.second
+    }
+
+    /// Names of the fingerprint fields that differ.
+    pub fn diverging_fields(&self) -> Vec<&'static str> {
+        let (a, b) = (&self.first, &self.second);
+        let mut out = Vec::new();
+        if a.event_digest != b.event_digest {
+            out.push("event_digest");
+        }
+        if a.trace_digest != b.trace_digest {
+            out.push("trace_digest");
+        }
+        if a.events != b.events {
+            out.push("events");
+        }
+        if a.placements != b.placements {
+            out.push("placements");
+        }
+        if a.placed != b.placed {
+            out.push("placed");
+        }
+        if a.energy != b.energy {
+            out.push("energy");
+        }
+        out
+    }
+}
+
+/// Run the scenario twice and compare.
+pub fn check(sc: &Scenario) -> Verdict {
+    Verdict {
+        first: run_once(sc),
+        second: run_once(sc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_replays_identically() {
+        let sc = Scenario {
+            seed: 11,
+            nodes: 4,
+            vms: 4,
+            secs: 120,
+        };
+        let v = check(&sc);
+        assert!(v.identical(), "diverged in {:?}", v.diverging_fields());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let sc = Scenario {
+            seed: 11,
+            nodes: 4,
+            vms: 4,
+            secs: 120,
+        };
+        let a = run_once(&sc);
+        let b = run_once(&Scenario { seed: 12, ..sc });
+        assert_ne!(a.event_digest, b.event_digest);
+        assert_ne!(a.trace_digest, b.trace_digest);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # snooze-audit
+//!
+//! Determinism auditing for the Snooze workspace, in two layers:
+//!
+//! 1. **Static** — [`lint`]: a dependency-free text/AST-lite analysis
+//!    that bans sources of nondeterminism at their origin (hash-order
+//!    iteration, wall-clock reads, ambient entropy, exact float
+//!    comparisons, unwraps in message handlers). Run it with
+//!    `snooze-audit lint`; suppress individual sites with
+//!    `// audit-allow(rule): reason` or curated entries in
+//!    `audit.allowlist`.
+//!
+//! 2. **Dynamic** — [`determinism`] plus the `audit` cargo feature:
+//!    runtime invariant checks (`snooze_simcore::invariant`) wired into
+//!    the engine, the hypervisor and the ACO colony, and a two-run
+//!    replay check (`snooze-audit determinism`) that diffs event and
+//!    trace digests of identical-seed runs.
+//!
+//! The two layers are complementary: the lint catches what the type
+//! system can't before it ships, the runtime checks catch semantic
+//! drift (conservation violations, order inversions) while scenarios
+//! execute, and the replay diff is the end-to-end oracle.
+
+pub mod determinism;
+pub mod lint;
+pub mod report;

@@ -1,0 +1,847 @@
+//! The determinism lint: a text/AST-lite static analysis over the
+//! workspace sources.
+//!
+//! The simulator's whole value proposition is bit-identical replay from
+//! a seed. Every rule here bans a *source* of nondeterminism (or of
+//! silent divergence) that survives type-checking:
+//!
+//! | rule               | bans                                            |
+//! |--------------------|-------------------------------------------------|
+//! | `hash-iter`        | iterating `HashMap`/`HashSet` in simulation code |
+//! | `wall-clock`       | `Instant::now` / `SystemTime` outside benches    |
+//! | `ambient-rng`      | `thread_rng` / `from_entropy` / `OsRng`          |
+//! | `float-eq`         | `==`/`!=` against float literals in schedulers   |
+//! | `partial-cmp-unwrap` | `.partial_cmp(..).unwrap()` on floats          |
+//! | `handler-unwrap`   | `.unwrap()`/`.expect(` inside `on_message`       |
+//!
+//! The analysis is deliberately lightweight: a comment/string-aware line
+//! model plus token scanning — no syn, no rustc internals, no external
+//! dependencies. Suppression is explicit and auditable: an inline
+//! `// audit-allow: reason` (or rule-targeted
+//! `// audit-allow(rule-id): reason`) on the offending line or on a
+//! standalone comment line directly above it, or an entry in the curated
+//! allowlist file (`audit.allowlist` at the workspace root).
+//!
+//! Heuristic limits, by design: `#[cfg(test)]` modules are skipped (test
+//! assertions may compare floats or iterate maps without affecting the
+//! simulated history), and `hash-iter` tracks *named* bindings declared
+//! as hash collections in the same file — good enough for this codebase,
+//! and wrong in the safe direction for exotic code (it misses, it does
+//! not false-positive).
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources sit on the simulation path: any iteration-order
+/// or float-comparison wobble here changes simulated histories.
+pub const SIM_PATH: &[&str] = &[
+    "crates/simcore/src",
+    "crates/protocols/src",
+    "crates/cluster/src",
+    "crates/snooze/src",
+    "crates/consolidation/src",
+];
+
+/// One source line, split into its code and comment parts (string
+/// literal contents are blanked out of `code`).
+#[derive(Debug)]
+pub struct SourceLine {
+    /// The original text.
+    pub raw: String,
+    /// Code with comments removed and string/char literal bodies blanked.
+    pub code: String,
+    /// The comment text (line + block comments) on this line.
+    pub comment: String,
+}
+
+/// A parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Parsed lines.
+    pub lines: Vec<SourceLine>,
+    /// Index of the first line of a trailing `#[cfg(test)]` module, if
+    /// any — lines from here on are exempt from the rules.
+    pub test_cut: Option<usize>,
+}
+
+/// Lexer state carried across lines.
+enum St {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Parse `text` into the line model.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let mut st = St::Code;
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let ch: Vec<char> = raw.chars().collect();
+            let mut code = String::new();
+            let mut comment = String::new();
+            let mut i = 0usize;
+            let mut line_comment = false;
+            while i < ch.len() {
+                match st {
+                    St::Code => {
+                        let c = ch[i];
+                        let next = ch.get(i + 1).copied();
+                        if c == '/' && next == Some('/') {
+                            comment.push_str(&ch[i + 2..].iter().collect::<String>());
+                            line_comment = true;
+                            break;
+                        } else if c == '/' && next == Some('*') {
+                            st = St::Block(1);
+                            i += 2;
+                        } else if c == '"' {
+                            code.push('"');
+                            st = St::Str;
+                            i += 1;
+                        } else if c == 'r'
+                            && !ch
+                                .get(i.wrapping_sub(1))
+                                .copied()
+                                .map(ident_char)
+                                .unwrap_or(false)
+                        {
+                            // Possible raw string: r"..."/r#"..."#.
+                            let mut j = i + 1;
+                            while ch.get(j) == Some(&'#') {
+                                j += 1;
+                            }
+                            if ch.get(j) == Some(&'"') {
+                                code.push('"');
+                                st = St::RawStr((j - i - 1) as u32);
+                                i = j + 1;
+                            } else {
+                                code.push(c);
+                                i += 1;
+                            }
+                        } else if c == '\'' {
+                            // Char literal vs lifetime.
+                            if next == Some('\\') {
+                                // '\n' style: consume through closing quote.
+                                let mut j = i + 2;
+                                while j < ch.len() && ch[j] != '\'' {
+                                    j += 1;
+                                }
+                                code.push(' ');
+                                i = j + 1;
+                            } else if ch.get(i + 2) == Some(&'\'') {
+                                code.push(' ');
+                                i += 3;
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    St::Block(depth) => {
+                        let c = ch[i];
+                        let next = ch.get(i + 1).copied();
+                        if c == '*' && next == Some('/') {
+                            if depth == 1 {
+                                st = St::Code;
+                            } else {
+                                st = St::Block(depth - 1);
+                            }
+                            i += 2;
+                        } else if c == '/' && next == Some('*') {
+                            st = St::Block(depth + 1);
+                            i += 2;
+                        } else {
+                            comment.push(c);
+                            i += 1;
+                        }
+                    }
+                    St::Str => {
+                        let c = ch[i];
+                        if c == '\\' {
+                            i += 2;
+                        } else if c == '"' {
+                            code.push('"');
+                            st = St::Code;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    St::RawStr(hashes) => {
+                        if ch[i] == '"' {
+                            let n = hashes as usize;
+                            if ch[i + 1..].iter().take(n).filter(|&&h| h == '#').count() == n {
+                                code.push('"');
+                                st = St::Code;
+                                i += 1 + n;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            if line_comment {
+                st = St::Code;
+            }
+            lines.push(SourceLine {
+                raw: raw.to_string(),
+                code,
+                comment,
+            });
+        }
+        let test_cut = lines.iter().position(|l| l.code.trim() == "#[cfg(test)]");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            test_cut,
+        }
+    }
+
+    /// Whether line `idx` (0-based) is inside a trailing test module.
+    pub fn in_test_module(&self, idx: usize) -> bool {
+        self.test_cut.is_some_and(|cut| idx >= cut)
+    }
+
+    /// Whether an inline marker suppresses `rule` at line `idx`: either
+    /// on the line itself or on a standalone comment line directly above.
+    pub fn allows(&self, idx: usize, rule: &str) -> bool {
+        if comment_allows(&self.lines[idx].comment, rule) {
+            return true;
+        }
+        idx > 0
+            && self.lines[idx - 1].code.trim().is_empty()
+            && comment_allows(&self.lines[idx - 1].comment, rule)
+    }
+}
+
+/// `audit-allow: reason` suppresses every rule at its site;
+/// `audit-allow(rule-a, rule-b): reason` suppresses only those rules.
+fn comment_allows(comment: &str, rule: &str) -> bool {
+    let Some(pos) = comment.find("audit-allow") else {
+        return false;
+    };
+    let rest = &comment[pos + "audit-allow".len()..];
+    if let Some(inner) = rest.strip_prefix('(') {
+        match inner.find(')') {
+            Some(close) => inner[..close].split(',').any(|r| r.trim() == rule),
+            None => false,
+        }
+    } else {
+        rest.trim_start().starts_with(':')
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offset of each word-boundary occurrence of `token` in `code`.
+/// `token` itself may contain `::` (path tokens).
+fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = code[start..].find(token) {
+        let at = start + p;
+        let before_ok = at == 0 || !ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = at + token.len();
+        let after_ok =
+            after >= code.len() || !ident_char(code[after..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + token.len().max(1);
+    }
+    out
+}
+
+/// A raw rule hit: 0-based line index plus display snippet.
+type Hit = (usize, String);
+
+fn snippet(file: &SourceFile, idx: usize) -> String {
+    let s = file.lines[idx].raw.trim();
+    if s.len() > 120 {
+        let mut cut = 117;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}...", &s[..cut])
+    } else {
+        s.to_string()
+    }
+}
+
+/// A lint rule: identity, scope predicate, and checker.
+pub struct RuleDef {
+    /// Stable rule id (used in allow markers and the allowlist).
+    pub id: &'static str,
+    /// One-line description of what the rule bans.
+    pub summary: &'static str,
+    /// How to fix a finding.
+    pub hint: &'static str,
+    /// Whether the rule applies to a (workspace-relative) path.
+    pub in_scope: fn(&str) -> bool,
+    /// Scan a file, returning raw hits.
+    pub check: fn(&SourceFile) -> Vec<Hit>,
+}
+
+fn scope_sim_path(path: &str) -> bool {
+    SIM_PATH.iter().any(|p| path.starts_with(p))
+}
+
+fn scope_not_bench(path: &str) -> bool {
+    !path.starts_with("crates/bench")
+}
+
+fn scope_everywhere(_path: &str) -> bool {
+    true
+}
+
+fn scope_scheduling_aco(path: &str) -> bool {
+    path.starts_with("crates/consolidation/src") || path.starts_with("crates/snooze/src")
+}
+
+// --- rule: hash-iter ----------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "iter()",
+    "iter_mut()",
+    "into_iter()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "into_keys()",
+    "into_values()",
+    "drain(",
+    "retain(",
+];
+
+/// Names declared as `HashMap`/`HashSet` in this file (struct fields,
+/// `let` bindings with type annotations or `::new()` initializers).
+fn hash_binding_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        if code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for pos in token_positions(code, ty) {
+                let before = code[..pos].trim_end();
+                // `name: HashMap<..>` (field or typed binding).
+                if let Some(stripped) = before.strip_suffix(':') {
+                    if let Some(name) = last_ident(stripped) {
+                        names.insert(name);
+                        continue;
+                    }
+                }
+                // `let [mut] name = HashMap::new()` style.
+                if let Some(stripped) = before.strip_suffix('=') {
+                    let head = stripped.trim_end();
+                    if code.contains("let ") {
+                        if let Some(name) = last_ident(head) {
+                            names.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn last_ident(s: &str) -> Option<String> {
+    let trimmed = s.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| ident_char(*c))
+        .map(|(i, _)| i)
+        .last()?;
+    let ident = &trimmed[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+fn check_hash_iter(file: &SourceFile) -> Vec<Hit> {
+    let names = hash_binding_names(file);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut flagged = false;
+        for name in &names {
+            if flagged {
+                break;
+            }
+            for pos in token_positions(code, name) {
+                let after = &code[pos + name.len()..];
+                // `name.iter()` / `.keys()` / `.drain(..)` and friends.
+                if let Some(rest) = after.strip_prefix('.') {
+                    if ITER_METHODS.iter().any(|m| rest.starts_with(m)) {
+                        hits.push((idx, snippet(file, idx)));
+                        flagged = true;
+                        break;
+                    }
+                }
+                // `for x in [&[mut]] [self.]name` loops.
+                let mut pre = &code[..pos];
+                if let Some(p) = pre.strip_suffix("self.") {
+                    pre = p;
+                }
+                let pre = pre.trim_end_matches("mut ").trim_end_matches('&');
+                let consumed_ok =
+                    after.is_empty() || after.starts_with(' ') || after.starts_with('{');
+                if pre.ends_with(" in ") && consumed_ok {
+                    hits.push((idx, snippet(file, idx)));
+                    flagged = true;
+                    break;
+                }
+            }
+        }
+    }
+    hits
+}
+
+// --- rule: wall-clock / ambient-rng -------------------------------------
+
+fn check_tokens(file: &SourceFile, tokens: &[&str]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if tokens
+            .iter()
+            .any(|t| !token_positions(&line.code, t).is_empty())
+        {
+            hits.push((idx, snippet(file, idx)));
+        }
+    }
+    hits
+}
+
+fn check_wall_clock(file: &SourceFile) -> Vec<Hit> {
+    check_tokens(file, &["Instant::now", "SystemTime::now", "UNIX_EPOCH"])
+}
+
+fn check_ambient_rng(file: &SourceFile) -> Vec<Hit> {
+    check_tokens(
+        file,
+        &[
+            "thread_rng",
+            "from_entropy",
+            "OsRng",
+            "getrandom",
+            "rand::random",
+        ],
+    )
+}
+
+// --- rule: float-eq -----------------------------------------------------
+
+/// Token directly left of byte `end` in `code`: identifier chars, `.`,
+/// and indexing are collected; anything else terminates.
+fn operand_left(code: &str, end: usize) -> String {
+    let mut out: Vec<char> = Vec::new();
+    for c in code[..end].chars().rev() {
+        if c == ' ' && out.is_empty() {
+            continue;
+        }
+        if ident_char(c) || c == '.' {
+            out.push(c);
+        } else {
+            break;
+        }
+    }
+    out.into_iter().rev().collect()
+}
+
+/// Token directly right of byte `start`; `+`/`-` are kept only directly
+/// after an exponent marker so `1e-9` parses as one token.
+fn operand_right(code: &str, start: usize) -> String {
+    let mut out = String::new();
+    for c in code[start..].chars() {
+        if c == ' ' && out.is_empty() {
+            continue;
+        }
+        let exponent_sign = (c == '+' || c == '-') && out.ends_with(['e', 'E']);
+        if ident_char(c) || c == '.' || exponent_sign {
+            out.push(c);
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Whether `tok` is a floating-point literal (`0.5`, `1e-9`, `2f64`…).
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .map(|t| t.strip_suffix('_').unwrap_or(t))
+        .unwrap_or(tok);
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let floaty =
+        t.contains('.') || t.contains(['e', 'E']) || tok.ends_with("f64") || tok.ends_with("f32");
+    floaty
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '+' | '-'))
+}
+
+fn check_float_eq(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let bytes = code.as_bytes();
+        let mut flagged = false;
+        let mut i = 0;
+        while i + 1 < bytes.len() && !flagged {
+            let two = &code[i..i + 2];
+            let is_eq = two == "==" || two == "!=";
+            if is_eq {
+                let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+                let next = if i + 2 < bytes.len() {
+                    bytes[i + 2]
+                } else {
+                    b' '
+                };
+                // Skip `<=`, `>=`, `=>`-adjacent and `===`-like runs.
+                if !matches!(prev, b'=' | b'<' | b'>' | b'!') && next != b'=' {
+                    let lhs = operand_left(code, i);
+                    let rhs = operand_right(code, i + 2);
+                    if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                        hits.push((idx, snippet(file, idx)));
+                        flagged = true;
+                    }
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    hits
+}
+
+// --- rule: partial-cmp-unwrap -------------------------------------------
+
+fn check_partial_cmp_unwrap(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if let Some(pos) = code.find(".partial_cmp(") {
+            // The `.unwrap()` may be chained on the same or the next line.
+            let mut tail = code[pos..].to_string();
+            if let Some(next) = file.lines.get(idx + 1) {
+                tail.push_str(next.code.trim());
+            }
+            if tail.contains(".unwrap()") || tail.contains(".expect(") {
+                hits.push((idx, snippet(file, idx)));
+            }
+        }
+    }
+    hits
+}
+
+// --- rule: handler-unwrap -----------------------------------------------
+
+fn check_handler_unwrap(file: &SourceFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let mut depth: i32 = 0;
+    let mut in_handler = false;
+    let mut seeking = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if !in_handler && !seeking && code.contains("fn on_message") {
+            seeking = true;
+            depth = 0;
+        }
+        if seeking || in_handler {
+            if in_handler && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                hits.push((idx, snippet(file, idx)));
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if seeking {
+                            seeking = false;
+                            in_handler = true;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if in_handler && depth == 0 {
+                            in_handler = false;
+                        }
+                    }
+                    // A `;` before any `{` means this was a trait-method
+                    // declaration, not a handler body.
+                    ';' if seeking && depth == 0 => {
+                        seeking = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// The rule set, in reporting order.
+pub fn rules() -> &'static [RuleDef] {
+    &[
+        RuleDef {
+            id: "hash-iter",
+            summary: "HashMap/HashSet iteration in simulation-path code",
+            hint: "use a BTreeMap/BTreeSet, or sort the items and mark the site `// audit-allow(hash-iter): sorted`",
+            in_scope: scope_sim_path,
+            check: check_hash_iter,
+        },
+        RuleDef {
+            id: "wall-clock",
+            summary: "wall-clock reads (Instant::now / SystemTime) outside crates/bench",
+            hint: "use virtual time (SimTime, Ctx::now); wall-clock timing belongs in crates/bench only",
+            in_scope: scope_not_bench,
+            check: check_wall_clock,
+        },
+        RuleDef {
+            id: "ambient-rng",
+            summary: "ambient entropy sources (thread_rng / from_entropy / OsRng)",
+            hint: "draw randomness from the engine's seeded SimRng (fork a labeled stream)",
+            in_scope: scope_everywhere,
+            check: check_ambient_rng,
+        },
+        RuleDef {
+            id: "float-eq",
+            summary: "exact float equality against a literal in scheduling/ACO code",
+            hint: "compare with an epsilon band or use f64::total_cmp; exact equality flips on the last ulp",
+            in_scope: scope_scheduling_aco,
+            check: check_float_eq,
+        },
+        RuleDef {
+            id: "partial-cmp-unwrap",
+            summary: ".partial_cmp(..).unwrap() in simulation-path code",
+            hint: "use f64::total_cmp (or .unwrap_or(Ordering::Equal) with a deterministic tiebreak)",
+            in_scope: scope_sim_path,
+            check: check_partial_cmp_unwrap,
+        },
+        RuleDef {
+            id: "handler-unwrap",
+            summary: ".unwrap()/.expect() inside an on_message handler",
+            hint: "handlers must tolerate stale or malformed messages: use if-let/match instead of unwrapping",
+            in_scope: scope_sim_path,
+            check: check_handler_unwrap,
+        },
+    ]
+}
+
+/// One reportable finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Fix hint for the rule.
+    pub hint: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// Suppressed by an inline marker or the allowlist.
+    pub allowed: bool,
+}
+
+/// The curated allowlist file: `rule-id path-substring` per line, `#`
+/// comments, blank lines ignored. A `*` rule matches every rule.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format. Returns `Err` on malformed lines.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(rule), Some(path)) => entries.push((rule.to_string(), path.to_string())),
+                _ => return Err(format!("allowlist line {}: expected `rule path`", n + 1)),
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Whether `rule` at `path` is allowlisted.
+    pub fn permits(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p)| (r == "*" || r == rule) && path.contains(p.as_str()))
+    }
+}
+
+/// Lint one parsed file against every in-scope rule.
+pub fn lint_file(file: &SourceFile, allowlist: &Allowlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in rules() {
+        if !(rule.in_scope)(&file.rel_path) {
+            continue;
+        }
+        for (idx, snip) in (rule.check)(file) {
+            if file.in_test_module(idx) {
+                continue;
+            }
+            let allowed = file.allows(idx, rule.id) || allowlist.permits(rule.id, &file.rel_path);
+            findings.push(Finding {
+                rule: rule.id,
+                hint: rule.hint,
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                snippet: snip,
+                allowed,
+            });
+        }
+    }
+    findings
+}
+
+/// Collect the workspace `.rs` sources under `root`, skipping build
+/// output, vendored stand-ins, and the lint's own fixture corpus.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "vendor" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// Errors if no sources are found: a "clean" verdict over zero files
+/// (wrong `--root`, deleted tree) must never read as a pass.
+pub fn lint_root(root: &Path, allowlist: &Allowlist) -> Result<Vec<Finding>, String> {
+    let files = collect_files(root);
+    if files.is_empty() {
+        return Err(format!("no .rs sources found under {}", root.display()));
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+        let file = SourceFile::parse(&rel, &text);
+        findings.extend(lint_file(&file, allowlist));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/simcore/src/x.rs", src)
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let f = parse("let a = \"HashMap // not code\"; // trailing HashMap\nlet b = 2; /* block\nHashMap */ let c = 3;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("trailing HashMap"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[2].code.contains("let c = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let f = parse("let s = r#\"thread_rng()\"#; let c = 'x'; let lt: &'static str = \"y\";\n");
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn allow_markers_parse() {
+        assert!(comment_allows(" audit-allow: sorted below", "hash-iter"));
+        assert!(comment_allows(
+            " audit-allow(hash-iter): sorted",
+            "hash-iter"
+        ));
+        assert!(comment_allows(" audit-allow(a, hash-iter): x", "hash-iter"));
+        assert!(!comment_allows(" audit-allow(float-eq): x", "hash-iter"));
+        assert!(!comment_allows(" plain comment", "hash-iter"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        for t in ["0.0", "1.5", "1e-9", "2f64", "3.25f32", "1_000.5"] {
+            assert!(is_float_literal(t), "{t}");
+        }
+        for t in ["100", "x", "w", "a.b", "0", "self.x.0", ""] {
+            assert!(!is_float_literal(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_float_eq() {
+        let f = SourceFile::parse(
+            "crates/snooze/src/x.rs",
+            "fn c(w: &[(f64, u32)]) -> bool { w[0].1 == w[1].1 }\n",
+        );
+        assert!(check_float_eq(&f).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Fixture proof for every lint rule: each rule has a positive fixture
+//! that fires and a suppressed twin (inline allow marker or curated
+//! allowlist entry) that does not.
+//!
+//! The fixtures live in `crates/audit/fixtures/` — a directory the
+//! source walker deliberately skips, so the bad fixtures never pollute
+//! a real `snooze-audit lint` run.
+
+use snooze_audit::lint::{lint_file, rules, Allowlist, SourceFile};
+
+/// Lint one fixture as if it sat at `rel_path` in the workspace.
+fn findings(rel_path: &str, text: &str, allowlist: &Allowlist) -> Vec<(&'static str, bool)> {
+    let file = SourceFile::parse(rel_path, text);
+    lint_file(&file, allowlist)
+        .into_iter()
+        .map(|f| (f.rule, f.allowed))
+        .collect()
+}
+
+fn empty() -> Allowlist {
+    Allowlist::parse("").expect("empty allowlist parses")
+}
+
+fn active(rel_path: &str, text: &str) -> Vec<&'static str> {
+    findings(rel_path, text, &empty())
+        .into_iter()
+        .filter(|(_, allowed)| !allowed)
+        .map(|(rule, _)| rule)
+        .collect()
+}
+
+#[test]
+fn hash_iter_fires_on_hashmap_iteration() {
+    let hits = active(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_bad.rs"),
+    );
+    assert_eq!(hits, vec!["hash-iter"]);
+}
+
+#[test]
+fn hash_iter_respects_inline_allow() {
+    let hits = active(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn hash_iter_is_scoped_to_sim_path_crates() {
+    // The same source outside the simulation path is not in scope.
+    let hits = active(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/hash_iter_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn wall_clock_fires_outside_bench() {
+    let hits = active(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_bad.rs"),
+    );
+    assert_eq!(hits, vec!["wall-clock"]);
+}
+
+#[test]
+fn wall_clock_respects_curated_allowlist() {
+    let allowlist = Allowlist::parse(
+        "# benchmark harness measures real time on purpose\n\
+         wall-clock examples/fixture.rs\n",
+    )
+    .expect("allowlist parses");
+    let found = findings(
+        "examples/fixture.rs",
+        include_str!("../fixtures/wall_clock_bad.rs"),
+        &allowlist,
+    );
+    assert!(found
+        .iter()
+        .all(|(rule, allowed)| *rule == "wall-clock" && *allowed));
+    assert!(
+        !found.is_empty(),
+        "finding should still be reported, just allowed"
+    );
+}
+
+#[test]
+fn wall_clock_is_permitted_in_bench() {
+    let hits = active(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/wall_clock_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn ambient_rng_fires_everywhere() {
+    for path in [
+        "crates/simcore/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        let hits = active(path, include_str!("../fixtures/ambient_rng_bad.rs"));
+        assert_eq!(hits, vec!["ambient-rng"], "at {path}");
+    }
+}
+
+#[test]
+fn ambient_rng_respects_untargeted_allow() {
+    let hits = active(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/ambient_rng_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn float_eq_fires_in_scheduling_code() {
+    let hits = active(
+        "crates/consolidation/src/fixture.rs",
+        include_str!("../fixtures/float_eq_bad.rs"),
+    );
+    assert_eq!(hits, vec!["float-eq"]);
+}
+
+#[test]
+fn float_eq_respects_targeted_allow_on_previous_line() {
+    let hits = active(
+        "crates/consolidation/src/fixture.rs",
+        include_str!("../fixtures/float_eq_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn partial_cmp_unwrap_fires_in_sim_path() {
+    let hits = active(
+        "crates/consolidation/src/fixture.rs",
+        include_str!("../fixtures/partial_cmp_bad.rs"),
+    );
+    assert_eq!(hits, vec!["partial-cmp-unwrap"]);
+}
+
+#[test]
+fn partial_cmp_unwrap_respects_targeted_allow() {
+    let hits = active(
+        "crates/consolidation/src/fixture.rs",
+        include_str!("../fixtures/partial_cmp_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn handler_unwrap_fires_only_inside_on_message() {
+    // `helper()` also unwraps, but only the handler body may be flagged.
+    let file = SourceFile::parse(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/handler_unwrap_bad.rs"),
+    );
+    let found = lint_file(&file, &empty());
+    let lines: Vec<usize> = found
+        .iter()
+        .filter(|f| f.rule == "handler-unwrap")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(lines.len(), 1, "exactly the downcast line: {found:?}");
+    assert!(
+        found[0].snippet.contains("downcast"),
+        "flagged the handler body, not the helper: {found:?}"
+    );
+}
+
+#[test]
+fn handler_unwrap_respects_targeted_allow() {
+    let hits = active(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/handler_unwrap_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // Keep this test honest if rules are added later: each rule id must
+    // appear among the fixture-driven positives above.
+    let covered = [
+        "hash-iter",
+        "wall-clock",
+        "ambient-rng",
+        "float-eq",
+        "partial-cmp-unwrap",
+        "handler-unwrap",
+    ];
+    for rule in rules() {
+        assert!(
+            covered.contains(&rule.id),
+            "rule `{}` has no fixture test; add one to lint_rules.rs",
+            rule.id
+        );
+    }
+    assert_eq!(rules().len(), covered.len());
+}

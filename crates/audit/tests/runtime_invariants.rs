@@ -1,0 +1,119 @@
+//! Runtime invariant checks (layer 2), exercised with the `audit`
+//! feature armed: `cargo test -p snooze-audit --features audit`.
+//!
+//! The invariant sink is process-global, so every test here serializes
+//! on one gate and restores the previous sink before exiting.
+
+use std::sync::{Mutex, MutexGuard};
+
+use snooze_simcore::invariant::{install_sink, report, take_sink, CollectingSink};
+use snooze_simcore::prelude::*;
+
+use snooze_cluster::hypervisor::Hypervisor;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::VmWorkload;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Run `f` with a collecting sink installed; return what accumulated.
+fn collected(f: impl FnOnce()) -> Vec<String> {
+    let (sink, store) = CollectingSink::new();
+    let prev = install_sink(Box::new(sink));
+    f();
+    take_sink();
+    if let Some(p) = prev {
+        install_sink(p);
+    }
+    let got = store
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    got
+}
+
+#[test]
+fn clean_engine_run_reports_no_violations() {
+    let _gate = serial();
+
+    struct Echo;
+    impl Component for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(SimSpan::from_secs(1), 1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, _msg: AnyMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+            ctx.set_timer(SimSpan::from_secs(1), 1);
+        }
+    }
+
+    let violations = collected(|| {
+        let mut sim = SimBuilder::new(42).build();
+        sim.add_component("echo", Echo);
+        sim.run_until(SimTime::from_secs(50));
+        assert!(sim.events_executed() > 40);
+    });
+    assert_eq!(violations, Vec::<String>::new());
+}
+
+#[test]
+fn hypervisor_mutations_stay_conserving() {
+    let _gate = serial();
+    let violations = collected(|| {
+        let mut hv = Hypervisor::new(ResourceVector::splat(16.0));
+        for i in 0..4 {
+            let spec = VmSpec::new(VmId(i), ResourceVector::splat(3.0));
+            hv.admit(spec, VmWorkload::flat_full(i), SimTime::ZERO)
+                .expect("fits");
+        }
+        hv.remove(VmId(1));
+        hv.remove(VmId(999)); // absent: must not disturb accounting
+        hv.clear();
+    });
+    assert_eq!(violations, Vec::<String>::new());
+}
+
+#[test]
+fn aco_pheromone_and_feasibility_hold_over_a_run() {
+    let _gate = serial();
+    use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
+    use snooze_consolidation::problem::InstanceGenerator;
+    use snooze_simcore::rng::SimRng;
+
+    let violations = collected(|| {
+        let inst = InstanceGenerator::grid11().generate(20, &mut SimRng::new(9));
+        let run = AcoConsolidator::new(AcoParams::fast()).run(&inst);
+        assert!(run.solution.is_some());
+    });
+    assert_eq!(violations, Vec::<String>::new());
+}
+
+#[test]
+fn violations_reach_the_sink_with_domain_and_rule() {
+    let _gate = serial();
+    let violations = collected(|| {
+        report("test-domain", "test-rule", "synthetic".to_string());
+    });
+    assert_eq!(violations, vec!["[test-domain/test-rule] synthetic"]);
+}
+
+#[test]
+fn full_stack_scenario_is_violation_free_under_audit() {
+    let _gate = serial();
+    use snooze_audit::determinism::{run_once, Scenario};
+    let violations = collected(|| {
+        let fp = run_once(&Scenario {
+            seed: 7,
+            nodes: 4,
+            vms: 4,
+            secs: 120,
+        });
+        assert!(fp.events > 0);
+    });
+    assert_eq!(violations, Vec::<String>::new());
+}

@@ -14,7 +14,10 @@ fn bench_cycles(c: &mut Criterion) {
     group.sample_size(10);
     for &cycles in &[5usize, 15, 30] {
         group.bench_with_input(BenchmarkId::from_parameter(cycles), &inst, |b, inst| {
-            let algo = AcoConsolidator::new(AcoParams { n_cycles: cycles, ..AcoParams::default() });
+            let algo = AcoConsolidator::new(AcoParams {
+                n_cycles: cycles,
+                ..AcoParams::default()
+            });
             b.iter(|| black_box(algo.consolidate(black_box(inst))))
         });
     }

@@ -28,7 +28,10 @@ fn bench_heuristics(c: &mut Criterion) {
             b.iter(|| black_box(algo.consolidate(black_box(inst))))
         });
         group.bench_with_input(BenchmarkId::new("ACO", n), &inst, |b, inst| {
-            let algo = AcoConsolidator::new(AcoParams { n_cycles: 10, ..AcoParams::default() });
+            let algo = AcoConsolidator::new(AcoParams {
+                n_cycles: 10,
+                ..AcoParams::default()
+            });
             b.iter(|| black_box(algo.consolidate(black_box(inst))))
         });
     }

@@ -15,8 +15,17 @@ fn run(pm: bool, seed: u64) -> f64 {
         idle_suspend_after: pm.then(|| SimSpan::from_secs(60)),
         ..SnoozeConfig::default()
     };
-    let dep = Deployment { managers: 2, lcs: 8, eps: 1, seed };
-    let mut live = deploy(&dep, &config, burst(6, SimTime::from_secs(30), 2.0, 4096.0, 0.5));
+    let dep = Deployment {
+        managers: 2,
+        lcs: 8,
+        eps: 1,
+        seed,
+    };
+    let mut live = deploy(
+        &dep,
+        &config,
+        burst(6, SimTime::from_secs(30), 2.0, 4096.0, 0.5),
+    );
     let horizon = SimTime::from_secs(900);
     live.sim.run_until(horizon);
     live.system.total_energy_wh(&live.sim, horizon)

@@ -59,8 +59,20 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("ping_pong", EVENTS), &EVENTS, |b, &n| {
         b.iter(|| {
             let mut sim = SimBuilder::new(1).network(NetworkConfig::lan()).build();
-            let a = sim.add_component("a", PingPong { peer: None, remaining: n / 2 });
-            let _b = sim.add_component("b", PingPong { peer: Some(a), remaining: n / 2 });
+            let a = sim.add_component(
+                "a",
+                PingPong {
+                    peer: None,
+                    remaining: n / 2,
+                },
+            );
+            let _b = sim.add_component(
+                "b",
+                PingPong {
+                    peer: Some(a),
+                    remaining: n / 2,
+                },
+            );
             sim.run();
             black_box(sim.events_executed())
         })

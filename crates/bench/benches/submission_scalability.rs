@@ -11,9 +11,21 @@ use snooze_bench::simrun::{burst, deploy, Deployment};
 use snooze_simcore::time::SimTime;
 
 fn place_burst(managers: usize, vms: usize, seed: u64) -> usize {
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
-    let dep = Deployment { managers, lcs: 16, eps: 1, seed };
-    let mut live = deploy(&dep, &config, burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5));
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::default()
+    };
+    let dep = Deployment {
+        managers,
+        lcs: 16,
+        eps: 1,
+        seed,
+    };
+    let mut live = deploy(
+        &dep,
+        &config,
+        burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5),
+    );
     live.run_until_settled(SimTime::from_secs(600));
     live.client().placed.len()
 }

@@ -14,14 +14,14 @@ use snooze_bench::*;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let csv_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| "experiment_csv".into());
-            args.drain(i..=(i + 1).min(args.len() - 1));
-            std::path::PathBuf::from(dir)
-        });
+    let csv_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "experiment_csv".into());
+        args.drain(i..=(i + 1).min(args.len() - 1));
+        std::path::PathBuf::from(dir)
+    });
     let emit = |table: &Table, slug: &str| {
         table.print();
         if let Some(dir) = &csv_dir {
@@ -32,7 +32,10 @@ fn main() {
 
     if want("e1") {
         eprintln!("[e1] ACO vs FFD vs optimal …");
-        emit(&e1_aco_vs_ffd_vs_optimal::render(&e1_aco_vs_ffd_vs_optimal::default_rows()), "e1");
+        emit(
+            &e1_aco_vs_ffd_vs_optimal::render(&e1_aco_vs_ffd_vs_optimal::default_rows()),
+            "e1",
+        );
     }
     if want("e2") {
         eprintln!("[e2] scaling …");
@@ -44,32 +47,56 @@ fn main() {
     }
     if want("e4") {
         eprintln!("[e4] submission scalability (144 LCs, up to 500 VMs) …");
-        emit(&e4_submission_scalability::render(&e4_submission_scalability::default_rows()), "e4");
+        emit(
+            &e4_submission_scalability::render(&e4_submission_scalability::default_rows()),
+            "e4",
+        );
     }
     if want("e5") {
         eprintln!("[e5] distributed-management overhead …");
-        emit(&e5_distribution_overhead::render(&e5_distribution_overhead::default_rows()), "e5");
+        emit(
+            &e5_distribution_overhead::render(&e5_distribution_overhead::default_rows()),
+            "e5",
+        );
     }
     if want("e6") {
         eprintln!("[e6] fault tolerance …");
-        emit(&e6_fault_tolerance::render(&e6_fault_tolerance::default_report()), "e6");
+        emit(
+            &e6_fault_tolerance::render(&e6_fault_tolerance::default_report()),
+            "e6",
+        );
     }
     if want("e7") {
         eprintln!("[e7] energy savings …");
-        emit(&e7_energy_savings::render(&e7_energy_savings::default_rows()), "e7");
+        emit(
+            &e7_energy_savings::render(&e7_energy_savings::default_rows()),
+            "e7",
+        );
     }
     if want("e7") {
         eprintln!("[e7b] idle-threshold sweep …");
-        emit(&e7_energy_savings::render_thresholds(&e7_energy_savings::default_threshold_rows()), "e7b");
+        emit(
+            &e7_energy_savings::render_thresholds(&e7_energy_savings::default_threshold_rows()),
+            "e7b",
+        );
     }
     if want("e8") {
         eprintln!("[e8] ablations …");
-        emit(&e8_ablations::render_aco(&e8_ablations::default_aco_rows()), "e8a");
-        emit(&e8_ablations::render_ffd(&e8_ablations::default_ffd_rows()), "e8b");
+        emit(
+            &e8_ablations::render_aco(&e8_ablations::default_aco_rows()),
+            "e8a",
+        );
+        emit(
+            &e8_ablations::render_ffd(&e8_ablations::default_ffd_rows()),
+            "e8b",
+        );
     }
     if want("e9") {
         eprintln!("[e9] failover sensitivity …");
-        emit(&e9_failover_sensitivity::render(&e9_failover_sensitivity::default_rows()), "e9");
+        emit(
+            &e9_failover_sensitivity::render(&e9_failover_sensitivity::default_rows()),
+            "e9",
+        );
     }
     if want("e10") {
         eprintln!("[e10] distributed consolidation …");

@@ -48,7 +48,12 @@ pub struct E10OfflineRow {
 }
 
 /// Offline sweep.
-pub fn run_offline(sizes: &[usize], partitions: usize, repeats: u64, seed: u64) -> Vec<E10OfflineRow> {
+pub fn run_offline(
+    sizes: &[usize],
+    partitions: usize,
+    repeats: u64,
+    seed: u64,
+) -> Vec<E10OfflineRow> {
     let gen = InstanceGenerator::grid11();
     sizes
         .iter()
@@ -113,7 +118,12 @@ pub struct E10SystemRow {
 
 /// In-hierarchy sweep: same cluster and fleet, varying how many GMs the
 /// consolidation scope is partitioned across.
-pub fn run_in_hierarchy(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E10SystemRow> {
+pub fn run_in_hierarchy(
+    gm_counts: &[usize],
+    lcs: usize,
+    vms: usize,
+    seed: u64,
+) -> Vec<E10SystemRow> {
     gm_counts
         .iter()
         .map(|&gms| {
@@ -123,14 +133,25 @@ pub fn run_in_hierarchy(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) 
                 underload_threshold: 0.0, // isolate reconfiguration
                 reconfiguration: Some(ReconfigurationConfig {
                     period: SimSpan::from_secs(120),
-                    aco: AcoParams { n_cycles: 15, ..AcoParams::default() },
+                    aco: AcoParams {
+                        n_cycles: 15,
+                        ..AcoParams::default()
+                    },
                     max_migrations: 16,
                 }),
                 ..SnoozeConfig::default()
             };
-            let dep = Deployment { managers: gms + 1, lcs, eps: 1, seed: seed ^ gms as u64 };
-            let mut live =
-                deploy(&dep, &config, burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.6));
+            let dep = Deployment {
+                managers: gms + 1,
+                lcs,
+                eps: 1,
+                seed: seed ^ gms as u64,
+            };
+            let mut live = deploy(
+                &dep,
+                &config,
+                burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.6),
+            );
             let horizon = SimTime::from_secs(1800);
             live.sim.run_until(horizon);
             let (on, transitioning, _) = live.system.power_census(&live.sim);
@@ -166,7 +187,14 @@ pub fn default_system_rows() -> Vec<E10SystemRow> {
 pub fn render_offline(rows: &[E10OfflineRow]) -> Table {
     let mut t = Table::new(
         "E10a: distributed vs centralized ACO (offline) — partitioning cost",
-        &["n", "parts", "central hosts", "dist hosts", "central ms", "dist ms"],
+        &[
+            "n",
+            "parts",
+            "central hosts",
+            "dist hosts",
+            "central ms",
+            "dist ms",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -91,7 +91,10 @@ pub fn run(sizes: &[usize], repeats: u64, base_seed: u64) -> Vec<E1Row> {
             };
 
             let (ffd_sol, ffd_wh) = measure(&FirstFitDecreasing { key: SortKey::Cpu });
-            let aco = AcoConsolidator::new(AcoParams { seed: rep ^ 0xE1, ..AcoParams::default() });
+            let aco = AcoConsolidator::new(AcoParams {
+                seed: rep ^ 0xE1,
+                ..AcoParams::default()
+            });
             let (aco_sol, aco_wh) = measure(&aco);
             let opt = BranchAndBound::default()
                 .solve(&instance)
@@ -166,11 +169,23 @@ mod tests {
             rows.iter().map(|r| r.hosts_saved).sum::<f64>() / rows.len() as f64;
         let mean_dev: f64 =
             rows.iter().map(|r| r.deviation_from_opt).sum::<f64>() / rows.len() as f64;
-        assert!(mean_hosts_saved >= 0.0, "ACO must not lose to FFD: {mean_hosts_saved}");
-        assert!(mean_dev <= 0.10, "ACO should be within 10% of optimal, got {mean_dev}");
+        assert!(
+            mean_hosts_saved >= 0.0,
+            "ACO must not lose to FFD: {mean_hosts_saved}"
+        );
+        assert!(
+            mean_dev <= 0.10,
+            "ACO should be within 10% of optimal, got {mean_dev}"
+        );
         for r in &rows {
-            assert!(r.aco_hosts + 1e-9 >= r.opt_hosts, "nothing beats the optimum");
-            assert!(r.aco_util >= r.ffd_util - 1e-9, "fewer hosts ⇒ higher utilization");
+            assert!(
+                r.aco_hosts + 1e-9 >= r.opt_hosts,
+                "nothing beats the optimum"
+            );
+            assert!(
+                r.aco_util >= r.ffd_util - 1e-9,
+                "fewer hosts ⇒ higher utilization"
+            );
         }
     }
 

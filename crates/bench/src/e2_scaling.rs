@@ -46,7 +46,10 @@ pub fn run(sizes: &[usize], repeats: u64, base_seed: u64) -> Vec<E2Row> {
     let gen = InstanceGenerator::grid11();
     let power = LinearPower::grid5000();
     let algos: Vec<(&'static str, Box<dyn Consolidator>)> = vec![
-        ("FFD-cpu", Box::new(FirstFitDecreasing { key: SortKey::Cpu })),
+        (
+            "FFD-cpu",
+            Box::new(FirstFitDecreasing { key: SortKey::Cpu }),
+        ),
         ("FFD-l2", Box::new(FirstFitDecreasing { key: SortKey::L2 })),
         ("BFD", Box::new(BestFit { key: SortKey::L2 })),
         ("ACO", Box::new(AcoConsolidator::new(AcoParams::default()))),
@@ -142,8 +145,16 @@ mod tests {
         let get = |name: &str| row.cells.iter().find(|c| c.algo == name).unwrap();
         let aco = get("ACO");
         let ffd = get("FFD-cpu");
-        assert!(aco.hosts <= ffd.hosts + 1e-9, "ACO {} vs FFD {}", aco.hosts, ffd.hosts);
-        assert!(aco.energy_wh <= ffd.energy_wh * 1.02, "energy should track host count");
+        assert!(
+            aco.hosts <= ffd.hosts + 1e-9,
+            "ACO {} vs FFD {}",
+            aco.hosts,
+            ffd.hosts
+        );
+        assert!(
+            aco.energy_wh <= ffd.energy_wh * 1.02,
+            "energy should track host count"
+        );
         // Greedy baselines are orders of magnitude faster — that's the
         // trade-off the paper acknowledges.
         assert!(aco.runtime_ms > ffd.runtime_ms);

@@ -75,7 +75,9 @@ pub fn default_rows() -> Vec<E3Row> {
 }
 
 fn num_threads_available() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Render the table.
@@ -104,7 +106,10 @@ mod tests {
     fn solution_quality_is_thread_invariant() {
         let rows = run(&[60], &[1, 2], 5);
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].hosts, rows[1].hosts, "parallelism must not change the answer");
+        assert_eq!(
+            rows[0].hosts, rows[1].hosts,
+            "parallelism must not change the answer"
+        );
         assert!(rows[0].hosts > 0);
     }
 }

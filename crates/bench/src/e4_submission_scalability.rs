@@ -45,7 +45,12 @@ pub fn run(vm_counts: &[usize], lcs: usize, managers: usize, seed: u64) -> Vec<E
                 idle_suspend_after: None,
                 ..SnoozeConfig::default()
             };
-            let dep = Deployment { managers, lcs, eps: 1, seed: seed ^ n as u64 };
+            let dep = Deployment {
+                managers,
+                lcs,
+                eps: 1,
+                seed: seed ^ n as u64,
+            };
             let schedule = burst(n, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
             let mut live = deploy(&dep, &config, schedule);
             live.run_until_settled(SimTime::from_secs(1800));
@@ -74,7 +79,16 @@ pub fn default_rows() -> Vec<E4Row> {
 pub fn render(rows: &[E4Row]) -> Table {
     let mut t = Table::new(
         "E4: submission scalability on a 144-LC hierarchy (paper: scalable up to 500 VMs)",
-        &["VMs", "LCs", "placed", "rejected", "mean lat s", "p95 lat s", "sim events", "wall ms"],
+        &[
+            "VMs",
+            "LCs",
+            "placed",
+            "rejected",
+            "mean lat s",
+            "p95 lat s",
+            "sim events",
+            "wall ms",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -35,8 +35,16 @@ pub fn run(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E5Row>
     gm_counts
         .iter()
         .map(|&gms| {
-            let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
-            let dep = Deployment { managers: gms + 1, lcs, eps: 1, seed: seed ^ gms as u64 };
+            let config = SnoozeConfig {
+                idle_suspend_after: None,
+                ..SnoozeConfig::default()
+            };
+            let dep = Deployment {
+                managers: gms + 1,
+                lcs,
+                eps: 1,
+                seed: seed ^ gms as u64,
+            };
             let schedule = burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
             let mut live = deploy(&dep, &config, schedule);
             live.run_until_settled(SimTime::from_secs(1200));
@@ -50,7 +58,11 @@ pub fn run(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E5Row>
                 mean_latency_s: mean,
                 p95_latency_s: p95,
                 messages,
-                messages_per_vm: if placed > 0 { messages as f64 / placed as f64 } else { 0.0 },
+                messages_per_vm: if placed > 0 {
+                    messages as f64 / placed as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -65,7 +77,14 @@ pub fn default_rows() -> Vec<E5Row> {
 pub fn render(rows: &[E5Row]) -> Table {
     let mut t = Table::new(
         "E5: distributed-management overhead — 1 GM (centralized) vs many (paper: negligible cost)",
-        &["GMs", "placed", "mean lat s", "p95 lat s", "messages", "msgs/VM"],
+        &[
+            "GMs",
+            "placed",
+            "mean lat s",
+            "p95 lat s",
+            "messages",
+            "msgs/VM",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -75,7 +75,12 @@ pub fn run(seed: u64, reschedule: bool) -> E6Report {
         reschedule_on_lc_failure: reschedule,
         ..SnoozeConfig::default()
     };
-    let dep = Deployment { managers: 4, lcs: 24, eps: 1, seed };
+    let dep = Deployment {
+        managers: 4,
+        lcs: 24,
+        eps: 1,
+        seed,
+    };
     let schedule = burst(48, SimTime::from_secs(30), 2.0, 4096.0, 0.7);
     let mut live = deploy(&dep, &config, schedule);
     live.run_until_settled(SimTime::from_secs(400));
@@ -137,11 +142,16 @@ pub fn run(seed: u64, reschedule: bool) -> E6Report {
     let before = live.system.total_vms(&live.sim);
     let t_lc = live.sim.now() + SimSpan::from_secs(5);
     live.sim.schedule_crash(t_lc, victim);
-    let (perf, recovery) =
-        observe_after(&mut live, t_lc, |l| reschedule && l.system.total_vms(&l.sim) >= before);
+    let (perf, recovery) = observe_after(&mut live, t_lc, |l| {
+        reschedule && l.system.total_vms(&l.sim) >= before
+    });
     let after = live.system.total_vms(&live.sim);
     rows.push(E6Row {
-        event: if reschedule { "LC crash (snapshots)" } else { "LC crash" },
+        event: if reschedule {
+            "LC crash (snapshots)"
+        } else {
+            "LC crash"
+        },
         at_s: t_lc.as_micros() / 1_000_000,
         perf_after: perf,
         vms_after: after,
@@ -172,7 +182,11 @@ pub fn render(report: &E6Report) -> Table {
             r.at_s.to_string(),
             f2(r.perf_after),
             r.vms_after.to_string(),
-            if r.recovery_s.is_nan() { "n/a".into() } else { f2(r.recovery_s) },
+            if r.recovery_s.is_nan() {
+                "n/a".into()
+            } else {
+                f2(r.recovery_s)
+            },
         ]);
     }
     t
@@ -190,15 +204,28 @@ mod tests {
     #[test]
     fn management_failures_do_not_hurt_application_performance() {
         let report = run(17, true);
-        assert!(report.placed >= 40, "most of the burst placed: {}", report.placed);
+        assert!(
+            report.placed >= 40,
+            "most of the burst placed: {}",
+            report.placed
+        );
         let gl = &report.rows[0];
         let gm = &report.rows[1];
-        assert!(gl.perf_after > 0.99, "GL crash must not degrade VMs: {gl:?}");
-        assert!(gm.perf_after > 0.99, "GM crash must not degrade VMs: {gm:?}");
+        assert!(
+            gl.perf_after > 0.99,
+            "GL crash must not degrade VMs: {gl:?}"
+        );
+        assert!(
+            gm.perf_after > 0.99,
+            "GM crash must not degrade VMs: {gm:?}"
+        );
         assert!(gl.recovery_s <= 120.0);
         assert!(gm.recovery_s <= 120.0);
         // Snapshot recovery restores the LC's VMs.
         let lc = &report.rows[2];
-        assert!(lc.vms_after >= gm.vms_after, "rescheduling restored VMs: {lc:?}");
+        assert!(
+            lc.vms_after >= gm.vms_after,
+            "rescheduling restored VMs: {lc:?}"
+        );
     }
 }

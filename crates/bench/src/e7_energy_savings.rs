@@ -64,7 +64,12 @@ fn run_one(
     horizon: SimTime,
     seed: u64,
 ) -> E7Row {
-    let dep = Deployment { managers: 3, lcs, eps: 1, seed };
+    let dep = Deployment {
+        managers: 3,
+        lcs,
+        eps: 1,
+        seed,
+    };
     let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
     let mut on_samples = 0.0;
     let mut samples = 0u32;
@@ -81,14 +86,20 @@ fn run_one(
         .lcs
         .iter()
         .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
-        .fold((0u64, 0u64), |(m, s), l| (m + l.stats.migrations_out, s + l.stats.suspensions));
+        .fold((0u64, 0u64), |(m, s), l| {
+            (m + l.stats.migrations_out, s + l.stats.suspensions)
+        });
     E7Row {
         config: label,
         energy_wh: energy,
         savings: 0.0, // filled in by `run`
         migrations,
         suspends,
-        mean_nodes_on: if samples > 0 { on_samples / samples as f64 } else { 0.0 },
+        mean_nodes_on: if samples > 0 {
+            on_samples / samples as f64
+        } else {
+            0.0
+        },
         placed: live.client().placed.len(),
     }
 }
@@ -101,13 +112,22 @@ pub fn run(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<E7Row> {
         ..SnoozeConfig::default()
     };
 
-    let no_pm = SnoozeConfig { idle_suspend_after: None, ..base.clone() };
-    let pm = SnoozeConfig { idle_suspend_after: Some(SimSpan::from_secs(120)), ..base.clone() };
+    let no_pm = SnoozeConfig {
+        idle_suspend_after: None,
+        ..base.clone()
+    };
+    let pm = SnoozeConfig {
+        idle_suspend_after: Some(SimSpan::from_secs(120)),
+        ..base.clone()
+    };
     let pm_reconf = SnoozeConfig {
         idle_suspend_after: Some(SimSpan::from_secs(120)),
         reconfiguration: Some(ReconfigurationConfig {
             period: SimSpan::from_secs(900),
-            aco: AcoParams { n_cycles: 15, ..AcoParams::default() },
+            aco: AcoParams {
+                n_cycles: 15,
+                ..AcoParams::default()
+            },
             max_migrations: 12,
         }),
         ..base
@@ -164,14 +184,22 @@ pub fn run_threshold_sweep(
                 idle_suspend_after: Some(SimSpan::from_secs(th)),
                 ..SnoozeConfig::default()
             };
-            let dep = Deployment { managers: 3, lcs, eps: 1, seed: seed ^ th };
+            let dep = Deployment {
+                managers: 3,
+                lcs,
+                eps: 1,
+                seed: seed ^ th,
+            };
             let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
             live.sim.run_until(horizon);
             let (suspends, wakeups) = live
                 .system
                 .lcs
                 .iter()
-                .filter_map(|&lc| live.sim.component_as::<snooze::prelude::LocalController>(lc))
+                .filter_map(|&lc| {
+                    live.sim
+                        .component_as::<snooze::prelude::LocalController>(lc)
+                })
                 .fold((0u64, 0u64), |(s, w), l| {
                     (s + l.stats.suspensions, w + l.stats.wakeups)
                 });

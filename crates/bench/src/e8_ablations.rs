@@ -69,26 +69,57 @@ pub fn run_aco(n: usize, repeats: u64, seed: u64) -> Vec<AcoAblationRow> {
 
     let mut push = |setting: String, params: AcoParams| {
         let (hosts, runtime_ms) = mean_hosts(&AcoConsolidator::new(params), &insts);
-        rows.push(AcoAblationRow { setting, hosts, runtime_ms });
+        rows.push(AcoAblationRow {
+            setting,
+            hosts,
+            runtime_ms,
+        });
     };
 
     push("default".into(), base);
     for ants in [2, 5, 20] {
-        push(format!("ants={ants}"), AcoParams { n_ants: ants, ..base });
+        push(
+            format!("ants={ants}"),
+            AcoParams {
+                n_ants: ants,
+                ..base
+            },
+        );
     }
     for cycles in [5, 15, 60] {
-        push(format!("cycles={cycles}"), AcoParams { n_cycles: cycles, ..base });
+        push(
+            format!("cycles={cycles}"),
+            AcoParams {
+                n_cycles: cycles,
+                ..base
+            },
+        );
     }
     for rho in [0.05, 0.6, 0.9] {
         push(format!("rho={rho}"), AcoParams { rho, ..base });
     }
-    push("alpha=0 (no pheromone)".into(), AcoParams { alpha: 0.0, ..base });
-    push("beta=0 (no heuristic)".into(), AcoParams { beta: 0.0, ..base });
+    push(
+        "alpha=0 (no pheromone)".into(),
+        AcoParams { alpha: 0.0, ..base },
+    );
+    push(
+        "beta=0 (no heuristic)".into(),
+        AcoParams { beta: 0.0, ..base },
+    );
     push(
         "update=all-ants (AS)".into(),
-        AcoParams { update_rule: snooze_consolidation::aco::UpdateRule::AllAnts, ..base },
+        AcoParams {
+            update_rule: snooze_consolidation::aco::UpdateRule::AllAnts,
+            ..base
+        },
     );
-    push("local search".into(), AcoParams { local_search: true, ..base });
+    push(
+        "local search".into(),
+        AcoParams {
+            local_search: true,
+            ..base
+        },
+    );
     rows
 }
 

@@ -91,9 +91,7 @@ fn measure(session_timeout: SimSpan, heartbeat: SimSpan, seed: u64) -> E9Row {
 /// Run the sweep.
 pub fn run(seed: u64) -> Vec<E9Row> {
     let mut rows = Vec::new();
-    for (session_s, hb_ms) in
-        [(4u64, 1000u64), (8, 2000), (16, 4000), (30, 8000)]
-    {
+    for (session_s, hb_ms) in [(4u64, 1000u64), (8, 2000), (16, 4000), (30, 8000)] {
         rows.push(measure(
             SimSpan::from_secs(session_s),
             SimSpan::from_millis(hb_ms),

@@ -55,19 +55,41 @@ pub fn vm_item(id: u64, cores: f64, mem_mb: f64, util: f64) -> ScheduledVm {
 /// A burst of `n` identical VMs at `at`.
 pub fn burst(n: usize, at: SimTime, cores: f64, mem_mb: f64, util: f64) -> Vec<ScheduledVm> {
     (0..n)
-        .map(|i| ScheduledVm { at, ..vm_item(i as u64, cores, mem_mb, util) })
+        .map(|i| ScheduledVm {
+            at,
+            ..vm_item(i as u64, cores, mem_mb, util)
+        })
         .collect()
 }
 
 /// Deploy a system with the given config and client schedule.
-pub fn deploy(deployment: &Deployment, config: &SnoozeConfig, schedule: Vec<ScheduledVm>) -> LiveSystem {
-    let mut sim = SimBuilder::new(deployment.seed).network(NetworkConfig::lan()).build();
+pub fn deploy(
+    deployment: &Deployment,
+    config: &SnoozeConfig,
+    schedule: Vec<ScheduledVm>,
+) -> LiveSystem {
+    let mut sim = SimBuilder::new(deployment.seed)
+        .network(NetworkConfig::lan())
+        .build();
     let nodes = NodeSpec::standard_cluster(deployment.lcs);
-    let system = SnoozeSystem::deploy(&mut sim, config, deployment.managers, &nodes, deployment.eps);
+    let system = SnoozeSystem::deploy(
+        &mut sim,
+        config,
+        deployment.managers,
+        &nodes,
+        deployment.eps,
+    );
     let ep = system.eps[0];
-    let client =
-        sim.add_component("client", ClientDriver::new(ep, schedule, SimSpan::from_secs(15)));
-    LiveSystem { sim, system, client, wall_start: Instant::now() }
+    let client = sim.add_component(
+        "client",
+        ClientDriver::new(ep, schedule, SimSpan::from_secs(15)),
+    );
+    LiveSystem {
+        sim,
+        system,
+        client,
+        wall_start: Instant::now(),
+    }
 }
 
 impl LiveSystem {
@@ -110,7 +132,12 @@ mod tests {
 
     #[test]
     fn harness_places_a_small_burst() {
-        let dep = Deployment { managers: 2, lcs: 4, eps: 1, seed: 1 };
+        let dep = Deployment {
+            managers: 2,
+            lcs: 4,
+            eps: 1,
+            seed: 1,
+        };
         let schedule = burst(4, SimTime::from_secs(10), 2.0, 4096.0, 0.5);
         let mut live = deploy(&dep, &SnoozeConfig::fast_test(), schedule);
         live.run_until_settled(SimTime::from_secs(300));

@@ -48,7 +48,11 @@ pub struct Hypervisor {
 impl Hypervisor {
     /// A hypervisor managing a node of the given capacity.
     pub fn new(capacity: ResourceVector) -> Self {
-        Hypervisor { capacity, guests: BTreeMap::new(), reserved: ResourceVector::ZERO }
+        Hypervisor {
+            capacity,
+            guests: BTreeMap::new(),
+            reserved: ResourceVector::ZERO,
+        }
     }
 
     /// Node capacity.
@@ -100,8 +104,14 @@ impl Hypervisor {
         self.reserved += spec.requested;
         self.guests.insert(
             spec.id,
-            GuestVm { spec, workload, state: VmState::Running, admitted_at: now },
+            GuestVm {
+                spec,
+                workload,
+                state: VmState::Running,
+                admitted_at: now,
+            },
         );
+        self.audit_conservation("admit");
         Ok(())
     }
 
@@ -110,6 +120,7 @@ impl Hypervisor {
     pub fn remove(&mut self, id: VmId) -> Option<GuestVm> {
         let guest = self.guests.remove(&id)?;
         self.reserved = self.reserved.saturating_sub(&guest.spec.requested);
+        self.audit_conservation("remove");
         Some(guest)
     }
 
@@ -117,7 +128,9 @@ impl Hypervisor {
     /// are also terminated", §II-E).
     pub fn clear(&mut self) -> Vec<GuestVm> {
         self.reserved = ResourceVector::ZERO;
-        std::mem::take(&mut self.guests).into_values().collect()
+        let evicted: Vec<GuestVm> = std::mem::take(&mut self.guests).into_values().collect();
+        self.audit_conservation("clear");
+        evicted
     }
 
     /// Look up a guest.
@@ -133,6 +146,36 @@ impl Hypervisor {
     /// Iterate guests in `VmId` order (deterministic).
     pub fn guests(&self) -> impl Iterator<Item = &GuestVm> {
         self.guests.values()
+    }
+
+    /// Audit hook (live only under the `audit` feature): after every
+    /// mutation, `reserved` must stay valid, fit within capacity, and
+    /// equal the sum of resident guests' reservations — resources are
+    /// conserved, never minted or leaked.
+    fn audit_conservation(&self, op: &str) {
+        snooze_simcore::audit_invariant!(
+            "hypervisor",
+            "reserved-within-capacity",
+            self.reserved.is_valid() && self.reserved.fits_within(&self.capacity),
+            "after {op}: reserved {:?} escapes capacity {:?}",
+            self.reserved,
+            self.capacity
+        );
+        snooze_simcore::audit_invariant!(
+            "hypervisor",
+            "reservation-conservation",
+            {
+                let sum = self
+                    .guests
+                    .values()
+                    .fold(ResourceVector::ZERO, |acc, g| acc + g.spec.requested);
+                // Symmetric L1 distance: tolerate only float round-off.
+                sum.saturating_sub(&self.reserved).l1() + self.reserved.saturating_sub(&sum).l1()
+                    < 1e-9
+            },
+            "after {op}: reserved {:?} diverges from the sum of guest reservations",
+            self.reserved
+        );
     }
 
     /// Aggregate *demanded* usage at `t` (may exceed capacity — that's an
@@ -197,7 +240,9 @@ impl Hypervisor {
         gs.sort_by(|a, b| {
             let ua = a.workload.usage_at(t, &a.spec.requested).l1();
             let ub = b.workload.usage_at(t, &b.spec.requested).l1();
-            ub.partial_cmp(&ua).unwrap_or(std::cmp::Ordering::Equal).then(a.spec.id.cmp(&b.spec.id))
+            ub.partial_cmp(&ua)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.spec.id.cmp(&b.spec.id))
         });
         gs
     }
@@ -223,8 +268,12 @@ mod tests {
     #[test]
     fn admission_respects_capacity() {
         let mut h = Hypervisor::new(cap());
-        assert!(h.admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0()).is_ok());
-        assert!(h.admit(spec(2, 4.0, 16_000.0), VmWorkload::flat_full(2), t0()).is_ok());
+        assert!(h
+            .admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0())
+            .is_ok());
+        assert!(h
+            .admit(spec(2, 4.0, 16_000.0), VmWorkload::flat_full(2), t0())
+            .is_ok());
         // Third VM would oversubscribe CPU.
         assert_eq!(
             h.admit(spec(3, 1.0, 100.0), VmWorkload::flat_full(3), t0()),
@@ -238,7 +287,8 @@ mod tests {
     #[test]
     fn duplicate_admission_rejected() {
         let mut h = Hypervisor::new(cap());
-        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0())
+            .unwrap();
         assert_eq!(
             h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()),
             Err(AdmitError::DuplicateVm)
@@ -249,7 +299,8 @@ mod tests {
     #[test]
     fn remove_releases_reservation() {
         let mut h = Hypervisor::new(cap());
-        h.admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0()).unwrap();
+        h.admit(spec(1, 4.0, 16_000.0), VmWorkload::flat_full(1), t0())
+            .unwrap();
         let g = h.remove(VmId(1)).unwrap();
         assert_eq!(g.spec.id, VmId(1));
         assert_eq!(h.reserved(), ResourceVector::ZERO);
@@ -260,8 +311,10 @@ mod tests {
     #[test]
     fn clear_evicts_everything() {
         let mut h = Hypervisor::new(cap());
-        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
-        h.admit(spec(2, 1.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        h.admit(spec(1, 1.0, 1000.0), VmWorkload::flat_full(1), t0())
+            .unwrap();
+        h.admit(spec(2, 1.0, 1000.0), VmWorkload::flat_full(2), t0())
+            .unwrap();
         let evicted = h.clear();
         assert_eq!(evicted.len(), 2);
         assert!(h.is_idle());
@@ -288,16 +341,20 @@ mod tests {
     fn performance_degrades_only_under_overload() {
         // Two VMs each demanding 3 cores on an 8-core node: fine.
         let mut h = Hypervisor::new(cap());
-        h.admit(spec(1, 3.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
-        h.admit(spec(2, 3.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        h.admit(spec(1, 3.0, 1000.0), VmWorkload::flat_full(1), t0())
+            .unwrap();
+        h.admit(spec(2, 3.0, 1000.0), VmWorkload::flat_full(2), t0())
+            .unwrap();
         assert_eq!(h.performance_at(t0()), 1.0);
         assert!(!h.is_overloaded(t0(), 0.9));
 
         // Reservation-based admission prevents true demand overload, so
         // emulate a smaller node to observe throttling.
         let mut tiny = Hypervisor::new(ResourceVector::new(4.0, 32_768.0, 1000.0, 1000.0));
-        tiny.admit(spec(1, 2.0, 1000.0), VmWorkload::flat_full(1), t0()).unwrap();
-        tiny.admit(spec(2, 2.0, 1000.0), VmWorkload::flat_full(2), t0()).unwrap();
+        tiny.admit(spec(1, 2.0, 1000.0), VmWorkload::flat_full(1), t0())
+            .unwrap();
+        tiny.admit(spec(2, 2.0, 1000.0), VmWorkload::flat_full(2), t0())
+            .unwrap();
         assert_eq!(tiny.performance_at(t0()), 1.0);
         // Shrink capacity out from under it (as if a core were lost):
         tiny.capacity = ResourceVector::new(2.0, 32_768.0, 1000.0, 1000.0);
@@ -310,7 +367,10 @@ mod tests {
     #[test]
     fn underload_detection() {
         let mut h = Hypervisor::new(cap());
-        assert!(!h.is_underloaded(t0(), 0.2), "empty node is idle, not underloaded");
+        assert!(
+            !h.is_underloaded(t0(), 0.2),
+            "empty node is idle, not underloaded"
+        );
         let light = VmWorkload {
             cpu: UsageShape::Constant(0.1),
             memory: UsageShape::Constant(0.1),

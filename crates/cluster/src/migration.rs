@@ -25,7 +25,11 @@ impl MigrationModel {
     /// A 1 Gbit/s management network: ~110 MB/s usable, 30 rounds max,
     /// stop-and-copy under 50 MB of residue (≈0.45 s of downtime).
     pub fn gigabit() -> Self {
-        MigrationModel { bandwidth_mbps: 110.0, max_rounds: 30, stop_copy_threshold_mb: 50.0 }
+        MigrationModel {
+            bandwidth_mbps: 110.0,
+            max_rounds: 30,
+            stop_copy_threshold_mb: 50.0,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ impl MigrationModel {
     /// stop-and-copy after the first round.
     pub fn estimate(&self, image_mb: f64, dirty_mbps: f64) -> MigrationEstimate {
         assert!(self.bandwidth_mbps > 0.0, "bandwidth must be positive");
-        assert!(image_mb >= 0.0 && dirty_mbps >= 0.0, "inputs must be non-negative");
+        assert!(
+            image_mb >= 0.0 && dirty_mbps >= 0.0,
+            "inputs must be non-negative"
+        );
 
         let bw = self.bandwidth_mbps;
         let ratio = dirty_mbps / bw;
@@ -126,7 +133,10 @@ mod tests {
         // the model must bail out rather than loop.
         let est = model().estimate(8192.0, 200.0);
         assert_eq!(est.rounds, 1);
-        assert!(est.downtime > SimSpan::from_secs(1), "large residue ⇒ long pause");
+        assert!(
+            est.downtime > SimSpan::from_secs(1),
+            "large residue ⇒ long pause"
+        );
         assert!(est.transferred_mb > 8192.0);
     }
 
@@ -140,7 +150,10 @@ mod tests {
 
     #[test]
     fn round_cap_bounds_duration() {
-        let capped = MigrationModel { max_rounds: 2, ..model() };
+        let capped = MigrationModel {
+            max_rounds: 2,
+            ..model()
+        };
         let est = capped.estimate(4096.0, 100.0); // ratio ~0.9: converges slowly
         assert!(est.rounds <= 2);
         // Geometric tail cut off at round 2 ⇒ residue = image · ratio².
@@ -151,8 +164,16 @@ mod tests {
 
     #[test]
     fn faster_link_shortens_everything() {
-        let slow = MigrationModel { bandwidth_mbps: 50.0, ..model() }.estimate(2048.0, 20.0);
-        let fast = MigrationModel { bandwidth_mbps: 1000.0, ..model() }.estimate(2048.0, 20.0);
+        let slow = MigrationModel {
+            bandwidth_mbps: 50.0,
+            ..model()
+        }
+        .estimate(2048.0, 20.0);
+        let fast = MigrationModel {
+            bandwidth_mbps: 1000.0,
+            ..model()
+        }
+        .estimate(2048.0, 20.0);
         assert!(fast.duration < slow.duration);
         assert!(fast.downtime <= slow.downtime);
         assert!(fast.transferred_mb <= slow.transferred_mb);

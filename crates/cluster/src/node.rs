@@ -115,12 +115,18 @@ pub struct PowerStateMachine {
 impl PowerStateMachine {
     /// A machine that starts powered on.
     pub fn new_on(times: TransitionTimes) -> Self {
-        PowerStateMachine { state: PowerState::On, times }
+        PowerStateMachine {
+            state: PowerState::On,
+            times,
+        }
     }
 
     /// A machine that starts powered off.
     pub fn new_off(times: TransitionTimes) -> Self {
-        PowerStateMachine { state: PowerState::Off, times }
+        PowerStateMachine {
+            state: PowerState::Off,
+            times,
+        }
     }
 
     /// Current state (without advancing transitions; call
@@ -271,7 +277,11 @@ mod tests {
         let done = m.suspend(t(100)).unwrap();
         assert_eq!(done, t(108));
         assert_eq!(m.state(), PowerState::Suspending(t(108)));
-        assert_eq!(m.tick(t(105)), PowerState::Suspending(t(108)), "not done yet");
+        assert_eq!(
+            m.tick(t(105)),
+            PowerState::Suspending(t(108)),
+            "not done yet"
+        );
         assert_eq!(m.tick(t(108)), PowerState::Suspended);
         let done = m.resume(t(200)).unwrap();
         assert_eq!(done, t(225));
@@ -325,7 +335,11 @@ mod tests {
 
     #[test]
     fn power_draw_by_state() {
-        let model = LinearPower { idle_watts: 100.0, max_watts: 200.0, suspend_watts: 5.0 };
+        let model = LinearPower {
+            idle_watts: 100.0,
+            max_watts: 200.0,
+            suspend_watts: 5.0,
+        };
         let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
         assert_eq!(m.watts(&model, 0.5), 150.0);
         m.suspend(t(0)).unwrap();

@@ -46,7 +46,11 @@ impl LinearPower {
     /// socket server — 160 W idle, 250 W at full load, 5 W suspended.
     /// (Matches the class of machines in Grid'5000's parapluie cluster.)
     pub fn grid5000() -> Self {
-        LinearPower { idle_watts: 160.0, max_watts: 250.0, suspend_watts: 5.0 }
+        LinearPower {
+            idle_watts: 160.0,
+            max_watts: 250.0,
+            suspend_watts: 5.0,
+        }
     }
 }
 
@@ -118,7 +122,11 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Start metering at `start` with an initial draw of `watts`.
     pub fn new(start: SimTime, watts: f64) -> Self {
-        EnergyMeter { joules: 0.0, last_time: start, last_watts: watts }
+        EnergyMeter {
+            joules: 0.0,
+            last_time: start,
+            last_watts: watts,
+        }
     }
 
     /// Record that the draw changed to `watts` at time `now`.
@@ -153,7 +161,11 @@ mod tests {
 
     #[test]
     fn linear_power_interpolates() {
-        let m = LinearPower { idle_watts: 100.0, max_watts: 200.0, suspend_watts: 4.0 };
+        let m = LinearPower {
+            idle_watts: 100.0,
+            max_watts: 200.0,
+            suspend_watts: 4.0,
+        };
         assert_eq!(m.active_watts(0.0), 100.0);
         assert_eq!(m.active_watts(0.5), 150.0);
         assert_eq!(m.active_watts(1.0), 200.0);

@@ -35,13 +35,25 @@ pub struct ResourceVector {
 
 impl ResourceVector {
     /// The zero vector.
-    pub const ZERO: ResourceVector =
-        ResourceVector { cpu: 0.0, memory: 0.0, net_rx: 0.0, net_tx: 0.0 };
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu: 0.0,
+        memory: 0.0,
+        net_rx: 0.0,
+        net_tx: 0.0,
+    };
 
     /// Construct from explicit components.
     pub fn new(cpu: f64, memory: f64, net_rx: f64, net_tx: f64) -> Self {
-        let v = ResourceVector { cpu, memory, net_rx, net_tx };
-        debug_assert!(v.is_valid(), "resource components must be finite and >= 0: {v:?}");
+        let v = ResourceVector {
+            cpu,
+            memory,
+            net_rx,
+            net_tx,
+        };
+        debug_assert!(
+            v.is_valid(),
+            "resource components must be finite and >= 0: {v:?}"
+        );
         v
     }
 

@@ -25,7 +25,11 @@ pub struct VmSpec {
 impl VmSpec {
     /// A spec whose image size equals its memory reservation.
     pub fn new(id: VmId, requested: ResourceVector) -> Self {
-        VmSpec { id, requested, image_mb: requested.memory }
+        VmSpec {
+            id,
+            requested,
+            image_mb: requested.memory,
+        }
     }
 }
 
@@ -47,7 +51,10 @@ pub enum VmState {
 impl VmState {
     /// States in which the VM consumes resources on some node.
     pub fn occupies_host(&self) -> bool {
-        matches!(self, VmState::Booting | VmState::Running | VmState::Migrating)
+        matches!(
+            self,
+            VmState::Booting | VmState::Running | VmState::Migrating
+        )
     }
 }
 

@@ -97,7 +97,10 @@ impl UsageShape {
                 v
             })
             .collect();
-        UsageShape::Trace { samples: Arc::new(data), step }
+        UsageShape::Trace {
+            samples: Arc::new(data),
+            step,
+        }
     }
 
     /// Utilization in `[0, 1]` at time `t` for a VM whose stream seed is
@@ -105,13 +108,23 @@ impl UsageShape {
     pub fn sample(&self, t: SimTime, seed: u64) -> f64 {
         match self {
             UsageShape::Constant(u) => u.clamp(0.0, 1.0),
-            UsageShape::Diurnal { low, high, period, phase } => {
+            UsageShape::Diurnal {
+                low,
+                high,
+                period,
+                phase,
+            } => {
                 let p = period.as_secs_f64().max(1e-9);
                 let x = t.as_secs_f64() / p + phase;
                 let s = 0.5 - 0.5 * (std::f64::consts::TAU * x).cos(); // 0 at trough
                 (low + (high - low) * s).clamp(0.0, 1.0)
             }
-            UsageShape::OnOff { on_level, off_level, duty, slot } => {
+            UsageShape::OnOff {
+                on_level,
+                off_level,
+                duty,
+                slot,
+            } => {
                 let slot_idx = t.as_micros() / slot.as_micros().max(1);
                 if hash_unit(seed, slot_idx) < *duty {
                     on_level.clamp(0.0, 1.0)
@@ -202,7 +215,10 @@ impl ArrivalPattern {
     pub fn times(&self, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
         match *self {
             ArrivalPattern::Burst(t) => vec![t; n],
-            ArrivalPattern::Poisson { start, rate_per_sec } => {
+            ArrivalPattern::Poisson {
+                start,
+                rate_per_sec,
+            } => {
                 assert!(rate_per_sec > 0.0, "Poisson rate must be > 0");
                 let mut t = start;
                 (0..n)
@@ -283,7 +299,11 @@ impl FleetGenerator {
         FleetGenerator {
             reference_capacity,
             demand: FractionRange::grid11(),
-            kinds: vec![WorkloadKind::Flat, WorkloadKind::Diurnal, WorkloadKind::Bursty],
+            kinds: vec![
+                WorkloadKind::Flat,
+                WorkloadKind::Diurnal,
+                WorkloadKind::Bursty,
+            ],
             diurnal_period: SimSpan::from_secs(24 * 3600),
         }
     }
@@ -357,8 +377,14 @@ mod tests {
             period: SimSpan::from_secs(100),
             phase: 0.0,
         };
-        assert!((shape.sample(t(0), 0) - 0.1).abs() < 1e-9, "trough at phase 0");
-        assert!((shape.sample(t(50), 0) - 0.9).abs() < 1e-9, "peak at half period");
+        assert!(
+            (shape.sample(t(0), 0) - 0.1).abs() < 1e-9,
+            "trough at phase 0"
+        );
+        assert!(
+            (shape.sample(t(50), 0) - 0.9).abs() < 1e-9,
+            "peak at half period"
+        );
         assert!((shape.sample(t(100), 0) - 0.1).abs() < 1e-9, "periodic");
     }
 
@@ -393,9 +419,14 @@ mod tests {
                 off += 1;
             }
         }
-        assert!(on > 60 && off > 60, "duty 0.5 should mix: on={on} off={off}");
+        assert!(
+            on > 60 && off > 60,
+            "duty 0.5 should mix: on={on} off={off}"
+        );
         // Different seeds give different schedules.
-        let diff = (0..100).filter(|&i| shape.sample(t(i * 10), 1) != shape.sample(t(i * 10), 2)).count();
+        let diff = (0..100)
+            .filter(|&i| shape.sample(t(i * 10), 1) != shape.sample(t(i * 10), 2))
+            .count();
         assert!(diff > 10);
     }
 
@@ -409,7 +440,10 @@ mod tests {
         assert_eq!(shape.sample(t(15), 0), 0.4);
         assert_eq!(shape.sample(t(25), 0), 0.8);
         assert_eq!(shape.sample(t(30), 0), 0.2, "loops");
-        let empty = UsageShape::Trace { samples: Arc::new(vec![]), step: SimSpan::from_secs(1) };
+        let empty = UsageShape::Trace {
+            samples: Arc::new(vec![]),
+            step: SimSpan::from_secs(1),
+        };
         assert_eq!(empty.sample(t(5), 0), 0.0);
     }
 
@@ -425,13 +459,18 @@ mod tests {
             sum += v;
         }
         let mean = sum / 2000.0;
-        assert!((mean - 0.4).abs() < 0.1, "mean reversion toward 0.4, got {mean}");
+        assert!(
+            (mean - 0.4).abs() < 0.1,
+            "mean reversion toward 0.4, got {mean}"
+        );
     }
 
     #[test]
     fn random_walk_trace_is_seed_deterministic() {
-        let a = UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
-        let b = UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
+        let a =
+            UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
+        let b =
+            UsageShape::random_walk_trace(50, SimSpan::from_secs(1), 0.5, 0.1, &mut SimRng::new(3));
         for i in 0..50u64 {
             let t = SimTime::from_secs(i);
             assert_eq!(a.sample(t, 0), b.sample(t, 0));
@@ -473,12 +512,18 @@ mod tests {
         let burst = ArrivalPattern::Burst(t(5)).times(3, &mut rng);
         assert_eq!(burst, vec![t(5); 3]);
 
-        let stag = ArrivalPattern::Staggered { start: t(10), spacing: SimSpan::from_secs(2) }
-            .times(3, &mut rng);
+        let stag = ArrivalPattern::Staggered {
+            start: t(10),
+            spacing: SimSpan::from_secs(2),
+        }
+        .times(3, &mut rng);
         assert_eq!(stag, vec![t(10), t(12), t(14)]);
 
-        let poisson =
-            ArrivalPattern::Poisson { start: t(0), rate_per_sec: 10.0 }.times(1000, &mut rng);
+        let poisson = ArrivalPattern::Poisson {
+            start: t(0),
+            rate_per_sec: 10.0,
+        }
+        .times(1000, &mut rng);
         assert!(poisson.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
         // Mean inter-arrival should be ~0.1 s ⇒ 1000 arrivals in ~100 s.
         let span = poisson.last().unwrap().as_secs_f64();

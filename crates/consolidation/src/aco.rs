@@ -104,7 +104,11 @@ impl Default for AcoParams {
 impl AcoParams {
     /// A cheap configuration for unit tests and small instances.
     pub fn fast() -> Self {
-        AcoParams { n_ants: 6, n_cycles: 12, ..Default::default() }
+        AcoParams {
+            n_ants: 6,
+            n_cycles: 12,
+            ..Default::default()
+        }
     }
 }
 
@@ -117,7 +121,10 @@ struct PheromoneMatrix {
 
 impl PheromoneMatrix {
     fn new(n_items: usize, n_bins: usize, tau0: f64) -> Self {
-        PheromoneMatrix { tau: vec![tau0; n_items * n_bins], n_bins }
+        PheromoneMatrix {
+            tau: vec![tau0; n_items * n_bins],
+            n_bins,
+        }
     }
 
     #[inline]
@@ -134,6 +141,14 @@ impl PheromoneMatrix {
     fn deposit(&mut self, item: usize, bin: usize, amount: f64, tau_max: f64) {
         let t = &mut self.tau[item * self.n_bins + bin];
         *t = (*t + amount).min(tau_max);
+    }
+
+    /// Audit predicate: every entry is finite and inside the Max–Min
+    /// band `[tau_min, tau_max]`.
+    fn within_bounds(&self, tau_min: f64, tau_max: f64) -> bool {
+        self.tau
+            .iter()
+            .all(|t| t.is_finite() && (tau_min..=tau_max).contains(t))
     }
 }
 
@@ -233,7 +248,29 @@ impl AcoConsolidator {
                     }
                 }
             }
-            best_per_cycle.push(global_best.as_ref().map(|(_, b, _)| *b).unwrap_or(usize::MAX));
+            best_per_cycle.push(
+                global_best
+                    .as_ref()
+                    .map(|(_, b, _)| *b)
+                    .unwrap_or(usize::MAX),
+            );
+
+            snooze_simcore::audit_invariant!(
+                "aco",
+                "pheromone-bounds",
+                pheromone.within_bounds(p.tau_min, p.tau0 * 10.0),
+                "cycle {cycle}: pheromone escaped [{}, {}] (or went non-finite)",
+                p.tau_min,
+                p.tau0 * 10.0
+            );
+            snooze_simcore::audit_invariant!(
+                "aco",
+                "best-solution-feasible",
+                global_best
+                    .as_ref()
+                    .is_none_or(|(sol, _, _)| sol.is_feasible(instance)),
+                "cycle {cycle}: global best violates bin capacities"
+            );
         }
 
         let mut solution = global_best.map(|(s, _, _)| s);
@@ -243,7 +280,11 @@ impl AcoConsolidator {
                 debug_assert!(sol.is_feasible(instance));
             }
         }
-        AcoRun { solution, best_bins_per_cycle: best_per_cycle, failed_ants: failed }
+        AcoRun {
+            solution,
+            best_bins_per_cycle: best_per_cycle,
+            failed_ants: failed,
+        }
     }
 }
 
@@ -254,8 +295,9 @@ impl AcoConsolidator {
 pub fn bin_emptying_local_search(instance: &Instance, solution: &mut Solution) {
     loop {
         let loads = solution.bin_loads(instance);
-        let mut used: Vec<usize> =
-            (0..instance.n_bins()).filter(|&b| loads[b].l1() > 0.0).collect();
+        let mut used: Vec<usize> = (0..instance.n_bins())
+            .filter(|&b| loads[b].l1() > 0.0)
+            .collect();
         if used.len() <= 1 {
             return;
         }
@@ -263,11 +305,14 @@ pub fn bin_emptying_local_search(instance: &Instance, solution: &mut Solution) {
         used.sort_by(|&a, &b| {
             let ua = loads[a].normalize_by(&instance.bins[a]).l1();
             let ub = loads[b].normalize_by(&instance.bins[b]).l1();
-            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            ua.partial_cmp(&ub)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         let victim = used[0];
-        let mut movers: Vec<usize> =
-            (0..instance.n_items()).filter(|&i| solution.assignment[i] == victim).collect();
+        let mut movers: Vec<usize> = (0..instance.n_items())
+            .filter(|&i| solution.assignment[i] == victim)
+            .collect();
         // Largest first.
         movers.sort_by(|&a, &b| {
             instance.items[b]
@@ -400,7 +445,9 @@ mod tests {
     #[test]
     fn solves_trivial_instance_optimally() {
         let inst = unit_instance(&[0.5, 0.5, 0.5, 0.5], 4);
-        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        let sol = AcoConsolidator::new(AcoParams::fast())
+            .consolidate(&inst)
+            .unwrap();
         assert!(sol.is_feasible(&inst));
         assert_eq!(sol.bins_used(), 2);
     }
@@ -409,7 +456,9 @@ mod tests {
     fn finds_complementary_pairings() {
         // 0.7+0.3 pairs: optimal 3 bins; a bad packing needs 4+.
         let inst = unit_instance(&[0.7, 0.7, 0.7, 0.3, 0.3, 0.3], 6);
-        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        let sol = AcoConsolidator::new(AcoParams::fast())
+            .consolidate(&inst)
+            .unwrap();
         assert!(sol.is_feasible(&inst));
         assert_eq!(sol.bins_used(), 3);
     }
@@ -428,8 +477,14 @@ mod tests {
     fn parallel_ants_match_sequential_exactly() {
         let gen = InstanceGenerator::grid11();
         let inst = gen.generate(40, &mut SimRng::new(5));
-        let seq = AcoConsolidator::new(AcoParams { parallel_ants: false, ..AcoParams::fast() });
-        let par = AcoConsolidator::new(AcoParams { parallel_ants: true, ..AcoParams::fast() });
+        let seq = AcoConsolidator::new(AcoParams {
+            parallel_ants: false,
+            ..AcoParams::fast()
+        });
+        let par = AcoConsolidator::new(AcoParams {
+            parallel_ants: true,
+            ..AcoParams::fast()
+        });
         assert_eq!(seq.run(&inst).solution, par.run(&inst).solution);
     }
 
@@ -447,10 +502,13 @@ mod tests {
                 .consolidate(&inst)
                 .unwrap()
                 .bins_used();
-            let aco = AcoConsolidator::new(AcoParams { n_cycles: 25, ..AcoParams::default() })
-                .consolidate(&inst)
-                .unwrap()
-                .bins_used();
+            let aco = AcoConsolidator::new(AcoParams {
+                n_cycles: 25,
+                ..AcoParams::default()
+            })
+            .consolidate(&inst)
+            .unwrap()
+            .bins_used();
             if aco < ffd {
                 wins += 1;
             }
@@ -459,14 +517,19 @@ mod tests {
             }
         }
         assert_eq!(losses, 0, "ACO lost to FFD-cpu {losses} times");
-        assert!(wins >= 1, "ACO should beat FFD-cpu at least once over 6 seeds");
+        assert!(
+            wins >= 1,
+            "ACO should beat FFD-cpu at least once over 6 seeds"
+        );
     }
 
     #[test]
     fn respects_lower_bound_and_feasibility() {
         let gen = InstanceGenerator::grid11();
         let inst = gen.generate(25, &mut SimRng::new(8));
-        let sol = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+        let sol = AcoConsolidator::new(AcoParams::fast())
+            .consolidate(&inst)
+            .unwrap();
         assert!(sol.is_feasible(&inst));
         assert!(sol.bins_used() >= inst.lower_bound());
     }
@@ -478,7 +541,10 @@ mod tests {
         let run = AcoConsolidator::new(AcoParams::default()).run(&inst);
         let series = run.best_bins_per_cycle;
         assert!(!series.is_empty());
-        assert!(series.windows(2).all(|w| w[1] <= w[0]), "global best can only improve: {series:?}");
+        assert!(
+            series.windows(2).all(|w| w[1] <= w[0]),
+            "global best can only improve: {series:?}"
+        );
     }
 
     #[test]
@@ -486,7 +552,10 @@ mod tests {
         let inst = unit_instance(&[0.9, 0.9, 0.9], 2);
         let run = AcoConsolidator::new(AcoParams::fast()).run(&inst);
         assert!(run.solution.is_none());
-        assert_eq!(run.failed_ants, AcoParams::fast().n_ants * AcoParams::fast().n_cycles);
+        assert_eq!(
+            run.failed_ants,
+            AcoParams::fast().n_ants * AcoParams::fast().n_cycles
+        );
     }
 
     #[test]
@@ -499,7 +568,9 @@ mod tests {
     #[test]
     fn oversized_item_cannot_be_placed() {
         let inst = unit_instance(&[1.2], 3);
-        assert!(AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).is_none());
+        assert!(AcoConsolidator::new(AcoParams::fast())
+            .consolidate(&inst)
+            .is_none());
     }
 
     #[test]
@@ -532,7 +603,9 @@ mod tests {
         let gen = InstanceGenerator::grid11();
         for seed in 0..5 {
             let inst = gen.generate(50, &mut SimRng::new(100 + seed));
-            let plain = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+            let plain = AcoConsolidator::new(AcoParams::fast())
+                .consolidate(&inst)
+                .unwrap();
             let polished = AcoConsolidator::new(AcoParams {
                 local_search: true,
                 ..AcoParams::fast()
@@ -553,7 +626,9 @@ mod tests {
     fn local_search_empties_an_obviously_drainable_bin() {
         // Two items of 0.3 in separate bins: one drain suffices.
         let inst = unit_instance(&[0.3, 0.3], 2);
-        let mut sol = Solution { assignment: vec![0, 1] };
+        let mut sol = Solution {
+            assignment: vec![0, 1],
+        };
         bin_emptying_local_search(&inst, &mut sol);
         assert_eq!(sol.bins_used(), 1);
         assert!(sol.is_feasible(&inst));
@@ -562,7 +637,9 @@ mod tests {
     #[test]
     fn local_search_leaves_tight_packings_alone() {
         let inst = unit_instance(&[0.9, 0.9], 2);
-        let mut sol = Solution { assignment: vec![0, 1] };
+        let mut sol = Solution {
+            assignment: vec![0, 1],
+        };
         bin_emptying_local_search(&inst, &mut sol);
         assert_eq!(sol.assignment, vec![0, 1]);
     }
@@ -571,14 +648,20 @@ mod tests {
     fn more_cycles_do_not_hurt() {
         let gen = InstanceGenerator::grid11();
         let inst = gen.generate(35, &mut SimRng::new(4));
-        let short = AcoConsolidator::new(AcoParams { n_cycles: 3, ..AcoParams::default() })
-            .consolidate(&inst)
-            .unwrap()
-            .bins_used();
-        let long = AcoConsolidator::new(AcoParams { n_cycles: 40, ..AcoParams::default() })
-            .consolidate(&inst)
-            .unwrap()
-            .bins_used();
+        let short = AcoConsolidator::new(AcoParams {
+            n_cycles: 3,
+            ..AcoParams::default()
+        })
+        .consolidate(&inst)
+        .unwrap()
+        .bins_used();
+        let long = AcoConsolidator::new(AcoParams {
+            n_cycles: 40,
+            ..AcoParams::default()
+        })
+        .consolidate(&inst)
+        .unwrap()
+        .bins_used();
         assert!(long <= short, "long {long} vs short {short}");
     }
 }

@@ -38,7 +38,11 @@ pub struct DistributedParams {
 
 impl Default for DistributedParams {
     fn default() -> Self {
-        DistributedParams { partitions: 4, exchange_rounds: 2, aco: AcoParams::default() }
+        DistributedParams {
+            partitions: 4,
+            exchange_rounds: 2,
+            aco: AcoParams::default(),
+        }
     }
 }
 
@@ -73,8 +77,9 @@ impl DistributedAco {
         let locals: Vec<Option<(Vec<usize>, Solution)>> = (0..k)
             .into_par_iter()
             .map(|p| {
-                let my_items: Vec<usize> =
-                    (0..instance.n_items()).filter(|&i| item_part[i] == p).collect();
+                let my_items: Vec<usize> = (0..instance.n_items())
+                    .filter(|&i| item_part[i] == p)
+                    .collect();
                 let sub = Instance {
                     items: my_items.iter().map(|&i| instance.items[i]).collect(),
                     bins: instance.bins[bin_ranges[p].clone()].to_vec(),
@@ -222,7 +227,11 @@ mod tests {
     use snooze_simcore::rng::SimRng;
 
     fn params() -> DistributedParams {
-        DistributedParams { partitions: 3, exchange_rounds: 3, aco: AcoParams::fast() }
+        DistributedParams {
+            partitions: 3,
+            exchange_rounds: 3,
+            aco: AcoParams::fast(),
+        }
     }
 
     #[test]
@@ -258,17 +267,25 @@ mod tests {
         let mut solved = 0;
         for seed in 0..5 {
             let inst = gen.generate(42, &mut SimRng::new(100 + seed));
-            let central =
-                AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap().bins_used();
+            let central = AcoConsolidator::new(AcoParams::fast())
+                .consolidate(&inst)
+                .unwrap()
+                .bins_used();
             if let Some(d) = DistributedAco::new(params()).consolidate(&inst) {
                 total_d += d.bins_used();
                 total_c += central;
                 solved += 1;
             }
         }
-        assert!(solved >= 3, "distributed should usually solve grid11 instances");
+        assert!(
+            solved >= 3,
+            "distributed should usually solve grid11 instances"
+        );
         let overhead = total_d as f64 / total_c as f64;
-        assert!(overhead < 1.35, "distributed within 35% of centralized, got {overhead:.2}×");
+        assert!(
+            overhead < 1.35,
+            "distributed within 35% of centralized, got {overhead:.2}×"
+        );
     }
 
     #[test]
@@ -291,9 +308,12 @@ mod tests {
     fn single_partition_degenerates_to_centralized_quality() {
         let gen = InstanceGenerator::grid11();
         let inst = gen.generate(30, &mut SimRng::new(3));
-        let one = DistributedAco::new(DistributedParams { partitions: 1, ..params() })
-            .consolidate(&inst)
-            .unwrap();
+        let one = DistributedAco::new(DistributedParams {
+            partitions: 1,
+            ..params()
+        })
+        .consolidate(&inst)
+        .unwrap();
         assert!(one.is_feasible(&inst));
     }
 

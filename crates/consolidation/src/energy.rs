@@ -32,7 +32,11 @@ pub fn placement_energy_wh(instance: &Instance, solution: &Solution, params: &En
     let mut watts = 0.0;
     for (load, cap) in loads.iter().zip(&instance.bins) {
         if load.l1() > 0.0 {
-            let cpu_util = if cap.cpu > 0.0 { (load.cpu / cap.cpu).clamp(0.0, 1.0) } else { 0.0 };
+            let cpu_util = if cap.cpu > 0.0 {
+                (load.cpu / cap.cpu).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             watts += params.power.active_watts(cpu_util);
         } else {
             watts += params.power.suspended_watts();
@@ -54,7 +58,11 @@ mod tests {
     use snooze_cluster::resources::ResourceVector;
 
     fn model() -> LinearPower {
-        LinearPower { idle_watts: 100.0, max_watts: 200.0, suspend_watts: 5.0 }
+        LinearPower {
+            idle_watts: 100.0,
+            max_watts: 200.0,
+            suspend_watts: 5.0,
+        }
     }
 
     fn instance() -> Instance {
@@ -69,9 +77,17 @@ mod tests {
     fn packed_placement_beats_spread_placement() {
         let inst = instance();
         let m = model();
-        let params = EnergyParams { power: &m, duration_secs: 3600.0, compute_overhead_j: 0.0 };
-        let packed = Solution { assignment: vec![0, 0] };
-        let spread = Solution { assignment: vec![0, 1] };
+        let params = EnergyParams {
+            power: &m,
+            duration_secs: 3600.0,
+            compute_overhead_j: 0.0,
+        };
+        let packed = Solution {
+            assignment: vec![0, 0],
+        };
+        let spread = Solution {
+            assignment: vec![0, 1],
+        };
         let e_packed = placement_energy_wh(&inst, &packed, &params);
         let e_spread = placement_energy_wh(&inst, &spread, &params);
         // Packed: 1 host at 100% (200 W) + 2 suspended (10 W) = 210 Wh.
@@ -85,11 +101,21 @@ mod tests {
     fn compute_overhead_is_included() {
         let inst = instance();
         let m = model();
-        let without = EnergyParams { power: &m, duration_secs: 3600.0, compute_overhead_j: 0.0 };
-        let with = EnergyParams { power: &m, duration_secs: 3600.0, compute_overhead_j: 7200.0 };
-        let sol = Solution { assignment: vec![0, 0] };
-        let delta = placement_energy_wh(&inst, &sol, &with)
-            - placement_energy_wh(&inst, &sol, &without);
+        let without = EnergyParams {
+            power: &m,
+            duration_secs: 3600.0,
+            compute_overhead_j: 0.0,
+        };
+        let with = EnergyParams {
+            power: &m,
+            duration_secs: 3600.0,
+            compute_overhead_j: 7200.0,
+        };
+        let sol = Solution {
+            assignment: vec![0, 0],
+        };
+        let delta =
+            placement_energy_wh(&inst, &sol, &with) - placement_energy_wh(&inst, &sol, &without);
         assert!((delta - 2.0).abs() < 1e-9, "7200 J = 2 Wh");
     }
 
@@ -109,8 +135,14 @@ mod tests {
             ResourceVector::splat(1.0),
         );
         let m = model();
-        let params = EnergyParams { power: &m, duration_secs: 3600.0, compute_overhead_j: 0.0 };
-        let sol = Solution { assignment: vec![0] };
+        let params = EnergyParams {
+            power: &m,
+            duration_secs: 3600.0,
+            compute_overhead_j: 0.0,
+        };
+        let sol = Solution {
+            assignment: vec![0],
+        };
         assert!((placement_energy_wh(&inst, &sol, &params) - 100.0).abs() < 1e-9);
     }
 }

@@ -43,7 +43,9 @@ pub struct BranchAndBound {
 
 impl Default for BranchAndBound {
     fn default() -> Self {
-        BranchAndBound { node_budget: 20_000_000 }
+        BranchAndBound {
+            node_budget: 20_000_000,
+        }
     }
 }
 
@@ -145,13 +147,19 @@ impl BranchAndBound {
         order.sort_by(|&a, &b| {
             let ka = instance.items[a].normalize_by(&capacity).l1();
             let kb = instance.items[b].normalize_by(&capacity).l1();
-            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            kb.partial_cmp(&ka)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         let sorted: Vec<ResourceVector> = order.iter().map(|&i| instance.items[i]).collect();
 
         // Reject impossible items up front.
         if sorted.iter().any(|it| !it.fits_within(&capacity)) {
-            return ExactOutcome { solution: None, optimal: true, nodes: 0 };
+            return ExactOutcome {
+                solution: None,
+                optimal: true,
+                nodes: 0,
+            };
         }
 
         // Suffix demand sums for the incremental bound.
@@ -191,7 +199,11 @@ impl BranchAndBound {
             }
             Solution { assignment }
         });
-        ExactOutcome { solution, optimal, nodes }
+        ExactOutcome {
+            solution,
+            optimal,
+            nodes,
+        }
     }
 }
 
@@ -237,7 +249,9 @@ mod tests {
         // optimal here; craft a genuinely hard one instead:
         // sizes where FFD gives 3 but optimal is 2: 0.5,0.5,0.34,0.33,0.33.
         let inst = unit_instance(&[0.5, 0.5, 0.34, 0.33, 0.33], 5);
-        let ffd = FirstFitDecreasing { key: SortKey::L1 }.consolidate(&inst).unwrap();
+        let ffd = FirstFitDecreasing { key: SortKey::L1 }
+            .consolidate(&inst)
+            .unwrap();
         let out = BranchAndBound::default().solve(&inst);
         assert!(out.optimal);
         let opt = out.solution.unwrap();
@@ -256,8 +270,12 @@ mod tests {
             let opt = out.solution.unwrap();
             assert!(opt.is_feasible(&inst));
             assert!(opt.bins_used() >= inst.lower_bound());
-            let ffd = FirstFitDecreasing { key: SortKey::L2 }.consolidate(&inst).unwrap();
-            let aco = AcoConsolidator::new(AcoParams::fast()).consolidate(&inst).unwrap();
+            let ffd = FirstFitDecreasing { key: SortKey::L2 }
+                .consolidate(&inst)
+                .unwrap();
+            let aco = AcoConsolidator::new(AcoParams::fast())
+                .consolidate(&inst)
+                .unwrap();
             assert!(opt.bins_used() <= ffd.bins_used(), "seed {seed}");
             assert!(opt.bins_used() <= aco.bins_used(), "seed {seed}");
         }

@@ -30,8 +30,13 @@ pub enum SortKey {
 
 impl SortKey {
     /// All keys, for sweeps.
-    pub const ALL: [SortKey; 5] =
-        [SortKey::Cpu, SortKey::Memory, SortKey::L1, SortKey::L2, SortKey::Linf];
+    pub const ALL: [SortKey; 5] = [
+        SortKey::Cpu,
+        SortKey::Memory,
+        SortKey::L1,
+        SortKey::L2,
+        SortKey::Linf,
+    ];
 
     fn measure(&self, item: &ResourceVector, reference: &ResourceVector) -> f64 {
         let n = item.normalize_by(reference);
@@ -58,13 +63,18 @@ impl SortKey {
 
 /// Item indices sorted by descending key (ties by index, deterministic).
 fn sorted_indices(instance: &Instance, key: SortKey) -> Vec<usize> {
-    let reference =
-        instance.bins.first().copied().unwrap_or_else(|| ResourceVector::splat(1.0));
+    let reference = instance
+        .bins
+        .first()
+        .copied()
+        .unwrap_or_else(|| ResourceVector::splat(1.0));
     let mut idx: Vec<usize> = (0..instance.n_items()).collect();
     idx.sort_by(|&a, &b| {
         let ka = key.measure(&instance.items[a], &reference);
         let kb = key.measure(&instance.items[b], &reference);
-        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        kb.partial_cmp(&ka)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx
 }
@@ -252,8 +262,12 @@ mod tests {
         // One jumbo memory item that must lead the packing.
         items.push(ResourceVector::new(0.02, 0.95, 0.0, 0.0));
         let inst = Instance::homogeneous(items, 9, ResourceVector::splat(1.0));
-        let cpu = FirstFitDecreasing { key: SortKey::Cpu }.consolidate(&inst).unwrap();
-        let linf = FirstFitDecreasing { key: SortKey::Linf }.consolidate(&inst).unwrap();
+        let cpu = FirstFitDecreasing { key: SortKey::Cpu }
+            .consolidate(&inst)
+            .unwrap();
+        let linf = FirstFitDecreasing { key: SortKey::Linf }
+            .consolidate(&inst)
+            .unwrap();
         assert!(cpu.is_feasible(&inst) && linf.is_feasible(&inst));
         assert!(
             linf.bins_used() <= cpu.bins_used(),
@@ -275,7 +289,9 @@ mod tests {
             Box::new(NextFit { key: SortKey::L2 }),
         ];
         for a in &algos {
-            let sol = a.consolidate(&inst).unwrap_or_else(|| panic!("{} failed", a.name()));
+            let sol = a
+                .consolidate(&inst)
+                .unwrap_or_else(|| panic!("{} failed", a.name()));
             assert!(sol.is_feasible(&inst), "{} infeasible", a.name());
             assert!(sol.bins_used() >= inst.lower_bound());
         }
@@ -286,9 +302,16 @@ mod tests {
         let gen = InstanceGenerator::grid11();
         for seed in 0..5 {
             let inst = gen.generate(40, &mut SimRng::new(seed));
-            let bfd = BestFit { key: SortKey::L2 }.consolidate(&inst).unwrap().bins_used();
+            let bfd = BestFit { key: SortKey::L2 }
+                .consolidate(&inst)
+                .unwrap()
+                .bins_used();
             let nfd = NextFit { key: SortKey::L2 }.consolidate(&inst).unwrap();
-            assert!(bfd <= nfd.bins_used(), "seed {seed}: BFD {bfd} > NFD {}", nfd.bins_used());
+            assert!(
+                bfd <= nfd.bins_used(),
+                "seed {seed}: BFD {bfd} > NFD {}",
+                nfd.bins_used()
+            );
         }
     }
 
@@ -319,8 +342,7 @@ mod tests {
         // Item A: cpu-heavy; item B: mem-heavy but bigger in total.
         let a = ResourceVector::new(0.5, 0.1, 0.0, 0.0);
         let b = ResourceVector::new(0.2, 0.6, 0.1, 0.1);
-        let inst =
-            Instance::homogeneous(vec![a, b], 2, ResourceVector::splat(1.0));
+        let inst = Instance::homogeneous(vec![a, b], 2, ResourceVector::splat(1.0));
         assert_eq!(sorted_indices(&inst, SortKey::Cpu), vec![0, 1]);
         assert_eq!(sorted_indices(&inst, SortKey::Memory), vec![1, 0]);
         assert_eq!(sorted_indices(&inst, SortKey::L1), vec![1, 0]);

@@ -21,8 +21,15 @@ pub struct Instance {
 
 impl Instance {
     /// An instance over `n_bins` identical hosts of the given capacity.
-    pub fn homogeneous(items: Vec<ResourceVector>, n_bins: usize, capacity: ResourceVector) -> Self {
-        Instance { items, bins: vec![capacity; n_bins] }
+    pub fn homogeneous(
+        items: Vec<ResourceVector>,
+        n_bins: usize,
+        capacity: ResourceVector,
+    ) -> Self {
+        Instance {
+            items,
+            bins: vec![capacity; n_bins],
+        }
     }
 
     /// Number of VMs.
@@ -228,9 +235,14 @@ impl InstanceGenerator {
                 )
             })
             .collect();
-        let tmp = Instance { items, bins: vec![self.capacity] };
+        let tmp = Instance {
+            items,
+            bins: vec![self.capacity],
+        };
         let lb = tmp.lower_bound();
-        let n_bins = (((lb as f64) * self.bin_slack).ceil() as usize).max(1).min(n.max(1));
+        let n_bins = (((lb as f64) * self.bin_slack).ceil() as usize)
+            .max(1)
+            .min(n.max(1));
         Instance::homogeneous(tmp.items, n_bins.max(lb), self.capacity)
     }
 }
@@ -263,42 +275,86 @@ mod tests {
 
     #[test]
     fn lower_bound_edge_cases() {
-        let empty = Instance { items: vec![], bins: unit_bins(3) };
+        let empty = Instance {
+            items: vec![],
+            bins: unit_bins(3),
+        };
         assert_eq!(empty.lower_bound(), 0);
-        let one = Instance { items: vec![item(0.01)], bins: unit_bins(3) };
+        let one = Instance {
+            items: vec![item(0.01)],
+            bins: unit_bins(3),
+        };
         assert_eq!(one.lower_bound(), 1);
     }
 
     #[test]
     fn feasibility_checks_capacity_and_indices() {
-        let inst = Instance { items: vec![item(0.6), item(0.6)], bins: unit_bins(2) };
-        assert!(Solution { assignment: vec![0, 1] }.is_feasible(&inst));
-        assert!(!Solution { assignment: vec![0, 0] }.is_feasible(&inst), "0.6+0.6 > 1");
-        assert!(!Solution { assignment: vec![0, 5] }.is_feasible(&inst), "bin out of range");
-        assert!(!Solution { assignment: vec![0] }.is_feasible(&inst), "missing item");
+        let inst = Instance {
+            items: vec![item(0.6), item(0.6)],
+            bins: unit_bins(2),
+        };
+        assert!(Solution {
+            assignment: vec![0, 1]
+        }
+        .is_feasible(&inst));
+        assert!(
+            !Solution {
+                assignment: vec![0, 0]
+            }
+            .is_feasible(&inst),
+            "0.6+0.6 > 1"
+        );
+        assert!(
+            !Solution {
+                assignment: vec![0, 5]
+            }
+            .is_feasible(&inst),
+            "bin out of range"
+        );
+        assert!(
+            !Solution {
+                assignment: vec![0]
+            }
+            .is_feasible(&inst),
+            "missing item"
+        );
     }
 
     #[test]
     fn bins_used_counts_distinct() {
-        let s = Solution { assignment: vec![0, 2, 2, 0, 7] };
+        let s = Solution {
+            assignment: vec![0, 2, 2, 0, 7],
+        };
         assert_eq!(s.bins_used(), 3);
         assert_eq!(Solution { assignment: vec![] }.bins_used(), 0);
     }
 
     #[test]
     fn avg_utilization_ignores_empty_bins() {
-        let inst = Instance { items: vec![item(0.5), item(0.5)], bins: unit_bins(10) };
-        let s = Solution { assignment: vec![0, 0] };
+        let inst = Instance {
+            items: vec![item(0.5), item(0.5)],
+            bins: unit_bins(10),
+        };
+        let s = Solution {
+            assignment: vec![0, 0],
+        };
         // One used bin at 100% across all dims.
         assert!((s.avg_used_bin_utilization(&inst) - 1.0).abs() < 1e-9);
-        let spread = Solution { assignment: vec![0, 5] };
+        let spread = Solution {
+            assignment: vec![0, 5],
+        };
         assert!((spread.avg_used_bin_utilization(&inst) - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn canonicalize_preserves_structure() {
-        let inst = Instance { items: vec![item(0.3); 4], bins: unit_bins(10) };
-        let mut s = Solution { assignment: vec![7, 2, 7, 9] };
+        let inst = Instance {
+            items: vec![item(0.3); 4],
+            bins: unit_bins(10),
+        };
+        let mut s = Solution {
+            assignment: vec![7, 2, 7, 9],
+        };
         let before_used = s.bins_used();
         s.canonicalize();
         assert_eq!(s.assignment, vec![0, 1, 0, 2]);

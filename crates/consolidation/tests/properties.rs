@@ -51,11 +51,19 @@ fn algorithms() -> Vec<Box<dyn Consolidator>> {
         Box::new(BestFit { key: SortKey::L1 }),
         Box::new(WorstFit { key: SortKey::Linf }),
         Box::new(NextFit { key: SortKey::L2 }),
-        Box::new(AcoConsolidator::new(AcoParams { n_ants: 4, n_cycles: 4, ..AcoParams::fast() })),
+        Box::new(AcoConsolidator::new(AcoParams {
+            n_ants: 4,
+            n_cycles: 4,
+            ..AcoParams::fast()
+        })),
         Box::new(DistributedAco::new(DistributedParams {
             partitions: 2,
             exchange_rounds: 1,
-            aco: AcoParams { n_ants: 4, n_cycles: 4, ..AcoParams::fast() },
+            aco: AcoParams {
+                n_ants: 4,
+                n_cycles: 4,
+                ..AcoParams::fast()
+            },
         })),
     ]
 }

@@ -19,7 +19,7 @@
 //! crash GLs and GMs, not the coordination service — but nothing prevents
 //! injecting that, too.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use snooze_simcore::prelude::*;
 
@@ -114,9 +114,9 @@ const TICK: u64 = 1;
 /// The coordination service component.
 pub struct CoordinationService {
     session_timeout: SimSpan,
-    sessions: HashMap<ComponentId, Session>,
+    sessions: BTreeMap<ComponentId, Session>,
     znodes: Vec<Znode>,
-    next_seq: HashMap<String, u64>,
+    next_seq: BTreeMap<String, u64>,
     watches: Vec<(ZnodePath, ComponentId)>,
     /// Total sessions ever expired (for tests/metrics).
     pub sessions_expired: u64,
@@ -127,9 +127,9 @@ impl CoordinationService {
     pub fn new(session_timeout: SimSpan) -> Self {
         CoordinationService {
             session_timeout,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             znodes: Vec::new(),
-            next_seq: HashMap::new(),
+            next_seq: BTreeMap::new(),
             watches: Vec::new(),
             sessions_expired: 0,
         }
@@ -146,14 +146,26 @@ impl CoordinationService {
                 // Stale incarnation — ignore (its znodes are already gone).
             }
             Some(s) if s.epoch == epoch => {
-                self.sessions.insert(client, Session { epoch, last_heard: ctx.now() });
+                self.sessions.insert(
+                    client,
+                    Session {
+                        epoch,
+                        last_heard: ctx.now(),
+                    },
+                );
             }
             _ => {
                 // New session or superseding epoch: kill the old one first.
                 if self.sessions.contains_key(&client) {
                     self.expire_session(ctx, client);
                 }
-                self.sessions.insert(client, Session { epoch, last_heard: ctx.now() });
+                self.sessions.insert(
+                    client,
+                    Session {
+                        epoch,
+                        last_heard: ctx.now(),
+                    },
+                );
             }
         }
     }
@@ -186,7 +198,10 @@ impl CoordinationService {
             }
         });
         for watcher in fired {
-            ctx.send(watcher, Box::new(ZkReply::WatchFired { path: path.clone() }));
+            ctx.send(
+                watcher,
+                Box::new(ZkReply::WatchFired { path: path.clone() }),
+            );
         }
     }
 }
@@ -211,8 +226,10 @@ impl Component for CoordinationService {
                 // create" pattern): a client retrying a Create whose reply
                 // was lost gets its existing znode back instead of a
                 // duplicate.
-                if let Some(existing) =
-                    self.znodes.iter().find(|z| z.owner == src && z.path.prefix == prefix)
+                if let Some(existing) = self
+                    .znodes
+                    .iter()
+                    .find(|z| z.owner == src && z.path.prefix == prefix)
                 {
                     let path = existing.path.clone();
                     ctx.send(src, Box::new(ZkReply::Created { path }));
@@ -221,7 +238,10 @@ impl Component for CoordinationService {
                 let seq = self.next_seq.entry(prefix.clone()).or_insert(0);
                 let path = ZnodePath { prefix, seq: *seq };
                 *seq += 1;
-                self.znodes.push(Znode { path: path.clone(), owner: src });
+                self.znodes.push(Znode {
+                    path: path.clone(),
+                    owner: src,
+                });
                 ctx.trace("zk", format!("create {path:?} by {src:?}"));
                 ctx.send(src, Box::new(ZkReply::Created { path }));
             }
@@ -270,13 +290,13 @@ impl Component for CoordinationService {
     fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
         let now = ctx.now();
         let timeout = self.session_timeout;
-        let mut expired: Vec<ComponentId> = self
+        // BTreeMap iteration is key-ordered, so expiry order is stable.
+        let expired: Vec<ComponentId> = self
             .sessions
             .iter()
             .filter(|(_, s)| now.since(s.last_heard) > timeout)
             .map(|(c, _)| *c)
             .collect();
-        expired.sort_unstable(); // HashMap order must not leak into watches
         for client in expired {
             ctx.trace("zk", format!("session of {client:?} expired"));
             self.expire_session(ctx, client);
@@ -300,7 +320,13 @@ mod tests {
 
     impl Client {
         fn new(zk: ComponentId, script: Vec<ZkRequest>) -> Self {
-            Client { zk, script, replies: Vec::new(), ping_period: None, epoch: 0 }
+            Client {
+                zk,
+                script,
+                replies: Vec::new(),
+                ping_period: None,
+                epoch: 0,
+            }
         }
     }
 
@@ -336,7 +362,10 @@ mod tests {
     }
 
     fn path(prefix: &str, seq: u64) -> ZnodePath {
-        ZnodePath { prefix: prefix.into(), seq }
+        ZnodePath {
+            prefix: prefix.into(),
+            seq,
+        }
     }
 
     #[test]
@@ -347,11 +376,20 @@ mod tests {
             Client::new(
                 zk,
                 vec![
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 0,
+                    },
                     // Retried create (e.g. lost reply): protected-create
                     // semantics return the same znode, not a duplicate.
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 },
-                    ZkRequest::CreateEphemeralSequential { prefix: "other".into(), epoch: 0 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 0,
+                    },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "other".into(),
+                        epoch: 0,
+                    },
                 ],
             ),
         );
@@ -378,12 +416,24 @@ mod tests {
         let (mut sim, zk) = setup();
         let _a = sim.add_component(
             "a",
-            Client::new(zk, vec![ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 }]),
+            Client::new(
+                zk,
+                vec![ZkRequest::CreateEphemeralSequential {
+                    prefix: "e".into(),
+                    epoch: 0,
+                }],
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         let b = sim.add_component(
             "b",
-            Client::new(zk, vec![ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 }]),
+            Client::new(
+                zk,
+                vec![ZkRequest::CreateEphemeralSequential {
+                    prefix: "e".into(),
+                    epoch: 0,
+                }],
+            ),
         );
         sim.run_until(SimTime::from_secs(2));
         let cb = sim.component_as::<Client>(b).unwrap();
@@ -395,7 +445,13 @@ mod tests {
         let (mut sim, zk) = setup();
         let a = sim.add_component(
             "a",
-            Client::new(zk, vec![ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 }]),
+            Client::new(
+                zk,
+                vec![ZkRequest::CreateEphemeralSequential {
+                    prefix: "e".into(),
+                    epoch: 0,
+                }],
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         let b = sim.add_component(
@@ -403,7 +459,10 @@ mod tests {
             Client::new(
                 zk,
                 vec![
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 0,
+                    },
                     ZkRequest::GetChildren { prefix: "e".into() },
                 ],
             ),
@@ -429,7 +488,13 @@ mod tests {
         // Owner creates a znode but never pings.
         let _owner = sim.add_component(
             "owner",
-            Client::new(zk, vec![ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 }]),
+            Client::new(
+                zk,
+                vec![ZkRequest::CreateEphemeralSequential {
+                    prefix: "e".into(),
+                    epoch: 0,
+                }],
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         // Watcher pings to stay alive and watches the owner's node.
@@ -440,7 +505,8 @@ mod tests {
         sim.run_until(SimTime::from_secs(20));
         let cw = sim.component_as::<Client>(watcher).unwrap();
         assert!(
-            cw.replies.contains(&ZkReply::WatchFired { path: path("e", 0) }),
+            cw.replies
+                .contains(&ZkReply::WatchFired { path: path("e", 0) }),
             "watch must fire on expiry: {:?}",
             cw.replies
         );
@@ -452,7 +518,13 @@ mod tests {
     #[test]
     fn pings_keep_sessions_alive() {
         let (mut sim, zk) = setup();
-        let mut c = Client::new(zk, vec![ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 }]);
+        let mut c = Client::new(
+            zk,
+            vec![ZkRequest::CreateEphemeralSequential {
+                prefix: "e".into(),
+                epoch: 0,
+            }],
+        );
         c.ping_period = Some(SimSpan::from_secs(2));
         let _id = sim.add_component("c", c);
         sim.run_until(SimTime::from_secs(30));
@@ -465,11 +537,21 @@ mod tests {
         let (mut sim, zk) = setup();
         let w = sim.add_component(
             "w",
-            Client::new(zk, vec![ZkRequest::WatchDelete { path: path("nope", 9) }]),
+            Client::new(
+                zk,
+                vec![ZkRequest::WatchDelete {
+                    path: path("nope", 9),
+                }],
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         let cw = sim.component_as::<Client>(w).unwrap();
-        assert_eq!(cw.replies, vec![ZkReply::WatchFired { path: path("nope", 9) }]);
+        assert_eq!(
+            cw.replies,
+            vec![ZkReply::WatchFired {
+                path: path("nope", 9)
+            }]
+        );
     }
 
     #[test]
@@ -480,9 +562,15 @@ mod tests {
             Client::new(
                 zk,
                 vec![
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 0,
+                    },
                     // Restarted process: new epoch. The old znode must die.
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 1 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 1,
+                    },
                     ZkRequest::GetChildren { prefix: "e".into() },
                 ],
             ),
@@ -497,7 +585,11 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(children.len(), 1, "old epoch's znode must be gone: {children:?}");
+        assert_eq!(
+            children.len(),
+            1,
+            "old epoch's znode must be gone: {children:?}"
+        );
         assert_eq!(children[0].0, path("e", 1));
     }
 
@@ -509,7 +601,10 @@ mod tests {
             Client::new(
                 zk,
                 vec![
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 0 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 0,
+                    },
                     ZkRequest::CloseSession { epoch: 0 },
                 ],
             ),
@@ -527,7 +622,10 @@ mod tests {
             Client::new(
                 zk,
                 vec![
-                    ZkRequest::CreateEphemeralSequential { prefix: "e".into(), epoch: 5 },
+                    ZkRequest::CreateEphemeralSequential {
+                        prefix: "e".into(),
+                        epoch: 5,
+                    },
                     // A stale close from the old incarnation must not kill
                     // the new session.
                     ZkRequest::CloseSession { epoch: 3 },

@@ -100,7 +100,10 @@ impl Elector {
         self.my_path = None;
         self.state = ElectorState::Campaigning;
         let (zk, prefix, epoch) = (self.zk, self.prefix.clone(), self.epoch);
-        ctx.send(zk, Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }));
+        ctx.send(
+            zk,
+            Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
+        );
         ctx.set_timer(self.ping_period, ELECTION_PING_TAG);
     }
 
@@ -123,7 +126,10 @@ impl Elector {
             ElectorState::Campaigning if self.my_path.is_none() => {
                 // Created reply lost — re-create (idempotent).
                 let prefix = self.prefix.clone();
-                ctx.send(zk, Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }));
+                ctx.send(
+                    zk,
+                    Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
+                );
             }
             ElectorState::Campaigning => {
                 // Children reply lost — re-list.
@@ -217,11 +223,18 @@ impl Elector {
             .expect("non-lowest contender has a predecessor");
         let zk = self.zk;
         if predecessor != lowest_path {
-            ctx.send(zk, Box::new(ZkRequest::WatchDelete { path: lowest_path.clone() }));
+            ctx.send(
+                zk,
+                Box::new(ZkRequest::WatchDelete {
+                    path: lowest_path.clone(),
+                }),
+            );
         }
         ctx.send(zk, Box::new(ZkRequest::WatchDelete { path: predecessor }));
         let was = self.state;
-        self.state = ElectorState::Follower { leader: lowest_owner };
+        self.state = ElectorState::Follower {
+            leader: lowest_owner,
+        };
         (was != self.state).then_some(ElectorEvent::FollowingLeader(lowest_owner))
     }
 }
@@ -270,8 +283,9 @@ mod tests {
     fn setup(n: usize) -> (Engine, ComponentId, Vec<ComponentId>) {
         let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
         let zk = sim.add_component("zk", CoordinationService::new(SimSpan::from_secs(6)));
-        let contenders: Vec<ComponentId> =
-            (0..n).map(|i| sim.add_component(format!("gm{i}"), Contender::new(zk))).collect();
+        let contenders: Vec<ComponentId> = (0..n)
+            .map(|i| sim.add_component(format!("gm{i}"), Contender::new(zk)))
+            .collect();
         (sim, zk, contenders)
     }
 
@@ -279,7 +293,12 @@ mod tests {
         cs.iter()
             .copied()
             .filter(|&c| {
-                sim.is_alive(c) && sim.component_as::<Contender>(c).unwrap().elector.is_leader()
+                sim.is_alive(c)
+                    && sim
+                        .component_as::<Contender>(c)
+                        .unwrap()
+                        .elector
+                        .is_leader()
             })
             .collect()
     }
@@ -379,7 +398,11 @@ mod tests {
         sim.network_mut().isolate(old);
         sim.run_until(SimTime::from_secs(30));
         let interim = leaders(&sim, &cs);
-        assert_eq!(interim.len(), 2, "both believe they lead during the partition");
+        assert_eq!(
+            interim.len(),
+            2,
+            "both believe they lead during the partition"
+        );
         // Heal: the old leader's next ping gets SessionExpired and it
         // must recampaign and follow.
         sim.network_mut().reconnect(old);
@@ -400,7 +423,10 @@ mod tests {
         sim.schedule_crash(SimTime::from_secs(10), first);
         sim.run_until(SimTime::from_secs(30));
         let evs = &sim.component_as::<Contender>(survivor).unwrap().events;
-        let leads = evs.iter().filter(|e| **e == ElectorEvent::BecameLeader).count();
+        let leads = evs
+            .iter()
+            .filter(|e| **e == ElectorEvent::BecameLeader)
+            .count();
         assert_eq!(leads, 1, "events: {evs:?}");
         assert!(matches!(evs[0], ElectorEvent::FollowingLeader(_)));
     }

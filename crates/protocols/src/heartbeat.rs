@@ -7,25 +7,29 @@
 //! receiving side: [`FailureDetector`] tracks the last time each peer was
 //! heard from and reports the ones that have gone quiet.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use snooze_simcore::time::{SimSpan, SimTime};
 
 /// A timeout-based failure detector over peers identified by `K`.
 ///
 /// `K` is whatever the protocol identifies peers by — component ids at
-/// the hierarchy levels, node ids at the physical layer.
+/// the hierarchy levels, node ids at the physical layer. Peers live in a
+/// `BTreeMap` so every iteration order is the key order — no per-process
+/// hash randomness can leak into protocol messages or traces.
 #[derive(Clone, Debug)]
-pub struct FailureDetector<K: Eq + Hash + Copy + Ord> {
+pub struct FailureDetector<K: Copy + Ord> {
     timeout: SimSpan,
-    last_heard: HashMap<K, SimTime>,
+    last_heard: BTreeMap<K, SimTime>,
 }
 
-impl<K: Eq + Hash + Copy + Ord> FailureDetector<K> {
+impl<K: Copy + Ord> FailureDetector<K> {
     /// A detector declaring peers failed after `timeout` of silence.
     pub fn new(timeout: SimSpan) -> Self {
-        FailureDetector { timeout, last_heard: HashMap::new() }
+        FailureDetector {
+            timeout,
+            last_heard: BTreeMap::new(),
+        }
     }
 
     /// The configured timeout.
@@ -49,11 +53,9 @@ impl<K: Eq + Hash + Copy + Ord> FailureDetector<K> {
         self.last_heard.contains_key(&peer)
     }
 
-    /// Peers currently tracked, sorted for determinism.
+    /// Peers currently tracked, in key order.
     pub fn peers(&self) -> Vec<K> {
-        let mut ps: Vec<K> = self.last_heard.keys().copied().collect();
-        ps.sort_unstable();
-        ps
+        self.last_heard.keys().copied().collect()
     }
 
     /// Number of tracked peers.
@@ -67,16 +69,15 @@ impl<K: Eq + Hash + Copy + Ord> FailureDetector<K> {
     }
 
     /// Remove and return every peer not heard from within the timeout,
-    /// sorted for determinism. Call from a periodic timer.
+    /// in key order. Call from a periodic timer.
     pub fn expire(&mut self, now: SimTime) -> Vec<K> {
         let timeout = self.timeout;
-        let mut dead: Vec<K> = self
+        let dead: Vec<K> = self
             .last_heard
             .iter()
             .filter(|(_, &t)| now.since(t) > timeout)
             .map(|(k, _)| *k)
             .collect();
-        dead.sort_unstable();
         for k in &dead {
             self.last_heard.remove(k);
         }
@@ -111,7 +112,11 @@ mod tests {
         let mut fd: FailureDetector<u32> = FailureDetector::new(SimSpan::from_secs(5));
         fd.heard(1, t(0));
         fd.heard(2, t(3));
-        assert_eq!(fd.expire(t(5)), Vec::<u32>::new(), "exactly at timeout is still alive");
+        assert_eq!(
+            fd.expire(t(5)),
+            Vec::<u32>::new(),
+            "exactly at timeout is still alive"
+        );
         assert_eq!(fd.expire(t(6)), vec![1]);
         assert!(!fd.knows(1));
         assert!(fd.knows(2));

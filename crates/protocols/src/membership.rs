@@ -32,7 +32,10 @@ pub struct Member<M> {
 
 impl<K: Ord + Copy, M> Default for MembershipView<K, M> {
     fn default() -> Self {
-        MembershipView { members: BTreeMap::new(), epoch: 0 }
+        MembershipView {
+            members: BTreeMap::new(),
+            epoch: 0,
+        }
     }
 }
 
@@ -50,7 +53,15 @@ impl<K: Ord + Copy, M> MembershipView<K, M> {
     /// Add or replace a member. Returns `true` on a fresh join.
     pub fn join(&mut self, key: K, meta: M, now: SimTime) -> bool {
         self.epoch += 1;
-        self.members.insert(key, Member { meta, joined_at: now }).is_none()
+        self.members
+            .insert(
+                key,
+                Member {
+                    meta,
+                    joined_at: now,
+                },
+            )
+            .is_none()
     }
 
     /// Remove a member. Returns its record if it was present.

@@ -83,8 +83,17 @@ pub trait Component: Any {
 
 enum EventKind {
     Start(ComponentId),
-    Deliver { src: ComponentId, dst: ComponentId, msg: AnyMsg },
-    Timer { dst: ComponentId, tag: u64, incarnation: u32, id: u64 },
+    Deliver {
+        src: ComponentId,
+        dst: ComponentId,
+        msg: AnyMsg,
+    },
+    Timer {
+        dst: ComponentId,
+        tag: u64,
+        incarnation: u32,
+        id: u64,
+    },
     Crash(ComponentId),
     Restart(ComponentId),
 }
@@ -130,17 +139,50 @@ pub(crate) struct EngineCore {
     next_timer_id: u64,
     halted: bool,
     events_executed: u64,
+    /// Running FNV-1a fingerprint of the executed event stream.
+    digest: u64,
+    /// `(time, seq)` of the last executed event — the audit's witness
+    /// that the executed stream is strictly ordered.
+    last_executed: Option<(SimTime, u64)>,
 }
 
 impl EngineCore {
+    /// Fold an executed event into the run digest. The digest covers the
+    /// full executed stream — `(time, seq, kind, endpoints)` per event —
+    /// so two runs agree on it iff they executed the same history.
+    fn fold_event(&mut self, ev: &Scheduled) {
+        let (disc, a, b): (u64, u64, u64) = match &ev.kind {
+            EventKind::Start(id) => (1, id.0 as u64, 0),
+            EventKind::Deliver { src, dst, .. } => (2, src.0 as u64, dst.0 as u64),
+            EventKind::Timer { dst, tag, .. } => (3, dst.0 as u64, *tag),
+            EventKind::Crash(id) => (4, id.0 as u64, 0),
+            EventKind::Restart(id) => (5, id.0 as u64, 0),
+        };
+        let mut h = self.digest;
+        for word in [ev.time.0, ev.seq, disc, a, b] {
+            h = crate::trace::fnv1a(h, &word.to_le_bytes());
+        }
+        self.digest = h;
+    }
+
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time: at.max(self.now), seq, kind }));
+        self.queue.push(Reverse(Scheduled {
+            time: at.max(self.now),
+            seq,
+            kind,
+        }));
     }
 
-    fn send_via_network(&mut self, src: ComponentId, dst: ComponentId, extra: SimSpan, msg: AnyMsg) {
+    fn send_via_network(
+        &mut self,
+        src: ComponentId,
+        dst: ComponentId,
+        extra: SimSpan,
+        msg: AnyMsg,
+    ) {
         let departs = self.now + extra;
         match self.network.transit(src, dst, departs, &mut self.rng) {
             Some(arrival) => {
@@ -225,7 +267,15 @@ impl Ctx<'_> {
         let at = self.core.now + delay;
         let incarnation = self.core.incarnation[self.me.0];
         let dst = self.me;
-        self.core.schedule(at, EventKind::Timer { dst, tag, incarnation, id });
+        self.core.schedule(
+            at,
+            EventKind::Timer {
+                dst,
+                tag,
+                incarnation,
+                id,
+            },
+        );
         TimerHandle(id)
     }
 
@@ -318,6 +368,8 @@ impl SimBuilder {
                 next_timer_id: 0,
                 halted: false,
                 events_executed: 0,
+                digest: crate::trace::FNV_OFFSET,
+                last_executed: None,
             },
             components: Vec::new(),
             started: false,
@@ -338,7 +390,11 @@ pub struct Engine {
 impl Engine {
     /// Register a component; its `on_start` runs at time zero when the
     /// simulation starts (or immediately-ish if already running).
-    pub fn add_component(&mut self, name: impl Into<String>, component: impl Component) -> ComponentId {
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        component: impl Component,
+    ) -> ComponentId {
         let id = ComponentId(self.components.len());
         self.components.push(Some(Box::new(component)));
         self.core.alive.push(true);
@@ -361,7 +417,14 @@ impl Engine {
     /// Inject a message from outside the simulation, delivered to `dst` at
     /// absolute time `at` (no network latency is applied).
     pub fn post(&mut self, at: SimTime, dst: ComponentId, msg: AnyMsg) {
-        self.core.schedule(at, EventKind::Deliver { src: ComponentId::EXTERNAL, dst, msg });
+        self.core.schedule(
+            at,
+            EventKind::Deliver {
+                src: ComponentId::EXTERNAL,
+                dst,
+                msg,
+            },
+        );
     }
 
     /// Schedule a crash of `id` at time `at`.
@@ -382,6 +445,14 @@ impl Engine {
     /// Number of events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.core.events_executed
+    }
+
+    /// FNV-1a fingerprint of the executed event stream: every executed
+    /// event's `(time, seq, kind, endpoints)` in order. Two runs from the
+    /// same seed must report identical digests; `snooze-audit
+    /// determinism` and the replay proptests assert exactly that.
+    pub fn digest(&self) -> u64 {
+        self.core.digest
     }
 
     /// Whether `id` is currently alive.
@@ -418,7 +489,9 @@ impl Engine {
     /// unknown. Returns `None` only while that component is being invoked
     /// (impossible from outside the run loop).
     pub fn component(&self, id: ComponentId) -> &dyn Component {
-        self.components[id.0].as_deref().expect("component checked out")
+        self.components[id.0]
+            .as_deref()
+            .expect("component checked out")
     }
 
     /// Downcast a registered component to a concrete type for inspection.
@@ -438,6 +511,27 @@ impl Engine {
             None => return false,
         };
         debug_assert!(ev.time >= self.core.now);
+        crate::audit_invariant!(
+            "engine",
+            "monotonic-clock",
+            ev.time >= self.core.now,
+            "event at t={:?} executed while clock already at t={:?}",
+            ev.time,
+            self.core.now
+        );
+        crate::audit_invariant!(
+            "engine",
+            "total-event-order",
+            self.core
+                .last_executed
+                .is_none_or(|last| (ev.time, ev.seq) > last),
+            "event (t={:?}, seq={}) not after last executed {:?}",
+            ev.time,
+            ev.seq,
+            self.core.last_executed
+        );
+        self.core.last_executed = Some((ev.time, ev.seq));
+        self.core.fold_event(&ev);
         self.core.now = ev.time;
         self.core.events_executed += 1;
         match ev.kind {
@@ -452,7 +546,12 @@ impl Engine {
                     self.core.metrics.incr("net.to_dead");
                 }
             }
-            EventKind::Timer { dst, tag, incarnation, id } => {
+            EventKind::Timer {
+                dst,
+                tag,
+                incarnation,
+                id,
+            } => {
                 let stale = self.core.cancelled_timers.remove(&id)
                     || self.core.incarnation[dst.0] != incarnation
                     || !self.core.alive[dst.0];
@@ -493,7 +592,10 @@ impl Engine {
             None => return, // unknown or re-entrant — drop the event
         };
         {
-            let mut ctx = Ctx { core: &mut self.core, me: id };
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                me: id,
+            };
             f(comp.as_mut(), &mut ctx);
         }
         self.components[id.0] = Some(comp);
@@ -566,7 +668,13 @@ mod tests {
     #[test]
     fn ping_pong_terminates() {
         let mut sim = SimBuilder::new(1).build();
-        let echo = sim.add_component("echo", Echo { bounces: 5, seen: 0 });
+        let echo = sim.add_component(
+            "echo",
+            Echo {
+                bounces: 5,
+                seen: 0,
+            },
+        );
         let _kick = sim.add_component("kick", Kickoff { peer: echo });
         sim.run();
         let echo_ref = sim.component_as::<Echo>(echo).unwrap();
@@ -577,7 +685,13 @@ mod tests {
     #[test]
     fn time_advances_with_network_latency() {
         let mut sim = SimBuilder::new(1).build();
-        let echo = sim.add_component("echo", Echo { bounces: 0, seen: 0 });
+        let echo = sim.add_component(
+            "echo",
+            Echo {
+                bounces: 0,
+                seen: 0,
+            },
+        );
         sim.post(SimTime::from_secs(3), echo, Box::new(()));
         sim.run();
         assert_eq!(sim.now(), SimTime::from_secs(3));
@@ -606,15 +720,30 @@ mod tests {
     #[test]
     fn timers_fire_in_order() {
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: false });
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
         sim.run();
-        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(
+            sim.component_as::<TimerUser>(id).unwrap().fired,
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
     fn cancelled_timer_does_not_fire() {
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: true });
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: true,
+            },
+        );
         sim.run();
         assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1, 3]);
     }
@@ -622,7 +751,13 @@ mod tests {
     #[test]
     fn crash_suppresses_delivery_and_timers() {
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("t", TimerUser { fired: vec![], cancel_second: false });
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
         sim.schedule_crash(SimTime::from_secs(1) + SimSpan::from_micros(1), id);
         sim.post(SimTime::from_secs(2), id, Box::new(()));
         sim.run();
@@ -649,7 +784,13 @@ mod tests {
     #[test]
     fn crash_restart_lifecycle() {
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("p", RestartProbe { restarts: 0, crashes: 0 });
+        let id = sim.add_component(
+            "p",
+            RestartProbe {
+                restarts: 0,
+                crashes: 0,
+            },
+        );
         sim.schedule_crash(SimTime::from_secs(1), id);
         sim.schedule_restart(SimTime::from_secs(2), id);
         // Crash while already dead and restart while alive are no-ops.
@@ -673,7 +814,13 @@ mod tests {
     fn determinism_same_seed_same_history() {
         fn history(seed: u64) -> (u64, SimTime) {
             let mut sim = SimBuilder::new(seed).build();
-            let echo = sim.add_component("echo", Echo { bounces: 50, seen: 0 });
+            let echo = sim.add_component(
+                "echo",
+                Echo {
+                    bounces: 50,
+                    seen: 0,
+                },
+            );
             let _k = sim.add_component("kick", Kickoff { peer: echo });
             sim.run();
             (sim.events_executed(), sim.now())
@@ -697,8 +844,20 @@ mod tests {
         }
         let mut sim = SimBuilder::new(1).build();
         let group = sim.create_group();
-        let a = sim.add_component("a", Echo { bounces: 0, seen: 0 });
-        let b = sim.add_component("b", Echo { bounces: 0, seen: 0 });
+        let a = sim.add_component(
+            "a",
+            Echo {
+                bounces: 0,
+                seen: 0,
+            },
+        );
+        let b = sim.add_component(
+            "b",
+            Echo {
+                bounces: 0,
+                seen: 0,
+            },
+        );
         sim.join_group(group, a);
         sim.join_group(group, b);
         let _c = sim.add_component("caster", Caster { group });
@@ -737,7 +896,13 @@ mod tests {
     #[test]
     fn component_as_wrong_type_returns_none() {
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("echo", Echo { bounces: 0, seen: 0 });
+        let id = sim.add_component(
+            "echo",
+            Echo {
+                bounces: 0,
+                seen: 0,
+            },
+        );
         assert!(sim.component_as::<Echo>(id).is_some());
         assert!(sim.component_as::<Kickoff>(id).is_none());
     }
@@ -753,7 +918,12 @@ mod tests {
             }
         }
         let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("p", SrcProbe { from_external: false });
+        let id = sim.add_component(
+            "p",
+            SrcProbe {
+                from_external: false,
+            },
+        );
         sim.post(SimTime::from_secs(1), id, Box::new(()));
         sim.run();
         assert!(sim.component_as::<SrcProbe>(id).unwrap().from_external);

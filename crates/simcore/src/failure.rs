@@ -109,7 +109,10 @@ impl FailurePlan {
 
     /// Number of crash actions in the plan.
     pub fn crash_count(&self) -> usize {
-        self.actions.iter().filter(|a| matches!(a, FailureAction::Crash(..))).count()
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, FailureAction::Crash(..)))
+            .count()
     }
 
     /// Install every action into the engine's event queue.
@@ -140,7 +143,10 @@ mod tests {
             .crash(SimTime::from_secs(9), ComponentId(1));
         assert_eq!(plan.actions().len(), 3);
         assert_eq!(plan.crash_count(), 2);
-        assert_eq!(plan.actions()[1], FailureAction::Restart(SimTime::from_secs(3), ComponentId(0)));
+        assert_eq!(
+            plan.actions()[1],
+            FailureAction::Restart(SimTime::from_secs(3), ComponentId(0))
+        );
     }
 
     #[test]
@@ -187,7 +193,10 @@ mod tests {
                 }
             }
         }
-        assert!(plan.crash_count() > 0, "horizon long enough to see failures");
+        assert!(
+            plan.crash_count() > 0,
+            "horizon long enough to see failures"
+        );
     }
 
     #[test]

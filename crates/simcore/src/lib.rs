@@ -61,6 +61,7 @@
 
 pub mod engine;
 pub mod failure;
+pub mod invariant;
 pub mod metrics;
 pub mod network;
 pub mod rng;

@@ -93,12 +93,18 @@ impl NetworkConfig {
 
     /// A LAN with a given message-loss probability.
     pub fn lossy_lan(loss_rate: f64) -> Self {
-        NetworkConfig { loss_rate, ..Self::lan() }
+        NetworkConfig {
+            loss_rate,
+            ..Self::lan()
+        }
     }
 
     /// Zero-latency, lossless network — for unit tests where latency is noise.
     pub fn instant() -> Self {
-        NetworkConfig { latency: Box::new(ConstantLatency(SimSpan::ZERO)), loss_rate: 0.0 }
+        NetworkConfig {
+            latency: Box::new(ConstantLatency(SimSpan::ZERO)),
+            loss_rate: 0.0,
+        }
     }
 }
 
@@ -157,7 +163,10 @@ impl Network {
         }
         let mut arrival = departs + self.config.latency.sample(src, dst, rng);
         if src != ComponentId::EXTERNAL {
-            let slot = self.last_arrival.entry((src.0, dst.0)).or_insert(SimTime::ZERO);
+            let slot = self
+                .last_arrival
+                .entry((src.0, dst.0))
+                .or_insert(SimTime::ZERO);
             arrival = arrival.max(*slot);
             *slot = arrival;
         }
@@ -240,12 +249,18 @@ mod tests {
     fn constant_latency_is_constant() {
         let m = ConstantLatency(SimSpan::from_millis(2));
         let mut r = rng();
-        assert_eq!(m.sample(ComponentId(0), ComponentId(1), &mut r), SimSpan::from_millis(2));
+        assert_eq!(
+            m.sample(ComponentId(0), ComponentId(1), &mut r),
+            SimSpan::from_millis(2)
+        );
     }
 
     #[test]
     fn uniform_latency_within_bounds() {
-        let m = UniformLatency { lo: SimSpan::from_micros(100), hi: SimSpan::from_micros(200) };
+        let m = UniformLatency {
+            lo: SimSpan::from_micros(100),
+            hi: SimSpan::from_micros(200),
+        };
         let mut r = rng();
         for _ in 0..200 {
             let s = m.sample(ComponentId(0), ComponentId(1), &mut r);
@@ -257,8 +272,14 @@ mod tests {
     fn two_tier_differs_by_rack() {
         let m = TwoTierLatency {
             rack_of: vec![0, 0, 1],
-            intra: UniformLatency { lo: SimSpan::from_micros(10), hi: SimSpan::from_micros(11) },
-            inter: UniformLatency { lo: SimSpan::from_micros(500), hi: SimSpan::from_micros(501) },
+            intra: UniformLatency {
+                lo: SimSpan::from_micros(10),
+                hi: SimSpan::from_micros(11),
+            },
+            inter: UniformLatency {
+                lo: SimSpan::from_micros(500),
+                hi: SimSpan::from_micros(501),
+            },
         };
         let mut r = rng();
         assert!(m.sample(ComponentId(0), ComponentId(1), &mut r) < SimSpan::from_micros(100));
@@ -275,7 +296,10 @@ mod tests {
         assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_some());
         net.partition(&[a], &[b]);
         assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_none());
-        assert!(net.transit(b, a, SimTime::ZERO, &mut r).is_none(), "partition must be symmetric");
+        assert!(
+            net.transit(b, a, SimTime::ZERO, &mut r).is_none(),
+            "partition must be symmetric"
+        );
         net.heal_partitions();
         assert!(net.transit(a, b, SimTime::ZERO, &mut r).is_some());
     }
@@ -298,16 +322,24 @@ mod tests {
         let mut net = Network::new(NetworkConfig::lossy_lan(0.25));
         let mut r = rng();
         let lost = (0..4000)
-            .filter(|_| net.transit(ComponentId(0), ComponentId(1), SimTime::ZERO, &mut r).is_none())
+            .filter(|_| {
+                net.transit(ComponentId(0), ComponentId(1), SimTime::ZERO, &mut r)
+                    .is_none()
+            })
             .count();
-        assert!((800..1200).contains(&lost), "lost {lost} of 4000, expected ~1000");
+        assert!(
+            (800..1200).contains(&lost),
+            "lost {lost} of 4000, expected ~1000"
+        );
     }
 
     #[test]
     fn external_sender_bypasses_loss_and_partitions() {
         let mut net = Network::new(NetworkConfig::lossy_lan(1.0));
         let mut r = rng();
-        assert!(net.transit(ComponentId::EXTERNAL, ComponentId(1), SimTime::ZERO, &mut r).is_some());
+        assert!(net
+            .transit(ComponentId::EXTERNAL, ComponentId(1), SimTime::ZERO, &mut r)
+            .is_some());
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from a master seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream keyed by `label`.
@@ -49,7 +51,9 @@ impl SimRng {
             }
             x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
         }
-        SimRng { inner: ChaCha8Rng::from_seed(seed) }
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
@@ -255,7 +259,10 @@ mod tests {
         let mut r = SimRng::new(11);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
-        assert!((mean - 4.0).abs() < 0.15, "sample mean {mean} too far from 4.0");
+        assert!(
+            (mean - 4.0).abs() < 0.15,
+            "sample mean {mean} too far from 4.0"
+        );
     }
 
     #[test]
@@ -284,7 +291,10 @@ mod tests {
         for _ in 0..10_000 {
             counts[r.zipf(10, 1.2)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
     }
 
     #[test]

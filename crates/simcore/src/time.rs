@@ -75,7 +75,10 @@ impl SimSpan {
     /// Build a span from fractional seconds, rounding to the nearest
     /// microsecond. Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> SimSpan {
-        assert!(s.is_finite() && s >= 0.0, "span must be finite and >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "span must be finite and >= 0, got {s}"
+        );
         SimSpan((s * 1e6).round() as u64)
     }
 
@@ -93,7 +96,10 @@ impl SimSpan {
 
     /// Multiply by a float factor, rounding to the nearest microsecond.
     pub fn mul_f64(self, factor: f64) -> SimSpan {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and >= 0"
+        );
         SimSpan((self.0 as f64 * factor).round() as u64)
     }
 
@@ -258,7 +264,10 @@ mod tests {
     #[test]
     fn mul_f64_rounds() {
         assert_eq!(SimSpan::from_micros(3).mul_f64(0.5).as_micros(), 2); // 1.5 rounds to 2
-        assert_eq!(SimSpan::from_secs(1).mul_f64(2.5), SimSpan::from_millis(2500));
+        assert_eq!(
+            SimSpan::from_secs(1).mul_f64(2.5),
+            SimSpan::from_millis(2500)
+        );
     }
 
     #[test]

@@ -24,29 +24,79 @@ pub struct TraceRecord {
 }
 
 /// Ring buffer of [`TraceRecord`]s. Capacity 0 disables recording.
-#[derive(Debug, Default)]
+///
+/// Independent of retention, every submitted record is folded into a
+/// running FNV-1a [`digest`](Trace::digest) — a cheap fingerprint of the
+/// *entire* trace stream that two same-seed runs must reproduce exactly.
+/// The `snooze-audit determinism` subcommand diffs these digests.
+#[derive(Debug)]
 pub struct Trace {
     records: VecDeque<TraceRecord>,
     capacity: usize,
     total: u64,
+    digest: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(0)
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 impl Trace {
     /// Create a trace keeping the last `capacity` records.
     pub fn new(capacity: usize) -> Self {
-        Trace { records: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total: 0,
+            digest: FNV_OFFSET,
+        }
     }
 
-    /// Append a record, evicting the oldest if full. No-op when disabled.
-    pub fn record(&mut self, time: SimTime, component: ComponentId, category: &'static str, text: String) {
+    /// Append a record, evicting the oldest if full. The digest always
+    /// updates; retention is a no-op when disabled.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        component: ComponentId,
+        category: &'static str,
+        text: String,
+    ) {
         self.total += 1;
+        self.digest = fnv1a(self.digest, &time.0.to_le_bytes());
+        self.digest = fnv1a(self.digest, &(component.0 as u64).to_le_bytes());
+        self.digest = fnv1a(self.digest, category.as_bytes());
+        self.digest = fnv1a(self.digest, text.as_bytes());
         if self.capacity == 0 {
             return;
         }
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
-        self.records.push_back(TraceRecord { time, component, category, text });
+        self.records.push_back(TraceRecord {
+            time,
+            component,
+            category,
+            text,
+        });
+    }
+
+    /// FNV-1a fingerprint of every record ever submitted (even with
+    /// retention disabled). Equal seeds must yield equal digests.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// Records currently retained, oldest first.
@@ -101,6 +151,31 @@ mod tests {
         rec(&mut t, 1, "a");
         assert!(t.is_empty());
         assert_eq!(t.total_recorded(), 1);
+    }
+
+    #[test]
+    fn digest_tracks_stream_not_retention() {
+        let mut full = Trace::new(100);
+        let mut ring = Trace::new(2);
+        let mut off = Trace::new(0);
+        for i in 0..10 {
+            rec(&mut full, i, "a");
+            rec(&mut ring, i, "a");
+            rec(&mut off, i, "a");
+        }
+        assert_eq!(full.digest(), ring.digest());
+        assert_eq!(full.digest(), off.digest());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut ab = Trace::new(0);
+        rec(&mut ab, 1, "a");
+        rec(&mut ab, 2, "b");
+        let mut ba = Trace::new(0);
+        rec(&mut ba, 2, "b");
+        rec(&mut ba, 1, "a");
+        assert_ne!(ab.digest(), ba.digest());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! retry unacknowledged submissions, and record per-VM placement latency
 //! (submission → running acknowledgment) plus rejections.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
@@ -56,7 +56,7 @@ pub struct ClientDriver {
     schedule: Vec<ScheduledVm>,
     retry_period: SimSpan,
     max_attempts: u32,
-    outstanding: HashMap<VmId, Outstanding>,
+    outstanding: BTreeMap<VmId, Outstanding>,
     vm_locations: HashMap<VmId, ComponentId>,
     /// Successful placements, in acknowledgment order.
     pub placed: Vec<PlacementAck>,
@@ -87,7 +87,7 @@ impl ClientDriver {
             schedule,
             retry_period,
             max_attempts: 30,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             vm_locations: HashMap::new(),
             placed: Vec::new(),
             rejected: Vec::new(),
@@ -105,7 +105,11 @@ impl ClientDriver {
         if self.placed.is_empty() {
             return 0.0;
         }
-        self.placed.iter().map(|p| p.latency.as_secs_f64()).sum::<f64>() / self.placed.len() as f64
+        self.placed
+            .iter()
+            .map(|p| p.latency.as_secs_f64())
+            .sum::<f64>()
+            / self.placed.len() as f64
     }
 
     /// 95th-percentile placement latency in seconds.
@@ -113,7 +117,11 @@ impl ClientDriver {
         if self.placed.is_empty() {
             return 0.0;
         }
-        let mut lats: Vec<f64> = self.placed.iter().map(|p| p.latency.as_secs_f64()).collect();
+        let mut lats: Vec<f64> = self
+            .placed
+            .iter()
+            .map(|p| p.latency.as_secs_f64())
+            .collect();
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let rank = ((lats.len() as f64 - 1.0) * 0.95).round() as usize;
         lats[rank.min(lats.len() - 1)]
@@ -130,7 +138,11 @@ impl ClientDriver {
         entry.attempts += 1;
         let attempts = entry.attempts;
         let me = ctx.id();
-        let msg = SubmitVm { spec: item.spec, workload: item.workload.clone(), client: me };
+        let msg = SubmitVm {
+            spec: item.spec,
+            workload: item.workload.clone(),
+            client: me,
+        };
         // First attempt uses the preferred EP; retries rotate.
         let ep = self.eps[(self.ep_cursor + attempts as usize - 1) % self.eps.len()];
         ctx.send(ep, Box::new(msg));
@@ -154,9 +166,14 @@ impl Component for ClientDriver {
         if let Some(placed) = msg.downcast_ref::<VmPlaced>() {
             if let Some(out) = self.outstanding.remove(&placed.vm) {
                 let latency = now.since(out.submitted_at);
-                self.placed.push(PlacementAck { vm: placed.vm, lc: placed.lc, latency });
+                self.placed.push(PlacementAck {
+                    vm: placed.vm,
+                    lc: placed.lc,
+                    latency,
+                });
                 self.vm_locations.insert(placed.vm, placed.lc);
-                ctx.metrics().observe("client.placement_latency_s", latency.as_secs_f64());
+                ctx.metrics()
+                    .observe("client.placement_latency_s", latency.as_secs_f64());
                 if let Some(lifetime) = self.schedule[out.schedule_idx].lifetime {
                     ctx.set_timer(lifetime, tag(CLIENT_DESTROY, out.schedule_idx as u64));
                 }
@@ -181,13 +198,13 @@ impl Component for ClientDriver {
                 // (EP had no GL, message lost, GM died mid-dispatch, …).
                 let retry_period = self.retry_period;
                 let max = self.max_attempts;
-                let mut to_retry: Vec<(VmId, usize, bool)> = self
+                // BTreeMap iteration is VmId-ordered: resend order is stable.
+                let to_retry: Vec<(VmId, usize, bool)> = self
                     .outstanding
                     .iter()
                     .filter(|(_, o)| now.since(o.submitted_at) > retry_period * o.attempts as u64)
                     .map(|(&vm, o)| (vm, o.schedule_idx, o.attempts >= max))
                     .collect();
-                to_retry.sort_unstable_by_key(|(vm, ..)| *vm); // deterministic resend order
                 for (vm, idx, give_up) in to_retry {
                     if give_up {
                         self.outstanding.remove(&vm);

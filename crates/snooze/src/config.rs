@@ -116,7 +116,10 @@ impl SnoozeConfig {
     /// A configuration with power management disabled — the baseline the
     /// energy experiment compares against.
     pub fn no_power_management() -> Self {
-        SnoozeConfig { idle_suspend_after: None, ..Default::default() }
+        SnoozeConfig {
+            idle_suspend_after: None,
+            ..Default::default()
+        }
     }
 
     /// Tighter timers for unit tests (faster convergence, same logic).
@@ -156,7 +159,9 @@ mod tests {
 
     #[test]
     fn no_power_management_disables_suspend() {
-        assert!(SnoozeConfig::no_power_management().idle_suspend_after.is_none());
+        assert!(SnoozeConfig::no_power_management()
+            .idle_suspend_after
+            .is_none());
     }
 
     #[test]

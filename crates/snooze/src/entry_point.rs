@@ -70,10 +70,12 @@ impl Component for EntryPoint {
             self.gl = Some(hb.gl);
             self.last_gl_heartbeat = now;
         } else if msg.downcast_ref::<DiscoverGl>().is_some() {
-            let info = GlInfo { gl: self.gl_if_fresh(now) };
+            let info = GlInfo {
+                gl: self.gl_if_fresh(now),
+            };
             ctx.send(src, Box::new(info));
         } else if msg.downcast_ref::<SubmitVm>().is_some() {
-            let submit = msg.downcast::<SubmitVm>().unwrap();
+            let submit = msg.downcast::<SubmitVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
             match self.gl_if_fresh(now) {
                 Some(gl) => {
                     self.forwarded += 1;
@@ -153,7 +155,13 @@ mod tests {
         let ep = sim.add_component("ep", EntryPoint::new(config, group));
         sim.join_group(group, ep);
         // 6 heartbeats (3 s of life), then silence.
-        let gl = sim.add_component("fake-gl", FakeGl { group, beats_left: 6 });
+        let gl = sim.add_component(
+            "fake-gl",
+            FakeGl {
+                group,
+                beats_left: 6,
+            },
+        );
         let asker = sim.add_component(
             "asker",
             Asker {
@@ -168,6 +176,9 @@ mod tests {
         assert_eq!(a.answers[0].1, Some(gl), "fresh GL is reported");
         assert_eq!(a.answers[1].1, None, "silent GL is withheld");
         // The EP still remembers who it was (for trace continuity).
-        assert_eq!(sim.component_as::<EntryPoint>(ep).unwrap().current_gl(), Some(gl));
+        assert_eq!(
+            sim.component_as::<EntryPoint>(ep).unwrap().current_gl(),
+            Some(gl)
+        );
     }
 }

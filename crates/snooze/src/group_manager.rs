@@ -17,7 +17,7 @@
 //!   its LCs (dedicated roles, §II-A); they rejoin other GMs through the
 //!   self-organization protocol.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
@@ -34,10 +34,10 @@ use crate::local_controller::LcJoinAckWithGroup;
 use crate::messages::*;
 use crate::scheduling::dispatching::Dispatcher;
 use crate::scheduling::placement::Placer;
+use crate::scheduling::reconfiguration::plan_reconfiguration;
 use crate::scheduling::relocation::{
     plan_overload_relocation, plan_underload_relocation, PlannedMigration, VmView,
 };
-use crate::scheduling::reconfiguration::plan_reconfiguration;
 use crate::scheduling::{GmSummaryView, LcView};
 use crate::tags::*;
 use snooze_consolidation::aco::AcoConsolidator;
@@ -165,10 +165,10 @@ pub struct GroupManager {
     gm_summaries: BTreeMap<ComponentId, GmHeartbeat>,
     gm_fd: FailureDetector<ComponentId>,
     dispatcher: Dispatcher,
-    dispatches: HashMap<VmId, DispatchState>,
+    dispatches: BTreeMap<VmId, DispatchState>,
     /// Idempotence registry: VMs already placed this GL term, so client
     /// retries re-ack instead of double-placing.
-    placed_registry: HashMap<VmId, (ComponentId, ComponentId)>,
+    placed_registry: BTreeMap<VmId, (ComponentId, ComponentId)>,
 
     /// Statistics.
     pub stats: GmStats,
@@ -199,8 +199,8 @@ impl GroupManager {
             pending: VecDeque::new(),
             gm_timer_armed: false,
             gm_summaries: BTreeMap::new(),
-            dispatches: HashMap::new(),
-            placed_registry: HashMap::new(),
+            dispatches: BTreeMap::new(),
+            placed_registry: BTreeMap::new(),
             stats: GmStats::default(),
         }
     }
@@ -279,7 +279,13 @@ impl GroupManager {
             used += r.usage.estimate();
             n_vms += r.vms.len();
         }
-        GmHeartbeat { used, total, reserved, n_lcs: self.lcs.len(), n_vms }
+        GmHeartbeat {
+            used,
+            total,
+            reserved,
+            n_lcs: self.lcs.len(),
+            n_vms,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -288,7 +294,12 @@ impl GroupManager {
 
     /// Try to place a VM now; returns the LC on success. On failure,
     /// optionally wakes a suspended LC with enough capacity.
-    fn try_place(&mut self, ctx: &mut Ctx, spec: &VmSpec, workload: &VmWorkload) -> Option<ComponentId> {
+    fn try_place(
+        &mut self,
+        ctx: &mut Ctx,
+        spec: &VmSpec,
+        workload: &VmWorkload,
+    ) -> Option<ComponentId> {
         let views = self.lc_views();
         if let Some(lc) = self.placer.place(spec, &views) {
             let record = self.lcs.get_mut(&lc).expect("placer returned managed LC");
@@ -306,7 +317,13 @@ impl GroupManager {
                 },
             );
             self.stats.placements += 1;
-            ctx.send(lc, Box::new(StartVm { spec: *spec, workload: workload.clone() }));
+            ctx.send(
+                lc,
+                Box::new(StartVm {
+                    spec: *spec,
+                    workload: workload.clone(),
+                }),
+            );
             return Some(lc);
         }
         // No powered-on LC fits. Wake a sleeping one that would.
@@ -330,7 +347,11 @@ impl GroupManager {
 
     /// Queue a placement for retry (wake in progress / transient full).
     fn enqueue_pending(&mut self, ctx: &mut Ctx, spec: VmSpec, workload: VmWorkload) {
-        self.pending.push_back(PendingPlacement { spec, workload, retries: 0 });
+        self.pending.push_back(PendingPlacement {
+            spec,
+            workload,
+            retries: 0,
+        });
         if self.pending.len() == 1 {
             ctx.set_timer(self.config.placement_retry_period, tag(GM_RETRY, 0));
         }
@@ -365,8 +386,12 @@ impl GroupManager {
 
     /// Issue a planned migration and update reservation bookkeeping.
     fn command_migration(&mut self, ctx: &mut Ctx, m: PlannedMigration) {
-        let Some(src) = self.lcs.get_mut(&m.from) else { return };
-        let Some(vm) = src.vms.get_mut(&m.vm) else { return };
+        let Some(src) = self.lcs.get_mut(&m.from) else {
+            return;
+        };
+        let Some(vm) = src.vms.get_mut(&m.vm) else {
+            return;
+        };
         if vm.migrating_to.is_some() {
             return;
         }
@@ -400,7 +425,9 @@ impl GroupManager {
     fn handle_lc_failure(&mut self, ctx: &mut Ctx, lc: ComponentId) {
         self.stats.lc_failures_detected += 1;
         ctx.trace("failure", format!("LC {lc:?} declared dead"));
-        let Some(record) = self.lcs.remove(&lc) else { return };
+        let Some(record) = self.lcs.remove(&lc) else {
+            return;
+        };
         if self.config.reschedule_on_lc_failure {
             // §II-E: snapshot-based recovery — "allow the GM to reschedule
             // the failed VMs on its active LCs".
@@ -412,7 +439,9 @@ impl GroupManager {
     }
 
     fn energy_sweep(&mut self, ctx: &mut Ctx) {
-        let Some(threshold) = self.config.idle_suspend_after else { return };
+        let Some(threshold) = self.config.idle_suspend_after else {
+            return;
+        };
         let now = ctx.now();
         let targets: Vec<ComponentId> = self
             .lcs
@@ -421,7 +450,9 @@ impl GroupManager {
                 r.powered_on
                     && !r.waking
                     && r.vms.is_empty()
-                    && r.idle_since.map(|t| now.since(t) >= threshold).unwrap_or(false)
+                    && r.idle_since
+                        .map(|t| now.since(t) >= threshold)
+                        .unwrap_or(false)
             })
             .map(|(&lc, _)| lc)
             .collect();
@@ -458,7 +489,10 @@ impl GroupManager {
             }
         }
         for (lc, spec, workload) in resend {
-            ctx.trace("retry", format!("re-sending StartVm {:?} to {lc:?}", spec.id));
+            ctx.trace(
+                "retry",
+                format!("re-sending StartVm {:?} to {lc:?}", spec.id),
+            );
             ctx.send(lc, Box::new(StartVm { spec, workload }));
         }
     }
@@ -473,7 +507,9 @@ impl GroupManager {
             .iter()
             .filter(|(_, r)| {
                 r.waking
-                    && r.wake_sent_at.map(|t| now.since(t) > patience).unwrap_or(true)
+                    && r.wake_sent_at
+                        .map(|t| now.since(t) > patience)
+                        .unwrap_or(true)
             })
             .map(|(&lc, _)| lc)
             .collect();
@@ -487,7 +523,9 @@ impl GroupManager {
     }
 
     fn reconfigure(&mut self, ctx: &mut Ctx) {
-        let Some(rc) = self.config.reconfiguration else { return };
+        let Some(rc) = self.config.reconfiguration else {
+            return;
+        };
         self.stats.reconfigurations += 1;
         let views = self.lc_views();
         let placements: Vec<(VmView, ComponentId)> = self
@@ -570,7 +608,14 @@ impl GroupManager {
     fn dispatch(&mut self, ctx: &mut Ctx, submit: SubmitVm) {
         // Client submissions are at-least-once; placement must not be.
         if let Some(&(gm, lc)) = self.placed_registry.get(&submit.spec.id) {
-            ctx.send(submit.client, Box::new(VmPlaced { vm: submit.spec.id, gm, lc }));
+            ctx.send(
+                submit.client,
+                Box::new(VmPlaced {
+                    vm: submit.spec.id,
+                    gm,
+                    lc,
+                }),
+            );
             return;
         }
         if self.dispatches.contains_key(&submit.spec.id) {
@@ -608,12 +653,20 @@ impl GroupManager {
                 accepted: false,
             },
         );
-        ctx.send(first, Box::new(PlaceVmRequest { spec: submit.spec, workload: submit.workload }));
+        ctx.send(
+            first,
+            Box::new(PlaceVmRequest {
+                spec: submit.spec,
+                workload: submit.workload,
+            }),
+        );
     }
 
     /// Linear search continuation: the previous candidate refused.
     fn advance_dispatch(&mut self, ctx: &mut Ctx, vm: VmId) {
-        let Some(state) = self.dispatches.get_mut(&vm) else { return };
+        let Some(state) = self.dispatches.get_mut(&vm) else {
+            return;
+        };
         // Skip candidates that have since been declared dead.
         while state.next < state.candidates.len() {
             let gm = state.candidates[state.next];
@@ -621,8 +674,10 @@ impl GroupManager {
             if self.gm_summaries.contains_key(&gm) {
                 state.started_at = ctx.now();
                 state.accepted = false;
-                let req =
-                    PlaceVmRequest { spec: state.spec, workload: state.workload.clone() };
+                let req = PlaceVmRequest {
+                    spec: state.spec,
+                    workload: state.workload.clone(),
+                };
                 ctx.send(gm, Box::new(req));
                 return;
             }
@@ -640,13 +695,13 @@ impl GroupManager {
         self.gm_summaries.remove(&gm);
         ctx.trace("failure", format!("GM {gm:?} declared dead"));
         // Any dispatch waiting on that GM moves to the next candidate.
-        let mut stuck: Vec<VmId> = self
+        // BTreeMap iteration is VmId-ordered, so the retry order is stable.
+        let stuck: Vec<VmId> = self
             .dispatches
             .iter()
             .filter(|(_, s)| s.next > 0 && s.candidates.get(s.next - 1) == Some(&gm))
             .map(|(&vm, _)| vm)
             .collect();
-        stuck.sort_unstable(); // HashMap order must not leak into messages
         for vm in stuck {
             self.advance_dispatch(ctx, vm);
         }
@@ -666,7 +721,7 @@ impl GroupManager {
         let deadline = self.config.placement_retry_period * 4;
         let accepted_deadline = self.config.dispatch_accept_timeout;
         let now = ctx.now();
-        let mut stale: Vec<VmId> = self
+        let stale: Vec<VmId> = self
             .dispatches
             .iter()
             .filter(|(_, s)| {
@@ -679,7 +734,6 @@ impl GroupManager {
             })
             .map(|(&vm, _)| vm)
             .collect();
-        stale.sort_unstable(); // HashMap order must not leak into messages
         for vm in stale {
             self.advance_dispatch(ctx, vm);
         }
@@ -771,7 +825,7 @@ impl Component for GroupManager {
                     }
                     // No GMs yet: drop; the LC retries on later heartbeats.
                 } else if msg.downcast_ref::<SubmitVm>().is_some() {
-                    let submit = msg.downcast::<SubmitVm>().unwrap();
+                    let submit = msg.downcast::<SubmitVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
                     self.dispatch(ctx, *submit);
                 } else if let Some(resp) = msg.downcast_ref::<PlaceVmResponse>() {
                     if resp.placed_on.is_some() {
@@ -786,7 +840,11 @@ impl Component for GroupManager {
                 } else if let Some(active) = msg.downcast_ref::<VmActive>() {
                     self.placed_registry.insert(active.vm, (src, active.lc));
                     if let Some(state) = self.dispatches.remove(&active.vm) {
-                        let placed = VmPlaced { vm: active.vm, gm: src, lc: active.lc };
+                        let placed = VmPlaced {
+                            vm: active.vm,
+                            gm: src,
+                            lc: active.lc,
+                        };
                         ctx.send(state.client, Box::new(placed));
                     }
                 } else if let Some(fail) = msg.downcast_ref::<VmFailed>() {
@@ -794,11 +852,17 @@ impl Component for GroupManager {
                         self.stats.rejected_as_gl += 1;
                         ctx.send(state.client, Box::new(VmRejected { vm: fail.vm }));
                     }
-                } else if msg.downcast_ref::<crate::unified::ManagerCensusQuery>().is_some() {
+                } else if msg
+                    .downcast_ref::<crate::unified::ManagerCensusQuery>()
+                    .is_some()
+                {
                     // Unified-node extension (§V): the role director asks
                     // how many managers are alive (GMs we know + us).
                     let managers = self.gm_summaries.len() + 1;
-                    ctx.send(src, Box::new(crate::unified::ManagerCensusReply { managers }));
+                    ctx.send(
+                        src,
+                        Box::new(crate::unified::ManagerCensusReply { managers }),
+                    );
                 } else if msg.downcast_ref::<HierarchyQuery>().is_some() {
                     // "Exporting of the hierarchy organization" (§II-A).
                     let snapshot = HierarchySnapshot {
@@ -826,9 +890,11 @@ impl Component for GroupManager {
                     let group = self.lc_group;
                     ctx.send(src, Box::new(LcJoinAckWithGroup { group }));
                 } else if msg.downcast_ref::<LcMonitoring>().is_some() {
-                    let report = msg.downcast::<LcMonitoring>().unwrap();
+                    let report = msg.downcast::<LcMonitoring>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
                     let estimator_kind = self.config.estimator;
-                    let Some(record) = self.lcs.get_mut(&src) else { return };
+                    let Some(record) = self.lcs.get_mut(&src) else {
+                        return;
+                    };
                     if !record.powered_on && report.powered_on {
                         // In-flight report racing a suspend command: if it
                         // refreshed the record, the failure detector would
@@ -876,7 +942,7 @@ impl Component for GroupManager {
                         (false, _) => None,
                     };
                 } else if msg.downcast_ref::<AnomalyReport>().is_some() {
-                    let report = msg.downcast::<AnomalyReport>().unwrap();
+                    let report = msg.downcast::<AnomalyReport>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
                     self.lc_fd.heard(src, now);
                     let views = self.lc_views();
                     match report.kind {
@@ -895,7 +961,10 @@ impl Component for GroupManager {
                                 &views,
                                 self.config.underload_threshold,
                             ) {
-                                ctx.trace("relocate", format!("underload: drain {} vms", plan.len()));
+                                ctx.trace(
+                                    "relocate",
+                                    format!("underload: drain {} vms", plan.len()),
+                                );
                                 for m in plan {
                                     self.command_migration(ctx, m);
                                 }
@@ -903,18 +972,27 @@ impl Component for GroupManager {
                         }
                     }
                 } else if msg.downcast_ref::<PlaceVmRequest>().is_some() {
-                    let req = msg.downcast::<PlaceVmRequest>().unwrap();
+                    let req = msg.downcast::<PlaceVmRequest>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
                     if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload) {
-                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: Some(lc) };
+                        let resp = PlaceVmResponse {
+                            vm: req.spec.id,
+                            placed_on: Some(lc),
+                        };
                         ctx.send(src, Box::new(resp));
                     } else if self.lcs.values().any(|r| r.waking) {
                         // Capacity is waking up: accept and queue.
-                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: Some(src) };
+                        let resp = PlaceVmResponse {
+                            vm: req.spec.id,
+                            placed_on: Some(src),
+                        };
                         ctx.send(src, Box::new(resp));
                         self.enqueue_pending(ctx, req.spec, req.workload);
                     } else {
                         self.stats.placement_rejections += 1;
-                        let resp = PlaceVmResponse { vm: req.spec.id, placed_on: None };
+                        let resp = PlaceVmResponse {
+                            vm: req.spec.id,
+                            placed_on: None,
+                        };
                         ctx.send(src, Box::new(resp));
                     }
                 } else if let Some(result) = msg.downcast_ref::<StartVmResult>() {
@@ -924,7 +1002,13 @@ impl Component for GroupManager {
                                 rec.confirmed = true;
                             }
                         }
-                        ctx.send(gl, Box::new(VmActive { vm: result.vm, lc: src }));
+                        ctx.send(
+                            gl,
+                            Box::new(VmActive {
+                                vm: result.vm,
+                                lc: src,
+                            }),
+                        );
                     } else {
                         // Admission raced; roll back and retry elsewhere.
                         if let Some(record) = self.lcs.get_mut(&src) {
@@ -941,7 +1025,9 @@ impl Component for GroupManager {
                     let vm = refused.vm;
                     let rollback = self.lcs.values_mut().find_map(|r| {
                         let rec = r.vms.get_mut(&vm)?;
-                        rec.migrating_to.take().map(|dest| (rec.spec.requested, dest))
+                        rec.migrating_to
+                            .take()
+                            .map(|dest| (rec.spec.requested, dest))
                     });
                     if let Some((requested, dest)) = rollback {
                         if let Some(dst) = self.lcs.get_mut(&dest) {
@@ -957,25 +1043,33 @@ impl Component for GroupManager {
                         .lcs
                         .iter()
                         .find(|(_, r)| {
-                            r.vms.get(&vm).map(|v| v.migrating_to == Some(src)).unwrap_or(false)
+                            r.vms
+                                .get(&vm)
+                                .map(|v| v.migrating_to == Some(src))
+                                .unwrap_or(false)
                         })
                         .map(|(&lc, _)| lc);
-                    if let Some(from) = source {
-                        let rec = {
-                            let src_rec = self.lcs.get_mut(&from).unwrap();
-                            let rec = src_rec.vms.remove(&vm).unwrap();
-                            src_rec.reserved =
-                                src_rec.reserved.saturating_sub(&rec.spec.requested);
-                            if src_rec.vms.is_empty() {
-                                src_rec.idle_since = Some(now);
-                            }
-                            rec
-                        };
+                    // `source` came from a scan that saw the record, but
+                    // unwrapping would still wedge the GM on a stale or
+                    // replayed MigrationDone — tolerate absence instead.
+                    let rec = source.and_then(|from| {
+                        let src_rec = self.lcs.get_mut(&from)?;
+                        let rec = src_rec.vms.remove(&vm)?;
+                        src_rec.reserved = src_rec.reserved.saturating_sub(&rec.spec.requested);
+                        if src_rec.vms.is_empty() {
+                            src_rec.idle_since = Some(now);
+                        }
+                        Some(rec)
+                    });
+                    if let Some(rec) = rec {
                         if done.ok {
                             if let Some(dst_rec) = self.lcs.get_mut(&src) {
                                 dst_rec.vms.insert(
                                     vm,
-                                    VmRecord { migrating_to: None, ..rec },
+                                    VmRecord {
+                                        migrating_to: None,
+                                        ..rec
+                                    },
                                 );
                             }
                         } else {

@@ -163,10 +163,15 @@ impl LocalController {
             return;
         }
         // VMs mid-migration are about to leave; don't double-report them.
-        let kind = if self.hypervisor.is_overloaded(now, self.config.overload_threshold) {
+        let kind = if self
+            .hypervisor
+            .is_overloaded(now, self.config.overload_threshold)
+        {
             Some(AnomalyKind::Overload)
         } else if self.migrating_out.is_empty()
-            && self.hypervisor.is_underloaded(now, self.config.underload_threshold)
+            && self
+                .hypervisor
+                .is_underloaded(now, self.config.underload_threshold)
         {
             Some(AnomalyKind::Underload)
         } else {
@@ -252,8 +257,8 @@ impl Component for LocalController {
         }
 
         if msg.downcast_ref::<GlHeartbeat>().is_some() {
-            let hb = msg.downcast::<GlHeartbeat>().unwrap();
-            // Unassigned LCs use GL heartbeats to (re)join the hierarchy.
+            let hb = msg.downcast::<GlHeartbeat>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
+                                                             // Unassigned LCs use GL heartbeats to (re)join the hierarchy.
             if self.gm.is_none() {
                 let stale = self
                     .assignment_requested_at
@@ -284,7 +289,7 @@ impl Component for LocalController {
                 self.last_gm_heartbeat = now;
             }
         } else if msg.downcast_ref::<StartVm>().is_some() {
-            let start = msg.downcast::<StartVm>().unwrap();
+            let start = msg.downcast::<StartVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
             let vm = start.spec.id;
             // Idempotent: a GM may re-send a StartVm whose acknowledgment
             // was lost. An already-running guest is re-acked; a booting
@@ -339,12 +344,18 @@ impl Component for LocalController {
             let image = guest.spec.image_mb;
             let est = self.config.migration.estimate(image, dirty);
             self.migrating_out.push((m.vm, m.to));
-            ctx.trace("migrate", format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration));
+            ctx.trace(
+                "migrate",
+                format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration),
+            );
             ctx.set_timer(est.duration, tag(LC_MIG_OUT, m.vm.0));
         } else if msg.downcast_ref::<VmHandoff>().is_some() {
-            let handoff = msg.downcast::<VmHandoff>().unwrap();
+            let handoff = msg.downcast::<VmHandoff>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
             let vm = handoff.spec.id;
-            let ok = self.hypervisor.admit(handoff.spec, handoff.workload, now).is_ok();
+            let ok = self
+                .hypervisor
+                .admit(handoff.spec, handoff.workload, now)
+                .is_ok();
             if ok {
                 self.stats.migrations_in += 1;
                 self.meter_update(now);
@@ -418,7 +429,13 @@ impl Component for LocalController {
                 if let Some(guest) = self.hypervisor.remove(vm) {
                     self.stats.migrations_out += 1;
                     self.meter_update(now);
-                    ctx.send(dest, Box::new(VmHandoff { spec: guest.spec, workload: guest.workload }));
+                    ctx.send(
+                        dest,
+                        Box::new(VmHandoff {
+                            spec: guest.spec,
+                            workload: guest.workload,
+                        }),
+                    );
                 }
             }
             // RTC check-in: a suspended node wakes periodically so it can

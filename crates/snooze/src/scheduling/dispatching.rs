@@ -54,7 +54,9 @@ impl Dispatcher {
                 fitting.sort_by(|a, b| {
                     let fa = a.free().l1();
                     let fb = b.free().l1();
-                    fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.gm.cmp(&b.gm))
+                    fb.partial_cmp(&fa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.gm.cmp(&b.gm))
                 });
             }
             DispatchKind::RoundRobin => {
@@ -96,7 +98,10 @@ mod tests {
         let gms = [gm(2, 10.0, 9.5), gm(0, 10.0, 2.0), gm(1, 10.0, 0.0)];
         let mut d = Dispatcher::new(DispatchKind::FirstFit);
         // Size 1.0 doesn't fit gm2 (free 0.5).
-        assert_eq!(d.candidates(&spec(1.0), &gms), vec![ComponentId(0), ComponentId(1)]);
+        assert_eq!(
+            d.candidates(&spec(1.0), &gms),
+            vec![ComponentId(0), ComponentId(1)]
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 pub mod dispatching;
 pub mod placement;
-pub mod relocation;
 pub mod reconfiguration;
+pub mod relocation;
 
 use snooze_cluster::resources::ResourceVector;
 use snooze_simcore::engine::ComponentId;

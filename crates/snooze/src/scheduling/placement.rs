@@ -43,8 +43,10 @@ impl Placer {
     /// Only powered-on LCs are considered — waking a node is the energy
     /// manager's decision, taken when this returns `None`.
     pub fn place(&mut self, spec: &VmSpec, lcs: &[LcView]) -> Option<ComponentId> {
-        let mut fitting: Vec<&LcView> =
-            lcs.iter().filter(|l| l.can_reserve(&spec.requested)).collect();
+        let mut fitting: Vec<&LcView> = lcs
+            .iter()
+            .filter(|l| l.can_reserve(&spec.requested))
+            .collect();
         if fitting.is_empty() {
             return None;
         }
@@ -56,7 +58,9 @@ impl Placer {
                 .min_by(|a, b| {
                     let sa = slack_after(a, spec);
                     let sb = slack_after(b, spec);
-                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(a.lc.cmp(&b.lc))
+                    sa.partial_cmp(&sb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.lc.cmp(&b.lc))
                 })
                 .map(|l| l.lc),
             PlacementKind::WorstFit => fitting
@@ -64,7 +68,9 @@ impl Placer {
                 .max_by(|a, b| {
                     let sa = slack_after(a, spec);
                     let sb = slack_after(b, spec);
-                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(b.lc.cmp(&a.lc))
+                    sa.partial_cmp(&sb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.lc.cmp(&a.lc))
                 })
                 .map(|l| l.lc),
             PlacementKind::RoundRobin => {
@@ -142,7 +148,11 @@ mod tests {
     fn suspended_lcs_are_invisible() {
         let lcs = [lc(0, 10.0, 0.0, false), lc(1, 10.0, 9.5, true)];
         let mut p = Placer::new(PlacementKind::FirstFit);
-        assert_eq!(p.place(&spec(1.0), &lcs), None, "only fit is suspended; big VM can't fit lc1");
+        assert_eq!(
+            p.place(&spec(1.0), &lcs),
+            None,
+            "only fit is suspended; big VM can't fit lc1"
+        );
         assert_eq!(p.place(&spec(0.2), &lcs), Some(ComponentId(1)));
     }
 

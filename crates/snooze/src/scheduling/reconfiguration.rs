@@ -64,8 +64,10 @@ pub fn plan_reconfiguration(
     // Only powered-on, not-overloaded LCs participate: waking nodes to
     // consolidate onto them would be self-defeating, and packing more
     // onto hot nodes would trade energy for performance.
-    let active: Vec<&LcView> =
-        lcs.iter().filter(|l| l.powered_on && l.utilization() <= overload_threshold).collect();
+    let active: Vec<&LcView> = lcs
+        .iter()
+        .filter(|l| l.powered_on && l.utilization() <= overload_threshold)
+        .collect();
     if active.is_empty() || placements.is_empty() {
         return Vec::new();
     }
@@ -73,8 +75,10 @@ pub fn plan_reconfiguration(
         active.iter().enumerate().map(|(i, l)| (l.lc, i)).collect();
 
     // VMs on non-participating LCs (mid-wake, suspended) are left alone.
-    let movable: Vec<&(VmView, ComponentId)> =
-        placements.iter().filter(|(_, lc)| bin_of_lc.contains_key(lc)).collect();
+    let movable: Vec<&(VmView, ComponentId)> = placements
+        .iter()
+        .filter(|(_, lc)| bin_of_lc.contains_key(lc))
+        .collect();
     if movable.is_empty() {
         return Vec::new();
     }
@@ -104,7 +108,11 @@ pub fn plan_reconfiguration(
     for (idx, (vm_view, current_lc)) in movable.iter().enumerate() {
         let target_lc = active[solution.assignment[idx]].lc;
         if target_lc != *current_lc {
-            plan.push(PlannedMigration { vm: vm_view.vm, from: *current_lc, to: target_lc });
+            plan.push(PlannedMigration {
+                vm: vm_view.vm,
+                from: *current_lc,
+                to: target_lc,
+            });
         }
     }
     // Bounded churn: prefer migrations off the least-utilized sources —
@@ -150,8 +158,9 @@ mod tests {
     fn consolidates_spread_vms_onto_fewer_lcs() {
         // Four LCs each hosting one 0.25-sized VM (cap 1.0): packable to 1.
         let lcs: Vec<LcView> = (0..4).map(|i| lc(i, 1.0, 0.25, true)).collect();
-        let placements: Vec<(VmView, ComponentId)> =
-            (0..4).map(|i| (vm(i as u64, 0.25), ComponentId(i))).collect();
+        let placements: Vec<(VmView, ComponentId)> = (0..4)
+            .map(|i| (vm(i as u64, 0.25), ComponentId(i)))
+            .collect();
         let plan = plan_reconfiguration(
             &lcs,
             &placements,
@@ -159,11 +168,19 @@ mod tests {
             16,
             1.0,
         );
-        assert_eq!(plan.len(), 3, "three VMs move onto the anchor, plan: {plan:?}");
+        assert_eq!(
+            plan.len(),
+            3,
+            "three VMs move onto the anchor, plan: {plan:?}"
+        );
         // After applying, exactly one LC is occupied.
         let mut occupancy: std::collections::HashMap<ComponentId, usize> = Default::default();
         for (v, cur) in &placements {
-            let dest = plan.iter().find(|m| m.vm == v.vm).map(|m| m.to).unwrap_or(*cur);
+            let dest = plan
+                .iter()
+                .find(|m| m.vm == v.vm)
+                .map(|m| m.to)
+                .unwrap_or(*cur);
             *occupancy.entry(dest).or_default() += 1;
         }
         assert_eq!(occupancy.len(), 1);
@@ -190,8 +207,9 @@ mod tests {
     #[test]
     fn migration_cap_is_respected() {
         let lcs: Vec<LcView> = (0..8).map(|i| lc(i, 1.0, 0.2, true)).collect();
-        let placements: Vec<(VmView, ComponentId)> =
-            (0..8).map(|i| (vm(i as u64, 0.2), ComponentId(i))).collect();
+        let placements: Vec<(VmView, ComponentId)> = (0..8)
+            .map(|i| (vm(i as u64, 0.2), ComponentId(i)))
+            .collect();
         let plan = plan_reconfiguration(
             &lcs,
             &placements,
@@ -204,7 +222,11 @@ mod tests {
 
     #[test]
     fn suspended_lcs_and_their_vms_are_untouched() {
-        let lcs = vec![lc(0, 1.0, 0.3, true), lc(1, 1.0, 0.3, false), lc(2, 1.0, 0.3, true)];
+        let lcs = vec![
+            lc(0, 1.0, 0.3, true),
+            lc(1, 1.0, 0.3, false),
+            lc(2, 1.0, 0.3, true),
+        ];
         let placements = vec![
             (vm(0, 0.3), ComponentId(0)),
             (vm(1, 0.3), ComponentId(1)), // on the suspended node (edge case)
@@ -217,15 +239,22 @@ mod tests {
             16,
             1.0,
         );
-        assert!(plan.iter().all(|m| m.vm != VmId(1)), "vm on suspended node must not move");
-        assert!(plan.iter().all(|m| m.to != ComponentId(1)), "suspended node is not a target");
+        assert!(
+            plan.iter().all(|m| m.vm != VmId(1)),
+            "vm on suspended node must not move"
+        );
+        assert!(
+            plan.iter().all(|m| m.to != ComponentId(1)),
+            "suspended node is not a target"
+        );
     }
 
     #[test]
     fn works_with_aco_consolidator() {
         let lcs: Vec<LcView> = (0..6).map(|i| lc(i, 1.0, 0.3, true)).collect();
-        let placements: Vec<(VmView, ComponentId)> =
-            (0..6).map(|i| (vm(i as u64, 0.3), ComponentId(i))).collect();
+        let placements: Vec<(VmView, ComponentId)> = (0..6)
+            .map(|i| (vm(i as u64, 0.3), ComponentId(i)))
+            .collect();
         let plan = plan_reconfiguration(
             &lcs,
             &placements,
@@ -241,7 +270,11 @@ mod tests {
     fn overloaded_nodes_are_left_out_of_consolidation() {
         // lc0 and lc2 lightly loaded, lc1 hot (95% estimated): the plan
         // must neither move lc1's VM nor target lc1.
-        let lcs = vec![lc(0, 1.0, 0.2, true), lc(1, 1.0, 0.95, true), lc(2, 1.0, 0.2, true)];
+        let lcs = vec![
+            lc(0, 1.0, 0.2, true),
+            lc(1, 1.0, 0.95, true),
+            lc(2, 1.0, 0.2, true),
+        ];
         let placements = vec![
             (vm(0, 0.2), ComponentId(0)),
             (vm(1, 0.5), ComponentId(1)),
@@ -254,30 +287,28 @@ mod tests {
             16,
             0.9,
         );
-        assert!(plan.iter().all(|m| m.vm != VmId(1)), "hot node's VM stays: {plan:?}");
-        assert!(plan.iter().all(|m| m.to != ComponentId(1)), "hot node gets nothing: {plan:?}");
+        assert!(
+            plan.iter().all(|m| m.vm != VmId(1)),
+            "hot node's VM stays: {plan:?}"
+        );
+        assert!(
+            plan.iter().all(|m| m.to != ComponentId(1)),
+            "hot node gets nothing: {plan:?}"
+        );
         // The two cool VMs still consolidate onto one node.
         assert_eq!(plan.len(), 1, "{plan:?}");
     }
 
     #[test]
     fn empty_inputs_produce_empty_plans() {
-        assert!(plan_reconfiguration(
-            &[],
-            &[],
-            &FirstFitDecreasing { key: SortKey::L1 },
-            16,
-            1.0
-        )
-        .is_empty());
+        assert!(
+            plan_reconfiguration(&[], &[], &FirstFitDecreasing { key: SortKey::L1 }, 16, 1.0)
+                .is_empty()
+        );
         let lcs = vec![lc(0, 1.0, 0.0, true)];
-        assert!(plan_reconfiguration(
-            &lcs,
-            &[],
-            &FirstFitDecreasing { key: SortKey::L1 },
-            16,
-            1.0
-        )
-        .is_empty());
+        assert!(
+            plan_reconfiguration(&lcs, &[], &FirstFitDecreasing { key: SortKey::L1 }, 16, 1.0)
+                .is_empty()
+        );
     }
 }

@@ -68,10 +68,16 @@ pub fn plan_overload_relocation(
             .max_by(|a, b| {
                 let ha = headroom(a);
                 let hb = headroom(b);
-                ha.partial_cmp(&hb).unwrap_or(std::cmp::Ordering::Equal).then(b.lc.cmp(&a.lc))
+                ha.partial_cmp(&hb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.lc.cmp(&a.lc))
             });
         if let Some(d) = dest {
-            return Some(PlannedMigration { vm: vm.vm, from: source, to: d.lc });
+            return Some(PlannedMigration {
+                vm: vm.vm,
+                from: source,
+                to: d.lc,
+            });
         }
     }
     None
@@ -99,7 +105,9 @@ pub fn plan_underload_relocation(
         .collect();
     // Most-loaded destinations first (BFD-style: fill the fullest).
     residuals.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
 
     // Largest VMs first, all-or-nothing.
@@ -119,7 +127,11 @@ pub fn plan_underload_relocation(
         match slot {
             Some((dest, free, _)) => {
                 *free = free.saturating_sub(&vm.requested);
-                plan.push(PlannedMigration { vm: vm.vm, from: source, to: *dest });
+                plan.push(PlannedMigration {
+                    vm: vm.vm,
+                    from: source,
+                    to: *dest,
+                });
             }
             None => return None, // partial drains don't create idle nodes
         }
@@ -160,7 +172,11 @@ mod tests {
 
     #[test]
     fn overload_moves_heaviest_vm_to_lightest_destination() {
-        let lcs = [lc(0, 10.0, 9.0, 9.5), lc(1, 10.0, 2.0, 2.0), lc(2, 10.0, 5.0, 5.0)];
+        let lcs = [
+            lc(0, 10.0, 9.0, 9.5),
+            lc(1, 10.0, 2.0, 2.0),
+            lc(2, 10.0, 5.0, 5.0),
+        ];
         let vms = [vm(10, 3.0, 1.0), vm(11, 3.0, 5.0)];
         let plan = plan_overload_relocation(ComponentId(0), &vms, &lcs).unwrap();
         assert_eq!(plan.vm, VmId(11), "heaviest by usage");
@@ -188,13 +204,12 @@ mod tests {
     #[test]
     fn underload_drains_everything_to_moderate_nodes() {
         let lcs = [
-            lc(0, 10.0, 1.5, 0.5),  // the cold source
-            lc(1, 10.0, 5.0, 5.0),  // moderate
-            lc(2, 10.0, 6.0, 6.0),  // moderate, fuller
+            lc(0, 10.0, 1.5, 0.5), // the cold source
+            lc(1, 10.0, 5.0, 5.0), // moderate
+            lc(2, 10.0, 6.0, 6.0), // moderate, fuller
         ];
         let vms = [vm(10, 1.0, 0.3), vm(11, 0.5, 0.2)];
-        let plan =
-            plan_underload_relocation(ComponentId(0), &vms, &lcs, 0.2).unwrap();
+        let plan = plan_underload_relocation(ComponentId(0), &vms, &lcs, 0.2).unwrap();
         assert_eq!(plan.len(), 2, "full drain");
         // Fullest destination (lc2) is filled first.
         assert!(plan.iter().all(|m| m.from == ComponentId(0)));

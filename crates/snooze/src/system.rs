@@ -43,10 +43,7 @@ impl SnoozeSystem {
             "need at least two managers: one is elected GL and, having a \
              dedicated role (§II-A), manages no LCs itself"
         );
-        let zk = engine.add_component(
-            "zk",
-            CoordinationService::new(config.zk_session_timeout),
-        );
+        let zk = engine.add_component("zk", CoordinationService::new(config.zk_session_timeout));
         let gl_group = engine.create_group();
 
         let gms: Vec<ComponentId> = (0..n_gms)
@@ -71,10 +68,18 @@ impl SnoozeSystem {
             .collect();
 
         let eps: Vec<ComponentId> = (0..n_eps)
-            .map(|i| engine.add_component(format!("ep{i}"), EntryPoint::new(config.clone(), gl_group)))
+            .map(|i| {
+                engine.add_component(format!("ep{i}"), EntryPoint::new(config.clone(), gl_group))
+            })
             .collect();
 
-        SnoozeSystem { zk, gl_group, gms, lcs, eps }
+        SnoozeSystem {
+            zk,
+            gl_group,
+            gms,
+            lcs,
+            eps,
+        }
     }
 
     /// The component currently acting as GL, if the hierarchy has
@@ -143,7 +148,9 @@ impl SnoozeSystem {
             if !engine.is_alive(lc) {
                 continue;
             }
-            let Some(l) = engine.component_as::<LocalController>(lc) else { continue };
+            let Some(l) = engine.component_as::<LocalController>(lc) else {
+                continue;
+            };
             match l.power_state() {
                 PowerState::On => on += 1,
                 s if s.is_low_power() => low += 1,
@@ -162,7 +169,9 @@ impl SnoozeSystem {
             if !engine.is_alive(lc) {
                 continue;
             }
-            let Some(l) = engine.component_as::<LocalController>(lc) else { continue };
+            let Some(l) = engine.component_as::<LocalController>(lc) else {
+                continue;
+            };
             if l.hypervisor().guest_count() > 0 {
                 sum += l.performance_at(now);
                 n += 1;

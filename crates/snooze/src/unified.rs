@@ -225,7 +225,10 @@ impl RoleDirector {
         target_managers: usize,
         period: SimSpan,
     ) -> Self {
-        assert!(target_managers >= 2, "hierarchy needs a GL plus at least one GM");
+        assert!(
+            target_managers >= 2,
+            "hierarchy needs a GL plus at least one GM"
+        );
         let roles = vec![None; nodes.len()];
         RoleDirector {
             nodes,
@@ -356,8 +359,7 @@ impl UnifiedSystem {
     ) -> UnifiedSystem {
         use snooze_protocols::coordination::CoordinationService;
 
-        let zk = engine
-            .add_component("zk", CoordinationService::new(config.zk_session_timeout));
+        let zk = engine.add_component("zk", CoordinationService::new(config.zk_session_timeout));
         let gl_group = engine.create_group();
         let nodes: Vec<ComponentId> = specs
             .iter()
@@ -372,7 +374,12 @@ impl UnifiedSystem {
             .collect();
         let director = engine.add_component(
             "director",
-            RoleDirector::new(nodes.clone(), gl_group, target_managers, config.gm_heartbeat_period * 2),
+            RoleDirector::new(
+                nodes.clone(),
+                gl_group,
+                target_managers,
+                config.gm_heartbeat_period * 2,
+            ),
         );
         let eps: Vec<ComponentId> = (0..n_eps)
             .map(|i| {
@@ -382,7 +389,13 @@ impl UnifiedSystem {
                 )
             })
             .collect();
-        UnifiedSystem { zk, gl_group, nodes, director, eps }
+        UnifiedSystem {
+            zk,
+            gl_group,
+            nodes,
+            director,
+            eps,
+        }
     }
 
     /// Nodes currently in each role: `(managers, lcs)`.

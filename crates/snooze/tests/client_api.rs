@@ -46,18 +46,29 @@ impl Component for OpsProbe {
 #[test]
 fn discover_gl_and_export_hierarchy() {
     let mut sim = SimBuilder::new(71).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let nodes = NodeSpec::standard_cluster(4);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
     let probe = sim.add_component(
         "ops",
-        OpsProbe { ep: system.eps[0], gl_info: None, snapshot: None },
+        OpsProbe {
+            ep: system.eps[0],
+            gl_info: None,
+            snapshot: None,
+        },
     );
     sim.run_until(secs(30));
 
     let p = sim.component_as::<OpsProbe>(probe).unwrap();
     let gl = system.current_gl(&sim).unwrap();
-    assert_eq!(p.gl_info.unwrap().gl, Some(gl), "EP answered DiscoverGl with the real GL");
+    assert_eq!(
+        p.gl_info.unwrap().gl,
+        Some(gl),
+        "EP answered DiscoverGl with the real GL"
+    );
     let snap = p.snapshot.as_ref().expect("GL answered HierarchyQuery");
     assert_eq!(snap.gl, gl);
     assert_eq!(snap.gms.len(), 2, "both GMs in the export");
@@ -115,15 +126,26 @@ fn destroy_chases_a_migrated_vm() {
     let moved = original
         .iter()
         .filter(|(vm, lc)| {
-            sim.component_as::<LocalController>(*lc).unwrap().hypervisor().guest(*vm).is_none()
+            sim.component_as::<LocalController>(*lc)
+                .unwrap()
+                .hypervisor()
+                .guest(*vm)
+                .is_none()
         })
         .count();
-    assert!(moved >= 1, "reconfiguration should have relocated something");
+    assert!(
+        moved >= 1,
+        "reconfiguration should have relocated something"
+    );
 
     // Destroy every VM via its *original* LC.
     for &(vm, lc) in &original {
         sim.post(sim.now(), lc, Box::new(DestroyVm { vm }));
     }
     sim.run_until(sim.now() + SimSpan::from_secs(30));
-    assert_eq!(system.total_vms(&sim), 0, "forwarding found and destroyed every migrated VM");
+    assert_eq!(
+        system.total_vms(&sim),
+        0,
+        "forwarding found and destroyed every migrated VM"
+    );
 }

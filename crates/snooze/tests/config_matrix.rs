@@ -40,14 +40,21 @@ fn run_matrix_case(seed: u64, config: SnoozeConfig, n_vms: u64) -> usize {
         ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
     );
     sim.run_until(secs(150));
-    sim.component_as::<ClientDriver>(client).unwrap().placed.len()
+    sim.component_as::<ClientDriver>(client)
+        .unwrap()
+        .placed
+        .len()
 }
 
 #[test]
 fn every_dispatching_policy_serves_submissions() {
-    for (i, kind) in [DispatchKind::RoundRobin, DispatchKind::LeastLoaded, DispatchKind::FirstFit]
-        .into_iter()
-        .enumerate()
+    for (i, kind) in [
+        DispatchKind::RoundRobin,
+        DispatchKind::LeastLoaded,
+        DispatchKind::FirstFit,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let config = SnoozeConfig {
             dispatching: kind,
@@ -102,7 +109,10 @@ fn heterogeneous_cluster_respects_per_node_capacity() {
     // Three small nodes (4 cores) and one jumbo (16 cores). A 6-core VM
     // only fits the jumbo; 2-core VMs fit anywhere.
     let mut sim = SimBuilder::new(103).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let mut nodes: Vec<NodeSpec> = (0..3)
         .map(|i| {
             let mut n = NodeSpec::standard(NodeId(i));
@@ -133,7 +143,13 @@ fn heterogeneous_cluster_respects_per_node_capacity() {
     );
     sim.run_until(secs(150));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 4, "rejected {:?} abandoned {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        4,
+        "rejected {:?} abandoned {:?}",
+        c.rejected,
+        c.abandoned
+    );
     // The two 6-core VMs must both be on the jumbo node.
     let jumbo_lc = system.lcs[3];
     for ack in &c.placed {
@@ -144,7 +160,10 @@ fn heterogeneous_cluster_respects_per_node_capacity() {
     // No node's reservations exceed its capacity.
     for &lc in &system.lcs {
         let l = sim.component_as::<LocalController>(lc).unwrap();
-        assert!(l.hypervisor().reserved().fits_within(&l.hypervisor().capacity()));
+        assert!(l
+            .hypervisor()
+            .reserved()
+            .fits_within(&l.hypervisor().capacity()));
     }
 }
 
@@ -154,7 +173,10 @@ fn generated_mixed_fleet_runs_through_the_hierarchy() {
     // just constant utilizations): everything places, nothing panics,
     // and usage stays within reservations.
     let mut sim = SimBuilder::new(104).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let nodes = NodeSpec::standard_cluster(8);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
 
@@ -162,7 +184,12 @@ fn generated_mixed_fleet_runs_through_the_hierarchy() {
     let fleet = gen.generate(12, 0, &mut SimRng::new(7));
     let schedule: Vec<ScheduledVm> = fleet
         .into_iter()
-        .map(|(spec, workload)| ScheduledVm { at: secs(10), spec, workload, lifetime: None })
+        .map(|(spec, workload)| ScheduledVm {
+            at: secs(10),
+            spec,
+            workload,
+            lifetime: None,
+        })
         .collect();
     let client = sim.add_component(
         "client",
@@ -170,6 +197,13 @@ fn generated_mixed_fleet_runs_through_the_hierarchy() {
     );
     sim.run_until(secs(600));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert!(c.placed.len() >= 10, "most of the mixed fleet placed: {}", c.placed.len());
-    assert!(system.mean_performance(&sim, sim.now()) > 0.99, "reservations prevent contention");
+    assert!(
+        c.placed.len() >= 10,
+        "most of the mixed fleet placed: {}",
+        c.placed.len()
+    );
+    assert!(
+        system.mean_performance(&sim, sim.now()) > 0.99,
+        "reservations prevent contention"
+    );
 }

@@ -65,7 +65,11 @@ impl StubLc {
                 .map(|(s, w)| VmUsage {
                     vm: s.id,
                     requested: s.requested,
-                    used: if heavy { s.requested } else { w.usage_at(now, &s.requested) },
+                    used: if heavy {
+                        s.requested
+                    } else {
+                        w.usage_at(now, &s.requested)
+                    },
                 })
                 .collect(),
             powered_on: true,
@@ -90,7 +94,13 @@ impl Component for StubLc {
             self.start_cmds += 1;
             if self.fail_starts > 0 {
                 self.fail_starts -= 1;
-                ctx.send(src, Box::new(StartVmResult { vm: start.spec.id, ok: false }));
+                ctx.send(
+                    src,
+                    Box::new(StartVmResult {
+                        vm: start.spec.id,
+                        ok: false,
+                    }),
+                );
             } else {
                 let vm = start.spec.id;
                 self.guests.push((start.spec, start.workload));
@@ -116,8 +126,10 @@ impl Component for StubLc {
             let gm = self.gm;
             ctx.send(gm, Box::new(MigrationDone { vm, ok }));
         } else if msg.downcast_ref::<TriggerOverload>().is_some() {
-            let report =
-                AnomalyReport { kind: AnomalyKind::Overload, monitoring: self.monitoring(now, true) };
+            let report = AnomalyReport {
+                kind: AnomalyKind::Overload,
+                monitoring: self.monitoring(now, true),
+            };
             let gm = self.gm;
             ctx.send(gm, Box::new(report));
         }
@@ -133,14 +145,21 @@ impl Component for StubLc {
 
 /// Deploy two real managers (one becomes GL, one GM) plus `n` stub LCs
 /// attached to the GM.
-fn setup(seed: u64, config: SnoozeConfig, n_stubs: usize) -> (Engine, ComponentId, Vec<ComponentId>, ComponentId) {
+fn setup(
+    seed: u64,
+    config: SnoozeConfig,
+    n_stubs: usize,
+) -> (Engine, ComponentId, Vec<ComponentId>, ComponentId) {
     let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
     let gl_group = sim.create_group();
     let managers: Vec<ComponentId> = (0..2)
         .map(|i| {
             let lc_group = sim.create_group();
-            sim.add_component(format!("gm{i}"), GroupManager::new(config.clone(), zk, gl_group, lc_group))
+            sim.add_component(
+                format!("gm{i}"),
+                GroupManager::new(config.clone(), zk, gl_group, lc_group),
+            )
         })
         .collect();
     let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
@@ -148,11 +167,15 @@ fn setup(seed: u64, config: SnoozeConfig, n_stubs: usize) -> (Engine, ComponentI
     let gm = *managers
         .iter()
         .find(|&&m| {
-            matches!(sim.component_as::<GroupManager>(m).unwrap().mode(), Mode::Gm(_))
+            matches!(
+                sim.component_as::<GroupManager>(m).unwrap().mode(),
+                Mode::Gm(_)
+            )
         })
         .expect("one manager follows");
-    let stubs: Vec<ComponentId> =
-        (0..n_stubs).map(|i| sim.add_component(format!("stub{i}"), StubLc::new(gm))).collect();
+    let stubs: Vec<ComponentId> = (0..n_stubs)
+        .map(|i| sim.add_component(format!("stub{i}"), StubLc::new(gm)))
+        .collect();
     sim.run_until(secs(8));
     (sim, gm, stubs, ep)
 }
@@ -165,16 +188,28 @@ fn submit_one(sim: &mut Engine, ep: ComponentId, cores: f64) -> ComponentId {
         workload: VmWorkload::flat_full(0),
         lifetime: None,
     }];
-    sim.add_component("client", ClientDriver::new(ep, schedule, SimSpan::from_secs(5)))
+    sim.add_component(
+        "client",
+        ClientDriver::new(ep, schedule, SimSpan::from_secs(5)),
+    )
 }
 
 #[test]
 fn migrate_refused_rolls_back_and_allows_retry() {
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let (mut sim, gm, stubs, ep) = setup(81, config, 2);
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
-    assert_eq!(sim.component_as::<ClientDriver>(client).unwrap().placed.len(), 1);
+    assert_eq!(
+        sim.component_as::<ClientDriver>(client)
+            .unwrap()
+            .placed
+            .len(),
+        1
+    );
     // The VM landed on one stub (first-fit: lowest id). Report overload
     // there and verify the full command → hand-off → done cycle.
     let host = *stubs
@@ -184,9 +219,15 @@ fn migrate_refused_rolls_back_and_allows_retry() {
     sim.post(secs(21), host, Box::new(TriggerOverload));
     sim.run_until(secs(40));
     let gm_ref = sim.component_as::<GroupManager>(gm).unwrap();
-    assert!(gm_ref.stats.migrations_commanded >= 1, "overload triggered a migration");
+    assert!(
+        gm_ref.stats.migrations_commanded >= 1,
+        "overload triggered a migration"
+    );
     let src = sim.component_as::<StubLc>(host).unwrap();
-    assert_eq!(src.migrate_cmds.len() as u64, gm_ref.stats.migrations_commanded);
+    assert_eq!(
+        src.migrate_cmds.len() as u64,
+        gm_ref.stats.migrations_commanded
+    );
     assert!(src.guests.is_empty(), "guest migrated away");
     let dst = stubs.iter().find(|&&s| s != host).unwrap();
     assert_eq!(sim.component_as::<StubLc>(*dst).unwrap().guests.len(), 1);
@@ -194,21 +235,32 @@ fn migrate_refused_rolls_back_and_allows_retry() {
 
 #[test]
 fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let mut sim = SimBuilder::new(82).network(NetworkConfig::lan()).build();
     let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
     let gl_group = sim.create_group();
     let managers: Vec<ComponentId> = (0..2)
         .map(|i| {
             let lc_group = sim.create_group();
-            sim.add_component(format!("gm{i}"), GroupManager::new(config.clone(), zk, gl_group, lc_group))
+            sim.add_component(
+                format!("gm{i}"),
+                GroupManager::new(config.clone(), zk, gl_group, lc_group),
+            )
         })
         .collect();
     let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
     sim.run_until(secs(5));
     let gm = *managers
         .iter()
-        .find(|&&m| matches!(sim.component_as::<GroupManager>(m).unwrap().mode(), Mode::Gm(_)))
+        .find(|&&m| {
+            matches!(
+                sim.component_as::<GroupManager>(m).unwrap().mode(),
+                Mode::Gm(_)
+            )
+        })
         .unwrap();
     // Stub 0 refuses migrations; stub 1 is a willing destination.
     let mut refusing = StubLc::new(gm);
@@ -218,7 +270,13 @@ fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
     sim.run_until(secs(8));
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
-    assert_eq!(sim.component_as::<ClientDriver>(client).unwrap().placed.len(), 1);
+    assert_eq!(
+        sim.component_as::<ClientDriver>(client)
+            .unwrap()
+            .placed
+            .len(),
+        1
+    );
 
     // Two overload reports, far enough apart for both to be acted on.
     sim.post(secs(21), s0, Box::new(TriggerOverload));
@@ -240,21 +298,32 @@ fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
 
 #[test]
 fn failed_start_is_requeued_and_eventually_placed() {
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let mut sim = SimBuilder::new(83).network(NetworkConfig::lan()).build();
     let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
     let gl_group = sim.create_group();
     let managers: Vec<ComponentId> = (0..2)
         .map(|i| {
             let lc_group = sim.create_group();
-            sim.add_component(format!("gm{i}"), GroupManager::new(config.clone(), zk, gl_group, lc_group))
+            sim.add_component(
+                format!("gm{i}"),
+                GroupManager::new(config.clone(), zk, gl_group, lc_group),
+            )
         })
         .collect();
     let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
     sim.run_until(secs(5));
     let gm = *managers
         .iter()
-        .find(|&&m| matches!(sim.component_as::<GroupManager>(m).unwrap().mode(), Mode::Gm(_)))
+        .find(|&&m| {
+            matches!(
+                sim.component_as::<GroupManager>(m).unwrap().mode(),
+                Mode::Gm(_)
+            )
+        })
         .unwrap();
     let mut flaky = StubLc::new(gm);
     flaky.fail_starts = 2; // admission races twice, then succeeds
@@ -264,10 +333,18 @@ fn failed_start_is_requeued_and_eventually_placed() {
     sim.run_until(secs(60));
 
     let stub = sim.component_as::<StubLc>(s0).unwrap();
-    assert!(stub.start_cmds >= 3, "retried after failures: {}", stub.start_cmds);
+    assert!(
+        stub.start_cmds >= 3,
+        "retried after failures: {}",
+        stub.start_cmds
+    );
     assert_eq!(stub.guests.len(), 1, "eventually admitted");
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 1, "client acked only after the successful start");
+    assert_eq!(
+        c.placed.len(),
+        1,
+        "client acked only after the successful start"
+    );
 }
 
 #[test]
@@ -283,14 +360,22 @@ fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
     let managers: Vec<ComponentId> = (0..2)
         .map(|i| {
             let lc_group = sim.create_group();
-            sim.add_component(format!("gm{i}"), GroupManager::new(config.clone(), zk, gl_group, lc_group))
+            sim.add_component(
+                format!("gm{i}"),
+                GroupManager::new(config.clone(), zk, gl_group, lc_group),
+            )
         })
         .collect();
     let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
     sim.run_until(secs(5));
     let gm = *managers
         .iter()
-        .find(|&&m| matches!(sim.component_as::<GroupManager>(m).unwrap().mode(), Mode::Gm(_)))
+        .find(|&&m| {
+            matches!(
+                sim.component_as::<GroupManager>(m).unwrap().mode(),
+                Mode::Gm(_)
+            )
+        })
         .unwrap();
     let s0 = sim.add_component("stub0", StubLc::new(gm));
     let mut rejecting = StubLc::new(gm);
@@ -299,8 +384,18 @@ fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
     sim.run_until(secs(8));
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
-    assert_eq!(sim.component_as::<ClientDriver>(client).unwrap().placed.len(), 1);
-    assert_eq!(sim.component_as::<StubLc>(s0).unwrap().guests.len(), 1, "first-fit → stub0");
+    assert_eq!(
+        sim.component_as::<ClientDriver>(client)
+            .unwrap()
+            .placed
+            .len(),
+        1
+    );
+    assert_eq!(
+        sim.component_as::<StubLc>(s0).unwrap().guests.len(),
+        1,
+        "first-fit → stub0"
+    );
 
     // Overload stub0 → GM migrates its VM toward stub1, which rejects
     // the hand-off. The VM is momentarily gone; snapshot recovery must
@@ -310,7 +405,10 @@ fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
     let total_guests = sim.component_as::<StubLc>(s0).unwrap().guests.len()
         + sim.component_as::<StubLc>(s1).unwrap().guests.len();
     assert_eq!(total_guests, 1, "VM recovered somewhere");
-    assert!(sim.component_as::<StubLc>(s1).unwrap().handoffs_seen >= 1, "hand-off was attempted");
+    assert!(
+        sim.component_as::<StubLc>(s1).unwrap().handoffs_seen >= 1,
+        "hand-off was attempted"
+    );
     let gm_ref = sim.component_as::<GroupManager>(gm).unwrap();
     assert!(gm_ref.stats.vms_rescheduled >= 1, "recovery path exercised");
 }

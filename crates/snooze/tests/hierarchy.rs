@@ -40,18 +40,22 @@ fn burst_schedule(n: u64, at: SimTime, utilization: f64) -> Vec<ScheduledVm> {
     (0..n)
         .map(|i| {
             let (spec, workload) = small_vm(i, utilization);
-            ScheduledVm { at, spec, workload, lifetime: None }
+            ScheduledVm {
+                at,
+                spec,
+                workload,
+                lifetime: None,
+            }
         })
         .collect()
 }
 
-fn add_client(
-    sim: &mut Engine,
-    system: &SnoozeSystem,
-    schedule: Vec<ScheduledVm>,
-) -> ComponentId {
+fn add_client(sim: &mut Engine, system: &SnoozeSystem, schedule: Vec<ScheduledVm>) -> ComponentId {
     let ep = system.eps[0];
-    sim.add_component("client", ClientDriver::new(ep, schedule, SimSpan::from_secs(10)))
+    sim.add_component(
+        "client",
+        ClientDriver::new(ep, schedule, SimSpan::from_secs(10)),
+    )
 }
 
 #[test]
@@ -79,7 +83,10 @@ fn hierarchy_converges_to_one_gl_with_joined_gms_and_lcs() {
 
     // EPs discovered the GL.
     for &ep in &system.eps {
-        assert_eq!(sim.component_as::<EntryPoint>(ep).unwrap().current_gl(), Some(gl));
+        assert_eq!(
+            sim.component_as::<EntryPoint>(ep).unwrap().current_gl(),
+            Some(gl)
+        );
     }
 }
 
@@ -91,7 +98,13 @@ fn burst_submission_places_every_vm() {
     sim.run_until(secs(120));
 
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 20, "rejected: {:?}, abandoned: {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        20,
+        "rejected: {:?}, abandoned: {:?}",
+        c.rejected,
+        c.abandoned
+    );
     assert_eq!(system.total_vms(&sim), 20);
     assert!(c.mean_latency_secs() > 0.0);
     // Every ack points at a real LC hosting that VM.
@@ -135,7 +148,13 @@ fn gl_failure_heals_and_new_submissions_succeed() {
     let client = add_client(&mut sim, &system, burst_schedule(5, secs(50), 0.5));
     sim.run_until(secs(150));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 5, "rejected: {:?} abandoned: {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        5,
+        "rejected: {:?} abandoned: {:?}",
+        c.rejected,
+        c.abandoned
+    );
 }
 
 #[test]
@@ -209,7 +228,10 @@ fn lc_failure_is_detected_and_vms_are_lost_without_snapshots() {
         .lcs
         .iter()
         .max_by_key(|&&lc| {
-            sim.component_as::<LocalController>(lc).unwrap().hypervisor().guest_count()
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .hypervisor()
+                .guest_count()
         })
         .unwrap();
     let lost = sim
@@ -220,7 +242,11 @@ fn lc_failure_is_detected_and_vms_are_lost_without_snapshots() {
     assert!(lost > 0);
     sim.schedule_crash(secs(61), victim);
     sim.run_until(secs(120));
-    assert_eq!(system.total_vms(&sim), 6 - lost, "no snapshot recovery configured");
+    assert_eq!(
+        system.total_vms(&sim),
+        6 - lost,
+        "no snapshot recovery configured"
+    );
     let _ = client;
 }
 
@@ -239,7 +265,10 @@ fn lc_failure_with_snapshots_reschedules_vms() {
         .lcs
         .iter()
         .max_by_key(|&&lc| {
-            sim.component_as::<LocalController>(lc).unwrap().hypervisor().guest_count()
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .hypervisor()
+                .guest_count()
         })
         .unwrap();
     sim.schedule_crash(secs(61), victim);
@@ -268,7 +297,13 @@ fn idle_nodes_suspend_and_submission_wakes_one() {
     let client = add_client(&mut sim, &system, burst_schedule(1, secs(65), 0.5));
     sim.run_until(secs(200));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 1, "rejected: {:?} abandoned: {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        1,
+        "rejected: {:?} abandoned: {:?}",
+        c.rejected,
+        c.abandoned
+    );
     let (on, _, _) = system.power_census(&sim);
     assert!(on >= 1, "at least the hosting node is awake");
 
@@ -276,7 +311,12 @@ fn idle_nodes_suspend_and_submission_wakes_one() {
     let total_suspensions: u64 = system
         .lcs
         .iter()
-        .map(|&lc| sim.component_as::<LocalController>(lc).unwrap().stats.suspensions)
+        .map(|&lc| {
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .stats
+                .suspensions
+        })
         .sum();
     assert!(total_suspensions >= 3);
 }
@@ -322,7 +362,12 @@ fn overload_triggers_relocation() {
             network: UsageShape::Constant(0.2),
             seed: id,
         };
-        ScheduledVm { at: secs(10), spec, workload, lifetime: None }
+        ScheduledVm {
+            at: secs(10),
+            spec,
+            workload,
+            lifetime: None,
+        }
     };
     // First-fit puts both on lc0 (4+4 = 8 cores reserved, 100% used ⇒
     // above the 0.9 overload threshold).
@@ -332,9 +377,17 @@ fn overload_triggers_relocation() {
     let migrations: u64 = system
         .lcs
         .iter()
-        .map(|&lc| sim.component_as::<LocalController>(lc).unwrap().stats.migrations_out)
+        .map(|&lc| {
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .stats
+                .migrations_out
+        })
         .sum();
-    assert!(migrations >= 1, "overload must trigger at least one migration");
+    assert!(
+        migrations >= 1,
+        "overload must trigger at least one migration"
+    );
     // Both VMs still exist somewhere.
     assert_eq!(system.total_vms(&sim), 2);
     let _ = client;
@@ -360,7 +413,12 @@ fn underload_drains_node_onto_moderate_ones() {
             network: UsageShape::Constant(util),
             seed: id,
         };
-        ScheduledVm { at: secs(10), spec, workload, lifetime: None }
+        ScheduledVm {
+            at: secs(10),
+            spec,
+            workload,
+            lifetime: None,
+        }
     };
     // Heavy pair lands on lc0 (util ≈ 0.45 mean — "moderate"), the light
     // VM on lc1 (util ≈ 0.1 — underloaded): lc1 must drain into lc0.
@@ -381,8 +439,7 @@ fn deterministic_replay_same_seed_same_outcome() {
         let client = add_client(&mut sim, &system, burst_schedule(10, secs(10), 0.5));
         sim.run_until(secs(120));
         let c = sim.component_as::<ClientDriver>(client).unwrap();
-        let placements: Vec<(VmId, ComponentId)> =
-            c.placed.iter().map(|p| (p.vm, p.lc)).collect();
+        let placements: Vec<(VmId, ComponentId)> = c.placed.iter().map(|p| (p.vm, p.lc)).collect();
         (placements, sim.events_executed())
     };
     assert_eq!(run(42), run(42));
@@ -405,7 +462,13 @@ fn ep_failure_is_tolerated_by_client_rotating_to_second_ep() {
     );
     sim.run_until(secs(150));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 4, "rejected {:?} abandoned {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        4,
+        "rejected {:?} abandoned {:?}",
+        c.rejected,
+        c.abandoned
+    );
     // The dead EP really did eat the first attempts.
     assert!(sim.metrics().counter("net.to_dead") > 0);
 }
@@ -419,9 +482,18 @@ fn submissions_before_convergence_eventually_succeed() {
     let client = add_client(&mut sim, &system, burst_schedule(3, SimTime::ZERO, 0.5));
     sim.run_until(secs(120));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 3, "rejected: {:?} abandoned: {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        3,
+        "rejected: {:?} abandoned: {:?}",
+        c.rejected,
+        c.abandoned
+    );
     let ep = sim.component_as::<EntryPoint>(system.eps[0]).unwrap();
-    assert!(ep.dropped > 0, "early submissions were dropped pre-convergence");
+    assert!(
+        ep.dropped > 0,
+        "early submissions were dropped pre-convergence"
+    );
 }
 
 #[test]
@@ -450,7 +522,11 @@ fn reconfiguration_consolidates_spread_vms() {
         .lcs
         .iter()
         .filter(|&&lc| {
-            sim.component_as::<LocalController>(lc).unwrap().hypervisor().guest_count() > 0
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .hypervisor()
+                .guest_count()
+                > 0
         })
         .count();
     assert_eq!(occupied, 1, "ACO reconfiguration packs onto one node");

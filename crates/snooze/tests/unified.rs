@@ -15,7 +15,10 @@ fn secs(s: u64) -> SimTime {
 
 fn deploy(seed: u64, n_nodes: usize, target_managers: usize) -> (Engine, UnifiedSystem) {
     let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let specs = NodeSpec::standard_cluster(n_nodes);
     let system = UnifiedSystem::deploy(&mut sim, &config, &specs, target_managers, 1);
     (sim, system)
@@ -46,7 +49,10 @@ fn framework_bootstraps_roles_without_an_administrator() {
     let (managers, lcs) = system.role_census(&sim);
     assert_eq!(managers, 3, "director reaches its target");
     assert_eq!(lcs, 5);
-    assert!(system.current_gl(&sim).is_some(), "a GL emerged among the promoted");
+    assert!(
+        system.current_gl(&sim).is_some(),
+        "a GL emerged among the promoted"
+    );
 }
 
 #[test]
@@ -59,7 +65,13 @@ fn unified_system_serves_vm_submissions() {
     );
     sim.run_until(secs(300));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 6, "rejected {:?} abandoned {:?}", c.rejected, c.abandoned);
+    assert_eq!(
+        c.placed.len(),
+        6,
+        "rejected {:?} abandoned {:?}",
+        c.rejected,
+        c.abandoned
+    );
     assert_eq!(system.total_vms(&sim), 6);
 }
 
@@ -96,7 +108,10 @@ fn dead_manager_is_replaced_from_the_lc_pool() {
         .filter_map(|&n| sim.component_as::<UnifiedNode>(n))
         .map(|u| u.role_changes)
         .sum();
-    assert!(replacement_changes >= 3, "someone new changed role: {replacement_changes}");
+    assert!(
+        replacement_changes >= 3,
+        "someone new changed role: {replacement_changes}"
+    );
 }
 
 #[test]
@@ -122,7 +137,13 @@ fn vm_hosting_nodes_refuse_promotion() {
         ClientDriver::new(system.eps[0], schedule(3, secs(70)), SimSpan::from_secs(10)),
     );
     sim.run_until(secs(150));
-    assert_eq!(sim.component_as::<ClientDriver>(client).unwrap().placed.len(), 3);
+    assert_eq!(
+        sim.component_as::<ClientDriver>(client)
+            .unwrap()
+            .placed
+            .len(),
+        3
+    );
 
     // Kill a manager: with every remaining LC busy, the director may be
     // stuck — but must never promote a VM-hosting node.
@@ -184,7 +205,11 @@ fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
     assert_eq!(managers, 3, "pool converged back to target");
     assert_eq!(lcs, 5);
     let restarted = sim.component_as::<UnifiedNode>(victim).unwrap();
-    assert_eq!(restarted.role(), NodeRole::LocalController, "reboots rejoin as LC");
+    assert_eq!(
+        restarted.role(),
+        NodeRole::LocalController,
+        "reboots rejoin as LC"
+    );
     assert!(system.current_gl(&sim).is_some());
 }
 

@@ -43,7 +43,10 @@ fn show(sim: &Engine, system: &UnifiedSystem, label: &str) {
 
 fn main() {
     let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::default()
+    };
     let specs = NodeSpec::standard_cluster(10);
     let system = UnifiedSystem::deploy(&mut sim, &config, &specs, 3, 1);
 
@@ -106,9 +109,15 @@ fn main() {
         .iter()
         .filter(|&&n| {
             sim.is_alive(n)
-                && sim.component_as::<UnifiedNode>(n).map(|u| u.role_changes > 0).unwrap_or(false)
+                && sim
+                    .component_as::<UnifiedNode>(n)
+                    .map(|u| u.role_changes > 0)
+                    .unwrap_or(false)
         })
         .map(|&n| sim.name_of(n))
         .collect();
-    println!("\nnodes the framework ever re-roled: {}", promoted.join(", "));
+    println!(
+        "\nnodes the framework ever re-roled: {}",
+        promoted.join(", ")
+    );
 }

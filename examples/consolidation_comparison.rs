@@ -44,7 +44,10 @@ fn main() {
         Box::new(WorstFit { key: SortKey::L2 }),
         Box::new(NextFit { key: SortKey::L2 }),
         Box::new(AcoConsolidator::new(AcoParams::default())),
-        Box::new(AcoConsolidator::new(AcoParams { parallel_ants: true, ..AcoParams::default() })),
+        Box::new(AcoConsolidator::new(AcoParams {
+            parallel_ants: true,
+            ..AcoParams::default()
+        })),
         Box::new(DistributedAco::new(DistributedParams::default())),
     ];
 
@@ -53,7 +56,11 @@ fn main() {
         match algo.consolidate(&instance) {
             Some(sol) => {
                 let elapsed = start.elapsed().as_secs_f64();
-                assert!(sol.is_feasible(&instance), "{} produced infeasible", algo.name());
+                assert!(
+                    sol.is_feasible(&instance),
+                    "{} produced infeasible",
+                    algo.name()
+                );
                 let wh = placement_energy_wh(
                     &instance,
                     &sol,
@@ -78,7 +85,10 @@ fn main() {
 
     if n <= 30 {
         let start = Instant::now();
-        let out = BranchAndBound { node_budget: 2_000_000 }.solve(&instance);
+        let out = BranchAndBound {
+            node_budget: 2_000_000,
+        }
+        .solve(&instance);
         let elapsed = start.elapsed().as_secs_f64();
         if let Some(sol) = out.solution {
             println!(
@@ -89,7 +99,11 @@ fn main() {
                 "-",
                 elapsed * 1e3,
                 out.nodes,
-                if out.optimal { ", proven optimal" } else { ", budget hit" }
+                if out.optimal {
+                    ", proven optimal"
+                } else {
+                    ", budget hit"
+                }
             );
         }
     } else {

@@ -92,7 +92,10 @@ fn main() {
 
     let baseline = run(
         "no power mgmt",
-        SnoozeConfig { idle_suspend_after: None, ..base.clone() },
+        SnoozeConfig {
+            idle_suspend_after: None,
+            ..base.clone()
+        },
         false,
     );
     let managed = run(
@@ -101,7 +104,10 @@ fn main() {
             idle_suspend_after: Some(SimSpan::from_secs(120)),
             reconfiguration: Some(ReconfigurationConfig {
                 period: SimSpan::from_secs(900),
-                aco: AcoParams { n_cycles: 15, ..AcoParams::default() },
+                aco: AcoParams {
+                    n_cycles: 15,
+                    ..AcoParams::default()
+                },
                 max_migrations: 12,
             }),
             ..base

@@ -19,7 +19,8 @@ fn status(sim: &Engine, system: &SnoozeSystem, label: &str) {
     println!(
         "  [{label}] t={:>4}s  GL={}  GMs={}  VMs={}  perf={:.2}",
         sim.now().as_micros() / 1_000_000,
-        gl.map(|g| sim.name_of(g).to_string()).unwrap_or_else(|| "—".into()),
+        gl.map(|g| sim.name_of(g).to_string())
+            .unwrap_or_else(|| "—".into()),
         gms.len(),
         system.total_vms(sim),
         system.mean_performance(sim, sim.now()),
@@ -27,7 +28,10 @@ fn status(sim: &Engine, system: &SnoozeSystem, label: &str) {
 }
 
 fn main() {
-    let mut sim = SimBuilder::new(7).network(NetworkConfig::lan()).trace_capacity(4096).build();
+    let mut sim = SimBuilder::new(7)
+        .network(NetworkConfig::lan())
+        .trace_capacity(4096)
+        .build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         reschedule_on_lc_failure: true, // §II-E snapshot recovery
@@ -49,7 +53,10 @@ fn main() {
             lifetime: None,
         })
         .collect();
-    sim.add_component("client", ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)));
+    sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
+    );
 
     println!("Phase 0: convergence and placement");
     sim.run_until(SimTime::from_secs(120));
@@ -76,13 +83,19 @@ fn main() {
         .lcs
         .iter()
         .max_by_key(|&&lc| {
-            sim.component_as::<LocalController>(lc).unwrap().hypervisor().guest_count()
+            sim.component_as::<LocalController>(lc)
+                .unwrap()
+                .hypervisor()
+                .guest_count()
         })
         .unwrap();
     println!(
         "  killing {} hosting {} VMs",
         sim.name_of(victim),
-        sim.component_as::<LocalController>(victim).unwrap().hypervisor().guest_count()
+        sim.component_as::<LocalController>(victim)
+            .unwrap()
+            .hypervisor()
+            .guest_count()
     );
     sim.schedule_crash(sim.now() + SimSpan::from_secs(1), victim);
     sim.run_until(sim.now() + SimSpan::from_secs(5));
@@ -92,7 +105,10 @@ fn main() {
 
     println!("\nTrace highlights:");
     for record in sim.trace().records() {
-        if matches!(record.category, "election" | "failure" | "restart" | "rejoin" | "crash") {
+        if matches!(
+            record.category,
+            "election" | "failure" | "restart" | "rejoin" | "crash"
+        ) {
             println!(
                 "  {:>9}  {:<10} {:<9} {}",
                 format!("{}", record.time),

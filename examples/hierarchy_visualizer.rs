@@ -30,7 +30,12 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
         let last_gm = gi + 1 == gms.len();
         let branch = if last_gm { "   └─" } else { "   ├─" };
         let g = sim.component_as::<GroupManager>(gm).unwrap();
-        println!("{branch} GM {} ({} LCs, {} VMs)", sim.name_of(gm), g.lc_count(), g.vm_count());
+        println!(
+            "{branch} GM {} ({} LCs, {} VMs)",
+            sim.name_of(gm),
+            g.lc_count(),
+            g.vm_count()
+        );
         let my_lcs: Vec<ComponentId> = system
             .lcs
             .iter()
@@ -46,14 +51,25 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
         for (li, &lc) in my_lcs.iter().enumerate() {
             let l = sim.component_as::<LocalController>(lc).unwrap();
             let cont = if last_gm { "      " } else { "   │  " };
-            let lc_branch = if li + 1 == my_lcs.len() { "└─" } else { "├─" };
-            let vms: Vec<String> =
-                l.hypervisor().guests().map(|g| format!("{:?}", g.spec.id)).collect();
+            let lc_branch = if li + 1 == my_lcs.len() {
+                "└─"
+            } else {
+                "├─"
+            };
+            let vms: Vec<String> = l
+                .hypervisor()
+                .guests()
+                .map(|g| format!("{:?}", g.spec.id))
+                .collect();
             println!(
                 "{cont}{lc_branch} LC {} [{:?}] {}",
                 sim.name_of(lc),
                 l.power_state(),
-                if vms.is_empty() { "(idle)".to_string() } else { vms.join(" ") }
+                if vms.is_empty() {
+                    "(idle)".to_string()
+                } else {
+                    vms.join(" ")
+                }
             );
         }
     }
@@ -62,7 +78,10 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
         .iter()
         .filter(|&&lc| {
             sim.is_alive(lc)
-                && sim.component_as::<LocalController>(lc).and_then(|l| l.assigned_gm()).is_none()
+                && sim
+                    .component_as::<LocalController>(lc)
+                    .and_then(|l| l.assigned_gm())
+                    .is_none()
         })
         .count();
     if orphans > 0 {
@@ -73,7 +92,10 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
 
 fn main() {
     let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::default() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::default()
+    };
     let nodes = NodeSpec::standard_cluster(6);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
 
@@ -92,7 +114,10 @@ fn main() {
             lifetime: None,
         })
         .collect();
-    sim.add_component("client", ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)));
+    sim.add_component(
+        "client",
+        ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
+    );
 
     println!("== after convergence ==");
     sim.run_until(SimTime::from_secs(15));

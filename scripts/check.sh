@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, the clippy deny-set, the determinism
+# lint, and every test (including the feature-gated runtime invariant
+# suite). CI and pre-commit both just run this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "cargo fmt --check"
+cargo fmt --all -- --check
+
+say "cargo clippy (workspace deny-set)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+say "snooze-audit lint"
+cargo run --offline -q -p snooze-audit -- lint
+
+say "cargo test (default features)"
+cargo test --offline --workspace -q
+
+say "cargo test -p snooze-audit --features audit (runtime invariants)"
+cargo test --offline -p snooze-audit --features audit -q
+
+say "snooze-audit determinism"
+cargo run --offline -q -p snooze-audit -- determinism
+
+say "all checks passed"

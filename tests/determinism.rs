@@ -15,7 +15,9 @@ use snooze_simcore::prelude::*;
 use snooze_simcore::rng::SimRng;
 
 fn full_system_fingerprint(seed: u64) -> (u64, Vec<(VmId, ComponentId)>, String) {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lossy_lan(0.02)).build();
+    let mut sim = SimBuilder::new(seed)
+        .network(NetworkConfig::lossy_lan(0.02))
+        .build();
     let config = SnoozeConfig::fast_test();
     let nodes = NodeSpec::standard_cluster(8);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
@@ -59,7 +61,10 @@ fn full_system_replays_identically() {
 fn full_system_differs_across_seeds() {
     let a = full_system_fingerprint(77);
     let b = full_system_fingerprint(78);
-    assert_ne!(a.0, b.0, "different seeds should explore different histories");
+    assert_ne!(
+        a.0, b.0,
+        "different seeds should explore different histories"
+    );
 }
 
 #[test]
@@ -70,11 +75,20 @@ fn all_consolidators_are_deterministic() {
     let aco = AcoConsolidator::new(AcoParams::fast());
     assert_eq!(aco.run(&inst).solution, aco.run(&inst).solution);
 
-    let par = AcoConsolidator::new(AcoParams { parallel_ants: true, ..AcoParams::fast() });
-    assert_eq!(par.run(&inst).solution, aco.run(&inst).solution, "parallel == sequential");
+    let par = AcoConsolidator::new(AcoParams {
+        parallel_ants: true,
+        ..AcoParams::fast()
+    });
+    assert_eq!(
+        par.run(&inst).solution,
+        aco.run(&inst).solution,
+        "parallel == sequential"
+    );
 
-    let daco =
-        DistributedAco::new(DistributedParams { aco: AcoParams::fast(), ..Default::default() });
+    let daco = DistributedAco::new(DistributedParams {
+        aco: AcoParams::fast(),
+        ..Default::default()
+    });
     assert_eq!(daco.run(&inst), daco.run(&inst));
 
     let exact = BranchAndBound::default();
@@ -91,7 +105,10 @@ fn workload_generation_is_seed_stable() {
         assert_eq!(x.0, y.0);
         // Sampling the workloads at arbitrary times must agree too.
         let t = SimTime::from_secs(12_345);
-        assert_eq!(x.1.usage_at(t, &x.0.requested), y.1.usage_at(t, &y.0.requested));
+        assert_eq!(
+            x.1.usage_at(t, &x.0.requested),
+            y.1.usage_at(t, &y.0.requested)
+        );
     }
 }
 
@@ -108,7 +125,11 @@ fn snooze_bench_fingerprint() -> String {
     let gen = InstanceGenerator::grid11();
     let inst = gen.generate(15, &mut SimRng::new(3));
     let aco = AcoConsolidator::new(AcoParams::fast()).consolidate_fingerprint(&inst);
-    let opt = BranchAndBound::default().solve(&inst).solution.unwrap().bins_used();
+    let opt = BranchAndBound::default()
+        .solve(&inst)
+        .solution
+        .unwrap()
+        .bins_used();
     format!("{aco}/{opt}")
 }
 

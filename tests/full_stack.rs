@@ -41,7 +41,10 @@ fn schedule(n: u64, at: SimTime, util: f64) -> Vec<ScheduledVm> {
 #[test]
 fn partitioned_gl_causes_no_lasting_split_brain() {
     let mut sim = SimBuilder::new(51).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let nodes = NodeSpec::standard_cluster(6);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
     sim.run_until(secs(10));
@@ -56,7 +59,9 @@ fn partitioned_gl_causes_no_lasting_split_brain() {
         .iter()
         .copied()
         .filter(|&gm| {
-            sim.component_as::<GroupManager>(gm).map(|g| g.is_gl()).unwrap_or(false)
+            sim.component_as::<GroupManager>(gm)
+                .map(|g| g.is_gl())
+                .unwrap_or(false)
         })
         .collect();
     assert_eq!(leaders.len(), 2, "during the partition, both sides believe");
@@ -64,15 +69,23 @@ fn partitioned_gl_causes_no_lasting_split_brain() {
     // Heal. SessionExpired must depose the old GL.
     sim.network_mut().reconnect(old_gl);
     sim.run_until(secs(90));
-    let gl = system.current_gl(&sim).expect("exactly one GL after healing");
+    let gl = system
+        .current_gl(&sim)
+        .expect("exactly one GL after healing");
     assert_ne!(gl, old_gl, "deposed leader must not return to power");
     let old = sim.component_as::<GroupManager>(old_gl).unwrap();
-    assert!(matches!(old.mode(), Mode::Gm(g) if g == gl), "old GL now follows: {:?}", old.mode());
+    assert!(
+        matches!(old.mode(), Mode::Gm(g) if g == gl),
+        "old GL now follows: {:?}",
+        old.mode()
+    );
 }
 
 #[test]
 fn survives_a_random_failure_storm_with_invariants_intact() {
-    let mut sim = SimBuilder::new(52).network(NetworkConfig::lossy_lan(0.01)).build();
+    let mut sim = SimBuilder::new(52)
+        .network(NetworkConfig::lossy_lan(0.01))
+        .build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         reschedule_on_lc_failure: true,
@@ -82,7 +95,11 @@ fn survives_a_random_failure_storm_with_invariants_intact() {
     let system = SnoozeSystem::deploy(&mut sim, &config, 4, &nodes, 1);
     let client = sim.add_component(
         "client",
-        ClientDriver::new(system.eps[0], schedule(12, secs(10), 0.5), SimSpan::from_secs(10)),
+        ClientDriver::new(
+            system.eps[0],
+            schedule(12, secs(10), 0.5),
+            SimSpan::from_secs(10),
+        ),
     );
 
     // Random crash/repair cycles on managers and half the LCs.
@@ -144,7 +161,11 @@ fn consolidation_in_the_loop_reduces_powered_nodes() {
         let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
         sim.add_component(
             "client",
-            ClientDriver::new(system.eps[0], schedule(8, secs(10), 0.5), SimSpan::from_secs(10)),
+            ClientDriver::new(
+                system.eps[0],
+                schedule(8, secs(10), 0.5),
+                SimSpan::from_secs(10),
+            ),
         );
         let horizon = secs(600);
         sim.run_until(horizon);
@@ -160,23 +181,43 @@ fn consolidation_in_the_loop_reduces_powered_nodes() {
     );
     assert!(wh_with < wh_without, "fewer powered nodes ⇒ less energy");
     // 8 VMs × 2 cores pack into 2 hosts of 8 cores.
-    assert!(on_with <= 3, "packed cluster should run ≤3 nodes, got {on_with}");
+    assert!(
+        on_with <= 3,
+        "packed cluster should run ≤3 nodes, got {on_with}"
+    );
 }
 
 #[test]
 fn lossy_network_delays_but_does_not_break_placement() {
-    let mut sim = SimBuilder::new(54).network(NetworkConfig::lossy_lan(0.05)).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let mut sim = SimBuilder::new(54)
+        .network(NetworkConfig::lossy_lan(0.05))
+        .build();
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let nodes = NodeSpec::standard_cluster(6);
     let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
     let client = sim.add_component(
         "client",
-        ClientDriver::new(system.eps[0], schedule(10, secs(10), 0.5), SimSpan::from_secs(10)),
+        ClientDriver::new(
+            system.eps[0],
+            schedule(10, secs(10), 0.5),
+            SimSpan::from_secs(10),
+        ),
     );
     sim.run_until(secs(600));
     let c = sim.component_as::<ClientDriver>(client).unwrap();
-    assert_eq!(c.placed.len(), 10, "retries overcome 5% loss: {:?}", c.abandoned);
-    assert!(sim.metrics().counter("net.dropped") > 0, "loss actually happened");
+    assert_eq!(
+        c.placed.len(),
+        10,
+        "retries overcome 5% loss: {:?}",
+        c.abandoned
+    );
+    assert!(
+        sim.metrics().counter("net.dropped") > 0,
+        "loss actually happened"
+    );
 }
 
 #[test]
@@ -185,7 +226,10 @@ fn energy_accounting_matches_power_model_bounds() {
     // model: a fully idle, never-suspended cluster burns exactly
     // idle-watts × nodes × time (modulo float).
     let mut sim = SimBuilder::new(55).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig { idle_suspend_after: None, ..SnoozeConfig::fast_test() };
+    let config = SnoozeConfig {
+        idle_suspend_after: None,
+        ..SnoozeConfig::fast_test()
+    };
     let nodes = NodeSpec::standard_cluster(4);
     let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
     let horizon = secs(3600);

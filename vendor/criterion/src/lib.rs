@@ -1,0 +1,284 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API slice the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros) with a simple best-of-N wall-clock sampler printed as text.
+//! This is a measurement harness, not a statistics package: numbers are
+//! indicative only. It exists so `cargo bench` compiles and runs without
+//! network access to crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; used to derive an elements/sec figure.
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, keeping the best and mean wall-clock sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            if dt < self.best {
+                self.best = dt;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    group: &str,
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        best: Duration::MAX,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if b.iters == 0 {
+        println!("bench {name:<50} (no samples)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    let mut line = format!(
+        "bench {name:<50} best {:>12}  mean {:>12}",
+        fmt_duration(b.best),
+        fmt_duration(mean)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let secs = b.best.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("  {:>12.0} elem/s", n as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into_some();
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the stand-in just clamps to >= 1 and
+        // caps the cost so offline runs stay quick.
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchLabel>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into().0;
+        run_one(
+            &self.name,
+            &label,
+            self.effective_samples(),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.label,
+            self.effective_samples(),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.min(self.criterion.max_samples)
+    }
+}
+
+trait IntoSome {
+    fn into_some(self) -> Option<Throughput>;
+}
+
+impl IntoSome for Throughput {
+    fn into_some(self) -> Option<Throughput> {
+        Some(self)
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s for `bench_function`.
+pub struct BenchLabel(String);
+
+impl From<&str> for BenchLabel {
+    fn from(s: &str) -> Self {
+        BenchLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchLabel {
+    fn from(s: String) -> Self {
+        BenchLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchLabel(id.label)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline bench runs brief: 5 timed samples per benchmark.
+        Criterion { max_samples: 5 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 5,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchLabel>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into().0;
+        let samples = self.max_samples;
+        run_one("", &label, samples, None, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 3, "closure must run at least the sampled count");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("ffd", 32).label, "ffd/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace uses:
+//!
+//! - the [`Strategy`] trait with `prop_map`, ranges, tuples, [`Just`],
+//!   unions ([`prop_oneof!`]) and [`collection::vec`];
+//! - [`arbitrary::any`] for primitive types;
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   and [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream, on purpose:
+//!
+//! - **Deterministic by default.** Case seeds derive from the test name
+//!   and case index (FNV-1a + splitmix64), so every run explores the same
+//!   inputs — a regression either fails always or never, which suits a
+//!   repository whose whole premise is replayability.
+//! - **No shrinking.** On failure the *exact* generated inputs are
+//!   printed; with determinism, rerunning reproduces them precisely.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — everything the test modules expect.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` resolves, as in upstream.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &config,
+                |__proptest_rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError>
+                {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    let __proptest_inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let mut __proptest_case =
+                        move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        };
+                    __proptest_case().map_err(|e| e.with_inputs(&__proptest_inputs))
+                },
+            );
+        }
+        $crate::__proptest_body!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, ::std::format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "both sides equal {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "both sides equal {:?}: {}", l, ::std::format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                &::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in prop::collection::vec((0u32..10, 0.0f64..1.0), 1..8),
+            tag in prop_oneof![Just(0u8), Just(1u8), 2u8..5],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (n, f) in &v {
+                prop_assert!(*n < 10);
+                prop_assert!((0.0..1.0).contains(f));
+            }
+            prop_assert!(tag < 5u8);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let collect = || {
+            let mut vals = Vec::new();
+            let cfg = ProptestConfig::with_cases(10);
+            crate::test_runner::run_cases("determinism_probe", &cfg, |rng| {
+                vals.push(Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failures_report_inputs() {
+        let cfg = ProptestConfig::with_cases(5);
+        crate::test_runner::run_cases("always_fails", &cfg, |rng| {
+            let x = Strategy::generate(&(0u64..10), rng);
+            let _ = x;
+            Err(TestCaseError::fail("boom".to_string()).with_inputs("x = ?"))
+        });
+    }
+}

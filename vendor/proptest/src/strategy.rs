@@ -1,0 +1,276 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG state to a value. Unlike
+//! upstream proptest there is no intermediate `ValueTree` (no shrinking):
+//! `generate` returns the value directly.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of an associated type from a deterministic RNG.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; panics if none is found in a
+    /// bounded number of draws (mirrors upstream's global reject limit).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 draws: {}", self.whence);
+    }
+}
+
+/// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty => $below:ident),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.$below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u64;
+                let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(
+    u8 => below, u16 => below, u32 => below, u64 => below, usize => below,
+    i8 => below, i16 => below, i32 => below, i64 => below, isize => below
+);
+
+/// Largest representable value strictly below `x` (sign-aware).
+fn next_below(x: f64) -> f64 {
+    if !x.is_finite() {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        f64::from_bits(bits - 1)
+    } else {
+        f64::from_bits(bits + 1)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let u = rng.unit_f64();
+        let v = self.start + (self.end - self.start) * u;
+        v.clamp(self.start, next_below(self.end))
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 strategy range");
+        let u = rng.unit_f64() as f32;
+        let v = self.start + (self.end - self.start) * u;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::from_seed(1);
+        assert_eq!(Just(41u8).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::from_seed(2);
+        let s = (0u32..10).prop_map(|x| x * 3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 3, 0);
+            assert!(v < 30);
+        }
+    }
+
+    #[test]
+    fn union_uses_all_arms() {
+        let mut rng = TestRng::from_seed(3);
+        let s = Union::new(vec![
+            Box::new(Just(1u8)) as BoxedStrategy<u8>,
+            Box::new(Just(2u8)),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_values() {
+        let mut rng = TestRng::from_seed(4);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = (-10i32..10).generate(&mut rng);
+            assert!((-10..10).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let mut rng = TestRng::from_seed(5);
+        let s = (0u64..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Case execution: deterministic per-case RNG, config, and the
+//! pass/reject/fail protocol used by the `proptest!` macro.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    pub fn reject(msg: &str) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+
+    /// Attach the formatted generated inputs to a failure message.
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\n\tminimal failing input: {inputs}"))
+            }
+            reject => reject,
+        }
+    }
+}
+
+/// Deterministic RNG driving strategy generation (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `case` until `config.cases` successes, panicking on the first
+/// failure with the generated inputs embedded in the message.
+pub fn run_cases<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case_index: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::from_seed(base ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {} (base seed {base:#x}):\n\t{msg}",
+                    case_index - 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut rng = TestRng::from_seed(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn run_cases_counts_only_passes() {
+        let mut calls = 0;
+        let cfg = Config::with_cases(10);
+        run_cases("counts", &cfg, |rng| {
+            calls += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 10, "rejected cases must not count as passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume!")]
+    fn reject_storm_panics() {
+        let cfg = Config {
+            cases: 1,
+            max_global_rejects: 8,
+        };
+        run_cases("storm", &cfg, |_| Err(TestCaseError::reject("never")));
+    }
+}

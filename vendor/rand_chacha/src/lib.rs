@@ -1,0 +1,165 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements an actual ChaCha block function (8 double-rounds, hence
+//! ChaCha8) over a 256-bit key with a 64-bit block counter, exposing the
+//! subset of [`ChaCha8Rng`]'s API this workspace uses: `from_seed`,
+//! `seed_from_u64` (via `SeedableRng`), `get_seed`, and the `RngCore`
+//! word stream. Statistical quality therefore matches the real cipher;
+//! only the *word extraction order* may differ from upstream
+//! `rand_chacha`, which nothing here depends on.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// ChaCha8-based deterministic generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    seed: [u8; 32],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill before use".
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// The seed this generator was created from (parity with upstream;
+    /// the simulator's stream-forking uses it).
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants, as in every ChaCha variant.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in self.seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] = 0 nonce: one stream per key, as this workspace
+        // derives fresh keys instead of nonces.
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buf[i] = state[i].wrapping_add(initial[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaCha8Rng {
+            seed,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&w[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let collisions = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(collisions < 2);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        a.next_u64();
+        a.next_u32(); // odd word offset: clone mid-block
+        let mut b = a.clone();
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn get_seed_roundtrips() {
+        let seed = [9u8; 32];
+        let rng = ChaCha8Rng::from_seed(seed);
+        assert_eq!(rng.get_seed(), seed);
+    }
+
+    #[test]
+    fn word_stream_is_balanced() {
+        // Sanity: the keystream should have ~50% ones.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 1024 * 64;
+        let ratio = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&ratio), "bit bias: {ratio}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! the tiny slice of rayon's API the workspace consumes — `into_par_iter`,
+//! `map`, `filter`, `collect`, `sum`, and `ThreadPoolBuilder::install` —
+//! with **sequential** execution in source order. That choice is
+//! deliberate beyond mere simplicity: the simulator's contract is that
+//! parallel ant construction must equal sequential construction
+//! (`tests/determinism.rs` asserts it), and a sequential executor makes
+//! the equality structural. Wall-clock speedup numbers from
+//! `crates/bench` are meaningless under this stand-in; correctness
+//! results are unaffected because every consumer already derives
+//! per-work-item RNG streams.
+
+/// Mirrors `rayon::prelude` for `use rayon::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// A "parallel" iterator: a thin wrapper over a standard iterator.
+pub struct SeqBridge<I> {
+    inner: I,
+}
+
+/// Conversion into a [`ParallelIterator`]; blanket-implemented for
+/// everything that is `IntoIterator` (ranges, vectors, slices of owned
+/// items, ...). Upstream rayon additionally requires `Send` bounds; the
+/// sequential stand-in does not need them.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = SeqBridge<C::IntoIter>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqBridge {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// The combinators the workspace uses, executed eagerly in order.
+pub trait ParallelIterator: Sized {
+    type Item;
+    type Inner: Iterator<Item = Self::Item>;
+
+    fn into_seq(self) -> Self::Inner;
+
+    fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> SeqBridge<std::iter::Map<Self::Inner, F>> {
+        SeqBridge {
+            inner: self.into_seq().map(f),
+        }
+    }
+
+    fn filter<F: FnMut(&Self::Item) -> bool>(
+        self,
+        f: F,
+    ) -> SeqBridge<std::iter::Filter<Self::Inner, F>> {
+        SeqBridge {
+            inner: self.into_seq().filter(f),
+        }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_seq().sum()
+    }
+
+    fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+        self.into_seq().for_each(f)
+    }
+
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+}
+
+impl<I: Iterator> ParallelIterator for SeqBridge<I> {
+    type Item = I::Item;
+    type Inner = I;
+    fn into_seq(self) -> I {
+        self.inner
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A pool that runs closures inline on the calling thread.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "in the pool" — inline, on the caller's thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+
+    /// The configured (not actual) degree of parallelism.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// Inline replacement for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_sum_count() {
+        let s: i32 = (1..=10).into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(s, 30);
+        assert_eq!((0..5).into_par_iter().count(), 5);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}
