@@ -40,6 +40,7 @@ pub const SIM_PATH: &[&str] = &[
     "crates/cluster/src",
     "crates/snooze/src",
     "crates/consolidation/src",
+    "crates/telemetry/src",
 ];
 
 /// One source line, split into its code and comment parts (string

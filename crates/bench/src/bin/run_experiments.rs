@@ -1,13 +1,18 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! run_experiments [--csv <dir>] [e1|e2|...|e10|all]...
+//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|all]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. Each experiment prints
 //! the table documented in DESIGN.md's per-experiment index (and, with
-//! `--csv`, writes a machine-readable copy); EXPERIMENTS.md records
-//! paper-vs-measured.
+//! `--csv` / `--json`, writes machine-readable copies); EXPERIMENTS.md
+//! records paper-vs-measured.
+//!
+//! `--json <dir>` writes one `<slug>.json` per table (`e1.json`,
+//! `e7b.json`, …) with the schema documented on
+//! [`Table::to_json`]: `{"title", "columns", "rows": [{column: cell}]}`,
+//! cells verbatim as printed.
 
 use snooze_bench::table::Table;
 use snooze_bench::*;
@@ -22,10 +27,21 @@ fn main() {
         args.drain(i..=(i + 1).min(args.len() - 1));
         std::path::PathBuf::from(dir)
     });
+    let json_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--json").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "experiment_json".into());
+        args.drain(i..=(i + 1).min(args.len() - 1));
+        std::path::PathBuf::from(dir)
+    });
     let emit = |table: &Table, slug: &str| {
         table.print();
         if let Some(dir) = &csv_dir {
             table.write_csv(dir, slug).expect("write csv");
+        }
+        if let Some(dir) = &json_dir {
+            table.write_json(dir, slug).expect("write json");
         }
     };
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");

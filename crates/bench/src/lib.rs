@@ -22,6 +22,7 @@ pub mod e6_fault_tolerance;
 pub mod e7_energy_savings;
 pub mod e8_ablations;
 pub mod e9_failover_sensitivity;
+pub mod report;
 pub mod simrun;
 pub mod table;
 

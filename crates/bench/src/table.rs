@@ -101,6 +101,48 @@ impl Table {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
     }
+
+    /// Render as machine-readable JSON.
+    ///
+    /// Schema: `{"title": string, "columns": [string, ...],
+    /// "rows": [{"<column>": string, ...}, ...]}` — every cell is kept as
+    /// the exact string that the text renderer prints (units and rounding
+    /// included), so a JSON consumer sees precisely the published table.
+    /// Duplicate column names keep the last value (none of the E1–E10
+    /// tables have duplicates).
+    pub fn to_json(&self) -> String {
+        let q = |s: &str| format!("\"{}\"", snooze_telemetry::json::escape(s));
+        let mut out = String::from("{\n  \"title\": ");
+        out.push_str(&q(&self.title));
+        out.push_str(",\n  \"columns\": [");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&q(h));
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(if r > 0 { ",\n    {" } else { "\n    {" });
+            for (i, (h, cell)) in self.header.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&q(h));
+                out.push_str(": ");
+                out.push_str(&q(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON rendering to `<dir>/<slug>.json`.
+    pub fn write_json(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.json")), self.to_json())
+    }
 }
 
 /// Format a float with 2 decimals.
@@ -148,6 +190,27 @@ mod tests {
         t.row(vec!["1,5".into(), "say \"hi\"".into()]);
         let csv = t.to_csv();
         assert_eq!(csv, "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn json_matches_documented_schema() {
+        let mut t = Table::new("E0 demo", &["n", "note"]);
+        t.row(vec!["1".into(), "plain".into()]);
+        t.row(vec!["2".into(), "with \"quotes\"".into()]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"title\": \"E0 demo\",\n  \"columns\": [\"n\", \"note\"],\n  \"rows\": [\n    {\"n\": \"1\", \"note\": \"plain\"},\n    {\"n\": \"2\", \"note\": \"with \\\"quotes\\\"\"}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_table_still_renders_valid_json() {
+        let t = Table::new("empty", &["a"]);
+        assert_eq!(
+            t.to_json(),
+            "{\n  \"title\": \"empty\",\n  \"columns\": [\"a\"],\n  \"rows\": [\n  ]\n}\n"
+        );
     }
 
     #[test]

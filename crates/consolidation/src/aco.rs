@@ -132,10 +132,11 @@ impl PheromoneMatrix {
         self.tau[item * self.n_bins + bin]
     }
 
-    fn evaporate(&mut self, rho: f64, tau_min: f64) {
+    fn evaporate(&mut self, rho: f64, tau_min: f64) -> u64 {
         for t in &mut self.tau {
             *t = ((1.0 - rho) * *t).max(tau_min);
         }
+        self.tau.len() as u64
     }
 
     fn deposit(&mut self, item: usize, bin: usize, amount: f64, tau_max: f64) {
@@ -152,6 +153,34 @@ impl PheromoneMatrix {
     }
 }
 
+/// Per-phase profile of a colony run: deterministic work counters plus
+/// advisory wall-clock timings.
+///
+/// The work counters (`*_steps`, `*_comparisons`, `*_updates`) are exact
+/// functions of the instance and parameters — two same-seed runs produce
+/// identical values, so they are safe to print in reproducible reports.
+/// The `*_nanos` fields read the host clock and are **advisory only**:
+/// they vary run to run and must never be folded into digests or
+/// byte-identical exports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AcoPhaseProfile {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Construction-phase inner-loop steps (placement draws plus bin
+    /// advances, summed over every ant in every cycle).
+    pub construction_steps: u64,
+    /// Candidate solutions scored against the global best.
+    pub evaluation_comparisons: u64,
+    /// Pheromone entries touched by evaporation and deposits.
+    pub evaporation_updates: u64,
+    /// Wall-clock nanoseconds in construction (advisory).
+    pub construction_nanos: u64,
+    /// Wall-clock nanoseconds in evaluation (advisory).
+    pub evaluation_nanos: u64,
+    /// Wall-clock nanoseconds in evaporation + reinforcement (advisory).
+    pub evaporation_nanos: u64,
+}
+
 /// Result of a full colony run, including per-cycle convergence data for
 /// the convergence figure (experiment E8).
 #[derive(Clone, Debug)]
@@ -162,6 +191,8 @@ pub struct AcoRun {
     pub best_bins_per_cycle: Vec<usize>,
     /// Total ants that failed to construct a feasible solution.
     pub failed_ants: usize,
+    /// Phase-by-phase profile of the run.
+    pub profile: AcoPhaseProfile,
 }
 
 /// The ACO consolidator.
@@ -186,6 +217,7 @@ impl AcoConsolidator {
                 solution: Some(Solution { assignment: vec![] }),
                 best_bins_per_cycle: vec![],
                 failed_ants: 0,
+                profile: AcoPhaseProfile::default(),
             };
         }
         let mut pheromone = PheromoneMatrix::new(n_items, instance.n_bins(), p.tau0);
@@ -193,22 +225,33 @@ impl AcoConsolidator {
         let mut global_best: Option<(Solution, usize, f64)> = None; // (sol, bins, util)
         let mut best_per_cycle = Vec::with_capacity(p.n_cycles);
         let mut failed = 0usize;
+        let mut profile = AcoPhaseProfile {
+            cycles: p.n_cycles as u64,
+            ..AcoPhaseProfile::default()
+        };
 
         for cycle in 0..p.n_cycles {
-            let construct = |ant: usize| -> Option<Solution> {
+            let t_construct = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
+            let construct = |ant: usize| -> (Option<Solution>, u64) {
                 let mut rng = master.fork((cycle * p.n_ants + ant) as u64 + 1);
                 construct_solution(instance, &pheromone, &p, &mut rng)
             };
-            let candidates: Vec<Option<Solution>> = if p.parallel_ants {
+            let candidates: Vec<(Option<Solution>, u64)> = if p.parallel_ants {
                 (0..p.n_ants).into_par_iter().map(construct).collect()
             } else {
                 (0..p.n_ants).map(construct).collect()
             };
+            profile.construction_nanos += t_construct.elapsed().as_nanos() as u64;
+            // Fixed reduction order keeps the counter deterministic even
+            // with parallel ants.
+            profile.construction_steps += candidates.iter().map(|(_, steps)| steps).sum::<u64>();
 
+            let t_evaluate = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
             let mut cycle_solutions: Vec<Solution> = Vec::new();
-            for sol in candidates {
+            for (sol, _) in candidates {
                 match sol {
                     Some(sol) => {
+                        profile.evaluation_comparisons += 1;
                         let bins = sol.bins_used();
                         let util = sol.avg_used_bin_utilization(instance);
                         let better = match &global_best {
@@ -223,9 +266,11 @@ impl AcoConsolidator {
                     None => failed += 1,
                 }
             }
+            profile.evaluation_nanos += t_evaluate.elapsed().as_nanos() as u64;
 
             // Evaporation, then reinforcement per the configured rule.
-            pheromone.evaporate(p.rho, p.tau_min);
+            let t_evaporate = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
+            profile.evaporation_updates += pheromone.evaporate(p.rho, p.tau_min);
             match p.update_rule {
                 UpdateRule::GlobalBest => {
                     // Max–Min ant system: only the best deposits, with
@@ -235,6 +280,7 @@ impl AcoConsolidator {
                         for (item, &bin) in sol.assignment.iter().enumerate() {
                             pheromone.deposit(item, bin, amount, p.tau0 * 10.0);
                         }
+                        profile.evaporation_updates += sol.assignment.len() as u64;
                     }
                 }
                 UpdateRule::AllAnts => {
@@ -245,9 +291,11 @@ impl AcoConsolidator {
                         for (item, &bin) in sol.assignment.iter().enumerate() {
                             pheromone.deposit(item, bin, amount, p.tau0 * 10.0);
                         }
+                        profile.evaporation_updates += sol.assignment.len() as u64;
                     }
                 }
             }
+            profile.evaporation_nanos += t_evaporate.elapsed().as_nanos() as u64;
             best_per_cycle.push(
                 global_best
                     .as_ref()
@@ -284,6 +332,7 @@ impl AcoConsolidator {
             solution,
             best_bins_per_cycle: best_per_cycle,
             failed_ants: failed,
+            profile,
         }
     }
 }
@@ -360,18 +409,24 @@ pub fn bin_emptying_local_search(instance: &Instance, solution: &mut Solution) {
     }
 }
 
-/// One ant's solution construction.
+/// One ant's solution construction. Returns the solution (if feasible)
+/// and the number of inner-loop steps taken — the deterministic work
+/// counter behind [`AcoPhaseProfile::construction_steps`].
 fn construct_solution(
     instance: &Instance,
     pheromone: &PheromoneMatrix,
     p: &AcoParams,
     rng: &mut SimRng,
-) -> Option<Solution> {
+) -> (Option<Solution>, u64) {
+    let mut steps = 0u64;
     let n_items = instance.n_items();
     let mut unassigned: Vec<usize> = (0..n_items).collect();
     let mut assignment = vec![usize::MAX; n_items];
     let mut bin = 0usize;
-    let mut residual = *instance.bins.first()?;
+    let Some(&first_bin) = instance.bins.first() else {
+        return (None, steps);
+    };
+    let mut residual = first_bin;
 
     // Scratch buffers reused across iterations (allocation-conscious: the
     // inner loop runs n_items times per ant).
@@ -389,11 +444,12 @@ fn construct_solution(
                 weights.push(tau.powf(p.alpha) * eta.powf(p.beta));
             }
         }
+        steps += 1;
         if candidates.is_empty() {
             // Current bin is as full as this ant can make it — move on.
             bin += 1;
             if bin >= instance.n_bins() {
-                return None; // out of hosts
+                return (None, steps); // out of hosts
             }
             residual = instance.bins[bin];
             continue;
@@ -404,7 +460,7 @@ fn construct_solution(
         assignment[item] = bin;
         residual = residual.saturating_sub(&instance.items[item]);
     }
-    Some(Solution { assignment })
+    (Some(Solution { assignment }), steps)
 }
 
 /// Heuristic desirability η of packing `item` into a bin with `residual`
@@ -471,6 +527,31 @@ mod tests {
         let b = AcoConsolidator::new(AcoParams::fast()).run(&inst);
         assert_eq!(a.solution, b.solution);
         assert_eq!(a.best_bins_per_cycle, b.best_bins_per_cycle);
+    }
+
+    /// The profile's *work counters* are part of the deterministic
+    /// surface (its nanos are advisory and excluded on purpose).
+    #[test]
+    fn phase_work_counters_are_deterministic_and_nonzero() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(30, &mut SimRng::new(3));
+        let a = AcoConsolidator::new(AcoParams::fast()).run(&inst).profile;
+        let b = AcoConsolidator::new(AcoParams::fast()).run(&inst).profile;
+        assert_eq!(a.construction_steps, b.construction_steps);
+        assert_eq!(a.evaluation_comparisons, b.evaluation_comparisons);
+        assert_eq!(a.evaporation_updates, b.evaporation_updates);
+        assert_eq!(a.cycles, AcoParams::fast().n_cycles as u64);
+        assert!(a.construction_steps > 0);
+        assert!(a.evaluation_comparisons > 0);
+        assert!(a.evaporation_updates > 0);
+        // Parallel ants reduce in fixed order: same counters.
+        let par = AcoConsolidator::new(AcoParams {
+            parallel_ants: true,
+            ..AcoParams::fast()
+        })
+        .run(&inst)
+        .profile;
+        assert_eq!(a.construction_steps, par.construction_steps);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod exact;
 pub mod ffd;
 pub mod problem;
 
-pub use aco::{bin_emptying_local_search, AcoConsolidator, AcoParams, UpdateRule};
+pub use aco::{
+    bin_emptying_local_search, AcoConsolidator, AcoParams, AcoPhaseProfile, AcoRun, UpdateRule,
+};
 pub use distributed::{DistributedAco, DistributedParams};
 pub use energy::{placement_energy_wh, EnergyParams};
 pub use exact::{BranchAndBound, ExactOutcome};

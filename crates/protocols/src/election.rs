@@ -59,6 +59,8 @@ pub struct Elector {
     epoch: u64,
     my_path: Option<ZnodePath>,
     state: ElectorState,
+    /// Open `election.campaign` span: creation → first leader knowledge.
+    campaign_span: Option<SpanId>,
 }
 
 impl Elector {
@@ -71,6 +73,7 @@ impl Elector {
             epoch: 0,
             my_path: None,
             state: ElectorState::Idle,
+            campaign_span: None,
         }
     }
 
@@ -99,6 +102,14 @@ impl Elector {
         self.epoch += 1;
         self.my_path = None;
         self.state = ElectorState::Campaigning;
+        if let Some(sp) = self.campaign_span.take() {
+            // Recampaign before the previous one resolved.
+            ctx.span_label(sp, "outcome", "restarted");
+            ctx.span_close(sp);
+        }
+        let span = ctx.span_open("election.campaign");
+        ctx.span_label(span, "epoch", self.epoch.to_string());
+        self.campaign_span = Some(span);
         let (zk, prefix, epoch) = (self.zk, self.prefix.clone(), self.epoch);
         ctx.send(
             zk,
@@ -210,6 +221,10 @@ impl Elector {
         if lowest_path == my_path {
             let was = self.state;
             self.state = ElectorState::Leader;
+            if let Some(sp) = self.campaign_span.take() {
+                ctx.span_label(sp, "outcome", "leader");
+                ctx.span_close(sp);
+            }
             return (was != ElectorState::Leader).then_some(ElectorEvent::BecameLeader);
         }
         // Watch the entry immediately preceding ours (failover chain), and
@@ -235,6 +250,10 @@ impl Elector {
         self.state = ElectorState::Follower {
             leader: lowest_owner,
         };
+        if let Some(sp) = self.campaign_span.take() {
+            ctx.span_label(sp, "outcome", "follower");
+            ctx.span_close(sp);
+        }
         (was != self.state).then_some(ElectorEvent::FollowingLeader(lowest_owner))
     }
 }

@@ -16,6 +16,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use snooze_telemetry::span::{SpanId, SpanLog};
+
 use crate::metrics::MetricsRegistry;
 use crate::network::{Network, NetworkConfig};
 use crate::rng::SimRng;
@@ -87,12 +89,19 @@ enum EventKind {
         src: ComponentId,
         dst: ComponentId,
         msg: AnyMsg,
+        /// Causal span context riding along with the message — the
+        /// simulated analogue of trace-context propagation headers.
+        span: Option<SpanId>,
     },
     Timer {
         dst: ComponentId,
         tag: u64,
         incarnation: u32,
         id: u64,
+        /// Span context carried across the timer (explicitly opted into
+        /// via [`Ctx::set_timer_in`]; plain timers never inherit one, so
+        /// periodic ticks don't capture unrelated submission contexts).
+        span: Option<SpanId>,
     },
     Crash(ComponentId),
     Restart(ComponentId),
@@ -132,6 +141,11 @@ pub(crate) struct EngineCore {
     pub(crate) network: Network,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) trace: Trace,
+    pub(crate) spans: SpanLog,
+    /// Ambient span context for the event being executed: seeded from
+    /// the incoming message/timer context, updated by [`Ctx::span_open`]
+    /// so later sends in the same handler propagate the innermost span.
+    ctx_span: Option<SpanId>,
     alive: Vec<bool>,
     incarnation: Vec<u32>,
     names: Vec<String>,
@@ -153,6 +167,9 @@ impl EngineCore {
     fn fold_event(&mut self, ev: &Scheduled) {
         let (disc, a, b): (u64, u64, u64) = match &ev.kind {
             EventKind::Start(id) => (1, id.0 as u64, 0),
+            // Span contexts are observers, not causes: they are folded
+            // into the SpanLog's own digest, never into the event digest,
+            // so instrumentation cannot perturb the audited history.
             EventKind::Deliver { src, dst, .. } => (2, src.0 as u64, dst.0 as u64),
             EventKind::Timer { dst, tag, .. } => (3, dst.0 as u64, *tag),
             EventKind::Crash(id) => (4, id.0 as u64, 0),
@@ -182,11 +199,20 @@ impl EngineCore {
         dst: ComponentId,
         extra: SimSpan,
         msg: AnyMsg,
+        span: Option<SpanId>,
     ) {
         let departs = self.now + extra;
         match self.network.transit(src, dst, departs, &mut self.rng) {
             Some(arrival) => {
-                self.schedule(arrival, EventKind::Deliver { src, dst, msg });
+                self.schedule(
+                    arrival,
+                    EventKind::Deliver {
+                        src,
+                        dst,
+                        msg,
+                        span,
+                    },
+                );
             }
             None => {
                 self.metrics.incr("net.dropped");
@@ -219,19 +245,32 @@ impl Ctx<'_> {
     }
 
     /// Send `msg` to `dst` over the simulated network (subject to latency,
-    /// loss and partitions).
+    /// loss and partitions). The current span context (the incoming one,
+    /// or the innermost span opened via [`Ctx::span_open`]) rides along,
+    /// so causal chains survive uninstrumented hops.
     pub fn send(&mut self, dst: ComponentId, msg: AnyMsg) {
-        self.core.metrics.incr("net.sent");
-        let me = self.me;
-        self.core.send_via_network(me, dst, SimSpan::ZERO, msg);
+        let span = self.core.ctx_span;
+        self.send_with(dst, SimSpan::ZERO, msg, span);
     }
 
     /// Send after an additional local processing delay (still subject to
     /// network latency on top).
     pub fn send_after(&mut self, delay: SimSpan, dst: ComponentId, msg: AnyMsg) {
+        let span = self.core.ctx_span;
+        self.send_with(dst, delay, msg, span);
+    }
+
+    /// Send `msg` carrying an explicit span context instead of the
+    /// ambient one — for operations whose span outlives a single handler
+    /// (a GM retrying a placement it recorded earlier, say).
+    pub fn send_in(&mut self, span: SpanId, dst: ComponentId, msg: AnyMsg) {
+        self.send_with(dst, SimSpan::ZERO, msg, Some(span));
+    }
+
+    fn send_with(&mut self, dst: ComponentId, delay: SimSpan, msg: AnyMsg, span: Option<SpanId>) {
         self.core.metrics.incr("net.sent");
         let me = self.me;
-        self.core.send_via_network(me, dst, delay, msg);
+        self.core.send_via_network(me, dst, delay, msg, span);
     }
 
     /// Multicast to every current member of `group` except the sender.
@@ -262,6 +301,17 @@ impl Ctx<'_> {
     /// after `delay`, carrying `tag`. Timers die with the incarnation that
     /// set them: if the component crashes, pending timers never fire.
     pub fn set_timer(&mut self, delay: SimSpan, tag: u64) -> TimerHandle {
+        self.set_timer_impl(delay, tag, None)
+    }
+
+    /// Like [`Ctx::set_timer`], but the timer carries span context `span`:
+    /// when it fires, the handler's ambient context is `span`, so a VM
+    /// boot delay or migration transfer keeps its causal chain intact.
+    pub fn set_timer_in(&mut self, span: SpanId, delay: SimSpan, tag: u64) -> TimerHandle {
+        self.set_timer_impl(delay, tag, Some(span))
+    }
+
+    fn set_timer_impl(&mut self, delay: SimSpan, tag: u64, span: Option<SpanId>) -> TimerHandle {
         let id = self.core.next_timer_id;
         self.core.next_timer_id += 1;
         let at = self.core.now + delay;
@@ -274,6 +324,7 @@ impl Ctx<'_> {
                 tag,
                 incarnation,
                 id,
+                span,
             },
         );
         TimerHandle(id)
@@ -309,6 +360,58 @@ impl Ctx<'_> {
     /// Stop the simulation after the current event completes.
     pub fn halt(&mut self) {
         self.core.halted = true;
+    }
+
+    // --- causal spans ----------------------------------------------------
+
+    /// The span context this handler is executing under: the context the
+    /// triggering message/timer carried, or the innermost span opened by
+    /// [`Ctx::span_open`] since.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.core.ctx_span
+    }
+
+    /// Open a span named `name` as a child of the current context (or as
+    /// a root if there is none). The new span becomes the ambient context
+    /// for the rest of this handler, so subsequent [`Ctx::send`]s carry it.
+    pub fn span_open(&mut self, name: &'static str) -> SpanId {
+        let parent = self.core.ctx_span;
+        self.span_open_under(name, parent)
+    }
+
+    /// Open a span with an explicit parent (`None` for a root), e.g. when
+    /// resuming an operation whose context was stashed in component state.
+    /// Like [`Ctx::span_open`], the new span becomes the ambient context.
+    pub fn span_open_under(&mut self, name: &'static str, parent: Option<SpanId>) -> SpanId {
+        let id = self
+            .core
+            .spans
+            .open(name, self.me.0 as u64, parent, self.core.now.0);
+        self.core.ctx_span = Some(id);
+        id
+    }
+
+    /// Close span `id` at the current virtual time. If it is the ambient
+    /// context, the context pops back to its parent (spans behave as a
+    /// stack within a handler). Double-close is a no-op.
+    pub fn span_close(&mut self, id: SpanId) {
+        if self.core.ctx_span == Some(id) {
+            self.core.ctx_span = self.core.spans.parent_of(id);
+        }
+        self.core.spans.close(id, self.core.now.0);
+    }
+
+    /// Open and immediately close a zero-duration marker span (e.g.
+    /// "became GL", "declared GM dead"). Ambient context is unchanged.
+    pub fn span_instant(&mut self, name: &'static str) -> SpanId {
+        let id = self.span_open(name);
+        self.span_close(id);
+        id
+    }
+
+    /// Annotate span `id` with a key/value label.
+    pub fn span_label(&mut self, id: SpanId, key: &'static str, value: impl Into<String>) {
+        self.core.spans.label(id, key, value);
     }
 }
 
@@ -361,6 +464,8 @@ impl SimBuilder {
                 network: Network::new(self.network),
                 metrics: MetricsRegistry::new(),
                 trace: Trace::new(self.trace_capacity),
+                spans: SpanLog::new(),
+                ctx_span: None,
                 alive: Vec::new(),
                 incarnation: Vec::new(),
                 names: Vec::new(),
@@ -423,6 +528,7 @@ impl Engine {
                 src: ComponentId::EXTERNAL,
                 dst,
                 msg,
+                span: None,
             },
         );
     }
@@ -478,6 +584,17 @@ impl Engine {
     /// The bounded event trace.
     pub fn trace(&self) -> &Trace {
         &self.core.trace
+    }
+
+    /// The causal span log accumulated by instrumented components.
+    pub fn spans(&self) -> &SpanLog {
+        &self.core.spans
+    }
+
+    /// FNV-1a digest of the span log's mutation stream — the telemetry
+    /// analogue of [`Engine::digest`]; same-seed runs must agree on it.
+    pub fn span_digest(&self) -> u64 {
+        self.core.spans.digest()
     }
 
     /// Direct mutable access to the simulated network (partitions etc.).
@@ -538,9 +655,15 @@ impl Engine {
             EventKind::Start(id) => {
                 self.with_component(id, |comp, ctx| comp.on_start(ctx));
             }
-            EventKind::Deliver { src, dst, msg } => {
+            EventKind::Deliver {
+                src,
+                dst,
+                msg,
+                span,
+            } => {
                 if self.core.alive.get(dst.0).copied().unwrap_or(false) {
                     self.core.metrics.incr("net.delivered");
+                    self.core.ctx_span = span;
                     self.with_component(dst, |comp, ctx| comp.on_message(ctx, src, msg));
                 } else {
                     self.core.metrics.incr("net.to_dead");
@@ -551,11 +674,13 @@ impl Engine {
                 tag,
                 incarnation,
                 id,
+                span,
             } => {
                 let stale = self.core.cancelled_timers.remove(&id)
                     || self.core.incarnation[dst.0] != incarnation
                     || !self.core.alive[dst.0];
                 if !stale {
+                    self.core.ctx_span = span;
                     self.with_component(dst, |comp, ctx| comp.on_timer(ctx, tag));
                 }
             }
@@ -598,6 +723,8 @@ impl Engine {
             };
             f(comp.as_mut(), &mut ctx);
         }
+        // Context hygiene: ambient span context never leaks across events.
+        self.core.ctx_span = None;
         self.components[id.0] = Some(comp);
     }
 
@@ -934,6 +1061,130 @@ mod tests {
         let sim = SimBuilder::new(1).build();
         assert_eq!(sim.name_of(ComponentId(99)), "?");
         assert!(!sim.is_alive(ComponentId(99)));
+    }
+
+    /// Opens a root span, relays through a middle hop that doesn't
+    /// instrument anything, ends at a sink that opens a child — the
+    /// context must survive the uninstrumented hop.
+    struct SpanSource {
+        next: ComponentId,
+    }
+    impl Component for SpanSource {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            let root = ctx.span_open("op.root");
+            ctx.span_label(root, "kind", "test");
+            ctx.send(self.next, Box::new(()));
+        }
+        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+    }
+    struct SpanRelay {
+        next: ComponentId,
+    }
+    impl Component for SpanRelay {
+        fn on_message(&mut self, ctx: &mut Ctx, _: ComponentId, msg: AnyMsg) {
+            ctx.send(self.next, msg); // no instrumentation here
+        }
+    }
+    struct SpanSink;
+    impl Component for SpanSink {
+        fn on_message(&mut self, ctx: &mut Ctx, _: ComponentId, _: AnyMsg) {
+            let leaf = ctx.span_open("op.leaf");
+            ctx.span_close(leaf);
+        }
+    }
+
+    #[test]
+    fn span_context_survives_uninstrumented_hops() {
+        let mut sim = SimBuilder::new(1).build();
+        let sink = sim.add_component("sink", SpanSink);
+        let relay = sim.add_component("relay", SpanRelay { next: sink });
+        let _src = sim.add_component("src", SpanSource { next: relay });
+        sim.run();
+        let spans = sim.spans();
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "op.root").unwrap();
+        let leaf = spans.iter().find(|s| s.name == "op.leaf").unwrap();
+        assert_eq!(leaf.parent, Some(root.id), "context lost across relay");
+        assert_eq!(root.label("kind"), Some("test"));
+        assert!(leaf.end_us.is_some());
+        assert!(root.end_us.is_none(), "source never closed its root");
+    }
+
+    #[test]
+    fn plain_timers_do_not_inherit_context_but_spanned_ones_carry_it() {
+        struct TimerSpans {
+            carried: Option<Option<SpanId>>,
+            plain: Option<Option<SpanId>>,
+        }
+        impl Component for TimerSpans {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                let op = ctx.span_open("op");
+                ctx.set_timer_in(op, SimSpan::from_secs(1), 1);
+                ctx.set_timer(SimSpan::from_secs(2), 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+                if tag == 1 {
+                    self.carried = Some(ctx.current_span());
+                } else {
+                    self.plain = Some(ctx.current_span());
+                }
+            }
+        }
+        let mut sim = SimBuilder::new(1).build();
+        let id = sim.add_component(
+            "t",
+            TimerSpans {
+                carried: None,
+                plain: None,
+            },
+        );
+        sim.run();
+        let t = sim.component_as::<TimerSpans>(id).unwrap();
+        assert_eq!(t.carried, Some(Some(SpanId(1))));
+        assert_eq!(t.plain, Some(None));
+    }
+
+    #[test]
+    fn span_open_close_behaves_as_stack() {
+        struct Nester;
+        impl Component for Nester {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                let outer = ctx.span_open("outer");
+                let inner = ctx.span_open("inner");
+                assert_eq!(ctx.current_span(), Some(inner));
+                ctx.span_close(inner);
+                assert_eq!(ctx.current_span(), Some(outer));
+                let marker = ctx.span_instant("marker");
+                assert_eq!(ctx.current_span(), Some(outer));
+                ctx.span_close(outer);
+                assert_eq!(ctx.current_span(), None);
+                let _ = marker;
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+        }
+        let mut sim = SimBuilder::new(1).build();
+        sim.add_component("n", Nester);
+        sim.run();
+        assert_eq!(sim.spans().len(), 3);
+        let marker = sim.spans().iter().find(|s| s.name == "marker").unwrap();
+        assert_eq!(
+            marker.parent,
+            Some(sim.spans().iter().find(|s| s.name == "outer").unwrap().id)
+        );
+    }
+
+    #[test]
+    fn span_digest_is_deterministic_across_runs() {
+        fn run() -> u64 {
+            let mut sim = SimBuilder::new(7).build();
+            let sink = sim.add_component("sink", SpanSink);
+            let relay = sim.add_component("relay", SpanRelay { next: sink });
+            let _src = sim.add_component("src", SpanSource { next: relay });
+            sim.run();
+            sim.span_digest()
+        }
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -19,10 +19,21 @@
 //! * [`failure`] — crash/restart injection for any component.
 //! * [`rng`] — seedable, stream-splittable randomness so every run is
 //!   replayable from a single `u64` seed.
-//! * [`metrics`] — counters, gauges, histograms and time series collected
-//!   during a run.
+//! * [`metrics`] — labeled counters, gauges, histograms and time series
+//!   collected during a run, exportable as Prometheus text or JSONL.
 //! * [`trace`] — a bounded in-memory event trace for debugging and
 //!   visualization.
+//!
+//! ## Observability
+//!
+//! The engine carries causal span context ([`telemetry::SpanId`]) on
+//! every simulated message and, opt-in, across timers: a component opens
+//! a span with [`Ctx::span_open`], later sends propagate it, and the
+//! receiving handler sees it as its ambient context — so a multi-hop
+//! operation (client → EP → GL → GM → LC) becomes one span tree in
+//! [`Engine::spans`]. Span ids come from a sequence counter, never wall
+//! clock, so the log (and every exporter built on it in
+//! `snooze-telemetry`) is byte-identical across same-seed runs.
 //!
 //! ## Determinism
 //!
@@ -68,7 +79,13 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+/// Re-export of the foundation observability crate, so downstream
+/// simulation crates reach spans/labels/exporters without a separate
+/// dependency edge.
+pub use snooze_telemetry as telemetry;
+
 pub use engine::{AnyMsg, Component, ComponentId, Ctx, Engine, SimBuilder};
+pub use telemetry::{LabelSet, SpanId};
 pub use time::{SimSpan, SimTime};
 
 /// Convenient glob import for simulation authors.
@@ -77,5 +94,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsRegistry;
     pub use crate::network::{LatencyModel, NetworkConfig};
     pub use crate::rng::SimRng;
+    pub use crate::telemetry::label::label;
+    pub use crate::telemetry::{LabelSet, SpanId};
     pub use crate::time::{SimSpan, SimTime};
 }

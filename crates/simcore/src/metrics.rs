@@ -1,12 +1,25 @@
-//! Run-time metrics: counters, gauges, histograms and time series.
+//! Run-time metrics: labeled counters, gauges, histograms and time series.
 //!
 //! The experiment harness reads these after a run to produce the rows of
 //! each reproduced table. Histograms keep raw samples (runs here are small
 //! enough that exact percentiles beat bucketing error), and time series
 //! record `(time, value)` pairs for figures like cluster power draw over a
 //! diurnal cycle.
+//!
+//! Every metric is keyed by a name *plus* a [`LabelSet`]
+//! (`heartbeat_missed{role="gm"}`); the classic unlabeled accessors are
+//! sugar for the empty label set, so old call sites are untouched.
+//! Storage is `BTreeMap` end to end — deterministic iteration without a
+//! sort step, which is also what keeps the exporters
+//! ([`MetricsRegistry::to_prometheus`], [`MetricsRegistry::to_jsonl`])
+//! byte-identical across same-seed runs. Components that would otherwise
+//! hand-concatenate key strings take a [`ScopedMetrics`] handle instead.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use snooze_telemetry::json::Obj;
+use snooze_telemetry::prometheus::PromWriter;
+use snooze_telemetry::LabelSet;
 
 use crate::time::SimTime;
 
@@ -14,6 +27,25 @@ use crate::time::SimTime;
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+}
+
+/// The fixed descriptive statistics the report tables lean on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (linear interpolation between ranks).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 impl Histogram {
@@ -65,15 +97,36 @@ impl Histogram {
         var.sqrt()
     }
 
-    /// Exact percentile via nearest-rank on a sorted copy; `p` in `[0, 100]`.
+    /// Exact percentile with linear interpolation between ranks (the
+    /// "exclusive" definition used by numpy's default): `p` in `[0, 100]`
+    /// maps to fractional rank `p/100 · (n−1)` on the sorted samples, and
+    /// values between adjacent ranks interpolate linearly.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() as f64 - 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        let lo_v = sorted[lo.min(sorted.len() - 1)];
+        let hi_v = sorted[hi.min(sorted.len() - 1)];
+        lo_v + (hi_v - lo_v) * frac
+    }
+
+    /// The `count/mean/min/max/p50/p95/p99` bundle in one pass.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
     }
 
     /// All raw samples, in recording order.
@@ -96,13 +149,16 @@ impl PipeFinite for f64 {
     }
 }
 
-/// Registry of named metrics for one simulation run.
+/// Per-name metric variants, one entry per distinct label set.
+type Labeled<T> = BTreeMap<LabelSet, T>;
+
+/// Registry of named, labeled metrics for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
-    counters: HashMap<String, u64>,
-    gauges: HashMap<String, f64>,
-    histograms: HashMap<String, Histogram>,
-    series: HashMap<String, Vec<(SimTime, f64)>>,
+    counters: BTreeMap<String, Labeled<u64>>,
+    gauges: BTreeMap<String, Labeled<f64>>,
+    histograms: BTreeMap<String, Labeled<Histogram>>,
+    series: BTreeMap<String, Labeled<Vec<(SimTime, f64)>>>,
 }
 
 impl MetricsRegistry {
@@ -111,77 +167,113 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Increment counter `key` by one.
+    /// Increment counter `key` (no labels) by one.
     pub fn incr(&mut self, key: &str) {
-        self.add(key, 1);
+        self.add_with(key, &LabelSet::EMPTY, 1);
     }
 
-    /// Increment counter `key` by `n`.
+    /// Increment counter `key` (no labels) by `n`.
     pub fn add(&mut self, key: &str, n: u64) {
-        if let Some(v) = self.counters.get_mut(key) {
-            *v += n;
-        } else {
-            self.counters.insert(key.to_owned(), n);
-        }
+        self.add_with(key, &LabelSet::EMPTY, n);
     }
 
-    /// Current value of counter `key` (0 if never touched).
+    /// Increment counter `key{labels}` by one.
+    pub fn incr_with(&mut self, key: &str, labels: &LabelSet) {
+        self.add_with(key, labels, 1);
+    }
+
+    /// Increment counter `key{labels}` by `n`.
+    pub fn add_with(&mut self, key: &str, labels: &LabelSet, n: u64) {
+        *entry(&mut self.counters, key, labels) += n;
+    }
+
+    /// Current value of counter `key` with no labels (0 if never touched).
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counter_with(key, &LabelSet::EMPTY)
     }
 
-    /// Set gauge `key`.
+    /// Current value of counter `key{labels}` (0 if never touched).
+    pub fn counter_with(&self, key: &str, labels: &LabelSet) -> u64 {
+        lookup(&self.counters, key, labels).copied().unwrap_or(0)
+    }
+
+    /// Sum of counter `key` across every label set — the roll-up view
+    /// (`heartbeat_missed` regardless of role).
+    pub fn counter_total(&self, key: &str) -> u64 {
+        self.counters
+            .get(key)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Set gauge `key` (no labels).
     pub fn set_gauge(&mut self, key: &str, value: f64) {
-        if let Some(v) = self.gauges.get_mut(key) {
-            *v = value;
-        } else {
-            self.gauges.insert(key.to_owned(), value);
-        }
+        self.set_gauge_with(key, &LabelSet::EMPTY, value);
     }
 
-    /// Current value of gauge `key` (0 if never set).
+    /// Set gauge `key{labels}`.
+    pub fn set_gauge_with(&mut self, key: &str, labels: &LabelSet, value: f64) {
+        *entry(&mut self.gauges, key, labels) = value;
+    }
+
+    /// Current value of gauge `key` with no labels (0 if never set).
     pub fn gauge(&self, key: &str) -> f64 {
-        self.gauges.get(key).copied().unwrap_or(0.0)
+        self.gauge_with(key, &LabelSet::EMPTY)
     }
 
-    /// Record a histogram sample under `key`.
+    /// Current value of gauge `key{labels}` (0 if never set).
+    pub fn gauge_with(&self, key: &str, labels: &LabelSet) -> f64 {
+        lookup(&self.gauges, key, labels).copied().unwrap_or(0.0)
+    }
+
+    /// Record a histogram sample under `key` (no labels).
     pub fn observe(&mut self, key: &str, value: f64) {
-        if let Some(h) = self.histograms.get_mut(key) {
-            h.record(value);
-        } else {
-            let mut h = Histogram::default();
-            h.record(value);
-            self.histograms.insert(key.to_owned(), h);
-        }
+        self.observe_with(key, &LabelSet::EMPTY, value);
     }
 
-    /// Histogram under `key`, if any samples were recorded.
+    /// Record a histogram sample under `key{labels}`.
+    pub fn observe_with(&mut self, key: &str, labels: &LabelSet, value: f64) {
+        entry(&mut self.histograms, key, labels).record(value);
+    }
+
+    /// Histogram under `key` (no labels), if any samples were recorded.
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
+        self.histogram_with(key, &LabelSet::EMPTY)
     }
 
-    /// Append a `(time, value)` point to series `key`.
+    /// Histogram under `key{labels}`, if any samples were recorded.
+    pub fn histogram_with(&self, key: &str, labels: &LabelSet) -> Option<&Histogram> {
+        lookup(&self.histograms, key, labels)
+    }
+
+    /// Append a `(time, value)` point to series `key` (no labels).
     pub fn push_series(&mut self, key: &str, time: SimTime, value: f64) {
-        if let Some(s) = self.series.get_mut(key) {
-            s.push((time, value));
-        } else {
-            self.series.insert(key.to_owned(), vec![(time, value)]);
-        }
+        self.push_series_with(key, &LabelSet::EMPTY, time, value);
     }
 
-    /// Series under `key` (empty slice if never touched).
+    /// Append a `(time, value)` point to series `key{labels}`.
+    pub fn push_series_with(&mut self, key: &str, labels: &LabelSet, time: SimTime, value: f64) {
+        entry(&mut self.series, key, labels).push((time, value));
+    }
+
+    /// Series under `key` with no labels (empty slice if never touched).
     pub fn series(&self, key: &str) -> &[(SimTime, f64)] {
-        self.series.get(key).map(Vec::as_slice).unwrap_or(&[])
+        lookup(&self.series, key, &LabelSet::EMPTY)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// Time-weighted average of series `key` between the first and last
-    /// points (each value holds until the next point). Returns 0 for
-    /// series with fewer than two points.
-    pub fn series_time_weighted_mean(&self, key: &str) -> f64 {
+    /// Time-weighted average of the unlabeled series `key` over
+    /// `[first point, end]`: each value holds from its timestamp until
+    /// the next point, and the *final* value holds until `end` (clamped
+    /// to the last point's time if `end` precedes it, so no interval gets
+    /// negative weight). A single point therefore means "this value the
+    /// whole window". Returns 0 for an empty series.
+    pub fn series_time_weighted_mean(&self, key: &str, end: SimTime) -> f64 {
         let s = self.series(key);
-        if s.len() < 2 {
-            return s.first().map(|&(_, v)| v).unwrap_or(0.0);
-        }
+        let Some(&(first_t, first_v)) = s.first() else {
+            return 0.0;
+        };
         let mut weighted = 0.0;
         let mut total = 0.0;
         for w in s.windows(2) {
@@ -189,26 +281,223 @@ impl MetricsRegistry {
             weighted += w[0].1 * dt;
             total += dt;
         }
+        // The bug this replaces: the last point's value carried zero
+        // weight, skewing any series whose final segment mattered.
+        let (last_t, last_v) = *s.last().expect("non-empty checked above");
+        let tail = (end.max(last_t) - last_t).as_secs_f64();
+        weighted += last_v * tail;
+        total += tail;
         if total > 0.0 {
             weighted / total
         } else {
-            s[0].1
+            let _ = first_t;
+            first_v
         }
     }
 
-    /// Names of all counters, sorted (for reporting).
+    /// Names of all counters, sorted (for reporting). Label variants of
+    /// one name collapse to a single entry.
     pub fn counter_names(&self) -> Vec<&str> {
-        // audit-allow(hash-iter): sorted immediately below
-        let mut names: Vec<&str> = self.counters.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.counters.keys().map(String::as_str).collect()
     }
+
+    /// A handle that stamps every sample with `labels` — so a component
+    /// writes `m.incr("heartbeat_missed")` instead of hand-concatenating
+    /// `"gm3.heartbeat_missed"` key strings.
+    pub fn scoped(&mut self, labels: LabelSet) -> ScopedMetrics<'_> {
+        ScopedMetrics {
+            registry: self,
+            labels,
+        }
+    }
+
+    /// Every counter sample: `(name, labels, value)` in deterministic
+    /// (name, label-set) order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&str, &LabelSet, u64)> {
+        flatten(&self.counters).map(|(n, l, v)| (n, l, *v))
+    }
+
+    /// Every gauge sample, deterministically ordered.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, &LabelSet, f64)> {
+        flatten(&self.gauges).map(|(n, l, v)| (n, l, *v))
+    }
+
+    /// Every histogram, deterministically ordered.
+    pub fn histograms_iter(&self) -> impl Iterator<Item = (&str, &LabelSet, &Histogram)> {
+        flatten(&self.histograms)
+    }
+
+    /// Every series, deterministically ordered.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&str, &LabelSet, &[(SimTime, f64)])> {
+        flatten(&self.series).map(|(n, l, v)| (n, l, v.as_slice()))
+    }
+
+    /// Render counters, gauges and histograms in the Prometheus text
+    /// exposition format (histograms as `summary` families with
+    /// p50/p95/p99 quantiles). Series are deliberately omitted — a
+    /// scrape is a point in time; use [`MetricsRegistry::to_jsonl`] for
+    /// trajectories. Byte-deterministic.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        for (name, labels, value) in self.counters_iter() {
+            w.counter(name, labels, value);
+        }
+        for (name, labels, value) in self.gauges_iter() {
+            w.gauge(name, labels, value);
+        }
+        for (name, labels, h) in self.histograms_iter() {
+            let s = h.summary();
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let ql = labels.clone().with("quantile", q);
+                w.summary_part(name, "", &ql, v);
+            }
+            w.summary_part(name, "_sum", labels, s.mean * s.count as f64);
+            w.summary_part(name, "_count", labels, s.count as f64);
+        }
+        w.render()
+    }
+
+    /// Render every metric (series included) as JSONL: one JSON object
+    /// per sample, `{"type","name","labels",...}`. Byte-deterministic.
+    pub fn to_jsonl(&self) -> String {
+        fn labels_json(labels: &LabelSet) -> String {
+            let mut obj = Obj::new();
+            for (k, v) in labels.pairs() {
+                obj = obj.str(k, v);
+            }
+            obj.finish()
+        }
+        let mut out = String::new();
+        for (name, labels, value) in self.counters_iter() {
+            let line = Obj::new()
+                .str("type", "counter")
+                .str("name", name)
+                .raw("labels", &labels_json(labels))
+                .u64("value", value)
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for (name, labels, value) in self.gauges_iter() {
+            let line = Obj::new()
+                .str("type", "gauge")
+                .str("name", name)
+                .raw("labels", &labels_json(labels))
+                .f64("value", value)
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for (name, labels, h) in self.histograms_iter() {
+            let s = h.summary();
+            let line = Obj::new()
+                .str("type", "histogram")
+                .str("name", name)
+                .raw("labels", &labels_json(labels))
+                .u64("count", s.count as u64)
+                .f64("mean", s.mean)
+                .f64("min", s.min)
+                .f64("max", s.max)
+                .f64("p50", s.p50)
+                .f64("p95", s.p95)
+                .f64("p99", s.p99)
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for (name, labels, points) in self.series_iter() {
+            let rendered: Vec<String> = points
+                .iter()
+                .map(|(t, v)| format!("[{},{}]", t.0, snooze_telemetry::json::num(*v)))
+                .collect();
+            let line = Obj::new()
+                .str("type", "series")
+                .str("name", name)
+                .raw("labels", &labels_json(labels))
+                .raw("points", &snooze_telemetry::json::array(&rendered))
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Label-stamping view over a [`MetricsRegistry`].
+///
+/// Obtained from [`MetricsRegistry::scoped`]; every write goes to
+/// `name{scope-labels}`.
+pub struct ScopedMetrics<'a> {
+    registry: &'a mut MetricsRegistry,
+    labels: LabelSet,
+}
+
+impl ScopedMetrics<'_> {
+    /// Increment counter `key{scope}` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.registry.incr_with(key, &self.labels);
+    }
+
+    /// Increment counter `key{scope}` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        self.registry.add_with(key, &self.labels, n);
+    }
+
+    /// Set gauge `key{scope}`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.registry.set_gauge_with(key, &self.labels, value);
+    }
+
+    /// Record a histogram sample under `key{scope}`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        self.registry.observe_with(key, &self.labels, value);
+    }
+
+    /// Append a series point under `key{scope}`.
+    pub fn push_series(&mut self, key: &str, time: SimTime, value: f64) {
+        self.registry
+            .push_series_with(key, &self.labels, time, value);
+    }
+
+    /// The labels this handle stamps.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+}
+
+fn entry<'a, T: Default>(
+    map: &'a mut BTreeMap<String, Labeled<T>>,
+    key: &str,
+    labels: &LabelSet,
+) -> &'a mut T {
+    if !map.contains_key(key) {
+        map.insert(key.to_owned(), Labeled::new());
+    }
+    let inner = map.get_mut(key).expect("inserted above");
+    if !inner.contains_key(labels) {
+        inner.insert(labels.clone(), T::default());
+    }
+    inner.get_mut(labels).expect("inserted above")
+}
+
+fn lookup<'a, T>(
+    map: &'a BTreeMap<String, Labeled<T>>,
+    key: &str,
+    labels: &LabelSet,
+) -> Option<&'a T> {
+    map.get(key).and_then(|inner| inner.get(labels))
+}
+
+fn flatten<T>(map: &BTreeMap<String, Labeled<T>>) -> impl Iterator<Item = (&str, &LabelSet, &T)> {
+    map.iter()
+        .flat_map(|(name, inner)| inner.iter().map(move |(l, v)| (name.as_str(), l, v)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::time::SimSpan;
+    use snooze_telemetry::label::label;
 
     #[test]
     fn counters_accumulate() {
@@ -217,6 +506,36 @@ mod tests {
         m.add("x", 4);
         assert_eq!(m.counter("x"), 5);
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn labeled_counters_are_independent_dimensions() {
+        let mut m = MetricsRegistry::new();
+        m.incr_with("hb.missed", &label("role", "gm"));
+        m.incr_with("hb.missed", &label("role", "lc"));
+        m.incr_with("hb.missed", &label("role", "lc"));
+        m.incr("hb.missed");
+        assert_eq!(m.counter_with("hb.missed", &label("role", "gm")), 1);
+        assert_eq!(m.counter_with("hb.missed", &label("role", "lc")), 2);
+        assert_eq!(m.counter("hb.missed"), 1);
+        assert_eq!(m.counter_total("hb.missed"), 4);
+        // One logical name despite four label variants.
+        assert_eq!(m.counter_names(), vec!["hb.missed"]);
+    }
+
+    #[test]
+    fn scoped_handles_stamp_labels() {
+        let mut m = MetricsRegistry::new();
+        let mut s = m.scoped(label("node", "lc-17").with("role", "lc"));
+        s.incr("hb.missed");
+        s.set_gauge("load", 0.75);
+        s.observe("lat", 3.0);
+        s.push_series("power", SimTime::ZERO, 100.0);
+        let l = label("node", "lc-17").with("role", "lc");
+        assert_eq!(m.counter_with("hb.missed", &l), 1);
+        assert_eq!(m.gauge_with("load", &l), 0.75);
+        assert_eq!(m.histogram_with("lat", &l).unwrap().count(), 1);
+        assert_eq!(m.counter("hb.missed"), 0, "unlabeled variant untouched");
     }
 
     #[test]
@@ -244,6 +563,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_interpolates_between_ranks() {
+        let mut h = Histogram::default();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            h.record(v);
+        }
+        // Fractional ranks: p50 of 4 samples sits halfway between the
+        // 2nd and 3rd — nearest-rank would snap to one of them.
+        assert!((h.percentile(50.0) - 25.0).abs() < 1e-12);
+        assert!((h.percentile(25.0) - 17.5).abs() < 1e-12);
+        assert!((h.percentile(90.0) - 37.0).abs() < 1e-12);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(h.percentile(-5.0), 10.0);
+        assert_eq!(h.percentile(150.0), 40.0);
+    }
+
+    #[test]
+    fn percentile_known_quantiles_of_1_to_100() {
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert!((h.percentile(50.0) - 50.5).abs() < 1e-9);
+        assert!((h.percentile(95.0) - 95.05).abs() < 1e-9);
+        assert!((h.percentile(99.0) - 99.01).abs() < 1e-9);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_histogram_is_all_zeros() {
         let h = Histogram::default();
         assert_eq!(h.mean(), 0.0);
@@ -251,6 +605,7 @@ mod tests {
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.std_dev(), 0.0);
         assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.summary().count, 0);
     }
 
     #[test]
@@ -260,17 +615,40 @@ mod tests {
         // Value 10 for 9 seconds, then 0 for 1 second.
         m.push_series("p", t0, 10.0);
         m.push_series("p", t0 + SimSpan::from_secs(9), 0.0);
-        m.push_series("p", t0 + SimSpan::from_secs(10), 0.0);
-        let mean = m.series_time_weighted_mean("p");
+        let mean = m.series_time_weighted_mean("p", t0 + SimSpan::from_secs(10));
         assert!((mean - 9.0).abs() < 1e-9, "got {mean}");
+    }
+
+    #[test]
+    fn series_mean_clamps_final_interval_to_end() {
+        let mut m = MetricsRegistry::new();
+        let t0 = SimTime::ZERO;
+        m.push_series("p", t0, 0.0);
+        m.push_series("p", t0 + SimSpan::from_secs(5), 100.0);
+        // Regression: the old code gave the final point zero weight, so
+        // this read 0.0 no matter what happened after t=5.
+        let mean = m.series_time_weighted_mean("p", t0 + SimSpan::from_secs(10));
+        assert!((mean - 50.0).abs() < 1e-9, "got {mean}");
+        // An `end` before the last point clamps: no negative weight.
+        let clamped = m.series_time_weighted_mean("p", t0 + SimSpan::from_secs(2));
+        assert!((clamped - 0.0).abs() < 1e-9, "got {clamped}");
     }
 
     #[test]
     fn series_degenerate_cases() {
         let mut m = MetricsRegistry::new();
-        assert_eq!(m.series_time_weighted_mean("none"), 0.0);
+        assert_eq!(
+            m.series_time_weighted_mean("none", SimTime::from_secs(1)),
+            0.0
+        );
         m.push_series("one", SimTime::ZERO, 7.0);
-        assert_eq!(m.series_time_weighted_mean("one"), 7.0);
+        // A single sample holds for the whole window — and even with a
+        // zero-length window the value (not 0) comes back.
+        assert_eq!(
+            m.series_time_weighted_mean("one", SimTime::from_secs(9)),
+            7.0
+        );
+        assert_eq!(m.series_time_weighted_mean("one", SimTime::ZERO), 7.0);
     }
 
     #[test]
@@ -280,5 +658,40 @@ mod tests {
         m.observe("lat", 4.0);
         assert_eq!(m.histogram("lat").unwrap().mean(), 3.0);
         assert!(m.histogram("other").is_none());
+    }
+
+    #[test]
+    fn prometheus_export_is_deterministic_and_labeled() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.incr_with("net.sent", &label("link", "a"));
+            m.incr("net.sent");
+            m.set_gauge("power.watts", 140.5);
+            m.observe("lat", 1.0);
+            m.observe("lat", 3.0);
+            m.to_prometheus()
+        };
+        let text = build();
+        assert_eq!(text, build());
+        assert!(text.contains("# TYPE net_sent counter\n"));
+        assert!(text.contains("net_sent{link=\"a\"} 1\n"));
+        assert!(text.contains("net_sent 1\n"));
+        assert!(text.contains("# TYPE lat summary\n"));
+        assert!(text.contains("lat_count 2\n"));
+    }
+
+    #[test]
+    fn jsonl_export_covers_all_kinds() {
+        let mut m = MetricsRegistry::new();
+        m.incr("c");
+        m.set_gauge("g", 1.0);
+        m.observe("h", 2.0);
+        m.push_series("s", SimTime::from_secs(1), 3.0);
+        let text = m.to_jsonl();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("\"type\":\"counter\""));
+        assert!(text.contains("\"type\":\"gauge\""));
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"points\":[[1000000,3]]"));
     }
 }

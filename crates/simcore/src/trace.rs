@@ -179,6 +179,47 @@ mod tests {
     }
 
     #[test]
+    fn digest_stable_across_capacity_overflow() {
+        // Same stream into differently sized rings: eviction must never
+        // touch the digest, even long after wraparound.
+        let sizes = [1usize, 3, 7, 1000];
+        let digests: Vec<u64> = sizes
+            .iter()
+            .map(|&cap| {
+                let mut t = Trace::new(cap);
+                for i in 0..50 {
+                    rec(&mut t, i, if i % 2 == 0 { "even" } else { "odd" });
+                }
+                t.digest()
+            })
+            .collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+        // And retention really did differ.
+        let mut small = Trace::new(3);
+        for i in 0..50 {
+            rec(&mut small, i, "even");
+        }
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.total_recorded(), 50);
+    }
+
+    #[test]
+    fn by_category_after_wraparound_sees_only_survivors() {
+        let mut t = Trace::new(4);
+        // 10 records alternating categories; only the last 4 (r6..r9)
+        // survive: categories even, odd, even, odd.
+        for i in 0..10 {
+            rec(&mut t, i, if i % 2 == 0 { "even" } else { "odd" });
+        }
+        let even: Vec<&str> = t.by_category("even").map(|r| r.text.as_str()).collect();
+        let odd: Vec<&str> = t.by_category("odd").map(|r| r.text.as_str()).collect();
+        assert_eq!(even, ["r6", "r8"]);
+        assert_eq!(odd, ["r7", "r9"]);
+        // Evicted categories are gone entirely.
+        assert!(t.records().all(|r| r.text != "r0"));
+    }
+
+    #[test]
     fn category_filter() {
         let mut t = Trace::new(10);
         rec(&mut t, 1, "join");

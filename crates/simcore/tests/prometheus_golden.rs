@@ -1,0 +1,60 @@
+//! Golden-file test for the Prometheus text exposition format.
+//!
+//! Builds a registry with every metric kind (labeled and unlabeled
+//! counters, gauges, a histogram-backed summary) and compares
+//! [`MetricsRegistry::to_prometheus`] byte-for-byte against the
+//! checked-in golden file. Any change to name sanitisation, label
+//! escaping, family ordering, or number formatting shows up as a diff
+//! here — regenerate the golden deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p snooze-simcore --test prometheus_golden`.
+
+use snooze_simcore::metrics::MetricsRegistry;
+use snooze_simcore::telemetry::label::{label, LabelSet};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+
+fn fixture() -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    // Counters: dotted names, label sorting, multi-label sets.
+    m.add("net.sent", 42);
+    m.incr_with("heartbeat_missed", &label("role", "gm"));
+    m.add_with("heartbeat_missed", &label("role", "lc"), 3);
+    m.incr_with(
+        "power.commands",
+        &LabelSet::EMPTY.with("kind", "wake").with("node", "lc-17"),
+    );
+    // Gauges, including an escaped label value.
+    m.set_gauge("cluster.load", 0.625);
+    m.set_gauge_with("vm.count", &label("state", "run\"ning"), 7.0);
+    // Histogram → summary quantiles + _sum/_count.
+    for v in [1.0, 2.0, 3.0, 4.0] {
+        m.observe("submit.latency", v);
+    }
+    m
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let text = fixture().to_prometheus();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &text).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file present");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from tests/golden/metrics.prom \
+         (run with UPDATE_GOLDEN=1 to regenerate deliberately)"
+    );
+}
+
+#[test]
+fn exposition_is_parseable_line_shape() {
+    // Every non-comment line is `name{labels} value` with a numeric value.
+    for line in fixture().to_prometheus().lines() {
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+        value.parse::<f64>().expect("value is numeric");
+    }
+}

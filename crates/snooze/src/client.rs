@@ -10,6 +10,8 @@ use std::collections::{BTreeMap, HashMap};
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
 use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx};
+use snooze_simcore::telemetry::label::label;
+use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::messages::{DestroyVm, SubmitVm, VmPlaced, VmRejected};
@@ -33,6 +35,9 @@ struct Outstanding {
     schedule_idx: usize,
     submitted_at: SimTime,
     attempts: u32,
+    /// Root span of this submission's causal tree; every retry, hop and
+    /// eventual boot nests under it.
+    span: SpanId,
 }
 
 /// A completed placement as the client saw it.
@@ -130,11 +135,24 @@ impl ClientDriver {
     fn submit(&mut self, ctx: &mut Ctx, idx: usize) {
         let item = &self.schedule[idx];
         let vm = item.spec.id;
-        let entry = self.outstanding.entry(vm).or_insert(Outstanding {
-            schedule_idx: idx,
-            submitted_at: ctx.now(),
-            attempts: 0,
-        });
+        let span = match self.outstanding.get(&vm) {
+            Some(out) => out.span,
+            None => {
+                let span = ctx.span_open_under("client.submit", None);
+                ctx.span_label(span, "vm", vm.0.to_string());
+                self.outstanding.insert(
+                    vm,
+                    Outstanding {
+                        schedule_idx: idx,
+                        submitted_at: ctx.now(),
+                        attempts: 0,
+                        span,
+                    },
+                );
+                span
+            }
+        };
+        let entry = self.outstanding.get_mut(&vm).expect("inserted above");
         entry.attempts += 1;
         let attempts = entry.attempts;
         let me = ctx.id();
@@ -145,7 +163,7 @@ impl ClientDriver {
         };
         // First attempt uses the preferred EP; retries rotate.
         let ep = self.eps[(self.ep_cursor + attempts as usize - 1) % self.eps.len()];
-        ctx.send(ep, Box::new(msg));
+        ctx.send_in(span, ep, Box::new(msg));
     }
 }
 
@@ -172,16 +190,24 @@ impl Component for ClientDriver {
                     latency,
                 });
                 self.vm_locations.insert(placed.vm, placed.lc);
+                ctx.span_label(out.span, "outcome", "placed");
+                ctx.span_close(out.span);
                 ctx.metrics()
                     .observe("client.placement_latency_s", latency.as_secs_f64());
+                ctx.metrics()
+                    .incr_with("client.outcome", &label("kind", "placed"));
                 if let Some(lifetime) = self.schedule[out.schedule_idx].lifetime {
                     ctx.set_timer(lifetime, tag(CLIENT_DESTROY, out.schedule_idx as u64));
                 }
             }
         } else if let Some(rej) = msg.downcast_ref::<VmRejected>() {
-            if self.outstanding.remove(&rej.vm).is_some() {
+            if let Some(out) = self.outstanding.remove(&rej.vm) {
                 self.rejected.push(rej.vm);
+                ctx.span_label(out.span, "outcome", "rejected");
+                ctx.span_close(out.span);
                 ctx.metrics().incr("client.rejections");
+                ctx.metrics()
+                    .incr_with("client.outcome", &label("kind", "rejected"));
             }
         }
     }
@@ -207,9 +233,14 @@ impl Component for ClientDriver {
                     .collect();
                 for (vm, idx, give_up) in to_retry {
                     if give_up {
-                        self.outstanding.remove(&vm);
+                        if let Some(out) = self.outstanding.remove(&vm) {
+                            ctx.span_label(out.span, "outcome", "abandoned");
+                            ctx.span_close(out.span);
+                        }
                         self.abandoned.push(vm);
                         ctx.metrics().incr("client.abandoned");
+                        ctx.metrics()
+                            .incr_with("client.outcome", &label("kind", "abandoned"));
                     } else {
                         self.submit(ctx, idx);
                     }

@@ -9,6 +9,7 @@
 //! current GL (dropping them when no GL is known — clients retry).
 
 use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::telemetry::label::label;
 use snooze_simcore::time::SimTime;
 
 use crate::config::SnoozeConfig;
@@ -79,10 +80,19 @@ impl Component for EntryPoint {
             match self.gl_if_fresh(now) {
                 Some(gl) => {
                     self.forwarded += 1;
+                    // One hop-span per forward: child of the client's
+                    // submission span, parent of the GL's dispatch span.
+                    let hop = ctx.span_open("ep.forward");
+                    ctx.span_label(hop, "vm", submit.spec.id.0.to_string());
                     ctx.send(gl, submit);
+                    ctx.span_close(hop);
+                    ctx.metrics()
+                        .incr_with("ep.submissions", &label("outcome", "forwarded"));
                 }
                 None => {
                     self.dropped += 1;
+                    ctx.metrics()
+                        .incr_with("ep.submissions", &label("outcome", "dropped"));
                 }
             }
         }

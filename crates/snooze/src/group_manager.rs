@@ -26,6 +26,8 @@ use snooze_protocols::coordination::ZkReply;
 use snooze_protocols::election::{Elector, ElectorEvent, ELECTION_PING_TAG};
 use snooze_protocols::heartbeat::FailureDetector;
 use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::telemetry::label::label;
+use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::SimTime;
 
 use crate::config::SnoozeConfig;
@@ -97,6 +99,10 @@ struct VmRecord {
     confirmed: bool,
     /// When the (latest) StartVm was sent.
     start_sent_at: SimTime,
+    /// Open `gm.place` span; closed when the start is confirmed.
+    span: Option<SpanId>,
+    /// Open `gm.migrate` span while a migration is in flight.
+    migration_span: Option<SpanId>,
 }
 
 /// A placement waiting for capacity (e.g. a node waking up).
@@ -104,6 +110,9 @@ struct PendingPlacement {
     spec: VmSpec,
     workload: VmWorkload,
     retries: u32,
+    /// Placement span the retry continues (if the original request was
+    /// instrumented).
+    span: Option<SpanId>,
 }
 
 /// Dispatch state the GL keeps per in-flight submission.
@@ -117,6 +126,8 @@ struct DispatchState {
     /// A GM took responsibility (possibly waking a node); stop the
     /// linear-search timeout clock.
     accepted: bool,
+    /// The `gl.dispatch` span covering candidate search through VmActive.
+    span: SpanId,
 }
 
 /// Counters exposed for experiments and tests.
@@ -299,6 +310,7 @@ impl GroupManager {
         ctx: &mut Ctx,
         spec: &VmSpec,
         workload: &VmWorkload,
+        span: Option<SpanId>,
     ) -> Option<ComponentId> {
         let views = self.lc_views();
         if let Some(lc) = self.placer.place(spec, &views) {
@@ -314,16 +326,19 @@ impl GroupManager {
                     migrating_to: None,
                     confirmed: false,
                     start_sent_at: ctx.now(),
+                    span,
+                    migration_span: None,
                 },
             );
             self.stats.placements += 1;
-            ctx.send(
-                lc,
-                Box::new(StartVm {
-                    spec: *spec,
-                    workload: workload.clone(),
-                }),
-            );
+            let start = Box::new(StartVm {
+                spec: *spec,
+                workload: workload.clone(),
+            });
+            match span {
+                Some(s) => ctx.send_in(s, lc, start),
+                None => ctx.send(lc, start),
+            }
             return Some(lc);
         }
         // No powered-on LC fits. Wake a sleeping one that would.
@@ -340,17 +355,30 @@ impl GroupManager {
             r.wake_sent_at = Some(ctx.now());
             self.stats.wakes_issued += 1;
             ctx.trace("energy", format!("waking {lc:?}"));
-            ctx.send(lc, Box::new(WakeNode));
+            ctx.metrics()
+                .incr_with("power.commands", &label("kind", "wake"));
+            // The wake is causally part of the placement that forced it.
+            match span {
+                Some(s) => ctx.send_in(s, lc, Box::new(WakeNode)),
+                None => ctx.send(lc, Box::new(WakeNode)),
+            }
         }
         None
     }
 
     /// Queue a placement for retry (wake in progress / transient full).
-    fn enqueue_pending(&mut self, ctx: &mut Ctx, spec: VmSpec, workload: VmWorkload) {
+    fn enqueue_pending(
+        &mut self,
+        ctx: &mut Ctx,
+        spec: VmSpec,
+        workload: VmWorkload,
+        span: Option<SpanId>,
+    ) {
         self.pending.push_back(PendingPlacement {
             spec,
             workload,
             retries: 0,
+            span,
         });
         if self.pending.len() == 1 {
             ctx.set_timer(self.config.placement_retry_period, tag(GM_RETRY, 0));
@@ -360,7 +388,7 @@ impl GroupManager {
     fn drain_pending(&mut self, ctx: &mut Ctx) {
         let mut still_pending = VecDeque::new();
         while let Some(mut p) = self.pending.pop_front() {
-            if let Some(lc) = self.try_place(ctx, &p.spec, &p.workload) {
+            if let Some(lc) = self.try_place(ctx, &p.spec, &p.workload, p.span) {
                 let _ = lc;
                 continue;
             }
@@ -371,8 +399,16 @@ impl GroupManager {
             }
             if p.retries >= self.config.placement_max_retries {
                 self.stats.placement_rejections += 1;
+                if let Some(sp) = p.span {
+                    ctx.span_label(sp, "outcome", "exhausted");
+                    ctx.span_close(sp);
+                }
                 if let Mode::Gm(gl) = self.mode {
-                    ctx.send(gl, Box::new(VmFailed { vm: p.spec.id }));
+                    let failed = Box::new(VmFailed { vm: p.spec.id });
+                    match p.span {
+                        Some(sp) => ctx.send_in(sp, gl, failed),
+                        None => ctx.send(gl, failed),
+                    }
                 }
             } else {
                 still_pending.push_back(p);
@@ -397,12 +433,20 @@ impl GroupManager {
         }
         vm.migrating_to = Some(m.to);
         let requested = vm.spec.requested;
+        let span = ctx.span_open("gm.migrate");
+        ctx.span_label(span, "vm", m.vm.0.to_string());
+        ctx.span_label(span, "from", format!("{:?}", m.from));
+        ctx.span_label(span, "to", format!("{:?}", m.to));
+        // Re-borrow: span bookkeeping above released the record.
+        if let Some(rec) = self.lcs.get_mut(&m.from).and_then(|r| r.vms.get_mut(&m.vm)) {
+            rec.migration_span = Some(span);
+        }
         if let Some(dst) = self.lcs.get_mut(&m.to) {
             dst.reserved += requested;
             dst.idle_since = None;
         }
         self.stats.migrations_commanded += 1;
-        ctx.send(m.from, Box::new(MigrateVm { vm: m.vm, to: m.to }));
+        ctx.send_in(span, m.from, Box::new(MigrateVm { vm: m.vm, to: m.to }));
     }
 
     fn vm_views_of(&self, lc: ComponentId) -> Vec<VmView> {
@@ -425,6 +469,10 @@ impl GroupManager {
     fn handle_lc_failure(&mut self, ctx: &mut Ctx, lc: ComponentId) {
         self.stats.lc_failures_detected += 1;
         ctx.trace("failure", format!("LC {lc:?} declared dead"));
+        ctx.metrics()
+            .incr_with("heartbeat_missed", &label("role", "lc"));
+        let failover = ctx.span_instant("gm.lc-failover");
+        ctx.span_label(failover, "lc", format!("{lc:?}"));
         let Some(record) = self.lcs.remove(&lc) else {
             return;
         };
@@ -433,7 +481,7 @@ impl GroupManager {
             // the failed VMs on its active LCs".
             for vm in record.vms.into_values() {
                 self.stats.vms_rescheduled += 1;
-                self.enqueue_pending(ctx, vm.spec, vm.workload);
+                self.enqueue_pending(ctx, vm.spec, vm.workload, vm.span);
             }
         }
     }
@@ -473,7 +521,7 @@ impl GroupManager {
     fn retry_unconfirmed_starts(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
         let patience = self.config.vm_boot_delay + self.config.placement_retry_period * 4;
-        let mut resend: Vec<(ComponentId, VmSpec, VmWorkload)> = Vec::new();
+        let mut resend: Vec<(ComponentId, VmSpec, VmWorkload, Option<SpanId>)> = Vec::new();
         for (&lc, record) in &mut self.lcs {
             if !record.powered_on {
                 continue;
@@ -484,16 +532,20 @@ impl GroupManager {
                     && now.since(rec.start_sent_at) > patience
                 {
                     rec.start_sent_at = now;
-                    resend.push((lc, rec.spec, rec.workload.clone()));
+                    resend.push((lc, rec.spec, rec.workload.clone(), rec.span));
                 }
             }
         }
-        for (lc, spec, workload) in resend {
+        for (lc, spec, workload, span) in resend {
             ctx.trace(
                 "retry",
                 format!("re-sending StartVm {:?} to {lc:?}", spec.id),
             );
-            ctx.send(lc, Box::new(StartVm { spec, workload }));
+            let msg = Box::new(StartVm { spec, workload });
+            match span {
+                Some(sp) => ctx.send_in(sp, lc, msg),
+                None => ctx.send(lc, msg),
+            }
         }
     }
 
@@ -527,6 +579,7 @@ impl GroupManager {
             return;
         };
         self.stats.reconfigurations += 1;
+        let span = ctx.span_open("gm.reconfigure");
         let views = self.lc_views();
         let placements: Vec<(VmView, ComponentId)> = self
             .lcs
@@ -558,9 +611,13 @@ impl GroupManager {
         if !plan.is_empty() {
             ctx.trace("reconf", format!("{} migrations", plan.len()));
         }
+        ctx.span_label(span, "migrations", plan.len().to_string());
+        // The commanded migrations nest under the reconfiguration span
+        // (span_open made it ambient), tying each move to its cause.
         for m in plan {
             self.command_migration(ctx, m);
         }
+        ctx.span_close(span);
     }
 
     // ------------------------------------------------------------------
@@ -569,6 +626,9 @@ impl GroupManager {
 
     fn become_gl(&mut self, ctx: &mut Ctx) {
         ctx.trace("election", "promoted to GL");
+        ctx.span_instant("gl.promoted");
+        ctx.metrics()
+            .incr_with("role_transitions", &label("to", "gl"));
         self.mode = Mode::Gl;
         // Dedicated roles: a GL does not manage LCs. Drop them; they will
         // notice the missing GM heartbeats and rejoin through the GL.
@@ -594,6 +654,8 @@ impl GroupManager {
         }
         self.mode = Mode::Gm(gl);
         ctx.trace("election", format!("following GL {gl:?}"));
+        ctx.metrics()
+            .incr_with("role_transitions", &label("to", "gm"));
         ctx.send(gl, Box::new(GmJoin));
         if !self.gm_timer_armed {
             self.gm_timer_armed = true;
@@ -641,6 +703,12 @@ impl GroupManager {
         }
         let first = candidates[0];
         self.stats.dispatched_as_gl += 1;
+        // Child of the EP's forward hop (ambient from the incoming
+        // SubmitVm); stays open across candidate retries until a GM
+        // confirms, rejects, or the search exhausts.
+        let span = ctx.span_open("gl.dispatch");
+        ctx.span_label(span, "vm", submit.spec.id.0.to_string());
+        ctx.span_label(span, "candidates", candidates.len().to_string());
         self.dispatches.insert(
             submit.spec.id,
             DispatchState {
@@ -651,9 +719,11 @@ impl GroupManager {
                 next: 1,
                 started_at: ctx.now(),
                 accepted: false,
+                span,
             },
         );
-        ctx.send(
+        ctx.send_in(
+            span,
             first,
             Box::new(PlaceVmRequest {
                 spec: submit.spec,
@@ -678,13 +748,15 @@ impl GroupManager {
                     spec: state.spec,
                     workload: state.workload.clone(),
                 };
-                ctx.send(gm, Box::new(req));
+                ctx.send_in(state.span, gm, Box::new(req));
                 return;
             }
         }
         let state = self.dispatches.remove(&vm).unwrap();
         self.stats.rejected_as_gl += 1;
-        ctx.send(state.client, Box::new(VmRejected { vm }));
+        ctx.span_label(state.span, "outcome", "rejected");
+        ctx.span_close(state.span);
+        ctx.send_in(state.span, state.client, Box::new(VmRejected { vm }));
     }
 
     fn handle_gm_failure(&mut self, ctx: &mut Ctx, gm: ComponentId) {
@@ -694,6 +766,10 @@ impl GroupManager {
         self.stats.gm_failures_detected += 1;
         self.gm_summaries.remove(&gm);
         ctx.trace("failure", format!("GM {gm:?} declared dead"));
+        ctx.metrics()
+            .incr_with("heartbeat_missed", &label("role", "gm"));
+        let failover = ctx.span_instant("gl.gm-failover");
+        ctx.span_label(failover, "gm", format!("{gm:?}"));
         // Any dispatch waiting on that GM moves to the next candidate.
         // BTreeMap iteration is VmId-ordered, so the retry order is stable.
         let stuck: Vec<VmId> = self
@@ -840,17 +916,25 @@ impl Component for GroupManager {
                 } else if let Some(active) = msg.downcast_ref::<VmActive>() {
                     self.placed_registry.insert(active.vm, (src, active.lc));
                     if let Some(state) = self.dispatches.remove(&active.vm) {
+                        ctx.span_label(state.span, "outcome", "placed");
+                        ctx.span_close(state.span);
                         let placed = VmPlaced {
                             vm: active.vm,
                             gm: src,
                             lc: active.lc,
                         };
-                        ctx.send(state.client, Box::new(placed));
+                        ctx.send_in(state.span, state.client, Box::new(placed));
                     }
                 } else if let Some(fail) = msg.downcast_ref::<VmFailed>() {
                     if let Some(state) = self.dispatches.remove(&fail.vm) {
                         self.stats.rejected_as_gl += 1;
-                        ctx.send(state.client, Box::new(VmRejected { vm: fail.vm }));
+                        ctx.span_label(state.span, "outcome", "failed");
+                        ctx.span_close(state.span);
+                        ctx.send_in(
+                            state.span,
+                            state.client,
+                            Box::new(VmRejected { vm: fail.vm }),
+                        );
                     }
                 } else if msg
                     .downcast_ref::<crate::unified::ManagerCensusQuery>()
@@ -931,7 +1015,17 @@ impl Component for GroupManager {
                             migrating_to: None,
                             confirmed: true,
                             start_sent_at: now,
+                            span: None,
+                            migration_span: None,
                         });
+                        if !rec.confirmed {
+                            // Monitoring vouched for the VM before the
+                            // StartVmResult arrived: the placement is done.
+                            if let Some(sp) = rec.span.take() {
+                                ctx.span_label(sp, "outcome", "confirmed");
+                                ctx.span_close(sp);
+                            }
+                        }
                         rec.confirmed = true; // the LC vouches for it
                         rec.usage.observe(vu.used);
                     }
@@ -945,8 +1039,13 @@ impl Component for GroupManager {
                     let report = msg.downcast::<AnomalyReport>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
                     self.lc_fd.heard(src, now);
                     let views = self.lc_views();
+                    // Each relocation round is a span; the migrations it
+                    // commands nest under it through the ambient context.
+                    let span = ctx.span_open("gm.relocate");
+                    ctx.span_label(span, "lc", format!("{src:?}"));
                     match report.kind {
                         AnomalyKind::Overload => {
+                            ctx.span_label(span, "kind", "overload");
                             let vms = self.vm_views_of(src);
                             if let Some(m) = plan_overload_relocation(src, &vms, &views) {
                                 ctx.trace("relocate", format!("overload: {m:?}"));
@@ -954,6 +1053,7 @@ impl Component for GroupManager {
                             }
                         }
                         AnomalyKind::Underload => {
+                            ctx.span_label(span, "kind", "underload");
                             let vms = self.vm_views_of(src);
                             if let Some(plan) = plan_underload_relocation(
                                 src,
@@ -971,9 +1071,15 @@ impl Component for GroupManager {
                             }
                         }
                     }
+                    ctx.span_close(span);
                 } else if msg.downcast_ref::<PlaceVmRequest>().is_some() {
                     let req = msg.downcast::<PlaceVmRequest>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                    if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload) {
+                                                                         // Child of the GL's dispatch span; lives in the
+                                                                         // VmRecord (or pending queue) until the start confirms.
+                    let span = ctx.span_open("gm.place");
+                    ctx.span_label(span, "vm", req.spec.id.0.to_string());
+                    if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload, Some(span)) {
+                        ctx.span_label(span, "lc", format!("{lc:?}"));
                         let resp = PlaceVmResponse {
                             vm: req.spec.id,
                             placed_on: Some(lc),
@@ -981,14 +1087,17 @@ impl Component for GroupManager {
                         ctx.send(src, Box::new(resp));
                     } else if self.lcs.values().any(|r| r.waking) {
                         // Capacity is waking up: accept and queue.
+                        ctx.span_label(span, "queued", "true");
                         let resp = PlaceVmResponse {
                             vm: req.spec.id,
                             placed_on: Some(src),
                         };
                         ctx.send(src, Box::new(resp));
-                        self.enqueue_pending(ctx, req.spec, req.workload);
+                        self.enqueue_pending(ctx, req.spec, req.workload, Some(span));
                     } else {
                         self.stats.placement_rejections += 1;
+                        ctx.span_label(span, "outcome", "refused");
+                        ctx.span_close(span);
                         let resp = PlaceVmResponse {
                             vm: req.spec.id,
                             placed_on: None,
@@ -1000,6 +1109,10 @@ impl Component for GroupManager {
                         if let Some(record) = self.lcs.get_mut(&src) {
                             if let Some(rec) = record.vms.get_mut(&result.vm) {
                                 rec.confirmed = true;
+                                if let Some(sp) = rec.span.take() {
+                                    ctx.span_label(sp, "outcome", "started");
+                                    ctx.span_close(sp);
+                                }
                             }
                         }
                         ctx.send(
@@ -1015,7 +1128,7 @@ impl Component for GroupManager {
                             if let Some(rec) = record.vms.remove(&result.vm) {
                                 record.reserved =
                                     record.reserved.saturating_sub(&rec.spec.requested);
-                                self.enqueue_pending(ctx, rec.spec, rec.workload);
+                                self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
                             }
                         }
                     }
@@ -1027,9 +1140,13 @@ impl Component for GroupManager {
                         let rec = r.vms.get_mut(&vm)?;
                         rec.migrating_to
                             .take()
-                            .map(|dest| (rec.spec.requested, dest))
+                            .map(|dest| (rec.spec.requested, dest, rec.migration_span.take()))
                     });
-                    if let Some((requested, dest)) = rollback {
+                    if let Some((requested, dest, mig_span)) = rollback {
+                        if let Some(sp) = mig_span {
+                            ctx.span_label(sp, "outcome", "refused");
+                            ctx.span_close(sp);
+                        }
                         if let Some(dst) = self.lcs.get_mut(&dest) {
                             dst.reserved = dst.reserved.saturating_sub(&requested);
                         }
@@ -1062,12 +1179,17 @@ impl Component for GroupManager {
                         Some(rec)
                     });
                     if let Some(rec) = rec {
+                        if let Some(sp) = rec.migration_span {
+                            ctx.span_label(sp, "outcome", if done.ok { "done" } else { "failed" });
+                            ctx.span_close(sp);
+                        }
                         if done.ok {
                             if let Some(dst_rec) = self.lcs.get_mut(&src) {
                                 dst_rec.vms.insert(
                                     vm,
                                     VmRecord {
                                         migrating_to: None,
+                                        migration_span: None,
                                         ..rec
                                     },
                                 );
@@ -1081,7 +1203,7 @@ impl Component for GroupManager {
                             }
                             if self.config.reschedule_on_lc_failure {
                                 self.stats.vms_rescheduled += 1;
-                                self.enqueue_pending(ctx, rec.spec, rec.workload);
+                                self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
                             }
                         }
                     }

@@ -10,11 +10,15 @@
 //! a GM assignment, joins that GM's multicast group and starts sending
 //! monitoring reports, which double as its heartbeat.
 
+use std::collections::BTreeMap;
+
 use snooze_cluster::hypervisor::Hypervisor;
 use snooze_cluster::node::{NodeSpec, PowerState, PowerStateMachine};
 use snooze_cluster::power::EnergyMeter;
 use snooze_cluster::vm::{VmId, VmState};
 use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::telemetry::label::label;
+use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::config::SnoozeConfig;
@@ -61,9 +65,11 @@ pub struct LocalController {
     gm_group: Option<GroupId>,
     last_gm_heartbeat: SimTime,
     assignment_requested_at: Option<SimTime>,
-    /// Outbound migrations in flight: vm → destination.
-    migrating_out: Vec<(VmId, ComponentId)>,
+    /// Outbound migrations in flight: vm → (destination, transfer span).
+    migrating_out: Vec<(VmId, ComponentId, SpanId)>,
     last_anomaly_at: SimTime,
+    /// Boot spans for VMs between admission and their boot timer.
+    boot_spans: BTreeMap<VmId, SpanId>,
     /// Statistics.
     pub stats: LcStats,
 }
@@ -88,6 +94,7 @@ impl LocalController {
             assignment_requested_at: None,
             migrating_out: Vec::new(),
             last_anomaly_at: SimTime::ZERO,
+            boot_spans: BTreeMap::new(),
             stats: LcStats::default(),
         }
     }
@@ -180,8 +187,16 @@ impl LocalController {
         if let Some(kind) = kind {
             self.last_anomaly_at = now;
             match kind {
-                AnomalyKind::Overload => self.stats.overload_reports += 1,
-                AnomalyKind::Underload => self.stats.underload_reports += 1,
+                AnomalyKind::Overload => {
+                    self.stats.overload_reports += 1;
+                    ctx.metrics()
+                        .incr_with("lc.anomaly_reports", &label("kind", "overload"));
+                }
+                AnomalyKind::Underload => {
+                    self.stats.underload_reports += 1;
+                    ctx.metrics()
+                        .incr_with("lc.anomaly_reports", &label("kind", "underload"));
+                }
             }
             let vms: Vec<VmUsage> = self
                 .hypervisor
@@ -249,6 +264,8 @@ impl Component for LocalController {
                 if let Ok(done) = self.power.resume(now) {
                     self.meter_update(now);
                     self.stats.wakeups += 1;
+                    ctx.metrics()
+                        .incr_with("power.transitions", &label("kind", "wake"));
                     ctx.set_timer(done - now, tag(LC_POWER, 0));
                     ctx.trace("power", "waking");
                 }
@@ -306,7 +323,13 @@ impl Component for LocalController {
                         g.state = VmState::Booting;
                     }
                     self.meter_update(now);
-                    ctx.set_timer(self.config.vm_boot_delay, tag(LC_VM_BOOT, vm.0));
+                    // The boot is the leaf of the placement tree: a child
+                    // of the GM's gm.place span (ambient from StartVm),
+                    // carried across the boot delay by the timer.
+                    let span = ctx.span_open("lc.boot");
+                    ctx.span_label(span, "vm", vm.0.to_string());
+                    self.boot_spans.insert(vm, span);
+                    ctx.set_timer_in(span, self.config.vm_boot_delay, tag(LC_VM_BOOT, vm.0));
                 }
                 Err(_) => {
                     ctx.send(src, Box::new(StartVmResult { vm, ok: false }));
@@ -343,12 +366,17 @@ impl Component for LocalController {
             let dirty = guest.workload.dirty_rate_mbps(now, &guest.spec.requested);
             let image = guest.spec.image_mb;
             let est = self.config.migration.estimate(image, dirty);
-            self.migrating_out.push((m.vm, m.to));
+            // The transfer span covers pre-copy through hand-off, nested
+            // under the GM's gm.migrate span (ambient from MigrateVm).
+            let span = ctx.span_open("lc.migrate-out");
+            ctx.span_label(span, "vm", m.vm.0.to_string());
+            ctx.span_label(span, "to", format!("{:?}", m.to));
+            self.migrating_out.push((m.vm, m.to, span));
             ctx.trace(
                 "migrate",
                 format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration),
             );
-            ctx.set_timer(est.duration, tag(LC_MIG_OUT, m.vm.0));
+            ctx.set_timer_in(span, est.duration, tag(LC_MIG_OUT, m.vm.0));
         } else if msg.downcast_ref::<VmHandoff>().is_some() {
             let handoff = msg.downcast::<VmHandoff>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
             let vm = handoff.spec.id;
@@ -369,6 +397,8 @@ impl Component for LocalController {
             if self.hypervisor.is_idle() {
                 if let Ok(done) = self.power.suspend(now) {
                     self.stats.suspensions += 1;
+                    ctx.metrics()
+                        .incr_with("power.transitions", &label("kind", "suspend"));
                     self.meter_update(now);
                     ctx.set_timer(done - now, tag(LC_POWER, 0));
                     ctx.trace("power", "suspending");
@@ -416,19 +446,26 @@ impl Component for LocalController {
                     self.stats.vms_started += 1;
                     self.meter_update(now);
                     if let Some(gm) = self.gm {
+                        // The timer's span context makes the ack a causal
+                        // descendant of lc.boot.
                         ctx.send(gm, Box::new(StartVmResult { vm, ok: true }));
                     }
+                }
+                if let Some(sp) = self.boot_spans.remove(&vm) {
+                    ctx.span_close(sp);
                 }
             }
             LC_MIG_OUT => {
                 let vm = VmId(tag_payload(t));
-                let Some(pos) = self.migrating_out.iter().position(|(v, _)| *v == vm) else {
+                let Some(pos) = self.migrating_out.iter().position(|(v, _, _)| *v == vm) else {
                     return;
                 };
-                let (_, dest) = self.migrating_out.swap_remove(pos);
+                let (_, dest, span) = self.migrating_out.swap_remove(pos);
                 if let Some(guest) = self.hypervisor.remove(vm) {
                     self.stats.migrations_out += 1;
                     self.meter_update(now);
+                    // Hand-off inherits the transfer span (timer context);
+                    // close it only after, so the send stays inside it.
                     ctx.send(
                         dest,
                         Box::new(VmHandoff {
@@ -437,6 +474,7 @@ impl Component for LocalController {
                         }),
                     );
                 }
+                ctx.span_close(span);
             }
             // RTC check-in: a suspended node wakes periodically so it can
             // notice a dead GM and rejoin (no one else can wake an
@@ -445,6 +483,8 @@ impl Component for LocalController {
                 if let Ok(done) = self.power.resume(now) {
                     self.stats.watchdog_wakes += 1;
                     self.stats.wakeups += 1;
+                    ctx.metrics()
+                        .incr_with("power.transitions", &label("kind", "watchdog-wake"));
                     self.meter_update(now);
                     ctx.set_timer(done - now, tag(LC_POWER, 0));
                     ctx.trace("power", "watchdog wake");
@@ -484,6 +524,7 @@ impl Component for LocalController {
         self.power = PowerStateMachine::new_on(self.node.transitions);
         self.energy = EnergyMeter::new(now, self.node.power.active_watts(0.0));
         self.migrating_out.clear();
+        self.boot_spans.clear();
         if let Some(group) = self.gm_group.take() {
             ctx.leave_group(group);
         }

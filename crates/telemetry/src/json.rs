@@ -1,0 +1,128 @@
+//! Minimal deterministic JSON rendering helpers.
+//!
+//! The exporters need exactly three things from JSON — string escaping,
+//! deterministic number formatting, and object assembly with caller-chosen
+//! key order — so this hand-rolled writer avoids pulling a serialisation
+//! dependency into the workspace. Output is canonical for our purposes:
+//! the same calls always produce the same bytes.
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` deterministically. Uses Rust's shortest-roundtrip
+/// `Display`, mapping non-finite values (invalid JSON) to `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental JSON object writer with insertion-order keys.
+#[derive(Debug, Default)]
+pub struct Obj {
+    body: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push(key, &format!("\"{}\"", escape(value)));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.push(key, &value.to_string());
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.push(key, &num(value));
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Finish: `{"k":v,...}`.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+
+    fn push(&mut self, key: &str, rendered: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(&escape(key));
+        self.body.push_str("\":");
+        self.body.push_str(rendered);
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn array(elems: &[String]) -> String {
+    format!("[{}]", elems.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_are_roundtrip_and_finite() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let o = Obj::new()
+            .str("name", "x")
+            .u64("ts", 12)
+            .f64("v", 0.5)
+            .raw("args", "{}")
+            .finish();
+        assert_eq!(o, "{\"name\":\"x\",\"ts\":12,\"v\":0.5,\"args\":{}}");
+    }
+
+    #[test]
+    fn array_joins() {
+        assert_eq!(array(&["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(&[]), "[]");
+    }
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The full local gate: formatting, the clippy deny-set, the determinism
-# lint, and every test (including the feature-gated runtime invariant
-# suite). CI and pre-commit both just run this script.
+# lint (which covers crates/telemetry along with the rest of the
+# simulation path), every test (including the feature-gated runtime
+# invariant suite), and a two-run byte-identity check on the telemetry
+# exports. CI and pre-commit both just run this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,17 @@ cargo test --offline -p snooze-audit --features audit -q
 
 say "snooze-audit determinism"
 cargo run --offline -q -p snooze-audit -- determinism
+
+say "telemetry export determinism (two same-seed report runs)"
+tmp="$(mktemp -d)"
+cargo run --offline -q -p snooze-bench --bin report -- --out "$tmp/a" >/dev/null
+cargo run --offline -q -p snooze-bench --bin report -- --out "$tmp/b" >/dev/null
+for f in trace.chrome.json spans.jsonl metrics.prom metrics.jsonl; do
+  cmp -s "$tmp/a/$f" "$tmp/b/$f" || {
+    echo "nondeterministic telemetry export: $f" >&2
+    exit 1
+  }
+done
+rm -rf "$tmp"
 
 say "all checks passed"
