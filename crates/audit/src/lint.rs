@@ -41,6 +41,7 @@ pub const SIM_PATH: &[&str] = &[
     "crates/snooze/src",
     "crates/consolidation/src",
     "crates/telemetry/src",
+    "crates/scenario/src",
 ];
 
 /// One source line, split into its code and comment parts (string

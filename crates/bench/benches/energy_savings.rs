@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use snooze::prelude::SnoozeConfig;
-use snooze_bench::simrun::{burst, deploy, Deployment};
+use snooze_bench::simrun::{burst, deploy, Deployment, VmIdAlloc};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 fn run(pm: bool, seed: u64) -> f64 {
@@ -24,11 +24,18 @@ fn run(pm: bool, seed: u64) -> f64 {
     let mut live = deploy(
         &dep,
         &config,
-        burst(6, SimTime::from_secs(30), 2.0, 4096.0, 0.5),
+        burst(
+            &mut VmIdAlloc::new(),
+            6,
+            SimTime::from_secs(30),
+            2.0,
+            4096.0,
+            0.5,
+        ),
     );
     let horizon = SimTime::from_secs(900);
     live.sim.run_until(horizon);
-    live.system.total_energy_wh(&live.sim, horizon)
+    live.system().total_energy_wh(&live.sim, horizon)
 }
 
 fn bench_energy(c: &mut Criterion) {

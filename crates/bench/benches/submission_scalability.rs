@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use snooze::prelude::SnoozeConfig;
-use snooze_bench::simrun::{burst, deploy, Deployment};
+use snooze_bench::simrun::{burst, deploy, Deployment, VmIdAlloc};
 use snooze_simcore::time::SimTime;
 
 fn place_burst(managers: usize, vms: usize, seed: u64) -> usize {
@@ -24,7 +24,14 @@ fn place_burst(managers: usize, vms: usize, seed: u64) -> usize {
     let mut live = deploy(
         &dep,
         &config,
-        burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5),
+        burst(
+            &mut VmIdAlloc::new(),
+            vms,
+            SimTime::from_secs(30),
+            2.0,
+            4096.0,
+            0.5,
+        ),
     );
     live.run_until_settled(SimTime::from_secs(600));
     live.client().placed.len()

@@ -33,7 +33,7 @@ fn main() {
     let out = flag("--out").map(std::path::PathBuf::from);
 
     eprintln!("[report] running E4-style scenario (seed {seed}) …");
-    let spec = ScenarioSpec::e4_failover(seed);
+    let spec = report_failover(seed);
     let (live, crashed) = run_scenario(&spec);
 
     scenario_summary(&live, crashed).print();

@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|all]...
+//! run_experiments --scenario <file.toml>
+//! run_experiments --list-scenarios [dir]
+//! run_experiments --check-scenarios [dir]
+//! run_experiments --dump-scenarios [dir]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Each experiment prints
@@ -13,12 +17,113 @@
 //! `e7b.json`, …) with the schema documented on
 //! [`Table::to_json`]: `{"title", "columns", "rows": [{column: cell}]}`,
 //! cells verbatim as printed.
+//!
+//! The scenario flags drive the declarative layer (`snooze-scenario`):
+//! `--scenario` runs every variant of one TOML file and prints generic
+//! outcome/fault/probe tables; `--list-scenarios` inventories a
+//! directory (default `scenarios/`); `--check-scenarios` is the CI gate
+//! (parse, canonical-form, dry-run compile, preset drift);
+//! `--dump-scenarios` (re)writes the preset files.
 
 use snooze_bench::table::Table;
 use snooze_bench::*;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Scenario-layer modes: handle and exit before the experiment sweep.
+    let dir_arg = |args: &[String], i: usize| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "scenarios".into())
+    };
+    if let Some(i) = args.iter().position(|a| a == "--dump-scenarios") {
+        let dir = std::path::PathBuf::from(dir_arg(&args, i));
+        match scenario_cli::dump_dir(&dir) {
+            Ok(written) => {
+                for w in written {
+                    println!("wrote {w}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--fmt-scenarios") {
+        let dir = std::path::PathBuf::from(dir_arg(&args, i));
+        match scenario_cli::fmt_dir(&dir) {
+            Ok(rewritten) => {
+                for r in rewritten {
+                    println!("canonicalized {r}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--list-scenarios") {
+        let dir = std::path::PathBuf::from(dir_arg(&args, i));
+        match scenario_cli::list_table(&dir) {
+            Ok(t) => t.print(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--check-scenarios") {
+        let dir = std::path::PathBuf::from(dir_arg(&args, i));
+        match scenario_cli::check_dir(&dir) {
+            Ok(report) => {
+                for line in report {
+                    println!("{line}");
+                }
+                println!("scenario check: OK");
+            }
+            Err(e) => {
+                eprintln!("scenario check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        let Some(file) = args.get(i + 1).cloned() else {
+            eprintln!("--scenario needs a file argument");
+            std::process::exit(2);
+        };
+        let path = std::path::PathBuf::from(file);
+        match scenario_cli::run_file(&path) {
+            Ok(outcomes) => {
+                let title = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                scenario_cli::summary_table(&title, &outcomes).print();
+                let faults = scenario_cli::fault_table(&outcomes);
+                if !faults.is_empty() {
+                    faults.print();
+                }
+                let probes = scenario_cli::probe_table(&outcomes);
+                if !probes.is_empty() {
+                    probes.print();
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let csv_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--csv").map(|i| {
         let dir = args
             .get(i + 1)

@@ -14,20 +14,16 @@
 //!    distributed deployment — each GM consolidates only its own LCs.
 //!    Sweeping the GM count on a fixed cluster measures how partitioning
 //!    the consolidation scope affects the nodes the system manages to
-//!    power down.
+//!    power down. The sweep is a declarative scenario
+//!    (`scenarios/e10b.toml`).
 
-use std::time::Instant;
-
-use snooze::prelude::*;
-use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::ReconfigurationConfig;
 use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
 use snooze_consolidation::distributed::{DistributedAco, DistributedParams};
 use snooze_consolidation::problem::{Consolidator, InstanceGenerator};
-use snooze_simcore::prelude::*;
+use snooze_scenario::presets;
 use snooze_simcore::rng::SimRng;
+use snooze_simcore::wallclock::WallClock;
 
-use crate::simrun::{burst, deploy, Deployment};
 use crate::table::{f2, Table};
 
 /// One offline comparison row.
@@ -41,9 +37,9 @@ pub struct E10OfflineRow {
     pub central_hosts: f64,
     /// Mean hosts, distributed colonies + ring exchange.
     pub distributed_hosts: f64,
-    /// Mean runtime of the centralized colony, ms.
+    /// Mean runtime of the centralized colony, ms (advisory).
     pub central_ms: f64,
-    /// Mean runtime of the distributed scheme, ms.
+    /// Mean runtime of the distributed scheme, ms (advisory).
     pub distributed_ms: f64,
 }
 
@@ -75,12 +71,12 @@ pub fn run_offline(
                     exchange_rounds: 2,
                     aco: AcoParams::default(),
                 });
-                let t0 = Instant::now();
+                let t0 = WallClock::start();
                 let c = central.consolidate(&inst);
-                let c_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let t1 = Instant::now();
+                let c_ms = t0.elapsed_ms();
+                let t1 = WallClock::start();
                 let d = distributed.consolidate(&inst);
-                let d_ms = t1.elapsed().as_secs_f64() * 1e3;
+                let d_ms = t1.elapsed_ms();
                 if let (Some(c), Some(d)) = (c, d) {
                     solved += 1;
                     row.central_hosts += c.bins_used() as f64;
@@ -126,48 +122,17 @@ pub fn run_in_hierarchy(
 ) -> Vec<E10SystemRow> {
     gm_counts
         .iter()
-        .map(|&gms| {
-            let config = SnoozeConfig {
-                placement: PlacementKind::RoundRobin, // spread first
-                idle_suspend_after: Some(SimSpan::from_secs(60)),
-                underload_threshold: 0.0, // isolate reconfiguration
-                reconfiguration: Some(ReconfigurationConfig {
-                    period: SimSpan::from_secs(120),
-                    aco: AcoParams {
-                        n_cycles: 15,
-                        ..AcoParams::default()
-                    },
-                    max_migrations: 16,
-                }),
-                ..SnoozeConfig::default()
-            };
-            let dep = Deployment {
-                managers: gms + 1,
-                lcs,
-                eps: 1,
-                seed: seed ^ gms as u64,
-            };
-            let mut live = deploy(
-                &dep,
-                &config,
-                burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.6),
-            );
-            let horizon = SimTime::from_secs(1800);
-            live.sim.run_until(horizon);
-            let (on, transitioning, _) = live.system.power_census(&live.sim);
-            let migrations: u64 = live
-                .system
-                .lcs
-                .iter()
-                .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
-                .map(|l| l.stats.migrations_out)
-                .sum();
+        .zip(presets::e10b(gm_counts, lcs, vms, seed).iter())
+        .map(|(&gms, spec)| {
+            let o = snooze_scenario::run(spec)
+                .expect("E10b preset compiles")
+                .outcome;
             E10SystemRow {
                 gms,
-                nodes_on: on + transitioning,
-                energy_wh: live.system.total_energy_wh(&live.sim, horizon),
-                migrations,
-                placed: live.client().placed.len(),
+                nodes_on: o.nodes_on_end,
+                energy_wh: o.energy_wh,
+                migrations: o.migrations,
+                placed: o.placed,
             }
         })
         .collect()

@@ -5,12 +5,11 @@
 //! amounts of VMs and hosts." Reproduced as: a 144-LC hierarchy receives
 //! bursts of 50–500 VM submissions; the table reports placement success
 //! and submission→running latency, which should grow only mildly with
-//! the burst size.
+//! the burst size. The runs themselves are declarative scenarios
+//! (`scenarios/e4.toml` is the checked-in copy).
 
-use snooze::prelude::SnoozeConfig;
-use snooze_simcore::time::SimTime;
+use snooze_scenario::presets;
 
-use crate::simrun::{burst, deploy, Deployment};
 use crate::table::{f2, Table};
 
 /// One burst size's outcome.
@@ -36,34 +35,21 @@ pub struct E4Row {
 
 /// Run E4 with the given burst sizes on a `lcs`-node cluster.
 pub fn run(vm_counts: &[usize], lcs: usize, managers: usize, seed: u64) -> Vec<E4Row> {
-    vm_counts
+    presets::e4(vm_counts, lcs, managers, seed)
         .iter()
-        .map(|&n| {
-            let config = SnoozeConfig {
-                // Power management off: the CCGrid scalability runs kept
-                // nodes on; wake latency would otherwise dominate.
-                idle_suspend_after: None,
-                ..SnoozeConfig::default()
-            };
-            let dep = Deployment {
-                managers,
-                lcs,
-                eps: 1,
-                seed: seed ^ n as u64,
-            };
-            let schedule = burst(n, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
-            let mut live = deploy(&dep, &config, schedule);
-            live.run_until_settled(SimTime::from_secs(1800));
-            let c = live.client();
+        .map(|spec| {
+            let o = snooze_scenario::run(spec)
+                .expect("E4 preset compiles")
+                .outcome;
             E4Row {
-                vms: n,
+                vms: o.requested_vms,
                 lcs,
-                placed: c.placed.len(),
-                rejected: c.rejected.len(),
-                mean_latency_s: c.mean_latency_secs(),
-                p95_latency_s: c.p95_latency_secs(),
-                sim_events: live.sim.events_executed(),
-                wall_ms: live.wall_ms(),
+                placed: o.placed,
+                rejected: o.rejected,
+                mean_latency_s: o.mean_latency_s,
+                p95_latency_s: o.p95_latency_s,
+                sim_events: o.sim_events,
+                wall_ms: o.wall_ms,
             }
         })
         .collect()

@@ -5,12 +5,11 @@
 //! varying only the number of Group Managers: 1 GM (all LCs under one
 //! manager — the centralized extreme) up to 8 GMs. If distribution is
 //! cheap, placement latency stays flat while the management hierarchy
-//! spreads the monitoring load.
+//! spreads the monitoring load. Runs are declarative scenarios
+//! (`scenarios/e5.toml`).
 
-use snooze::prelude::SnoozeConfig;
-use snooze_simcore::time::SimTime;
+use snooze_scenario::presets;
 
-use crate::simrun::{burst, deploy, Deployment};
 use crate::table::{f2, Table};
 
 /// One hierarchy width's outcome.
@@ -34,32 +33,19 @@ pub struct E5Row {
 pub fn run(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<E5Row> {
     gm_counts
         .iter()
-        .map(|&gms| {
-            let config = SnoozeConfig {
-                idle_suspend_after: None,
-                ..SnoozeConfig::default()
-            };
-            let dep = Deployment {
-                managers: gms + 1,
-                lcs,
-                eps: 1,
-                seed: seed ^ gms as u64,
-            };
-            let schedule = burst(vms, SimTime::from_secs(30), 2.0, 4096.0, 0.5);
-            let mut live = deploy(&dep, &config, schedule);
-            live.run_until_settled(SimTime::from_secs(1200));
-            let placed = live.client().placed.len();
-            let mean = live.client().mean_latency_secs();
-            let p95 = live.client().p95_latency_secs();
-            let messages = live.messages_sent();
+        .zip(presets::e5(gm_counts, lcs, vms, seed).iter())
+        .map(|(&gms, spec)| {
+            let o = snooze_scenario::run(spec)
+                .expect("E5 preset compiles")
+                .outcome;
             E5Row {
                 gms,
-                placed,
-                mean_latency_s: mean,
-                p95_latency_s: p95,
-                messages,
-                messages_per_vm: if placed > 0 {
-                    messages as f64 / placed as f64
+                placed: o.placed,
+                mean_latency_s: o.mean_latency_s,
+                p95_latency_s: o.p95_latency_s,
+                messages: o.messages,
+                messages_per_vm: if o.placed > 0 {
+                    o.messages as f64 / o.placed as f64
                 } else {
                     0.0
                 },

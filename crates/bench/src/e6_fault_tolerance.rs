@@ -7,20 +7,21 @@
 //! every VM-hosting node. Management-plane failures (GL, GM) must leave
 //! application performance untouched; only the LC failure (a *data*-plane
 //! failure) loses its VMs — and recovers them when snapshot rescheduling
-//! is enabled.
+//! is enabled. The whole sequence is a declarative scenario
+//! (`scenarios/e6.toml`): fault phases with observe blocks.
 
 use snooze::group_manager::GroupManager;
 use snooze::prelude::*;
+use snooze_scenario::presets;
 use snooze_simcore::prelude::*;
 
-use crate::simrun::{burst, deploy, Deployment};
 use crate::table::{f2, Table};
 
 /// One injected failure's outcome.
 #[derive(Clone, Debug)]
 pub struct E6Row {
     /// What was killed.
-    pub event: &'static str,
+    pub event: String,
     /// Injection time (s).
     pub at_s: u64,
     /// Mean application performance over the 60 s after injection
@@ -29,7 +30,7 @@ pub struct E6Row {
     /// VMs alive 120 s after injection.
     pub vms_after: usize,
     /// Seconds until the control plane visibly healed (new GL elected /
-    /// LCs re-assigned / VMs rescheduled), capped at 120.
+    /// LCs re-assigned / VMs rescheduled), NaN if not within 180 s.
     pub recovery_s: f64,
 }
 
@@ -42,124 +43,26 @@ pub struct E6Report {
     pub placed: usize,
 }
 
-/// Walk the 180 s after a failure in 2 s steps: sample application
-/// performance over the first 60 s and record when `recovered` first
-/// holds. Returns `(mean_perf, recovery_seconds)` (recovery NaN if the
-/// condition never held).
-fn observe_after(
-    live: &mut crate::simrun::LiveSystem,
-    from: SimTime,
-    mut recovered: impl FnMut(&crate::simrun::LiveSystem) -> bool,
-) -> (f64, f64) {
-    let mut acc = 0.0;
-    let mut n = 0u32;
-    let mut recovery = f64::NAN;
-    for step in 1..=90u64 {
-        let t = from + SimSpan::from_secs(step * 2);
-        live.sim.run_until(t);
-        if step * 2 <= 60 {
-            acc += live.system.mean_performance(&live.sim, live.sim.now());
-            n += 1;
-        }
-        if recovery.is_nan() && recovered(live) {
-            recovery = (step * 2) as f64;
-        }
-    }
-    (if n == 0 { 1.0 } else { acc / n as f64 }, recovery)
-}
-
 /// Run the E6 scenario.
 pub fn run(seed: u64, reschedule: bool) -> E6Report {
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        reschedule_on_lc_failure: reschedule,
-        ..SnoozeConfig::default()
-    };
-    let dep = Deployment {
-        managers: 4,
-        lcs: 24,
-        eps: 1,
-        seed,
-    };
-    let schedule = burst(48, SimTime::from_secs(30), 2.0, 4096.0, 0.7);
-    let mut live = deploy(&dep, &config, schedule);
-    live.run_until_settled(SimTime::from_secs(400));
-    let placed = live.client().placed.len();
-
-    let mut rows = Vec::new();
-
-    // --- kill the GL ---
-    let t_gl = live.sim.now() + SimSpan::from_secs(10);
-    let gl = live.system.current_gl(&live.sim).expect("converged");
-    live.sim.schedule_crash(t_gl, gl);
-    let (perf, recovery) =
-        observe_after(&mut live, t_gl, |l| l.system.current_gl(&l.sim).is_some());
-    rows.push(E6Row {
-        event: "GL crash",
-        at_s: t_gl.as_micros() / 1_000_000,
-        perf_after: perf,
-        vms_after: live.system.total_vms(&live.sim),
-        recovery_s: recovery,
-    });
-
-    // --- kill a GM ---
-    live.sim.run_until(live.sim.now() + SimSpan::from_secs(60));
-    let gm = live.system.active_gms(&live.sim)[0];
-    let t_gm = live.sim.now() + SimSpan::from_secs(5);
-    live.sim.schedule_crash(t_gm, gm);
-    let (perf, recovery) = observe_after(&mut live, t_gm, |l| {
-        let live_gms = l.system.active_gms(&l.sim);
-        l.system.lcs.iter().all(|&lc| {
-            !l.sim.is_alive(lc)
-                || l.sim
-                    .component_as::<LocalController>(lc)
-                    .and_then(|c| c.assigned_gm())
-                    .map(|g| live_gms.contains(&g))
-                    .unwrap_or(false)
-        })
-    });
-    rows.push(E6Row {
-        event: "GM crash",
-        at_s: t_gm.as_micros() / 1_000_000,
-        perf_after: perf,
-        vms_after: live.system.total_vms(&live.sim),
-        recovery_s: recovery,
-    });
-
-    // --- kill an LC hosting VMs ---
-    live.sim.run_until(live.sim.now() + SimSpan::from_secs(60));
-    let victim = *live
-        .system
-        .lcs
-        .iter()
-        .max_by_key(|&&lc| {
-            live.sim
-                .component_as::<LocalController>(lc)
-                .map(|l| l.hypervisor().guest_count())
-                .unwrap_or(0)
-        })
-        .unwrap();
-    let before = live.system.total_vms(&live.sim);
-    let t_lc = live.sim.now() + SimSpan::from_secs(5);
-    live.sim.schedule_crash(t_lc, victim);
-    let (perf, recovery) = observe_after(&mut live, t_lc, |l| {
-        reschedule && l.system.total_vms(&l.sim) >= before
-    });
-    let after = live.system.total_vms(&live.sim);
-    rows.push(E6Row {
-        event: if reschedule {
-            "LC crash (snapshots)"
-        } else {
-            "LC crash"
-        },
-        at_s: t_lc.as_micros() / 1_000_000,
-        perf_after: perf,
-        vms_after: after,
-        recovery_s: recovery,
-    });
-
-    let _ = live.system.current_gl(&live.sim);
-    E6Report { rows, placed }
+    let spec = presets::e6(seed, reschedule);
+    let o = snooze_scenario::run(&spec)
+        .expect("E6 preset compiles")
+        .outcome;
+    E6Report {
+        rows: o
+            .faults
+            .iter()
+            .map(|f| E6Row {
+                event: f.label.clone(),
+                at_s: f.at.as_micros() / 1_000_000,
+                perf_after: f.perf_after,
+                vms_after: f.vms_after,
+                recovery_s: f.recovery_s,
+            })
+            .collect(),
+        placed: o.settle_placed.unwrap_or(0),
+    }
 }
 
 /// Default configuration used by `run_experiments e6`.
@@ -183,7 +86,9 @@ pub fn render(report: &E6Report) -> Table {
             f2(r.perf_after),
             r.vms_after.to_string(),
             if r.recovery_s.is_nan() {
-                "n/a".into()
+                // The observation window is 90 × 2 s: a NaN means the
+                // recovery condition never held within it.
+                "never (>180 s)".into()
             } else {
                 f2(r.recovery_s)
             },
@@ -226,6 +131,25 @@ mod tests {
         assert!(
             lc.vms_after >= gm.vms_after,
             "rescheduling restored VMs: {lc:?}"
+        );
+    }
+
+    #[test]
+    fn never_recovering_rows_render_explicitly() {
+        let report = E6Report {
+            rows: vec![E6Row {
+                event: "LC crash".into(),
+                at_s: 550,
+                perf_after: 1.0,
+                vms_after: 42,
+                recovery_s: f64::NAN,
+            }],
+            placed: 48,
+        };
+        let rendered = render(&report).render();
+        assert!(
+            rendered.contains("never (>180 s)"),
+            "NaN recovery must render explicitly, got:\n{rendered}"
         );
     }
 }

@@ -7,15 +7,11 @@
 //! the same staggered, partly-terminating workload under three
 //! configurations — no power management, suspend-only, and suspend +
 //! ACO reconfiguration — and reports cluster energy over the horizon.
+//! The three configurations are scenario variants (`scenarios/e7.toml`);
+//! the threshold sweep is `scenarios/e7b.toml`.
 
-use snooze::prelude::*;
-use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::ReconfigurationConfig;
-use snooze_consolidation::aco::AcoParams;
-use snooze_simcore::prelude::*;
-use snooze_simcore::rng::SimRng;
+use snooze_scenario::presets;
 
-use crate::simrun::{deploy, vm_item, Deployment};
 use crate::table::{f2, pct, Table};
 
 /// One configuration's outcome.
@@ -37,107 +33,26 @@ pub struct E7Row {
     pub placed: usize,
 }
 
-fn schedule(n: usize, seed: u64) -> Vec<ScheduledVm> {
-    let mut rng = SimRng::new(seed);
-    (0..n)
-        .map(|i| {
-            let cores = rng.uniform(1.0, 3.0);
-            let mem = rng.uniform(2048.0, 8192.0);
-            let util = rng.uniform(0.4, 0.9);
-            let mut item = vm_item(i as u64, cores, mem, util);
-            item.at = SimTime::from_secs(30) + SimSpan::from_secs(rng.range(0, 600) as u64);
-            // Half the fleet terminates mid-run, creating the idle times
-            // the energy manager exploits.
-            if i % 2 == 0 {
-                item.lifetime = Some(SimSpan::from_secs(rng.range(1200, 3600) as u64));
-            }
-            item
-        })
-        .collect()
-}
-
-fn run_one(
-    label: &'static str,
-    config: SnoozeConfig,
-    lcs: usize,
-    vms: usize,
-    horizon: SimTime,
-    seed: u64,
-) -> E7Row {
-    let dep = Deployment {
-        managers: 3,
-        lcs,
-        eps: 1,
-        seed,
-    };
-    let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
-    let mut on_samples = 0.0;
-    let mut samples = 0u32;
-    while live.sim.now() < horizon {
-        let next = (live.sim.now() + SimSpan::from_secs(60)).min(horizon);
-        live.sim.run_until(next);
-        let (on, transitioning, _) = live.system.power_census(&live.sim);
-        on_samples += (on + transitioning) as f64;
-        samples += 1;
-    }
-    let energy = live.system.total_energy_wh(&live.sim, horizon);
-    let (migrations, suspends) = live
-        .system
-        .lcs
-        .iter()
-        .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
-        .fold((0u64, 0u64), |(m, s), l| {
-            (m + l.stats.migrations_out, s + l.stats.suspensions)
-        });
-    E7Row {
-        config: label,
-        energy_wh: energy,
-        savings: 0.0, // filled in by `run`
-        migrations,
-        suspends,
-        mean_nodes_on: if samples > 0 {
-            on_samples / samples as f64
-        } else {
-            0.0
-        },
-        placed: live.client().placed.len(),
-    }
-}
-
 /// Run E7 with `lcs` nodes and `vms` VMs over `horizon_secs`.
 pub fn run(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<E7Row> {
-    let horizon = SimTime::from_secs(horizon_secs);
-    let base = SnoozeConfig {
-        placement: PlacementKind::RoundRobin, // spread first; PM must earn its keep
-        ..SnoozeConfig::default()
-    };
-
-    let no_pm = SnoozeConfig {
-        idle_suspend_after: None,
-        ..base.clone()
-    };
-    let pm = SnoozeConfig {
-        idle_suspend_after: Some(SimSpan::from_secs(120)),
-        ..base.clone()
-    };
-    let pm_reconf = SnoozeConfig {
-        idle_suspend_after: Some(SimSpan::from_secs(120)),
-        reconfiguration: Some(ReconfigurationConfig {
-            period: SimSpan::from_secs(900),
-            aco: AcoParams {
-                n_cycles: 15,
-                ..AcoParams::default()
-            },
-            max_migrations: 12,
-        }),
-        ..base
-    };
-
-    let mut rows = vec![
-        run_one("no power mgmt", no_pm, lcs, vms, horizon, seed),
-        run_one("suspend only", pm, lcs, vms, horizon, seed),
-        run_one("suspend + ACO reconf", pm_reconf, lcs, vms, horizon, seed),
-    ];
+    let mut rows: Vec<E7Row> = presets::e7(lcs, vms, horizon_secs, seed)
+        .iter()
+        .zip(presets::E7_LABELS)
+        .map(|(spec, label)| {
+            let o = snooze_scenario::run(spec)
+                .expect("E7 preset compiles")
+                .outcome;
+            E7Row {
+                config: label,
+                energy_wh: o.energy_wh,
+                savings: 0.0, // filled in below
+                migrations: o.migrations,
+                suspends: o.suspends,
+                mean_nodes_on: o.mean_nodes_on,
+                placed: o.placed,
+            }
+        })
+        .collect();
     let baseline = rows[0].energy_wh;
     for r in &mut rows {
         r.savings = 1.0 - r.energy_wh / baseline;
@@ -175,40 +90,19 @@ pub fn run_threshold_sweep(
     horizon_secs: u64,
     seed: u64,
 ) -> Vec<ThresholdRow> {
-    let horizon = SimTime::from_secs(horizon_secs);
     thresholds_s
         .iter()
-        .map(|&th| {
-            let config = SnoozeConfig {
-                placement: PlacementKind::RoundRobin,
-                idle_suspend_after: Some(SimSpan::from_secs(th)),
-                ..SnoozeConfig::default()
-            };
-            let dep = Deployment {
-                managers: 3,
-                lcs,
-                eps: 1,
-                seed: seed ^ th,
-            };
-            let mut live = deploy(&dep, &config, schedule(vms, seed ^ 0xF1EE7));
-            live.sim.run_until(horizon);
-            let (suspends, wakeups) = live
-                .system
-                .lcs
-                .iter()
-                .filter_map(|&lc| {
-                    live.sim
-                        .component_as::<snooze::prelude::LocalController>(lc)
-                })
-                .fold((0u64, 0u64), |(s, w), l| {
-                    (s + l.stats.suspensions, w + l.stats.wakeups)
-                });
+        .zip(presets::e7b(thresholds_s, lcs, vms, horizon_secs, seed).iter())
+        .map(|(&th, spec)| {
+            let o = snooze_scenario::run(spec)
+                .expect("E7b preset compiles")
+                .outcome;
             ThresholdRow {
                 threshold_s: th,
-                energy_wh: live.system.total_energy_wh(&live.sim, horizon),
-                suspends,
-                wakeups,
-                placed: live.client().placed.len(),
+                energy_wh: o.energy_wh,
+                suspends: o.suspends,
+                wakeups: o.wakeups,
+                placed: o.placed,
             }
         })
         .collect()

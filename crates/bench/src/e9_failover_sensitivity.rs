@@ -6,10 +6,10 @@
 //! This sweep measures, for each setting, how long the hierarchy is
 //! headless after a GL crash and how long orphaned LCs take to rejoin
 //! after a GM crash — the figure that tells an operator what the
-//! heartbeat knobs buy.
+//! heartbeat knobs buy. Each measurement is one declarative scenario
+//! (`scenarios/e9.toml`): two fault phases with polling observe blocks.
 
-use snooze::prelude::*;
-use snooze_cluster::node::NodeSpec;
+use snooze_scenario::presets;
 use snooze_simcore::prelude::*;
 
 use crate::table::{f1, Table};
@@ -28,63 +28,26 @@ pub struct E9Row {
 }
 
 fn measure(session_timeout: SimSpan, heartbeat: SimSpan, seed: u64) -> E9Row {
-    let config = SnoozeConfig {
-        gl_heartbeat_period: heartbeat,
-        gm_heartbeat_period: heartbeat,
-        gm_lc_heartbeat_period: heartbeat,
-        lc_monitoring_period: heartbeat,
-        gm_timeout: heartbeat * 4,
-        lc_timeout: heartbeat * 4,
-        gm_silence_for_lc: heartbeat * 4,
-        zk_session_timeout: session_timeout,
-        election_ping_period: session_timeout / 3,
-        idle_suspend_after: None,
-        ..SnoozeConfig::default()
+    let spec = presets::e9_single(
+        session_timeout.as_micros() / 1000,
+        heartbeat.as_micros() / 1000,
+        seed,
+    );
+    let o = snooze_scenario::run(&spec)
+        .expect("E9 preset compiles")
+        .outcome;
+    let recovery = |label: &str| {
+        o.faults
+            .iter()
+            .find(|f| f.label == label)
+            .map(|f| f.recovery_s)
+            .unwrap_or(f64::NAN)
     };
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
-    let nodes = NodeSpec::standard_cluster(8);
-    let system = SnoozeSystem::deploy(&mut sim, &config, 4, &nodes, 1);
-    sim.run_until(SimTime::from_secs(60));
-
-    // --- GL failover time ---
-    let gl = system.current_gl(&sim).expect("converged");
-    let t_crash = sim.now();
-    sim.schedule_crash(t_crash, gl);
-    let mut gl_failover_s = f64::NAN;
-    for step in 1..600 {
-        sim.run_until(t_crash + SimSpan::from_millis(step * 500));
-        if system.current_gl(&sim).is_some() {
-            gl_failover_s = (step as f64) * 0.5;
-            break;
-        }
-    }
-
-    // --- LC rejoin time after GM crash ---
-    sim.run_until(sim.now() + SimSpan::from_secs(60));
-    let gm = system.active_gms(&sim)[0];
-    let t_crash = sim.now();
-    sim.schedule_crash(t_crash, gm);
-    let mut lc_rejoin_s = f64::NAN;
-    for step in 1..600 {
-        sim.run_until(t_crash + SimSpan::from_millis(step * 500));
-        let live = system.active_gms(&sim);
-        let all_ok = system.lcs.iter().all(|&lc| {
-            sim.component_as::<LocalController>(lc)
-                .and_then(|l| l.assigned_gm())
-                .map(|g| live.contains(&g))
-                .unwrap_or(false)
-        });
-        if all_ok {
-            lc_rejoin_s = (step as f64) * 0.5;
-            break;
-        }
-    }
-
     E9Row {
         session_timeout_s: session_timeout.as_secs_f64(),
         heartbeat_s: heartbeat.as_secs_f64(),
-        gl_failover_s,
-        lc_rejoin_s,
+        gl_failover_s: recovery("GL failover"),
+        lc_rejoin_s: recovery("LC rejoin"),
     }
 }
 

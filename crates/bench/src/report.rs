@@ -10,72 +10,26 @@
 //! trace-event JSON, Prometheus text exposition, JSONL dumps) — all
 //! byte-identical across two same-seed runs.
 
-use snooze::prelude::*;
 use snooze_consolidation::{AcoConsolidator, AcoParams, InstanceGenerator};
 use snooze_simcore::metrics::Histogram;
 use snooze_simcore::prelude::*;
 use snooze_simcore::telemetry::{self, SpanId, SpanLog, SpanRecord};
 
-use crate::simrun::{burst, deploy, Deployment, LiveSystem};
+use crate::simrun::LiveSystem;
 use crate::table::{f2, Table};
 
-/// Shape of the observability scenario.
-#[derive(Clone, Debug)]
-pub struct ScenarioSpec {
-    /// Manager components (one wins the GL election; the rest serve GMs).
-    pub managers: usize,
-    /// Local Controllers.
-    pub lcs: usize,
-    /// Entry Points.
-    pub eps: usize,
-    /// VMs in the burst.
-    pub n_vms: usize,
-    /// RNG seed — the *only* run-to-run degree of freedom.
-    pub seed: u64,
-    /// Crash one active GM this long into the run.
-    pub crash_gm_at: Option<SimTime>,
-    /// Virtual deadline.
-    pub deadline: SimTime,
-}
-
-impl ScenarioSpec {
-    /// The acceptance scenario: 1 GL / 4 GMs / 32 LCs, a 100-VM burst,
-    /// one GM crash while placements are in flight.
-    pub fn e4_failover(seed: u64) -> Self {
-        ScenarioSpec {
-            managers: 5,
-            lcs: 32,
-            eps: 1,
-            n_vms: 100,
-            seed,
-            crash_gm_at: Some(SimTime::from_secs(45)),
-            deadline: SimTime::from_secs(600),
-        }
-    }
-}
+pub use snooze_scenario::presets::report_failover;
+pub use snooze_scenario::ScenarioSpec;
 
 /// Run the scenario to completion and return the live system (with its
-/// span log and metrics) plus the crashed GM, if any.
+/// span log and metrics) plus the first crashed component, if any.
+/// The acceptance scenario itself is [`report_failover`]
+/// (`scenarios/report.toml`): a 100-VM burst with one GM crash while
+/// placements are in flight.
 pub fn run_scenario(spec: &ScenarioSpec) -> (LiveSystem, Option<ComponentId>) {
-    let dep = Deployment {
-        managers: spec.managers,
-        lcs: spec.lcs,
-        eps: spec.eps,
-        seed: spec.seed,
-    };
-    let schedule = burst(spec.n_vms, SimTime::from_secs(30), 2.0, 4096.0, 0.6);
-    let mut live = deploy(&dep, &SnoozeConfig::fast_test(), schedule);
-    let mut crashed = None;
-    if let Some(t) = spec.crash_gm_at {
-        live.sim.run_until(t);
-        // Crash the first manager that is serving as a (non-GL) GM.
-        if let Some(&gm) = live.system.active_gms(&live.sim).first() {
-            live.sim.schedule_crash(t + SimSpan::from_millis(1), gm);
-            crashed = Some(gm);
-        }
-    }
-    live.run_until_settled(spec.deadline);
-    (live, crashed)
+    let run = snooze_scenario::run(spec).expect("report scenario compiles");
+    let crashed = run.outcome.faults.first().map(|f| f.target);
+    (run.live, crashed)
 }
 
 /// Track-naming function for the Chrome exporter: component name + id.

@@ -1,0 +1,254 @@
+//! CLI-side scenario plumbing for `run_experiments`: load scenario
+//! documents from disk, run every expanded variant through the generic
+//! compiler, render outcome tables, and keep the checked-in
+//! `scenarios/*.toml` files in sync with the presets.
+
+use std::path::{Path, PathBuf};
+
+use snooze_scenario::spec::ScenarioDoc;
+use snooze_scenario::{compile, run, ScenarioOutcome};
+
+use crate::table::{f2, Table};
+
+/// Parse a scenario document from a file.
+pub fn load(path: &Path) -> Result<ScenarioDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run every variant of a scenario file, in document order.
+pub fn run_file(path: &Path) -> Result<Vec<ScenarioOutcome>, String> {
+    let doc = load(path)?;
+    doc.expand()?
+        .iter()
+        .map(|spec| {
+            eprintln!("[scenario] {} …", spec.name);
+            run(spec).map(|r| r.outcome)
+        })
+        .collect()
+}
+
+/// The generic per-run summary table for `--scenario`.
+pub fn summary_table(title: &str, outcomes: &[ScenarioOutcome]) -> Table {
+    let mut t = Table::new(
+        format!("scenario outcomes: {title}"),
+        &[
+            "scenario",
+            "seed",
+            "requested",
+            "placed",
+            "rejected",
+            "energy Wh",
+            "migrations",
+            "suspends",
+            "nodes on",
+            "VMs end",
+            "sim events",
+            "wall ms",
+        ],
+    );
+    for o in outcomes {
+        t.row(vec![
+            o.name.clone(),
+            o.seed.to_string(),
+            o.requested_vms.to_string(),
+            o.placed.to_string(),
+            o.rejected.to_string(),
+            f2(o.energy_wh),
+            o.migrations.to_string(),
+            o.suspends.to_string(),
+            o.nodes_on_end.to_string(),
+            o.total_vms_end.to_string(),
+            o.sim_events.to_string(),
+            f2(o.wall_ms),
+        ]);
+    }
+    t
+}
+
+/// Fault outcomes of every run that injected any (empty table otherwise).
+pub fn fault_table(outcomes: &[ScenarioOutcome]) -> Table {
+    let mut t = Table::new(
+        "fault outcomes",
+        &[
+            "scenario",
+            "fault",
+            "at s",
+            "perf after",
+            "VMs after",
+            "recovery s",
+        ],
+    );
+    for o in outcomes {
+        for f in &o.faults {
+            t.row(vec![
+                o.name.clone(),
+                f.label.clone(),
+                (f.at.as_micros() / 1_000_000).to_string(),
+                if f.perf_after.is_nan() {
+                    "-".into()
+                } else {
+                    f2(f.perf_after)
+                },
+                f.vms_after.to_string(),
+                if f.recovery_s.is_nan() {
+                    "never".into()
+                } else {
+                    f2(f.recovery_s)
+                },
+            ]);
+        }
+    }
+    t
+}
+
+/// Probe samples of every run that declared any (empty table otherwise).
+pub fn probe_table(outcomes: &[ScenarioOutcome]) -> Table {
+    let mut t = Table::new(
+        "probe samples",
+        &[
+            "scenario", "probe", "at s", "placed", "VMs", "nodes on", "messages",
+        ],
+    );
+    for o in outcomes {
+        for p in &o.probes {
+            t.row(vec![
+                o.name.clone(),
+                p.name.clone(),
+                (p.at.as_micros() / 1_000_000).to_string(),
+                p.placed.to_string(),
+                p.total_vms.to_string(),
+                p.nodes_on.to_string(),
+                p.messages.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Every `*.toml` under `dir`, sorted by file name.
+pub fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// The `--list-scenarios` table: one row per checked-in file.
+pub fn list_table(dir: &Path) -> Result<Table, String> {
+    let mut t = Table::new(
+        format!("scenarios in {}", dir.display()),
+        &["file", "name", "runs", "description"],
+    );
+    for path in scenario_files(dir)? {
+        let doc = load(&path)?;
+        t.row(vec![
+            path.file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned(),
+            doc.name().unwrap_or("-").to_string(),
+            doc.run_count().to_string(),
+            doc.description().unwrap_or("-").to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// The `--check-scenarios` gate: every file under `dir` must parse,
+/// round-trip canonically, expand, and dry-run compile (deployment +
+/// workload + fault schedule built, no simulation); and every preset
+/// scenario must have an up-to-date checked-in copy.
+pub fn check_dir(dir: &Path) -> Result<Vec<String>, String> {
+    let mut report = Vec::new();
+    for path in scenario_files(dir)? {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if doc.to_toml() != text {
+            return Err(format!(
+                "{}: not in canonical form (regenerate with --dump-scenarios or re-render)",
+                path.display()
+            ));
+        }
+        let specs = doc
+            .expand()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        for spec in &specs {
+            compile(spec).map_err(|e| format!("{}: {}: {e}", path.display(), spec.name))?;
+        }
+        report.push(format!(
+            "{}: {} run(s) compile",
+            path.display(),
+            specs.len()
+        ));
+    }
+    for (file, doc) in snooze_scenario::presets::checked_in() {
+        let path = dir.join(file);
+        let on_disk = std::fs::read_to_string(&path)
+            .map_err(|_| format!("{}: missing (run --dump-scenarios)", path.display()))?;
+        if on_disk != doc.to_toml() {
+            return Err(format!(
+                "{}: drifted from the preset (run --dump-scenarios)",
+                path.display()
+            ));
+        }
+    }
+    report.push(format!(
+        "{} preset file(s) match the in-tree presets",
+        snooze_scenario::presets::checked_in().len()
+    ));
+    Ok(report)
+}
+
+/// The `--fmt-scenarios` writer: rewrite every file under `dir` into
+/// canonical form (idempotent; hand-authored scenarios pass the
+/// `--check-scenarios` canonical-form gate after this).
+pub fn fmt_dir(dir: &Path) -> Result<Vec<String>, String> {
+    let mut rewritten = Vec::new();
+    for path in scenario_files(dir)? {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let canon = doc.to_toml();
+        if canon != text {
+            std::fs::write(&path, canon).map_err(|e| format!("{}: {e}", path.display()))?;
+            rewritten.push(path.display().to_string());
+        }
+    }
+    Ok(rewritten)
+}
+
+/// The `--dump-scenarios` writer: (re)write every preset file into `dir`.
+pub fn dump_dir(dir: &Path) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for (file, doc) in snooze_scenario::presets::checked_in() {
+        let path = dir.join(file);
+        std::fs::write(&path, doc.to_toml()).map_err(|e| format!("{}: {e}", path.display()))?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_tables_render_fault_and_probe_rows() {
+        let spec = snooze_scenario::presets::report_failover(7);
+        let o = snooze_scenario::run(&spec).expect("compiles").outcome;
+        let s = summary_table("report", std::slice::from_ref(&o)).render();
+        assert!(s.contains("report-failover"));
+        let f = fault_table(std::slice::from_ref(&o)).render();
+        assert!(f.contains("GM crash"));
+        assert!(
+            f.contains("never"),
+            "no-observe faults render a '-'/'never' pair"
+        );
+    }
+}

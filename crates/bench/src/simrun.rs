@@ -1,134 +1,26 @@
-//! Shared harness for the full-system experiments (E4–E7): deploy a
-//! Snooze hierarchy, drive it with a scripted client, and collect the
-//! metrics the tables report.
+//! Compatibility shim over the scenario layer's live harness.
+//!
+//! The deploy/burst/settle machinery that used to live here moved into
+//! `snooze-scenario::live`, where the scenario compiler consumes it; the
+//! experiment modules now drive it through declarative
+//! [`snooze_scenario::ScenarioSpec`]s. The Criterion benches (and any
+//! out-of-tree user of the old API) keep these re-exports.
+//!
+//! One behavioural fix rode along with the move: [`burst`] now threads a
+//! [`VmIdAlloc`] instead of restarting VM ids at 0 on every call, so two
+//! bursts in one schedule can no longer collide on `VmId`s (or on the
+//! per-VM RNG streams seeded from them).
 
-use std::time::Instant;
-
-use snooze::prelude::*;
-use snooze_cluster::node::NodeSpec;
-use snooze_cluster::resources::ResourceVector;
-use snooze_cluster::vm::{VmId, VmSpec};
-use snooze_cluster::workload::{UsageShape, VmWorkload};
-use snooze_simcore::prelude::*;
-
-/// Deployment shape for a system experiment.
-#[derive(Clone, Debug)]
-pub struct Deployment {
-    /// Manager components (one becomes GL; the rest serve as GMs).
-    pub managers: usize,
-    /// Physical nodes / LCs.
-    pub lcs: usize,
-    /// Entry points.
-    pub eps: usize,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-/// A deployed system plus its driver client.
-pub struct LiveSystem {
-    /// The engine.
-    pub sim: Engine,
-    /// Component handles.
-    pub system: SnoozeSystem,
-    /// The scripted client.
-    pub client: ComponentId,
-    wall_start: Instant,
-}
-
-/// Build a flat-utilization VM spec of `cores` cores.
-pub fn vm_item(id: u64, cores: f64, mem_mb: f64, util: f64) -> ScheduledVm {
-    let mut spec = VmSpec::new(VmId(id), ResourceVector::new(cores, mem_mb, 100.0, 100.0));
-    spec.image_mb = 1024.0; // small OS image: migrations stay fast
-    ScheduledVm {
-        at: SimTime::ZERO,
-        spec,
-        workload: VmWorkload {
-            cpu: UsageShape::Constant(util),
-            memory: UsageShape::Constant(util),
-            network: UsageShape::Constant(util),
-            seed: id,
-        },
-        lifetime: None,
-    }
-}
-
-/// A burst of `n` identical VMs at `at`.
-pub fn burst(n: usize, at: SimTime, cores: f64, mem_mb: f64, util: f64) -> Vec<ScheduledVm> {
-    (0..n)
-        .map(|i| ScheduledVm {
-            at,
-            ..vm_item(i as u64, cores, mem_mb, util)
-        })
-        .collect()
-}
-
-/// Deploy a system with the given config and client schedule.
-pub fn deploy(
-    deployment: &Deployment,
-    config: &SnoozeConfig,
-    schedule: Vec<ScheduledVm>,
-) -> LiveSystem {
-    let mut sim = SimBuilder::new(deployment.seed)
-        .network(NetworkConfig::lan())
-        .build();
-    let nodes = NodeSpec::standard_cluster(deployment.lcs);
-    let system = SnoozeSystem::deploy(
-        &mut sim,
-        config,
-        deployment.managers,
-        &nodes,
-        deployment.eps,
-    );
-    let ep = system.eps[0];
-    let client = sim.add_component(
-        "client",
-        ClientDriver::new(ep, schedule, SimSpan::from_secs(15)),
-    );
-    LiveSystem {
-        sim,
-        system,
-        client,
-        wall_start: Instant::now(),
-    }
-}
-
-impl LiveSystem {
-    /// Run until `deadline` or until the client has an answer for every
-    /// scheduled VM (whichever is first), stepping so the check stays
-    /// cheap.
-    pub fn run_until_settled(&mut self, deadline: SimTime) {
-        let step = SimSpan::from_secs(5);
-        while self.sim.now() < deadline {
-            let next = (self.sim.now() + step).min(deadline);
-            self.sim.run_until(next);
-            if self.client().done() {
-                break;
-            }
-        }
-    }
-
-    /// The driver client.
-    pub fn client(&self) -> &ClientDriver {
-        self.sim
-            .component_as::<ClientDriver>(self.client)
-            .expect("client exists")
-    }
-
-    /// Wall-clock milliseconds since deployment.
-    pub fn wall_ms(&self) -> f64 {
-        self.wall_start.elapsed().as_secs_f64() * 1e3
-    }
-
-    /// Management messages sent so far (the distributed-management cost
-    /// E5 reports).
-    pub fn messages_sent(&self) -> u64 {
-        self.sim.metrics().counter("net.sent")
-    }
-}
+pub use snooze_scenario::live::{
+    burst, deploy, deploy_hierarchy, deploy_unified, vm_item, Deployment, LiveSystem, Stack,
+    VmIdAlloc,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snooze::prelude::SnoozeConfig;
+    use snooze_simcore::prelude::*;
 
     #[test]
     fn harness_places_a_small_burst() {
@@ -138,11 +30,51 @@ mod tests {
             eps: 1,
             seed: 1,
         };
-        let schedule = burst(4, SimTime::from_secs(10), 2.0, 4096.0, 0.5);
+        let schedule = burst(
+            &mut VmIdAlloc::new(),
+            4,
+            SimTime::from_secs(10),
+            2.0,
+            4096.0,
+            0.5,
+        );
         let mut live = deploy(&dep, &SnoozeConfig::fast_test(), schedule);
         live.run_until_settled(SimTime::from_secs(300));
         assert_eq!(live.client().placed.len(), 4);
         assert!(live.messages_sent() > 0);
         assert!(live.wall_ms() >= 0.0);
+    }
+
+    /// Regression for the id-collision bug: scheduling two bursts used
+    /// to hand both the ids 0..n, so the client saw duplicate VmIds and
+    /// identical workload RNG streams. One allocator per schedule keeps
+    /// them disjoint — and the whole two-burst schedule places.
+    #[test]
+    fn two_bursts_in_one_schedule_all_place() {
+        let dep = Deployment {
+            managers: 2,
+            lcs: 6,
+            eps: 1,
+            seed: 3,
+        };
+        let mut alloc = VmIdAlloc::new();
+        let mut schedule = burst(&mut alloc, 4, SimTime::from_secs(10), 2.0, 4096.0, 0.5);
+        schedule.extend(burst(
+            &mut alloc,
+            4,
+            SimTime::from_secs(40),
+            2.0,
+            4096.0,
+            0.5,
+        ));
+        let ids: std::collections::BTreeSet<u64> = schedule.iter().map(|v| v.spec.id.0).collect();
+        assert_eq!(ids.len(), 8, "all VmIds distinct across bursts");
+        let mut live = deploy(&dep, &SnoozeConfig::fast_test(), schedule);
+        live.run_until_settled(SimTime::from_secs(300));
+        assert_eq!(
+            live.client().placed.len(),
+            8,
+            "every VM of both bursts placed"
+        );
     }
 }

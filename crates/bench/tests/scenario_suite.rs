@@ -1,0 +1,76 @@
+//! Acceptance tests for the declarative scenario layer (ISSUE 4).
+//!
+//! * the checked-in `scenarios/*.toml` preset files match the in-tree
+//!   presets byte-for-byte (drift gate), and
+//! * compiling the checked-in E4 document reproduces the experiment
+//!   table deterministically: two runs of the same expanded spec agree
+//!   on the event digest and on every table column, and match the
+//!   hand-parameterized `e4_submission_scalability::run` row.
+
+use std::path::PathBuf;
+
+use snooze_bench::e4_submission_scalability;
+use snooze_scenario::presets;
+use snooze_scenario::spec::ScenarioDoc;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn checked_in_scenario_files_match_the_presets() {
+    for (file, doc) in presets::checked_in() {
+        let path = scenarios_dir().join(file);
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run --dump-scenarios)", path.display()));
+        assert_eq!(
+            on_disk,
+            doc.to_toml(),
+            "{file} drifted from the preset — regenerate with `run_experiments --dump-scenarios`"
+        );
+    }
+}
+
+#[test]
+fn hand_authored_scenarios_parse_canonically_and_compile() {
+    for file in ["hetero_burst.toml", "fault_storm.toml"] {
+        let path = scenarios_dir().join(file);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let doc = ScenarioDoc::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(doc.to_toml(), text, "{file}: canonical form");
+        for spec in doc.expand().unwrap_or_else(|e| panic!("{file}: {e}")) {
+            snooze_scenario::compile(&spec)
+                .unwrap_or_else(|e| panic!("{file}: {}: {e}", spec.name));
+        }
+    }
+}
+
+#[test]
+fn checked_in_e4_spec_reproduces_the_table_byte_for_byte() {
+    let path = scenarios_dir().join("e4.toml");
+    let text = std::fs::read_to_string(&path).expect("e4.toml checked in");
+    let doc = ScenarioDoc::parse(&text).expect("parses");
+    let specs = doc.expand().expect("expands");
+    let spec = &specs[0]; // e4-50
+    assert_eq!(spec.name, "e4-50");
+
+    let a = snooze_scenario::run(spec).expect("compiles");
+    let b = snooze_scenario::run(spec).expect("compiles");
+    assert_eq!(
+        a.live.sim.digest(),
+        b.live.sim.digest(),
+        "same spec, same seed: identical event history"
+    );
+    assert_eq!(a.outcome.placed, b.outcome.placed);
+    assert_eq!(a.outcome.sim_events, b.outcome.sim_events);
+
+    // The scenario route and the experiment-module route are the same
+    // run: every deterministic table column agrees.
+    let row = &e4_submission_scalability::run(&[50], 144, 4, 0xE4)[0];
+    assert_eq!(row.vms, a.outcome.requested_vms);
+    assert_eq!(row.placed, a.outcome.placed);
+    assert_eq!(row.rejected, a.outcome.rejected);
+    assert_eq!(row.sim_events, a.outcome.sim_events);
+    assert_eq!(row.mean_latency_s, a.outcome.mean_latency_s);
+    assert_eq!(row.p95_latency_s, a.outcome.p95_latency_s);
+}

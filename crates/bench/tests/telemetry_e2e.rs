@@ -8,7 +8,7 @@
 //! * two same-seed runs produce byte-identical span and metric exports
 //!   in every standard format.
 
-use snooze_bench::report::{export_all, find_descendant, run_scenario, ScenarioSpec};
+use snooze_bench::report::{export_all, find_descendant, report_failover, run_scenario};
 use snooze_simcore::prelude::*;
 use snooze_simcore::telemetry;
 
@@ -27,7 +27,7 @@ fn render_exports(sim: &Engine) -> [String; 4] {
 
 #[test]
 fn e4_failover_scenario_produces_linked_span_trees_and_identical_exports() {
-    let spec = ScenarioSpec::e4_failover(SEED);
+    let spec = report_failover(SEED);
     let (live_a, crashed) = run_scenario(&spec);
     assert!(crashed.is_some(), "scenario must crash a GM");
 

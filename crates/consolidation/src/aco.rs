@@ -231,7 +231,7 @@ impl AcoConsolidator {
         };
 
         for cycle in 0..p.n_cycles {
-            let t_construct = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
+            let t_construct = snooze_simcore::WallClock::start();
             let construct = |ant: usize| -> (Option<Solution>, u64) {
                 let mut rng = master.fork((cycle * p.n_ants + ant) as u64 + 1);
                 construct_solution(instance, &pheromone, &p, &mut rng)
@@ -241,12 +241,12 @@ impl AcoConsolidator {
             } else {
                 (0..p.n_ants).map(construct).collect()
             };
-            profile.construction_nanos += t_construct.elapsed().as_nanos() as u64;
+            profile.construction_nanos += t_construct.elapsed_nanos();
             // Fixed reduction order keeps the counter deterministic even
             // with parallel ants.
             profile.construction_steps += candidates.iter().map(|(_, steps)| steps).sum::<u64>();
 
-            let t_evaluate = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
+            let t_evaluate = snooze_simcore::WallClock::start();
             let mut cycle_solutions: Vec<Solution> = Vec::new();
             for (sol, _) in candidates {
                 match sol {
@@ -266,10 +266,10 @@ impl AcoConsolidator {
                     None => failed += 1,
                 }
             }
-            profile.evaluation_nanos += t_evaluate.elapsed().as_nanos() as u64;
+            profile.evaluation_nanos += t_evaluate.elapsed_nanos();
 
             // Evaporation, then reinforcement per the configured rule.
-            let t_evaporate = std::time::Instant::now(); // audit-allow(wall-clock): advisory profiling; never folded into digests or exports
+            let t_evaporate = snooze_simcore::WallClock::start();
             profile.evaporation_updates += pheromone.evaporate(p.rho, p.tau_min);
             match p.update_rule {
                 UpdateRule::GlobalBest => {
@@ -295,7 +295,7 @@ impl AcoConsolidator {
                     }
                 }
             }
-            profile.evaporation_nanos += t_evaporate.elapsed().as_nanos() as u64;
+            profile.evaporation_nanos += t_evaporate.elapsed_nanos();
             best_per_cycle.push(
                 global_best
                     .as_ref()

@@ -1,0 +1,608 @@
+//! Compiling a [`ScenarioSpec`] down to a live system, and the generic
+//! phase runner that executes its program.
+//!
+//! The compiler is deliberately boring: it performs exactly the
+//! deployment sequence the hand-written experiment harnesses performed
+//! (builder → system → client → static fault plan), so a spec-driven run
+//! is event-for-event identical to the code it replaced. The runner then
+//! interprets the phase program — run / settle / sample / fault+observe
+//! — splitting `run_until` at probe points, which is digest-neutral
+//! because executing the same event set in more slices schedules
+//! nothing new.
+
+use snooze::prelude::*;
+use snooze_cluster::node::NodeSpec;
+use snooze_simcore::failure::FailurePlan;
+use snooze_simcore::prelude::*;
+
+use crate::live::{build_workload, LiveSystem, Stack, VmIdAlloc};
+use crate::spec::{
+    ms_to_span, ms_to_time, Condition, ObserveSpec, PhaseSpec, ProbeSpec, ScenarioSpec, TargetSpec,
+};
+
+/// One fault phase's measured aftermath.
+#[derive(Clone, Debug)]
+pub struct FaultOutcome {
+    /// The phase's row label.
+    pub label: String,
+    /// Who was hit.
+    pub target: ComponentId,
+    /// Injection time.
+    pub at: SimTime,
+    /// Mean application performance over the observation window
+    /// (NaN without an observe block).
+    pub perf_after: f64,
+    /// VMs alive when the observation ended.
+    pub vms_after: usize,
+    /// Seconds until the recovery condition first held (NaN = never
+    /// within the observation).
+    pub recovery_s: f64,
+}
+
+/// A named probe's snapshot.
+#[derive(Clone, Debug)]
+pub struct ProbeSample {
+    /// Probe name.
+    pub name: String,
+    /// Sample time.
+    pub at: SimTime,
+    /// VMs the client has placed so far.
+    pub placed: usize,
+    /// VMs alive on the cluster.
+    pub total_vms: usize,
+    /// Nodes on or transitioning.
+    pub nodes_on: usize,
+    /// Management messages sent so far.
+    pub messages: u64,
+}
+
+/// Everything a scenario run measured. Every field is deterministic for
+/// a fixed spec except `wall_ms` (advisory host time).
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Manager components deployed.
+    pub managers: usize,
+    /// LC nodes deployed (standard + heterogeneous groups).
+    pub lcs: usize,
+    /// VMs the workload program submitted.
+    pub requested_vms: usize,
+    /// VMs placed by the end of the run.
+    pub placed: usize,
+    /// VMs rejected.
+    pub rejected: usize,
+    /// VMs abandoned (client gave up retrying).
+    pub abandoned: usize,
+    /// Mean submission→running latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_s: f64,
+    /// Placed count at the end of the *first* settle phase.
+    pub settle_placed: Option<usize>,
+    /// Simulator events executed.
+    pub sim_events: u64,
+    /// Advisory wall-clock of the whole run, ms.
+    pub wall_ms: f64,
+    /// Management messages sent.
+    pub messages: u64,
+    /// Cluster energy integrated to the final instant, Wh.
+    pub energy_wh: f64,
+    /// Live migrations performed.
+    pub migrations: u64,
+    /// Suspend transitions performed.
+    pub suspends: u64,
+    /// Wake-ups commanded.
+    pub wakeups: u64,
+    /// Mean powered-on node count across `sample_to` samples.
+    pub mean_nodes_on: f64,
+    /// Nodes on or transitioning at the end.
+    pub nodes_on_end: usize,
+    /// VMs alive at the end.
+    pub total_vms_end: usize,
+    /// Fault phases, in order.
+    pub faults: Vec<FaultOutcome>,
+    /// Probe snapshots, in time order.
+    pub probes: Vec<ProbeSample>,
+}
+
+/// A finished run: the live system (spans, metrics, digests still
+/// queryable) plus the measured outcome.
+pub struct ScenarioRun {
+    /// The deployed system after the program ran.
+    pub live: LiveSystem,
+    /// The measurements.
+    pub outcome: ScenarioOutcome,
+}
+
+/// Deploy a spec: engine → system stack → client → static fault plan.
+pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
+    let config = spec.config.build()?;
+
+    let mut alloc = VmIdAlloc::new();
+    let mut schedule = Vec::new();
+    for w in &spec.workload {
+        schedule.extend(build_workload(&mut alloc, w));
+    }
+    let client = match &spec.topology.client {
+        None => {
+            if !schedule.is_empty() {
+                return Err("a workload needs a `topology.client`".into());
+            }
+            None
+        }
+        Some(c) => {
+            if spec.topology.eps == 0 {
+                return Err("a client needs at least one EP".into());
+            }
+            Some((schedule, ms_to_span(c.retry_ms)))
+        }
+    };
+
+    let mut live = if let Some(u) = &spec.topology.unified {
+        if spec.topology.managers > 0 || spec.topology.lcs > 0 {
+            return Err("unified topology excludes `managers`/`lcs`".into());
+        }
+        crate::live::deploy_unified(
+            spec.seed,
+            &config,
+            &NodeSpec::standard_cluster(u.nodes),
+            u.target_managers,
+            spec.topology.eps,
+            client,
+        )
+    } else {
+        crate::live::deploy_hierarchy(
+            spec.seed,
+            &config,
+            spec.topology.managers,
+            &spec.topology.build_nodes(),
+            spec.topology.eps,
+            client,
+        )
+    };
+
+    let mut plan = FailurePlan::new();
+    for f in &spec.faults {
+        let at = ms_to_time(f.at_ms);
+        if f.kind == "degrade" {
+            let ppm = f.loss_ppm.ok_or("`degrade` needs `loss_ppm`")?;
+            plan = plan.degrade_links(at, ppm as u32);
+            continue;
+        }
+        let pool: &[ComponentId] = match (&live.stack, f.target.as_str()) {
+            (Stack::Hierarchy(s), "manager") => &s.gms,
+            (Stack::Hierarchy(s), "lc") => &s.lcs,
+            (Stack::Hierarchy(s), "ep") => &s.eps,
+            (Stack::Unified(u), "node") => &u.nodes,
+            (Stack::Unified(u), "ep") => &u.eps,
+            (_, other) => return Err(format!("unknown fault target `{other}`")),
+        };
+        let id = *pool
+            .get(f.index)
+            .ok_or_else(|| format!("fault index {} out of range for `{}`", f.index, f.target))?;
+        plan = match f.kind.as_str() {
+            "crash" => match f.downtime_ms {
+                Some(d) => plan.crash_for(at, ms_to_span(d), id),
+                None => plan.crash(at, id),
+            },
+            "restart" => plan.restart(at, id),
+            "isolate" => match f.downtime_ms {
+                Some(d) => plan.isolate_for(at, ms_to_span(d), id),
+                None => plan.isolate(at, id),
+            },
+            "reconnect" => plan.reconnect(at, id),
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+    }
+    plan.apply(&mut live.sim);
+
+    Ok(live)
+}
+
+fn hierarchy(live: &LiveSystem) -> Result<&SnoozeSystem, String> {
+    match &live.stack {
+        Stack::Hierarchy(s) => Ok(s),
+        Stack::Unified(_) => Err("this phase needs the role hierarchy, not a unified stack".into()),
+    }
+}
+
+fn probe_sample(live: &LiveSystem, name: &str) -> ProbeSample {
+    let (total_vms, nodes_on) = match &live.stack {
+        Stack::Hierarchy(s) => {
+            let (on, transitioning, _) = s.power_census(&live.sim);
+            (s.total_vms(&live.sim), on + transitioning)
+        }
+        Stack::Unified(_) => (0, 0),
+    };
+    ProbeSample {
+        name: name.to_string(),
+        at: live.sim.now(),
+        placed: live.client_opt().map(|c| c.placed.len()).unwrap_or(0),
+        total_vms,
+        nodes_on,
+        messages: live.messages_sent(),
+    }
+}
+
+/// Advance virtual time to `to`, pausing at every pending probe point on
+/// the way to record its snapshot. Splitting `run_until` adds no events,
+/// so digests and event counts are unchanged by probes.
+fn advance(
+    live: &mut LiveSystem,
+    to: SimTime,
+    probes: &[ProbeSpec],
+    next_probe: &mut usize,
+    samples: &mut Vec<ProbeSample>,
+) {
+    while let Some(p) = probes.get(*next_probe) {
+        let at = ms_to_time(p.at_ms);
+        if at > to {
+            break;
+        }
+        if at > live.sim.now() {
+            live.sim.run_until(at);
+        }
+        samples.push(probe_sample(live, &p.name));
+        *next_probe += 1;
+    }
+    if to > live.sim.now() {
+        live.sim.run_until(to);
+    }
+}
+
+fn condition_holds(c: Condition, live: &LiveSystem, reschedule: bool, baseline_vms: usize) -> bool {
+    let sys = match &live.stack {
+        Stack::Hierarchy(s) => s,
+        Stack::Unified(_) => return false,
+    };
+    match c {
+        Condition::GlElected => sys.current_gl(&live.sim).is_some(),
+        Condition::LcsOnLiveGms => {
+            let live_gms = sys.active_gms(&live.sim);
+            sys.lcs.iter().all(|&lc| {
+                !live.sim.is_alive(lc)
+                    || live
+                        .sim
+                        .component_as::<LocalController>(lc)
+                        .and_then(|l| l.assigned_gm())
+                        .map(|g| live_gms.contains(&g))
+                        .unwrap_or(false)
+            })
+        }
+        Condition::VmsRestored => reschedule && sys.total_vms(&live.sim) >= baseline_vms,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn observe(
+    live: &mut LiveSystem,
+    from: SimTime,
+    o: &ObserveSpec,
+    reschedule: bool,
+    baseline_vms: usize,
+    probes: &[ProbeSpec],
+    next_probe: &mut usize,
+    samples: &mut Vec<ProbeSample>,
+) -> (f64, f64) {
+    let step_span = ms_to_span(o.step_ms);
+    let perf_window = ms_to_span(o.perf_window_ms);
+    let mut acc = 0.0;
+    let mut n = 0u32;
+    let mut recovery = f64::NAN;
+    for step in 1..=o.steps as u64 {
+        let t = from + step_span * step;
+        advance(live, t, probes, next_probe, samples);
+        if o.perf_window_ms > 0.0 && step_span * step <= perf_window {
+            if let Ok(sys) = hierarchy(live) {
+                acc += sys.mean_performance(&live.sim, live.sim.now());
+                n += 1;
+            }
+        }
+        if recovery.is_nan() && condition_holds(o.until, live, reschedule, baseline_vms) {
+            recovery = step as f64 * o.step_ms / 1e3;
+            if o.stop_on_success {
+                break;
+            }
+        }
+    }
+    (if n == 0 { 1.0 } else { acc / n as f64 }, recovery)
+}
+
+/// Compile a spec and execute its phase program.
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
+    let mut live = compile(spec)?;
+    let reschedule = spec.config.build()?.reschedule_on_lc_failure;
+    let mut probes = spec.probes.clone();
+    probes.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+    let mut next_probe = 0usize;
+    let mut samples = Vec::new();
+    let mut settle_placed = None;
+    let mut faults = Vec::new();
+    let mut on_acc = 0.0;
+    let mut on_n = 0u32;
+
+    for phase in &spec.phases {
+        match phase {
+            PhaseSpec::RunTo { t_ms } => {
+                advance(
+                    &mut live,
+                    ms_to_time(*t_ms),
+                    &probes,
+                    &mut next_probe,
+                    &mut samples,
+                );
+            }
+            PhaseSpec::RunFor { dur_ms } => {
+                let to = live.sim.now() + ms_to_span(*dur_ms);
+                advance(&mut live, to, &probes, &mut next_probe, &mut samples);
+            }
+            PhaseSpec::Settle { deadline_ms } => {
+                let deadline = ms_to_time(*deadline_ms);
+                if live.client_id.is_none() {
+                    advance(&mut live, deadline, &probes, &mut next_probe, &mut samples);
+                } else {
+                    let step = SimSpan::from_secs(5);
+                    while live.sim.now() < deadline {
+                        let next = (live.sim.now() + step).min(deadline);
+                        advance(&mut live, next, &probes, &mut next_probe, &mut samples);
+                        if live.client().done() {
+                            break;
+                        }
+                    }
+                }
+                if settle_placed.is_none() {
+                    settle_placed = Some(live.client_opt().map(|c| c.placed.len()).unwrap_or(0));
+                }
+            }
+            PhaseSpec::SampleTo { t_ms, every_ms } => {
+                let horizon = ms_to_time(*t_ms);
+                let step = ms_to_span(*every_ms);
+                while live.sim.now() < horizon {
+                    let next = (live.sim.now() + step).min(horizon);
+                    advance(&mut live, next, &probes, &mut next_probe, &mut samples);
+                    let sys = hierarchy(&live)?;
+                    let (on, transitioning, _) = sys.power_census(&live.sim);
+                    on_acc += (on + transitioning) as f64;
+                    on_n += 1;
+                }
+            }
+            PhaseSpec::Fault {
+                label,
+                target,
+                delay_ms,
+                kind,
+                observe: obs,
+            } => {
+                if kind != "crash" {
+                    return Err(format!("unsupported dynamic fault kind `{kind}`"));
+                }
+                let (resolved, baseline_vms) = {
+                    let sys = hierarchy(&live)?;
+                    let resolved = match target {
+                        TargetSpec::Gl => sys.current_gl(&live.sim),
+                        TargetSpec::ActiveGm(i) => sys.active_gms(&live.sim).get(*i).copied(),
+                        TargetSpec::LcMostVms => sys
+                            .lcs
+                            .iter()
+                            .max_by_key(|&&lc| {
+                                live.sim
+                                    .component_as::<LocalController>(lc)
+                                    .map(|l| l.hypervisor().guest_count())
+                                    .unwrap_or(0)
+                            })
+                            .copied(),
+                        TargetSpec::Lc(i) => sys.lcs.get(*i).copied(),
+                        TargetSpec::Ep(i) => sys.eps.get(*i).copied(),
+                        TargetSpec::Manager(i) => sys.gms.get(*i).copied(),
+                    };
+                    (resolved, sys.total_vms(&live.sim))
+                };
+                // An unresolvable target (no GL yet, index out of range)
+                // skips the fault, like the hand-written harnesses did.
+                let Some(victim) = resolved else { continue };
+                let t = live.sim.now() + ms_to_span(*delay_ms);
+                live.sim.schedule_crash(t, victim);
+                let (perf_after, recovery_s, vms_after) = match obs {
+                    None => (f64::NAN, f64::NAN, baseline_vms),
+                    Some(o) => {
+                        let (perf, recovery) = observe(
+                            &mut live,
+                            t,
+                            o,
+                            reschedule,
+                            baseline_vms,
+                            &probes,
+                            &mut next_probe,
+                            &mut samples,
+                        );
+                        let vms = hierarchy(&live)?.total_vms(&live.sim);
+                        (perf, recovery, vms)
+                    }
+                };
+                faults.push(FaultOutcome {
+                    label: label.clone(),
+                    target: victim,
+                    at: t,
+                    perf_after,
+                    vms_after,
+                    recovery_s,
+                });
+            }
+        }
+    }
+
+    let (energy_wh, migrations, suspends, wakeups, nodes_on_end, total_vms_end) = match &live.stack
+    {
+        Stack::Hierarchy(s) => {
+            let (on, transitioning, _) = s.power_census(&live.sim);
+            let (m, su, w) = s
+                .lcs
+                .iter()
+                .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
+                .fold((0u64, 0u64, 0u64), |(m, su, w), l| {
+                    (
+                        m + l.stats.migrations_out,
+                        su + l.stats.suspensions,
+                        w + l.stats.wakeups,
+                    )
+                });
+            (
+                s.total_energy_wh(&live.sim, live.sim.now()),
+                m,
+                su,
+                w,
+                on + transitioning,
+                s.total_vms(&live.sim),
+            )
+        }
+        Stack::Unified(_) => (0.0, 0, 0, 0, 0, 0),
+    };
+
+    let (placed, rejected, abandoned, mean_latency_s, p95_latency_s, requested_vms) =
+        match live.client_opt() {
+            Some(c) => (
+                c.placed.len(),
+                c.rejected.len(),
+                c.abandoned.len(),
+                c.mean_latency_secs(),
+                c.p95_latency_secs(),
+                c.schedule_len(),
+            ),
+            None => (0, 0, 0, 0.0, 0.0, 0),
+        };
+
+    let outcome = ScenarioOutcome {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        managers: spec.topology.managers,
+        lcs: spec.topology.lcs
+            + spec
+                .topology
+                .node_groups
+                .iter()
+                .map(|g| g.count)
+                .sum::<usize>(),
+        requested_vms,
+        placed,
+        rejected,
+        abandoned,
+        mean_latency_s,
+        p95_latency_s,
+        settle_placed,
+        sim_events: live.sim.events_executed(),
+        wall_ms: live.wall_ms(),
+        messages: live.messages_sent(),
+        energy_wh,
+        migrations,
+        suspends,
+        wakeups,
+        mean_nodes_on: if on_n > 0 { on_acc / on_n as f64 } else { 0.0 },
+        nodes_on_end,
+        total_vms_end,
+        faults,
+        probes: samples,
+    };
+    Ok(ScenarioRun { live, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClientSpec, ConfigSpec, TopologySpec, WorkloadSpec};
+
+    fn small_burst_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "small-burst".into(),
+            description: "compile test".into(),
+            seed: 1,
+            topology: TopologySpec {
+                managers: 2,
+                lcs: 4,
+                node_groups: Vec::new(),
+                eps: 1,
+                unified: None,
+                client: Some(ClientSpec { retry_ms: 15000.0 }),
+            },
+            config: ConfigSpec::preset("fast_test"),
+            workload: vec![WorkloadSpec::Burst {
+                n: 4,
+                at_ms: 10000.0,
+                cores: 2.0,
+                memory_mb: 4096.0,
+                util: 0.5,
+            }],
+            faults: Vec::new(),
+            phases: vec![PhaseSpec::Settle {
+                deadline_ms: 300000.0,
+            }],
+            probes: vec![
+                ProbeSpec {
+                    name: "early".into(),
+                    at_ms: 12000.0,
+                },
+                ProbeSpec {
+                    name: "late".into(),
+                    at_ms: 14000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn compiled_burst_scenario_places_everything() {
+        let spec = small_burst_spec();
+        let run = run(&spec).unwrap();
+        assert_eq!(run.outcome.placed, 4);
+        assert_eq!(run.outcome.requested_vms, 4);
+        assert_eq!(run.outcome.settle_placed, Some(4));
+        assert!(run.outcome.messages > 0);
+        assert!(run.outcome.wall_ms >= 0.0);
+        assert_eq!(run.outcome.probes.len(), 2);
+        assert_eq!(run.outcome.probes[0].name, "early");
+        assert_eq!(run.outcome.probes[1].at, SimTime::from_secs(14));
+    }
+
+    #[test]
+    fn probes_do_not_change_the_event_stream() {
+        let with = small_burst_spec();
+        let mut without = small_burst_spec();
+        without.probes.clear();
+        let a = run(&with).unwrap();
+        let b = run(&without).unwrap();
+        assert_eq!(a.live.sim.digest(), b.live.sim.digest());
+        assert_eq!(
+            a.outcome.sim_events, b.outcome.sim_events,
+            "probe splits must not add events"
+        );
+    }
+
+    #[test]
+    fn same_spec_runs_are_digest_identical() {
+        let spec = small_burst_spec();
+        let a = run(&spec).unwrap();
+        let b = run(&spec).unwrap();
+        assert_eq!(a.live.sim.digest(), b.live.sim.digest());
+        assert_eq!(a.outcome.placed, b.outcome.placed);
+    }
+
+    #[test]
+    fn static_fault_schedule_is_applied() {
+        let mut spec = small_burst_spec();
+        spec.faults.push(crate::spec::StaticFault {
+            at_ms: 20000.0,
+            kind: "crash".into(),
+            target: "lc".into(),
+            index: 0,
+            downtime_ms: Some(30000.0),
+            loss_ppm: None,
+        });
+        let run = run(&spec).unwrap();
+        // The LC died and came back; the run still settles.
+        assert_eq!(run.outcome.placed, 4);
+        let lc0 = run.live.system().lcs[0];
+        assert!(run.live.sim.is_alive(lc0), "restarted after downtime");
+    }
+}

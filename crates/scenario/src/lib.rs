@@ -1,0 +1,39 @@
+//! # snooze-scenario — the declarative scenario layer
+//!
+//! Everything a Snooze experiment is — topology, configuration, workload
+//! program, fault schedule, probe points — expressed as plain data
+//! ([`spec::ScenarioSpec`]), serialized as TOML, and compiled down to
+//! the same live system the hand-written harnesses built. One scenario
+//! *file* ([`spec::ScenarioDoc`]) holds a base table plus `[[variant]]`
+//! patches, so a whole sweep (E4's six burst sizes, E9's four knob
+//! settings) is a single document.
+//!
+//! The layers:
+//!
+//! * [`toml`] — a dependency-free TOML subset: parser, canonical writer,
+//!   `deep_merge` (variant expansion) and `diff` (variant generation).
+//! * [`spec`] — the schema and its exact TOML round-trip.
+//! * [`live`] — the deployed side: engine + system stack + scripted
+//!   client, the VM-id allocator, and the workload builders.
+//! * [`compile`] — spec → [`live::LiveSystem`], plus the generic phase
+//!   runner ([`compile::run`]) that interprets run / settle / sample /
+//!   fault+observe programs and returns a [`compile::ScenarioOutcome`].
+//! * [`presets`] — the checked-in E4–E10 suite as preset builders, the
+//!   source of truth for `scenarios/*.toml`.
+//!
+//! Determinism contract: a spec plus its seed fully determines the event
+//! stream. Probe points split `run_until` calls but schedule nothing, so
+//! digests and event counts are unchanged by observation.
+
+pub mod compile;
+pub mod live;
+pub mod presets;
+pub mod spec;
+pub mod toml;
+
+pub use compile::{compile, run, FaultOutcome, ProbeSample, ScenarioOutcome, ScenarioRun};
+pub use live::{
+    burst, deploy, deploy_hierarchy, deploy_unified, vm_item, Deployment, LiveSystem, Stack,
+    VmIdAlloc,
+};
+pub use spec::{ScenarioDoc, ScenarioSpec};

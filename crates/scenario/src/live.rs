@@ -1,0 +1,340 @@
+//! The live side of a scenario: a deployed engine + system stack, the
+//! workload builders that feed the scripted client, and the VM-id
+//! allocator that keeps ids unique across workload entries.
+
+use snooze::prelude::*;
+use snooze::unified::UnifiedSystem;
+use snooze_cluster::resources::ResourceVector;
+use snooze_cluster::vm::{VmId, VmSpec};
+use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_simcore::prelude::*;
+use snooze_simcore::rng::SimRng;
+use snooze_simcore::wallclock::WallClock;
+
+use crate::spec::WorkloadSpec;
+
+/// Allocates VM ids sequentially across every workload entry of a
+/// scenario. Two bursts built from the same allocator never collide —
+/// previously each burst restarted at id 0, so a second burst silently
+/// reused the first one's VmIds (and RNG streams, which are seeded from
+/// the id).
+#[derive(Clone, Debug, Default)]
+pub struct VmIdAlloc {
+    next: u64,
+}
+
+impl VmIdAlloc {
+    /// A fresh allocator starting at id 0.
+    pub fn new() -> VmIdAlloc {
+        VmIdAlloc::default()
+    }
+
+    /// The next unused id.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Ids handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+/// Build a flat-utilization VM spec of `cores` cores.
+pub fn vm_item(id: u64, cores: f64, mem_mb: f64, util: f64) -> ScheduledVm {
+    let mut spec = VmSpec::new(VmId(id), ResourceVector::new(cores, mem_mb, 100.0, 100.0));
+    spec.image_mb = 1024.0; // small OS image: migrations stay fast
+    ScheduledVm {
+        at: SimTime::ZERO,
+        spec,
+        workload: VmWorkload {
+            cpu: UsageShape::Constant(util),
+            memory: UsageShape::Constant(util),
+            network: UsageShape::Constant(util),
+            seed: id,
+        },
+        lifetime: None,
+    }
+}
+
+/// A burst of `n` identical VMs at `at`, ids drawn from `alloc`.
+pub fn burst(
+    alloc: &mut VmIdAlloc,
+    n: usize,
+    at: SimTime,
+    cores: f64,
+    mem_mb: f64,
+    util: f64,
+) -> Vec<ScheduledVm> {
+    (0..n)
+        .map(|_| ScheduledVm {
+            at,
+            ..vm_item(alloc.next_id(), cores, mem_mb, util)
+        })
+        .collect()
+}
+
+/// Materialize one workload entry, drawing ids from `alloc`.
+pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Vec<ScheduledVm> {
+    match w {
+        WorkloadSpec::Burst {
+            n,
+            at_ms,
+            cores,
+            memory_mb,
+            util,
+        } => burst(
+            alloc,
+            *n,
+            crate::spec::ms_to_time(*at_ms),
+            *cores,
+            *memory_mb,
+            *util,
+        ),
+        WorkloadSpec::RandomFleet {
+            n,
+            seed,
+            cores_min,
+            cores_max,
+            mem_min_mb,
+            mem_max_mb,
+            util_min,
+            util_max,
+            arrival_at_ms,
+            arrival_spread_s,
+            lifetime_every,
+            lifetime_min_s,
+            lifetime_max_s,
+        } => {
+            let mut rng = SimRng::new(*seed);
+            let base_at = crate::spec::ms_to_time(*arrival_at_ms);
+            (0..*n)
+                .map(|i| {
+                    let cores = rng.uniform(*cores_min, *cores_max);
+                    let mem = rng.uniform(*mem_min_mb, *mem_max_mb);
+                    let util = rng.uniform(*util_min, *util_max);
+                    let mut item = vm_item(alloc.next_id(), cores, mem, util);
+                    item.at = base_at
+                        + SimSpan::from_secs(rng.range(0, *arrival_spread_s as usize) as u64);
+                    // Part of the fleet terminates mid-run, creating the
+                    // idle times the energy manager exploits.
+                    if *lifetime_every > 0 && (i as i64) % lifetime_every == 0 {
+                        item.lifetime = Some(SimSpan::from_secs(
+                            rng.range(*lifetime_min_s as usize, *lifetime_max_s as usize) as u64,
+                        ));
+                    }
+                    item
+                })
+                .collect()
+        }
+    }
+}
+
+/// Deployment shape for a plain hierarchy run (the harness shape the
+/// E4–E7 experiments used; the scenario compiler goes through
+/// [`deploy_hierarchy`] directly for heterogeneous or unified runs).
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Manager components (one becomes GL; the rest serve as GMs).
+    pub managers: usize,
+    /// Physical nodes / LCs.
+    pub lcs: usize,
+    /// Entry points.
+    pub eps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Deploy a standard-node hierarchy with a scripted client retrying
+/// every 15 s — the exact harness the experiment tables were built on.
+pub fn deploy(
+    deployment: &Deployment,
+    config: &SnoozeConfig,
+    schedule: Vec<ScheduledVm>,
+) -> LiveSystem {
+    deploy_hierarchy(
+        deployment.seed,
+        config,
+        deployment.managers,
+        &snooze_cluster::node::NodeSpec::standard_cluster(deployment.lcs),
+        deployment.eps,
+        Some((schedule, SimSpan::from_secs(15))),
+    )
+}
+
+/// The single builder under every scenario: engine → hierarchy →
+/// optional client, in that component order (the order fixes
+/// `ComponentId`s and therefore digests).
+pub fn deploy_hierarchy(
+    seed: u64,
+    config: &SnoozeConfig,
+    managers: usize,
+    nodes: &[snooze_cluster::node::NodeSpec],
+    eps: usize,
+    client: Option<(Vec<ScheduledVm>, SimSpan)>,
+) -> LiveSystem {
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let system = SnoozeSystem::deploy(&mut sim, config, managers, nodes, eps);
+    let client_id = client.map(|(schedule, retry)| {
+        let ep = *system.eps.first().expect("a client needs an EP");
+        sim.add_component("client", ClientDriver::new(ep, schedule, retry))
+    });
+    LiveSystem {
+        sim,
+        stack: Stack::Hierarchy(system),
+        client_id,
+        wall: WallClock::start(),
+    }
+}
+
+/// [`deploy_hierarchy`]'s §V counterpart: unified nodes + role director.
+pub fn deploy_unified(
+    seed: u64,
+    config: &SnoozeConfig,
+    nodes: &[snooze_cluster::node::NodeSpec],
+    target_managers: usize,
+    eps: usize,
+    client: Option<(Vec<ScheduledVm>, SimSpan)>,
+) -> LiveSystem {
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let system = UnifiedSystem::deploy(&mut sim, config, nodes, target_managers, eps);
+    let client_id = client.map(|(schedule, retry)| {
+        let ep = *system.eps.first().expect("a client needs an EP");
+        sim.add_component("client", ClientDriver::new(ep, schedule, retry))
+    });
+    LiveSystem {
+        sim,
+        stack: Stack::Unified(system),
+        client_id,
+        wall: WallClock::start(),
+    }
+}
+
+/// Which system flavour a scenario deployed.
+pub enum Stack {
+    /// The administrator-assigned GL/GM/LC hierarchy (§II).
+    Hierarchy(SnoozeSystem),
+    /// The self-organizing unified-node system (§V).
+    Unified(UnifiedSystem),
+}
+
+/// A deployed system plus its driver client.
+pub struct LiveSystem {
+    /// The engine.
+    pub sim: Engine,
+    /// The deployed stack.
+    pub stack: Stack,
+    /// The scripted client, if the scenario has one.
+    pub client_id: Option<ComponentId>,
+    pub(crate) wall: WallClock,
+}
+
+impl LiveSystem {
+    /// The hierarchy handles. Panics for unified-node scenarios.
+    pub fn system(&self) -> &SnoozeSystem {
+        match &self.stack {
+            Stack::Hierarchy(s) => s,
+            Stack::Unified(_) => panic!("scenario deployed a unified stack, not a hierarchy"),
+        }
+    }
+
+    /// The unified-node handles. Panics for hierarchy scenarios.
+    pub fn unified(&self) -> &UnifiedSystem {
+        match &self.stack {
+            Stack::Unified(u) => u,
+            Stack::Hierarchy(_) => panic!("scenario deployed a hierarchy, not a unified stack"),
+        }
+    }
+
+    /// The driver client. Panics if the scenario has none.
+    pub fn client(&self) -> &ClientDriver {
+        self.client_opt().expect("scenario has a client")
+    }
+
+    /// The driver client, if any.
+    pub fn client_opt(&self) -> Option<&ClientDriver> {
+        self.client_id
+            .and_then(|id| self.sim.component_as::<ClientDriver>(id))
+    }
+
+    /// Run until `deadline` or until the client has an answer for every
+    /// scheduled VM (whichever is first), stepping so the check stays
+    /// cheap. Without a client this runs straight to the deadline.
+    pub fn run_until_settled(&mut self, deadline: SimTime) {
+        if self.client_id.is_none() {
+            self.sim.run_until(deadline);
+            return;
+        }
+        let step = SimSpan::from_secs(5);
+        while self.sim.now() < deadline {
+            let next = (self.sim.now() + step).min(deadline);
+            self.sim.run_until(next);
+            if self.client().done() {
+                break;
+            }
+        }
+    }
+
+    /// Wall-clock milliseconds since deployment (advisory: never folded
+    /// into digests or deterministic outputs).
+    pub fn wall_ms(&self) -> f64 {
+        self.wall.elapsed_ms()
+    }
+
+    /// Management messages sent so far (the distributed-management cost
+    /// E5 reports).
+    pub fn messages_sent(&self) -> u64 {
+        self.sim.metrics().counter("net.sent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bursts_from_one_allocator_get_disjoint_ids() {
+        let mut alloc = VmIdAlloc::new();
+        let a = burst(&mut alloc, 3, SimTime::from_secs(10), 1.0, 1024.0, 0.5);
+        let b = burst(&mut alloc, 2, SimTime::from_secs(20), 1.0, 1024.0, 0.5);
+        let ids: Vec<u64> = a.iter().chain(&b).map(|v| v.spec.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        // Workload RNG streams are seeded from the id, so they must be
+        // disjoint too.
+        assert_eq!(b[0].workload.seed, 3);
+        assert_eq!(alloc.allocated(), 5);
+    }
+
+    #[test]
+    fn fleet_ids_continue_after_a_burst() {
+        let mut alloc = VmIdAlloc::new();
+        let _ = burst(&mut alloc, 4, SimTime::ZERO, 1.0, 1024.0, 0.5);
+        let fleet = build_workload(
+            &mut alloc,
+            &WorkloadSpec::RandomFleet {
+                n: 3,
+                seed: 99,
+                cores_min: 1.0,
+                cores_max: 3.0,
+                mem_min_mb: 2048.0,
+                mem_max_mb: 8192.0,
+                util_min: 0.4,
+                util_max: 0.9,
+                arrival_at_ms: 30000.0,
+                arrival_spread_s: 600,
+                lifetime_every: 2,
+                lifetime_min_s: 1200,
+                lifetime_max_s: 3600,
+            },
+        );
+        assert_eq!(
+            fleet.iter().map(|v| v.spec.id.0).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert!(fleet[0].lifetime.is_some(), "i % 2 == 0 terminates");
+        assert!(fleet[1].lifetime.is_none());
+        assert!(fleet.iter().all(|v| v.at >= SimTime::from_secs(30)));
+    }
+}

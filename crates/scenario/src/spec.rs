@@ -1,0 +1,1374 @@
+//! The declarative scenario schema.
+//!
+//! A [`ScenarioSpec`] says everything about one run: the topology
+//! (managers / LCs / EPs or unified nodes, heterogeneous node groups,
+//! the client), the Snooze configuration (a preset plus overrides), a
+//! workload program, a static fault schedule, a phase program (run /
+//! settle / sample / fault-and-observe), and named probe points. A
+//! scenario *file* ([`ScenarioDoc`]) is a base spec plus `[[variant]]`
+//! patches — one file describes a whole sweep.
+//!
+//! Everything is plain data with an exact TOML round-trip: durations are
+//! `*_ms` floats converted to whole microseconds, enums are strings.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use snooze::prelude::SnoozeConfig;
+use snooze::scheduling::placement::PlacementKind;
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze_cluster::node::{NodeId, NodeSpec, TransitionTimes};
+use snooze_cluster::power::LinearPower;
+use snooze_cluster::resources::ResourceVector;
+use snooze_simcore::time::{SimSpan, SimTime};
+
+use crate::toml::{self, Value};
+
+/// Milliseconds (float) → exact microseconds. Scenario files carry every
+/// duration as `*_ms`; all arithmetic downstream is integer micros.
+pub fn ms_to_span(ms: f64) -> SimSpan {
+    assert!(
+        ms.is_finite() && ms >= 0.0,
+        "duration must be >= 0, got {ms}"
+    );
+    SimSpan::from_micros((ms * 1e3).round() as u64)
+}
+
+/// Milliseconds (float) → an absolute instant.
+pub fn ms_to_time(ms: f64) -> SimTime {
+    SimTime(ms_to_span(ms).as_micros())
+}
+
+/// One full scenario (a single run).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (labels tables, exports and telemetry).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Master RNG seed — the only run-to-run degree of freedom.
+    pub seed: u64,
+    /// What to deploy.
+    pub topology: TopologySpec,
+    /// How to configure it.
+    pub config: ConfigSpec,
+    /// What to submit.
+    pub workload: Vec<WorkloadSpec>,
+    /// Statically scheduled faults (installed before the run starts).
+    pub faults: Vec<StaticFault>,
+    /// The phase program executed in order.
+    pub phases: Vec<PhaseSpec>,
+    /// Named sample points.
+    pub probes: Vec<ProbeSpec>,
+}
+
+/// Deployment shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopologySpec {
+    /// Manager components (one is elected GL, the rest serve as GMs).
+    pub managers: usize,
+    /// Homogeneous standard LC nodes (8 cores / 32 GB / Grid'5000 power).
+    pub lcs: usize,
+    /// Extra heterogeneous node groups, appended after the standard LCs.
+    pub node_groups: Vec<NodeGroupSpec>,
+    /// Entry Points.
+    pub eps: usize,
+    /// Deploy the §V unified-node system instead of the role hierarchy.
+    pub unified: Option<UnifiedSpec>,
+    /// The scripted client driving the workload (absent = no client,
+    /// e.g. for pure control-plane scenarios like E9).
+    pub client: Option<ClientSpec>,
+}
+
+/// A group of identical nodes with explicit capacity and power profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeGroupSpec {
+    /// Nodes in this group.
+    pub count: usize,
+    /// CPU cores per node.
+    pub cores: f64,
+    /// Memory per node, MB.
+    pub memory_mb: f64,
+    /// Network capacity per node (each direction), Mbit/s.
+    pub net_mbps: f64,
+    /// Idle power draw, watts.
+    pub idle_watts: f64,
+    /// Full-load power draw, watts.
+    pub max_watts: f64,
+    /// Suspended power draw, watts.
+    pub suspend_watts: f64,
+}
+
+/// Unified-node (§V) deployment: every node starts as an LC and the
+/// framework self-selects managers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnifiedSpec {
+    /// Unified nodes (standard spec).
+    pub nodes: usize,
+    /// Managers the role director maintains.
+    pub target_managers: usize,
+}
+
+/// The scripted client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClientSpec {
+    /// Retry period for unacknowledged submissions, ms.
+    pub retry_ms: f64,
+}
+
+/// Snooze configuration: a named preset plus optional overrides.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigSpec {
+    /// `"default"` or `"fast_test"`.
+    pub preset: String,
+    /// Idle time before suspend, ms; negative disables power management.
+    pub idle_suspend_ms: Option<f64>,
+    /// RTC watchdog period for suspended nodes, ms.
+    pub suspend_watchdog_ms: Option<f64>,
+    /// `"first_fit"` or `"round_robin"`.
+    pub placement: Option<String>,
+    /// LC-local underload threshold override.
+    pub underload_threshold: Option<f64>,
+    /// Reschedule VMs lost to LC failures from snapshots (§II-E).
+    pub reschedule_on_lc_failure: Option<bool>,
+    /// Periodic ACO reconfiguration.
+    pub reconfiguration: Option<ReconfSpec>,
+    /// Heartbeat/session knob pair (the E9 ablation's two dials).
+    pub knobs: Option<KnobsSpec>,
+}
+
+/// Periodic consolidation settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReconfSpec {
+    /// Pass period, ms.
+    pub period_ms: f64,
+    /// `"default"` or `"fast"` colony parameters.
+    pub aco: String,
+    /// ACO cycle-count override.
+    pub aco_cycles: Option<i64>,
+    /// Migration budget per pass.
+    pub max_migrations: i64,
+}
+
+/// The two administrator dials §II-D/E healing latency hangs on. Setting
+/// this derives every heartbeat period (= heartbeat), every silence
+/// timeout (= 4 × heartbeat), the coordination session timeout
+/// (= session) and the election ping (= session / 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnobsSpec {
+    /// Coordination session timeout, ms.
+    pub session_ms: f64,
+    /// Heartbeat period at all levels, ms.
+    pub heartbeat_ms: f64,
+}
+
+/// One workload program entry. VM ids are allocated sequentially across
+/// entries in order — two bursts never collide.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// `n` identical VMs submitted together.
+    Burst {
+        /// VMs in the burst.
+        n: usize,
+        /// Submission time, ms.
+        at_ms: f64,
+        /// Cores per VM.
+        cores: f64,
+        /// Memory per VM, MB.
+        memory_mb: f64,
+        /// Flat utilization of every dimension.
+        util: f64,
+    },
+    /// A randomized fleet with staggered arrivals and partial
+    /// termination (the E7 workload shape).
+    RandomFleet {
+        /// Fleet size.
+        n: usize,
+        /// Dedicated RNG stream seed for the fleet's draws.
+        seed: u64,
+        /// Core draw range.
+        cores_min: f64,
+        /// Core draw range.
+        cores_max: f64,
+        /// Memory draw range, MB.
+        mem_min_mb: f64,
+        /// Memory draw range, MB.
+        mem_max_mb: f64,
+        /// Utilization draw range.
+        util_min: f64,
+        /// Utilization draw range.
+        util_max: f64,
+        /// Earliest arrival, ms.
+        arrival_at_ms: f64,
+        /// Arrivals spread uniformly over this many whole seconds.
+        arrival_spread_s: i64,
+        /// Every `k`-th VM (i % k == 0) terminates mid-run.
+        lifetime_every: i64,
+        /// Lifetime draw range, whole seconds.
+        lifetime_min_s: i64,
+        /// Lifetime draw range, whole seconds.
+        lifetime_max_s: i64,
+    },
+}
+
+/// A statically scheduled fault (compiled to a `simcore::failure`
+/// plan before the run starts — fault injection is event-scheduled, not
+/// imperative kill-and-poll).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticFault {
+    /// When, ms.
+    pub at_ms: f64,
+    /// `"crash"`, `"restart"`, `"isolate"`, `"reconnect"`, `"degrade"`.
+    pub kind: String,
+    /// `"manager"`, `"lc"`, `"ep"` (ignored for `"degrade"`).
+    pub target: String,
+    /// Index into the target list (deployment order).
+    pub index: usize,
+    /// For crash/isolate: automatically undo after this long, ms.
+    pub downtime_ms: Option<f64>,
+    /// For `"degrade"`: network-wide loss, parts per million.
+    pub loss_ppm: Option<i64>,
+}
+
+/// One step of the phase program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhaseSpec {
+    /// Advance virtual time to an absolute instant.
+    RunTo {
+        /// Target instant, ms.
+        t_ms: f64,
+    },
+    /// Advance virtual time by a duration.
+    RunFor {
+        /// Duration, ms.
+        dur_ms: f64,
+    },
+    /// Step in 5 s increments until the client has an answer for every
+    /// VM or the deadline passes (the classic `run_until_settled`).
+    Settle {
+        /// Deadline, ms.
+        deadline_ms: f64,
+    },
+    /// Advance to `t_ms`, sampling the power census every `every_ms`.
+    SampleTo {
+        /// Target instant, ms.
+        t_ms: f64,
+        /// Sample period, ms.
+        every_ms: f64,
+    },
+    /// Resolve a target *now*, schedule a fault on it after `delay_ms`,
+    /// and optionally observe the aftermath.
+    Fault {
+        /// Row label in reports.
+        label: String,
+        /// Who to hit.
+        target: TargetSpec,
+        /// Fault time relative to now, ms.
+        delay_ms: f64,
+        /// `"crash"` (the only dynamic fault kind today).
+        kind: String,
+        /// Post-fault observation loop.
+        observe: Option<ObserveSpec>,
+    },
+}
+
+/// Dynamic target selection for fault phases.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TargetSpec {
+    /// The current Group Leader.
+    Gl,
+    /// The i-th currently active (non-leader) GM.
+    ActiveGm(usize),
+    /// The LC hosting the most VMs.
+    LcMostVms,
+    /// The i-th LC (deployment order).
+    Lc(usize),
+    /// The i-th Entry Point.
+    Ep(usize),
+    /// The i-th manager component.
+    Manager(usize),
+}
+
+/// The observation loop after a fault: walk forward in fixed steps,
+/// sample application performance inside the window, and record when the
+/// recovery condition first holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObserveSpec {
+    /// Steps to walk.
+    pub steps: u32,
+    /// Step length, ms.
+    pub step_ms: f64,
+    /// Sample mean application performance while `step * step_ms` is
+    /// within this window (0 = don't sample).
+    pub perf_window_ms: f64,
+    /// The "recovered-when" condition.
+    pub until: Condition,
+    /// Stop walking as soon as the condition holds.
+    pub stop_on_success: bool,
+}
+
+/// Named recovery conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// A (single) GL is elected.
+    GlElected,
+    /// Every alive LC is assigned to a live GM.
+    LcsOnLiveGms,
+    /// Snapshot rescheduling restored the pre-fault VM count.
+    VmsRestored,
+}
+
+/// A named sample point: the runner records a system snapshot when
+/// virtual time passes `at_ms`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeSpec {
+    /// Probe name (labels the sample in outcomes and exports).
+    pub name: String,
+    /// When, ms.
+    pub at_ms: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Building runtime objects
+// ---------------------------------------------------------------------------
+
+impl TopologySpec {
+    /// The node list: `lcs` standard nodes, then each group, ids
+    /// continuing in order.
+    pub fn build_nodes(&self) -> Vec<NodeSpec> {
+        let mut nodes = NodeSpec::standard_cluster(self.lcs);
+        for g in &self.node_groups {
+            for _ in 0..g.count {
+                let id = NodeId(nodes.len());
+                nodes.push(NodeSpec {
+                    id,
+                    capacity: ResourceVector::new(g.cores, g.memory_mb, g.net_mbps, g.net_mbps),
+                    transitions: TransitionTimes::typical_server(),
+                    power: Arc::new(LinearPower {
+                        idle_watts: g.idle_watts,
+                        max_watts: g.max_watts,
+                        suspend_watts: g.suspend_watts,
+                    }),
+                });
+            }
+        }
+        nodes
+    }
+}
+
+impl ConfigSpec {
+    /// A spec that applies a preset verbatim.
+    pub fn preset(name: &str) -> ConfigSpec {
+        ConfigSpec {
+            preset: name.to_string(),
+            idle_suspend_ms: None,
+            suspend_watchdog_ms: None,
+            placement: None,
+            underload_threshold: None,
+            reschedule_on_lc_failure: None,
+            reconfiguration: None,
+            knobs: None,
+        }
+    }
+
+    /// Materialize the [`SnoozeConfig`].
+    pub fn build(&self) -> Result<SnoozeConfig, String> {
+        let mut c = match self.preset.as_str() {
+            "default" => SnoozeConfig::default(),
+            "fast_test" => SnoozeConfig::fast_test(),
+            other => return Err(format!("unknown config preset `{other}`")),
+        };
+        if let Some(k) = &self.knobs {
+            let hb = ms_to_span(k.heartbeat_ms);
+            let session = ms_to_span(k.session_ms);
+            c.gl_heartbeat_period = hb;
+            c.gm_heartbeat_period = hb;
+            c.gm_lc_heartbeat_period = hb;
+            c.lc_monitoring_period = hb;
+            c.gm_timeout = hb * 4;
+            c.lc_timeout = hb * 4;
+            c.gm_silence_for_lc = hb * 4;
+            c.zk_session_timeout = session;
+            c.election_ping_period = session / 3;
+        }
+        if let Some(ms) = self.idle_suspend_ms {
+            c.idle_suspend_after = if ms < 0.0 { None } else { Some(ms_to_span(ms)) };
+        }
+        if let Some(ms) = self.suspend_watchdog_ms {
+            c.suspend_watchdog = ms_to_span(ms);
+        }
+        if let Some(p) = &self.placement {
+            c.placement = match p.as_str() {
+                "first_fit" => PlacementKind::FirstFit,
+                "round_robin" => PlacementKind::RoundRobin,
+                other => return Err(format!("unknown placement `{other}`")),
+            };
+        }
+        if let Some(u) = self.underload_threshold {
+            c.underload_threshold = u;
+        }
+        if let Some(r) = self.reschedule_on_lc_failure {
+            c.reschedule_on_lc_failure = r;
+        }
+        if let Some(r) = &self.reconfiguration {
+            let mut aco = match r.aco.as_str() {
+                "default" => snooze_consolidation::aco::AcoParams::default(),
+                "fast" => snooze_consolidation::aco::AcoParams::fast(),
+                other => return Err(format!("unknown aco preset `{other}`")),
+            };
+            if let Some(n) = r.aco_cycles {
+                aco.n_cycles = n as usize;
+            }
+            c.reconfiguration = Some(ReconfigurationConfig {
+                period: ms_to_span(r.period_ms),
+                aco,
+                max_migrations: r.max_migrations as usize,
+            });
+        }
+        Ok(c)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TOML decoding
+// ---------------------------------------------------------------------------
+
+type Tbl = BTreeMap<String, Value>;
+
+fn get<'a>(t: &'a Tbl, k: &str) -> Result<&'a Value, String> {
+    t.get(k).ok_or_else(|| format!("missing key `{k}`"))
+}
+
+fn get_str(t: &Tbl, k: &str) -> Result<String, String> {
+    get(t, k)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{k}` must be a string"))
+}
+
+fn get_usize(t: &Tbl, k: &str) -> Result<usize, String> {
+    get(t, k)?
+        .as_int()
+        .filter(|&i| i >= 0)
+        .map(|i| i as usize)
+        .ok_or_else(|| format!("`{k}` must be a non-negative integer"))
+}
+
+fn get_f64(t: &Tbl, k: &str) -> Result<f64, String> {
+    get(t, k)?
+        .as_float()
+        .ok_or_else(|| format!("`{k}` must be a number"))
+}
+
+fn opt_f64(t: &Tbl, k: &str) -> Result<Option<f64>, String> {
+    match t.get(k) {
+        None => Ok(None),
+        Some(v) => v
+            .as_float()
+            .map(Some)
+            .ok_or_else(|| format!("`{k}` must be a number")),
+    }
+}
+
+fn opt_i64(t: &Tbl, k: &str) -> Result<Option<i64>, String> {
+    match t.get(k) {
+        None => Ok(None),
+        Some(v) => v
+            .as_int()
+            .map(Some)
+            .ok_or_else(|| format!("`{k}` must be an integer")),
+    }
+}
+
+fn table_array<'a>(t: &'a Tbl, k: &str) -> Result<Vec<&'a Tbl>, String> {
+    match t.get(k) {
+        None => Ok(Vec::new()),
+        Some(Value::TableArray(v)) => Ok(v.iter().collect()),
+        Some(_) => Err(format!("`{k}` must be an array of tables")),
+    }
+}
+
+fn known_keys(t: &Tbl, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    for k in t.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown key `{k}` in {ctx}"));
+        }
+    }
+    Ok(())
+}
+
+impl ScenarioSpec {
+    /// Decode a spec from a (variant-expanded) root table.
+    pub fn from_value(root: &Tbl) -> Result<ScenarioSpec, String> {
+        known_keys(
+            root,
+            &[
+                "name",
+                "description",
+                "seed",
+                "topology",
+                "config",
+                "workload",
+                "fault",
+                "phase",
+                "probe",
+            ],
+            "scenario",
+        )?;
+        let topo_t = get(root, "topology")?
+            .as_table()
+            .ok_or("`topology` must be a table")?;
+        known_keys(
+            topo_t,
+            &["managers", "lcs", "eps", "nodes", "unified", "client"],
+            "topology",
+        )?;
+        let node_groups = table_array(topo_t, "nodes")?
+            .into_iter()
+            .map(|g| {
+                known_keys(
+                    g,
+                    &[
+                        "count",
+                        "cores",
+                        "memory_mb",
+                        "net_mbps",
+                        "idle_watts",
+                        "max_watts",
+                        "suspend_watts",
+                    ],
+                    "topology.nodes",
+                )?;
+                Ok(NodeGroupSpec {
+                    count: get_usize(g, "count")?,
+                    cores: get_f64(g, "cores")?,
+                    memory_mb: get_f64(g, "memory_mb")?,
+                    net_mbps: get_f64(g, "net_mbps")?,
+                    idle_watts: get_f64(g, "idle_watts")?,
+                    max_watts: get_f64(g, "max_watts")?,
+                    suspend_watts: get_f64(g, "suspend_watts")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let unified = match topo_t.get("unified") {
+            None => None,
+            Some(v) => {
+                let u = v.as_table().ok_or("`unified` must be a table")?;
+                known_keys(u, &["nodes", "target_managers"], "topology.unified")?;
+                Some(UnifiedSpec {
+                    nodes: get_usize(u, "nodes")?,
+                    target_managers: get_usize(u, "target_managers")?,
+                })
+            }
+        };
+        let client = match topo_t.get("client") {
+            None => None,
+            Some(v) => {
+                let c = v.as_table().ok_or("`client` must be a table")?;
+                known_keys(c, &["retry_ms"], "topology.client")?;
+                Some(ClientSpec {
+                    retry_ms: get_f64(c, "retry_ms")?,
+                })
+            }
+        };
+        let topology = TopologySpec {
+            managers: opt_i64(topo_t, "managers")?.unwrap_or(0).max(0) as usize,
+            lcs: opt_i64(topo_t, "lcs")?.unwrap_or(0).max(0) as usize,
+            node_groups,
+            eps: get_usize(topo_t, "eps")?,
+            unified,
+            client,
+        };
+
+        let config = match root.get("config") {
+            None => ConfigSpec::preset("default"),
+            Some(v) => {
+                let c = v.as_table().ok_or("`config` must be a table")?;
+                known_keys(
+                    c,
+                    &[
+                        "preset",
+                        "idle_suspend_ms",
+                        "suspend_watchdog_ms",
+                        "placement",
+                        "underload_threshold",
+                        "reschedule_on_lc_failure",
+                        "reconfiguration",
+                        "knobs",
+                    ],
+                    "config",
+                )?;
+                let reconfiguration = match c.get("reconfiguration") {
+                    None => None,
+                    Some(v) => {
+                        let r = v.as_table().ok_or("`reconfiguration` must be a table")?;
+                        known_keys(
+                            r,
+                            &["period_ms", "aco", "aco_cycles", "max_migrations"],
+                            "config.reconfiguration",
+                        )?;
+                        Some(ReconfSpec {
+                            period_ms: get_f64(r, "period_ms")?,
+                            aco: r
+                                .get("aco")
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("default")
+                                .to_string(),
+                            aco_cycles: opt_i64(r, "aco_cycles")?,
+                            max_migrations: get(r, "max_migrations")?
+                                .as_int()
+                                .ok_or("`max_migrations` must be an integer")?,
+                        })
+                    }
+                };
+                let knobs = match c.get("knobs") {
+                    None => None,
+                    Some(v) => {
+                        let k = v.as_table().ok_or("`knobs` must be a table")?;
+                        known_keys(k, &["session_ms", "heartbeat_ms"], "config.knobs")?;
+                        Some(KnobsSpec {
+                            session_ms: get_f64(k, "session_ms")?,
+                            heartbeat_ms: get_f64(k, "heartbeat_ms")?,
+                        })
+                    }
+                };
+                ConfigSpec {
+                    preset: c
+                        .get("preset")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("default")
+                        .to_string(),
+                    idle_suspend_ms: opt_f64(c, "idle_suspend_ms")?,
+                    suspend_watchdog_ms: opt_f64(c, "suspend_watchdog_ms")?,
+                    placement: c
+                        .get("placement")
+                        .and_then(|v| v.as_str())
+                        .map(String::from),
+                    underload_threshold: opt_f64(c, "underload_threshold")?,
+                    reschedule_on_lc_failure: c
+                        .get("reschedule_on_lc_failure")
+                        .and_then(|v| v.as_bool()),
+                    reconfiguration,
+                    knobs,
+                }
+            }
+        };
+
+        let workload = table_array(root, "workload")?
+            .into_iter()
+            .map(decode_workload)
+            .collect::<Result<Vec<_>, String>>()?;
+        let faults = table_array(root, "fault")?
+            .into_iter()
+            .map(|f| {
+                known_keys(
+                    f,
+                    &[
+                        "at_ms",
+                        "kind",
+                        "target",
+                        "index",
+                        "downtime_ms",
+                        "loss_ppm",
+                    ],
+                    "fault",
+                )?;
+                Ok(StaticFault {
+                    at_ms: get_f64(f, "at_ms")?,
+                    kind: get_str(f, "kind")?,
+                    target: f
+                        .get("target")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("lc")
+                        .to_string(),
+                    index: opt_i64(f, "index")?.unwrap_or(0).max(0) as usize,
+                    downtime_ms: opt_f64(f, "downtime_ms")?,
+                    loss_ppm: opt_i64(f, "loss_ppm")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let phases = table_array(root, "phase")?
+            .into_iter()
+            .map(decode_phase)
+            .collect::<Result<Vec<_>, String>>()?;
+        let probes = table_array(root, "probe")?
+            .into_iter()
+            .map(|p| {
+                known_keys(p, &["name", "at_ms"], "probe")?;
+                Ok(ProbeSpec {
+                    name: get_str(p, "name")?,
+                    at_ms: get_f64(p, "at_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        Ok(ScenarioSpec {
+            name: get_str(root, "name")?,
+            description: root
+                .get("description")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            seed: get(root, "seed")?
+                .as_int()
+                .filter(|&i| i >= 0)
+                .ok_or("`seed` must be a non-negative integer")? as u64,
+            topology,
+            config,
+            workload,
+            faults,
+            phases,
+            probes,
+        })
+    }
+
+    /// Encode into the canonical root table ([`ScenarioSpec::from_value`]'s
+    /// exact inverse).
+    pub fn to_value(&self) -> Tbl {
+        let mut root = Tbl::new();
+        root.insert("name".into(), Value::Str(self.name.clone()));
+        root.insert("description".into(), Value::Str(self.description.clone()));
+        root.insert("seed".into(), Value::Int(self.seed as i64));
+
+        let mut topo = Tbl::new();
+        topo.insert("managers".into(), Value::Int(self.topology.managers as i64));
+        topo.insert("lcs".into(), Value::Int(self.topology.lcs as i64));
+        topo.insert("eps".into(), Value::Int(self.topology.eps as i64));
+        if !self.topology.node_groups.is_empty() {
+            let groups = self
+                .topology
+                .node_groups
+                .iter()
+                .map(|g| {
+                    let mut t = Tbl::new();
+                    t.insert("count".into(), Value::Int(g.count as i64));
+                    t.insert("cores".into(), Value::Float(g.cores));
+                    t.insert("memory_mb".into(), Value::Float(g.memory_mb));
+                    t.insert("net_mbps".into(), Value::Float(g.net_mbps));
+                    t.insert("idle_watts".into(), Value::Float(g.idle_watts));
+                    t.insert("max_watts".into(), Value::Float(g.max_watts));
+                    t.insert("suspend_watts".into(), Value::Float(g.suspend_watts));
+                    t
+                })
+                .collect();
+            topo.insert("nodes".into(), Value::TableArray(groups));
+        }
+        if let Some(u) = &self.topology.unified {
+            let mut t = Tbl::new();
+            t.insert("nodes".into(), Value::Int(u.nodes as i64));
+            t.insert(
+                "target_managers".into(),
+                Value::Int(u.target_managers as i64),
+            );
+            topo.insert("unified".into(), Value::Table(t));
+        }
+        if let Some(c) = &self.topology.client {
+            let mut t = Tbl::new();
+            t.insert("retry_ms".into(), Value::Float(c.retry_ms));
+            topo.insert("client".into(), Value::Table(t));
+        }
+        root.insert("topology".into(), Value::Table(topo));
+
+        let mut cfg = Tbl::new();
+        cfg.insert("preset".into(), Value::Str(self.config.preset.clone()));
+        if let Some(v) = self.config.idle_suspend_ms {
+            cfg.insert("idle_suspend_ms".into(), Value::Float(v));
+        }
+        if let Some(v) = self.config.suspend_watchdog_ms {
+            cfg.insert("suspend_watchdog_ms".into(), Value::Float(v));
+        }
+        if let Some(p) = &self.config.placement {
+            cfg.insert("placement".into(), Value::Str(p.clone()));
+        }
+        if let Some(v) = self.config.underload_threshold {
+            cfg.insert("underload_threshold".into(), Value::Float(v));
+        }
+        if let Some(v) = self.config.reschedule_on_lc_failure {
+            cfg.insert("reschedule_on_lc_failure".into(), Value::Bool(v));
+        }
+        if let Some(r) = &self.config.reconfiguration {
+            let mut t = Tbl::new();
+            t.insert("period_ms".into(), Value::Float(r.period_ms));
+            t.insert("aco".into(), Value::Str(r.aco.clone()));
+            if let Some(n) = r.aco_cycles {
+                t.insert("aco_cycles".into(), Value::Int(n));
+            }
+            t.insert("max_migrations".into(), Value::Int(r.max_migrations));
+            cfg.insert("reconfiguration".into(), Value::Table(t));
+        }
+        if let Some(k) = &self.config.knobs {
+            let mut t = Tbl::new();
+            t.insert("session_ms".into(), Value::Float(k.session_ms));
+            t.insert("heartbeat_ms".into(), Value::Float(k.heartbeat_ms));
+            cfg.insert("knobs".into(), Value::Table(t));
+        }
+        root.insert("config".into(), Value::Table(cfg));
+
+        if !self.workload.is_empty() {
+            root.insert(
+                "workload".into(),
+                Value::TableArray(self.workload.iter().map(encode_workload).collect()),
+            );
+        }
+        if !self.faults.is_empty() {
+            let faults = self
+                .faults
+                .iter()
+                .map(|f| {
+                    let mut t = Tbl::new();
+                    t.insert("at_ms".into(), Value::Float(f.at_ms));
+                    t.insert("kind".into(), Value::Str(f.kind.clone()));
+                    t.insert("target".into(), Value::Str(f.target.clone()));
+                    t.insert("index".into(), Value::Int(f.index as i64));
+                    if let Some(d) = f.downtime_ms {
+                        t.insert("downtime_ms".into(), Value::Float(d));
+                    }
+                    if let Some(p) = f.loss_ppm {
+                        t.insert("loss_ppm".into(), Value::Int(p));
+                    }
+                    t
+                })
+                .collect();
+            root.insert("fault".into(), Value::TableArray(faults));
+        }
+        if !self.phases.is_empty() {
+            root.insert(
+                "phase".into(),
+                Value::TableArray(self.phases.iter().map(encode_phase).collect()),
+            );
+        }
+        if !self.probes.is_empty() {
+            let probes = self
+                .probes
+                .iter()
+                .map(|p| {
+                    let mut t = Tbl::new();
+                    t.insert("name".into(), Value::Str(p.name.clone()));
+                    t.insert("at_ms".into(), Value::Float(p.at_ms));
+                    t
+                })
+                .collect();
+            root.insert("probe".into(), Value::TableArray(probes));
+        }
+        root
+    }
+
+    /// Canonical TOML for a single-run scenario.
+    pub fn to_toml(&self) -> String {
+        toml::render(&self.to_value())
+    }
+
+    /// Parse a single-run scenario (no variants) from TOML.
+    pub fn from_toml(s: &str) -> Result<ScenarioSpec, String> {
+        ScenarioSpec::from_value(&toml::parse(s)?)
+    }
+}
+
+fn decode_workload(w: &Tbl) -> Result<WorkloadSpec, String> {
+    match get_str(w, "kind")?.as_str() {
+        "burst" => {
+            known_keys(
+                w,
+                &["kind", "n", "at_ms", "cores", "memory_mb", "util"],
+                "workload (burst)",
+            )?;
+            Ok(WorkloadSpec::Burst {
+                n: get_usize(w, "n")?,
+                at_ms: get_f64(w, "at_ms")?,
+                cores: get_f64(w, "cores")?,
+                memory_mb: get_f64(w, "memory_mb")?,
+                util: get_f64(w, "util")?,
+            })
+        }
+        "random_fleet" => {
+            known_keys(
+                w,
+                &[
+                    "kind",
+                    "n",
+                    "seed",
+                    "cores_min",
+                    "cores_max",
+                    "mem_min_mb",
+                    "mem_max_mb",
+                    "util_min",
+                    "util_max",
+                    "arrival_at_ms",
+                    "arrival_spread_s",
+                    "lifetime_every",
+                    "lifetime_min_s",
+                    "lifetime_max_s",
+                ],
+                "workload (random_fleet)",
+            )?;
+            Ok(WorkloadSpec::RandomFleet {
+                n: get_usize(w, "n")?,
+                seed: get(w, "seed")?
+                    .as_int()
+                    .filter(|&i| i >= 0)
+                    .ok_or("fleet `seed` must be a non-negative integer")?
+                    as u64,
+                cores_min: get_f64(w, "cores_min")?,
+                cores_max: get_f64(w, "cores_max")?,
+                mem_min_mb: get_f64(w, "mem_min_mb")?,
+                mem_max_mb: get_f64(w, "mem_max_mb")?,
+                util_min: get_f64(w, "util_min")?,
+                util_max: get_f64(w, "util_max")?,
+                arrival_at_ms: get_f64(w, "arrival_at_ms")?,
+                arrival_spread_s: get(w, "arrival_spread_s")?
+                    .as_int()
+                    .ok_or("`arrival_spread_s` must be an integer")?,
+                lifetime_every: get(w, "lifetime_every")?
+                    .as_int()
+                    .ok_or("`lifetime_every` must be an integer")?,
+                lifetime_min_s: get(w, "lifetime_min_s")?
+                    .as_int()
+                    .ok_or("`lifetime_min_s` must be an integer")?,
+                lifetime_max_s: get(w, "lifetime_max_s")?
+                    .as_int()
+                    .ok_or("`lifetime_max_s` must be an integer")?,
+            })
+        }
+        other => Err(format!("unknown workload kind `{other}`")),
+    }
+}
+
+fn encode_workload(w: &WorkloadSpec) -> Tbl {
+    let mut t = Tbl::new();
+    match w {
+        WorkloadSpec::Burst {
+            n,
+            at_ms,
+            cores,
+            memory_mb,
+            util,
+        } => {
+            t.insert("kind".into(), Value::Str("burst".into()));
+            t.insert("n".into(), Value::Int(*n as i64));
+            t.insert("at_ms".into(), Value::Float(*at_ms));
+            t.insert("cores".into(), Value::Float(*cores));
+            t.insert("memory_mb".into(), Value::Float(*memory_mb));
+            t.insert("util".into(), Value::Float(*util));
+        }
+        WorkloadSpec::RandomFleet {
+            n,
+            seed,
+            cores_min,
+            cores_max,
+            mem_min_mb,
+            mem_max_mb,
+            util_min,
+            util_max,
+            arrival_at_ms,
+            arrival_spread_s,
+            lifetime_every,
+            lifetime_min_s,
+            lifetime_max_s,
+        } => {
+            t.insert("kind".into(), Value::Str("random_fleet".into()));
+            t.insert("n".into(), Value::Int(*n as i64));
+            t.insert("seed".into(), Value::Int(*seed as i64));
+            t.insert("cores_min".into(), Value::Float(*cores_min));
+            t.insert("cores_max".into(), Value::Float(*cores_max));
+            t.insert("mem_min_mb".into(), Value::Float(*mem_min_mb));
+            t.insert("mem_max_mb".into(), Value::Float(*mem_max_mb));
+            t.insert("util_min".into(), Value::Float(*util_min));
+            t.insert("util_max".into(), Value::Float(*util_max));
+            t.insert("arrival_at_ms".into(), Value::Float(*arrival_at_ms));
+            t.insert("arrival_spread_s".into(), Value::Int(*arrival_spread_s));
+            t.insert("lifetime_every".into(), Value::Int(*lifetime_every));
+            t.insert("lifetime_min_s".into(), Value::Int(*lifetime_min_s));
+            t.insert("lifetime_max_s".into(), Value::Int(*lifetime_max_s));
+        }
+    }
+    t
+}
+
+fn decode_phase(p: &Tbl) -> Result<PhaseSpec, String> {
+    match get_str(p, "kind")?.as_str() {
+        "run_to" => {
+            known_keys(p, &["kind", "t_ms"], "phase (run_to)")?;
+            Ok(PhaseSpec::RunTo {
+                t_ms: get_f64(p, "t_ms")?,
+            })
+        }
+        "run_for" => {
+            known_keys(p, &["kind", "dur_ms"], "phase (run_for)")?;
+            Ok(PhaseSpec::RunFor {
+                dur_ms: get_f64(p, "dur_ms")?,
+            })
+        }
+        "settle" => {
+            known_keys(p, &["kind", "deadline_ms"], "phase (settle)")?;
+            Ok(PhaseSpec::Settle {
+                deadline_ms: get_f64(p, "deadline_ms")?,
+            })
+        }
+        "sample_to" => {
+            known_keys(p, &["kind", "t_ms", "every_ms"], "phase (sample_to)")?;
+            Ok(PhaseSpec::SampleTo {
+                t_ms: get_f64(p, "t_ms")?,
+                every_ms: get_f64(p, "every_ms")?,
+            })
+        }
+        "fault" => {
+            known_keys(
+                p,
+                &[
+                    "kind", "label", "target", "index", "delay_ms", "fault", "observe",
+                ],
+                "phase (fault)",
+            )?;
+            let index = opt_i64(p, "index")?.unwrap_or(0).max(0) as usize;
+            let target = match get_str(p, "target")?.as_str() {
+                "gl" => TargetSpec::Gl,
+                "active_gm" => TargetSpec::ActiveGm(index),
+                "lc_most_vms" => TargetSpec::LcMostVms,
+                "lc" => TargetSpec::Lc(index),
+                "ep" => TargetSpec::Ep(index),
+                "manager" => TargetSpec::Manager(index),
+                other => return Err(format!("unknown fault target `{other}`")),
+            };
+            let observe = match p.get("observe") {
+                None => None,
+                Some(v) => {
+                    let o = v.as_table().ok_or("`observe` must be a table")?;
+                    known_keys(
+                        o,
+                        &[
+                            "steps",
+                            "step_ms",
+                            "perf_window_ms",
+                            "until",
+                            "stop_on_success",
+                        ],
+                        "phase.observe",
+                    )?;
+                    let until = match get_str(o, "until")?.as_str() {
+                        "gl_elected" => Condition::GlElected,
+                        "lcs_on_live_gms" => Condition::LcsOnLiveGms,
+                        "vms_restored" => Condition::VmsRestored,
+                        other => return Err(format!("unknown condition `{other}`")),
+                    };
+                    Some(ObserveSpec {
+                        steps: get_usize(o, "steps")? as u32,
+                        step_ms: get_f64(o, "step_ms")?,
+                        perf_window_ms: opt_f64(o, "perf_window_ms")?.unwrap_or(0.0),
+                        until,
+                        stop_on_success: o
+                            .get("stop_on_success")
+                            .and_then(|v| v.as_bool())
+                            .unwrap_or(false),
+                    })
+                }
+            };
+            Ok(PhaseSpec::Fault {
+                label: p
+                    .get("label")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("fault")
+                    .to_string(),
+                target,
+                delay_ms: opt_f64(p, "delay_ms")?.unwrap_or(0.0),
+                kind: p
+                    .get("fault")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("crash")
+                    .to_string(),
+                observe,
+            })
+        }
+        other => Err(format!("unknown phase kind `{other}`")),
+    }
+}
+
+fn encode_phase(p: &PhaseSpec) -> Tbl {
+    let mut t = Tbl::new();
+    match p {
+        PhaseSpec::RunTo { t_ms } => {
+            t.insert("kind".into(), Value::Str("run_to".into()));
+            t.insert("t_ms".into(), Value::Float(*t_ms));
+        }
+        PhaseSpec::RunFor { dur_ms } => {
+            t.insert("kind".into(), Value::Str("run_for".into()));
+            t.insert("dur_ms".into(), Value::Float(*dur_ms));
+        }
+        PhaseSpec::Settle { deadline_ms } => {
+            t.insert("kind".into(), Value::Str("settle".into()));
+            t.insert("deadline_ms".into(), Value::Float(*deadline_ms));
+        }
+        PhaseSpec::SampleTo { t_ms, every_ms } => {
+            t.insert("kind".into(), Value::Str("sample_to".into()));
+            t.insert("t_ms".into(), Value::Float(*t_ms));
+            t.insert("every_ms".into(), Value::Float(*every_ms));
+        }
+        PhaseSpec::Fault {
+            label,
+            target,
+            delay_ms,
+            kind,
+            observe,
+        } => {
+            t.insert("kind".into(), Value::Str("fault".into()));
+            t.insert("label".into(), Value::Str(label.clone()));
+            let (name, index) = match target {
+                TargetSpec::Gl => ("gl", None),
+                TargetSpec::ActiveGm(i) => ("active_gm", Some(*i)),
+                TargetSpec::LcMostVms => ("lc_most_vms", None),
+                TargetSpec::Lc(i) => ("lc", Some(*i)),
+                TargetSpec::Ep(i) => ("ep", Some(*i)),
+                TargetSpec::Manager(i) => ("manager", Some(*i)),
+            };
+            t.insert("target".into(), Value::Str(name.into()));
+            if let Some(i) = index {
+                t.insert("index".into(), Value::Int(i as i64));
+            }
+            t.insert("delay_ms".into(), Value::Float(*delay_ms));
+            t.insert("fault".into(), Value::Str(kind.clone()));
+            if let Some(o) = observe {
+                let mut ot = Tbl::new();
+                ot.insert("steps".into(), Value::Int(o.steps as i64));
+                ot.insert("step_ms".into(), Value::Float(o.step_ms));
+                ot.insert("perf_window_ms".into(), Value::Float(o.perf_window_ms));
+                let until = match o.until {
+                    Condition::GlElected => "gl_elected",
+                    Condition::LcsOnLiveGms => "lcs_on_live_gms",
+                    Condition::VmsRestored => "vms_restored",
+                };
+                ot.insert("until".into(), Value::Str(until.into()));
+                ot.insert("stop_on_success".into(), Value::Bool(o.stop_on_success));
+                t.insert("observe".into(), Value::Table(ot));
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Scenario documents: base + [[variant]]
+// ---------------------------------------------------------------------------
+
+/// A scenario file: a base table plus `[[variant]]` patches. With no
+/// variants the file is one run; with variants, each patch deep-merged
+/// onto the base yields one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioDoc {
+    root: Tbl,
+}
+
+impl ScenarioDoc {
+    /// Parse a document.
+    pub fn parse(input: &str) -> Result<ScenarioDoc, String> {
+        Ok(ScenarioDoc {
+            root: toml::parse(input)?,
+        })
+    }
+
+    /// Build a document from a base spec and fully specified variants:
+    /// each variant is stored as the minimal patch against the base.
+    pub fn from_specs(base: &ScenarioSpec, variants: &[ScenarioSpec]) -> ScenarioDoc {
+        let base_v = base.to_value();
+        let mut root = base_v.clone();
+        if !variants.is_empty() {
+            let patches = variants
+                .iter()
+                .map(|v| toml::diff(&base_v, &v.to_value()))
+                .collect();
+            root.insert("variant".into(), Value::TableArray(patches));
+        }
+        ScenarioDoc { root }
+    }
+
+    /// Canonical TOML.
+    pub fn to_toml(&self) -> String {
+        toml::render(&self.root)
+    }
+
+    /// Expand into the concrete runs: `(variant_name, spec)` pairs. A
+    /// variant's name is its (possibly patched) scenario `name`; with no
+    /// variants the base runs once under its own name.
+    pub fn expand(&self) -> Result<Vec<ScenarioSpec>, String> {
+        let mut base = self.root.clone();
+        let variants = match base.remove("variant") {
+            None => return Ok(vec![ScenarioSpec::from_value(&base)?]),
+            Some(Value::TableArray(v)) => v,
+            Some(_) => return Err("`variant` must be an array of tables".into()),
+        };
+        variants
+            .iter()
+            .map(|patch| {
+                let mut merged = base.clone();
+                toml::deep_merge(&mut merged, patch);
+                ScenarioSpec::from_value(&merged)
+            })
+            .collect()
+    }
+
+    /// The base scenario name (before variant patches).
+    pub fn name(&self) -> Option<&str> {
+        self.root.get("name").and_then(|v| v.as_str())
+    }
+
+    /// The base description.
+    pub fn description(&self) -> Option<&str> {
+        self.root.get("description").and_then(|v| v.as_str())
+    }
+
+    /// Number of runs this document expands to.
+    pub fn run_count(&self) -> usize {
+        match self.root.get("variant") {
+            Some(Value::TableArray(v)) => v.len(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".into(),
+            description: "a demo".into(),
+            seed: 7,
+            topology: TopologySpec {
+                managers: 3,
+                lcs: 8,
+                node_groups: vec![NodeGroupSpec {
+                    count: 2,
+                    cores: 16.0,
+                    memory_mb: 65536.0,
+                    net_mbps: 1000.0,
+                    idle_watts: 200.0,
+                    max_watts: 320.0,
+                    suspend_watts: 6.0,
+                }],
+                eps: 1,
+                unified: None,
+                client: Some(ClientSpec { retry_ms: 15000.0 }),
+            },
+            config: ConfigSpec {
+                idle_suspend_ms: Some(-1.0),
+                ..ConfigSpec::preset("default")
+            },
+            workload: vec![
+                WorkloadSpec::Burst {
+                    n: 4,
+                    at_ms: 30000.0,
+                    cores: 2.0,
+                    memory_mb: 4096.0,
+                    util: 0.5,
+                },
+                WorkloadSpec::Burst {
+                    n: 2,
+                    at_ms: 60000.0,
+                    cores: 1.0,
+                    memory_mb: 2048.0,
+                    util: 0.25,
+                },
+            ],
+            faults: vec![StaticFault {
+                at_ms: 90000.0,
+                kind: "crash".into(),
+                target: "lc".into(),
+                index: 1,
+                downtime_ms: Some(30000.0),
+                loss_ppm: None,
+            }],
+            phases: vec![
+                PhaseSpec::Settle {
+                    deadline_ms: 300000.0,
+                },
+                PhaseSpec::Fault {
+                    label: "GL crash".into(),
+                    target: TargetSpec::Gl,
+                    delay_ms: 10000.0,
+                    kind: "crash".into(),
+                    observe: Some(ObserveSpec {
+                        steps: 90,
+                        step_ms: 2000.0,
+                        perf_window_ms: 60000.0,
+                        until: Condition::GlElected,
+                        stop_on_success: false,
+                    }),
+                },
+            ],
+            probes: vec![ProbeSpec {
+                name: "mid".into(),
+                at_ms: 150000.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn spec_toml_round_trip_is_identity() {
+        let spec = demo_spec();
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn doc_with_variants_expands_to_patched_specs() {
+        let base = demo_spec();
+        let mut v1 = base.clone();
+        v1.name = "demo-big".into();
+        v1.seed = 9;
+        v1.workload[0] = WorkloadSpec::Burst {
+            n: 16,
+            at_ms: 30000.0,
+            cores: 2.0,
+            memory_mb: 4096.0,
+            util: 0.5,
+        };
+        let mut v2 = base.clone();
+        v2.name = "demo-reconf".into();
+        v2.config.reconfiguration = Some(ReconfSpec {
+            period_ms: 60000.0,
+            aco: "fast".into(),
+            aco_cycles: None,
+            max_migrations: 8,
+        });
+        let doc = ScenarioDoc::from_specs(&base, &[v1.clone(), v2.clone()]);
+        let text = doc.to_toml();
+        let parsed = ScenarioDoc::parse(&text).unwrap();
+        assert_eq!(parsed.to_toml(), text, "document round-trip");
+        assert_eq!(parsed.expand().unwrap(), vec![v1, v2]);
+    }
+
+    #[test]
+    fn knobs_derive_the_e9_config() {
+        let cs = ConfigSpec {
+            idle_suspend_ms: Some(-1.0),
+            knobs: Some(KnobsSpec {
+                session_ms: 4000.0,
+                heartbeat_ms: 1000.0,
+            }),
+            ..ConfigSpec::preset("default")
+        };
+        let c = cs.build().unwrap();
+        assert_eq!(c.gl_heartbeat_period, SimSpan::from_millis(1000));
+        assert_eq!(c.gm_timeout, SimSpan::from_millis(4000));
+        assert_eq!(c.zk_session_timeout, SimSpan::from_millis(4000));
+        // Truncating integer division, exactly as the hand-built sweep.
+        assert_eq!(c.election_ping_period, SimSpan::from_micros(4_000_000 / 3));
+        assert!(c.idle_suspend_after.is_none());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err =
+            ScenarioSpec::from_toml("name = \"x\"\nseed = 1\nbogus = 2\n[topology]\neps = 1\n")
+                .unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn ms_conversion_is_exact_for_microsecond_grids() {
+        assert_eq!(ms_to_span(30000.0), SimSpan::from_secs(30));
+        assert_eq!(ms_to_span(0.5), SimSpan::from_micros(500));
+        assert_eq!(ms_to_time(1.0), SimTime(1000));
+    }
+}

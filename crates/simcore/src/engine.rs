@@ -83,6 +83,24 @@ pub trait Component: Any {
     fn on_restart(&mut self, _ctx: &mut Ctx) {}
 }
 
+/// A scheduled change to the simulated network's health — the
+/// event-scheduled form of fault injection that used to require driver
+/// code stepping the engine and mutating [`Engine::network_mut`] by
+/// hand. Installed via [`Engine::schedule_net_fault`] (or declaratively
+/// through [`crate::failure::FailurePlan`]), it fires in event order
+/// like any other event, so fault schedules are part of the audited,
+/// digest-covered history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetFault {
+    /// Cut a component off from the network entirely.
+    Isolate(ComponentId),
+    /// Reconnect a previously isolated component.
+    Reconnect(ComponentId),
+    /// Degrade every link: set the message-loss probability, in parts
+    /// per million (integer, so fault schedules stay `Eq`/hashable).
+    SetLossPpm(u32),
+}
+
 enum EventKind {
     Start(ComponentId),
     Deliver {
@@ -105,6 +123,7 @@ enum EventKind {
     },
     Crash(ComponentId),
     Restart(ComponentId),
+    Net(NetFault),
 }
 
 struct Scheduled {
@@ -174,6 +193,9 @@ impl EngineCore {
             EventKind::Timer { dst, tag, .. } => (3, dst.0 as u64, *tag),
             EventKind::Crash(id) => (4, id.0 as u64, 0),
             EventKind::Restart(id) => (5, id.0 as u64, 0),
+            EventKind::Net(NetFault::Isolate(id)) => (6, id.0 as u64, 0),
+            EventKind::Net(NetFault::Reconnect(id)) => (6, id.0 as u64, 1),
+            EventKind::Net(NetFault::SetLossPpm(ppm)) => (6, *ppm as u64, 2),
         };
         let mut h = self.digest;
         for word in [ev.time.0, ev.seq, disc, a, b] {
@@ -543,6 +565,12 @@ impl Engine {
         self.core.schedule(at, EventKind::Restart(id));
     }
 
+    /// Schedule a network-health change at time `at` — link degradation
+    /// and component isolation as first-class, digest-covered events.
+    pub fn schedule_net_fault(&mut self, at: SimTime, fault: NetFault) {
+        self.core.schedule(at, EventKind::Net(fault));
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.core.now
@@ -704,6 +732,14 @@ impl Engine {
                     self.core.alive[id.0] = true;
                     self.core.metrics.incr("failure.restarts");
                     self.with_component(id, |comp, ctx| comp.on_restart(ctx));
+                }
+            }
+            EventKind::Net(fault) => {
+                self.core.metrics.incr("failure.net");
+                match fault {
+                    NetFault::Isolate(id) => self.core.network.isolate(id),
+                    NetFault::Reconnect(id) => self.core.network.reconnect(id),
+                    NetFault::SetLossPpm(ppm) => self.core.network.set_loss_rate(ppm as f64 / 1e6),
                 }
             }
         }

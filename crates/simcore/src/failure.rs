@@ -7,7 +7,7 @@
 //! a list of crash/restart actions applied to an [`Engine`] before the run,
 //! plus generators for random failure schedules.
 
-use crate::engine::{ComponentId, Engine};
+use crate::engine::{ComponentId, Engine, NetFault};
 use crate::rng::SimRng;
 use crate::time::{SimSpan, SimTime};
 
@@ -18,20 +18,36 @@ pub enum FailureAction {
     Crash(SimTime, ComponentId),
     /// Restart the component at the given time.
     Restart(SimTime, ComponentId),
+    /// Cut the component off from the network at the given time.
+    Isolate(SimTime, ComponentId),
+    /// Reconnect a previously isolated component at the given time.
+    Reconnect(SimTime, ComponentId),
+    /// Degrade every link from the given time on: set the message-loss
+    /// probability in parts per million.
+    Degrade(SimTime, u32),
 }
 
 impl FailureAction {
     /// When this action fires.
     pub fn time(&self) -> SimTime {
         match *self {
-            FailureAction::Crash(t, _) | FailureAction::Restart(t, _) => t,
+            FailureAction::Crash(t, _)
+            | FailureAction::Restart(t, _)
+            | FailureAction::Isolate(t, _)
+            | FailureAction::Reconnect(t, _)
+            | FailureAction::Degrade(t, _) => t,
         }
     }
 
-    /// The component affected.
-    pub fn target(&self) -> ComponentId {
+    /// The component affected, if the action targets one (link
+    /// degradation targets the whole network).
+    pub fn target(&self) -> Option<ComponentId> {
         match *self {
-            FailureAction::Crash(_, c) | FailureAction::Restart(_, c) => c,
+            FailureAction::Crash(_, c)
+            | FailureAction::Restart(_, c)
+            | FailureAction::Isolate(_, c)
+            | FailureAction::Reconnect(_, c) => Some(c),
+            FailureAction::Degrade(..) => None,
         }
     }
 }
@@ -63,6 +79,32 @@ impl FailurePlan {
     /// Crash `id` at `at` and restart it after `downtime`.
     pub fn crash_for(self, at: SimTime, downtime: SimSpan, id: ComponentId) -> Self {
         self.crash(at, id).restart(at + downtime, id)
+    }
+
+    /// Isolate `id` from the network at `at`.
+    pub fn isolate(mut self, at: SimTime, id: ComponentId) -> Self {
+        self.actions.push(FailureAction::Isolate(at, id));
+        self
+    }
+
+    /// Reconnect `id` at `at`.
+    pub fn reconnect(mut self, at: SimTime, id: ComponentId) -> Self {
+        self.actions.push(FailureAction::Reconnect(at, id));
+        self
+    }
+
+    /// Isolate `id` at `at` and reconnect it after `downtime` — a link
+    /// failure rather than a process failure: the component keeps
+    /// running but nobody can hear it.
+    pub fn isolate_for(self, at: SimTime, downtime: SimSpan, id: ComponentId) -> Self {
+        self.isolate(at, id).reconnect(at + downtime, id)
+    }
+
+    /// Set the network-wide message-loss probability to `ppm` parts per
+    /// million from `at` on (0 restores a lossless network).
+    pub fn degrade_links(mut self, at: SimTime, ppm: u32) -> Self {
+        self.actions.push(FailureAction::Degrade(at, ppm));
+        self
     }
 
     /// A schedule of independent crash/repair cycles: each target fails
@@ -121,6 +163,15 @@ impl FailurePlan {
             match *action {
                 FailureAction::Crash(at, id) => engine.schedule_crash(at, id),
                 FailureAction::Restart(at, id) => engine.schedule_restart(at, id),
+                FailureAction::Isolate(at, id) => {
+                    engine.schedule_net_fault(at, NetFault::Isolate(id))
+                }
+                FailureAction::Reconnect(at, id) => {
+                    engine.schedule_net_fault(at, NetFault::Reconnect(id))
+                }
+                FailureAction::Degrade(at, ppm) => {
+                    engine.schedule_net_fault(at, NetFault::SetLossPpm(ppm))
+                }
             }
         }
     }
@@ -180,7 +231,7 @@ mod tests {
         // Per-target, actions must strictly alternate crash/restart.
         for &t in &targets {
             let mut expect_crash = true;
-            for a in plan.actions().iter().filter(|a| a.target() == t) {
+            for a in plan.actions().iter().filter(|a| a.target() == Some(t)) {
                 match a {
                     FailureAction::Crash(..) => {
                         assert!(expect_crash, "two crashes in a row for {t:?}");
@@ -190,6 +241,7 @@ mod tests {
                         assert!(!expect_crash, "restart before crash for {t:?}");
                         expect_crash = true;
                     }
+                    other => panic!("unexpected action in random plan: {other:?}"),
                 }
             }
         }
@@ -197,6 +249,62 @@ mod tests {
             plan.crash_count() > 0,
             "horizon long enough to see failures"
         );
+    }
+
+    #[test]
+    fn net_faults_fire_as_events() {
+        struct Beacon {
+            peer: ComponentId,
+        }
+        impl Component for Beacon {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(SimSpan::from_secs(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+                ctx.send(self.peer, Box::new(()));
+                ctx.set_timer(SimSpan::from_secs(1), 0);
+            }
+        }
+        struct Sink {
+            seen: u32,
+        }
+        impl Component for Sink {
+            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {
+                self.seen += 1;
+            }
+        }
+        let mut sim = SimBuilder::new(3).build();
+        let sink = sim.add_component("sink", Sink { seen: 0 });
+        let beacon = sim.add_component("beacon", Beacon { peer: sink });
+        // Isolate the beacon for seconds (4, 8]: its 1 Hz pings during
+        // that window are lost; outside it they arrive.
+        FailurePlan::new()
+            .isolate_for(
+                SimTime::from_secs(4) + SimSpan::from_micros(1),
+                SimSpan::from_secs(4),
+                beacon,
+            )
+            .apply(&mut sim);
+        sim.run_until(SimTime::from_secs(10) + SimSpan::from_millis(1));
+        let seen = sim.component_as::<Sink>(sink).unwrap().seen;
+        assert_eq!(seen, 6, "pings at 1-4 and 9-10 arrive, 5-8 are lost");
+        assert_eq!(sim.metrics().counter("failure.net"), 2);
+    }
+
+    #[test]
+    fn degrade_links_changes_loss_rate_at_the_scheduled_time() {
+        let mut sim = SimBuilder::new(1).build();
+        let plan = FailurePlan::new().degrade_links(SimTime::from_secs(1), 1_000_000);
+        assert_eq!(plan.actions()[0].target(), None);
+        plan.apply(&mut sim);
+        let sink = sim.add_component("sink", Dummy);
+        sim.run_until(SimTime::from_secs(2));
+        // With 100% loss installed at t=1, a message sent via the network
+        // from another component would be dropped; external posts bypass
+        // loss, so just assert the event executed and was counted.
+        assert_eq!(sim.metrics().counter("failure.net"), 1);
+        let _ = sink;
     }
 
     #[test]

@@ -78,23 +78,26 @@ pub mod network;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wallclock;
 
 /// Re-export of the foundation observability crate, so downstream
 /// simulation crates reach spans/labels/exporters without a separate
 /// dependency edge.
 pub use snooze_telemetry as telemetry;
 
-pub use engine::{AnyMsg, Component, ComponentId, Ctx, Engine, SimBuilder};
+pub use engine::{AnyMsg, Component, ComponentId, Ctx, Engine, NetFault, SimBuilder};
 pub use telemetry::{LabelSet, SpanId};
 pub use time::{SimSpan, SimTime};
+pub use wallclock::WallClock;
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {
-    pub use crate::engine::{AnyMsg, Component, ComponentId, Ctx, Engine, SimBuilder};
+    pub use crate::engine::{AnyMsg, Component, ComponentId, Ctx, Engine, NetFault, SimBuilder};
     pub use crate::metrics::MetricsRegistry;
     pub use crate::network::{LatencyModel, NetworkConfig};
     pub use crate::rng::SimRng;
     pub use crate::telemetry::label::label;
     pub use crate::telemetry::{LabelSet, SpanId};
     pub use crate::time::{SimSpan, SimTime};
+    pub use crate::wallclock::WallClock;
 }

@@ -105,6 +105,11 @@ impl ClientDriver {
         self.placed.len() + self.rejected.len() + self.abandoned.len() == self.schedule.len()
     }
 
+    /// VMs this client was scripted to submit.
+    pub fn schedule_len(&self) -> usize {
+        self.schedule.len()
+    }
+
     /// Mean placement latency in seconds (0 if nothing placed).
     pub fn mean_latency_secs(&self) -> f64 {
         if self.placed.is_empty() {

@@ -2,6 +2,10 @@
 //! scriptable stub LCs: migration refusal must roll back reservations,
 //! failed VM starts must requeue, and rejected migration hand-offs must
 //! trigger snapshot recovery when configured.
+//!
+//! The stubs speak the real LC↔GM protocol, so the hierarchy here is
+//! wired by hand rather than through the scenario compiler — but the
+//! `SnoozeConfig`s are still built from the declarative [`ConfigSpec`].
 
 use snooze::group_manager::GroupManager;
 use snooze::local_controller::LcJoinAckWithGroup;
@@ -10,10 +14,19 @@ use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
 use snooze_protocols::coordination::CoordinationService;
+use snooze_scenario::spec::ConfigSpec;
 use snooze_simcore::prelude::*;
 
 fn secs(s: u64) -> SimTime {
     SimTime::from_secs(s)
+}
+
+/// The shared test configuration: fast timeouts, power management off.
+fn config() -> ConfigSpec {
+    ConfigSpec {
+        idle_suspend_ms: Some(-1.0),
+        ..ConfigSpec::preset("fast_test")
+    }
 }
 
 /// External trigger telling a stub LC to report an overload anomaly.
@@ -143,13 +156,15 @@ impl Component for StubLc {
     }
 }
 
-/// Deploy two real managers (one becomes GL, one GM) plus `n` stub LCs
-/// attached to the GM.
+/// Deploy two real managers (one becomes GL, one GM) plus one stub LC
+/// per entry of `mods`, each pre-configured by its closure, all attached
+/// to the GM.
 fn setup(
     seed: u64,
-    config: SnoozeConfig,
-    n_stubs: usize,
+    spec: ConfigSpec,
+    mods: &[fn(&mut StubLc)],
 ) -> (Engine, ComponentId, Vec<ComponentId>, ComponentId) {
+    let config = spec.build().expect("config spec builds");
     let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
     let gl_group = sim.create_group();
@@ -173,8 +188,14 @@ fn setup(
             )
         })
         .expect("one manager follows");
-    let stubs: Vec<ComponentId> = (0..n_stubs)
-        .map(|i| sim.add_component(format!("stub{i}"), StubLc::new(gm)))
+    let stubs: Vec<ComponentId> = mods
+        .iter()
+        .enumerate()
+        .map(|(i, configure)| {
+            let mut stub = StubLc::new(gm);
+            configure(&mut stub);
+            sim.add_component(format!("stub{i}"), stub)
+        })
         .collect();
     sim.run_until(secs(8));
     (sim, gm, stubs, ep)
@@ -196,11 +217,7 @@ fn submit_one(sim: &mut Engine, ep: ComponentId, cores: f64) -> ComponentId {
 
 #[test]
 fn migrate_refused_rolls_back_and_allows_retry() {
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        ..SnoozeConfig::fast_test()
-    };
-    let (mut sim, gm, stubs, ep) = setup(81, config, 2);
+    let (mut sim, gm, stubs, ep) = setup(81, config(), &[|_| {}, |_| {}]);
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
     assert_eq!(
@@ -235,39 +252,9 @@ fn migrate_refused_rolls_back_and_allows_retry() {
 
 #[test]
 fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        ..SnoozeConfig::fast_test()
-    };
-    let mut sim = SimBuilder::new(82).network(NetworkConfig::lan()).build();
-    let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
-    let gl_group = sim.create_group();
-    let managers: Vec<ComponentId> = (0..2)
-        .map(|i| {
-            let lc_group = sim.create_group();
-            sim.add_component(
-                format!("gm{i}"),
-                GroupManager::new(config.clone(), zk, gl_group, lc_group),
-            )
-        })
-        .collect();
-    let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
-    sim.run_until(secs(5));
-    let gm = *managers
-        .iter()
-        .find(|&&m| {
-            matches!(
-                sim.component_as::<GroupManager>(m).unwrap().mode(),
-                Mode::Gm(_)
-            )
-        })
-        .unwrap();
     // Stub 0 refuses migrations; stub 1 is a willing destination.
-    let mut refusing = StubLc::new(gm);
-    refusing.refuse_migrations = true;
-    let s0 = sim.add_component("stub0", refusing);
-    let _s1 = sim.add_component("stub1", StubLc::new(gm));
-    sim.run_until(secs(8));
+    let (mut sim, gm, stubs, ep) = setup(82, config(), &[|s| s.refuse_migrations = true, |_| {}]);
+    let s0 = stubs[0];
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
     assert_eq!(
@@ -298,37 +285,9 @@ fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
 
 #[test]
 fn failed_start_is_requeued_and_eventually_placed() {
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        ..SnoozeConfig::fast_test()
-    };
-    let mut sim = SimBuilder::new(83).network(NetworkConfig::lan()).build();
-    let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
-    let gl_group = sim.create_group();
-    let managers: Vec<ComponentId> = (0..2)
-        .map(|i| {
-            let lc_group = sim.create_group();
-            sim.add_component(
-                format!("gm{i}"),
-                GroupManager::new(config.clone(), zk, gl_group, lc_group),
-            )
-        })
-        .collect();
-    let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
-    sim.run_until(secs(5));
-    let gm = *managers
-        .iter()
-        .find(|&&m| {
-            matches!(
-                sim.component_as::<GroupManager>(m).unwrap().mode(),
-                Mode::Gm(_)
-            )
-        })
-        .unwrap();
-    let mut flaky = StubLc::new(gm);
-    flaky.fail_starts = 2; // admission races twice, then succeeds
-    let s0 = sim.add_component("stub0", flaky);
-    sim.run_until(secs(8));
+    // Admission races twice, then succeeds.
+    let (mut sim, _gm, stubs, ep) = setup(83, config(), &[|s| s.fail_starts = 2]);
+    let s0 = stubs[0];
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(60));
 
@@ -349,39 +308,13 @@ fn failed_start_is_requeued_and_eventually_placed() {
 
 #[test]
 fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        reschedule_on_lc_failure: true,
-        ..SnoozeConfig::fast_test()
+    let spec = ConfigSpec {
+        reschedule_on_lc_failure: Some(true),
+        ..config()
     };
-    let mut sim = SimBuilder::new(84).network(NetworkConfig::lan()).build();
-    let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
-    let gl_group = sim.create_group();
-    let managers: Vec<ComponentId> = (0..2)
-        .map(|i| {
-            let lc_group = sim.create_group();
-            sim.add_component(
-                format!("gm{i}"),
-                GroupManager::new(config.clone(), zk, gl_group, lc_group),
-            )
-        })
-        .collect();
-    let ep = sim.add_component("ep", EntryPoint::new(config.clone(), gl_group));
-    sim.run_until(secs(5));
-    let gm = *managers
-        .iter()
-        .find(|&&m| {
-            matches!(
-                sim.component_as::<GroupManager>(m).unwrap().mode(),
-                Mode::Gm(_)
-            )
-        })
-        .unwrap();
-    let s0 = sim.add_component("stub0", StubLc::new(gm));
-    let mut rejecting = StubLc::new(gm);
-    rejecting.reject_handoffs = true;
-    let s1 = sim.add_component("stub1", rejecting);
-    sim.run_until(secs(8));
+    // Stub 1 rejects inbound hand-offs.
+    let (mut sim, gm, stubs, ep) = setup(84, spec, &[|_| {}, |s| s.reject_handoffs = true]);
+    let (s0, s1) = (stubs[0], stubs[1]);
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
     assert_eq!(

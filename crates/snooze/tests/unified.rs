@@ -1,27 +1,48 @@
 //! Tests of the unified-node extension (paper §V): no administrator-
 //! assigned roles — the framework decides which nodes act as managers.
+//!
+//! Deployments go through the declarative scenario layer
+//! (`topology.unified`); clients are attached by hand because these
+//! workloads shape each resource dimension differently.
 
 use snooze::prelude::*;
-use snooze::unified::UnifiedSystem;
-use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
+use snooze_scenario::spec::{ConfigSpec, ScenarioSpec, TopologySpec, UnifiedSpec};
+use snooze_scenario::LiveSystem;
 use snooze_simcore::prelude::*;
 
 fn secs(s: u64) -> SimTime {
     SimTime::from_secs(s)
 }
 
-fn deploy(seed: u64, n_nodes: usize, target_managers: usize) -> (Engine, UnifiedSystem) {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
-    let config = SnoozeConfig {
-        idle_suspend_after: None,
-        ..SnoozeConfig::fast_test()
+fn deploy(seed: u64, n_nodes: usize, target_managers: usize) -> LiveSystem {
+    let spec = ScenarioSpec {
+        name: "unified-test".into(),
+        description: String::new(),
+        seed,
+        topology: TopologySpec {
+            managers: 0,
+            lcs: 0,
+            node_groups: Vec::new(),
+            eps: 1,
+            unified: Some(UnifiedSpec {
+                nodes: n_nodes,
+                target_managers,
+            }),
+            client: None,
+        },
+        config: ConfigSpec {
+            idle_suspend_ms: Some(-1.0),
+            ..ConfigSpec::preset("fast_test")
+        },
+        workload: Vec::new(),
+        faults: Vec::new(),
+        phases: Vec::new(),
+        probes: Vec::new(),
     };
-    let specs = NodeSpec::standard_cluster(n_nodes);
-    let system = UnifiedSystem::deploy(&mut sim, &config, &specs, target_managers, 1);
-    (sim, system)
+    snooze_scenario::compile(&spec).expect("unified spec compiles")
 }
 
 fn schedule(n: u64, at: SimTime) -> Vec<ScheduledVm> {
@@ -42,29 +63,31 @@ fn schedule(n: u64, at: SimTime) -> Vec<ScheduledVm> {
 
 #[test]
 fn framework_bootstraps_roles_without_an_administrator() {
-    let (mut sim, system) = deploy(61, 8, 3);
+    let mut live = deploy(61, 8, 3);
     // Everyone starts as an LC; the director must promote three into
     // managers and the hierarchy must converge around them.
-    sim.run_until(secs(60));
-    let (managers, lcs) = system.role_census(&sim);
+    live.sim.run_until(secs(60));
+    let (sim, system) = (&live.sim, live.unified());
+    let (managers, lcs) = system.role_census(sim);
     assert_eq!(managers, 3, "director reaches its target");
     assert_eq!(lcs, 5);
     assert!(
-        system.current_gl(&sim).is_some(),
+        system.current_gl(sim).is_some(),
         "a GL emerged among the promoted"
     );
 }
 
 #[test]
 fn unified_system_serves_vm_submissions() {
-    let (mut sim, system) = deploy(62, 8, 3);
-    sim.run_until(secs(60));
-    let client = sim.add_component(
+    let mut live = deploy(62, 8, 3);
+    live.sim.run_until(secs(60));
+    let ep = live.unified().eps[0];
+    let client = live.sim.add_component(
         "client",
-        ClientDriver::new(system.eps[0], schedule(6, secs(70)), SimSpan::from_secs(10)),
+        ClientDriver::new(ep, schedule(6, secs(70)), SimSpan::from_secs(10)),
     );
-    sim.run_until(secs(300));
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    live.sim.run_until(secs(300));
+    let c = live.sim.component_as::<ClientDriver>(client).unwrap();
     assert_eq!(
         c.placed.len(),
         6,
@@ -72,31 +95,34 @@ fn unified_system_serves_vm_submissions() {
         c.rejected,
         c.abandoned
     );
-    assert_eq!(system.total_vms(&sim), 6);
+    assert_eq!(live.unified().total_vms(&live.sim), 6);
 }
 
 #[test]
 fn dead_manager_is_replaced_from_the_lc_pool() {
-    let (mut sim, system) = deploy(63, 8, 3);
-    sim.run_until(secs(60));
-    let (managers, _) = system.role_census(&sim);
+    let mut live = deploy(63, 8, 3);
+    live.sim.run_until(secs(60));
+    let (managers, _) = live.unified().role_census(&live.sim);
     assert_eq!(managers, 3);
     // Kill a non-GL manager.
-    let gl = system.current_gl(&sim).unwrap();
-    let victim = *system
+    let gl = live.unified().current_gl(&live.sim).unwrap();
+    let victim = *live
+        .unified()
         .nodes
         .iter()
         .find(|&&n| {
             n != gl
-                && sim
+                && live
+                    .sim
                     .component_as::<UnifiedNode>(n)
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
         .expect("a non-GL manager exists");
-    sim.schedule_crash(secs(61), victim);
-    sim.run_until(secs(180));
-    let (managers, _) = system.role_census(&sim);
+    live.sim.schedule_crash(secs(61), victim);
+    live.sim.run_until(secs(180));
+    let (sim, system) = (&live.sim, live.unified());
+    let (managers, _) = system.role_census(sim);
     assert_eq!(managers, 3, "a replacement was promoted");
     // The replacement is a different node.
     // Two initially promoted survivors plus one freshly promoted
@@ -116,29 +142,34 @@ fn dead_manager_is_replaced_from_the_lc_pool() {
 
 #[test]
 fn dead_gl_triggers_both_failover_and_backfill() {
-    let (mut sim, system) = deploy(64, 8, 3);
-    sim.run_until(secs(60));
-    let gl = system.current_gl(&sim).unwrap();
-    sim.schedule_crash(secs(61), gl);
-    sim.run_until(secs(240));
-    let new_gl = system.current_gl(&sim).expect("failover elected a new GL");
+    let mut live = deploy(64, 8, 3);
+    live.sim.run_until(secs(60));
+    let gl = live.unified().current_gl(&live.sim).unwrap();
+    live.sim.schedule_crash(secs(61), gl);
+    live.sim.run_until(secs(240));
+    let new_gl = live
+        .unified()
+        .current_gl(&live.sim)
+        .expect("failover elected a new GL");
     assert_ne!(new_gl, gl);
-    let (managers, _) = system.role_census(&sim);
+    let (managers, _) = live.unified().role_census(&live.sim);
     assert_eq!(managers, 3, "pool backfilled after losing the GL");
 }
 
 #[test]
 fn vm_hosting_nodes_refuse_promotion() {
-    let (mut sim, system) = deploy(65, 5, 2);
-    sim.run_until(secs(60));
+    let mut live = deploy(65, 5, 2);
+    live.sim.run_until(secs(60));
     // Fill every LC-role node with a VM.
-    let client = sim.add_component(
+    let ep = live.unified().eps[0];
+    let client = live.sim.add_component(
         "client",
-        ClientDriver::new(system.eps[0], schedule(3, secs(70)), SimSpan::from_secs(10)),
+        ClientDriver::new(ep, schedule(3, secs(70)), SimSpan::from_secs(10)),
     );
-    sim.run_until(secs(150));
+    live.sim.run_until(secs(150));
     assert_eq!(
-        sim.component_as::<ClientDriver>(client)
+        live.sim
+            .component_as::<ClientDriver>(client)
             .unwrap()
             .placed
             .len(),
@@ -147,20 +178,23 @@ fn vm_hosting_nodes_refuse_promotion() {
 
     // Kill a manager: with every remaining LC busy, the director may be
     // stuck — but must never promote a VM-hosting node.
-    let gl = system.current_gl(&sim).unwrap();
-    let victim = *system
+    let gl = live.unified().current_gl(&live.sim).unwrap();
+    let victim = *live
+        .unified()
         .nodes
         .iter()
         .find(|&&n| {
             n != gl
-                && sim
+                && live
+                    .sim
                     .component_as::<UnifiedNode>(n)
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
         .unwrap();
-    sim.schedule_crash(secs(151), victim);
-    sim.run_until(secs(300));
+    live.sim.schedule_crash(secs(151), victim);
+    live.sim.run_until(secs(300));
+    let (sim, system) = (&live.sim, live.unified());
     for &n in &system.nodes {
         if !sim.is_alive(n) {
             continue;
@@ -175,20 +209,22 @@ fn vm_hosting_nodes_refuse_promotion() {
         }
     }
     // All VMs are still alive regardless.
-    assert_eq!(system.total_vms(&sim), 3);
+    assert_eq!(system.total_vms(sim), 3);
 }
 
 #[test]
 fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
-    let (mut sim, system) = deploy(66, 8, 3);
-    sim.run_until(secs(60));
-    let gl = system.current_gl(&sim).unwrap();
-    let victim = *system
+    let mut live = deploy(66, 8, 3);
+    live.sim.run_until(secs(60));
+    let gl = live.unified().current_gl(&live.sim).unwrap();
+    let victim = *live
+        .unified()
         .nodes
         .iter()
         .find(|&&n| {
             n != gl
-                && sim
+                && live
+                    .sim
                     .component_as::<UnifiedNode>(n)
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
@@ -198,10 +234,11 @@ fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
     // LC). The pool is now 3 — back at target, nobody demoted — or
     // briefly 4 if the victim restarts before the census settles, in
     // which case the director trims the surplus.
-    sim.schedule_crash(secs(61), victim);
-    sim.schedule_restart(secs(120), victim);
-    sim.run_until(secs(360));
-    let (managers, lcs) = system.role_census(&sim);
+    live.sim.schedule_crash(secs(61), victim);
+    live.sim.schedule_restart(secs(120), victim);
+    live.sim.run_until(secs(360));
+    let (sim, system) = (&live.sim, live.unified());
+    let (managers, lcs) = system.role_census(sim);
     assert_eq!(managers, 3, "pool converged back to target");
     assert_eq!(lcs, 5);
     let restarted = sim.component_as::<UnifiedNode>(victim).unwrap();
@@ -210,20 +247,21 @@ fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
         NodeRole::LocalController,
         "reboots rejoin as LC"
     );
-    assert!(system.current_gl(&sim).is_some());
+    assert!(system.current_gl(sim).is_some());
 }
 
 #[test]
 fn deterministic_role_assignment() {
     let run = |seed: u64| {
-        let (mut sim, system) = deploy(seed, 8, 3);
-        sim.run_until(secs(120));
-        let roles: Vec<NodeRole> = system
+        let mut live = deploy(seed, 8, 3);
+        live.sim.run_until(secs(120));
+        let roles: Vec<NodeRole> = live
+            .unified()
             .nodes
             .iter()
-            .map(|&n| sim.component_as::<UnifiedNode>(n).unwrap().role())
+            .map(|&n| live.sim.component_as::<UnifiedNode>(n).unwrap().role())
             .collect();
-        (roles, sim.events_executed())
+        (roles, live.sim.events_executed(), live.sim.digest())
     };
     assert_eq!(run(67), run(67));
 }

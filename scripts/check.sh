@@ -27,6 +27,9 @@ cargo test --offline -p snooze-audit --features audit -q
 say "snooze-audit determinism"
 cargo run --offline -q -p snooze-audit -- determinism
 
+say "scenario specs (parse, canonical form, dry-run compile, preset drift)"
+cargo run --offline -q -p snooze-bench --bin run_experiments -- --check-scenarios
+
 say "telemetry export determinism (two same-seed report runs)"
 tmp="$(mktemp -d)"
 cargo run --offline -q -p snooze-bench --bin report -- --out "$tmp/a" >/dev/null
