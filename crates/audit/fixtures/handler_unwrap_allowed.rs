@@ -1,11 +1,15 @@
 // Fixture: a handler unwrap suppressed with a targeted allow marker.
-struct Node;
+struct Node {
+    peer: Option<ComponentId>,
+}
 
 impl Component for Node {
-    fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-        if msg.downcast_ref::<u32>().is_some() {
-            let payload = msg.downcast::<u32>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-            let _ = payload;
+    type Msg = NodeMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NodeMsg>, _src: ComponentId, msg: NodeMsg) {
+        if self.peer.is_some() {
+            let peer = self.peer.unwrap(); // audit-allow(handler-unwrap): guarded by is_some() above
+            ctx.send(peer, msg);
         }
     }
 }

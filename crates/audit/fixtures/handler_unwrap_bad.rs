@@ -1,6 +1,8 @@
 // Fixture: unwrapping inside an `on_message` handler must fire
 // `handler-unwrap`, while the same call outside a handler must not.
-struct Node;
+struct Node {
+    peer: Option<ComponentId>,
+}
 
 impl Node {
     fn helper(&self, v: Option<u32>) -> u32 {
@@ -9,10 +11,12 @@ impl Node {
 }
 
 impl Component for Node {
-    fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-        let payload = msg.downcast::<u32>().unwrap();
-        let _ = payload;
+    type Msg = NodeMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NodeMsg>, _src: ComponentId, msg: NodeMsg) {
+        let peer = self.peer.unwrap();
+        ctx.send(peer, msg);
     }
 
-    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, NodeMsg>, _tag: u64) {}
 }

@@ -1,0 +1,11 @@
+// Fixture: a type-erasure site suppressed with a targeted allow marker
+// (e.g. a diagnostics sidecar that genuinely needs dynamic typing).
+use std::any::Any;
+
+struct Node;
+
+impl Node {
+    fn peek(&self, probe: &dyn Any) -> Option<u32> { // audit-allow(type-erasure): diagnostics-only probe, not a message path
+        probe.downcast_ref::<u32>().copied() // audit-allow(type-erasure): diagnostics-only probe, not a message path
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: type-erased messaging must fire `type-erasure` — the
+// `dyn Any` payload type and the runtime casts that go with it.
+use std::any::Any;
+
+type AnyMsg = Box<dyn Any>;
+
+struct Node;
+
+impl Node {
+    fn peek(&self, msg: &AnyMsg) -> Option<u32> {
+        msg.downcast_ref::<u32>().copied()
+    }
+
+    fn take(&self, msg: AnyMsg) -> Option<u32> {
+        msg.downcast::<u32>().ok().map(|b| *b)
+    }
+}

@@ -73,7 +73,7 @@ fn fnv1a_words(mut hash: u64, words: impl IntoIterator<Item = u64>) -> u64 {
 
 /// Run the scenario once and fingerprint it.
 pub fn run_once(sc: &Scenario) -> Fingerprint {
-    let mut sim = SimBuilder::new(sc.seed)
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(sc.seed)
         .network(NetworkConfig::lossy_lan(0.02))
         .build();
     let config = SnoozeConfig::fast_test();
@@ -106,7 +106,8 @@ pub fn run_once(sc: &Scenario) -> Fingerprint {
     sim.run_until(SimTime::from_secs(sc.secs));
 
     let driver = sim
-        .component_as::<ClientDriver>(client)
+        .component(client)
+        .as_client()
         .expect("client driver present");
     let placements = fnv1a_words(
         0xcbf2_9ce4_8422_2325,

@@ -13,6 +13,7 @@
 //! | `float-eq`         | `==`/`!=` against float literals in schedulers   |
 //! | `partial-cmp-unwrap` | `.partial_cmp(..).unwrap()` on floats          |
 //! | `handler-unwrap`   | `.unwrap()`/`.expect(` inside `on_message`       |
+//! | `type-erasure`     | `dyn Any` / `downcast` on the simulation path    |
 //!
 //! The analysis is deliberately lightweight: a comment/string-aware line
 //! model plus token scanning — no syn, no rustc internals, no external
@@ -607,6 +608,15 @@ fn check_handler_unwrap(file: &SourceFile) -> Vec<Hit> {
     hits
 }
 
+// --- rule: type-erasure ---------------------------------------------------
+
+fn check_type_erasure(file: &SourceFile) -> Vec<Hit> {
+    check_tokens(
+        file,
+        &["dyn Any", "downcast", "downcast_ref", "downcast_mut"],
+    )
+}
+
 /// The rule set, in reporting order.
 pub fn rules() -> &'static [RuleDef] {
     &[
@@ -651,6 +661,13 @@ pub fn rules() -> &'static [RuleDef] {
             hint: "handlers must tolerate stale or malformed messages: use if-let/match instead of unwrapping",
             in_scope: scope_sim_path,
             check: check_handler_unwrap,
+        },
+        RuleDef {
+            id: "type-erasure",
+            summary: "type-erased messaging (dyn Any / downcast) in simulation-path code",
+            hint: "the engine is generic over its message enum; add a variant and match on it instead of erasing the type",
+            in_scope: scope_sim_path,
+            check: check_type_erasure,
         },
     ]
 }

@@ -165,9 +165,9 @@ fn handler_unwrap_fires_only_inside_on_message() {
         .filter(|f| f.rule == "handler-unwrap")
         .map(|f| f.line)
         .collect();
-    assert_eq!(lines.len(), 1, "exactly the downcast line: {found:?}");
+    assert_eq!(lines.len(), 1, "exactly the handler-body line: {found:?}");
     assert!(
-        found[0].snippet.contains("downcast"),
+        found[0].snippet.contains("self.peer.unwrap()"),
         "flagged the handler body, not the helper: {found:?}"
     );
 }
@@ -177,6 +177,37 @@ fn handler_unwrap_respects_targeted_allow() {
     let hits = active(
         "crates/snooze/src/fixture.rs",
         include_str!("../fixtures/handler_unwrap_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn type_erasure_fires_in_sim_path() {
+    let hits = active(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/type_erasure_bad.rs"),
+    );
+    // The fixture has three erasure sites (`dyn Any`, `downcast_ref`,
+    // `downcast`) on three lines — every one must be reported.
+    assert_eq!(hits, vec!["type-erasure"; 3]);
+}
+
+#[test]
+fn type_erasure_is_scoped_to_sim_path_crates() {
+    // Outside the simulation path (e.g. the audit crate's own scanner or
+    // a bench harness) dynamic typing is not a determinism hazard.
+    let hits = active(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/type_erasure_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn type_erasure_respects_targeted_allow() {
+    let hits = active(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/type_erasure_allowed.rs"),
     );
     assert_eq!(hits, Vec::<&str>::new());
 }
@@ -192,6 +223,7 @@ fn every_rule_has_fixture_coverage() {
         "float-eq",
         "partial-cmp-unwrap",
         "handler-unwrap",
+        "type-erasure",
     ];
     for rule in rules() {
         assert!(

@@ -43,17 +43,19 @@ fn clean_engine_run_reports_no_violations() {
 
     struct Echo;
     impl Component for Echo {
-        fn on_start(&mut self, ctx: &mut Ctx) {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
             ctx.set_timer(SimSpan::from_secs(1), 1);
         }
-        fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, _msg: AnyMsg) {}
-        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _src: ComponentId, _msg: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
             ctx.set_timer(SimSpan::from_secs(1), 1);
         }
     }
 
     let violations = collected(|| {
-        let mut sim = SimBuilder::new(42).build();
+        let mut sim: Engine<Echo> = SimBuilder::new(42).build();
         sim.add_component("echo", Echo);
         sim.run_until(SimTime::from_secs(50));
         assert!(sim.events_executed() > 40);

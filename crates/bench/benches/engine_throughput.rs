@@ -1,7 +1,7 @@
 //! Criterion bench for the simulation substrate itself: raw event
-//! throughput of the discrete-event engine (timer storms and message
-//! ping-pong), which bounds how large a cluster the experiments can
-//! simulate.
+//! throughput of the discrete-event engine (timer storms, message
+//! ping-pong, and the deliver path at fleet sizes), which bounds how
+//! large a cluster the experiments can simulate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -13,11 +13,13 @@ struct TimerStorm {
 }
 
 impl Component for TimerStorm {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
         ctx.set_timer(SimSpan::from_micros(1), 0);
     }
-    fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+    fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: ComponentId, _: u64) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
         if self.remaining > 0 {
             self.remaining -= 1;
             ctx.set_timer(SimSpan::from_micros(1), 0);
@@ -31,15 +33,44 @@ struct PingPong {
 }
 
 impl Component for PingPong {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
         if let Some(peer) = self.peer {
-            ctx.send(peer, Box::new(0u64));
+            ctx.send(peer, 0u64);
         }
     }
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: ComponentId, _msg: u64) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            ctx.send(src, Box::new(0u64));
+            ctx.send(src, 0u64);
+        }
+    }
+}
+
+/// One of `n` peers in a deliver-path ring: each message is forwarded to
+/// the next component, exercising the full typed deliver path (network
+/// latency draw, queue, dispatch, match) across a large component table.
+struct RingNode {
+    next: ComponentId,
+    remaining: u64,
+    kick_off: bool,
+}
+
+impl Component for RingNode {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.kick_off {
+            let next = self.next;
+            ctx.send(next, 0u64);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _src: ComponentId, hop: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let next = self.next;
+            ctx.send(next, hop + 1);
         }
     }
 }
@@ -50,7 +81,7 @@ fn bench_engine(c: &mut Criterion) {
     group.throughput(Throughput::Elements(EVENTS));
     group.bench_with_input(BenchmarkId::new("timer_storm", EVENTS), &EVENTS, |b, &n| {
         b.iter(|| {
-            let mut sim = SimBuilder::new(1).build();
+            let mut sim: Engine<TimerStorm> = SimBuilder::new(1).build();
             sim.add_component("storm", TimerStorm { remaining: n });
             sim.run();
             black_box(sim.events_executed())
@@ -58,7 +89,8 @@ fn bench_engine(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("ping_pong", EVENTS), &EVENTS, |b, &n| {
         b.iter(|| {
-            let mut sim = SimBuilder::new(1).network(NetworkConfig::lan()).build();
+            let mut sim: Engine<PingPong> =
+                SimBuilder::new(1).network(NetworkConfig::lan()).build();
             let a = sim.add_component(
                 "a",
                 PingPong {
@@ -77,6 +109,38 @@ fn bench_engine(c: &mut Criterion) {
             black_box(sim.events_executed())
         })
     });
+    group.finish();
+
+    // Deliver-path throughput at fleet sizes: the component-count axis
+    // E11 lives on. Each size forwards the same total number of
+    // messages around a ring of that many components.
+    let mut group = c.benchmark_group("deliver_path");
+    group.throughput(Throughput::Elements(EVENTS));
+    for &components in &[128usize, 512, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("ring", components),
+            &components,
+            |b, &n_components| {
+                b.iter(|| {
+                    let mut sim: Engine<RingNode> =
+                        SimBuilder::new(1).network(NetworkConfig::lan()).build();
+                    let per_node = EVENTS / n_components as u64 + 1;
+                    for i in 0..n_components {
+                        sim.add_component(
+                            format!("ring{i}"),
+                            RingNode {
+                                next: ComponentId((i + 1) % n_components),
+                                remaining: per_node,
+                                kick_off: i == 0,
+                            },
+                        );
+                    }
+                    sim.run_until(SimTime::from_secs(3600));
+                    black_box(sim.events_executed())
+                })
+            },
+        );
+    }
     group.finish();
 }
 

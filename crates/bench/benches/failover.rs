@@ -9,7 +9,7 @@ use snooze_cluster::node::NodeSpec;
 use snooze_simcore::prelude::*;
 
 fn converge(seed: u64) -> bool {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig::fast_test();
     let nodes = NodeSpec::standard_cluster(8);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
@@ -18,7 +18,7 @@ fn converge(seed: u64) -> bool {
 }
 
 fn heal_after_gl_crash(seed: u64) -> bool {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig::fast_test();
     let nodes = NodeSpec::standard_cluster(8);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);

@@ -1,14 +1,22 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|all]...
+//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|all]...
+//! run_experiments --e11-smoke
 //! run_experiments --scenario <file.toml>
 //! run_experiments --list-scenarios [dir]
 //! run_experiments --check-scenarios [dir]
 //! run_experiments --dump-scenarios [dir]
 //! ```
 //!
-//! With no experiment arguments, runs everything. Each experiment prints
+//! With no experiment arguments, runs everything *except* E11, which is
+//! explicit-only (`run_experiments e11`): its 1024-LC / 5000-VM run is
+//! deliberately heavy. `--e11-smoke` runs the reduced 256-LC fault-free
+//! shape and fails unless the throughput column is present and the run
+//! finished with zero dead letters — the CI gate behind
+//! `scripts/check.sh --e11-smoke`.
+//!
+//! Each experiment prints
 //! the table documented in DESIGN.md's per-experiment index (and, with
 //! `--csv` / `--json`, writes machine-readable copies); EXPERIMENTS.md
 //! records paper-vs-measured.
@@ -92,6 +100,34 @@ fn main() {
                 eprintln!("scenario check FAILED: {e}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--e11-smoke") {
+        eprintln!("[e11-smoke] 256 LCs, fault-free, scaled fleet …");
+        let row = e11_kilonode::smoke_row();
+        let table = e11_kilonode::render(std::slice::from_ref(&row));
+        table.print();
+        let mut failures = Vec::new();
+        if row.events_per_sec().is_nan() {
+            failures.push("throughput column is empty (wall clock read 0 ms)".to_string());
+        }
+        if row.dead_letters != 0 {
+            failures.push(format!(
+                "{} dead letter(s) in a fault-free run",
+                row.dead_letters
+            ));
+        }
+        if row.placed != row.vms {
+            failures.push(format!("placed {}/{} VMs", row.placed, row.vms));
+        }
+        if failures.is_empty() {
+            println!("e11 smoke: OK ({:.0} events/s)", row.events_per_sec());
+        } else {
+            for f in &failures {
+                eprintln!("e11 smoke FAILED: {f}");
+            }
+            std::process::exit(1);
         }
         return;
     }
@@ -233,5 +269,11 @@ fn main() {
             ),
             "e10b",
         );
+    }
+    // E11 is explicit-only: 1024 LCs / 5000 VMs is deliberately heavy,
+    // so neither bare `run_experiments` nor `all` includes it.
+    if args.iter().any(|a| a == "e11") {
+        eprintln!("[e11] kilonode scale (1024 LCs, 5000 VMs) …");
+        emit(&e11_kilonode::render(&e11_kilonode::default_rows()), "e11");
     }
 }

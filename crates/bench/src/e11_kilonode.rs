@@ -1,0 +1,167 @@
+//! **E11 — kilonode scale** (beyond the paper's testbed).
+//!
+//! The paper evaluated Snooze on 144 nodes with up to 500 VMs (§II-F);
+//! the typed message layer removes the per-delivery boxing that made
+//! larger simulated fleets expensive, so E11 pushes the same submission
+//! and self-healing measurements to 1024 LCs under 8 GMs + 1 GL with a
+//! 5000-VM staggered fleet — ~7× the paper's scale. The table reports
+//! placement success, submission→running latency, GL re-election time
+//! with the full fleet in flight, and an *advisory* engine throughput
+//! (simulated events per wall-clock second, via `simcore::wallclock`).
+//! `BENCH_E11.json` at the workspace root is the checked-in baseline.
+//!
+//! The runs are declarative scenarios (`scenarios/e11.toml` is the
+//! checked-in copy of the full shape); `run_experiments --e11-smoke`
+//! runs the reduced 256-LC fault-free shape as a CI gate: the throughput
+//! column must be present and the run must finish with zero dead
+//! letters.
+
+use snooze_scenario::presets;
+
+use crate::table::{f2, Table};
+
+/// One E11 run's outcome.
+#[derive(Clone, Debug)]
+pub struct E11Row {
+    /// Scenario name (`e11-kilonode-1024`, `e11-smoke-256`, …).
+    pub name: String,
+    /// LCs in the cluster.
+    pub lcs: usize,
+    /// VMs submitted.
+    pub vms: usize,
+    /// VMs successfully placed.
+    pub placed: usize,
+    /// VMs rejected.
+    pub rejected: usize,
+    /// Mean submission→running latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_latency_s: f64,
+    /// Seconds from GL crash to re-election (NaN in the fault-free
+    /// smoke shape).
+    pub gl_recovery_s: f64,
+    /// Simulator events executed.
+    pub sim_events: u64,
+    /// Deliveries that found no live receiver. Zero in the fault-free
+    /// shape; after a GL crash, in-flight traffic to the dead manager
+    /// legitimately counts here.
+    pub dead_letters: u64,
+    /// Advisory wall-clock of the whole run, ms.
+    pub wall_ms: f64,
+}
+
+impl E11Row {
+    /// Advisory engine throughput: simulated events per wall-clock
+    /// second (NaN when the clock read 0 ms).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.sim_events as f64 / (self.wall_ms / 1000.0)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Run one E11 shape: `lcs` nodes, the scaled fleet, optionally the GL
+/// crash + re-election observation.
+pub fn run(lcs: usize, with_fault: bool, seed: u64) -> E11Row {
+    let spec = presets::e11(lcs, with_fault, seed);
+    let o = snooze_scenario::run(&spec)
+        .expect("E11 preset compiles")
+        .outcome;
+    let gl_recovery_s = o.faults.first().map(|f| f.recovery_s).unwrap_or(f64::NAN);
+    E11Row {
+        name: o.name,
+        lcs,
+        vms: o.requested_vms,
+        placed: o.placed,
+        rejected: o.rejected,
+        mean_latency_s: o.mean_latency_s,
+        p95_latency_s: o.p95_latency_s,
+        gl_recovery_s,
+        sim_events: o.sim_events,
+        dead_letters: o.dead_letters,
+        wall_ms: o.wall_ms,
+    }
+}
+
+/// The full E11 configuration used by `run_experiments e11`.
+pub fn default_rows() -> Vec<E11Row> {
+    vec![run(1024, true, 0xE11)]
+}
+
+/// The reduced fault-free shape behind `run_experiments --e11-smoke`.
+pub fn smoke_row() -> E11Row {
+    run(256, false, 0xE11)
+}
+
+/// Render the table.
+pub fn render(rows: &[E11Row]) -> Table {
+    let mut t = Table::new(
+        "E11: kilonode scale (1024 LCs, 5000 VMs; paper testbed was 144 nodes / 500 VMs)",
+        &[
+            "scenario",
+            "LCs",
+            "VMs",
+            "placed",
+            "rejected",
+            "mean lat s",
+            "p95 lat s",
+            "GL reelect s",
+            "sim events",
+            "dead letters",
+            "wall ms",
+            "events/s",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            r.lcs.to_string(),
+            r.vms.to_string(),
+            r.placed.to_string(),
+            r.rejected.to_string(),
+            f2(r.mean_latency_s),
+            f2(r.p95_latency_s),
+            if r.gl_recovery_s.is_nan() {
+                "-".into()
+            } else {
+                f2(r.gl_recovery_s)
+            },
+            r.sim_events.to_string(),
+            r.dead_letters.to_string(),
+            f2(r.wall_ms),
+            if r.events_per_sec().is_nan() {
+                "-".into()
+            } else {
+                format!("{:.0}", r.events_per_sec())
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_down_smoke_shape_places_everything_cleanly() {
+        // 32 LCs carry the same per-node pressure as the kilonode run
+        // (the preset scales the fleet with the node count).
+        let r = run(32, false, 0xE11);
+        assert_eq!(r.vms, 32 * 5000 / 1024);
+        assert_eq!(r.placed, r.vms, "full placement at ~61% load");
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.dead_letters, 0, "fault-free run must not drop messages");
+        assert!(r.mean_latency_s.is_finite() && r.mean_latency_s > 0.0);
+    }
+
+    #[test]
+    fn table_has_the_throughput_column() {
+        let rows = vec![run(16, false, 3)];
+        let rendered = render(&rows).render();
+        assert!(rendered.contains("events/s"));
+        assert!(rendered.contains("dead letters"));
+    }
+}

@@ -10,7 +10,6 @@
 //! is enabled. The whole sequence is a declarative scenario
 //! (`scenarios/e6.toml`): fault phases with observe blocks.
 
-use snooze::group_manager::GroupManager;
 use snooze::prelude::*;
 use snooze_scenario::presets;
 use snooze_simcore::prelude::*;
@@ -98,8 +97,8 @@ pub fn render(report: &E6Report) -> Table {
 }
 
 /// Convenience used by the GM-mode check above (re-exported for tests).
-pub fn gm_mode(sim: &Engine, gm: ComponentId) -> Option<Mode> {
-    sim.component_as::<GroupManager>(gm).map(|g| g.mode())
+pub fn gm_mode(sim: &Engine<SnoozeNode>, gm: ComponentId) -> Option<Mode> {
+    sim.get(gm).and_then(|c| c.as_gm()).map(|g| g.mode())
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! stdout.
 
 pub mod e10_distributed_consolidation;
+pub mod e11_kilonode;
 pub mod e1_aco_vs_ffd_vs_optimal;
 pub mod e2_scaling;
 pub mod e3_parallel;

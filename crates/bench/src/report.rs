@@ -33,7 +33,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> (LiveSystem, Option<ComponentId>) {
 }
 
 /// Track-naming function for the Chrome exporter: component name + id.
-pub fn track_name(sim: &Engine) -> impl Fn(u64) -> String + '_ {
+pub fn track_name<C: Component>(sim: &Engine<C>) -> impl Fn(u64) -> String + '_ {
     |t| format!("{} #{t}", sim.name_of(ComponentId(t as usize)))
 }
 
@@ -45,7 +45,7 @@ pub fn track_name(sim: &Engine) -> impl Fn(u64) -> String + '_ {
 /// * `metrics.jsonl` — one JSON object per metric
 ///
 /// All four are deterministic: byte-identical across same-seed runs.
-pub fn export_all(sim: &Engine, dir: &std::path::Path) -> std::io::Result<()> {
+pub fn export_all<C: Component>(sim: &Engine<C>, dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(
         dir.join("trace.chrome.json"),
@@ -115,7 +115,7 @@ pub fn hop_decomposition(log: &SpanLog) -> Table {
 
 /// Failure/recovery events in time order: detected failures, leader
 /// promotions, and the election campaigns they triggered.
-pub fn failover_timeline(sim: &Engine) -> Table {
+pub fn failover_timeline<C: Component>(sim: &Engine<C>) -> Table {
     const EVENTS: [&str; 4] = [
         "gl.gm-failover",
         "gm.lc-failover",

@@ -44,10 +44,17 @@ pub fn summary_table(title: &str, outcomes: &[ScenarioOutcome]) -> Table {
             "nodes on",
             "VMs end",
             "sim events",
+            "dead letters",
             "wall ms",
+            "events/s",
         ],
     );
     for o in outcomes {
+        let events_per_s = if o.wall_ms > 0.0 {
+            o.sim_events as f64 / (o.wall_ms / 1000.0)
+        } else {
+            f64::NAN
+        };
         t.row(vec![
             o.name.clone(),
             o.seed.to_string(),
@@ -60,7 +67,13 @@ pub fn summary_table(title: &str, outcomes: &[ScenarioOutcome]) -> Table {
             o.nodes_on_end.to_string(),
             o.total_vms_end.to_string(),
             o.sim_events.to_string(),
+            o.dead_letters.to_string(),
             f2(o.wall_ms),
+            if events_per_s.is_nan() {
+                "-".into()
+            } else {
+                format!("{events_per_s:.0}")
+            },
         ]);
     }
     t

@@ -143,6 +143,29 @@ impl Table {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{slug}.json")), self.to_json())
     }
+
+    /// A copy of the table with the named columns removed (unknown names
+    /// are ignored). Used by the release-table identity gate to drop
+    /// wall-clock columns before comparing against the checked-in
+    /// goldens.
+    pub fn without_columns(&self, drop: &[&str]) -> Table {
+        let keep: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !drop.contains(&h.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        Table {
+            title: self.title.clone(),
+            header: keep.iter().map(|&i| self.header[i].clone()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|row| keep.iter().map(|&i| row[i].clone()).collect())
+                .collect(),
+        }
+    }
 }
 
 /// Format a float with 2 decimals.

@@ -74,3 +74,99 @@ fn checked_in_e4_spec_reproduces_the_table_byte_for_byte() {
     assert_eq!(row.mean_latency_s, a.outcome.mean_latency_s);
     assert_eq!(row.p95_latency_s, a.outcome.p95_latency_s);
 }
+
+/// The wall-clock columns excluded from the release-table identity gate
+/// (they are advisory timings, different on every run and machine).
+const WALL_COLUMNS: &[&str] = &["wall ms", "central ms", "dist ms", "runtime ms"];
+
+#[test]
+fn release_tables_match_the_checked_in_goldens() {
+    // The identity gate for the typed-message refactor (and any future
+    // engine change): the E4–E10 release tables must stay byte-identical
+    // to `tests/golden/*.json` in every deterministic column. Debug
+    // builds skip it — the full suite is a release-scale workload.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping release-table identity gate in a debug build");
+        return;
+    }
+    use snooze_bench::*;
+    let tables: Vec<(&str, snooze_bench::table::Table)> = vec![
+        (
+            "e4",
+            e4_submission_scalability::render(&e4_submission_scalability::default_rows()),
+        ),
+        (
+            "e5",
+            e5_distribution_overhead::render(&e5_distribution_overhead::default_rows()),
+        ),
+        (
+            "e6",
+            e6_fault_tolerance::render(&e6_fault_tolerance::default_report()),
+        ),
+        (
+            "e7",
+            e7_energy_savings::render(&e7_energy_savings::default_rows()),
+        ),
+        (
+            "e7b",
+            e7_energy_savings::render_thresholds(&e7_energy_savings::default_threshold_rows()),
+        ),
+        (
+            "e8a",
+            e8_ablations::render_aco(&e8_ablations::default_aco_rows()),
+        ),
+        (
+            "e8b",
+            e8_ablations::render_ffd(&e8_ablations::default_ffd_rows()),
+        ),
+        (
+            "e9",
+            e9_failover_sensitivity::render(&e9_failover_sensitivity::default_rows()),
+        ),
+        (
+            "e10a",
+            e10_distributed_consolidation::render_offline(
+                &e10_distributed_consolidation::default_offline_rows(),
+            ),
+        ),
+        (
+            "e10b",
+            e10_distributed_consolidation::render_system(
+                &e10_distributed_consolidation::default_system_rows(),
+            ),
+        ),
+    ];
+    for (slug, table) in tables {
+        let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{slug}.json"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+        let current = table.without_columns(WALL_COLUMNS).to_json();
+        assert_eq!(
+            current, golden,
+            "{slug}: deterministic table columns drifted from tests/golden/{slug}.json"
+        );
+        eprintln!("[golden] {slug}: identical");
+    }
+}
+
+#[test]
+fn e11_smoke_shape_is_deterministic_at_256_lcs() {
+    // Two runs of the kilonode smoke shape must agree on the event
+    // digest and report zero dead letters (fault-free closed loop).
+    // Debug builds run a smaller slice of the same shape.
+    let lcs = if cfg!(debug_assertions) { 64 } else { 256 };
+    let spec = presets::e11(lcs, false, 0xE11);
+    let a = snooze_scenario::run(&spec).expect("compiles");
+    let b = snooze_scenario::run(&spec).expect("compiles");
+    assert_eq!(
+        a.live.sim.digest(),
+        b.live.sim.digest(),
+        "same spec, same seed: identical event history at {lcs} LCs"
+    );
+    assert_eq!(a.outcome.sim_events, b.outcome.sim_events);
+    assert_eq!(a.outcome.placed, a.outcome.requested_vms);
+    assert_eq!(a.outcome.dead_letters, 0, "fault-free run drops nothing");
+    assert_eq!(b.outcome.dead_letters, 0);
+}

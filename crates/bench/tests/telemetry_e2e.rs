@@ -15,7 +15,7 @@ use snooze_simcore::telemetry;
 const SEED: u64 = 42;
 
 /// Render every export in memory for digest-style comparison.
-fn render_exports(sim: &Engine) -> [String; 4] {
+fn render_exports<C: Component>(sim: &Engine<C>) -> [String; 4] {
     let names = snooze_bench::report::track_name(sim);
     [
         telemetry::chrome::render(sim.spans(), &names),

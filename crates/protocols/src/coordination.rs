@@ -18,8 +18,18 @@
 //! *reliable* coordination service (real ZK is replicated), so experiments
 //! crash GLs and GMs, not the coordination service — but nothing prevents
 //! injecting that, too.
+//!
+//! ## The protocol message set
+//!
+//! [`ProtocolMsg`] is the closed wire vocabulary of this crate —
+//! requests in, replies out. Systems embedding the coordination service
+//! in a larger message enum implement [`ProtocolCarrier`] for that enum
+//! (wrap via `From`, unwrap via [`ProtocolCarrier::into_protocol`]), and
+//! instantiate [`CoordinationService`] over it; the service itself never
+//! sees the host's other message kinds.
 
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 
 use snooze_simcore::prelude::*;
 
@@ -97,6 +107,47 @@ pub enum ZkReply {
     },
 }
 
+/// The closed message set of the protocols crate: every wire message a
+/// coordination-service conversation can carry.
+#[derive(Clone, Debug)]
+pub enum ProtocolMsg {
+    /// A client → service request.
+    Request(ZkRequest),
+    /// A service → client reply or notification.
+    Reply(ZkReply),
+}
+
+impl From<ZkRequest> for ProtocolMsg {
+    fn from(req: ZkRequest) -> Self {
+        ProtocolMsg::Request(req)
+    }
+}
+
+impl From<ZkReply> for ProtocolMsg {
+    fn from(reply: ZkReply) -> Self {
+        ProtocolMsg::Reply(reply)
+    }
+}
+
+/// A host message enum that can carry [`ProtocolMsg`]s.
+///
+/// Implemented by any workspace message hierarchy embedding this crate's
+/// protocols (e.g. `snooze`'s `SnoozeMsg`, which holds a
+/// `Protocol(ProtocolMsg)` variant): wrap with the required `From`,
+/// unwrap with [`ProtocolCarrier::into_protocol`]. [`ProtocolMsg`]
+/// itself is the trivial carrier, for systems that speak nothing else.
+pub trait ProtocolCarrier: From<ProtocolMsg> {
+    /// Extract the protocol message, or `None` if this message belongs
+    /// to some other subsystem of the host enum.
+    fn into_protocol(self) -> Option<ProtocolMsg>;
+}
+
+impl ProtocolCarrier for ProtocolMsg {
+    fn into_protocol(self) -> Option<ProtocolMsg> {
+        Some(self)
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Session {
     epoch: u64,
@@ -111,8 +162,9 @@ struct Znode {
 
 const TICK: u64 = 1;
 
-/// The coordination service component.
-pub struct CoordinationService {
+/// The coordination service component, generic over the host message
+/// enum `M` it is deployed into.
+pub struct CoordinationService<M> {
     session_timeout: SimSpan,
     sessions: BTreeMap<ComponentId, Session>,
     znodes: Vec<Znode>,
@@ -120,9 +172,10 @@ pub struct CoordinationService {
     watches: Vec<(ZnodePath, ComponentId)>,
     /// Total sessions ever expired (for tests/metrics).
     pub sessions_expired: u64,
+    _msg: PhantomData<M>,
 }
 
-impl CoordinationService {
+impl<M: ProtocolCarrier> CoordinationService<M> {
     /// A service expiring sessions after `session_timeout` without pings.
     pub fn new(session_timeout: SimSpan) -> Self {
         CoordinationService {
@@ -132,6 +185,7 @@ impl CoordinationService {
             next_seq: BTreeMap::new(),
             watches: Vec::new(),
             sessions_expired: 0,
+            _msg: PhantomData,
         }
     }
 
@@ -140,7 +194,7 @@ impl CoordinationService {
         self.znodes.len()
     }
 
-    fn touch(&mut self, ctx: &mut Ctx, client: ComponentId, epoch: u64) {
+    fn touch(&mut self, ctx: &mut Ctx<'_, M>, client: ComponentId, epoch: u64) {
         match self.sessions.get(&client) {
             Some(s) if s.epoch > epoch => {
                 // Stale incarnation — ignore (its znodes are already gone).
@@ -170,7 +224,7 @@ impl CoordinationService {
         }
     }
 
-    fn expire_session(&mut self, ctx: &mut Ctx, client: ComponentId) {
+    fn expire_session(&mut self, ctx: &mut Ctx<'_, M>, client: ComponentId) {
         self.sessions.remove(&client);
         self.sessions_expired += 1;
         let mut deleted = Vec::new();
@@ -187,7 +241,7 @@ impl CoordinationService {
         }
     }
 
-    fn fire_watches(&mut self, ctx: &mut Ctx, path: &ZnodePath) {
+    fn fire_watches(&mut self, ctx: &mut Ctx<'_, M>, path: &ZnodePath) {
         let mut fired = Vec::new();
         self.watches.retain(|(p, watcher)| {
             if p == path {
@@ -200,21 +254,24 @@ impl CoordinationService {
         for watcher in fired {
             ctx.send(
                 watcher,
-                Box::new(ZkReply::WatchFired { path: path.clone() }),
+                ProtocolMsg::Reply(ZkReply::WatchFired { path: path.clone() }),
             );
         }
     }
 }
 
-impl Component for CoordinationService {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl<M: ProtocolCarrier> Component for CoordinationService<M> {
+    type Msg = M;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         ctx.set_timer(self.session_timeout / 2, TICK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
-        let req = match msg.downcast::<ZkRequest>() {
-            Ok(r) => *r,
-            Err(_) => return,
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, src: ComponentId, msg: M) {
+        // Replies addressed to the service (can't happen in practice) and
+        // non-protocol host messages fall through silently.
+        let Some(ProtocolMsg::Request(req)) = msg.into_protocol() else {
+            return;
         };
         match req {
             ZkRequest::CreateEphemeralSequential { prefix, epoch } => {
@@ -232,7 +289,7 @@ impl Component for CoordinationService {
                     .find(|z| z.owner == src && z.path.prefix == prefix)
                 {
                     let path = existing.path.clone();
-                    ctx.send(src, Box::new(ZkReply::Created { path }));
+                    ctx.send(src, ProtocolMsg::Reply(ZkReply::Created { path }));
                     return;
                 }
                 let seq = self.next_seq.entry(prefix.clone()).or_insert(0);
@@ -243,7 +300,7 @@ impl Component for CoordinationService {
                     owner: src,
                 });
                 ctx.trace("zk", format!("create {path:?} by {src:?}"));
-                ctx.send(src, Box::new(ZkReply::Created { path }));
+                ctx.send(src, ProtocolMsg::Reply(ZkReply::Created { path }));
             }
             ZkRequest::GetChildren { prefix } => {
                 let mut entries: Vec<(ZnodePath, ComponentId)> = self
@@ -253,7 +310,10 @@ impl Component for CoordinationService {
                     .map(|z| (z.path.clone(), z.owner))
                     .collect();
                 entries.sort_by_key(|(p, _)| p.seq);
-                ctx.send(src, Box::new(ZkReply::Children { prefix, entries }));
+                ctx.send(
+                    src,
+                    ProtocolMsg::Reply(ZkReply::Children { prefix, entries }),
+                );
             }
             ZkRequest::WatchDelete { path } => {
                 if self.znodes.iter().any(|z| z.path == path) {
@@ -265,7 +325,7 @@ impl Component for CoordinationService {
                     // ZK semantics: watching a missing node is an error;
                     // for the election recipe, an immediate fire is the
                     // useful equivalent (the predecessor is already gone).
-                    ctx.send(src, Box::new(ZkReply::WatchFired { path }));
+                    ctx.send(src, ProtocolMsg::Reply(ZkReply::WatchFired { path }));
                 }
             }
             ZkRequest::Ping { epoch } => {
@@ -276,7 +336,7 @@ impl Component for CoordinationService {
                 match self.sessions.get(&src) {
                     Some(s) if s.epoch == epoch => self.touch(ctx, src, epoch),
                     Some(s) if s.epoch > epoch => {} // stale incarnation
-                    _ => ctx.send(src, Box::new(ZkReply::SessionExpired { epoch })),
+                    _ => ctx.send(src, ProtocolMsg::Reply(ZkReply::SessionExpired { epoch })),
                 }
             }
             ZkRequest::CloseSession { epoch } => {
@@ -287,7 +347,7 @@ impl Component for CoordinationService {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, _tag: u64) {
         let now = ctx.now();
         let timeout = self.session_timeout;
         // BTreeMap iteration is key-ordered, so expiry order is stable.
@@ -331,34 +391,56 @@ mod tests {
     }
 
     impl Component for Client {
-        fn on_start(&mut self, ctx: &mut Ctx) {
+        type Msg = ProtocolMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
             for req in self.script.drain(..) {
                 let zk = self.zk;
-                ctx.send(zk, Box::new(req));
+                ctx.send(zk, req);
             }
             if let Some(p) = self.ping_period {
                 ctx.set_timer(p, 0);
             }
         }
-        fn on_message(&mut self, _ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-            if let Ok(reply) = msg.downcast::<ZkReply>() {
-                self.replies.push(*reply);
+        fn on_message(
+            &mut self,
+            _ctx: &mut Ctx<'_, ProtocolMsg>,
+            _src: ComponentId,
+            msg: ProtocolMsg,
+        ) {
+            match msg {
+                ProtocolMsg::Reply(reply) => self.replies.push(reply),
+                ProtocolMsg::Request(_) => {}
             }
         }
-        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>, _tag: u64) {
             let zk = self.zk;
             let epoch = self.epoch;
-            ctx.send(zk, Box::new(ZkRequest::Ping { epoch }));
+            ctx.send(zk, ZkRequest::Ping { epoch });
             if let Some(p) = self.ping_period {
                 ctx.set_timer(p, 0);
             }
         }
     }
 
-    fn setup() -> (Engine, ComponentId) {
-        let mut sim = SimBuilder::new(7).network(NetworkConfig::lan()).build();
+    node_enum! {
+        enum CoordNode: ProtocolMsg {
+            Zk(CoordinationService<ProtocolMsg>) as as_zk,
+            Client(Client) as as_client,
+        }
+    }
+
+    fn setup() -> (Engine<CoordNode>, ComponentId) {
+        let mut sim: Engine<CoordNode> = SimBuilder::new(7).network(NetworkConfig::lan()).build();
         let zk = sim.add_component("zk", CoordinationService::new(SimSpan::from_secs(6)));
         (sim, zk)
+    }
+
+    fn client(sim: &Engine<CoordNode>, id: ComponentId) -> &Client {
+        sim.component(id).as_client().unwrap()
+    }
+
+    fn service(sim: &Engine<CoordNode>, id: ComponentId) -> &CoordinationService<ProtocolMsg> {
+        sim.component(id).as_zk().unwrap()
     }
 
     fn path(prefix: &str, seq: u64) -> ZnodePath {
@@ -394,7 +476,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        let c = sim.component_as::<Client>(a).unwrap();
+        let c = client(&sim, a);
         let created: Vec<&ZnodePath> = c
             .replies
             .iter()
@@ -407,8 +489,7 @@ mod tests {
         assert_eq!(*created[0], path("e", 0));
         assert_eq!(*created[1], path("e", 0), "retry is idempotent");
         assert_eq!(*created[2], path("other", 0), "sequences are per-prefix");
-        let svc = sim.component_as::<CoordinationService>(zk).unwrap();
-        assert_eq!(svc.znode_count(), 2);
+        assert_eq!(service(&sim, zk).znode_count(), 2);
     }
 
     #[test]
@@ -436,7 +517,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(2));
-        let cb = sim.component_as::<Client>(b).unwrap();
+        let cb = client(&sim, b);
         assert_eq!(cb.replies, vec![ZkReply::Created { path: path("e", 1) }]);
     }
 
@@ -468,7 +549,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(2));
-        let cb = sim.component_as::<Client>(b).unwrap();
+        let cb = client(&sim, b);
         let children = cb
             .replies
             .iter()
@@ -503,14 +584,14 @@ mod tests {
         let watcher = sim.add_component("watcher", w);
         // Session timeout is 6 s; run past it.
         sim.run_until(SimTime::from_secs(20));
-        let cw = sim.component_as::<Client>(watcher).unwrap();
+        let cw = client(&sim, watcher);
         assert!(
             cw.replies
                 .contains(&ZkReply::WatchFired { path: path("e", 0) }),
             "watch must fire on expiry: {:?}",
             cw.replies
         );
-        let svc = sim.component_as::<CoordinationService>(zk).unwrap();
+        let svc = service(&sim, zk);
         assert!(svc.sessions_expired >= 1);
         assert_eq!(svc.znode_count(), 0);
     }
@@ -528,8 +609,11 @@ mod tests {
         c.ping_period = Some(SimSpan::from_secs(2));
         let _id = sim.add_component("c", c);
         sim.run_until(SimTime::from_secs(30));
-        let svc = sim.component_as::<CoordinationService>(zk).unwrap();
-        assert_eq!(svc.znode_count(), 1, "pinged session must survive");
+        assert_eq!(
+            service(&sim, zk).znode_count(),
+            1,
+            "pinged session must survive"
+        );
     }
 
     #[test]
@@ -545,7 +629,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        let cw = sim.component_as::<Client>(w).unwrap();
+        let cw = client(&sim, w);
         assert_eq!(
             cw.replies,
             vec![ZkReply::WatchFired {
@@ -576,7 +660,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        let c = sim.component_as::<Client>(a).unwrap();
+        let c = client(&sim, a);
         let children = c
             .replies
             .iter()
@@ -610,8 +694,7 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        let svc = sim.component_as::<CoordinationService>(zk).unwrap();
-        assert_eq!(svc.znode_count(), 0);
+        assert_eq!(service(&sim, zk).znode_count(), 0);
     }
 
     #[test]
@@ -633,7 +716,6 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        let svc = sim.component_as::<CoordinationService>(zk).unwrap();
-        assert_eq!(svc.znode_count(), 1);
+        assert_eq!(service(&sim, zk).znode_count(), 1);
     }
 }

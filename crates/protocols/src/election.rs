@@ -14,11 +14,14 @@
 //! [`Elector`] is an embeddable state machine, not a component: the host
 //! component (a Group Manager in Snooze) forwards coordination replies to
 //! [`Elector::handle_reply`] and pumps [`Elector::tick`] from a periodic
-//! timer to keep the session alive.
+//! timer to keep the session alive. Its methods are generic over the
+//! host's message enum `M: ProtocolCarrier`, so the same state machine
+//! embeds into any system whose message hierarchy carries
+//! [`crate::coordination::ProtocolMsg`].
 
 use snooze_simcore::prelude::*;
 
-use crate::coordination::{ZkReply, ZkRequest, ZnodePath};
+use crate::coordination::{ProtocolCarrier, ProtocolMsg, ZkReply, ZkRequest, ZnodePath};
 
 /// Timer tag reserved for the elector's session pings. Host components
 /// must route timers with this tag to [`Elector::tick`].
@@ -98,7 +101,7 @@ impl Elector {
 
     /// Begin (or restart, with a fresh session epoch) a campaign. Call
     /// from `on_start` and `on_restart`.
-    pub fn start(&mut self, ctx: &mut Ctx) {
+    pub fn start<M: ProtocolCarrier>(&mut self, ctx: &mut Ctx<'_, M>) {
         self.epoch += 1;
         self.my_path = None;
         self.state = ElectorState::Campaigning;
@@ -113,7 +116,7 @@ impl Elector {
         let (zk, prefix, epoch) = (self.zk, self.prefix.clone(), self.epoch);
         ctx.send(
             zk,
-            Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
+            ProtocolMsg::Request(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
         );
         ctx.set_timer(self.ping_period, ELECTION_PING_TAG);
     }
@@ -127,19 +130,19 @@ impl Elector {
     /// re-issues whatever request its current state is waiting on
     /// (creation is idempotent service-side, children listings are pure
     /// reads, and watches are deduplicated).
-    pub fn tick(&mut self, ctx: &mut Ctx) {
+    pub fn tick<M: ProtocolCarrier>(&mut self, ctx: &mut Ctx<'_, M>) {
         if self.state == ElectorState::Idle {
             return;
         }
         let (zk, epoch) = (self.zk, self.epoch);
-        ctx.send(zk, Box::new(ZkRequest::Ping { epoch }));
+        ctx.send(zk, ProtocolMsg::Request(ZkRequest::Ping { epoch }));
         match self.state {
             ElectorState::Campaigning if self.my_path.is_none() => {
                 // Created reply lost — re-create (idempotent).
                 let prefix = self.prefix.clone();
                 ctx.send(
                     zk,
-                    Box::new(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
+                    ProtocolMsg::Request(ZkRequest::CreateEphemeralSequential { prefix, epoch }),
                 );
             }
             ElectorState::Campaigning => {
@@ -157,10 +160,10 @@ impl Elector {
     }
 
     /// Abandon the campaign and release the znode.
-    pub fn resign(&mut self, ctx: &mut Ctx) {
+    pub fn resign<M: ProtocolCarrier>(&mut self, ctx: &mut Ctx<'_, M>) {
         if self.state != ElectorState::Idle {
             let (zk, epoch) = (self.zk, self.epoch);
-            ctx.send(zk, Box::new(ZkRequest::CloseSession { epoch }));
+            ctx.send(zk, ProtocolMsg::Request(ZkRequest::CloseSession { epoch }));
             self.state = ElectorState::Idle;
             self.my_path = None;
         }
@@ -168,7 +171,11 @@ impl Elector {
 
     /// Feed a coordination reply. Returns a notification if leadership
     /// knowledge changed.
-    pub fn handle_reply(&mut self, ctx: &mut Ctx, reply: &ZkReply) -> Option<ElectorEvent> {
+    pub fn handle_reply<M: ProtocolCarrier>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        reply: &ZkReply,
+    ) -> Option<ElectorEvent> {
         if self.state == ElectorState::Idle {
             return None;
         }
@@ -198,14 +205,14 @@ impl Elector {
         }
     }
 
-    fn request_children(&self, ctx: &mut Ctx) {
+    fn request_children<M: ProtocolCarrier>(&self, ctx: &mut Ctx<'_, M>) {
         let (zk, prefix) = (self.zk, self.prefix.clone());
-        ctx.send(zk, Box::new(ZkRequest::GetChildren { prefix }));
+        ctx.send(zk, ProtocolMsg::Request(ZkRequest::GetChildren { prefix }));
     }
 
-    fn evaluate(
+    fn evaluate<M: ProtocolCarrier>(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_, M>,
         entries: &[(ZnodePath, ComponentId)],
     ) -> Option<ElectorEvent> {
         let my_path = self.my_path.clone()?;
@@ -240,12 +247,15 @@ impl Elector {
         if predecessor != lowest_path {
             ctx.send(
                 zk,
-                Box::new(ZkRequest::WatchDelete {
+                ProtocolMsg::Request(ZkRequest::WatchDelete {
                     path: lowest_path.clone(),
                 }),
             );
         }
-        ctx.send(zk, Box::new(ZkRequest::WatchDelete { path: predecessor }));
+        ctx.send(
+            zk,
+            ProtocolMsg::Request(ZkRequest::WatchDelete { path: predecessor }),
+        );
         let was = self.state;
         self.state = ElectorState::Follower {
             leader: lowest_owner,
@@ -279,28 +289,44 @@ mod tests {
     }
 
     impl Component for Contender {
-        fn on_start(&mut self, ctx: &mut Ctx) {
+        type Msg = ProtocolMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
             self.elector.start(ctx);
         }
-        fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-            if let Ok(reply) = msg.downcast::<ZkReply>() {
-                if let Some(ev) = self.elector.handle_reply(ctx, &reply) {
-                    self.events.push(ev);
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, ProtocolMsg>,
+            _src: ComponentId,
+            msg: ProtocolMsg,
+        ) {
+            match msg {
+                ProtocolMsg::Reply(reply) => {
+                    if let Some(ev) = self.elector.handle_reply(ctx, &reply) {
+                        self.events.push(ev);
+                    }
                 }
+                ProtocolMsg::Request(_) => {}
             }
         }
-        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>, tag: u64) {
             if tag == ELECTION_PING_TAG {
                 self.elector.tick(ctx);
             }
         }
-        fn on_restart(&mut self, ctx: &mut Ctx) {
+        fn on_restart(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
             self.elector.start(ctx);
         }
     }
 
-    fn setup(n: usize) -> (Engine, ComponentId, Vec<ComponentId>) {
-        let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
+    node_enum! {
+        enum ElectNode: ProtocolMsg {
+            Zk(CoordinationService<ProtocolMsg>) as as_zk,
+            Contender(Contender) as as_contender,
+        }
+    }
+
+    fn setup(n: usize) -> (Engine<ElectNode>, ComponentId, Vec<ComponentId>) {
+        let mut sim: Engine<ElectNode> = SimBuilder::new(11).network(NetworkConfig::lan()).build();
         let zk = sim.add_component("zk", CoordinationService::new(SimSpan::from_secs(6)));
         let contenders: Vec<ComponentId> = (0..n)
             .map(|i| sim.add_component(format!("gm{i}"), Contender::new(zk)))
@@ -308,24 +334,21 @@ mod tests {
         (sim, zk, contenders)
     }
 
-    fn leaders(sim: &Engine, cs: &[ComponentId]) -> Vec<ComponentId> {
+    fn contender(sim: &Engine<ElectNode>, id: ComponentId) -> &Contender {
+        sim.component(id).as_contender().unwrap()
+    }
+
+    fn leaders(sim: &Engine<ElectNode>, cs: &[ComponentId]) -> Vec<ComponentId> {
         cs.iter()
             .copied()
-            .filter(|&c| {
-                sim.is_alive(c)
-                    && sim
-                        .component_as::<Contender>(c)
-                        .unwrap()
-                        .elector
-                        .is_leader()
-            })
+            .filter(|&c| sim.is_alive(c) && contender(sim, c).elector.is_leader())
             .collect()
     }
 
     /// All alive contenders must agree on `leader`.
-    fn assert_agreement(sim: &Engine, cs: &[ComponentId], leader: ComponentId) {
+    fn assert_agreement(sim: &Engine<ElectNode>, cs: &[ComponentId], leader: ComponentId) {
         for &c in cs.iter().filter(|&&c| sim.is_alive(c)) {
-            let el = &sim.component_as::<Contender>(c).unwrap().elector;
+            let el = &contender(sim, c).elector;
             assert_eq!(el.leader(c), Some(leader), "{c:?} disagrees on leadership");
         }
     }
@@ -382,7 +405,7 @@ mod tests {
         let ls = leaders(&sim, &cs);
         assert_eq!(ls.len(), 1, "got {ls:?}");
         assert_ne!(ls[0], first, "old leader must not usurp");
-        let el = &sim.component_as::<Contender>(first).unwrap().elector;
+        let el = &contender(&sim, first).elector;
         assert_eq!(el.state(), ElectorState::Follower { leader: ls[0] });
     }
 
@@ -403,7 +426,7 @@ mod tests {
         let (mut sim, _zk, cs) = setup(1);
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(leaders(&sim, &cs), vec![cs[0]]);
-        let events = &sim.component_as::<Contender>(cs[0]).unwrap().events;
+        let events = &contender(&sim, cs[0]).events;
         assert_eq!(events, &[ElectorEvent::BecameLeader]);
     }
 
@@ -429,7 +452,7 @@ mod tests {
         let ls = leaders(&sim, &cs);
         assert_eq!(ls.len(), 1, "split brain must resolve: {ls:?}");
         assert_ne!(ls[0], old);
-        let el = &sim.component_as::<Contender>(old).unwrap().elector;
+        let el = &contender(&sim, old).elector;
         assert_eq!(el.state(), ElectorState::Follower { leader: ls[0] });
     }
 
@@ -441,7 +464,7 @@ mod tests {
         let survivor = *cs.iter().find(|&&c| c != first).unwrap();
         sim.schedule_crash(SimTime::from_secs(10), first);
         sim.run_until(SimTime::from_secs(30));
-        let evs = &sim.component_as::<Contender>(survivor).unwrap().events;
+        let evs = &contender(&sim, survivor).events;
         let leads = evs
             .iter()
             .filter(|e| **e == ElectorEvent::BecameLeader)

@@ -23,7 +23,9 @@ pub mod election;
 pub mod heartbeat;
 pub mod membership;
 
-pub use coordination::{CoordinationService, ZkReply, ZkRequest, ZnodePath};
+pub use coordination::{
+    CoordinationService, ProtocolCarrier, ProtocolMsg, ZkReply, ZkRequest, ZnodePath,
+};
 pub use election::{Elector, ElectorEvent, ElectorState};
 pub use heartbeat::FailureDetector;
 pub use membership::MembershipView;

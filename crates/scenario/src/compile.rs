@@ -84,6 +84,10 @@ pub struct ScenarioOutcome {
     pub settle_placed: Option<usize>,
     /// Simulator events executed.
     pub sim_events: u64,
+    /// Deliveries that found no live receiver (crashed or unknown
+    /// destination) — healthy closed-loop scenarios without faults
+    /// should report 0.
+    pub dead_letters: u64,
     /// Advisory wall-clock of the whole run, ms.
     pub wall_ms: f64,
     /// Management messages sent.
@@ -266,7 +270,8 @@ fn condition_holds(c: Condition, live: &LiveSystem, reschedule: bool, baseline_v
                 !live.sim.is_alive(lc)
                     || live
                         .sim
-                        .component_as::<LocalController>(lc)
+                        .get(lc)
+                        .and_then(|c| c.as_lc())
                         .and_then(|l| l.assigned_gm())
                         .map(|g| live_gms.contains(&g))
                         .unwrap_or(false)
@@ -389,7 +394,8 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
                             .iter()
                             .max_by_key(|&&lc| {
                                 live.sim
-                                    .component_as::<LocalController>(lc)
+                                    .get(lc)
+                                    .and_then(|c| c.as_lc())
                                     .map(|l| l.hypervisor().guest_count())
                                     .unwrap_or(0)
                             })
@@ -441,7 +447,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
             let (m, su, w) = s
                 .lcs
                 .iter()
-                .filter_map(|&lc| live.sim.component_as::<LocalController>(lc))
+                .filter_map(|&lc| live.sim.get(lc).and_then(|c| c.as_lc()))
                 .fold((0u64, 0u64, 0u64), |(m, su, w), l| {
                     (
                         m + l.stats.migrations_out,
@@ -493,6 +499,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
         p95_latency_s,
         settle_placed,
         sim_events: live.sim.events_executed(),
+        dead_letters: live.sim.dead_letters(),
         wall_ms: live.wall_ms(),
         messages: live.messages_sent(),
         energy_wh,

@@ -175,7 +175,7 @@ pub fn deploy_hierarchy(
     eps: usize,
     client: Option<(Vec<ScheduledVm>, SimSpan)>,
 ) -> LiveSystem {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let system = SnoozeSystem::deploy(&mut sim, config, managers, nodes, eps);
     let client_id = client.map(|(schedule, retry)| {
         let ep = *system.eps.first().expect("a client needs an EP");
@@ -198,7 +198,7 @@ pub fn deploy_unified(
     eps: usize,
     client: Option<(Vec<ScheduledVm>, SimSpan)>,
 ) -> LiveSystem {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let system = UnifiedSystem::deploy(&mut sim, config, nodes, target_managers, eps);
     let client_id = client.map(|(schedule, retry)| {
         let ep = *system.eps.first().expect("a client needs an EP");
@@ -223,7 +223,7 @@ pub enum Stack {
 /// A deployed system plus its driver client.
 pub struct LiveSystem {
     /// The engine.
-    pub sim: Engine,
+    pub sim: Engine<SnoozeNode>,
     /// The deployed stack.
     pub stack: Stack,
     /// The scripted client, if the scenario has one.
@@ -256,7 +256,8 @@ impl LiveSystem {
     /// The driver client, if any.
     pub fn client_opt(&self) -> Option<&ClientDriver> {
         self.client_id
-            .and_then(|id| self.sim.component_as::<ClientDriver>(id))
+            .and_then(|id| self.sim.get(id))
+            .and_then(|c| c.as_client())
     }
 
     /// Run until `deadline` or until the client has an answer for every

@@ -367,6 +367,72 @@ pub fn e10b_default() -> Vec<ScenarioSpec> {
     e10b(&[1, 2, 4], 24, 36, 0x10)
 }
 
+/// **E11 — kilonode**: submission latency and self-healing at ~7× the
+/// paper's 144-node testbed. A staggered random fleet is placed across
+/// `lcs` nodes; once it settles, the GL is crashed and re-election is
+/// observed with the full fleet in flight. `with_fault: false` is the
+/// smoke shape (used by `--e11-smoke`): settle-only, so any dead letter
+/// is a real routing bug rather than fault fallout.
+///
+/// The VM count scales with the node count (5000 VMs at 1024 LCs —
+/// ~61% CPU and memory load on the standard 8-core/32-GB node), keeping
+/// the per-node pressure identical between the full and smoke shapes.
+pub fn e11(lcs: usize, with_fault: bool, seed: u64) -> ScenarioSpec {
+    let vms = lcs * 5000 / 1024;
+    let mut phases = vec![PhaseSpec::Settle {
+        deadline_ms: 3_600_000.0,
+    }];
+    if with_fault {
+        phases.push(PhaseSpec::Fault {
+            label: "GL crash".into(),
+            target: TargetSpec::Gl,
+            delay_ms: 10000.0,
+            kind: "crash".into(),
+            observe: Some(observe_180s(Condition::GlElected)),
+        });
+        phases.push(PhaseSpec::RunFor { dur_ms: 120_000.0 });
+    }
+    ScenarioSpec {
+        name: if with_fault {
+            format!("e11-kilonode-{lcs}")
+        } else {
+            format!("e11-smoke-{lcs}")
+        },
+        description: format!("kilonode scale: {vms}-VM staggered fleet on {lcs} LCs"),
+        seed,
+        topology: hierarchy(9, lcs, 15000.0),
+        config: no_suspend_config(),
+        workload: vec![WorkloadSpec::RandomFleet {
+            n: vms,
+            seed: seed ^ 0x11F1EE7,
+            cores_min: 0.5,
+            cores_max: 1.5,
+            mem_min_mb: 2048.0,
+            mem_max_mb: 6144.0,
+            util_min: 0.3,
+            util_max: 0.8,
+            arrival_at_ms: 30000.0,
+            arrival_spread_s: 600,
+            lifetime_every: 0,
+            lifetime_min_s: 0,
+            lifetime_max_s: 0,
+        }],
+        faults: Vec::new(),
+        phases,
+        probes: Vec::new(),
+    }
+}
+
+/// The default E11 scenario: 1024 LCs under 8 GMs + 1 GL, 5000 VMs.
+pub fn e11_default() -> ScenarioSpec {
+    e11(1024, true, 0xE11)
+}
+
+/// The reduced E11 smoke shape for CI gates: 256 LCs, no faults.
+pub fn e11_smoke() -> ScenarioSpec {
+    e11(256, false, 0xE11)
+}
+
 /// The telemetry-report acceptance scenario: an E4-shaped burst with one
 /// GM crash while placements are in flight.
 pub fn report_failover(seed: u64) -> ScenarioSpec {
@@ -410,6 +476,7 @@ pub fn checked_in() -> Vec<(&'static str, ScenarioDoc)> {
         ("e7b.toml", doc(e7b_default())),
         ("e9.toml", doc(e9_default())),
         ("e10b.toml", doc(e10b_default())),
+        ("e11.toml", ScenarioDoc::from_specs(&e11_default(), &[])),
         (
             "report.toml",
             ScenarioDoc::from_specs(&report_failover(0x5EED), &[]),

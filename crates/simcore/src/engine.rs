@@ -8,14 +8,22 @@
 //! hold references to one another, which is what makes crash injection and
 //! deterministic replay trivial.
 //!
+//! The engine is *generic over its message type*: a [`Component`] declares
+//! the closed message set it speaks as [`Component::Msg`] (typically an
+//! enum), the engine is [`Engine<C>`] over one component type `C`, and a
+//! heterogeneous system wraps its node kinds in a dispatch enum — see
+//! [`node_enum!`](crate::node_enum). Messages travel by value, handlers
+//! match exhaustively, and the compiler checks every arm: no `Box`, no
+//! `Any`, no runtime casts on the deliver path.
+//!
 //! Events are executed in `(time, sequence)` order; the sequence number
 //! breaks ties in scheduling order, so the engine is fully deterministic.
 
-use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use snooze_telemetry::label::label;
 use snooze_telemetry::span::{SpanId, SpanLog};
 
 use crate::metrics::MetricsRegistry;
@@ -49,29 +57,30 @@ impl fmt::Debug for ComponentId {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GroupId(pub usize);
 
-/// Type-erased message payload. Receivers downcast to the concrete types
-/// they understand; unknown payloads should be ignored.
-pub type AnyMsg = Box<dyn Any>;
-
 /// Handle for cancelling a pending timer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerHandle(u64);
 
-/// A simulated process.
+/// A simulated process speaking a closed, typed message set.
 ///
-/// `Any` is a supertrait so tests and drivers can downcast components back
-/// to their concrete types for inspection via [`Engine::component_as`].
-pub trait Component: Any {
+/// [`Component::Msg`] is the message type this component sends and
+/// receives — usually a workspace enum (one variant per wire message),
+/// so `on_message` is an exhaustive `match` the compiler checks.
+pub trait Component {
+    /// The message type this component exchanges over the simulated
+    /// network. Every component registered in one [`Engine`] shares it.
+    type Msg;
+
     /// Called once when the simulation starts (or never, if the component
     /// is registered after `run` began — use messages to bootstrap those).
-    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
 
     /// A message arrived from `src` over the simulated network.
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg);
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, src: ComponentId, msg: Self::Msg);
 
     /// A timer set via [`Ctx::set_timer`] fired. `tag` is the caller-chosen
     /// discriminator.
-    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _tag: u64) {}
 
     /// The failure injector crashed this component. State is *not* cleared
     /// automatically — a crashed process keeps its memory so tests can
@@ -80,7 +89,7 @@ pub trait Component: Any {
 
     /// The failure injector restarted this component. Implementations
     /// should reset volatile state here, as a freshly exec'd process would.
-    fn on_restart(&mut self, _ctx: &mut Ctx) {}
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// A scheduled change to the simulated network's health — the
@@ -101,12 +110,12 @@ pub enum NetFault {
     SetLossPpm(u32),
 }
 
-enum EventKind {
+enum EventKind<M> {
     Start(ComponentId),
     Deliver {
         src: ComponentId,
         dst: ComponentId,
-        msg: AnyMsg,
+        msg: M,
         /// Causal span context riding along with the message — the
         /// simulated analogue of trace-context propagation headers.
         span: Option<SpanId>,
@@ -126,24 +135,24 @@ enum EventKind {
     Net(NetFault),
 }
 
-struct Scheduled {
+struct Scheduled<M> {
     time: SimTime,
     seq: u64,
-    kind: EventKind,
+    kind: EventKind<M>,
 }
 
-impl PartialEq for Scheduled {
+impl<M> PartialEq for Scheduled<M> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Scheduled {
+impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -152,10 +161,10 @@ impl Ord for Scheduled {
 /// Everything the engine owns apart from the components themselves.
 /// Split out so a component can be borrowed mutably while its [`Ctx`]
 /// mutates the rest of the engine.
-pub(crate) struct EngineCore {
+pub(crate) struct EngineCore<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
     rng: SimRng,
     pub(crate) network: Network,
     pub(crate) metrics: MetricsRegistry,
@@ -179,16 +188,19 @@ pub(crate) struct EngineCore {
     last_executed: Option<(SimTime, u64)>,
 }
 
-impl EngineCore {
+impl<M> EngineCore<M> {
     /// Fold an executed event into the run digest. The digest covers the
     /// full executed stream — `(time, seq, kind, endpoints)` per event —
     /// so two runs agree on it iff they executed the same history.
-    fn fold_event(&mut self, ev: &Scheduled) {
+    fn fold_event(&mut self, ev: &Scheduled<M>) {
         let (disc, a, b): (u64, u64, u64) = match &ev.kind {
             EventKind::Start(id) => (1, id.0 as u64, 0),
             // Span contexts are observers, not causes: they are folded
             // into the SpanLog's own digest, never into the event digest,
             // so instrumentation cannot perturb the audited history.
+            // Payloads are likewise never folded — the digest is message-
+            // type-agnostic, which is what let the typed message layer
+            // replace the old type-erased one digest-identically.
             EventKind::Deliver { src, dst, .. } => (2, src.0 as u64, dst.0 as u64),
             EventKind::Timer { dst, tag, .. } => (3, dst.0 as u64, *tag),
             EventKind::Crash(id) => (4, id.0 as u64, 0),
@@ -204,7 +216,7 @@ impl EngineCore {
         self.digest = h;
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+    fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
@@ -220,7 +232,7 @@ impl EngineCore {
         src: ComponentId,
         dst: ComponentId,
         extra: SimSpan,
-        msg: AnyMsg,
+        msg: M,
         span: Option<SpanId>,
     ) {
         let departs = self.now + extra;
@@ -243,13 +255,14 @@ impl EngineCore {
     }
 }
 
-/// The context handle passed to every component callback.
-pub struct Ctx<'a> {
-    core: &'a mut EngineCore,
+/// The context handle passed to every component callback, parameterized
+/// by the engine's message type `M`.
+pub struct Ctx<'a, M> {
+    core: &'a mut EngineCore<M>,
     me: ComponentId,
 }
 
-impl Ctx<'_> {
+impl<M> Ctx<'_, M> {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.core.now
@@ -267,38 +280,41 @@ impl Ctx<'_> {
     }
 
     /// Send `msg` to `dst` over the simulated network (subject to latency,
-    /// loss and partitions). The current span context (the incoming one,
-    /// or the innermost span opened via [`Ctx::span_open`]) rides along,
-    /// so causal chains survive uninstrumented hops.
-    pub fn send(&mut self, dst: ComponentId, msg: AnyMsg) {
+    /// loss and partitions). Anything convertible into the engine's
+    /// message type is accepted, so call sites pass concrete wire structs
+    /// and the `From` impls on the message enum do the wrapping. The
+    /// current span context (the incoming one, or the innermost span
+    /// opened via [`Ctx::span_open`]) rides along, so causal chains
+    /// survive uninstrumented hops.
+    pub fn send(&mut self, dst: ComponentId, msg: impl Into<M>) {
         let span = self.core.ctx_span;
-        self.send_with(dst, SimSpan::ZERO, msg, span);
+        self.send_with(dst, SimSpan::ZERO, msg.into(), span);
     }
 
     /// Send after an additional local processing delay (still subject to
     /// network latency on top).
-    pub fn send_after(&mut self, delay: SimSpan, dst: ComponentId, msg: AnyMsg) {
+    pub fn send_after(&mut self, delay: SimSpan, dst: ComponentId, msg: impl Into<M>) {
         let span = self.core.ctx_span;
-        self.send_with(dst, delay, msg, span);
+        self.send_with(dst, delay, msg.into(), span);
     }
 
     /// Send `msg` carrying an explicit span context instead of the
     /// ambient one — for operations whose span outlives a single handler
     /// (a GM retrying a placement it recorded earlier, say).
-    pub fn send_in(&mut self, span: SpanId, dst: ComponentId, msg: AnyMsg) {
-        self.send_with(dst, SimSpan::ZERO, msg, Some(span));
+    pub fn send_in(&mut self, span: SpanId, dst: ComponentId, msg: impl Into<M>) {
+        self.send_with(dst, SimSpan::ZERO, msg.into(), Some(span));
     }
 
-    fn send_with(&mut self, dst: ComponentId, delay: SimSpan, msg: AnyMsg, span: Option<SpanId>) {
+    fn send_with(&mut self, dst: ComponentId, delay: SimSpan, msg: M, span: Option<SpanId>) {
         self.core.metrics.incr("net.sent");
         let me = self.me;
         self.core.send_via_network(me, dst, delay, msg, span);
     }
 
     /// Multicast to every current member of `group` except the sender.
-    /// `make` is invoked once per receiver because payloads are type-erased
-    /// and not necessarily `Clone`.
-    pub fn multicast<F: Fn() -> AnyMsg>(&mut self, group: GroupId, make: F) {
+    /// `make` is invoked once per receiver, so payloads need not be
+    /// `Clone`.
+    pub fn multicast<T: Into<M>, F: Fn() -> T>(&mut self, group: GroupId, make: F) {
         let members = self.core.network.group_members(group).to_vec();
         for dst in members {
             if dst != self.me {
@@ -474,8 +490,13 @@ impl SimBuilder {
         self
     }
 
-    /// Finish building.
-    pub fn build(self) -> Engine {
+    /// Finish building. The component type is chosen by the caller
+    /// (usually via a type annotation on the binding):
+    ///
+    /// ```ignore
+    /// let mut sim: Engine<SnoozeNode> = SimBuilder::new(7).build();
+    /// ```
+    pub fn build<C: Component>(self) -> Engine<C> {
         let rng = SimRng::new(self.seed);
         Engine {
             core: EngineCore {
@@ -505,25 +526,28 @@ impl SimBuilder {
     }
 }
 
-/// The simulation engine: owns all components, the event queue, the
-/// network, metrics and trace.
-pub struct Engine {
-    core: EngineCore,
-    components: Vec<Option<Box<dyn Component>>>,
+/// The simulation engine: owns all components (of one type `C`, usually
+/// a dispatch enum built with [`node_enum!`](crate::node_enum)), the
+/// event queue, the network, metrics and trace.
+pub struct Engine<C: Component> {
+    core: EngineCore<C::Msg>,
+    components: Vec<Option<C>>,
     started: bool,
     max_events: u64,
 }
 
-impl Engine {
+impl<C: Component> Engine<C> {
     /// Register a component; its `on_start` runs at time zero when the
     /// simulation starts (or immediately-ish if already running).
+    /// Anything convertible into the engine's component type is accepted,
+    /// so node-enum wrapping happens here rather than at every call site.
     pub fn add_component(
         &mut self,
         name: impl Into<String>,
-        component: impl Component,
+        component: impl Into<C>,
     ) -> ComponentId {
         let id = ComponentId(self.components.len());
-        self.components.push(Some(Box::new(component)));
+        self.components.push(Some(component.into()));
         self.core.alive.push(true);
         self.core.incarnation.push(0);
         self.core.names.push(name.into());
@@ -543,13 +567,13 @@ impl Engine {
 
     /// Inject a message from outside the simulation, delivered to `dst` at
     /// absolute time `at` (no network latency is applied).
-    pub fn post(&mut self, at: SimTime, dst: ComponentId, msg: AnyMsg) {
+    pub fn post(&mut self, at: SimTime, dst: ComponentId, msg: impl Into<C::Msg>) {
         self.core.schedule(
             at,
             EventKind::Deliver {
                 src: ComponentId::EXTERNAL,
                 dst,
-                msg,
+                msg: msg.into(),
                 span: None,
             },
         );
@@ -609,6 +633,12 @@ impl Engine {
         &mut self.core.metrics
     }
 
+    /// Messages that arrived for a crashed or never-registered component
+    /// and were dropped — the sum of every `dead_letters{reason}` count.
+    pub fn dead_letters(&self) -> u64 {
+        self.core.metrics.counter_total("dead_letters")
+    }
+
     /// The bounded event trace.
     pub fn trace(&self) -> &Trace {
         &self.core.trace
@@ -630,19 +660,17 @@ impl Engine {
         &mut self.core.network
     }
 
-    /// Borrow a registered component for inspection. Panics if the id is
-    /// unknown. Returns `None` only while that component is being invoked
-    /// (impossible from outside the run loop).
-    pub fn component(&self, id: ComponentId) -> &dyn Component {
-        self.components[id.0]
-            .as_deref()
-            .expect("component checked out")
+    /// Borrow a registered component for inspection, or `None` for an
+    /// unknown id. (Node-enum engines usually chain this with the enum's
+    /// generated `as_*` accessor.)
+    pub fn get(&self, id: ComponentId) -> Option<&C> {
+        self.components.get(id.0).and_then(Option::as_ref)
     }
 
-    /// Downcast a registered component to a concrete type for inspection.
-    pub fn component_as<T: Component>(&self, id: ComponentId) -> Option<&T> {
-        let c: &dyn Component = self.component(id);
-        (c as &dyn Any).downcast_ref::<T>()
+    /// Borrow a registered component for inspection. Panics if the id is
+    /// unknown.
+    pub fn component(&self, id: ComponentId) -> &C {
+        self.get(id).expect("unknown component id")
     }
 
     /// Execute a single event. Returns `false` when the queue is empty or
@@ -694,7 +722,18 @@ impl Engine {
                     self.core.ctx_span = span;
                     self.with_component(dst, |comp, ctx| comp.on_message(ctx, src, msg));
                 } else {
+                    // Dead letter: delivered to a crashed component, or to
+                    // an id nothing was ever registered under. Counted per
+                    // reason so silent drops show up in run outcomes.
                     self.core.metrics.incr("net.to_dead");
+                    let reason = if dst.0 < self.components.len() {
+                        "crashed"
+                    } else {
+                        "unknown_dst"
+                    };
+                    self.core
+                        .metrics
+                        .incr_with("dead_letters", &label("reason", reason));
                 }
             }
             EventKind::Timer {
@@ -720,7 +759,7 @@ impl Engine {
                     self.core.incarnation[id.0] += 1;
                     self.core.metrics.incr("failure.crashes");
                     let now = self.core.now;
-                    if let Some(comp) = self.components[id.0].as_deref_mut() {
+                    if let Some(comp) = self.components[id.0].as_mut() {
                         comp.on_crash(now);
                     }
                     let name = self.core.names[id.0].clone();
@@ -746,7 +785,7 @@ impl Engine {
         true
     }
 
-    fn with_component<F: FnOnce(&mut dyn Component, &mut Ctx)>(&mut self, id: ComponentId, f: F) {
+    fn with_component<F: FnOnce(&mut C, &mut Ctx<'_, C::Msg>)>(&mut self, id: ComponentId, f: F) {
         self.started = true;
         let mut comp = match self.components.get_mut(id.0).and_then(Option::take) {
             Some(c) => c,
@@ -757,7 +796,7 @@ impl Engine {
                 core: &mut self.core,
                 me: id,
             };
-            f(comp.as_mut(), &mut ctx);
+            f(&mut comp, &mut ctx);
         }
         // Context hygiene: ambient span context never leaks across events.
         self.core.ctx_span = None;
@@ -795,9 +834,136 @@ impl Engine {
     }
 }
 
+/// Generate a dispatch enum over several [`Component`] types sharing one
+/// message type — the glue that lets a heterogeneous system (managers,
+/// controllers, clients, …) live in one typed [`Engine`].
+///
+/// For each `Variant(Inner) as accessor` entry the macro emits:
+/// * the enum variant wrapping `Inner`,
+/// * `From<Inner>` (so [`Engine::add_component`] takes the bare inner
+///   type),
+/// * an `fn accessor(&self) -> Option<&Inner>` borrow for inspection,
+/// * and a [`Component`] impl that delegates every callback to the
+///   active variant.
+///
+/// ```
+/// use snooze_simcore::prelude::*;
+///
+/// enum Msg { Ping }
+///
+/// struct Ping;
+/// impl Component for Ping {
+///     type Msg = Msg;
+///     fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ComponentId, _: Msg) {}
+/// }
+///
+/// node_enum! {
+///     /// All node kinds of this little system.
+///     enum Node: Msg {
+///         Ping(Ping) as as_ping,
+///     }
+/// }
+///
+/// let mut sim: Engine<Node> = SimBuilder::new(1).build();
+/// let id = sim.add_component("ping", Ping);
+/// sim.run();
+/// assert!(sim.component(id).as_ping().is_some());
+/// ```
+#[macro_export]
+macro_rules! node_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident : $msg:ty {
+            $( $variant:ident($inner:ty) as $as_fn:ident ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis enum $name {
+            $(
+                #[doc = concat!("A [`", stringify!($inner), "`] node.")]
+                $variant($inner),
+            )+
+        }
+
+        $(
+            impl ::core::convert::From<$inner> for $name {
+                fn from(inner: $inner) -> Self {
+                    $name::$variant(inner)
+                }
+            }
+        )+
+
+        impl $name {
+            $(
+                #[doc = concat!(
+                    "Borrow the inner [`", stringify!($inner),
+                    "`] if this node is that kind."
+                )]
+                #[allow(unreachable_patterns, dead_code)]
+                $vis fn $as_fn(&self) -> ::core::option::Option<&$inner> {
+                    match self {
+                        $name::$variant(inner) => ::core::option::Option::Some(inner),
+                        _ => ::core::option::Option::None,
+                    }
+                }
+            )+
+        }
+
+        impl $crate::engine::Component for $name {
+            type Msg = $msg;
+
+            fn on_start(&mut self, ctx: &mut $crate::engine::Ctx<'_, $msg>) {
+                match self {
+                    $( $name::$variant(inner) =>
+                        $crate::engine::Component::on_start(inner, ctx), )+
+                }
+            }
+
+            fn on_message(
+                &mut self,
+                ctx: &mut $crate::engine::Ctx<'_, $msg>,
+                src: $crate::engine::ComponentId,
+                msg: $msg,
+            ) {
+                match self {
+                    $( $name::$variant(inner) =>
+                        $crate::engine::Component::on_message(inner, ctx, src, msg), )+
+                }
+            }
+
+            fn on_timer(&mut self, ctx: &mut $crate::engine::Ctx<'_, $msg>, tag: u64) {
+                match self {
+                    $( $name::$variant(inner) =>
+                        $crate::engine::Component::on_timer(inner, ctx, tag), )+
+                }
+            }
+
+            fn on_crash(&mut self, now: $crate::time::SimTime) {
+                match self {
+                    $( $name::$variant(inner) =>
+                        $crate::engine::Component::on_crash(inner, now), )+
+                }
+            }
+
+            fn on_restart(&mut self, ctx: &mut $crate::engine::Ctx<'_, $msg>) {
+                match self {
+                    $( $name::$variant(inner) =>
+                        $crate::engine::Component::on_restart(inner, ctx), )+
+                }
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The closed message set of the unit-test system.
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping,
+    }
 
     /// Echoes every message back to its sender `bounces` times.
     struct Echo {
@@ -806,11 +972,12 @@ mod tests {
     }
 
     impl Component for Echo {
-        fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+        type Msg = TestMsg;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, src: ComponentId, _msg: TestMsg) {
             self.seen += 1;
             if self.bounces > 0 && src != ComponentId::EXTERNAL {
                 self.bounces -= 1;
-                ctx.send(src, Box::new(()));
+                ctx.send(src, TestMsg::Ping);
             }
         }
     }
@@ -820,17 +987,204 @@ mod tests {
     }
 
     impl Component for Kickoff {
-        fn on_start(&mut self, ctx: &mut Ctx) {
-            ctx.send(self.peer, Box::new(()));
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.send(self.peer, TestMsg::Ping);
         }
-        fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
-            ctx.send(src, Box::new(()));
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, src: ComponentId, _msg: TestMsg) {
+            ctx.send(src, TestMsg::Ping);
         }
+    }
+
+    struct TimerUser {
+        fired: Vec<u64>,
+        cancel_second: bool,
+    }
+
+    impl Component for TimerUser {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.set_timer(SimSpan::from_secs(1), 1);
+            let h = ctx.set_timer(SimSpan::from_secs(2), 2);
+            ctx.set_timer(SimSpan::from_secs(3), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(h);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TestMsg>, tag: u64) {
+            self.fired.push(tag);
+        }
+    }
+
+    struct RestartProbe {
+        restarts: u32,
+        crashes: u32,
+    }
+
+    impl Component for RestartProbe {
+        type Msg = TestMsg;
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+        fn on_crash(&mut self, _now: SimTime) {
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Ctx<'_, TestMsg>) {
+            self.restarts += 1;
+        }
+    }
+
+    struct Caster {
+        group: GroupId,
+    }
+    impl Component for Caster {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.join_group(self.group);
+            ctx.multicast(self.group, || TestMsg::Ping);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {
+            panic!("sender must not receive its own multicast");
+        }
+    }
+
+    struct Loopy;
+    impl Component for Loopy {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.set_timer(SimSpan::from_micros(1), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _tag: u64) {
+            ctx.set_timer(SimSpan::from_micros(1), 0);
+        }
+    }
+
+    struct SrcProbe {
+        from_external: bool,
+    }
+    impl Component for SrcProbe {
+        type Msg = TestMsg;
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, src: ComponentId, _: TestMsg) {
+            self.from_external = src == ComponentId::EXTERNAL;
+        }
+    }
+
+    /// Opens a root span, relays through a middle hop that doesn't
+    /// instrument anything, ends at a sink that opens a child — the
+    /// context must survive the uninstrumented hop.
+    struct SpanSource {
+        next: ComponentId,
+    }
+    impl Component for SpanSource {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let root = ctx.span_open("op.root");
+            ctx.span_label(root, "kind", "test");
+            ctx.send(self.next, TestMsg::Ping);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+    }
+    struct SpanRelay {
+        next: ComponentId,
+    }
+    impl Component for SpanRelay {
+        type Msg = TestMsg;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _: ComponentId, msg: TestMsg) {
+            ctx.send(self.next, msg); // no instrumentation here
+        }
+    }
+    struct SpanSink;
+    impl Component for SpanSink {
+        type Msg = TestMsg;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {
+            let leaf = ctx.span_open("op.leaf");
+            ctx.span_close(leaf);
+        }
+    }
+
+    struct TimerSpans {
+        carried: Option<Option<SpanId>>,
+        plain: Option<Option<SpanId>>,
+    }
+    impl Component for TimerSpans {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let op = ctx.span_open("op");
+            ctx.set_timer_in(op, SimSpan::from_secs(1), 1);
+            ctx.set_timer(SimSpan::from_secs(2), 2);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, tag: u64) {
+            if tag == 1 {
+                self.carried = Some(ctx.current_span());
+            } else {
+                self.plain = Some(ctx.current_span());
+            }
+        }
+    }
+
+    struct Nester;
+    impl Component for Nester {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let outer = ctx.span_open("outer");
+            let inner = ctx.span_open("inner");
+            assert_eq!(ctx.current_span(), Some(inner));
+            ctx.span_close(inner);
+            assert_eq!(ctx.current_span(), Some(outer));
+            let marker = ctx.span_instant("marker");
+            assert_eq!(ctx.current_span(), Some(outer));
+            ctx.span_close(outer);
+            assert_eq!(ctx.current_span(), None);
+            let _ = marker;
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+    }
+
+    struct Halter;
+    impl Component for Halter {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.set_timer(SimSpan::from_secs(1), 0);
+            ctx.set_timer(SimSpan::from_secs(100), 1);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: ComponentId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, tag: u64) {
+            if tag == 0 {
+                ctx.halt();
+            } else {
+                panic!("should have halted");
+            }
+        }
+    }
+
+    node_enum! {
+        /// Every component kind the engine unit tests register,
+        /// exercising the macro-generated dispatcher along the way.
+        enum TestNode: TestMsg {
+            Echo(Echo) as as_echo,
+            Kickoff(Kickoff) as as_kickoff,
+            TimerUser(TimerUser) as as_timer_user,
+            RestartProbe(RestartProbe) as as_restart_probe,
+            Caster(Caster) as as_caster,
+            Loopy(Loopy) as as_loopy,
+            SrcProbe(SrcProbe) as as_src_probe,
+            SpanSource(SpanSource) as as_span_source,
+            SpanRelay(SpanRelay) as as_span_relay,
+            SpanSink(SpanSink) as as_span_sink,
+            TimerSpans(TimerSpans) as as_timer_spans,
+            Nester(Nester) as as_nester,
+            Halter(Halter) as as_halter,
+        }
+    }
+
+    fn sim(seed: u64) -> Engine<TestNode> {
+        SimBuilder::new(seed).build()
     }
 
     #[test]
     fn ping_pong_terminates() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let echo = sim.add_component(
             "echo",
             Echo {
@@ -840,14 +1194,14 @@ mod tests {
         );
         let _kick = sim.add_component("kick", Kickoff { peer: echo });
         sim.run();
-        let echo_ref = sim.component_as::<Echo>(echo).unwrap();
+        let echo_ref = sim.component(echo).as_echo().unwrap();
         assert_eq!(echo_ref.seen, 6); // initial + 5 replies to its bounces
         assert_eq!(echo_ref.bounces, 0);
     }
 
     #[test]
     fn time_advances_with_network_latency() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let echo = sim.add_component(
             "echo",
             Echo {
@@ -855,34 +1209,14 @@ mod tests {
                 seen: 0,
             },
         );
-        sim.post(SimTime::from_secs(3), echo, Box::new(()));
+        sim.post(SimTime::from_secs(3), echo, TestMsg::Ping);
         sim.run();
         assert_eq!(sim.now(), SimTime::from_secs(3));
     }
 
-    struct TimerUser {
-        fired: Vec<u64>,
-        cancel_second: bool,
-    }
-
-    impl Component for TimerUser {
-        fn on_start(&mut self, ctx: &mut Ctx) {
-            ctx.set_timer(SimSpan::from_secs(1), 1);
-            let h = ctx.set_timer(SimSpan::from_secs(2), 2);
-            ctx.set_timer(SimSpan::from_secs(3), 3);
-            if self.cancel_second {
-                ctx.cancel_timer(h);
-            }
-        }
-        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-        fn on_timer(&mut self, _ctx: &mut Ctx, tag: u64) {
-            self.fired.push(tag);
-        }
-    }
-
     #[test]
     fn timers_fire_in_order() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "t",
             TimerUser {
@@ -892,14 +1226,14 @@ mod tests {
         );
         sim.run();
         assert_eq!(
-            sim.component_as::<TimerUser>(id).unwrap().fired,
+            sim.component(id).as_timer_user().unwrap().fired,
             vec![1, 2, 3]
         );
     }
 
     #[test]
     fn cancelled_timer_does_not_fire() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "t",
             TimerUser {
@@ -908,12 +1242,12 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1, 3]);
+        assert_eq!(sim.component(id).as_timer_user().unwrap().fired, vec![1, 3]);
     }
 
     #[test]
     fn crash_suppresses_delivery_and_timers() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "t",
             TimerUser {
@@ -922,31 +1256,45 @@ mod tests {
             },
         );
         sim.schedule_crash(SimTime::from_secs(1) + SimSpan::from_micros(1), id);
-        sim.post(SimTime::from_secs(2), id, Box::new(()));
+        sim.post(SimTime::from_secs(2), id, TestMsg::Ping);
         sim.run();
         // Only the first timer fired before the crash.
-        assert_eq!(sim.component_as::<TimerUser>(id).unwrap().fired, vec![1]);
+        assert_eq!(sim.component(id).as_timer_user().unwrap().fired, vec![1]);
         assert_eq!(sim.metrics().counter("net.to_dead"), 1);
     }
 
-    struct RestartProbe {
-        restarts: u32,
-        crashes: u32,
-    }
-
-    impl Component for RestartProbe {
-        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-        fn on_crash(&mut self, _now: SimTime) {
-            self.crashes += 1;
-        }
-        fn on_restart(&mut self, _ctx: &mut Ctx) {
-            self.restarts += 1;
-        }
+    #[test]
+    fn dead_letters_are_counted_by_reason() {
+        let mut sim = sim(1);
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        sim.schedule_crash(SimTime::from_secs(1), id);
+        // To a crashed component and to an id nothing is registered under.
+        sim.post(SimTime::from_secs(2), id, TestMsg::Ping);
+        sim.post(SimTime::from_secs(2), ComponentId(99), TestMsg::Ping);
+        sim.run();
+        assert_eq!(
+            sim.metrics()
+                .counter_with("dead_letters", &label("reason", "crashed")),
+            1
+        );
+        assert_eq!(
+            sim.metrics()
+                .counter_with("dead_letters", &label("reason", "unknown_dst")),
+            1
+        );
+        assert_eq!(sim.dead_letters(), 2);
+        assert_eq!(sim.metrics().counter("net.to_dead"), 2);
     }
 
     #[test]
     fn crash_restart_lifecycle() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "p",
             RestartProbe {
@@ -960,7 +1308,7 @@ mod tests {
         sim.schedule_crash(SimTime::from_secs(1) + SimSpan::from_millis(1), id);
         sim.schedule_restart(SimTime::from_secs(3), id);
         sim.run();
-        let p = sim.component_as::<RestartProbe>(id).unwrap();
+        let p = sim.component(id).as_restart_probe().unwrap();
         assert_eq!(p.crashes, 1);
         assert_eq!(p.restarts, 1);
         assert!(sim.is_alive(id));
@@ -968,7 +1316,7 @@ mod tests {
 
     #[test]
     fn run_until_advances_clock_past_empty_queue() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         sim.run_until(SimTime::from_secs(10));
         assert_eq!(sim.now(), SimTime::from_secs(10));
     }
@@ -976,7 +1324,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_history() {
         fn history(seed: u64) -> (u64, SimTime) {
-            let mut sim = SimBuilder::new(seed).build();
+            let mut sim = sim(seed);
             let echo = sim.add_component(
                 "echo",
                 Echo {
@@ -993,19 +1341,7 @@ mod tests {
 
     #[test]
     fn multicast_reaches_all_members_except_sender() {
-        struct Caster {
-            group: GroupId,
-        }
-        impl Component for Caster {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.join_group(self.group);
-                ctx.multicast(self.group, || Box::new(()));
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {
-                panic!("sender must not receive its own multicast");
-            }
-        }
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let group = sim.create_group();
         let a = sim.add_component(
             "a",
@@ -1025,23 +1361,13 @@ mod tests {
         sim.join_group(group, b);
         let _c = sim.add_component("caster", Caster { group });
         sim.run();
-        assert_eq!(sim.component_as::<Echo>(a).unwrap().seen, 1);
-        assert_eq!(sim.component_as::<Echo>(b).unwrap().seen, 1);
+        assert_eq!(sim.component(a).as_echo().unwrap().seen, 1);
+        assert_eq!(sim.component(b).as_echo().unwrap().seen, 1);
     }
 
     #[test]
     fn max_events_guard_stops_runaway() {
-        struct Loopy;
-        impl Component for Loopy {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.set_timer(SimSpan::from_micros(1), 0);
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-            fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
-                ctx.set_timer(SimSpan::from_micros(1), 0);
-            }
-        }
-        let mut sim = SimBuilder::new(1).max_events(100).build();
+        let mut sim: Engine<TestNode> = SimBuilder::new(1).max_events(100).build();
         sim.add_component("loopy", Loopy);
         sim.run();
         assert_eq!(sim.events_executed(), 100);
@@ -1049,7 +1375,7 @@ mod tests {
 
     #[test]
     fn run_for_advances_relative_spans() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         sim.run_for(SimSpan::from_secs(5));
         assert_eq!(sim.now(), SimTime::from_secs(5));
         sim.run_for(SimSpan::from_secs(3));
@@ -1057,8 +1383,8 @@ mod tests {
     }
 
     #[test]
-    fn component_as_wrong_type_returns_none() {
-        let mut sim = SimBuilder::new(1).build();
+    fn node_enum_accessor_is_variant_checked() {
+        let mut sim = sim(1);
         let id = sim.add_component(
             "echo",
             Echo {
@@ -1066,72 +1392,35 @@ mod tests {
                 seen: 0,
             },
         );
-        assert!(sim.component_as::<Echo>(id).is_some());
-        assert!(sim.component_as::<Kickoff>(id).is_none());
+        assert!(sim.component(id).as_echo().is_some());
+        assert!(sim.component(id).as_kickoff().is_none());
+        assert!(sim.get(ComponentId(99)).is_none());
     }
 
     #[test]
     fn external_posts_report_external_sender() {
-        struct SrcProbe {
-            from_external: bool,
-        }
-        impl Component for SrcProbe {
-            fn on_message(&mut self, _: &mut Ctx, src: ComponentId, _: AnyMsg) {
-                self.from_external = src == ComponentId::EXTERNAL;
-            }
-        }
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "p",
             SrcProbe {
                 from_external: false,
             },
         );
-        sim.post(SimTime::from_secs(1), id, Box::new(()));
+        sim.post(SimTime::from_secs(1), id, TestMsg::Ping);
         sim.run();
-        assert!(sim.component_as::<SrcProbe>(id).unwrap().from_external);
+        assert!(sim.component(id).as_src_probe().unwrap().from_external);
     }
 
     #[test]
     fn name_of_unknown_component_is_safe() {
-        let sim = SimBuilder::new(1).build();
+        let sim = sim(1);
         assert_eq!(sim.name_of(ComponentId(99)), "?");
         assert!(!sim.is_alive(ComponentId(99)));
     }
 
-    /// Opens a root span, relays through a middle hop that doesn't
-    /// instrument anything, ends at a sink that opens a child — the
-    /// context must survive the uninstrumented hop.
-    struct SpanSource {
-        next: ComponentId,
-    }
-    impl Component for SpanSource {
-        fn on_start(&mut self, ctx: &mut Ctx) {
-            let root = ctx.span_open("op.root");
-            ctx.span_label(root, "kind", "test");
-            ctx.send(self.next, Box::new(()));
-        }
-        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-    }
-    struct SpanRelay {
-        next: ComponentId,
-    }
-    impl Component for SpanRelay {
-        fn on_message(&mut self, ctx: &mut Ctx, _: ComponentId, msg: AnyMsg) {
-            ctx.send(self.next, msg); // no instrumentation here
-        }
-    }
-    struct SpanSink;
-    impl Component for SpanSink {
-        fn on_message(&mut self, ctx: &mut Ctx, _: ComponentId, _: AnyMsg) {
-            let leaf = ctx.span_open("op.leaf");
-            ctx.span_close(leaf);
-        }
-    }
-
     #[test]
     fn span_context_survives_uninstrumented_hops() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let sink = sim.add_component("sink", SpanSink);
         let relay = sim.add_component("relay", SpanRelay { next: sink });
         let _src = sim.add_component("src", SpanSource { next: relay });
@@ -1148,26 +1437,7 @@ mod tests {
 
     #[test]
     fn plain_timers_do_not_inherit_context_but_spanned_ones_carry_it() {
-        struct TimerSpans {
-            carried: Option<Option<SpanId>>,
-            plain: Option<Option<SpanId>>,
-        }
-        impl Component for TimerSpans {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                let op = ctx.span_open("op");
-                ctx.set_timer_in(op, SimSpan::from_secs(1), 1);
-                ctx.set_timer(SimSpan::from_secs(2), 2);
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
-                if tag == 1 {
-                    self.carried = Some(ctx.current_span());
-                } else {
-                    self.plain = Some(ctx.current_span());
-                }
-            }
-        }
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         let id = sim.add_component(
             "t",
             TimerSpans {
@@ -1176,30 +1446,14 @@ mod tests {
             },
         );
         sim.run();
-        let t = sim.component_as::<TimerSpans>(id).unwrap();
+        let t = sim.component(id).as_timer_spans().unwrap();
         assert_eq!(t.carried, Some(Some(SpanId(1))));
         assert_eq!(t.plain, Some(None));
     }
 
     #[test]
     fn span_open_close_behaves_as_stack() {
-        struct Nester;
-        impl Component for Nester {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                let outer = ctx.span_open("outer");
-                let inner = ctx.span_open("inner");
-                assert_eq!(ctx.current_span(), Some(inner));
-                ctx.span_close(inner);
-                assert_eq!(ctx.current_span(), Some(outer));
-                let marker = ctx.span_instant("marker");
-                assert_eq!(ctx.current_span(), Some(outer));
-                ctx.span_close(outer);
-                assert_eq!(ctx.current_span(), None);
-                let _ = marker;
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-        }
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         sim.add_component("n", Nester);
         sim.run();
         assert_eq!(sim.spans().len(), 3);
@@ -1213,7 +1467,7 @@ mod tests {
     #[test]
     fn span_digest_is_deterministic_across_runs() {
         fn run() -> u64 {
-            let mut sim = SimBuilder::new(7).build();
+            let mut sim = sim(7);
             let sink = sim.add_component("sink", SpanSink);
             let relay = sim.add_component("relay", SpanRelay { next: sink });
             let _src = sim.add_component("src", SpanSource { next: relay });
@@ -1225,22 +1479,7 @@ mod tests {
 
     #[test]
     fn halt_stops_run() {
-        struct Halter;
-        impl Component for Halter {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.set_timer(SimSpan::from_secs(1), 0);
-                ctx.set_timer(SimSpan::from_secs(100), 1);
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
-                if tag == 0 {
-                    ctx.halt();
-                } else {
-                    panic!("should have halted");
-                }
-            }
-        }
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim = sim(1);
         sim.add_component("h", Halter);
         sim.run();
         assert_eq!(sim.now(), SimTime::from_secs(1));

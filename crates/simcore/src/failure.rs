@@ -7,7 +7,7 @@
 //! a list of crash/restart actions applied to an [`Engine`] before the run,
 //! plus generators for random failure schedules.
 
-use crate::engine::{ComponentId, Engine, NetFault};
+use crate::engine::{Component, ComponentId, Engine, NetFault};
 use crate::rng::SimRng;
 use crate::time::{SimSpan, SimTime};
 
@@ -158,7 +158,7 @@ impl FailurePlan {
     }
 
     /// Install every action into the engine's event queue.
-    pub fn apply(&self, engine: &mut Engine) {
+    pub fn apply<C: Component>(&self, engine: &mut Engine<C>) {
         for action in &self.actions {
             match *action {
                 FailureAction::Crash(at, id) => engine.schedule_crash(at, id),
@@ -180,11 +180,46 @@ impl FailurePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{AnyMsg, Component, Ctx, SimBuilder};
+    use crate::engine::{Component, Ctx, SimBuilder};
+    use crate::node_enum;
 
     struct Dummy;
     impl Component for Dummy {
-        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: ComponentId, _: ()) {}
+    }
+
+    struct Beacon {
+        peer: ComponentId,
+    }
+    impl Component for Beacon {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(SimSpan::from_secs(1), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: ComponentId, _: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _tag: u64) {
+            ctx.send(self.peer, ());
+            ctx.set_timer(SimSpan::from_secs(1), 0);
+        }
+    }
+
+    struct Sink {
+        seen: u32,
+    }
+    impl Component for Sink {
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: ComponentId, _: ()) {
+            self.seen += 1;
+        }
+    }
+
+    node_enum! {
+        enum FaultNode: () {
+            Dummy(Dummy) as as_dummy,
+            Beacon(Beacon) as as_beacon,
+            Sink(Sink) as as_sink,
+        }
     }
 
     #[test]
@@ -202,7 +237,7 @@ mod tests {
 
     #[test]
     fn apply_drives_engine_lifecycle() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim: Engine<FaultNode> = SimBuilder::new(1).build();
         let id = sim.add_component("d", Dummy);
         FailurePlan::new()
             .crash_for(SimTime::from_secs(1), SimSpan::from_secs(1), id)
@@ -253,28 +288,7 @@ mod tests {
 
     #[test]
     fn net_faults_fire_as_events() {
-        struct Beacon {
-            peer: ComponentId,
-        }
-        impl Component for Beacon {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                ctx.set_timer(SimSpan::from_secs(1), 0);
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-            fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
-                ctx.send(self.peer, Box::new(()));
-                ctx.set_timer(SimSpan::from_secs(1), 0);
-            }
-        }
-        struct Sink {
-            seen: u32,
-        }
-        impl Component for Sink {
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {
-                self.seen += 1;
-            }
-        }
-        let mut sim = SimBuilder::new(3).build();
+        let mut sim: Engine<FaultNode> = SimBuilder::new(3).build();
         let sink = sim.add_component("sink", Sink { seen: 0 });
         let beacon = sim.add_component("beacon", Beacon { peer: sink });
         // Isolate the beacon for seconds (4, 8]: its 1 Hz pings during
@@ -287,14 +301,14 @@ mod tests {
             )
             .apply(&mut sim);
         sim.run_until(SimTime::from_secs(10) + SimSpan::from_millis(1));
-        let seen = sim.component_as::<Sink>(sink).unwrap().seen;
+        let seen = sim.component(sink).as_sink().unwrap().seen;
         assert_eq!(seen, 6, "pings at 1-4 and 9-10 arrive, 5-8 are lost");
         assert_eq!(sim.metrics().counter("failure.net"), 2);
     }
 
     #[test]
     fn degrade_links_changes_loss_rate_at_the_scheduled_time() {
-        let mut sim = SimBuilder::new(1).build();
+        let mut sim: Engine<FaultNode> = SimBuilder::new(1).build();
         let plan = FailurePlan::new().degrade_links(SimTime::from_secs(1), 1_000_000);
         assert_eq!(plan.actions()[0].target(), None);
         plan.apply(&mut sim);

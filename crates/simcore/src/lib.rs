@@ -44,24 +44,36 @@
 //!
 //! ## Example
 //!
+//! The engine is generic over its message type: a [`Component`] declares
+//! the closed message set it speaks as an associated type, and handlers
+//! receive messages by value — no boxing, no runtime casts. Systems mixing
+//! several component kinds wrap them in a dispatch enum via
+//! [`node_enum!`].
+//!
 //! ```
 //! use snooze_simcore::prelude::*;
+//!
+//! enum Msg { Ping, Pong }
 //!
 //! struct Ping { peer: ComponentId, left: u32 }
 //!
 //! impl Component for Ping {
-//!     fn on_start(&mut self, ctx: &mut Ctx) {
-//!         ctx.send(self.peer, Box::new("ping"));
+//!     type Msg = Msg;
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+//!         ctx.send(self.peer, Msg::Ping);
 //!     }
-//!     fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, _msg: AnyMsg) {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: ComponentId, msg: Msg) {
 //!         if self.left > 0 {
 //!             self.left -= 1;
-//!             ctx.send(src, Box::new("pong"));
+//!             match msg {
+//!                 Msg::Ping => ctx.send(src, Msg::Pong),
+//!                 Msg::Pong => ctx.send(src, Msg::Ping),
+//!             }
 //!         }
 //!     }
 //! }
 //!
-//! let mut sim = SimBuilder::new(42).build();
+//! let mut sim: Engine<Ping> = SimBuilder::new(42).build();
 //! let a = sim.add_component("a", Ping { peer: ComponentId(1), left: 3 });
 //! let b = sim.add_component("b", Ping { peer: ComponentId(0), left: 3 });
 //! assert_eq!(a, ComponentId(0));
@@ -85,16 +97,19 @@ pub mod wallclock;
 /// dependency edge.
 pub use snooze_telemetry as telemetry;
 
-pub use engine::{AnyMsg, Component, ComponentId, Ctx, Engine, NetFault, SimBuilder};
+pub use engine::{Component, ComponentId, Ctx, Engine, GroupId, NetFault, SimBuilder};
 pub use telemetry::{LabelSet, SpanId};
 pub use time::{SimSpan, SimTime};
 pub use wallclock::WallClock;
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {
-    pub use crate::engine::{AnyMsg, Component, ComponentId, Ctx, Engine, NetFault, SimBuilder};
+    pub use crate::engine::{
+        Component, ComponentId, Ctx, Engine, GroupId, NetFault, SimBuilder, TimerHandle,
+    };
     pub use crate::metrics::MetricsRegistry;
     pub use crate::network::{LatencyModel, NetworkConfig};
+    pub use crate::node_enum;
     pub use crate::rng::SimRng;
     pub use crate::telemetry::label::label;
     pub use crate::telemetry::{LabelSet, SpanId};

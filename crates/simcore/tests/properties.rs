@@ -24,15 +24,14 @@ impl Recorder {
 }
 
 impl Component for Recorder {
-    fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+    type Msg = u64;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _src: ComponentId, seq: u64) {
         let now = ctx.now();
         if now < self.last_seen_now {
             self.time_went_backwards = true;
         }
         self.last_seen_now = now;
-        if let Ok(seq) = msg.downcast::<u64>() {
-            self.received.push((now, *seq));
-        }
+        self.received.push((now, seq));
     }
 }
 
@@ -45,18 +44,62 @@ struct Sender {
 }
 
 impl Component for Sender {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
         ctx.set_timer(SimSpan::from_micros(1), 0);
     }
-    fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+    fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: ComponentId, _: u64) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: u64) {
         if self.sent < self.count {
             let target = self.target;
             let seq = self.sent;
-            ctx.send(target, Box::new(seq));
+            ctx.send(target, seq);
             self.sent += 1;
             ctx.set_timer(SimSpan::from_micros(self.gap_us.max(1)), 0);
         }
+    }
+}
+
+/// Sets one timer per configured delay and records the fire times.
+struct TimerBank {
+    delays: Vec<u64>,
+    fired: Vec<(SimTime, u64)>,
+}
+
+impl Component for TimerBank {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for (i, &d) in self.delays.iter().enumerate() {
+            ctx.set_timer(SimSpan::from_micros(d), i as u64);
+        }
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: ComponentId, _: u64) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, tag: u64) {
+        self.fired.push((ctx.now(), tag));
+    }
+}
+
+/// Recorder variant that also emits a trace line per receipt, so the
+/// trace digest witnesses payload content, not just event ordering.
+struct TracingRecorder {
+    received: u64,
+}
+
+impl Component for TracingRecorder {
+    type Msg = u64;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: ComponentId, seq: u64) {
+        self.received += 1;
+        ctx.trace("gossip", format!("from={src:?} seq={seq}"));
+    }
+}
+
+node_enum! {
+    /// The property-test system: numbered-message senders and recorders.
+    enum PropNode: u64 {
+        Recorder(Recorder) as as_recorder,
+        Sender(Sender) as as_sender,
+        TimerBank(TimerBank) as as_timer_bank,
+        TracingRecorder(TracingRecorder) as as_tracing_recorder,
     }
 }
 
@@ -67,11 +110,12 @@ proptest! {
     /// TCP-like FIFO contract — regardless of jittered latencies.
     #[test]
     fn per_pair_delivery_is_fifo(seed in any::<u64>(), count in 1u64..80, gap in 1u64..2000) {
-        let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+        let mut sim: Engine<PropNode> =
+            SimBuilder::new(seed).network(NetworkConfig::lan()).build();
         let rec = sim.add_component("rec", Recorder::new());
         let _snd = sim.add_component("snd", Sender { target: rec, count, gap_us: gap, sent: 0 });
         sim.run();
-        let r = sim.component_as::<Recorder>(rec).unwrap();
+        let r = sim.component(rec).as_recorder().unwrap();
         prop_assert!(!r.time_went_backwards);
         prop_assert_eq!(r.received.len() as u64, count, "lossless network delivers all");
         let seqs: Vec<u64> = r.received.iter().map(|&(_, s)| s).collect();
@@ -87,12 +131,13 @@ proptest! {
     #[test]
     fn lossy_delivery_is_a_deterministic_subsequence(seed in any::<u64>(), loss in 0.0f64..0.9) {
         let run = |seed: u64| -> Vec<u64> {
-            let mut sim = SimBuilder::new(seed).network(NetworkConfig::lossy_lan(loss)).build();
+            let mut sim: Engine<PropNode> =
+                SimBuilder::new(seed).network(NetworkConfig::lossy_lan(loss)).build();
             let rec = sim.add_component("rec", Recorder::new());
             let _snd =
                 sim.add_component("snd", Sender { target: rec, count: 50, gap_us: 100, sent: 0 });
             sim.run();
-            sim.component_as::<Recorder>(rec).unwrap().received.iter().map(|&(_, s)| s).collect()
+            sim.component(rec).as_recorder().unwrap().received.iter().map(|&(_, s)| s).collect()
         };
         let a = run(seed);
         let b = run(seed);
@@ -109,25 +154,10 @@ proptest! {
     /// handles never fire.
     #[test]
     fn timer_semantics(delays in prop::collection::vec(0u64..10_000, 1..20)) {
-        struct T {
-            delays: Vec<u64>,
-            fired: Vec<(SimTime, u64)>,
-        }
-        impl Component for T {
-            fn on_start(&mut self, ctx: &mut Ctx) {
-                for (i, &d) in self.delays.iter().enumerate() {
-                    ctx.set_timer(SimSpan::from_micros(d), i as u64);
-                }
-            }
-            fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-            fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
-                self.fired.push((ctx.now(), tag));
-            }
-        }
-        let mut sim = SimBuilder::new(1).build();
-        let id = sim.add_component("t", T { delays: delays.clone(), fired: vec![] });
+        let mut sim: Engine<PropNode> = SimBuilder::new(1).build();
+        let id = sim.add_component("t", TimerBank { delays: delays.clone(), fired: vec![] });
         sim.run();
-        let t = sim.component_as::<T>(id).unwrap();
+        let t = sim.component(id).as_timer_bank().unwrap();
         prop_assert_eq!(t.fired.len(), delays.len());
         for &(at, tag) in &t.fired {
             prop_assert_eq!(at.as_micros(), delays[tag as usize]);
@@ -139,7 +169,7 @@ proptest! {
 
 #[test]
 fn messages_from_distinct_sources_may_interleave_but_time_is_monotone() {
-    let mut sim = SimBuilder::new(9).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<PropNode> = SimBuilder::new(9).network(NetworkConfig::lan()).build();
     let rec = sim.add_component("rec", Recorder::new());
     for i in 0..5 {
         sim.add_component(
@@ -153,25 +183,10 @@ fn messages_from_distinct_sources_may_interleave_but_time_is_monotone() {
         );
     }
     sim.run();
-    let r = sim.component_as::<Recorder>(rec).unwrap();
+    let r = sim.component(rec).as_recorder().unwrap();
     assert_eq!(r.received.len(), 100);
     assert!(!r.time_went_backwards);
     assert!(r.received.windows(2).all(|w| w[0].0 <= w[1].0));
-}
-
-/// Recorder variant that also emits a trace line per receipt, so the
-/// trace digest witnesses payload content, not just event ordering.
-struct TracingRecorder {
-    received: u64,
-}
-
-impl Component for TracingRecorder {
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
-        if let Ok(seq) = msg.downcast::<u64>() {
-            self.received += 1;
-            ctx.trace("gossip", format!("from={src:?} seq={seq}"));
-        }
-    }
 }
 
 proptest! {
@@ -190,7 +205,7 @@ proptest! {
     ) {
         let run = || {
             let loss = f64::from(loss_bp) / 10_000.0;
-            let mut sim = SimBuilder::new(seed)
+            let mut sim: Engine<PropNode> = SimBuilder::new(seed)
                 .network(NetworkConfig::lossy_lan(loss))
                 .build();
             let recorders: Vec<ComponentId> = (0..n)
@@ -206,7 +221,7 @@ proptest! {
             sim.run();
             let received: u64 = recorders
                 .iter()
-                .map(|&r| sim.component_as::<TracingRecorder>(r).unwrap().received)
+                .map(|&r| sim.component(r).as_tracing_recorder().unwrap().received)
                 .sum();
             (sim.digest(), sim.trace().digest(), sim.events_executed(), received)
         };

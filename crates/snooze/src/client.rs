@@ -9,12 +9,12 @@ use std::collections::{BTreeMap, HashMap};
 
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
-use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx};
+use snooze_simcore::engine::{Component, ComponentId, Ctx};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
 
-use crate::messages::{DestroyVm, SubmitVm, VmPlaced, VmRejected};
+use crate::messages::{DestroyVm, SnoozeMsg, SubmitVm};
 use crate::tags::*;
 
 /// One scheduled submission.
@@ -137,7 +137,7 @@ impl ClientDriver {
         lats[rank.min(lats.len() - 1)]
     }
 
-    fn submit(&mut self, ctx: &mut Ctx, idx: usize) {
+    fn submit(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, idx: usize) {
         let item = &self.schedule[idx];
         let vm = item.spec.id;
         let span = match self.outstanding.get(&vm) {
@@ -168,12 +168,14 @@ impl ClientDriver {
         };
         // First attempt uses the preferred EP; retries rotate.
         let ep = self.eps[(self.ep_cursor + attempts as usize - 1) % self.eps.len()];
-        ctx.send_in(span, ep, Box::new(msg));
+        ctx.send_in(span, ep, msg);
     }
 }
 
 impl Component for ClientDriver {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let now = ctx.now();
         for (idx, item) in self.schedule.iter().enumerate() {
             let delay = item.at.since(now);
@@ -184,40 +186,45 @@ impl Component for ClientDriver {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _src: ComponentId, msg: SnoozeMsg) {
         let now = ctx.now();
-        if let Some(placed) = msg.downcast_ref::<VmPlaced>() {
-            if let Some(out) = self.outstanding.remove(&placed.vm) {
-                let latency = now.since(out.submitted_at);
-                self.placed.push(PlacementAck {
-                    vm: placed.vm,
-                    lc: placed.lc,
-                    latency,
-                });
-                self.vm_locations.insert(placed.vm, placed.lc);
-                ctx.span_label(out.span, "outcome", "placed");
-                ctx.span_close(out.span);
-                ctx.metrics()
-                    .observe("client.placement_latency_s", latency.as_secs_f64());
-                ctx.metrics()
-                    .incr_with("client.outcome", &label("kind", "placed"));
-                if let Some(lifetime) = self.schedule[out.schedule_idx].lifetime {
-                    ctx.set_timer(lifetime, tag(CLIENT_DESTROY, out.schedule_idx as u64));
+        match msg {
+            SnoozeMsg::VmPlaced(placed) => {
+                if let Some(out) = self.outstanding.remove(&placed.vm) {
+                    let latency = now.since(out.submitted_at);
+                    self.placed.push(PlacementAck {
+                        vm: placed.vm,
+                        lc: placed.lc,
+                        latency,
+                    });
+                    self.vm_locations.insert(placed.vm, placed.lc);
+                    ctx.span_label(out.span, "outcome", "placed");
+                    ctx.span_close(out.span);
+                    ctx.metrics()
+                        .observe("client.placement_latency_s", latency.as_secs_f64());
+                    ctx.metrics()
+                        .incr_with("client.outcome", &label("kind", "placed"));
+                    if let Some(lifetime) = self.schedule[out.schedule_idx].lifetime {
+                        ctx.set_timer(lifetime, tag(CLIENT_DESTROY, out.schedule_idx as u64));
+                    }
                 }
             }
-        } else if let Some(rej) = msg.downcast_ref::<VmRejected>() {
-            if let Some(out) = self.outstanding.remove(&rej.vm) {
-                self.rejected.push(rej.vm);
-                ctx.span_label(out.span, "outcome", "rejected");
-                ctx.span_close(out.span);
-                ctx.metrics().incr("client.rejections");
-                ctx.metrics()
-                    .incr_with("client.outcome", &label("kind", "rejected"));
+            SnoozeMsg::VmRejected(rej) => {
+                if let Some(out) = self.outstanding.remove(&rej.vm) {
+                    self.rejected.push(rej.vm);
+                    ctx.span_label(out.span, "outcome", "rejected");
+                    ctx.span_close(out.span);
+                    ctx.metrics().incr("client.rejections");
+                    ctx.metrics()
+                        .incr_with("client.outcome", &label("kind", "rejected"));
+                }
             }
+            // Everything else is addressed to another role; drop it.
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, t: u64) {
         match tag_kind(t) {
             CLIENT_SUBMIT => {
                 let idx = tag_payload(t) as usize;
@@ -258,7 +265,7 @@ impl Component for ClientDriver {
                 let idx = tag_payload(t) as usize;
                 let vm = self.schedule[idx].spec.id;
                 if let Some(lc) = self.vm_locations.get(&vm).copied() {
-                    ctx.send(lc, Box::new(DestroyVm { vm }));
+                    ctx.send(lc, DestroyVm { vm });
                 }
             }
             _ => {}

@@ -8,12 +8,12 @@
 //! [`DiscoverGl`] queries, and forward [`SubmitVm`] requests to the
 //! current GL (dropping them when no GL is known — clients retry).
 
-use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::time::SimTime;
 
 use crate::config::SnoozeConfig;
-use crate::messages::{DiscoverGl, GlHeartbeat, GlInfo, SubmitVm};
+use crate::messages::{GlInfo, SnoozeMsg};
 
 /// The Entry Point component.
 pub struct EntryPoint {
@@ -58,26 +58,29 @@ impl EntryPoint {
 }
 
 impl Component for EntryPoint {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.join_group(self.gl_group);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
         let now = ctx.now();
-        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
-            if self.gl != Some(hb.gl) {
-                ctx.trace("ep", format!("GL is now {:?}", hb.gl));
+        match msg {
+            SnoozeMsg::GlHeartbeat(hb) => {
+                if self.gl != Some(hb.gl) {
+                    ctx.trace("ep", format!("GL is now {:?}", hb.gl));
+                }
+                self.gl = Some(hb.gl);
+                self.last_gl_heartbeat = now;
             }
-            self.gl = Some(hb.gl);
-            self.last_gl_heartbeat = now;
-        } else if msg.downcast_ref::<DiscoverGl>().is_some() {
-            let info = GlInfo {
-                gl: self.gl_if_fresh(now),
-            };
-            ctx.send(src, Box::new(info));
-        } else if msg.downcast_ref::<SubmitVm>().is_some() {
-            let submit = msg.downcast::<SubmitVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-            match self.gl_if_fresh(now) {
+            SnoozeMsg::DiscoverGl(_) => {
+                let info = GlInfo {
+                    gl: self.gl_if_fresh(now),
+                };
+                ctx.send(src, info);
+            }
+            SnoozeMsg::SubmitVm(submit) => match self.gl_if_fresh(now) {
                 Some(gl) => {
                     self.forwarded += 1;
                     // One hop-span per forward: child of the client's
@@ -94,11 +97,13 @@ impl Component for EntryPoint {
                     ctx.metrics()
                         .incr_with("ep.submissions", &label("outcome", "dropped"));
                 }
-            }
+            },
+            // Everything else is addressed to another role; drop it.
+            _ => {}
         }
     }
 
-    fn on_restart(&mut self, _ctx: &mut Ctx) {
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, SnoozeMsg>) {
         self.gl = None;
         self.forwarded = 0;
         self.dropped = 0;
@@ -108,7 +113,7 @@ impl Component for EntryPoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::messages::GlHeartbeat;
+    use crate::messages::{DiscoverGl, GlHeartbeat};
     use snooze_simcore::prelude::*;
 
     /// Poses as a GL: multicasts heartbeats for a while, then goes quiet.
@@ -118,16 +123,17 @@ mod tests {
     }
 
     impl Component for FakeGl {
-        fn on_start(&mut self, ctx: &mut Ctx) {
+        type Msg = SnoozeMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
             ctx.join_group(self.group);
             ctx.set_timer(SimSpan::from_millis(500), 0);
         }
-        fn on_message(&mut self, _: &mut Ctx, _: ComponentId, _: AnyMsg) {}
-        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        fn on_message(&mut self, _: &mut Ctx<'_, SnoozeMsg>, _: ComponentId, _: SnoozeMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _tag: u64) {
             if self.beats_left > 0 {
                 self.beats_left -= 1;
                 let me = ctx.id();
-                ctx.multicast(self.group, move || Box::new(GlHeartbeat { gl: me }));
+                ctx.multicast(self.group, move || GlHeartbeat { gl: me });
                 ctx.set_timer(SimSpan::from_millis(500), 0);
             }
         }
@@ -141,26 +147,36 @@ mod tests {
     }
 
     impl Component for Asker {
-        fn on_start(&mut self, ctx: &mut Ctx) {
+        type Msg = SnoozeMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
             for (i, t) in self.at.clone().into_iter().enumerate() {
                 ctx.set_timer(t.since(SimTime::ZERO), i as u64);
             }
         }
-        fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-            if let Some(info) = msg.downcast_ref::<GlInfo>() {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _src: ComponentId, msg: SnoozeMsg) {
+            if let SnoozeMsg::GlInfo(info) = msg {
                 self.answers.push((ctx.now(), info.gl));
             }
         }
-        fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _tag: u64) {
             let ep = self.ep;
-            ctx.send(ep, Box::new(DiscoverGl));
+            ctx.send(ep, DiscoverGl);
+        }
+    }
+
+    node_enum! {
+        /// EP test system: the EP under test plus scripted peers.
+        enum EpTestNode: SnoozeMsg {
+            Ep(EntryPoint) as as_ep,
+            FakeGl(FakeGl) as as_fake_gl,
+            Asker(Asker) as as_asker,
         }
     }
 
     #[test]
     fn ep_withholds_a_silent_gl() {
         let config = crate::config::SnoozeConfig::fast_test(); // hb 500 ms ⇒ stale after 2 s
-        let mut sim = SimBuilder::new(3).network(NetworkConfig::lan()).build();
+        let mut sim: Engine<EpTestNode> = SimBuilder::new(3).network(NetworkConfig::lan()).build();
         let group = sim.create_group();
         let ep = sim.add_component("ep", EntryPoint::new(config, group));
         sim.join_group(group, ep);
@@ -181,14 +197,11 @@ mod tests {
             },
         );
         sim.run_until(SimTime::from_secs(12));
-        let a = sim.component_as::<Asker>(asker).unwrap();
+        let a = sim.component(asker).as_asker().unwrap();
         assert_eq!(a.answers.len(), 2);
         assert_eq!(a.answers[0].1, Some(gl), "fresh GL is reported");
         assert_eq!(a.answers[1].1, None, "silent GL is withheld");
         // The EP still remembers who it was (for trace continuity).
-        assert_eq!(
-            sim.component_as::<EntryPoint>(ep).unwrap().current_gl(),
-            Some(gl)
-        );
+        assert_eq!(sim.component(ep).as_ep().unwrap().current_gl(), Some(gl));
     }
 }

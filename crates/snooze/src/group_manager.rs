@@ -22,17 +22,16 @@ use std::collections::{BTreeMap, VecDeque};
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
-use snooze_protocols::coordination::ZkReply;
+use snooze_protocols::coordination::ProtocolMsg;
 use snooze_protocols::election::{Elector, ElectorEvent, ELECTION_PING_TAG};
 use snooze_protocols::heartbeat::FailureDetector;
-use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::SimTime;
 
 use crate::config::SnoozeConfig;
 use crate::estimator::DemandEstimator;
-use crate::local_controller::LcJoinAckWithGroup;
 use crate::messages::*;
 use crate::scheduling::dispatching::Dispatcher;
 use crate::scheduling::placement::Placer;
@@ -44,21 +43,7 @@ use crate::scheduling::{GmSummaryView, LcView};
 use crate::tags::*;
 use snooze_consolidation::aco::AcoConsolidator;
 
-/// GM → GL: a dispatched VM is now running on `lc`.
-#[derive(Clone, Copy, Debug)]
-pub struct VmActive {
-    /// The VM.
-    pub vm: VmId,
-    /// Where it runs.
-    pub lc: ComponentId,
-}
-
-/// GM → GL: a previously accepted VM could not be started after retries.
-#[derive(Clone, Copy, Debug)]
-pub struct VmFailed {
-    /// The VM.
-    pub vm: VmId,
-}
+pub use crate::messages::{VmActive, VmFailed};
 
 /// Role of the manager right now.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -245,7 +230,7 @@ impl GroupManager {
     /// (releasing the znode so no stale leadership lingers) and drop all
     /// manager state. Used by the unified-node extension (paper §V) when
     /// the framework demotes this node back to a Local Controller.
-    pub fn resign(&mut self, ctx: &mut Ctx) {
+    pub fn resign(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         self.elector.resign(ctx);
         self.mode = Mode::Candidate;
         self.lcs.clear();
@@ -307,7 +292,7 @@ impl GroupManager {
     /// optionally wakes a suspended LC with enough capacity.
     fn try_place(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_, SnoozeMsg>,
         spec: &VmSpec,
         workload: &VmWorkload,
         span: Option<SpanId>,
@@ -331,10 +316,10 @@ impl GroupManager {
                 },
             );
             self.stats.placements += 1;
-            let start = Box::new(StartVm {
+            let start = StartVm {
                 spec: *spec,
                 workload: workload.clone(),
-            });
+            };
             match span {
                 Some(s) => ctx.send_in(s, lc, start),
                 None => ctx.send(lc, start),
@@ -359,8 +344,8 @@ impl GroupManager {
                 .incr_with("power.commands", &label("kind", "wake"));
             // The wake is causally part of the placement that forced it.
             match span {
-                Some(s) => ctx.send_in(s, lc, Box::new(WakeNode)),
-                None => ctx.send(lc, Box::new(WakeNode)),
+                Some(s) => ctx.send_in(s, lc, WakeNode),
+                None => ctx.send(lc, WakeNode),
             }
         }
         None
@@ -369,7 +354,7 @@ impl GroupManager {
     /// Queue a placement for retry (wake in progress / transient full).
     fn enqueue_pending(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_, SnoozeMsg>,
         spec: VmSpec,
         workload: VmWorkload,
         span: Option<SpanId>,
@@ -385,7 +370,7 @@ impl GroupManager {
         }
     }
 
-    fn drain_pending(&mut self, ctx: &mut Ctx) {
+    fn drain_pending(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let mut still_pending = VecDeque::new();
         while let Some(mut p) = self.pending.pop_front() {
             if let Some(lc) = self.try_place(ctx, &p.spec, &p.workload, p.span) {
@@ -404,7 +389,7 @@ impl GroupManager {
                     ctx.span_close(sp);
                 }
                 if let Mode::Gm(gl) = self.mode {
-                    let failed = Box::new(VmFailed { vm: p.spec.id });
+                    let failed = VmFailed { vm: p.spec.id };
                     match p.span {
                         Some(sp) => ctx.send_in(sp, gl, failed),
                         None => ctx.send(gl, failed),
@@ -421,7 +406,7 @@ impl GroupManager {
     }
 
     /// Issue a planned migration and update reservation bookkeeping.
-    fn command_migration(&mut self, ctx: &mut Ctx, m: PlannedMigration) {
+    fn command_migration(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, m: PlannedMigration) {
         let Some(src) = self.lcs.get_mut(&m.from) else {
             return;
         };
@@ -446,7 +431,7 @@ impl GroupManager {
             dst.idle_since = None;
         }
         self.stats.migrations_commanded += 1;
-        ctx.send_in(span, m.from, Box::new(MigrateVm { vm: m.vm, to: m.to }));
+        ctx.send_in(span, m.from, MigrateVm { vm: m.vm, to: m.to });
     }
 
     fn vm_views_of(&self, lc: ComponentId) -> Vec<VmView> {
@@ -466,7 +451,7 @@ impl GroupManager {
             .unwrap_or_default()
     }
 
-    fn handle_lc_failure(&mut self, ctx: &mut Ctx, lc: ComponentId) {
+    fn handle_lc_failure(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, lc: ComponentId) {
         self.stats.lc_failures_detected += 1;
         ctx.trace("failure", format!("LC {lc:?} declared dead"));
         ctx.metrics()
@@ -486,7 +471,7 @@ impl GroupManager {
         }
     }
 
-    fn energy_sweep(&mut self, ctx: &mut Ctx) {
+    fn energy_sweep(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let Some(threshold) = self.config.idle_suspend_after else {
             return;
         };
@@ -511,14 +496,14 @@ impl GroupManager {
             self.lc_fd.forget(lc); // no heartbeats while asleep
             self.stats.suspends_issued += 1;
             ctx.trace("energy", format!("suspending {lc:?}"));
-            ctx.send(lc, Box::new(SuspendNode));
+            ctx.send(lc, SuspendNode);
         }
     }
 
     /// Re-send StartVm for placements whose acknowledgment is overdue
     /// (the command or its result was lost). Safe because the LC treats
     /// StartVm idempotently.
-    fn retry_unconfirmed_starts(&mut self, ctx: &mut Ctx) {
+    fn retry_unconfirmed_starts(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let now = ctx.now();
         let patience = self.config.vm_boot_delay + self.config.placement_retry_period * 4;
         let mut resend: Vec<(ComponentId, VmSpec, VmWorkload, Option<SpanId>)> = Vec::new();
@@ -541,7 +526,7 @@ impl GroupManager {
                 "retry",
                 format!("re-sending StartVm {:?} to {lc:?}", spec.id),
             );
-            let msg = Box::new(StartVm { spec, workload });
+            let msg = StartVm { spec, workload };
             match span {
                 Some(sp) => ctx.send_in(sp, lc, msg),
                 None => ctx.send(lc, msg),
@@ -551,7 +536,7 @@ impl GroupManager {
 
     /// Re-send WakeNode to nodes that have been "waking" implausibly
     /// long — the original command (or the confirmation) was lost.
-    fn retry_stale_wakes(&mut self, ctx: &mut Ctx) {
+    fn retry_stale_wakes(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let now = ctx.now();
         let patience = self.config.placement_retry_period * 12;
         let stale: Vec<ComponentId> = self
@@ -570,11 +555,11 @@ impl GroupManager {
                 r.wake_sent_at = Some(now);
             }
             ctx.trace("energy", format!("re-waking {lc:?}"));
-            ctx.send(lc, Box::new(WakeNode));
+            ctx.send(lc, WakeNode);
         }
     }
 
-    fn reconfigure(&mut self, ctx: &mut Ctx) {
+    fn reconfigure(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let Some(rc) = self.config.reconfiguration else {
             return;
         };
@@ -624,7 +609,7 @@ impl GroupManager {
     // Mode transitions
     // ------------------------------------------------------------------
 
-    fn become_gl(&mut self, ctx: &mut Ctx) {
+    fn become_gl(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.trace("election", "promoted to GL");
         ctx.span_instant("gl.promoted");
         ctx.metrics()
@@ -642,10 +627,10 @@ impl GroupManager {
         ctx.set_timer(self.config.gl_heartbeat_period, tag(GL_TICK, 0));
         // Announce immediately: EPs and orphaned LCs are waiting.
         let me = ctx.id();
-        ctx.multicast(self.gl_group, move || Box::new(GlHeartbeat { gl: me }));
+        ctx.multicast(self.gl_group, move || GlHeartbeat { gl: me });
     }
 
-    fn become_gm(&mut self, ctx: &mut Ctx, gl: ComponentId) {
+    fn become_gm(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, gl: ComponentId) {
         if self.mode == Mode::Gl {
             // Demotion does not happen in the ZK recipe (a leader keeps
             // its lowest znode until it dies), but guard anyway.
@@ -656,7 +641,7 @@ impl GroupManager {
         ctx.trace("election", format!("following GL {gl:?}"));
         ctx.metrics()
             .incr_with("role_transitions", &label("to", "gm"));
-        ctx.send(gl, Box::new(GmJoin));
+        ctx.send(gl, GmJoin);
         if !self.gm_timer_armed {
             self.gm_timer_armed = true;
             ctx.set_timer(self.config.gm_heartbeat_period, tag(GM_TICK, 0));
@@ -667,16 +652,16 @@ impl GroupManager {
     // GL-mode actions
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, ctx: &mut Ctx, submit: SubmitVm) {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, submit: SubmitVm) {
         // Client submissions are at-least-once; placement must not be.
         if let Some(&(gm, lc)) = self.placed_registry.get(&submit.spec.id) {
             ctx.send(
                 submit.client,
-                Box::new(VmPlaced {
+                VmPlaced {
                     vm: submit.spec.id,
                     gm,
                     lc,
-                }),
+                },
             );
             return;
         }
@@ -698,7 +683,7 @@ impl GroupManager {
         let candidates = self.dispatcher.candidates(&submit.spec, &summaries);
         if candidates.is_empty() {
             self.stats.rejected_as_gl += 1;
-            ctx.send(submit.client, Box::new(VmRejected { vm: submit.spec.id }));
+            ctx.send(submit.client, VmRejected { vm: submit.spec.id });
             return;
         }
         let first = candidates[0];
@@ -725,15 +710,15 @@ impl GroupManager {
         ctx.send_in(
             span,
             first,
-            Box::new(PlaceVmRequest {
+            PlaceVmRequest {
                 spec: submit.spec,
                 workload: submit.workload,
-            }),
+            },
         );
     }
 
     /// Linear search continuation: the previous candidate refused.
-    fn advance_dispatch(&mut self, ctx: &mut Ctx, vm: VmId) {
+    fn advance_dispatch(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, vm: VmId) {
         let Some(state) = self.dispatches.get_mut(&vm) else {
             return;
         };
@@ -748,7 +733,7 @@ impl GroupManager {
                     spec: state.spec,
                     workload: state.workload.clone(),
                 };
-                ctx.send_in(state.span, gm, Box::new(req));
+                ctx.send_in(state.span, gm, req);
                 return;
             }
         }
@@ -756,10 +741,10 @@ impl GroupManager {
         self.stats.rejected_as_gl += 1;
         ctx.span_label(state.span, "outcome", "rejected");
         ctx.span_close(state.span);
-        ctx.send_in(state.span, state.client, Box::new(VmRejected { vm }));
+        ctx.send_in(state.span, state.client, VmRejected { vm });
     }
 
-    fn handle_gm_failure(&mut self, ctx: &mut Ctx, gm: ComponentId) {
+    fn handle_gm_failure(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, gm: ComponentId) {
         // "GM failures are detected by the GL based on missing heartbeats,
         // and its contact information is gracefully removed in order to
         // prevent new VMs from being scheduled on it" (§II-E).
@@ -783,9 +768,9 @@ impl GroupManager {
         }
     }
 
-    fn gl_tick(&mut self, ctx: &mut Ctx) {
+    fn gl_tick(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let me = ctx.id();
-        ctx.multicast(self.gl_group, move || Box::new(GlHeartbeat { gl: me }));
+        ctx.multicast(self.gl_group, move || GlHeartbeat { gl: me });
         for gm in self.gm_fd.expire(ctx.now()) {
             self.handle_gm_failure(ctx, gm);
         }
@@ -816,12 +801,12 @@ impl GroupManager {
         ctx.set_timer(self.config.gl_heartbeat_period, tag(GL_TICK, 0));
     }
 
-    fn gm_tick(&mut self, ctx: &mut Ctx) {
+    fn gm_tick(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         if let Mode::Gm(gl) = self.mode {
             let summary = self.summary();
-            ctx.send(gl, Box::new(summary));
+            ctx.send(gl, summary);
             let me = ctx.id();
-            ctx.multicast(self.lc_group, move || Box::new(GmLcHeartbeat { gm: me }));
+            ctx.multicast(self.lc_group, move || GmLcHeartbeat { gm: me });
             for lc in self.lc_fd.expire(ctx.now()) {
                 self.handle_lc_failure(ctx, lc);
             }
@@ -836,7 +821,9 @@ impl GroupManager {
 }
 
 impl Component for GroupManager {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.join_group(self.gl_group);
         self.elector.start(ctx);
         if let Some(rc) = self.config.reconfiguration {
@@ -844,405 +831,401 @@ impl Component for GroupManager {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
         let now = ctx.now();
 
-        // --- election plumbing ---
-        if let Some(reply) = msg.downcast_ref::<ZkReply>() {
-            if let Some(event) = self.elector.handle_reply(ctx, reply) {
-                match event {
-                    ElectorEvent::BecameLeader => self.become_gl(ctx),
-                    ElectorEvent::FollowingLeader(gl) => self.become_gm(ctx, gl),
-                }
-            }
-            return;
-        }
-
-        // --- messages any mode can receive ---
-        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
-            // A GM re-syncs with a GL it didn't know (e.g. after the
-            // elector converged before the GmJoin got through a partition).
-            if let Mode::Gm(gl) = self.mode {
-                if gl != hb.gl {
-                    self.become_gm(ctx, hb.gl);
-                }
-            }
-            return;
-        }
-
-        match self.mode {
-            Mode::Gl => {
-                if msg.downcast_ref::<GmJoin>().is_some() {
-                    self.gm_fd.heard(src, now);
-                    self.gm_summaries.entry(src).or_insert(GmHeartbeat {
-                        used: ResourceVector::ZERO,
-                        total: ResourceVector::ZERO,
-                        reserved: ResourceVector::ZERO,
-                        n_lcs: 0,
-                        n_vms: 0,
-                    });
-                } else if let Some(hb) = msg.downcast_ref::<GmHeartbeat>() {
-                    self.gm_fd.heard(src, now);
-                    self.gm_summaries.insert(src, *hb);
-                } else if msg.downcast_ref::<LcAssignRequest>().is_some() {
-                    // Assign to the GM with the fewest LCs ("e.g. to least
-                    // loaded GMs", §II-D).
-                    let target = self
-                        .gm_summaries
-                        .iter()
-                        .min_by_key(|(gm, s)| (s.n_lcs, **gm))
-                        .map(|(&gm, _)| gm);
-                    if let Some(gm) = target {
-                        // Count the assignment so a burst of joins spreads.
-                        if let Some(s) = self.gm_summaries.get_mut(&gm) {
-                            s.n_lcs += 1;
-                        }
-                        ctx.send(src, Box::new(LcAssignment { gm }));
+        match msg {
+            // --- election plumbing ---
+            SnoozeMsg::Protocol(ProtocolMsg::Reply(reply)) => {
+                if let Some(event) = self.elector.handle_reply(ctx, &reply) {
+                    match event {
+                        ElectorEvent::BecameLeader => self.become_gl(ctx),
+                        ElectorEvent::FollowingLeader(gl) => self.become_gm(ctx, gl),
                     }
-                    // No GMs yet: drop; the LC retries on later heartbeats.
-                } else if msg.downcast_ref::<SubmitVm>().is_some() {
-                    let submit = msg.downcast::<SubmitVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                    self.dispatch(ctx, *submit);
-                } else if let Some(resp) = msg.downcast_ref::<PlaceVmResponse>() {
-                    if resp.placed_on.is_some() {
-                        // Accepted; wait for VmActive before acking client.
-                        if let Some(state) = self.dispatches.get_mut(&resp.vm) {
-                            state.accepted = true;
-                            state.started_at = now; // acceptance clock
-                        }
-                    } else {
-                        self.advance_dispatch(ctx, resp.vm);
-                    }
-                } else if let Some(active) = msg.downcast_ref::<VmActive>() {
-                    self.placed_registry.insert(active.vm, (src, active.lc));
-                    if let Some(state) = self.dispatches.remove(&active.vm) {
-                        ctx.span_label(state.span, "outcome", "placed");
-                        ctx.span_close(state.span);
-                        let placed = VmPlaced {
-                            vm: active.vm,
-                            gm: src,
-                            lc: active.lc,
-                        };
-                        ctx.send_in(state.span, state.client, Box::new(placed));
-                    }
-                } else if let Some(fail) = msg.downcast_ref::<VmFailed>() {
-                    if let Some(state) = self.dispatches.remove(&fail.vm) {
-                        self.stats.rejected_as_gl += 1;
-                        ctx.span_label(state.span, "outcome", "failed");
-                        ctx.span_close(state.span);
-                        ctx.send_in(
-                            state.span,
-                            state.client,
-                            Box::new(VmRejected { vm: fail.vm }),
-                        );
-                    }
-                } else if msg
-                    .downcast_ref::<crate::unified::ManagerCensusQuery>()
-                    .is_some()
-                {
-                    // Unified-node extension (§V): the role director asks
-                    // how many managers are alive (GMs we know + us).
-                    let managers = self.gm_summaries.len() + 1;
-                    ctx.send(
-                        src,
-                        Box::new(crate::unified::ManagerCensusReply { managers }),
-                    );
-                } else if msg.downcast_ref::<HierarchyQuery>().is_some() {
-                    // "Exporting of the hierarchy organization" (§II-A).
-                    let snapshot = HierarchySnapshot {
-                        gl: ctx.id(),
-                        gms: self.gm_summaries.iter().map(|(&gm, s)| (gm, *s)).collect(),
-                    };
-                    ctx.send(src, Box::new(snapshot));
                 }
             }
 
-            Mode::Gm(gl) => {
-                if let Some(join) = msg.downcast_ref::<LcJoin>() {
-                    self.lc_fd.heard(src, now);
-                    self.lcs.entry(src).or_insert_with(|| LcRecord {
-                        capacity: join.capacity,
-                        reserved: ResourceVector::ZERO,
-                        usage: DemandEstimator::new(self.config.estimator),
-                        powered_on: true,
-                        waking: false,
-                        wake_sent_at: None,
-                        idle_since: Some(now),
-                        vms: BTreeMap::new(),
-                    });
-                    ctx.trace("join", format!("LC {src:?} joined"));
-                    let group = self.lc_group;
-                    ctx.send(src, Box::new(LcJoinAckWithGroup { group }));
-                } else if msg.downcast_ref::<LcMonitoring>().is_some() {
-                    let report = msg.downcast::<LcMonitoring>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                    let estimator_kind = self.config.estimator;
-                    let Some(record) = self.lcs.get_mut(&src) else {
-                        return;
+            // --- messages any mode can receive ---
+            SnoozeMsg::GlHeartbeat(hb) => {
+                // A GM re-syncs with a GL it didn't know (e.g. after the
+                // elector converged before the GmJoin got through a partition).
+                if let Mode::Gm(gl) = self.mode {
+                    if gl != hb.gl {
+                        self.become_gm(ctx, hb.gl);
+                    }
+                }
+            }
+
+            // --- GL-mode traffic ---
+            SnoozeMsg::GmJoin(_) if self.mode == Mode::Gl => {
+                self.gm_fd.heard(src, now);
+                self.gm_summaries.entry(src).or_insert(GmHeartbeat {
+                    used: ResourceVector::ZERO,
+                    total: ResourceVector::ZERO,
+                    reserved: ResourceVector::ZERO,
+                    n_lcs: 0,
+                    n_vms: 0,
+                });
+            }
+            SnoozeMsg::GmHeartbeat(hb) if self.mode == Mode::Gl => {
+                self.gm_fd.heard(src, now);
+                self.gm_summaries.insert(src, hb);
+            }
+            SnoozeMsg::LcAssignRequest(_) if self.mode == Mode::Gl => {
+                // Assign to the GM with the fewest LCs ("e.g. to least
+                // loaded GMs", §II-D).
+                let target = self
+                    .gm_summaries
+                    .iter()
+                    .min_by_key(|(gm, s)| (s.n_lcs, **gm))
+                    .map(|(&gm, _)| gm);
+                if let Some(gm) = target {
+                    // Count the assignment so a burst of joins spreads.
+                    if let Some(s) = self.gm_summaries.get_mut(&gm) {
+                        s.n_lcs += 1;
+                    }
+                    ctx.send(src, LcAssignment { gm });
+                }
+                // No GMs yet: drop; the LC retries on later heartbeats.
+            }
+            SnoozeMsg::SubmitVm(submit) if self.mode == Mode::Gl => {
+                self.dispatch(ctx, submit);
+            }
+            SnoozeMsg::PlaceVmResponse(resp) if self.mode == Mode::Gl => {
+                if resp.placed_on.is_some() {
+                    // Accepted; wait for VmActive before acking client.
+                    if let Some(state) = self.dispatches.get_mut(&resp.vm) {
+                        state.accepted = true;
+                        state.started_at = now; // acceptance clock
+                    }
+                } else {
+                    self.advance_dispatch(ctx, resp.vm);
+                }
+            }
+            SnoozeMsg::VmActive(active) if self.mode == Mode::Gl => {
+                self.placed_registry.insert(active.vm, (src, active.lc));
+                if let Some(state) = self.dispatches.remove(&active.vm) {
+                    ctx.span_label(state.span, "outcome", "placed");
+                    ctx.span_close(state.span);
+                    let placed = VmPlaced {
+                        vm: active.vm,
+                        gm: src,
+                        lc: active.lc,
                     };
-                    if !record.powered_on && report.powered_on {
-                        // In-flight report racing a suspend command: if it
-                        // refreshed the record, the failure detector would
-                        // later expire the silent sleeper and evict it.
-                        // The LC announces genuine wake-ups (and refused
-                        // suspends) via NodePowerChanged.
-                        return;
-                    }
-                    self.lc_fd.heard(src, now);
-                    record.capacity = report.capacity;
-                    record.reserved = report.reserved;
-                    record.powered_on = report.powered_on;
-                    if report.powered_on {
-                        record.waking = false;
-                        record.wake_sent_at = None;
-                    }
-                    let mut total_used = ResourceVector::ZERO;
-                    // Sync the VM set with the LC's authoritative list.
-                    let reported: std::collections::BTreeSet<VmId> =
-                        report.vms.iter().map(|v| v.vm).collect();
-                    record.vms.retain(|vm, rec| {
-                        // VMs mid-migration linger in bookkeeping until
-                        // MigrationDone even if the LC dropped them, and
-                        // unconfirmed records survive until their StartVm
-                        // is acknowledged (it may still be in flight).
-                        reported.contains(vm) || rec.migrating_to.is_some() || !rec.confirmed
+                    ctx.send_in(state.span, state.client, placed);
+                }
+            }
+            SnoozeMsg::VmFailed(fail) if self.mode == Mode::Gl => {
+                if let Some(state) = self.dispatches.remove(&fail.vm) {
+                    self.stats.rejected_as_gl += 1;
+                    ctx.span_label(state.span, "outcome", "failed");
+                    ctx.span_close(state.span);
+                    ctx.send_in(state.span, state.client, VmRejected { vm: fail.vm });
+                }
+            }
+            SnoozeMsg::ManagerCensusQuery(_) if self.mode == Mode::Gl => {
+                // Unified-node extension (§V): the role director asks
+                // how many managers are alive (GMs we know + us).
+                let managers = self.gm_summaries.len() + 1;
+                ctx.send(src, ManagerCensusReply { managers });
+            }
+            SnoozeMsg::HierarchyQuery(_) if self.mode == Mode::Gl => {
+                // "Exporting of the hierarchy organization" (§II-A).
+                let snapshot = HierarchySnapshot {
+                    gl: ctx.id(),
+                    gms: self.gm_summaries.iter().map(|(&gm, s)| (gm, *s)).collect(),
+                };
+                ctx.send(src, snapshot);
+            }
+
+            // --- GM-mode traffic ---
+            SnoozeMsg::LcJoin(join) if matches!(self.mode, Mode::Gm(_)) => {
+                self.lc_fd.heard(src, now);
+                self.lcs.entry(src).or_insert_with(|| LcRecord {
+                    capacity: join.capacity,
+                    reserved: ResourceVector::ZERO,
+                    usage: DemandEstimator::new(self.config.estimator),
+                    powered_on: true,
+                    waking: false,
+                    wake_sent_at: None,
+                    idle_since: Some(now),
+                    vms: BTreeMap::new(),
+                });
+                ctx.trace("join", format!("LC {src:?} joined"));
+                let group = self.lc_group;
+                ctx.send(src, LcJoinAckWithGroup { group });
+            }
+            SnoozeMsg::LcMonitoring(report) if matches!(self.mode, Mode::Gm(_)) => {
+                let estimator_kind = self.config.estimator;
+                let Some(record) = self.lcs.get_mut(&src) else {
+                    return;
+                };
+                if !record.powered_on && report.powered_on {
+                    // In-flight report racing a suspend command: if it
+                    // refreshed the record, the failure detector would
+                    // later expire the silent sleeper and evict it.
+                    // The LC announces genuine wake-ups (and refused
+                    // suspends) via NodePowerChanged.
+                    return;
+                }
+                self.lc_fd.heard(src, now);
+                record.capacity = report.capacity;
+                record.reserved = report.reserved;
+                record.powered_on = report.powered_on;
+                if report.powered_on {
+                    record.waking = false;
+                    record.wake_sent_at = None;
+                }
+                let mut total_used = ResourceVector::ZERO;
+                // Sync the VM set with the LC's authoritative list.
+                let reported: std::collections::BTreeSet<VmId> =
+                    report.vms.iter().map(|v| v.vm).collect();
+                record.vms.retain(|vm, rec| {
+                    // VMs mid-migration linger in bookkeeping until
+                    // MigrationDone even if the LC dropped them, and
+                    // unconfirmed records survive until their StartVm
+                    // is acknowledged (it may still be in flight).
+                    reported.contains(vm) || rec.migrating_to.is_some() || !rec.confirmed
+                });
+                for vu in &report.vms {
+                    total_used += vu.used;
+                    let rec = record.vms.entry(vu.vm).or_insert_with(|| VmRecord {
+                        spec: snooze_cluster::vm::VmSpec::new(vu.vm, vu.requested),
+                        workload: VmWorkload::flat_full(vu.vm.0),
+                        usage: DemandEstimator::new(estimator_kind),
+                        migrating_to: None,
+                        confirmed: true,
+                        start_sent_at: now,
+                        span: None,
+                        migration_span: None,
                     });
-                    for vu in &report.vms {
-                        total_used += vu.used;
-                        let rec = record.vms.entry(vu.vm).or_insert_with(|| VmRecord {
-                            spec: snooze_cluster::vm::VmSpec::new(vu.vm, vu.requested),
-                            workload: VmWorkload::flat_full(vu.vm.0),
-                            usage: DemandEstimator::new(estimator_kind),
-                            migrating_to: None,
-                            confirmed: true,
-                            start_sent_at: now,
-                            span: None,
-                            migration_span: None,
-                        });
-                        if !rec.confirmed {
-                            // Monitoring vouched for the VM before the
-                            // StartVmResult arrived: the placement is done.
-                            if let Some(sp) = rec.span.take() {
-                                ctx.span_label(sp, "outcome", "confirmed");
-                                ctx.span_close(sp);
-                            }
+                    if !rec.confirmed {
+                        // Monitoring vouched for the VM before the
+                        // StartVmResult arrived: the placement is done.
+                        if let Some(sp) = rec.span.take() {
+                            ctx.span_label(sp, "outcome", "confirmed");
+                            ctx.span_close(sp);
                         }
-                        rec.confirmed = true; // the LC vouches for it
-                        rec.usage.observe(vu.used);
                     }
-                    record.usage.observe(total_used);
-                    record.idle_since = match (record.vms.is_empty(), record.idle_since) {
-                        (true, None) => Some(now),
-                        (true, keep) => keep,
-                        (false, _) => None,
-                    };
-                } else if msg.downcast_ref::<AnomalyReport>().is_some() {
-                    let report = msg.downcast::<AnomalyReport>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                    self.lc_fd.heard(src, now);
-                    let views = self.lc_views();
-                    // Each relocation round is a span; the migrations it
-                    // commands nest under it through the ambient context.
-                    let span = ctx.span_open("gm.relocate");
-                    ctx.span_label(span, "lc", format!("{src:?}"));
-                    match report.kind {
-                        AnomalyKind::Overload => {
-                            ctx.span_label(span, "kind", "overload");
-                            let vms = self.vm_views_of(src);
-                            if let Some(m) = plan_overload_relocation(src, &vms, &views) {
-                                ctx.trace("relocate", format!("overload: {m:?}"));
+                    rec.confirmed = true; // the LC vouches for it
+                    rec.usage.observe(vu.used);
+                }
+                record.usage.observe(total_used);
+                record.idle_since = match (record.vms.is_empty(), record.idle_since) {
+                    (true, None) => Some(now),
+                    (true, keep) => keep,
+                    (false, _) => None,
+                };
+            }
+            SnoozeMsg::AnomalyReport(report) if matches!(self.mode, Mode::Gm(_)) => {
+                self.lc_fd.heard(src, now);
+                let views = self.lc_views();
+                // Each relocation round is a span; the migrations it
+                // commands nest under it through the ambient context.
+                let span = ctx.span_open("gm.relocate");
+                ctx.span_label(span, "lc", format!("{src:?}"));
+                match report.kind {
+                    AnomalyKind::Overload => {
+                        ctx.span_label(span, "kind", "overload");
+                        let vms = self.vm_views_of(src);
+                        if let Some(m) = plan_overload_relocation(src, &vms, &views) {
+                            ctx.trace("relocate", format!("overload: {m:?}"));
+                            self.command_migration(ctx, m);
+                        }
+                    }
+                    AnomalyKind::Underload => {
+                        ctx.span_label(span, "kind", "underload");
+                        let vms = self.vm_views_of(src);
+                        if let Some(plan) = plan_underload_relocation(
+                            src,
+                            &vms,
+                            &views,
+                            self.config.underload_threshold,
+                        ) {
+                            ctx.trace("relocate", format!("underload: drain {} vms", plan.len()));
+                            for m in plan {
                                 self.command_migration(ctx, m);
                             }
                         }
-                        AnomalyKind::Underload => {
-                            ctx.span_label(span, "kind", "underload");
-                            let vms = self.vm_views_of(src);
-                            if let Some(plan) = plan_underload_relocation(
-                                src,
-                                &vms,
-                                &views,
-                                self.config.underload_threshold,
-                            ) {
-                                ctx.trace(
-                                    "relocate",
-                                    format!("underload: drain {} vms", plan.len()),
-                                );
-                                for m in plan {
-                                    self.command_migration(ctx, m);
-                                }
-                            }
-                        }
                     }
+                }
+                ctx.span_close(span);
+            }
+            SnoozeMsg::PlaceVmRequest(req) if matches!(self.mode, Mode::Gm(_)) => {
+                // Child of the GL's dispatch span; lives in the
+                // VmRecord (or pending queue) until the start confirms.
+                let span = ctx.span_open("gm.place");
+                ctx.span_label(span, "vm", req.spec.id.0.to_string());
+                if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload, Some(span)) {
+                    ctx.span_label(span, "lc", format!("{lc:?}"));
+                    let resp = PlaceVmResponse {
+                        vm: req.spec.id,
+                        placed_on: Some(lc),
+                    };
+                    ctx.send(src, resp);
+                } else if self.lcs.values().any(|r| r.waking) {
+                    // Capacity is waking up: accept and queue.
+                    ctx.span_label(span, "queued", "true");
+                    let resp = PlaceVmResponse {
+                        vm: req.spec.id,
+                        placed_on: Some(src),
+                    };
+                    ctx.send(src, resp);
+                    self.enqueue_pending(ctx, req.spec, req.workload, Some(span));
+                } else {
+                    self.stats.placement_rejections += 1;
+                    ctx.span_label(span, "outcome", "refused");
                     ctx.span_close(span);
-                } else if msg.downcast_ref::<PlaceVmRequest>().is_some() {
-                    let req = msg.downcast::<PlaceVmRequest>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                                                                         // Child of the GL's dispatch span; lives in the
-                                                                         // VmRecord (or pending queue) until the start confirms.
-                    let span = ctx.span_open("gm.place");
-                    ctx.span_label(span, "vm", req.spec.id.0.to_string());
-                    if let Some(lc) = self.try_place(ctx, &req.spec, &req.workload, Some(span)) {
-                        ctx.span_label(span, "lc", format!("{lc:?}"));
-                        let resp = PlaceVmResponse {
-                            vm: req.spec.id,
-                            placed_on: Some(lc),
-                        };
-                        ctx.send(src, Box::new(resp));
-                    } else if self.lcs.values().any(|r| r.waking) {
-                        // Capacity is waking up: accept and queue.
-                        ctx.span_label(span, "queued", "true");
-                        let resp = PlaceVmResponse {
-                            vm: req.spec.id,
-                            placed_on: Some(src),
-                        };
-                        ctx.send(src, Box::new(resp));
-                        self.enqueue_pending(ctx, req.spec, req.workload, Some(span));
-                    } else {
-                        self.stats.placement_rejections += 1;
-                        ctx.span_label(span, "outcome", "refused");
-                        ctx.span_close(span);
-                        let resp = PlaceVmResponse {
-                            vm: req.spec.id,
-                            placed_on: None,
-                        };
-                        ctx.send(src, Box::new(resp));
-                    }
-                } else if let Some(result) = msg.downcast_ref::<StartVmResult>() {
-                    if result.ok {
-                        if let Some(record) = self.lcs.get_mut(&src) {
-                            if let Some(rec) = record.vms.get_mut(&result.vm) {
-                                rec.confirmed = true;
-                                if let Some(sp) = rec.span.take() {
-                                    ctx.span_label(sp, "outcome", "started");
-                                    ctx.span_close(sp);
-                                }
-                            }
-                        }
-                        ctx.send(
-                            gl,
-                            Box::new(VmActive {
-                                vm: result.vm,
-                                lc: src,
-                            }),
-                        );
-                    } else {
-                        // Admission raced; roll back and retry elsewhere.
-                        if let Some(record) = self.lcs.get_mut(&src) {
-                            if let Some(rec) = record.vms.remove(&result.vm) {
-                                record.reserved =
-                                    record.reserved.saturating_sub(&rec.spec.requested);
-                                self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
-                            }
-                        }
-                    }
-                } else if let Some(refused) = msg.downcast_ref::<MigrateRefused>() {
-                    // Roll back: the VM stays where it is; release the
-                    // destination's reservation.
-                    let vm = refused.vm;
-                    let rollback = self.lcs.values_mut().find_map(|r| {
-                        let rec = r.vms.get_mut(&vm)?;
-                        rec.migrating_to
-                            .take()
-                            .map(|dest| (rec.spec.requested, dest, rec.migration_span.take()))
-                    });
-                    if let Some((requested, dest, mig_span)) = rollback {
-                        if let Some(sp) = mig_span {
-                            ctx.span_label(sp, "outcome", "refused");
-                            ctx.span_close(sp);
-                        }
-                        if let Some(dst) = self.lcs.get_mut(&dest) {
-                            dst.reserved = dst.reserved.saturating_sub(&requested);
-                        }
-                    }
-                } else if let Some(done) = msg.downcast_ref::<MigrationDone>() {
-                    // src is the *destination* LC.
-                    self.lc_fd.heard(src, now);
-                    let vm = done.vm;
-                    // Find the source record holding this VM in-flight.
-                    let source = self
-                        .lcs
-                        .iter()
-                        .find(|(_, r)| {
-                            r.vms
-                                .get(&vm)
-                                .map(|v| v.migrating_to == Some(src))
-                                .unwrap_or(false)
-                        })
-                        .map(|(&lc, _)| lc);
-                    // `source` came from a scan that saw the record, but
-                    // unwrapping would still wedge the GM on a stale or
-                    // replayed MigrationDone — tolerate absence instead.
-                    let rec = source.and_then(|from| {
-                        let src_rec = self.lcs.get_mut(&from)?;
-                        let rec = src_rec.vms.remove(&vm)?;
-                        src_rec.reserved = src_rec.reserved.saturating_sub(&rec.spec.requested);
-                        if src_rec.vms.is_empty() {
-                            src_rec.idle_since = Some(now);
-                        }
-                        Some(rec)
-                    });
-                    if let Some(rec) = rec {
-                        if let Some(sp) = rec.migration_span {
-                            ctx.span_label(sp, "outcome", if done.ok { "done" } else { "failed" });
-                            ctx.span_close(sp);
-                        }
-                        if done.ok {
-                            if let Some(dst_rec) = self.lcs.get_mut(&src) {
-                                dst_rec.vms.insert(
-                                    vm,
-                                    VmRecord {
-                                        migrating_to: None,
-                                        migration_span: None,
-                                        ..rec
-                                    },
-                                );
-                            }
-                        } else {
-                            // Destination refused the hand-off: the VM is
-                            // gone from the source. Recover if configured.
-                            if let Some(dst_rec) = self.lcs.get_mut(&src) {
-                                dst_rec.reserved =
-                                    dst_rec.reserved.saturating_sub(&rec.spec.requested);
-                            }
-                            if self.config.reschedule_on_lc_failure {
-                                self.stats.vms_rescheduled += 1;
-                                self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
-                            }
-                        }
-                    }
-                } else if let Some(d) = msg.downcast_ref::<DestroyVm>() {
-                    // Forwarded by an LC the VM migrated away from: route
-                    // to wherever our bookkeeping says it lives now.
-                    let vm = d.vm;
-                    let host = self
-                        .lcs
-                        .iter()
-                        .find(|(&lc, r)| lc != src && r.vms.contains_key(&vm))
-                        .map(|(&lc, _)| lc);
-                    if let Some(lc) = host {
-                        ctx.send(lc, Box::new(DestroyVm { vm }));
-                    }
-                } else if let Some(pc) = msg.downcast_ref::<NodePowerChanged>() {
+                    let resp = PlaceVmResponse {
+                        vm: req.spec.id,
+                        placed_on: None,
+                    };
+                    ctx.send(src, resp);
+                }
+            }
+            SnoozeMsg::StartVmResult(result) if matches!(self.mode, Mode::Gm(_)) => {
+                let Mode::Gm(gl) = self.mode else {
+                    return;
+                };
+                if result.ok {
                     if let Some(record) = self.lcs.get_mut(&src) {
-                        record.powered_on = pc.powered_on;
-                        if pc.powered_on {
-                            record.waking = false;
-                            record.wake_sent_at = None;
-                            self.lc_fd.heard(src, now);
-                            // Capacity came online: retry queued work now.
-                            self.drain_pending(ctx);
-                        } else {
-                            self.lc_fd.forget(src);
+                        if let Some(rec) = record.vms.get_mut(&result.vm) {
+                            rec.confirmed = true;
+                            if let Some(sp) = rec.span.take() {
+                                ctx.span_label(sp, "outcome", "started");
+                                ctx.span_close(sp);
+                            }
+                        }
+                    }
+                    ctx.send(
+                        gl,
+                        VmActive {
+                            vm: result.vm,
+                            lc: src,
+                        },
+                    );
+                } else {
+                    // Admission raced; roll back and retry elsewhere.
+                    if let Some(record) = self.lcs.get_mut(&src) {
+                        if let Some(rec) = record.vms.remove(&result.vm) {
+                            record.reserved = record.reserved.saturating_sub(&rec.spec.requested);
+                            self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
                         }
                     }
                 }
             }
-
-            Mode::Candidate => {
-                // Not yet part of the hierarchy; only election traffic
-                // (handled above) matters.
+            SnoozeMsg::MigrateRefused(refused) if matches!(self.mode, Mode::Gm(_)) => {
+                // Roll back: the VM stays where it is; release the
+                // destination's reservation.
+                let vm = refused.vm;
+                let rollback = self.lcs.values_mut().find_map(|r| {
+                    let rec = r.vms.get_mut(&vm)?;
+                    rec.migrating_to
+                        .take()
+                        .map(|dest| (rec.spec.requested, dest, rec.migration_span.take()))
+                });
+                if let Some((requested, dest, mig_span)) = rollback {
+                    if let Some(sp) = mig_span {
+                        ctx.span_label(sp, "outcome", "refused");
+                        ctx.span_close(sp);
+                    }
+                    if let Some(dst) = self.lcs.get_mut(&dest) {
+                        dst.reserved = dst.reserved.saturating_sub(&requested);
+                    }
+                }
             }
+            SnoozeMsg::MigrationDone(done) if matches!(self.mode, Mode::Gm(_)) => {
+                // src is the *destination* LC.
+                self.lc_fd.heard(src, now);
+                let vm = done.vm;
+                // Find the source record holding this VM in-flight.
+                let source = self
+                    .lcs
+                    .iter()
+                    .find(|(_, r)| {
+                        r.vms
+                            .get(&vm)
+                            .map(|v| v.migrating_to == Some(src))
+                            .unwrap_or(false)
+                    })
+                    .map(|(&lc, _)| lc);
+                // `source` came from a scan that saw the record, but
+                // unwrapping would still wedge the GM on a stale or
+                // replayed MigrationDone — tolerate absence instead.
+                let rec = source.and_then(|from| {
+                    let src_rec = self.lcs.get_mut(&from)?;
+                    let rec = src_rec.vms.remove(&vm)?;
+                    src_rec.reserved = src_rec.reserved.saturating_sub(&rec.spec.requested);
+                    if src_rec.vms.is_empty() {
+                        src_rec.idle_since = Some(now);
+                    }
+                    Some(rec)
+                });
+                if let Some(rec) = rec {
+                    if let Some(sp) = rec.migration_span {
+                        ctx.span_label(sp, "outcome", if done.ok { "done" } else { "failed" });
+                        ctx.span_close(sp);
+                    }
+                    if done.ok {
+                        if let Some(dst_rec) = self.lcs.get_mut(&src) {
+                            dst_rec.vms.insert(
+                                vm,
+                                VmRecord {
+                                    migrating_to: None,
+                                    migration_span: None,
+                                    ..rec
+                                },
+                            );
+                        }
+                    } else {
+                        // Destination refused the hand-off: the VM is
+                        // gone from the source. Recover if configured.
+                        if let Some(dst_rec) = self.lcs.get_mut(&src) {
+                            dst_rec.reserved = dst_rec.reserved.saturating_sub(&rec.spec.requested);
+                        }
+                        if self.config.reschedule_on_lc_failure {
+                            self.stats.vms_rescheduled += 1;
+                            self.enqueue_pending(ctx, rec.spec, rec.workload, rec.span);
+                        }
+                    }
+                }
+            }
+            SnoozeMsg::DestroyVm(d) if matches!(self.mode, Mode::Gm(_)) => {
+                // Forwarded by an LC the VM migrated away from: route
+                // to wherever our bookkeeping says it lives now.
+                let vm = d.vm;
+                let host = self
+                    .lcs
+                    .iter()
+                    .find(|(&lc, r)| lc != src && r.vms.contains_key(&vm))
+                    .map(|(&lc, _)| lc);
+                if let Some(lc) = host {
+                    ctx.send(lc, DestroyVm { vm });
+                }
+            }
+            SnoozeMsg::NodePowerChanged(pc) if matches!(self.mode, Mode::Gm(_)) => {
+                if let Some(record) = self.lcs.get_mut(&src) {
+                    record.powered_on = pc.powered_on;
+                    if pc.powered_on {
+                        record.waking = false;
+                        record.wake_sent_at = None;
+                        self.lc_fd.heard(src, now);
+                        // Capacity came online: retry queued work now.
+                        self.drain_pending(ctx);
+                    } else {
+                        self.lc_fd.forget(src);
+                    }
+                }
+            }
+
+            // Everything else — wrong-mode traffic (a Candidate is not
+            // yet part of the hierarchy), messages addressed to other
+            // roles — is dropped, like an unrecognized RPC.
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, t: u64) {
         if t == ELECTION_PING_TAG {
             self.elector.tick(ctx);
             return;
@@ -1268,7 +1251,7 @@ impl Component for GroupManager {
         }
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx) {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         // Fresh process: volatile state is gone (§II-E's self-healing
         // relies on re-joining, not on persistence).
         self.mode = Mode::Candidate;

@@ -16,7 +16,7 @@ use snooze_cluster::hypervisor::Hypervisor;
 use snooze_cluster::node::{NodeSpec, PowerState, PowerStateMachine};
 use snooze_cluster::power::EnergyMeter;
 use snooze_cluster::vm::{VmId, VmState};
-use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
@@ -24,6 +24,8 @@ use snooze_simcore::time::{SimSpan, SimTime};
 use crate::config::SnoozeConfig;
 use crate::messages::*;
 use crate::tags::*;
+
+pub use crate::messages::LcJoinAckWithGroup;
 
 /// Counters exposed for experiments and tests.
 #[derive(Clone, Copy, Debug, Default)]
@@ -140,7 +142,7 @@ impl LocalController {
         self.energy.update(now, watts);
     }
 
-    fn send_monitoring(&mut self, ctx: &mut Ctx, powered_on: bool) {
+    fn send_monitoring(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, powered_on: bool) {
         let Some(gm) = self.gm else { return };
         let now = ctx.now();
         let vms: Vec<VmUsage> = self
@@ -159,10 +161,10 @@ impl LocalController {
             powered_on,
             sampled_at: now,
         };
-        ctx.send(gm, Box::new(report));
+        ctx.send(gm, report);
     }
 
-    fn check_anomalies(&mut self, ctx: &mut Ctx) {
+    fn check_anomalies(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let Some(gm) = self.gm else { return };
         let now = ctx.now();
         // Rate-limit anomaly spam: one report per three monitoring ticks.
@@ -216,11 +218,11 @@ impl LocalController {
                 sampled_at: now,
             };
             ctx.trace("anomaly", format!("{kind:?}"));
-            ctx.send(gm, Box::new(AnomalyReport { kind, monitoring }));
+            ctx.send(gm, AnomalyReport { kind, monitoring });
         }
     }
 
-    fn leave_gm(&mut self, ctx: &mut Ctx) {
+    fn leave_gm(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         if let Some(group) = self.gm_group.take() {
             ctx.leave_group(group);
         }
@@ -238,7 +240,7 @@ impl LocalController {
     /// Detach from the hierarchy in preparation for a role change:
     /// leaves the GM group and forgets the assignment. Only legal when
     /// [`LocalController::promotable`]; returns whether it detached.
-    pub fn detach(&mut self, ctx: &mut Ctx) -> bool {
+    pub fn detach(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) -> bool {
         if !self.promotable() {
             return false;
         }
@@ -248,19 +250,21 @@ impl LocalController {
 }
 
 impl Component for LocalController {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.join_group(self.gl_group);
         self.energy = EnergyMeter::new(ctx.now(), self.node.power.active_watts(0.0));
         ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
         let now = ctx.now();
         self.power.tick(now);
 
         // While suspended, the NIC only honours wake-on-LAN.
         if !self.is_on() {
-            if msg.downcast_ref::<WakeNode>().is_some() {
+            if let SnoozeMsg::WakeNode(_) = msg {
                 if let Ok(done) = self.power.resume(now) {
                     self.meter_update(now);
                     self.stats.wakeups += 1;
@@ -273,10 +277,9 @@ impl Component for LocalController {
             return;
         }
 
-        if msg.downcast_ref::<GlHeartbeat>().is_some() {
-            let hb = msg.downcast::<GlHeartbeat>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-                                                             // Unassigned LCs use GL heartbeats to (re)join the hierarchy.
-            if self.gm.is_none() {
+        match msg {
+            // Unassigned LCs use GL heartbeats to (re)join the hierarchy.
+            SnoozeMsg::GlHeartbeat(hb) if self.gm.is_none() => {
                 let stale = self
                     .assignment_requested_at
                     .map(|t| now.since(t) > self.config.placement_retry_period)
@@ -284,142 +287,147 @@ impl Component for LocalController {
                 if stale {
                     self.assignment_requested_at = Some(now);
                     let capacity = self.hypervisor.capacity();
-                    ctx.send(hb.gl, Box::new(LcAssignRequest { capacity }));
+                    ctx.send(hb.gl, LcAssignRequest { capacity });
                 }
             }
-        } else if let Some(assign) = msg.downcast_ref::<LcAssignment>() {
-            if self.gm.is_none() {
+            SnoozeMsg::LcAssignment(assign) if self.gm.is_none() => {
                 let capacity = self.hypervisor.capacity();
-                ctx.send(assign.gm, Box::new(LcJoin { capacity }));
+                ctx.send(assign.gm, LcJoin { capacity });
             }
-        } else if let Some(ack) = msg.downcast_ref::<LcJoinAckWithGroup>() {
-            self.gm = Some(src);
-            self.last_gm_heartbeat = now;
-            let group = ack.group;
-            self.gm_group = Some(group);
-            ctx.join_group(group);
-            ctx.trace("join", format!("joined GM {src:?}"));
-            // Report immediately so the GM learns our capacity and guests.
-            self.send_monitoring(ctx, true);
-        } else if let Some(hb) = msg.downcast_ref::<GmLcHeartbeat>() {
-            if Some(hb.gm) == self.gm {
+            SnoozeMsg::LcJoinAckWithGroup(ack) => {
+                self.gm = Some(src);
+                self.last_gm_heartbeat = now;
+                let group = ack.group;
+                self.gm_group = Some(group);
+                ctx.join_group(group);
+                ctx.trace("join", format!("joined GM {src:?}"));
+                // Report immediately so the GM learns our capacity and guests.
+                self.send_monitoring(ctx, true);
+            }
+            SnoozeMsg::GmLcHeartbeat(hb) if Some(hb.gm) == self.gm => {
                 self.last_gm_heartbeat = now;
             }
-        } else if msg.downcast_ref::<StartVm>().is_some() {
-            let start = msg.downcast::<StartVm>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-            let vm = start.spec.id;
-            // Idempotent: a GM may re-send a StartVm whose acknowledgment
-            // was lost. An already-running guest is re-acked; a booting
-            // one will be acked by its boot timer.
-            if let Some(existing) = self.hypervisor.guest(vm) {
-                if existing.state == VmState::Running {
-                    ctx.send(src, Box::new(StartVmResult { vm, ok: true }));
-                }
-                return;
-            }
-            match self.hypervisor.admit(start.spec, start.workload, now) {
-                Ok(()) => {
-                    if let Some(g) = self.hypervisor.guest_mut(vm) {
-                        g.state = VmState::Booting;
+            SnoozeMsg::StartVm(start) => {
+                let vm = start.spec.id;
+                // Idempotent: a GM may re-send a StartVm whose acknowledgment
+                // was lost. An already-running guest is re-acked; a booting
+                // one will be acked by its boot timer.
+                if let Some(existing) = self.hypervisor.guest(vm) {
+                    if existing.state == VmState::Running {
+                        ctx.send(src, StartVmResult { vm, ok: true });
                     }
+                    return;
+                }
+                match self.hypervisor.admit(start.spec, start.workload, now) {
+                    Ok(()) => {
+                        if let Some(g) = self.hypervisor.guest_mut(vm) {
+                            g.state = VmState::Booting;
+                        }
+                        self.meter_update(now);
+                        // The boot is the leaf of the placement tree: a child
+                        // of the GM's gm.place span (ambient from StartVm),
+                        // carried across the boot delay by the timer.
+                        let span = ctx.span_open("lc.boot");
+                        ctx.span_label(span, "vm", vm.0.to_string());
+                        self.boot_spans.insert(vm, span);
+                        ctx.set_timer_in(span, self.config.vm_boot_delay, tag(LC_VM_BOOT, vm.0));
+                    }
+                    Err(_) => {
+                        ctx.send(src, StartVmResult { vm, ok: false });
+                    }
+                }
+            }
+            SnoozeMsg::DestroyVm(d) => {
+                if self.hypervisor.remove(d.vm).is_some() {
+                    self.stats.vms_destroyed += 1;
                     self.meter_update(now);
-                    // The boot is the leaf of the placement tree: a child
-                    // of the GM's gm.place span (ambient from StartVm),
-                    // carried across the boot delay by the timer.
-                    let span = ctx.span_open("lc.boot");
-                    ctx.span_label(span, "vm", vm.0.to_string());
-                    self.boot_spans.insert(vm, span);
-                    ctx.set_timer_in(span, self.config.vm_boot_delay, tag(LC_VM_BOOT, vm.0));
-                }
-                Err(_) => {
-                    ctx.send(src, Box::new(StartVmResult { vm, ok: false }));
+                } else if let Some(gm) = self.gm {
+                    // Not here (migrated away since the client's ack): the GM
+                    // knows where intra-group relocation put it.
+                    if src != gm {
+                        ctx.send(gm, d);
+                    }
                 }
             }
-        } else if let Some(d) = msg.downcast_ref::<DestroyVm>() {
-            if self.hypervisor.remove(d.vm).is_some() {
-                self.stats.vms_destroyed += 1;
-                self.meter_update(now);
-            } else if let Some(gm) = self.gm {
-                // Not here (migrated away since the client's ack): the GM
-                // knows where intra-group relocation put it.
-                if src != gm {
-                    ctx.send(gm, Box::new(*d));
-                }
-            }
-        } else if let Some(m) = msg.downcast_ref::<MigrateVm>() {
-            let Some(guest) = self.hypervisor.guest_mut(m.vm) else {
-                if let Some(gm) = self.gm {
-                    ctx.send(gm, Box::new(MigrateRefused { vm: m.vm }));
-                }
-                return;
-            };
-            if guest.state != VmState::Running {
-                // Booting or already migrating — tell the GM so it can
-                // roll back its bookkeeping instead of waiting forever.
-                let vm = m.vm;
-                if let Some(gm) = self.gm {
-                    ctx.send(gm, Box::new(MigrateRefused { vm }));
-                }
-                return;
-            }
-            guest.state = VmState::Migrating;
-            let dirty = guest.workload.dirty_rate_mbps(now, &guest.spec.requested);
-            let image = guest.spec.image_mb;
-            let est = self.config.migration.estimate(image, dirty);
-            // The transfer span covers pre-copy through hand-off, nested
-            // under the GM's gm.migrate span (ambient from MigrateVm).
-            let span = ctx.span_open("lc.migrate-out");
-            ctx.span_label(span, "vm", m.vm.0.to_string());
-            ctx.span_label(span, "to", format!("{:?}", m.to));
-            self.migrating_out.push((m.vm, m.to, span));
-            ctx.trace(
-                "migrate",
-                format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration),
-            );
-            ctx.set_timer_in(span, est.duration, tag(LC_MIG_OUT, m.vm.0));
-        } else if msg.downcast_ref::<VmHandoff>().is_some() {
-            let handoff = msg.downcast::<VmHandoff>().unwrap(); // audit-allow(handler-unwrap): downcast guarded by is_some() above
-            let vm = handoff.spec.id;
-            let ok = self
-                .hypervisor
-                .admit(handoff.spec, handoff.workload, now)
-                .is_ok();
-            if ok {
-                self.stats.migrations_in += 1;
-                self.meter_update(now);
-            } else {
-                self.stats.migrations_rejected += 1;
-            }
-            if let Some(gm) = self.gm {
-                ctx.send(gm, Box::new(MigrationDone { vm, ok }));
-            }
-        } else if msg.downcast_ref::<SuspendNode>().is_some() {
-            if self.hypervisor.is_idle() {
-                if let Ok(done) = self.power.suspend(now) {
-                    self.stats.suspensions += 1;
-                    ctx.metrics()
-                        .incr_with("power.transitions", &label("kind", "suspend"));
-                    self.meter_update(now);
-                    ctx.set_timer(done - now, tag(LC_POWER, 0));
-                    ctx.trace("power", "suspending");
+            SnoozeMsg::MigrateVm(m) => {
+                let Some(guest) = self.hypervisor.guest_mut(m.vm) else {
                     if let Some(gm) = self.gm {
-                        ctx.send(gm, Box::new(NodePowerChanged { powered_on: false }));
+                        ctx.send(gm, MigrateRefused { vm: m.vm });
                     }
+                    return;
+                };
+                if guest.state != VmState::Running {
+                    // Booting or already migrating — tell the GM so it can
+                    // roll back its bookkeeping instead of waiting forever.
+                    let vm = m.vm;
+                    if let Some(gm) = self.gm {
+                        ctx.send(gm, MigrateRefused { vm });
+                    }
+                    return;
                 }
-            } else if let Some(gm) = self.gm {
-                // Stale command: correct the GM's view.
-                self.send_monitoring(ctx, true);
-                ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+                guest.state = VmState::Migrating;
+                let dirty = guest.workload.dirty_rate_mbps(now, &guest.spec.requested);
+                let image = guest.spec.image_mb;
+                let est = self.config.migration.estimate(image, dirty);
+                // The transfer span covers pre-copy through hand-off, nested
+                // under the GM's gm.migrate span (ambient from MigrateVm).
+                let span = ctx.span_open("lc.migrate-out");
+                ctx.span_label(span, "vm", m.vm.0.to_string());
+                ctx.span_label(span, "to", format!("{:?}", m.to));
+                self.migrating_out.push((m.vm, m.to, span));
+                ctx.trace(
+                    "migrate",
+                    format!("{:?} -> {:?} in {}", m.vm, m.to, est.duration),
+                );
+                ctx.set_timer_in(span, est.duration, tag(LC_MIG_OUT, m.vm.0));
             }
-        } else if msg.downcast_ref::<WakeNode>().is_some() {
-            // Already on — confirm so the GM stops waiting.
-            if let Some(gm) = self.gm {
-                ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+            SnoozeMsg::VmHandoff(handoff) => {
+                let vm = handoff.spec.id;
+                let ok = self
+                    .hypervisor
+                    .admit(handoff.spec, handoff.workload, now)
+                    .is_ok();
+                if ok {
+                    self.stats.migrations_in += 1;
+                    self.meter_update(now);
+                } else {
+                    self.stats.migrations_rejected += 1;
+                }
+                if let Some(gm) = self.gm {
+                    ctx.send(gm, MigrationDone { vm, ok });
+                }
             }
+            SnoozeMsg::SuspendNode(_) => {
+                if self.hypervisor.is_idle() {
+                    if let Ok(done) = self.power.suspend(now) {
+                        self.stats.suspensions += 1;
+                        ctx.metrics()
+                            .incr_with("power.transitions", &label("kind", "suspend"));
+                        self.meter_update(now);
+                        ctx.set_timer(done - now, tag(LC_POWER, 0));
+                        ctx.trace("power", "suspending");
+                        if let Some(gm) = self.gm {
+                            ctx.send(gm, NodePowerChanged { powered_on: false });
+                        }
+                    }
+                } else if let Some(gm) = self.gm {
+                    // Stale command: correct the GM's view.
+                    self.send_monitoring(ctx, true);
+                    ctx.send(gm, NodePowerChanged { powered_on: true });
+                }
+            }
+            SnoozeMsg::WakeNode(_) => {
+                // Already on — confirm so the GM stops waiting.
+                if let Some(gm) = self.gm {
+                    ctx.send(gm, NodePowerChanged { powered_on: true });
+                }
+            }
+            // Anything else is addressed to another role; drop it.
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, t: u64) {
         let now = ctx.now();
         self.power.tick(now);
         match tag_kind(t) {
@@ -448,7 +456,7 @@ impl Component for LocalController {
                     if let Some(gm) = self.gm {
                         // The timer's span context makes the ack a causal
                         // descendant of lc.boot.
-                        ctx.send(gm, Box::new(StartVmResult { vm, ok: true }));
+                        ctx.send(gm, StartVmResult { vm, ok: true });
                     }
                 }
                 if let Some(sp) = self.boot_spans.remove(&vm) {
@@ -468,10 +476,10 @@ impl Component for LocalController {
                     // close it only after, so the send stays inside it.
                     ctx.send(
                         dest,
-                        Box::new(VmHandoff {
+                        VmHandoff {
                             spec: guest.spec,
                             workload: guest.workload,
-                        }),
+                        },
                     );
                 }
                 ctx.span_close(span);
@@ -502,7 +510,7 @@ impl Component for LocalController {
                     // Give the GM a grace period before liveness checks.
                     self.last_gm_heartbeat = now;
                     if let Some(gm) = self.gm {
-                        ctx.send(gm, Box::new(NodePowerChanged { powered_on: true }));
+                        ctx.send(gm, NodePowerChanged { powered_on: true });
                         self.send_monitoring(ctx, true);
                     }
                     ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
@@ -518,7 +526,7 @@ impl Component for LocalController {
         self.energy.update(now, 0.0);
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx) {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let now = ctx.now();
         self.hypervisor = Hypervisor::new(self.node.capacity);
         self.power = PowerStateMachine::new_on(self.node.transitions);
@@ -534,15 +542,6 @@ impl Component for LocalController {
         ctx.trace("restart", "LC back up");
         ctx.set_timer(self.config.lc_monitoring_period, tag(LC_MONITOR, 0));
     }
-}
-
-/// GM → LC: join acknowledgement carrying the GM's heartbeat multicast
-/// group. (Defined here rather than in [`crate::messages`] because it
-/// references the engine's `GroupId`.)
-#[derive(Clone, Copy, Debug)]
-pub struct LcJoinAckWithGroup {
-    /// The GM's LC-heartbeat multicast group.
-    pub group: GroupId,
 }
 
 /// Convenience for tests: the spec for one LC's silence-based timeouts.

@@ -2,12 +2,23 @@
 //!
 //! In the original system these are Java RESTful web-service calls
 //! (§II-A); here they are typed payloads on the simulated network. One
-//! module holds every message so the protocol is readable in one place.
+//! module holds every message so the protocol is readable in one place,
+//! and [`SnoozeMsg`] closes them into the single enum the engine carries:
+//! each struct below is a variant, coordination traffic rides in the
+//! [`SnoozeMsg::Protocol`] variant, and every component handler is an
+//! exhaustive `match` — no boxing, no runtime casts.
+//!
+//! To add a message: define its struct here, list it in the
+//! `snooze_msg!` invocation at the bottom, and handle the new variant in
+//! the receiving component's `on_message` (the compiler will not remind
+//! you — unhandled variants fall into the `_ => {}` drop arm, exactly
+//! like an unknown REST endpoint — so add a test that exercises it).
 
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
-use snooze_simcore::engine::ComponentId;
+use snooze_protocols::coordination::{ProtocolCarrier, ProtocolMsg};
+use snooze_simcore::engine::{ComponentId, GroupId};
 use snooze_simcore::time::SimTime;
 
 // ---------------------------------------------------------------------------
@@ -139,12 +150,19 @@ pub struct LcAssignment {
 }
 
 /// LC → GM: join your group. (The acknowledgment,
-/// [`crate::local_controller::LcJoinAckWithGroup`], carries the GM's
-/// heartbeat multicast group.)
+/// [`LcJoinAckWithGroup`], carries the GM's heartbeat multicast group.)
 #[derive(Clone, Copy, Debug)]
 pub struct LcJoin {
     /// The LC's total capacity.
     pub capacity: ResourceVector,
+}
+
+/// GM → LC: join acknowledgement carrying the GM's heartbeat multicast
+/// group.
+#[derive(Clone, Copy, Debug)]
+pub struct LcJoinAckWithGroup {
+    /// The GM's LC-heartbeat multicast group.
+    pub group: GroupId,
 }
 
 // ---------------------------------------------------------------------------
@@ -288,4 +306,127 @@ pub struct WakeNode;
 pub struct NodePowerChanged {
     /// True once the node is back on; false when it entered suspend.
     pub powered_on: bool,
+}
+
+// ---------------------------------------------------------------------------
+// GM → GL placement progress
+// ---------------------------------------------------------------------------
+
+/// GM → GL: a dispatched VM is now running on `lc`.
+#[derive(Clone, Copy, Debug)]
+pub struct VmActive {
+    /// The VM.
+    pub vm: VmId,
+    /// Where it runs.
+    pub lc: ComponentId,
+}
+
+/// GM → GL: a previously accepted VM could not be started after retries.
+#[derive(Clone, Copy, Debug)]
+pub struct VmFailed {
+    /// The VM.
+    pub vm: VmId,
+}
+
+// ---------------------------------------------------------------------------
+// Unified-node extension (paper §V)
+// ---------------------------------------------------------------------------
+
+/// Director → node: become a manager if you are idle.
+#[derive(Clone, Copy, Debug)]
+pub struct PromoteIfIdle;
+
+/// Director → node: give up the manager role and rejoin as an LC.
+#[derive(Clone, Copy, Debug)]
+pub struct DemoteToLc;
+
+/// Node → director: the node's current role (sent in reply to
+/// [`QueryRole`] and spontaneously after a role change).
+#[derive(Clone, Copy, Debug)]
+pub struct RoleReport {
+    /// Current role.
+    pub role: crate::unified::NodeRole,
+    /// True when the node could be promoted right now (idle LC).
+    pub promotable: bool,
+}
+
+/// Director → node: report your role.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryRole;
+
+/// Director → GL: how many managers are alive?
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerCensusQuery;
+
+/// GL → director: manager census (GMs it knows, plus itself).
+#[derive(Clone, Copy, Debug)]
+pub struct ManagerCensusReply {
+    /// Live managers, GL included.
+    pub managers: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The closed message set
+// ---------------------------------------------------------------------------
+
+/// Declares [`SnoozeMsg`]: one variant per management-plane message
+/// struct (variant name = struct name), plus a `From` conversion per
+/// struct so send sites pass the bare struct.
+macro_rules! snooze_msg {
+    ( $( $ty:ident ),+ $(,)? ) => {
+        /// Every message the Snooze management plane can carry — the
+        /// engine's message type for a Snooze deployment.
+        ///
+        /// Coordination traffic (election, sessions, watches) rides in
+        /// the [`SnoozeMsg::Protocol`] variant; everything else is one
+        /// variant per struct in [`crate::messages`].
+        #[derive(Clone, Debug)]
+        pub enum SnoozeMsg {
+            /// Coordination traffic: requests to and replies from the
+            /// ZooKeeper stand-in (see
+            /// [`snooze_protocols::coordination::ProtocolMsg`]).
+            Protocol(ProtocolMsg),
+            $(
+                #[doc = concat!("A [`", stringify!($ty), "`] message.")]
+                $ty($ty),
+            )+
+        }
+
+        $(
+            impl From<$ty> for SnoozeMsg {
+                fn from(m: $ty) -> Self {
+                    SnoozeMsg::$ty(m)
+                }
+            }
+        )+
+    };
+}
+
+snooze_msg! {
+    DiscoverGl, GlInfo, SubmitVm, VmPlaced, VmRejected, DestroyVm,
+    HierarchyQuery, HierarchySnapshot,
+    GlHeartbeat, GmHeartbeat, GmLcHeartbeat,
+    GmJoin, LcAssignRequest, LcAssignment, LcJoin, LcJoinAckWithGroup,
+    LcMonitoring, AnomalyReport,
+    PlaceVmRequest, PlaceVmResponse, StartVm, StartVmResult,
+    MigrateVm, MigrateRefused, VmHandoff, MigrationDone,
+    SuspendNode, WakeNode, NodePowerChanged,
+    VmActive, VmFailed,
+    PromoteIfIdle, DemoteToLc, RoleReport, QueryRole,
+    ManagerCensusQuery, ManagerCensusReply,
+}
+
+impl From<ProtocolMsg> for SnoozeMsg {
+    fn from(m: ProtocolMsg) -> Self {
+        SnoozeMsg::Protocol(m)
+    }
+}
+
+impl ProtocolCarrier for SnoozeMsg {
+    fn into_protocol(self) -> Option<ProtocolMsg> {
+        match self {
+            SnoozeMsg::Protocol(p) => Some(p),
+            _ => None,
+        }
+    }
 }

@@ -6,13 +6,15 @@
 
 use snooze_cluster::node::{NodeSpec, PowerState};
 use snooze_protocols::coordination::CoordinationService;
-use snooze_simcore::engine::{ComponentId, Engine, GroupId};
+use snooze_simcore::engine::{Component, ComponentId, Engine, GroupId};
 use snooze_simcore::time::SimTime;
 
 use crate::config::SnoozeConfig;
 use crate::entry_point::EntryPoint;
 use crate::group_manager::{GroupManager, Mode};
 use crate::local_controller::LocalController;
+use crate::messages::SnoozeMsg;
+use crate::NodeView;
 
 /// Handles to every component of a deployed system.
 pub struct SnoozeSystem {
@@ -30,14 +32,23 @@ pub struct SnoozeSystem {
 
 impl SnoozeSystem {
     /// Deploy a system: `n_gms` manager nodes, one LC per entry of
-    /// `nodes`, and `n_eps` entry points, all sharing `config`.
-    pub fn deploy(
-        engine: &mut Engine,
+    /// `nodes`, and `n_eps` entry points, all sharing `config`. Generic
+    /// over the engine's node enum so test harnesses can mix in
+    /// scripted components; `SnoozeNode` satisfies the bounds.
+    pub fn deploy<C>(
+        engine: &mut Engine<C>,
         config: &SnoozeConfig,
         n_gms: usize,
         nodes: &[NodeSpec],
         n_eps: usize,
-    ) -> SnoozeSystem {
+    ) -> SnoozeSystem
+    where
+        C: Component<Msg = SnoozeMsg>
+            + From<CoordinationService<SnoozeMsg>>
+            + From<GroupManager>
+            + From<LocalController>
+            + From<EntryPoint>,
+    {
         assert!(
             n_gms >= 2,
             "need at least two managers: one is elected GL and, having a \
@@ -84,7 +95,7 @@ impl SnoozeSystem {
 
     /// The component currently acting as GL, if the hierarchy has
     /// converged.
-    pub fn current_gl(&self, engine: &Engine) -> Option<ComponentId> {
+    pub fn current_gl<C: Component + NodeView>(&self, engine: &Engine<C>) -> Option<ComponentId> {
         let leaders: Vec<ComponentId> = self
             .gms
             .iter()
@@ -92,7 +103,8 @@ impl SnoozeSystem {
             .filter(|&gm| {
                 engine.is_alive(gm)
                     && engine
-                        .component_as::<GroupManager>(gm)
+                        .get(gm)
+                        .and_then(|c| c.gm())
                         .map(|g| g.is_gl())
                         .unwrap_or(false)
             })
@@ -104,14 +116,15 @@ impl SnoozeSystem {
     }
 
     /// Managers currently in GM (non-leader) mode with at least one LC.
-    pub fn active_gms(&self, engine: &Engine) -> Vec<ComponentId> {
+    pub fn active_gms<C: Component + NodeView>(&self, engine: &Engine<C>) -> Vec<ComponentId> {
         self.gms
             .iter()
             .copied()
             .filter(|&gm| {
                 engine.is_alive(gm)
                     && engine
-                        .component_as::<GroupManager>(gm)
+                        .get(gm)
+                        .and_then(|c| c.gm())
                         .map(|g| matches!(g.mode(), Mode::Gm(_)))
                         .unwrap_or(false)
             })
@@ -119,28 +132,35 @@ impl SnoozeSystem {
     }
 
     /// Total VMs currently resident across all LC hypervisors.
-    pub fn total_vms(&self, engine: &Engine) -> usize {
+    pub fn total_vms<C: Component + NodeView>(&self, engine: &Engine<C>) -> usize {
         self.lcs
             .iter()
             .filter(|&&lc| engine.is_alive(lc))
-            .filter_map(|&lc| engine.component_as::<LocalController>(lc))
+            .filter_map(|&lc| engine.get(lc).and_then(|c| c.lc()))
             .map(|l| l.hypervisor().guest_count())
             .sum()
     }
 
     /// Cluster-wide energy consumed up to `now`, in watt-hours (alive
     /// LCs only — crashed nodes stopped metering at the crash).
-    pub fn total_energy_wh(&self, engine: &Engine, now: SimTime) -> f64 {
+    pub fn total_energy_wh<C: Component + NodeView>(
+        &self,
+        engine: &Engine<C>,
+        now: SimTime,
+    ) -> f64 {
         self.lcs
             .iter()
-            .filter_map(|&lc| engine.component_as::<LocalController>(lc))
+            .filter_map(|&lc| engine.get(lc).and_then(|c| c.lc()))
             .map(|l| l.energy_wh(now))
             .sum()
     }
 
     /// How many LCs are in each coarse power state: `(on, transitioning,
     /// low_power)`.
-    pub fn power_census(&self, engine: &Engine) -> (usize, usize, usize) {
+    pub fn power_census<C: Component + NodeView>(
+        &self,
+        engine: &Engine<C>,
+    ) -> (usize, usize, usize) {
         let mut on = 0;
         let mut transitioning = 0;
         let mut low = 0;
@@ -148,7 +168,7 @@ impl SnoozeSystem {
             if !engine.is_alive(lc) {
                 continue;
             }
-            let Some(l) = engine.component_as::<LocalController>(lc) else {
+            let Some(l) = engine.get(lc).and_then(|c| c.lc()) else {
                 continue;
             };
             match l.power_state() {
@@ -162,14 +182,18 @@ impl SnoozeSystem {
 
     /// Mean application performance across LCs hosting VMs (1.0 = no
     /// contention anywhere).
-    pub fn mean_performance(&self, engine: &Engine, now: SimTime) -> f64 {
+    pub fn mean_performance<C: Component + NodeView>(
+        &self,
+        engine: &Engine<C>,
+        now: SimTime,
+    ) -> f64 {
         let mut sum = 0.0;
         let mut n = 0usize;
         for &lc in &self.lcs {
             if !engine.is_alive(lc) {
                 continue;
             }
-            let Some(l) = engine.component_as::<LocalController>(lc) else {
+            let Some(l) = engine.get(lc).and_then(|c| c.lc()) else {
                 continue;
             };
             if l.hypervisor().guest_count() > 0 {

@@ -20,14 +20,19 @@
 //! demoted node resigns its election znode and rejoins as a fresh LC.
 
 use snooze_cluster::node::NodeSpec;
-use snooze_simcore::engine::{AnyMsg, Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::engine::{Component, ComponentId, Ctx, Engine, GroupId};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::config::SnoozeConfig;
 use crate::group_manager::GroupManager;
 use crate::local_controller::LocalController;
-use crate::messages::GlHeartbeat;
+use crate::messages::SnoozeMsg;
 use crate::tags::{tag, tag_kind};
+use crate::NodeView;
+
+pub use crate::messages::{
+    DemoteToLc, ManagerCensusQuery, ManagerCensusReply, PromoteIfIdle, QueryRole, RoleReport,
+};
 
 /// Which role a unified node currently plays.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,39 +41,6 @@ pub enum NodeRole {
     LocalController,
     /// Serving as a manager (GM, possibly elected GL).
     Manager,
-}
-
-/// Director → node: become a manager if you are idle.
-#[derive(Clone, Copy, Debug)]
-pub struct PromoteIfIdle;
-
-/// Director → node: give up the manager role and rejoin as an LC.
-#[derive(Clone, Copy, Debug)]
-pub struct DemoteToLc;
-
-/// Node → director: the node's current role (sent in reply to
-/// [`QueryRole`] and spontaneously after a role change).
-#[derive(Clone, Copy, Debug)]
-pub struct RoleReport {
-    /// Current role.
-    pub role: NodeRole,
-    /// True when the node could be promoted right now (idle LC).
-    pub promotable: bool,
-}
-
-/// Director → node: report your role.
-#[derive(Clone, Copy, Debug)]
-pub struct QueryRole;
-
-/// Director → GL: how many managers are alive?
-#[derive(Clone, Copy, Debug)]
-pub struct ManagerCensusQuery;
-
-/// GL → director: manager census (GMs it knows, plus itself).
-#[derive(Clone, Copy, Debug)]
-pub struct ManagerCensusReply {
-    /// Live managers, GL included.
-    pub managers: usize,
 }
 
 /// A node that can play either hierarchy role.
@@ -114,15 +86,15 @@ impl UnifiedNode {
         &self.gm
     }
 
-    fn report(&self, ctx: &mut Ctx, to: ComponentId) {
+    fn report(&self, ctx: &mut Ctx<'_, SnoozeMsg>, to: ComponentId) {
         let report = RoleReport {
             role: self.role,
             promotable: self.role == NodeRole::LocalController && self.lc.promotable(),
         };
-        ctx.send(to, Box::new(report));
+        ctx.send(to, report);
     }
 
-    fn promote(&mut self, ctx: &mut Ctx) -> bool {
+    fn promote(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) -> bool {
         if self.role == NodeRole::Manager || !self.lc.detach(ctx) {
             return false;
         }
@@ -134,7 +106,7 @@ impl UnifiedNode {
         true
     }
 
-    fn demote(&mut self, ctx: &mut Ctx) -> bool {
+    fn demote(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) -> bool {
         if self.role == NodeRole::LocalController {
             return false;
         }
@@ -154,28 +126,31 @@ impl UnifiedNode {
 }
 
 impl Component for UnifiedNode {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         self.lc.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
-        if msg.downcast_ref::<QueryRole>().is_some() {
-            self.report(ctx, src);
-        } else if msg.downcast_ref::<PromoteIfIdle>().is_some() {
-            self.promote(ctx);
-            self.report(ctx, src);
-        } else if msg.downcast_ref::<DemoteToLc>().is_some() {
-            self.demote(ctx);
-            self.report(ctx, src);
-        } else {
-            match self.role {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
+        match msg {
+            SnoozeMsg::QueryRole(_) => self.report(ctx, src),
+            SnoozeMsg::PromoteIfIdle(_) => {
+                self.promote(ctx);
+                self.report(ctx, src);
+            }
+            SnoozeMsg::DemoteToLc(_) => {
+                self.demote(ctx);
+                self.report(ctx, src);
+            }
+            msg => match self.role {
                 NodeRole::LocalController => self.lc.on_message(ctx, src, msg),
                 NodeRole::Manager => self.gm.on_message(ctx, src, msg),
-            }
+            },
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, t: u64) {
         // Timer tags are disjoint between the personas (LC_* vs GM_*/
         // election); route by tag so a stale timer from the inactive
         // persona dies silently instead of reviving it.
@@ -192,7 +167,7 @@ impl Component for UnifiedNode {
         self.gm.on_crash(now);
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx) {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         // A rebooted node comes back in the default role.
         self.role = NodeRole::LocalController;
         self.lc.on_restart(ctx);
@@ -251,7 +226,7 @@ impl RoleDirector {
             .count()
     }
 
-    fn act(&mut self, ctx: &mut Ctx, census: usize) {
+    fn act(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, census: usize) {
         if census < self.target_managers {
             // Promote the next promotable LC (round-robin for wear
             // leveling).
@@ -262,7 +237,7 @@ impl RoleDirector {
                     self.promotions += 1;
                     let node = self.nodes[i];
                     ctx.trace("role", format!("promoting {node:?}"));
-                    ctx.send(node, Box::new(PromoteIfIdle));
+                    ctx.send(node, PromoteIfIdle);
                     return;
                 }
             }
@@ -277,7 +252,7 @@ impl RoleDirector {
                 if r.map(|r| r.role == NodeRole::Manager).unwrap_or(false) {
                     self.demotions += 1;
                     ctx.trace("role", format!("demoting {node:?}"));
-                    ctx.send(node, Box::new(DemoteToLc));
+                    ctx.send(node, DemoteToLc);
                     return;
                 }
             }
@@ -286,33 +261,41 @@ impl RoleDirector {
 }
 
 impl Component for RoleDirector {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.join_group(self.gl_group);
         ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
-        if let Some(hb) = msg.downcast_ref::<GlHeartbeat>() {
-            self.gl = Some(hb.gl);
-        } else if let Some(report) = msg.downcast_ref::<RoleReport>() {
-            if let Some(i) = self.nodes.iter().position(|&n| n == src) {
-                self.roles[i] = Some(*report);
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
+        match msg {
+            SnoozeMsg::GlHeartbeat(hb) => {
+                self.gl = Some(hb.gl);
             }
-        } else if let Some(census) = msg.downcast_ref::<ManagerCensusReply>() {
-            self.act(ctx, census.managers);
+            SnoozeMsg::RoleReport(report) => {
+                if let Some(i) = self.nodes.iter().position(|&n| n == src) {
+                    self.roles[i] = Some(report);
+                }
+            }
+            SnoozeMsg::ManagerCensusReply(census) => {
+                self.act(ctx, census.managers);
+            }
+            // Everything else is addressed to another role; drop it.
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, t: u64) {
         if tag_kind(t) != DIRECTOR_TICK {
             return;
         }
         // Refresh role knowledge and ask the GL for the census.
         for &node in &self.nodes.clone() {
-            ctx.send(node, Box::new(QueryRole));
+            ctx.send(node, QueryRole);
         }
         match self.gl {
-            Some(gl) => ctx.send(gl, Box::new(ManagerCensusQuery)),
+            Some(gl) => ctx.send(gl, ManagerCensusQuery),
             None => {
                 // No GL known: bootstrap. If we know of no manager at
                 // all, promote two seeds so an election can happen.
@@ -325,7 +308,7 @@ impl Component for RoleDirector {
         ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
     }
 
-    fn on_restart(&mut self, ctx: &mut Ctx) {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         self.gl = None;
         self.roles = vec![None; self.nodes.len()];
         ctx.set_timer(self.period, tag(DIRECTOR_TICK, 0));
@@ -349,14 +332,23 @@ pub struct UnifiedSystem {
 impl UnifiedSystem {
     /// Deploy `n_nodes` unified nodes plus a director maintaining
     /// `target_managers` managers — no administrator-assigned roles at
-    /// all (the §V vision).
-    pub fn deploy(
-        engine: &mut snooze_simcore::engine::Engine,
+    /// all (the §V vision). Generic over the engine's node enum so test
+    /// harnesses can mix in scripted components; `SnoozeNode` satisfies
+    /// the bounds.
+    pub fn deploy<C>(
+        engine: &mut Engine<C>,
         config: &SnoozeConfig,
         specs: &[NodeSpec],
         target_managers: usize,
         n_eps: usize,
-    ) -> UnifiedSystem {
+    ) -> UnifiedSystem
+    where
+        C: Component<Msg = SnoozeMsg>
+            + From<snooze_protocols::coordination::CoordinationService<SnoozeMsg>>
+            + From<UnifiedNode>
+            + From<RoleDirector>
+            + From<crate::entry_point::EntryPoint>,
+    {
         use snooze_protocols::coordination::CoordinationService;
 
         let zk = engine.add_component("zk", CoordinationService::new(config.zk_session_timeout));
@@ -399,14 +391,14 @@ impl UnifiedSystem {
     }
 
     /// Nodes currently in each role: `(managers, lcs)`.
-    pub fn role_census(&self, engine: &snooze_simcore::engine::Engine) -> (usize, usize) {
+    pub fn role_census<C: Component + NodeView>(&self, engine: &Engine<C>) -> (usize, usize) {
         let mut managers = 0;
         let mut lcs = 0;
         for &node in &self.nodes {
             if !engine.is_alive(node) {
                 continue;
             }
-            match engine.component_as::<UnifiedNode>(node).map(|n| n.role()) {
+            match engine.get(node).and_then(|n| n.unified()).map(|n| n.role()) {
                 Some(NodeRole::Manager) => managers += 1,
                 Some(NodeRole::LocalController) => lcs += 1,
                 None => {}
@@ -416,7 +408,7 @@ impl UnifiedSystem {
     }
 
     /// The node currently acting as GL, if exactly one exists.
-    pub fn current_gl(&self, engine: &snooze_simcore::engine::Engine) -> Option<ComponentId> {
+    pub fn current_gl<C: Component + NodeView>(&self, engine: &Engine<C>) -> Option<ComponentId> {
         let leaders: Vec<ComponentId> = self
             .nodes
             .iter()
@@ -424,7 +416,8 @@ impl UnifiedSystem {
             .filter(|&n| {
                 engine.is_alive(n)
                     && engine
-                        .component_as::<UnifiedNode>(n)
+                        .get(n)
+                        .and_then(|c| c.unified())
                         .map(|u| u.role() == NodeRole::Manager && u.as_manager().is_gl())
                         .unwrap_or(false)
             })
@@ -436,11 +429,11 @@ impl UnifiedSystem {
     }
 
     /// Total VMs resident across nodes currently in LC role.
-    pub fn total_vms(&self, engine: &snooze_simcore::engine::Engine) -> usize {
+    pub fn total_vms<C: Component + NodeView>(&self, engine: &Engine<C>) -> usize {
         self.nodes
             .iter()
             .filter(|&&n| engine.is_alive(n))
-            .filter_map(|&n| engine.component_as::<UnifiedNode>(n))
+            .filter_map(|&n| engine.get(n).and_then(|c| c.unified()))
             .filter(|u| u.role() == NodeRole::LocalController)
             .map(|u| u.as_lc().hypervisor().guest_count())
             .sum()

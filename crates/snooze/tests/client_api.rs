@@ -10,6 +10,7 @@ use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
 use snooze_consolidation::aco::AcoParams;
+use snooze_protocols::coordination::CoordinationService;
 use snooze_simcore::prelude::*;
 
 fn secs(s: u64) -> SimTime {
@@ -24,28 +25,55 @@ struct OpsProbe {
 }
 
 impl Component for OpsProbe {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.set_timer(SimSpan::from_secs(10), 1);
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _src: ComponentId, msg: AnyMsg) {
-        if let Some(info) = msg.downcast_ref::<GlInfo>() {
-            self.gl_info = Some(*info);
-            if let Some(gl) = info.gl {
-                ctx.send(gl, Box::new(HierarchyQuery));
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _src: ComponentId, msg: SnoozeMsg) {
+        match msg {
+            SnoozeMsg::GlInfo(info) => {
+                self.gl_info = Some(info);
+                if let Some(gl) = info.gl {
+                    ctx.send(gl, HierarchyQuery);
+                }
             }
-        } else if msg.downcast_ref::<HierarchySnapshot>().is_some() {
-            self.snapshot = Some(*msg.downcast::<HierarchySnapshot>().unwrap());
+            SnoozeMsg::HierarchySnapshot(snap) => {
+                self.snapshot = Some(snap);
+            }
+            _ => {}
         }
     }
-    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _tag: u64) {
         let ep = self.ep;
-        ctx.send(ep, Box::new(DiscoverGl));
+        ctx.send(ep, DiscoverGl);
+    }
+}
+
+node_enum! {
+    /// Client-API harness: the full stack plus the ops probe.
+    enum ApiNode: SnoozeMsg {
+        Zk(CoordinationService<SnoozeMsg>) as as_zk,
+        Gm(GroupManager) as as_gm,
+        Lc(LocalController) as as_lc,
+        Ep(EntryPoint) as as_ep,
+        Client(ClientDriver) as as_client,
+        Probe(OpsProbe) as as_probe,
+    }
+}
+
+impl NodeView for ApiNode {
+    fn gm(&self) -> Option<&GroupManager> {
+        self.as_gm()
+    }
+    fn lc(&self) -> Option<&LocalController> {
+        self.as_lc()
     }
 }
 
 #[test]
 fn discover_gl_and_export_hierarchy() {
-    let mut sim = SimBuilder::new(71).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<ApiNode> = SimBuilder::new(71).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::fast_test()
@@ -62,7 +90,7 @@ fn discover_gl_and_export_hierarchy() {
     );
     sim.run_until(secs(30));
 
-    let p = sim.component_as::<OpsProbe>(probe).unwrap();
+    let p = sim.component(probe).as_probe().unwrap();
     let gl = system.current_gl(&sim).unwrap();
     assert_eq!(
         p.gl_info.unwrap().gl,
@@ -90,7 +118,7 @@ fn destroy_chases_a_migrated_vm() {
         aco: AcoParams::fast(),
         max_migrations: 8,
     });
-    let mut sim = SimBuilder::new(72).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<ApiNode> = SimBuilder::new(72).network(NetworkConfig::lan()).build();
     let nodes = NodeSpec::standard_cluster(4);
     let system = SnoozeSystem::deploy(&mut sim, &config, 2, &nodes, 1);
 
@@ -119,14 +147,15 @@ fn destroy_chases_a_migrated_vm() {
     // Wait for placement + at least one consolidation pass.
     sim.run_until(secs(200));
     assert_eq!(system.total_vms(&sim), 4);
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     let original: Vec<(VmId, ComponentId)> = c.placed.iter().map(|p| (p.vm, p.lc)).collect();
     assert_eq!(original.len(), 4);
     // Consolidation moved at least one VM off its original LC.
     let moved = original
         .iter()
         .filter(|(vm, lc)| {
-            sim.component_as::<LocalController>(*lc)
+            sim.component(*lc)
+                .as_lc()
                 .unwrap()
                 .hypervisor()
                 .guest(*vm)
@@ -140,7 +169,7 @@ fn destroy_chases_a_migrated_vm() {
 
     // Destroy every VM via its *original* LC.
     for &(vm, lc) in &original {
-        sim.post(sim.now(), lc, Box::new(DestroyVm { vm }));
+        sim.post(sim.now(), lc, DestroyVm { vm });
     }
     sim.run_until(sim.now() + SimSpan::from_secs(30));
     assert_eq!(

@@ -19,7 +19,7 @@ fn secs(s: u64) -> SimTime {
 }
 
 fn run_matrix_case(seed: u64, config: SnoozeConfig, n_vms: u64) -> usize {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let nodes = NodeSpec::standard_cluster(6);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
     let schedule: Vec<ScheduledVm> = (0..n_vms)
@@ -40,10 +40,7 @@ fn run_matrix_case(seed: u64, config: SnoozeConfig, n_vms: u64) -> usize {
         ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
     );
     sim.run_until(secs(150));
-    sim.component_as::<ClientDriver>(client)
-        .unwrap()
-        .placed
-        .len()
+    sim.component(client).as_client().unwrap().placed.len()
 }
 
 #[test]
@@ -108,7 +105,7 @@ fn every_estimator_serves_submissions() {
 fn heterogeneous_cluster_respects_per_node_capacity() {
     // Three small nodes (4 cores) and one jumbo (16 cores). A 6-core VM
     // only fits the jumbo; 2-core VMs fit anywhere.
-    let mut sim = SimBuilder::new(103).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(103).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::fast_test()
@@ -142,7 +139,7 @@ fn heterogeneous_cluster_respects_per_node_capacity() {
         ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
     );
     sim.run_until(secs(150));
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len(),
         4,
@@ -159,7 +156,7 @@ fn heterogeneous_cluster_respects_per_node_capacity() {
     }
     // No node's reservations exceed its capacity.
     for &lc in &system.lcs {
-        let l = sim.component_as::<LocalController>(lc).unwrap();
+        let l = sim.component(lc).as_lc().unwrap();
         assert!(l
             .hypervisor()
             .reserved()
@@ -172,7 +169,7 @@ fn generated_mixed_fleet_runs_through_the_hierarchy() {
     // The FleetGenerator's diurnal/bursty shapes drive the system (not
     // just constant utilizations): everything places, nothing panics,
     // and usage stays within reservations.
-    let mut sim = SimBuilder::new(104).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(104).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::fast_test()
@@ -196,7 +193,7 @@ fn generated_mixed_fleet_runs_through_the_hierarchy() {
         ClientDriver::new(system.eps[0], schedule, SimSpan::from_secs(10)),
     );
     sim.run_until(secs(600));
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     assert!(
         c.placed.len() >= 10,
         "most of the mixed fleet placed: {}",

@@ -8,7 +8,6 @@
 //! `SnoozeConfig`s are still built from the declarative [`ConfigSpec`].
 
 use snooze::group_manager::GroupManager;
-use snooze::local_controller::LcJoinAckWithGroup;
 use snooze::prelude::*;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
@@ -28,9 +27,6 @@ fn config() -> ConfigSpec {
         ..ConfigSpec::preset("fast_test")
     }
 }
-
-/// External trigger telling a stub LC to report an overload anomaly.
-struct TriggerOverload;
 
 /// A scriptable fake Local Controller speaking the LC↔GM protocol.
 struct StubLc {
@@ -92,68 +88,108 @@ impl StubLc {
 }
 
 impl Component for StubLc {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+    type Msg = SnoozeMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         let (gm, capacity) = (self.gm, self.capacity);
-        ctx.send(gm, Box::new(LcJoin { capacity }));
+        ctx.send(gm, LcJoin { capacity });
         ctx.set_timer(SimSpan::from_millis(500), 1);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, src: ComponentId, msg: AnyMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, src: ComponentId, msg: SnoozeMsg) {
         let now = ctx.now();
-        if msg.downcast_ref::<LcJoinAckWithGroup>().is_some() {
-            // joined; monitoring loop already armed
-        } else if msg.downcast_ref::<StartVm>().is_some() {
-            let start = msg.downcast::<StartVm>().unwrap();
-            self.start_cmds += 1;
-            if self.fail_starts > 0 {
-                self.fail_starts -= 1;
-                ctx.send(
-                    src,
-                    Box::new(StartVmResult {
-                        vm: start.spec.id,
-                        ok: false,
-                    }),
-                );
-            } else {
-                let vm = start.spec.id;
-                self.guests.push((start.spec, start.workload));
-                ctx.send(src, Box::new(StartVmResult { vm, ok: true }));
+        match msg {
+            SnoozeMsg::LcJoinAckWithGroup(_) => {
+                // joined; monitoring loop already armed
             }
-        } else if let Some(m) = msg.downcast_ref::<MigrateVm>() {
-            self.migrate_cmds.push((m.vm, m.to));
-            if self.refuse_migrations {
-                let vm = m.vm;
-                ctx.send(src, Box::new(MigrateRefused { vm }));
-            } else if let Some(pos) = self.guests.iter().position(|(s, _)| s.id == m.vm) {
-                let (spec, workload) = self.guests.remove(pos);
-                ctx.send(m.to, Box::new(VmHandoff { spec, workload }));
+            SnoozeMsg::StartVm(start) => {
+                self.start_cmds += 1;
+                if self.fail_starts > 0 {
+                    self.fail_starts -= 1;
+                    ctx.send(
+                        src,
+                        StartVmResult {
+                            vm: start.spec.id,
+                            ok: false,
+                        },
+                    );
+                } else {
+                    let vm = start.spec.id;
+                    self.guests.push((start.spec, start.workload));
+                    ctx.send(src, StartVmResult { vm, ok: true });
+                }
             }
-        } else if msg.downcast_ref::<VmHandoff>().is_some() {
-            let handoff = msg.downcast::<VmHandoff>().unwrap();
-            self.handoffs_seen += 1;
-            let vm = handoff.spec.id;
-            let ok = !self.reject_handoffs;
-            if ok {
-                self.guests.push((handoff.spec, handoff.workload));
+            SnoozeMsg::MigrateVm(m) => {
+                self.migrate_cmds.push((m.vm, m.to));
+                if self.refuse_migrations {
+                    let vm = m.vm;
+                    ctx.send(src, MigrateRefused { vm });
+                } else if let Some(pos) = self.guests.iter().position(|(s, _)| s.id == m.vm) {
+                    let (spec, workload) = self.guests.remove(pos);
+                    ctx.send(m.to, VmHandoff { spec, workload });
+                }
             }
-            let gm = self.gm;
-            ctx.send(gm, Box::new(MigrationDone { vm, ok }));
-        } else if msg.downcast_ref::<TriggerOverload>().is_some() {
-            let report = AnomalyReport {
-                kind: AnomalyKind::Overload,
-                monitoring: self.monitoring(now, true),
-            };
-            let gm = self.gm;
-            ctx.send(gm, Box::new(report));
+            SnoozeMsg::VmHandoff(handoff) => {
+                self.handoffs_seen += 1;
+                let vm = handoff.spec.id;
+                let ok = !self.reject_handoffs;
+                if ok {
+                    self.guests.push((handoff.spec, handoff.workload));
+                }
+                let gm = self.gm;
+                ctx.send(gm, MigrationDone { vm, ok });
+            }
+            SnoozeMsg::AnomalyReport(_) => {
+                // Scripted trigger (real LCs never *receive* anomaly
+                // reports): regenerate a heavy report of our own and
+                // raise it at the GM.
+                let report = AnomalyReport {
+                    kind: AnomalyKind::Overload,
+                    monitoring: self.monitoring(now, true),
+                };
+                let gm = self.gm;
+                ctx.send(gm, report);
+            }
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>, _tag: u64) {
         let report = self.monitoring(ctx.now(), false);
         let gm = self.gm;
-        ctx.send(gm, Box::new(report));
+        ctx.send(gm, report);
         ctx.set_timer(SimSpan::from_millis(500), 1);
     }
+}
+
+node_enum! {
+    /// The edge-case harness: real managers plus scripted stub LCs.
+    enum EdgeNode: SnoozeMsg {
+        Zk(CoordinationService<SnoozeMsg>) as as_zk,
+        Gm(GroupManager) as as_gm,
+        Ep(EntryPoint) as as_ep,
+        Client(ClientDriver) as as_client,
+        Stub(StubLc) as as_stub,
+    }
+}
+
+/// Post a scripted overload trigger to `stub` at `at`. The carried
+/// monitoring is a placeholder; the stub rebuilds a heavy one itself.
+fn trigger_overload(sim: &mut Engine<EdgeNode>, at: SimTime, stub: ComponentId) {
+    sim.post(
+        at,
+        stub,
+        AnomalyReport {
+            kind: AnomalyKind::Overload,
+            monitoring: LcMonitoring {
+                capacity: ResourceVector::new(0.0, 0.0, 0.0, 0.0),
+                reserved: ResourceVector::new(0.0, 0.0, 0.0, 0.0),
+                vms: Vec::new(),
+                powered_on: true,
+                sampled_at: at,
+            },
+        },
+    );
 }
 
 /// Deploy two real managers (one becomes GL, one GM) plus one stub LC
@@ -163,9 +199,9 @@ fn setup(
     seed: u64,
     spec: ConfigSpec,
     mods: &[fn(&mut StubLc)],
-) -> (Engine, ComponentId, Vec<ComponentId>, ComponentId) {
+) -> (Engine<EdgeNode>, ComponentId, Vec<ComponentId>, ComponentId) {
     let config = spec.build().expect("config spec builds");
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<EdgeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
     let zk = sim.add_component("zk", CoordinationService::new(config.zk_session_timeout));
     let gl_group = sim.create_group();
     let managers: Vec<ComponentId> = (0..2)
@@ -181,12 +217,7 @@ fn setup(
     sim.run_until(secs(5));
     let gm = *managers
         .iter()
-        .find(|&&m| {
-            matches!(
-                sim.component_as::<GroupManager>(m).unwrap().mode(),
-                Mode::Gm(_)
-            )
-        })
+        .find(|&&m| matches!(sim.component(m).as_gm().unwrap().mode(), Mode::Gm(_)))
         .expect("one manager follows");
     let stubs: Vec<ComponentId> = mods
         .iter()
@@ -201,7 +232,7 @@ fn setup(
     (sim, gm, stubs, ep)
 }
 
-fn submit_one(sim: &mut Engine, ep: ComponentId, cores: f64) -> ComponentId {
+fn submit_one(sim: &mut Engine<EdgeNode>, ep: ComponentId, cores: f64) -> ComponentId {
     let spec = VmSpec::new(VmId(0), ResourceVector::new(cores, 4096.0, 100.0, 100.0));
     let schedule = vec![ScheduledVm {
         at: secs(9),
@@ -220,34 +251,28 @@ fn migrate_refused_rolls_back_and_allows_retry() {
     let (mut sim, gm, stubs, ep) = setup(81, config(), &[|_| {}, |_| {}]);
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
-    assert_eq!(
-        sim.component_as::<ClientDriver>(client)
-            .unwrap()
-            .placed
-            .len(),
-        1
-    );
+    assert_eq!(sim.component(client).as_client().unwrap().placed.len(), 1);
     // The VM landed on one stub (first-fit: lowest id). Report overload
     // there and verify the full command → hand-off → done cycle.
     let host = *stubs
         .iter()
-        .find(|&&s| !sim.component_as::<StubLc>(s).unwrap().guests.is_empty())
+        .find(|&&s| !sim.component(s).as_stub().unwrap().guests.is_empty())
         .unwrap();
-    sim.post(secs(21), host, Box::new(TriggerOverload));
+    trigger_overload(&mut sim, secs(21), host);
     sim.run_until(secs(40));
-    let gm_ref = sim.component_as::<GroupManager>(gm).unwrap();
+    let gm_ref = sim.component(gm).as_gm().unwrap();
     assert!(
         gm_ref.stats.migrations_commanded >= 1,
         "overload triggered a migration"
     );
-    let src = sim.component_as::<StubLc>(host).unwrap();
+    let src = sim.component(host).as_stub().unwrap();
     assert_eq!(
         src.migrate_cmds.len() as u64,
         gm_ref.stats.migrations_commanded
     );
     assert!(src.guests.is_empty(), "guest migrated away");
     let dst = stubs.iter().find(|&&s| s != host).unwrap();
-    assert_eq!(sim.component_as::<StubLc>(*dst).unwrap().guests.len(), 1);
+    assert_eq!(sim.component(*dst).as_stub().unwrap().guests.len(), 1);
 }
 
 #[test]
@@ -257,20 +282,14 @@ fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
     let s0 = stubs[0];
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
-    assert_eq!(
-        sim.component_as::<ClientDriver>(client)
-            .unwrap()
-            .placed
-            .len(),
-        1
-    );
+    assert_eq!(sim.component(client).as_client().unwrap().placed.len(), 1);
 
     // Two overload reports, far enough apart for both to be acted on.
-    sim.post(secs(21), s0, Box::new(TriggerOverload));
-    sim.post(secs(30), s0, Box::new(TriggerOverload));
+    trigger_overload(&mut sim, secs(21), s0);
+    trigger_overload(&mut sim, secs(30), s0);
     sim.run_until(secs(45));
 
-    let stub = sim.component_as::<StubLc>(s0).unwrap();
+    let stub = sim.component(s0).as_stub().unwrap();
     assert!(
         stub.migrate_cmds.len() >= 2,
         "rollback must allow the second migration attempt, got {:?}",
@@ -279,7 +298,7 @@ fn migrate_refusal_is_rolled_back_so_a_second_attempt_happens() {
     // Without rollback, the destination reservation would leak 2 cores
     // per refusal; verify the GM still sees the full free capacity by
     // placing a VM that needs almost everything on the destination.
-    let gm_ref = sim.component_as::<GroupManager>(gm).unwrap();
+    let gm_ref = sim.component(gm).as_gm().unwrap();
     assert_eq!(gm_ref.vm_count(), 1, "exactly the one VM is tracked");
 }
 
@@ -291,14 +310,14 @@ fn failed_start_is_requeued_and_eventually_placed() {
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(60));
 
-    let stub = sim.component_as::<StubLc>(s0).unwrap();
+    let stub = sim.component(s0).as_stub().unwrap();
     assert!(
         stub.start_cmds >= 3,
         "retried after failures: {}",
         stub.start_cmds
     );
     assert_eq!(stub.guests.len(), 1, "eventually admitted");
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len(),
         1,
@@ -317,15 +336,9 @@ fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
     let (s0, s1) = (stubs[0], stubs[1]);
     let client = submit_one(&mut sim, ep, 2.0);
     sim.run_until(secs(20));
+    assert_eq!(sim.component(client).as_client().unwrap().placed.len(), 1);
     assert_eq!(
-        sim.component_as::<ClientDriver>(client)
-            .unwrap()
-            .placed
-            .len(),
-        1
-    );
-    assert_eq!(
-        sim.component_as::<StubLc>(s0).unwrap().guests.len(),
+        sim.component(s0).as_stub().unwrap().guests.len(),
         1,
         "first-fit → stub0"
     );
@@ -333,15 +346,15 @@ fn rejected_handoff_triggers_snapshot_recovery_when_enabled() {
     // Overload stub0 → GM migrates its VM toward stub1, which rejects
     // the hand-off. The VM is momentarily gone; snapshot recovery must
     // re-place it.
-    sim.post(secs(21), s0, Box::new(TriggerOverload));
+    trigger_overload(&mut sim, secs(21), s0);
     sim.run_until(secs(60));
-    let total_guests = sim.component_as::<StubLc>(s0).unwrap().guests.len()
-        + sim.component_as::<StubLc>(s1).unwrap().guests.len();
+    let total_guests = sim.component(s0).as_stub().unwrap().guests.len()
+        + sim.component(s1).as_stub().unwrap().guests.len();
     assert_eq!(total_guests, 1, "VM recovered somewhere");
     assert!(
-        sim.component_as::<StubLc>(s1).unwrap().handoffs_seen >= 1,
+        sim.component(s1).as_stub().unwrap().handoffs_seen >= 1,
         "hand-off was attempted"
     );
-    let gm_ref = sim.component_as::<GroupManager>(gm).unwrap();
+    let gm_ref = sim.component(gm).as_gm().unwrap();
     assert!(gm_ref.stats.vms_rescheduled >= 1, "recovery path exercised");
 }

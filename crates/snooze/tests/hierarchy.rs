@@ -84,7 +84,7 @@ fn hierarchy_converges_to_one_gl_with_joined_gms_and_lcs() {
     // Every LC must be assigned to some GM, and assignments must balance.
     let mut counts = std::collections::HashMap::new();
     for &lc in &system.lcs {
-        let l = sim.component_as::<LocalController>(lc).unwrap();
+        let l = sim.component(lc).as_lc().unwrap();
         let gm = l.assigned_gm().expect("LC assigned");
         assert!(gms.contains(&gm), "assigned to an active GM");
         *counts.entry(gm).or_insert(0usize) += 1;
@@ -95,10 +95,7 @@ fn hierarchy_converges_to_one_gl_with_joined_gms_and_lcs() {
 
     // EPs discovered the GL.
     for &ep in &system.eps {
-        assert_eq!(
-            sim.component_as::<EntryPoint>(ep).unwrap().current_gl(),
-            Some(gl)
-        );
+        assert_eq!(sim.component(ep).as_ep().unwrap().current_gl(), Some(gl));
     }
 }
 
@@ -124,7 +121,7 @@ fn burst_submission_places_every_vm() {
     assert!(c.mean_latency_secs() > 0.0);
     // Every ack points at a real LC hosting that VM.
     for ack in &live.client().placed {
-        let l = live.sim.component_as::<LocalController>(ack.lc).unwrap();
+        let l = live.sim.component(ack.lc).as_lc().unwrap();
         assert!(l.hypervisor().guest(ack.vm).is_some(), "{ack:?}");
     }
 }
@@ -227,7 +224,7 @@ fn gm_failure_relinks_its_lcs_and_preserves_vms() {
     let live_gms = system.active_gms(sim);
     assert!(!live_gms.contains(&victim));
     for &lc in &system.lcs {
-        let l = sim.component_as::<LocalController>(lc).unwrap();
+        let l = sim.component(lc).as_lc().unwrap();
         let gm = l.assigned_gm().expect("LC re-assigned after GM failure");
         assert!(live_gms.contains(&gm), "LC {lc:?} points at dead/stale GM");
     }
@@ -253,7 +250,8 @@ fn suspended_lc_orphaned_by_gm_death_recovers_via_watchdog() {
     let lc0 = live.system().lcs[0];
     let gm = live
         .sim
-        .component_as::<LocalController>(lc0)
+        .component(lc0)
+        .as_lc()
         .unwrap()
         .assigned_gm()
         .expect("was assigned before suspending");
@@ -263,7 +261,7 @@ fn suspended_lc_orphaned_by_gm_death_recovers_via_watchdog() {
     live.sim.schedule_crash(secs(26), gm);
     live.sim.run_until(secs(120));
 
-    let l = live.sim.component_as::<LocalController>(lc0).unwrap();
+    let l = live.sim.component(lc0).as_lc().unwrap();
     assert!(l.stats.watchdog_wakes >= 1, "watchdog must have fired");
     let current = l.assigned_gm().expect("re-assigned after watchdog wake");
     assert_ne!(current, gm, "must not still point at the dead GM");
@@ -288,7 +286,8 @@ fn lc_failure_is_detected_and_vms_are_lost_without_snapshots() {
         .iter()
         .max_by_key(|&&lc| {
             live.sim
-                .component_as::<LocalController>(lc)
+                .component(lc)
+                .as_lc()
                 .unwrap()
                 .hypervisor()
                 .guest_count()
@@ -296,7 +295,8 @@ fn lc_failure_is_detected_and_vms_are_lost_without_snapshots() {
         .unwrap();
     let lost = live
         .sim
-        .component_as::<LocalController>(victim)
+        .component(victim)
+        .as_lc()
         .unwrap()
         .hypervisor()
         .guest_count();
@@ -332,7 +332,8 @@ fn lc_failure_with_snapshots_reschedules_vms() {
         .iter()
         .max_by_key(|&&lc| {
             live.sim
-                .component_as::<LocalController>(lc)
+                .component(lc)
+                .as_lc()
                 .unwrap()
                 .hypervisor()
                 .guest_count()
@@ -383,13 +384,7 @@ fn idle_nodes_suspend_and_submission_wakes_one() {
         .system()
         .lcs
         .iter()
-        .map(|&lc| {
-            live.sim
-                .component_as::<LocalController>(lc)
-                .unwrap()
-                .stats
-                .suspensions
-        })
+        .map(|&lc| live.sim.component(lc).as_lc().unwrap().stats.suspensions)
         .sum();
     assert!(total_suspensions >= 3);
 }
@@ -461,13 +456,7 @@ fn overload_triggers_relocation() {
         .system()
         .lcs
         .iter()
-        .map(|&lc| {
-            live.sim
-                .component_as::<LocalController>(lc)
-                .unwrap()
-                .stats
-                .migrations_out
-        })
+        .map(|&lc| live.sim.component(lc).as_lc().unwrap().stats.migrations_out)
         .sum();
     assert!(
         migrations >= 1,
@@ -541,7 +530,7 @@ fn ep_failure_is_tolerated_by_client_rotating_to_second_ep() {
         ClientDriver::with_eps(eps, schedule, SimSpan::from_secs(5)),
     );
     live.sim.run_until(secs(150));
-    let c = live.sim.component_as::<ClientDriver>(client).unwrap();
+    let c = live.sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len(),
         4,
@@ -572,10 +561,7 @@ fn submissions_before_convergence_eventually_succeed() {
         c.rejected,
         c.abandoned
     );
-    let ep = live
-        .sim
-        .component_as::<EntryPoint>(live.system().eps[0])
-        .unwrap();
+    let ep = live.sim.component(live.system().eps[0]).as_ep().unwrap();
     assert!(
         ep.dropped > 0,
         "early submissions were dropped pre-convergence"
@@ -629,7 +615,8 @@ fn reconfiguration_consolidates_spread_vms() {
         .iter()
         .filter(|&&lc| {
             live.sim
-                .component_as::<LocalController>(lc)
+                .component(lc)
+                .as_lc()
                 .unwrap()
                 .hypervisor()
                 .guest_count()

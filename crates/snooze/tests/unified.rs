@@ -87,7 +87,7 @@ fn unified_system_serves_vm_submissions() {
         ClientDriver::new(ep, schedule(6, secs(70)), SimSpan::from_secs(10)),
     );
     live.sim.run_until(secs(300));
-    let c = live.sim.component_as::<ClientDriver>(client).unwrap();
+    let c = live.sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len(),
         6,
@@ -114,7 +114,8 @@ fn dead_manager_is_replaced_from_the_lc_pool() {
             n != gl
                 && live
                     .sim
-                    .component_as::<UnifiedNode>(n)
+                    .component(n)
+                    .as_unified()
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
@@ -131,7 +132,7 @@ fn dead_manager_is_replaced_from_the_lc_pool() {
         .nodes
         .iter()
         .filter(|&&n| n != victim && sim.is_alive(n))
-        .filter_map(|&n| sim.component_as::<UnifiedNode>(n))
+        .filter_map(|&n| sim.component(n).as_unified())
         .map(|u| u.role_changes)
         .sum();
     assert!(
@@ -168,11 +169,7 @@ fn vm_hosting_nodes_refuse_promotion() {
     );
     live.sim.run_until(secs(150));
     assert_eq!(
-        live.sim
-            .component_as::<ClientDriver>(client)
-            .unwrap()
-            .placed
-            .len(),
+        live.sim.component(client).as_client().unwrap().placed.len(),
         3
     );
 
@@ -187,7 +184,8 @@ fn vm_hosting_nodes_refuse_promotion() {
             n != gl
                 && live
                     .sim
-                    .component_as::<UnifiedNode>(n)
+                    .component(n)
+                    .as_unified()
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
@@ -199,7 +197,7 @@ fn vm_hosting_nodes_refuse_promotion() {
         if !sim.is_alive(n) {
             continue;
         }
-        let u = sim.component_as::<UnifiedNode>(n).unwrap();
+        let u = sim.component(n).as_unified().unwrap();
         if u.role() == NodeRole::Manager {
             assert_eq!(
                 u.as_lc().hypervisor().guest_count(),
@@ -225,7 +223,8 @@ fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
             n != gl
                 && live
                     .sim
-                    .component_as::<UnifiedNode>(n)
+                    .component(n)
+                    .as_unified()
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
@@ -241,7 +240,7 @@ fn restarted_manager_rejoins_as_lc_and_surplus_is_demoted() {
     let (managers, lcs) = system.role_census(sim);
     assert_eq!(managers, 3, "pool converged back to target");
     assert_eq!(lcs, 5);
-    let restarted = sim.component_as::<UnifiedNode>(victim).unwrap();
+    let restarted = sim.component(victim).as_unified().unwrap();
     assert_eq!(
         restarted.role(),
         NodeRole::LocalController,
@@ -259,7 +258,7 @@ fn deterministic_role_assignment() {
             .unified()
             .nodes
             .iter()
-            .map(|&n| live.sim.component_as::<UnifiedNode>(n).unwrap().role())
+            .map(|&n| live.sim.component(n).as_unified().unwrap().role())
             .collect();
         (roles, live.sim.events_executed(), live.sim.digest())
     };

@@ -16,7 +16,7 @@ use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
 use snooze_simcore::prelude::*;
 
-fn show(sim: &Engine, system: &UnifiedSystem, label: &str) {
+fn show(sim: &Engine<SnoozeNode>, system: &UnifiedSystem, label: &str) {
     let (managers, lcs) = system.role_census(sim);
     let gl = system
         .current_gl(sim)
@@ -27,7 +27,7 @@ fn show(sim: &Engine, system: &UnifiedSystem, label: &str) {
         roles.push(if !sim.is_alive(n) {
             'x'
         } else {
-            match sim.component_as::<UnifiedNode>(n).map(|u| u.role()) {
+            match sim.component(n).as_unified().map(|u| u.role()) {
                 Some(NodeRole::Manager) => 'M',
                 Some(NodeRole::LocalController) => 'L',
                 None => '?',
@@ -42,7 +42,7 @@ fn show(sim: &Engine, system: &UnifiedSystem, label: &str) {
 }
 
 fn main() {
-    let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(11).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::default()
@@ -85,7 +85,8 @@ fn main() {
         .find(|&&n| {
             n != gl
                 && sim
-                    .component_as::<UnifiedNode>(n)
+                    .component(n)
+                    .as_unified()
                     .map(|u| u.role() == NodeRole::Manager)
                     .unwrap_or(false)
         })
@@ -110,7 +111,8 @@ fn main() {
         .filter(|&&n| {
             sim.is_alive(n)
                 && sim
-                    .component_as::<UnifiedNode>(n)
+                    .component(n)
+                    .as_unified()
                     .map(|u| u.role_changes > 0)
                     .unwrap_or(false)
         })

@@ -46,7 +46,7 @@ fn schedule(seed: u64) -> Vec<ScheduledVm> {
 }
 
 fn run(label: &str, config: SnoozeConfig, print_timeline: bool) -> f64 {
-    let mut sim = SimBuilder::new(99).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(99).network(NetworkConfig::lan()).build();
     let nodes = NodeSpec::standard_cluster(16);
     let system = SnoozeSystem::deploy(&mut sim, &config, 3, &nodes, 1);
     let _client = sim.add_component(
@@ -63,7 +63,7 @@ fn run(label: &str, config: SnoozeConfig, print_timeline: bool) -> f64 {
         if print_timeline {
             let mut line = String::new();
             for &lc in &system.lcs {
-                let l = sim.component_as::<LocalController>(lc).unwrap();
+                let l = sim.component(lc).as_lc().unwrap();
                 line.push(match l.power_state() {
                     snooze_cluster::node::PowerState::On => '#',
                     s if s.is_low_power() => '.',

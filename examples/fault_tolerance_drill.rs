@@ -13,7 +13,7 @@ use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
 use snooze_simcore::prelude::*;
 
-fn status(sim: &Engine, system: &SnoozeSystem, label: &str) {
+fn status(sim: &Engine<SnoozeNode>, system: &SnoozeSystem, label: &str) {
     let gl = system.current_gl(sim);
     let gms = system.active_gms(sim);
     println!(
@@ -28,7 +28,7 @@ fn status(sim: &Engine, system: &SnoozeSystem, label: &str) {
 }
 
 fn main() {
-    let mut sim = SimBuilder::new(7)
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(7)
         .network(NetworkConfig::lan())
         .trace_capacity(4096)
         .build();
@@ -83,7 +83,8 @@ fn main() {
         .lcs
         .iter()
         .max_by_key(|&&lc| {
-            sim.component_as::<LocalController>(lc)
+            sim.component(lc)
+                .as_lc()
                 .unwrap()
                 .hypervisor()
                 .guest_count()
@@ -92,7 +93,8 @@ fn main() {
     println!(
         "  killing {} hosting {} VMs",
         sim.name_of(victim),
-        sim.component_as::<LocalController>(victim)
+        sim.component(victim)
+            .as_lc()
             .unwrap()
             .hypervisor()
             .guest_count()

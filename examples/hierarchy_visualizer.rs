@@ -14,7 +14,7 @@ use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
 use snooze_simcore::prelude::*;
 
-fn render(sim: &Engine, system: &SnoozeSystem) {
+fn render(sim: &Engine<SnoozeNode>, system: &SnoozeSystem) {
     println!("t = {}", sim.now());
     match system.current_gl(sim) {
         Some(gl) => println!("└─ GL {}", sim.name_of(gl)),
@@ -29,7 +29,7 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
     for (gi, &gm) in gms.iter().enumerate() {
         let last_gm = gi + 1 == gms.len();
         let branch = if last_gm { "   └─" } else { "   ├─" };
-        let g = sim.component_as::<GroupManager>(gm).unwrap();
+        let g = sim.component(gm).as_gm().unwrap();
         println!(
             "{branch} GM {} ({} LCs, {} VMs)",
             sim.name_of(gm),
@@ -42,14 +42,11 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
             .copied()
             .filter(|&lc| {
                 sim.is_alive(lc)
-                    && sim
-                        .component_as::<LocalController>(lc)
-                        .and_then(|l| l.assigned_gm())
-                        == Some(gm)
+                    && sim.component(lc).as_lc().and_then(|l| l.assigned_gm()) == Some(gm)
             })
             .collect();
         for (li, &lc) in my_lcs.iter().enumerate() {
-            let l = sim.component_as::<LocalController>(lc).unwrap();
+            let l = sim.component(lc).as_lc().unwrap();
             let cont = if last_gm { "      " } else { "   │  " };
             let lc_branch = if li + 1 == my_lcs.len() {
                 "└─"
@@ -79,7 +76,8 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
         .filter(|&&lc| {
             sim.is_alive(lc)
                 && sim
-                    .component_as::<LocalController>(lc)
+                    .component(lc)
+                    .as_lc()
                     .and_then(|l| l.assigned_gm())
                     .is_none()
         })
@@ -91,7 +89,7 @@ fn render(sim: &Engine, system: &SnoozeSystem) {
 }
 
 fn main() {
-    let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(4).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::default()

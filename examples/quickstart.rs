@@ -14,7 +14,7 @@ use snooze_simcore::prelude::*;
 
 fn main() {
     // A deterministic simulation of a LAN-connected cluster.
-    let mut sim = SimBuilder::new(2026).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(2026).network(NetworkConfig::lan()).build();
 
     // 3 manager nodes (one will be elected Group Leader), 8 physical
     // nodes, 1 entry point.
@@ -48,7 +48,7 @@ fn main() {
     let gl = system.current_gl(&sim).expect("a GL was elected");
     println!("Group Leader : {} ({gl:?})", sim.name_of(gl));
     for gm in system.active_gms(&sim) {
-        let g = sim.component_as::<GroupManager>(gm).unwrap();
+        let g = sim.component(gm).as_gm().unwrap();
         println!(
             "Group Manager: {} — {} LCs, {} VMs",
             sim.name_of(gm),
@@ -57,7 +57,7 @@ fn main() {
         );
     }
 
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     println!("\nPlacements ({} of 6):", c.placed.len());
     for ack in &c.placed {
         println!(

@@ -4,8 +4,23 @@
 # simulation path), every test (including the feature-gated runtime
 # invariant suite), and a two-run byte-identity check on the telemetry
 # exports. CI and pre-commit both just run this script.
+#
+# `--e11-smoke` additionally runs the reduced kilonode scenario (256
+# LCs, fault-free) in release and fails on a missing throughput column
+# or any dead letter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_e11_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --e11-smoke) run_e11_smoke=1 ;;
+    *)
+      echo "unknown argument: $arg (supported: --e11-smoke)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 say() { printf '\n== %s\n' "$*"; }
 
@@ -41,5 +56,10 @@ for f in trace.chrome.json spans.jsonl metrics.prom metrics.jsonl; do
   }
 done
 rm -rf "$tmp"
+
+if [ "$run_e11_smoke" -eq 1 ]; then
+  say "e11 smoke (256 LCs, release, zero dead letters + throughput column)"
+  cargo run --offline -q --release -p snooze-bench --bin run_experiments -- --e11-smoke
+fi
 
 say "all checks passed"

@@ -15,7 +15,7 @@ use snooze_simcore::prelude::*;
 use snooze_simcore::rng::SimRng;
 
 fn full_system_fingerprint(seed: u64) -> (u64, Vec<(VmId, ComponentId)>, String) {
-    let mut sim = SimBuilder::new(seed)
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed)
         .network(NetworkConfig::lossy_lan(0.02))
         .build();
     let config = SnoozeConfig::fast_test();
@@ -46,7 +46,7 @@ fn full_system_fingerprint(seed: u64) -> (u64, Vec<(VmId, ComponentId)>, String)
     // Inject a failure too: determinism must hold under healing.
     sim.schedule_crash(SimTime::from_secs(40), system.gms[0]);
     sim.run_until(SimTime::from_secs(300));
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     let placements: Vec<(VmId, ComponentId)> = c.placed.iter().map(|p| (p.vm, p.lc)).collect();
     let energy = format!("{:.6}", system.total_energy_wh(&sim, sim.now()));
     (sim.events_executed(), placements, energy)

@@ -40,7 +40,7 @@ fn schedule(n: u64, at: SimTime, util: f64) -> Vec<ScheduledVm> {
 
 #[test]
 fn partitioned_gl_causes_no_lasting_split_brain() {
-    let mut sim = SimBuilder::new(51).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(51).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::fast_test()
@@ -59,7 +59,8 @@ fn partitioned_gl_causes_no_lasting_split_brain() {
         .iter()
         .copied()
         .filter(|&gm| {
-            sim.component_as::<GroupManager>(gm)
+            sim.component(gm)
+                .as_gm()
                 .map(|g| g.is_gl())
                 .unwrap_or(false)
         })
@@ -73,7 +74,7 @@ fn partitioned_gl_causes_no_lasting_split_brain() {
         .current_gl(&sim)
         .expect("exactly one GL after healing");
     assert_ne!(gl, old_gl, "deposed leader must not return to power");
-    let old = sim.component_as::<GroupManager>(old_gl).unwrap();
+    let old = sim.component(old_gl).as_gm().unwrap();
     assert!(
         matches!(old.mode(), Mode::Gm(g) if g == gl),
         "old GL now follows: {:?}",
@@ -83,7 +84,7 @@ fn partitioned_gl_causes_no_lasting_split_brain() {
 
 #[test]
 fn survives_a_random_failure_storm_with_invariants_intact() {
-    let mut sim = SimBuilder::new(52)
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(52)
         .network(NetworkConfig::lossy_lan(0.01))
         .build();
     let config = SnoozeConfig {
@@ -126,13 +127,13 @@ fn survives_a_random_failure_storm_with_invariants_intact() {
         if !sim.is_alive(lc) {
             continue;
         }
-        let l = sim.component_as::<LocalController>(lc).unwrap();
+        let l = sim.component(lc).as_lc().unwrap();
         if let Some(gm) = l.assigned_gm() {
             assert!(live_gms.contains(&gm), "LC {lc:?} bound to dead GM {gm:?}");
         }
     }
     // Invariant: the client got an answer (or gave up) for every VM.
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len() + c.rejected.len() + c.abandoned.len(),
         12,
@@ -145,7 +146,7 @@ fn survives_a_random_failure_storm_with_invariants_intact() {
 #[test]
 fn consolidation_in_the_loop_reduces_powered_nodes() {
     let run = |reconf: bool| -> (usize, f64) {
-        let mut sim = SimBuilder::new(53).network(NetworkConfig::lan()).build();
+        let mut sim: Engine<SnoozeNode> = SimBuilder::new(53).network(NetworkConfig::lan()).build();
         let config = SnoozeConfig {
             placement: PlacementKind::RoundRobin,
             idle_suspend_after: Some(SimSpan::from_secs(20)),
@@ -189,7 +190,7 @@ fn consolidation_in_the_loop_reduces_powered_nodes() {
 
 #[test]
 fn lossy_network_delays_but_does_not_break_placement() {
-    let mut sim = SimBuilder::new(54)
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(54)
         .network(NetworkConfig::lossy_lan(0.05))
         .build();
     let config = SnoozeConfig {
@@ -207,7 +208,7 @@ fn lossy_network_delays_but_does_not_break_placement() {
         ),
     );
     sim.run_until(secs(600));
-    let c = sim.component_as::<ClientDriver>(client).unwrap();
+    let c = sim.component(client).as_client().unwrap();
     assert_eq!(
         c.placed.len(),
         10,
@@ -225,7 +226,7 @@ fn energy_accounting_matches_power_model_bounds() {
     // Sanity link between the hierarchy's metered energy and the power
     // model: a fully idle, never-suspended cluster burns exactly
     // idle-watts × nodes × time (modulo float).
-    let mut sim = SimBuilder::new(55).network(NetworkConfig::lan()).build();
+    let mut sim: Engine<SnoozeNode> = SimBuilder::new(55).network(NetworkConfig::lan()).build();
     let config = SnoozeConfig {
         idle_suspend_after: None,
         ..SnoozeConfig::fast_test()
