@@ -1,0 +1,15 @@
+// Fixture: the same membership set, suppressed with targeted markers at
+// both sites (the import and the field declaration).
+// audit-allow(interleaving-hashset): membership only, never ordered
+use std::collections::HashSet;
+
+struct Dedup {
+    // audit-allow(interleaving-hashset): membership only, never ordered
+    seen: HashSet<u64>,
+}
+
+impl Dedup {
+    fn observe(&mut self, id: u64) -> bool {
+        self.seen.insert(id)
+    }
+}

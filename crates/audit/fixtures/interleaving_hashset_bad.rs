@@ -1,0 +1,14 @@
+// Fixture: a HashSet on the simulation path must fire
+// `interleaving-hashset` even though it is never iterated — the order
+// still leaks through Extend, Debug output, and future refactors.
+use std::collections::HashSet;
+
+struct Dedup {
+    seen: HashSet<u64>,
+}
+
+impl Dedup {
+    fn observe(&mut self, id: u64) -> bool {
+        self.seen.insert(id)
+    }
+}

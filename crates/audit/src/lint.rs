@@ -14,6 +14,7 @@
 //! | `partial-cmp-unwrap` | `.partial_cmp(..).unwrap()` on floats          |
 //! | `handler-unwrap`   | `.unwrap()`/`.expect(` inside `on_message`       |
 //! | `type-erasure`     | `dyn Any` / `downcast` on the simulation path    |
+//! | `interleaving-hashset` | any `HashSet` on the simulation path         |
 //!
 //! The analysis is deliberately lightweight: a comment/string-aware line
 //! model plus token scanning — no syn, no rustc internals, no external
@@ -43,6 +44,7 @@ pub const SIM_PATH: &[&str] = &[
     "crates/consolidation/src",
     "crates/telemetry/src",
     "crates/scenario/src",
+    "crates/mc/src",
 ];
 
 /// One source line, split into its code and comment parts (string
@@ -617,6 +619,20 @@ fn check_type_erasure(file: &SourceFile) -> Vec<Hit> {
     )
 }
 
+// --- rule: interleaving-hashset -------------------------------------------
+
+/// `hash-iter` catches *iteration* of a named hash binding; this rule is
+/// stricter on sets. A `HashSet` poisons determinism even without a
+/// visible `.iter()` — its order leaks through `Extend`, `Debug`
+/// formatting, drains inside std adaptors, and any later refactor that
+/// adds a loop. The model checker's visited-set and worklist code made
+/// the gap concrete: a `HashSet` there would reorder exploration without
+/// failing `hash-iter`. On the simulation path the type itself is
+/// banned; `BTreeSet` costs a logarithm and buys replayability.
+fn check_interleaving_hashset(file: &SourceFile) -> Vec<Hit> {
+    check_tokens(file, &["HashSet", "hash_set"])
+}
+
 /// The rule set, in reporting order.
 pub fn rules() -> &'static [RuleDef] {
     &[
@@ -668,6 +684,13 @@ pub fn rules() -> &'static [RuleDef] {
             hint: "the engine is generic over its message enum; add a variant and match on it instead of erasing the type",
             in_scope: scope_sim_path,
             check: check_type_erasure,
+        },
+        RuleDef {
+            id: "interleaving-hashset",
+            summary: "HashSet declared or used in simulation-path code",
+            hint: "use a BTreeSet: set order leaks into simulated histories even without direct iteration",
+            in_scope: scope_sim_path,
+            check: check_interleaving_hashset,
         },
     ]
 }
@@ -728,6 +751,25 @@ impl Allowlist {
         self.entries
             .iter()
             .any(|(r, p)| (r == "*" || r == rule) && path.contains(p.as_str()))
+    }
+
+    /// Entries that matched none of `findings` — dead weight left behind
+    /// after the offending code was fixed, moved, or renamed. A stale
+    /// entry is a latent hole: it silently re-permits the pattern if it
+    /// ever comes back. Pass the *full* finding set (allowed included),
+    /// since a live entry's findings are, by definition, allowed.
+    /// Returns displayable `rule path` strings in file order.
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(rule, path)| {
+                !findings.iter().any(|f| {
+                    (rule.as_str() == "*" || rule.as_str() == f.rule)
+                        && f.path.contains(path.as_str())
+                })
+            })
+            .map(|(rule, path)| format!("{rule} {path}"))
+            .collect()
     }
 }
 
@@ -853,6 +895,24 @@ mod tests {
         for t in ["100", "x", "w", "a.b", "0", "self.x.0", ""] {
             assert!(!is_float_literal(t), "{t}");
         }
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_detected() {
+        let allowlist = Allowlist::parse(
+            "wall-clock crates/simcore/src/x.rs\n\
+             hash-iter crates/gone/src/old.rs\n",
+        )
+        .expect("allowlist parses");
+        let file = parse("fn t() -> Instant { Instant::now() }\n");
+        let findings = lint_file(&file, &allowlist);
+        // The wall-clock entry is live (it suppresses a real finding)…
+        assert!(findings.iter().any(|f| f.rule == "wall-clock" && f.allowed));
+        // …while the hash-iter entry points at code that no longer exists.
+        assert_eq!(
+            allowlist.stale_entries(&findings),
+            vec!["hash-iter crates/gone/src/old.rs".to_string()]
+        );
     }
 
     #[test]

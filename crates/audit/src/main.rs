@@ -81,6 +81,11 @@ fn cmd_lint(mut args: Vec<String>) -> Result<ExitCode, String> {
 
     let allowlist = Allowlist::load(&allowlist_path)?;
     let mut findings = lint_root(&root, &allowlist)?;
+    // Stale-entry hygiene: computed against the full finding set, before
+    // the allowed ones are filtered out of the report.
+    for stale in allowlist.stale_entries(&findings) {
+        eprintln!("snooze-audit lint: warning: stale allowlist entry `{stale}` matches no finding");
+    }
     let active = findings.iter().filter(|f| !f.allowed).count();
     if !include_allowed {
         findings.retain(|f| !f.allowed);

@@ -213,6 +213,36 @@ fn type_erasure_respects_targeted_allow() {
 }
 
 #[test]
+fn interleaving_hashset_fires_without_iteration() {
+    // The fixture declares and inserts into a HashSet but never iterates
+    // it — invisible to `hash-iter`, exactly the gap this rule closes.
+    // Both the import and the field declaration are flagged.
+    let hits = active(
+        "crates/mc/src/fixture.rs",
+        include_str!("../fixtures/interleaving_hashset_bad.rs"),
+    );
+    assert_eq!(hits, vec!["interleaving-hashset"; 2]);
+}
+
+#[test]
+fn interleaving_hashset_is_scoped_to_sim_path_crates() {
+    let hits = active(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/interleaving_hashset_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn interleaving_hashset_respects_targeted_allow() {
+    let hits = active(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/interleaving_hashset_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
 fn every_rule_has_fixture_coverage() {
     // Keep this test honest if rules are added later: each rule id must
     // appear among the fixture-driven positives above.
@@ -224,6 +254,7 @@ fn every_rule_has_fixture_coverage() {
         "partial-cmp-unwrap",
         "handler-unwrap",
         "type-erasure",
+        "interleaving-hashset",
     ];
     for rule in rules() {
         assert!(

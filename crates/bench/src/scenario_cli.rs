@@ -5,6 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
+use snooze_scenario::mc_trace::McTraceDoc;
 use snooze_scenario::spec::ScenarioDoc;
 use snooze_scenario::{compile, run, ScenarioOutcome};
 
@@ -14,6 +15,13 @@ use crate::table::{f2, Table};
 pub fn load(path: &Path) -> Result<ScenarioDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// True when the document is a model-checking counterexample trace
+/// rather than a runnable scenario. Trace docs always carry a
+/// top-level `harness` key, which `ScenarioSpec` does not know.
+fn is_mc_trace(text: &str) -> bool {
+    text.lines().any(|l| l.starts_with("harness = "))
 }
 
 /// Run every variant of a scenario file, in document order.
@@ -157,12 +165,27 @@ pub fn list_table(dir: &Path) -> Result<Table, String> {
         &["file", "name", "runs", "description"],
     );
     for path in scenario_files(dir)? {
+        let file = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if is_mc_trace(&text) {
+            let doc =
+                McTraceDoc::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            t.row(vec![
+                file,
+                doc.name,
+                "-".to_string(),
+                format!("mc counterexample ({} steps)", doc.steps.len()),
+            ]);
+            continue;
+        }
         let doc = load(&path)?;
         t.row(vec![
-            path.file_name()
-                .unwrap_or_default()
-                .to_string_lossy()
-                .into_owned(),
+            file,
             doc.name().unwrap_or("-").to_string(),
             doc.run_count().to_string(),
             doc.description().unwrap_or("-").to_string(),
@@ -180,6 +203,25 @@ pub fn check_dir(dir: &Path) -> Result<Vec<String>, String> {
     for path in scenario_files(dir)? {
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if is_mc_trace(&text) {
+            // Counterexample traces share the directory; they must
+            // parse and be canonical, but there is nothing to compile —
+            // `snooze-mc --replay` is their executable form.
+            let doc =
+                McTraceDoc::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            if doc.to_toml() != text {
+                return Err(format!(
+                    "{}: mc trace not in canonical form (re-emit with snooze-mc --emit)",
+                    path.display()
+                ));
+            }
+            report.push(format!(
+                "{}: mc counterexample trace ({} step(s)) parses canonically",
+                path.display(),
+                doc.steps.len()
+            ));
+            continue;
+        }
         let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         if doc.to_toml() != text {
             return Err(format!(
@@ -225,8 +267,15 @@ pub fn fmt_dir(dir: &Path) -> Result<Vec<String>, String> {
     for path in scenario_files(dir)? {
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let doc = ScenarioDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-        let canon = doc.to_toml();
+        let canon = if is_mc_trace(&text) {
+            McTraceDoc::from_toml(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_toml()
+        } else {
+            ScenarioDoc::parse(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_toml()
+        };
         if canon != text {
             std::fs::write(&path, canon).map_err(|e| format!("{}: {e}", path.display()))?;
             rewritten.push(path.display().to_string());

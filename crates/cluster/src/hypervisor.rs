@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::SimTime;
 
 use crate::resources::{ResourceVector, DIMS};
@@ -245,6 +246,26 @@ impl Hypervisor {
                 .then(a.spec.id.cmp(&b.spec.id))
         });
         gs
+    }
+}
+
+impl McState for GuestVm {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.spec.mc_fold(h);
+        self.workload.mc_fold(h);
+        self.state.mc_fold(h);
+        h.time(self.admitted_at);
+    }
+}
+
+impl McState for Hypervisor {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.capacity.mc_fold(h);
+        self.reserved.mc_fold(h);
+        h.word(self.guests.len() as u64);
+        for g in self.guests.values() {
+            g.mc_fold(h);
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::power::{LinearPower, PowerModel};
@@ -220,6 +221,42 @@ impl PowerStateMachine {
             PowerState::Suspended => model.suspended_watts(),
             PowerState::Off => model.off_watts(),
         }
+    }
+}
+
+impl McState for PowerState {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match *self {
+            PowerState::On => h.word(1),
+            PowerState::Suspending(done) => {
+                h.word(2);
+                h.time(done);
+            }
+            PowerState::Suspended => h.word(3),
+            PowerState::Resuming(done) => {
+                h.word(4);
+                h.time(done);
+            }
+            PowerState::ShuttingDown(done) => {
+                h.word(5);
+                h.time(done);
+            }
+            PowerState::Off => h.word(6),
+            PowerState::Booting(done) => {
+                h.word(7);
+                h.time(done);
+            }
+        }
+    }
+}
+
+impl McState for PowerStateMachine {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.state.mc_fold(h);
+        h.span(self.times.suspend);
+        h.span(self.times.resume);
+        h.span(self.times.shutdown);
+        h.span(self.times.boot);
     }
 }
 

@@ -14,6 +14,8 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, Mul, Sub, SubAssign};
 
+use snooze_simcore::mc::{McHasher, McState};
+
 /// Number of resource dimensions.
 pub const DIMS: usize = 4;
 
@@ -246,6 +248,15 @@ impl fmt::Debug for ResourceVector {
 impl std::iter::Sum for ResourceVector {
     fn sum<I: Iterator<Item = ResourceVector>>(iter: I) -> ResourceVector {
         iter.fold(ResourceVector::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl McState for ResourceVector {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.float(self.cpu);
+        h.float(self.memory);
+        h.float(self.net_rx);
+        h.float(self.net_tx);
     }
 }
 

@@ -1,5 +1,6 @@
 //! Virtual machine identities, specifications and lifecycle.
 
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::SimTime;
 
 use crate::resources::ResourceVector;
@@ -55,6 +56,32 @@ impl VmState {
             self,
             VmState::Booting | VmState::Running | VmState::Migrating
         )
+    }
+}
+
+impl McState for VmId {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.word(self.0);
+    }
+}
+
+impl McState for VmSpec {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.id.mc_fold(h);
+        self.requested.mc_fold(h);
+        h.float(self.image_mb);
+    }
+}
+
+impl McState for VmState {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.word(match self {
+            VmState::Pending => 1,
+            VmState::Booting => 2,
+            VmState::Running => 3,
+            VmState::Migrating => 4,
+            VmState::Terminated => 5,
+        });
     }
 }
 

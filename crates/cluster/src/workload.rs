@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::rng::SimRng;
 use snooze_simcore::time::{SimSpan, SimTime};
 
@@ -155,6 +156,58 @@ pub struct VmWorkload {
     pub network: UsageShape,
     /// Per-VM seed for stateless randomness.
     pub seed: u64,
+}
+
+impl McState for UsageShape {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            UsageShape::Constant(u) => {
+                h.word(1);
+                h.float(*u);
+            }
+            UsageShape::Diurnal {
+                low,
+                high,
+                period,
+                phase,
+            } => {
+                h.word(2);
+                h.float(*low);
+                h.float(*high);
+                h.span(*period);
+                h.float(*phase);
+            }
+            UsageShape::OnOff {
+                on_level,
+                off_level,
+                duty,
+                slot,
+            } => {
+                h.word(3);
+                h.float(*on_level);
+                h.float(*off_level);
+                h.float(*duty);
+                h.span(*slot);
+            }
+            UsageShape::Trace { samples, step } => {
+                h.word(4);
+                h.word(samples.len() as u64);
+                for s in samples.iter() {
+                    h.float(*s);
+                }
+                h.span(*step);
+            }
+        }
+    }
+}
+
+impl McState for VmWorkload {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.cpu.mc_fold(h);
+        self.memory.mc_fold(h);
+        self.network.mc_fold(h);
+        h.word(self.seed);
+    }
 }
 
 impl VmWorkload {

@@ -1,0 +1,251 @@
+//! Election harness: the ZooKeeper-recipe leader election under
+//! exhaustive exploration.
+//!
+//! The topology is the GL election in isolation — one
+//! [`CoordinationService`] plus N contenders, each a minimal host
+//! component wrapping an [`Elector`] exactly the way a Group Manager
+//! does. Two invariants:
+//!
+//! * **single-live-leader** (safety): at most one contender holds
+//!   leadership *with a live coordination session*. A deposed leader
+//!   that has not yet learned its session expired is legal (the
+//!   partition tests prove the real protocol exhibits it); two leaders
+//!   with live sessions is the classic split-brain bug.
+//! * **leader-elected** (bounded liveness): from every frontier state,
+//!   a fair suffix of execution ends with some live leader elected.
+//!
+//! The harness uses the instant network (zero latency, zero loss) so
+//! the engine RNG is never consumed: all nondeterminism is the
+//! explorer's, and fingerprint dedup is sound. Timers all fire on
+//! whole-second boundaries (session timeout 2 s, elector ping 2 s,
+//! service tick 1 s), which keeps the relative-time fingerprint space
+//! small.
+
+use snooze_protocols::coordination::{CoordinationService, ProtocolMsg};
+use snooze_protocols::election::{Elector, SeededBug, ELECTION_PING_TAG};
+use snooze_scenario::mc_trace::McTraceDoc;
+use snooze_simcore::node_enum;
+use snooze_simcore::prelude::*;
+
+use crate::explorer::{self, McViolation, Predicate, PredicateKind};
+
+/// Fair-suffix horizon for the election liveness predicate: session
+/// expiry (2 s) plus a full re-election leaves generous slack.
+pub const LIVENESS_WITHIN: SimSpan = SimSpan::from_secs(10);
+
+/// Minimal host component wrapping an [`Elector`] — the model-checked
+/// stand-in for a Group Manager's election slice.
+#[derive(Clone)]
+pub struct McContender {
+    elector: Elector,
+}
+
+impl McContender {
+    /// A contender campaigning at coordination service `zk`.
+    pub fn new(zk: ComponentId, ping_period: SimSpan) -> Self {
+        McContender {
+            elector: Elector::new(zk, "gl-election", ping_period),
+        }
+    }
+
+    /// Enable the known-wrong election variant (watch the leader, assume
+    /// leadership when the watch fires).
+    pub fn seed_bug(&mut self) {
+        self.elector.seed_bug(SeededBug::WatchLeaderAssumeOnFire);
+    }
+
+    /// The embedded elector.
+    pub fn elector(&self) -> &Elector {
+        &self.elector
+    }
+}
+
+impl Component for McContender {
+    type Msg = ProtocolMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
+        self.elector.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>, _src: ComponentId, msg: ProtocolMsg) {
+        if let ProtocolMsg::Reply(reply) = msg {
+            self.elector.handle_reply(ctx, &reply);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>, tag: u64) {
+        if tag == ELECTION_PING_TAG {
+            self.elector.tick(ctx);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
+        self.elector.start(ctx);
+    }
+}
+
+impl McState for McContender {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.elector.mc_fold(h);
+    }
+}
+
+node_enum! {
+    /// Node enum of the election harness.
+    #[derive(Clone)]
+    pub enum ElectNode: ProtocolMsg {
+        Zk(CoordinationService<ProtocolMsg>) as as_zk,
+        Contender(McContender) as as_contender,
+    }
+}
+
+impl McState for ElectNode {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            ElectNode::Zk(c) => {
+                h.word(1);
+                c.mc_fold(h);
+            }
+            ElectNode::Contender(c) => {
+                h.word(2);
+                c.mc_fold(h);
+            }
+        }
+    }
+}
+
+/// A bootstrapped election topology ready for exploration.
+pub struct ElectionHarness {
+    /// The engine, converged to a steady elected state.
+    pub sim: Engine<ElectNode>,
+    /// The coordination service.
+    pub zk: ComponentId,
+    /// The contenders, in creation order.
+    pub contenders: Vec<ComponentId>,
+    /// Whether the known-wrong variant is seeded.
+    pub seeded_bug: bool,
+    /// Virtual seconds of normal execution run before exploration.
+    pub bootstrap_secs: u64,
+}
+
+impl ElectionHarness {
+    /// Build and bootstrap: `n` contenders on the instant network, fixed
+    /// seed, session timeout 2 s, ping period 2 s; then `bootstrap_secs`
+    /// of normal execution so exploration starts from the converged
+    /// post-election state.
+    pub fn new(n: usize, seeded_bug: bool, bootstrap_secs: u64) -> ElectionHarness {
+        let mut sim: Engine<ElectNode> =
+            SimBuilder::new(1).network(NetworkConfig::instant()).build();
+        let zk = sim.add_component("zk", CoordinationService::new(SimSpan::from_secs(2)));
+        let contenders: Vec<ComponentId> = (0..n)
+            .map(|i| {
+                let mut c = McContender::new(zk, SimSpan::from_secs(2));
+                if seeded_bug {
+                    c.seed_bug();
+                }
+                sim.add_component(format!("gm{i}"), c)
+            })
+            .collect();
+        let mut h = ElectionHarness {
+            sim,
+            zk,
+            contenders,
+            seeded_bug,
+            bootstrap_secs,
+        };
+        h.sim.run_until(SimTime::from_secs(bootstrap_secs));
+        h
+    }
+
+    /// Contenders currently holding leadership with a live session.
+    pub fn live_leaders(&self) -> Vec<ComponentId> {
+        live_leaders(&self.sim, self.zk, &self.contenders)
+    }
+
+    /// The standard invariants for this topology.
+    pub fn predicates(&self) -> Vec<Predicate<ElectNode>> {
+        let (zk, contenders) = (self.zk, self.contenders.clone());
+        let single = Predicate::safety("single-live-leader", move |sim| {
+            let ls = live_leaders(sim, zk, &contenders);
+            (ls.len() > 1).then(|| format!("{} live leaders: {ls:?}", ls.len()))
+        });
+        let (zk, contenders) = (self.zk, self.contenders.clone());
+        let elected = Predicate::liveness("leader-elected", LIVENESS_WITHIN, move |sim| {
+            if !contenders.iter().any(|&c| sim.is_alive(c)) {
+                return None; // vacuous: nobody left to elect
+            }
+            let ls = live_leaders(sim, zk, &contenders);
+            match ls.as_slice() {
+                [_one] => None,
+                other => Some(format!(
+                    "fair suffix did not converge to one live leader: {other:?}"
+                )),
+            }
+        });
+        vec![single, elected]
+    }
+
+    /// Package a violation as a replayable scenario document.
+    pub fn to_doc(&self, v: &McViolation, name: &str) -> McTraceDoc {
+        McTraceDoc {
+            name: name.to_string(),
+            harness: "election".to_string(),
+            contenders: self.contenders.len() as u64,
+            gms: 0,
+            lcs: 0,
+            seeded_bug: self.seeded_bug,
+            bootstrap_secs: self.bootstrap_secs,
+            predicate: v.predicate.clone(),
+            detail: v.detail.clone(),
+            steps: explorer::trace_to_steps(&v.trace),
+        }
+    }
+}
+
+fn live_leaders(
+    sim: &Engine<ElectNode>,
+    zk: ComponentId,
+    contenders: &[ComponentId],
+) -> Vec<ComponentId> {
+    let Some(svc) = sim.get(zk).and_then(|n| n.as_zk()) else {
+        return Vec::new();
+    };
+    contenders
+        .iter()
+        .copied()
+        .filter(|&c| {
+            sim.is_alive(c)
+                && sim
+                    .get(c)
+                    .and_then(|n| n.as_contender())
+                    .map(|host| {
+                        host.elector.is_leader()
+                            && svc.session_epoch(c) == Some(host.elector.epoch())
+                    })
+                    .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Rebuild the harness a trace document describes and replay its steps.
+/// Returns `Ok(Some(detail))` when the recorded predicate is violated
+/// again after replay (liveness predicates get their fair suffix first),
+/// `Ok(None)` when the trace no longer reproduces a violation, and
+/// `Err` when the trace does not mechanically apply.
+pub fn replay_doc(doc: &McTraceDoc) -> Result<Option<String>, String> {
+    if doc.harness != "election" {
+        return Err(format!("not an election trace: harness={}", doc.harness));
+    }
+    let mut h = ElectionHarness::new(doc.contenders as usize, doc.seeded_bug, doc.bootstrap_secs);
+    let steps = explorer::steps_from_doc(&doc.steps)?;
+    explorer::replay(&mut h.sim, &steps)?;
+    let predicates = h.predicates();
+    let p = predicates
+        .iter()
+        .find(|p| p.name == doc.predicate)
+        .ok_or_else(|| format!("unknown predicate `{}`", doc.predicate))?;
+    if let PredicateKind::Liveness { within } = p.kind {
+        h.sim.run_for(within);
+    }
+    Ok((p.check)(&h.sim))
+}

@@ -1,0 +1,553 @@
+//! The exhaustive explorer: systematic interleaving search over engine
+//! snapshots.
+//!
+//! From one bootstrapped engine state the explorer enumerates every
+//! checker action — execute one pending event (chosen out of queue
+//! order), drop an in-flight message, crash or restart a component from
+//! the configured fault surface — applies each to a restored snapshot,
+//! and recurses, deduplicating on the engine's canonical state
+//! fingerprint. Safety predicates are evaluated at every distinct
+//! state; liveness predicates are evaluated at the depth frontier by
+//! running a *fair suffix* (normal scheduled execution for a bounded
+//! span) and requiring the goal to hold at its end — "liveness by
+//! bounded depth plus fair closure".
+//!
+//! Determinism: action enumeration follows the engine's sorted pending
+//! list and the configured `crashable` order, the visited set folds
+//! fingerprints in insertion order, and the harnesses use the instant
+//! (draw-free) network — so two explorations of the same harness
+//! produce identical state counts, fingerprints and violations.
+//!
+//! Remaining fault budgets are mixed into the visited-set key: a state
+//! reached with budget left can reach strictly more behaviors than the
+//! same engine state with none, so the two must not deduplicate.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use snooze_scenario::mc_trace::McTraceStep;
+use snooze_simcore::engine::{Component, ComponentId, Engine};
+use snooze_simcore::mc::{McEventDesc, McPending, McState, SystemState};
+use snooze_simcore::time::SimSpan;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+/// Worklist discipline: depth-first dives to counterexamples fast;
+/// breadth-first finds *shortest* counterexamples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Depth-first search (stack worklist).
+    Dfs,
+    /// Breadth-first search (queue worklist).
+    Bfs,
+}
+
+impl Strategy {
+    /// Parse `"dfs"` / `"bfs"`.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "dfs" => Some(Strategy::Dfs),
+            "bfs" => Some(Strategy::Bfs),
+            _ => None,
+        }
+    }
+}
+
+/// Exploration limits and the fault-action surface.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Worklist discipline.
+    pub strategy: Strategy,
+    /// Maximum actions along any path; deeper states become the
+    /// liveness frontier.
+    pub max_depth: usize,
+    /// Hard cap on distinct states; exploration stops (and the report
+    /// says so) when reached.
+    pub max_states: usize,
+    /// How many in-flight messages may be dropped along one path.
+    pub drop_budget: u32,
+    /// How many crashes may be injected along one path.
+    pub crash_budget: u32,
+    /// How many restarts may be injected along one path.
+    pub restart_budget: u32,
+    /// Components the crash/restart actions may target.
+    pub crashable: Vec<ComponentId>,
+    /// Stop after this many violations (1 = stop at the first).
+    pub max_violations: usize,
+    /// Also reorder timers against each other (models local clock
+    /// skew). Off by default: messages in flight are reorderable and
+    /// droppable, but non-`Deliver` events fire in `(time, seq)` order —
+    /// the standard asynchronous-network reduction. Timers still
+    /// interleave freely with every delivery, which is where protocol
+    /// races live; enabling this multiplies the state space by the
+    /// timer-permutation count without adding behaviors a real run (or
+    /// a real deployment without pathological clock skew) exhibits.
+    pub reorder_timers: bool,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            strategy: Strategy::Dfs,
+            max_depth: 12,
+            max_states: 200_000,
+            drop_budget: 0,
+            crash_budget: 0,
+            restart_budget: 0,
+            crashable: Vec::new(),
+            max_violations: 1,
+            reorder_timers: false,
+        }
+    }
+}
+
+/// Predicate body: `None` = holds, `Some(detail)` = violated.
+pub type PredicateFn<C> = Box<dyn Fn(&Engine<C>) -> Option<String>>;
+
+/// When (and how) a predicate is evaluated.
+#[derive(Clone, Copy, Debug)]
+pub enum PredicateKind {
+    /// Must hold in **every** explored state.
+    Safety,
+    /// Must hold after a fair suffix of `within` virtual time from every
+    /// depth-frontier (or quiescent) state.
+    Liveness {
+        /// Length of the fair suffix run before evaluation.
+        within: SimSpan,
+    },
+}
+
+/// A named invariant over engine states.
+pub struct Predicate<C: Component> {
+    /// Stable name, recorded in violations and trace documents.
+    pub name: &'static str,
+    /// Safety or bounded liveness.
+    pub kind: PredicateKind,
+    /// The check itself.
+    pub check: PredicateFn<C>,
+}
+
+impl<C: Component> Predicate<C> {
+    /// A safety predicate evaluated at every explored state.
+    pub fn safety(
+        name: &'static str,
+        check: impl Fn(&Engine<C>) -> Option<String> + 'static,
+    ) -> Self {
+        Predicate {
+            name,
+            kind: PredicateKind::Safety,
+            check: Box::new(check),
+        }
+    }
+
+    /// A liveness predicate evaluated after a fair suffix of `within`.
+    pub fn liveness(
+        name: &'static str,
+        within: SimSpan,
+        check: impl Fn(&Engine<C>) -> Option<String> + 'static,
+    ) -> Self {
+        Predicate {
+            name,
+            kind: PredicateKind::Liveness { within },
+            check: Box::new(check),
+        }
+    }
+}
+
+/// One checker action.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Execute the pending event at this ordinal of the sorted pending
+    /// list.
+    Execute {
+        /// Index into [`Engine::mc_pending`].
+        ordinal: usize,
+    },
+    /// Drop the in-flight message at this ordinal.
+    Drop {
+        /// Index into [`Engine::mc_pending`].
+        ordinal: usize,
+    },
+    /// Crash a component from the fault surface.
+    Crash {
+        /// The victim.
+        target: ComponentId,
+    },
+    /// Restart a crashed component from the fault surface.
+    Restart {
+        /// The component to revive.
+        target: ComponentId,
+    },
+}
+
+/// One step of a counterexample trace: the action plus the descriptor
+/// words of what it acted on, revalidated during replay.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceStep {
+    /// The action taken.
+    pub action: Action,
+    /// [`McEventDesc::words`] of the affected event (for execute/drop),
+    /// or `(4|5, target, 0)` for crash/restart.
+    pub desc: (u64, u64, u64),
+}
+
+/// An invariant violation plus the path that reached it.
+#[derive(Clone, Debug)]
+pub struct McViolation {
+    /// Name of the violated predicate.
+    pub predicate: String,
+    /// Human-readable description of the violating state.
+    pub detail: String,
+    /// Actions from the bootstrap state to the violation.
+    pub trace: Vec<TraceStep>,
+}
+
+/// Exploration statistics and findings.
+#[derive(Clone, Debug, Default)]
+pub struct McReport {
+    /// Distinct states discovered (after fingerprint dedup).
+    pub explored: u64,
+    /// Actions applied (edges of the explored graph).
+    pub transitions: u64,
+    /// Transitions that landed on an already-visited state.
+    pub deduped: u64,
+    /// Nodes cut at the depth bound.
+    pub truncated: u64,
+    /// Fair-suffix liveness evaluations performed.
+    pub liveness_probes: u64,
+    /// Deepest node expanded or probed.
+    pub max_depth_reached: usize,
+    /// True if the `max_states` cap stopped exploration early.
+    pub hit_state_cap: bool,
+    /// Order-sensitive fold of every visited state key: two runs explored
+    /// identically iff `explored` and `fingerprint` both match.
+    pub fingerprint: u64,
+    /// Violations found, in discovery order.
+    pub violations: Vec<McViolation>,
+}
+
+struct Node<C: Component> {
+    snap: SystemState<C>,
+    depth: usize,
+    drops: u32,
+    crashes: u32,
+    restarts: u32,
+    trace: Vec<TraceStep>,
+}
+
+fn visit_key(state_fp: u64, drops: u32, crashes: u32, restarts: u32) -> u64 {
+    let mut k = mix(state_fp, drops as u64);
+    k = mix(k, crashes as u64);
+    mix(k, restarts as u64)
+}
+
+fn apply<C>(sim: &mut Engine<C>, pending: &[McPending], action: Action) -> TraceStep
+where
+    C: Component + Clone + McState,
+    C::Msg: Clone + McState,
+{
+    match action {
+        Action::Execute { ordinal } => {
+            let p = pending[ordinal];
+            let found = sim.mc_execute_pending(p.seq);
+            assert!(found, "enumerated pending event vanished");
+            TraceStep {
+                action,
+                desc: p.desc.words(),
+            }
+        }
+        Action::Drop { ordinal } => {
+            let p = pending[ordinal];
+            let found = sim.mc_drop_pending(p.seq);
+            assert!(found, "enumerated pending event vanished");
+            TraceStep {
+                action,
+                desc: p.desc.words(),
+            }
+        }
+        Action::Crash { target } => {
+            sim.mc_inject_crash(target);
+            TraceStep {
+                action,
+                desc: (4, u64::from(target), 0),
+            }
+        }
+        Action::Restart { target } => {
+            sim.mc_inject_restart(target);
+            TraceStep {
+                action,
+                desc: (5, u64::from(target), 0),
+            }
+        }
+    }
+}
+
+/// Exhaustively explore the state space reachable from the engine's
+/// current state under `config`, checking `predicates`. The engine is
+/// restored to its pre-exploration state before returning.
+pub fn explore<C>(sim: &mut Engine<C>, predicates: &[Predicate<C>], config: &McConfig) -> McReport
+where
+    C: Component + Clone + McState,
+    C::Msg: Clone + McState,
+{
+    let mut report = McReport {
+        fingerprint: FNV_OFFSET,
+        ..McReport::default()
+    };
+    sim.mc_gc();
+    let root = sim.mc_snapshot();
+    let root_key = visit_key(
+        sim.mc_fingerprint(),
+        config.drop_budget,
+        config.crash_budget,
+        config.restart_budget,
+    );
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    visited.insert(root_key);
+    report.fingerprint = mix(report.fingerprint, root_key);
+    let mut work: VecDeque<Node<C>> = VecDeque::new();
+    work.push_back(Node {
+        snap: sim.mc_snapshot(),
+        depth: 0,
+        drops: config.drop_budget,
+        crashes: config.crash_budget,
+        restarts: config.restart_budget,
+        trace: Vec::new(),
+    });
+
+    'search: loop {
+        let node = match config.strategy {
+            Strategy::Dfs => work.pop_back(),
+            Strategy::Bfs => work.pop_front(),
+        };
+        let Some(node) = node else { break };
+        report.max_depth_reached = report.max_depth_reached.max(node.depth);
+        sim.mc_restore(&node.snap);
+
+        let mut violated = false;
+        for p in predicates {
+            if !matches!(p.kind, PredicateKind::Safety) {
+                continue;
+            }
+            if let Some(detail) = (p.check)(sim) {
+                violated = true;
+                report.violations.push(McViolation {
+                    predicate: p.name.to_string(),
+                    detail,
+                    trace: node.trace.clone(),
+                });
+                if report.violations.len() >= config.max_violations {
+                    break 'search;
+                }
+            }
+        }
+        if violated {
+            // A violating state is a counterexample, not a frontier to
+            // expand — its successors would only repeat the finding.
+            continue;
+        }
+
+        let pending = sim.mc_pending();
+        let mut actions: Vec<Action> = Vec::new();
+        // Without `reorder_timers`, only the earliest non-Deliver event
+        // is executable: the pending list is (time, seq)-sorted, so this
+        // pins timers to their real firing order while still interleaving
+        // each firing freely against every message delivery.
+        let mut timer_slot_free = true;
+        for (ordinal, p) in pending.iter().enumerate() {
+            let is_deliver = matches!(p.desc, McEventDesc::Deliver { .. });
+            if is_deliver || config.reorder_timers {
+                actions.push(Action::Execute { ordinal });
+            } else if timer_slot_free {
+                timer_slot_free = false;
+                actions.push(Action::Execute { ordinal });
+            }
+            // Dropping a message to a dead component is indistinguishable
+            // from executing it (the engine discards silently), so the
+            // drop action is only offered where it creates new behavior.
+            if node.drops > 0 && p.dst_alive && is_deliver {
+                actions.push(Action::Drop { ordinal });
+            }
+        }
+        if node.crashes > 0 {
+            for &t in &config.crashable {
+                if sim.is_alive(t) {
+                    actions.push(Action::Crash { target: t });
+                }
+            }
+        }
+        if node.restarts > 0 {
+            for &t in &config.crashable {
+                if !sim.is_alive(t) {
+                    actions.push(Action::Restart { target: t });
+                }
+            }
+        }
+
+        if node.depth >= config.max_depth || actions.is_empty() {
+            if node.depth >= config.max_depth {
+                report.truncated += 1;
+            }
+            for p in predicates {
+                let PredicateKind::Liveness { within } = p.kind else {
+                    continue;
+                };
+                sim.mc_restore(&node.snap);
+                sim.mc_release();
+                sim.run_for(within);
+                report.liveness_probes += 1;
+                if let Some(detail) = (p.check)(sim) {
+                    report.violations.push(McViolation {
+                        predicate: p.name.to_string(),
+                        detail,
+                        trace: node.trace.clone(),
+                    });
+                    if report.violations.len() >= config.max_violations {
+                        break 'search;
+                    }
+                }
+            }
+            continue;
+        }
+
+        for action in actions {
+            sim.mc_restore(&node.snap);
+            let step = apply(sim, &pending, action);
+            report.transitions += 1;
+            sim.mc_gc();
+            let (drops, crashes, restarts) = match action {
+                Action::Drop { .. } => (node.drops - 1, node.crashes, node.restarts),
+                Action::Crash { .. } => (node.drops, node.crashes - 1, node.restarts),
+                Action::Restart { .. } => (node.drops, node.crashes, node.restarts - 1),
+                Action::Execute { .. } => (node.drops, node.crashes, node.restarts),
+            };
+            let key = visit_key(sim.mc_fingerprint(), drops, crashes, restarts);
+            if !visited.insert(key) {
+                report.deduped += 1;
+                continue;
+            }
+            report.fingerprint = mix(report.fingerprint, key);
+            if visited.len() >= config.max_states {
+                report.hit_state_cap = true;
+                break 'search;
+            }
+            let mut trace = node.trace.clone();
+            trace.push(step);
+            work.push_back(Node {
+                snap: sim.mc_snapshot(),
+                depth: node.depth + 1,
+                drops,
+                crashes,
+                restarts,
+                trace,
+            });
+        }
+    }
+
+    sim.mc_restore(&root);
+    report.explored = visited.len() as u64;
+    report
+}
+
+/// Re-apply a recorded trace to a freshly bootstrapped engine. Each
+/// execute/drop step addresses its ordinal in the engine's (sorted,
+/// deterministic) pending list and is validated against the recorded
+/// event descriptor, so a trace replayed against drifted code fails
+/// loudly instead of silently exploring a different schedule.
+pub fn replay<C>(sim: &mut Engine<C>, steps: &[TraceStep]) -> Result<(), String>
+where
+    C: Component + Clone + McState,
+    C::Msg: Clone + McState,
+{
+    for (i, step) in steps.iter().enumerate() {
+        match step.action {
+            Action::Execute { ordinal } | Action::Drop { ordinal } => {
+                sim.mc_gc();
+                let pending = sim.mc_pending();
+                let Some(p) = pending.get(ordinal).copied() else {
+                    return Err(format!(
+                        "replay step {i}: ordinal {ordinal} out of range ({} pending)",
+                        pending.len()
+                    ));
+                };
+                let got = p.desc.words();
+                if got != step.desc {
+                    return Err(format!(
+                        "replay step {i}: event descriptor mismatch: recorded {:?}, found {got:?}",
+                        step.desc
+                    ));
+                }
+                let found = if matches!(step.action, Action::Execute { .. }) {
+                    sim.mc_execute_pending(p.seq)
+                } else {
+                    sim.mc_drop_pending(p.seq)
+                };
+                if !found {
+                    return Err(format!("replay step {i}: pending event vanished"));
+                }
+            }
+            Action::Crash { target } => sim.mc_inject_crash(target),
+            Action::Restart { target } => sim.mc_inject_restart(target),
+        }
+    }
+    // Leave the engine resumable: events the trace left in flight are
+    // re-timed so normal execution (e.g. a liveness fair suffix) can
+    // take over from the replayed state.
+    sim.mc_release();
+    Ok(())
+}
+
+/// Convert an in-memory trace to scenario-document steps.
+pub fn trace_to_steps(trace: &[TraceStep]) -> Vec<McTraceStep> {
+    trace
+        .iter()
+        .map(|s| {
+            let (action, ordinal) = match s.action {
+                Action::Execute { ordinal } => ("execute", ordinal as u64),
+                Action::Drop { ordinal } => ("drop", ordinal as u64),
+                Action::Crash { .. } => ("crash", 0),
+                Action::Restart { .. } => ("restart", 0),
+            };
+            McTraceStep {
+                action: action.to_string(),
+                ordinal,
+                kind: s.desc.0,
+                a: s.desc.1,
+                b: s.desc.2,
+            }
+        })
+        .collect()
+}
+
+/// Parse scenario-document steps back into replayable actions.
+pub fn steps_from_doc(steps: &[McTraceStep]) -> Result<Vec<TraceStep>, String> {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let action = match s.action.as_str() {
+                "execute" => Action::Execute {
+                    ordinal: s.ordinal as usize,
+                },
+                "drop" => Action::Drop {
+                    ordinal: s.ordinal as usize,
+                },
+                "crash" => Action::Crash {
+                    target: ComponentId(s.a as usize),
+                },
+                "restart" => Action::Restart {
+                    target: ComponentId(s.a as usize),
+                },
+                other => return Err(format!("trace step {i}: unknown action `{other}`")),
+            };
+            Ok(TraceStep {
+                action,
+                desc: (s.kind, s.a, s.b),
+            })
+        })
+        .collect()
+}

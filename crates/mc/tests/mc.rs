@@ -1,0 +1,190 @@
+//! Integration tests for the model checker: the seeded election bug is
+//! found within the depth budget and round-trips through scenario TOML;
+//! the correct protocols explore clean; exploration is deterministic.
+
+use snooze_mc::election::{self, ElectionHarness};
+use snooze_mc::explorer::{explore, McConfig, McReport, PredicateKind, Strategy};
+use snooze_mc::failover::{self, FailoverHarness};
+use snooze_scenario::mc_trace::McTraceDoc;
+
+fn election_config(strategy: Strategy, max_depth: usize) -> McConfig {
+    McConfig {
+        strategy,
+        max_depth,
+        max_states: 500_000,
+        crash_budget: 1,
+        ..McConfig::default()
+    }
+}
+
+fn explore_election(h: &mut ElectionHarness, config: &McConfig, liveness: bool) -> McReport {
+    let mut config = config.clone();
+    config.crashable = h.contenders.clone();
+    let mut preds = h.predicates();
+    if !liveness {
+        preds.retain(|p| matches!(p.kind, PredicateKind::Safety));
+    }
+    explore(&mut h.sim, &preds, &config)
+}
+
+#[test]
+fn seeded_bug_double_leader_found_within_depth_budget() {
+    let mut h = ElectionHarness::new(3, true, 5);
+    let report = explore_election(&mut h, &election_config(Strategy::Bfs, 10), false);
+    assert!(
+        !report.violations.is_empty(),
+        "checker must find the seeded double-leader bug within depth 10"
+    );
+    let v = &report.violations[0];
+    assert_eq!(v.predicate, "single-live-leader");
+    assert!(
+        v.trace.len() <= 10,
+        "counterexample of {} steps exceeds the depth budget",
+        v.trace.len()
+    );
+    assert!(v.detail.contains("2 live leaders"), "detail: {}", v.detail);
+}
+
+#[test]
+fn seeded_bug_found_without_any_fault_budget() {
+    // The seeded variant is broken by pure message delay: a leader whose
+    // session ping is left in flight past the session timeout is deposed,
+    // and both watchers assume leadership. No crash, drop, or restart
+    // budget is needed to expose it.
+    let mut h = ElectionHarness::new(3, true, 5);
+    let config = McConfig {
+        strategy: Strategy::Bfs,
+        max_depth: 10,
+        max_states: 500_000,
+        ..McConfig::default()
+    };
+    let report = explore_election(&mut h, &config, false);
+    assert!(!report.violations.is_empty());
+    assert_eq!(report.violations[0].predicate, "single-live-leader");
+}
+
+#[test]
+fn seeded_bug_counterexample_roundtrips_and_replays() {
+    let mut h = ElectionHarness::new(3, true, 5);
+    let report = explore_election(&mut h, &election_config(Strategy::Bfs, 10), false);
+    let v = report.violations.first().expect("violation expected");
+    let doc = h.to_doc(v, "roundtrip");
+
+    let toml = doc.to_toml();
+    let parsed = McTraceDoc::from_toml(&toml).expect("emitted TOML must parse");
+    assert_eq!(parsed, doc, "scenario document must round-trip losslessly");
+
+    let outcome = election::replay_doc(&parsed).expect("trace must apply mechanically");
+    let detail = outcome.expect("replayed trace must reproduce the violation");
+    assert!(detail.contains("2 live leaders"), "detail: {detail}");
+}
+
+#[test]
+fn correct_election_explores_clean_with_liveness() {
+    let mut h = ElectionHarness::new(3, false, 5);
+    let report = explore_election(&mut h, &election_config(Strategy::Dfs, 8), true);
+    assert!(
+        report.violations.is_empty(),
+        "correct protocol must have no violations: {:?}",
+        report.violations
+    );
+    assert!(!report.hit_state_cap);
+    assert!(report.liveness_probes > 0, "frontier must be probed");
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        let mut h = ElectionHarness::new(3, false, 5);
+        explore_election(&mut h, &election_config(Strategy::Dfs, 6), false)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.explored, b.explored);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
+fn explorer_restores_engine_state() {
+    let mut h = ElectionHarness::new(3, false, 5);
+    let before = h.sim.mc_fingerprint();
+    let leaders = h.live_leaders();
+    assert_eq!(leaders.len(), 1, "bootstrap must elect a leader");
+    explore_election(&mut h, &election_config(Strategy::Dfs, 4), false);
+    assert_eq!(
+        h.sim.mc_fingerprint(),
+        before,
+        "explore() must leave the engine as it found it"
+    );
+    assert_eq!(h.live_leaders(), leaders);
+}
+
+#[test]
+fn failover_invariants_hold_under_manager_crashes() {
+    let mut h = FailoverHarness::new(3, 2, 10);
+    let config = McConfig {
+        strategy: Strategy::Dfs,
+        max_depth: 5,
+        max_states: 500_000,
+        crash_budget: 1,
+        crashable: h.crashable(),
+        ..McConfig::default()
+    };
+    let preds = h.predicates();
+    let report = explore(&mut h.sim, &preds, &config);
+    assert!(
+        report.violations.is_empty(),
+        "failover topology must be safe and live: {:?}",
+        report.violations
+    );
+    assert!(!report.hit_state_cap);
+    assert!(report.liveness_probes > 0);
+    assert_eq!(
+        h.live_gls().len(),
+        1,
+        "engine restored to its elected state"
+    );
+}
+
+#[test]
+fn failover_trace_docs_replay() {
+    // Force a "violation" by checking an impossible predicate, so the
+    // failover replay path is exercised end to end even though the real
+    // invariants hold: record a short trace, round-trip it, re-apply it.
+    let mut h = FailoverHarness::new(3, 2, 10);
+    let config = McConfig {
+        strategy: Strategy::Dfs,
+        max_depth: 2,
+        max_states: 10_000,
+        crash_budget: 1,
+        crashable: h.crashable(),
+        ..McConfig::default()
+    };
+    let preds = vec![snooze_mc::Predicate::safety("single-live-gl", |_| {
+        Some("forced".to_string())
+    })];
+    let report = explore(&mut h.sim, &preds, &config);
+    let v = report.violations.first().expect("forced violation");
+    let doc = h.to_doc(v, "forced");
+    let parsed = McTraceDoc::from_toml(&doc.to_toml()).expect("parse");
+    assert_eq!(parsed, doc);
+    // The real single-live-gl predicate holds on the replayed state, so
+    // replay applies cleanly and reports no reproduction.
+    let outcome = failover::replay_doc(&parsed).expect("trace must apply");
+    assert!(outcome.is_none());
+}
+
+#[test]
+fn committed_counterexample_still_reproduces() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/mc_seeded_bug_counterexample.toml"
+    );
+    let text = std::fs::read_to_string(path).expect("committed counterexample must exist");
+    let doc = McTraceDoc::from_toml(&text).expect("committed counterexample must parse");
+    assert_eq!(doc.harness, "election");
+    assert!(doc.seeded_bug);
+    let outcome = election::replay_doc(&doc).expect("trace must apply mechanically");
+    let detail = outcome.expect("committed counterexample must still reproduce");
+    assert!(detail.contains("2 live leaders"), "detail: {detail}");
+}

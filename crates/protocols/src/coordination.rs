@@ -175,6 +175,22 @@ pub struct CoordinationService<M> {
     _msg: PhantomData<M>,
 }
 
+// Manual impl: `PhantomData<M>` is `Clone` for any `M`, but the derive
+// would demand `M: Clone` anyway.
+impl<M> Clone for CoordinationService<M> {
+    fn clone(&self) -> Self {
+        CoordinationService {
+            session_timeout: self.session_timeout,
+            sessions: self.sessions.clone(),
+            znodes: self.znodes.clone(),
+            next_seq: self.next_seq.clone(),
+            watches: self.watches.clone(),
+            sessions_expired: self.sessions_expired,
+            _msg: PhantomData,
+        }
+    }
+}
+
 impl<M: ProtocolCarrier> CoordinationService<M> {
     /// A service expiring sessions after `session_timeout` without pings.
     pub fn new(session_timeout: SimSpan) -> Self {
@@ -192,6 +208,14 @@ impl<M: ProtocolCarrier> CoordinationService<M> {
     /// Number of live znodes (test hook).
     pub fn znode_count(&self) -> usize {
         self.znodes.len()
+    }
+
+    /// The epoch of `client`'s live session, if the service currently
+    /// holds one. Model-checking invariants use this to count *live*
+    /// leaders: a contender that still believes it leads but whose
+    /// session has expired is deposed-in-flight, not a safety violation.
+    pub fn session_epoch(&self, client: ComponentId) -> Option<u64> {
+        self.sessions.get(&client).map(|s| s.epoch)
     }
 
     fn touch(&mut self, ctx: &mut Ctx<'_, M>, client: ComponentId, epoch: u64) {
@@ -257,6 +281,112 @@ impl<M: ProtocolCarrier> CoordinationService<M> {
                 ProtocolMsg::Reply(ZkReply::WatchFired { path: path.clone() }),
             );
         }
+    }
+}
+
+impl McState for ZnodePath {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.text(&self.prefix);
+        h.word(self.seq);
+    }
+}
+
+impl McState for ZkRequest {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            ZkRequest::CreateEphemeralSequential { prefix, epoch } => {
+                h.word(1);
+                h.text(prefix);
+                h.word(*epoch);
+            }
+            ZkRequest::GetChildren { prefix } => {
+                h.word(2);
+                h.text(prefix);
+            }
+            ZkRequest::WatchDelete { path } => {
+                h.word(3);
+                path.mc_fold(h);
+            }
+            ZkRequest::Ping { epoch } => {
+                h.word(4);
+                h.word(*epoch);
+            }
+            ZkRequest::CloseSession { epoch } => {
+                h.word(5);
+                h.word(*epoch);
+            }
+        }
+    }
+}
+
+impl McState for ZkReply {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            ZkReply::Created { path } => {
+                h.word(1);
+                path.mc_fold(h);
+            }
+            ZkReply::Children { prefix, entries } => {
+                h.word(2);
+                h.text(prefix);
+                h.word(entries.len() as u64);
+                for (p, owner) in entries {
+                    p.mc_fold(h);
+                    h.id(*owner);
+                }
+            }
+            ZkReply::WatchFired { path } => {
+                h.word(3);
+                path.mc_fold(h);
+            }
+            ZkReply::SessionExpired { epoch } => {
+                h.word(4);
+                h.word(*epoch);
+            }
+        }
+    }
+}
+
+impl McState for ProtocolMsg {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            ProtocolMsg::Request(r) => {
+                h.word(1);
+                r.mc_fold(h);
+            }
+            ProtocolMsg::Reply(r) => {
+                h.word(2);
+                r.mc_fold(h);
+            }
+        }
+    }
+}
+
+impl<M> McState for CoordinationService<M> {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.span(self.session_timeout);
+        h.word(self.sessions.len() as u64);
+        for (client, s) in &self.sessions {
+            h.id(*client);
+            h.word(s.epoch);
+            h.time(s.last_heard);
+        }
+        h.word(self.znodes.len() as u64);
+        for z in &self.znodes {
+            z.path.mc_fold(h);
+            h.id(z.owner);
+        }
+        h.word(self.next_seq.len() as u64);
+        for (prefix, seq) in &self.next_seq {
+            h.text(prefix);
+            h.word(*seq);
+        }
+        h.word(self.watches.len() as u64);
+        for (path, watcher) in &self.watches {
+            path.mc_fold(h);
+            h.id(*watcher);
+        }
+        // sessions_expired is an observational counter — skipped.
     }
 }
 

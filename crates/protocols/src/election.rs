@@ -53,8 +53,23 @@ pub enum ElectorEvent {
     FollowingLeader(ComponentId),
 }
 
+/// A deliberately wrong variant of the election recipe, re-introducible
+/// for the model checker's seeded-bug tests (`snooze-mc` must find the
+/// resulting counterexample). Never enable outside of tests.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeededBug {
+    /// Watch the *leader's* znode instead of the predecessor's, and
+    /// assume leadership directly when the watch fires instead of
+    /// re-listing the children. With three contenders A < B < C, A's
+    /// death fires the watch at **both** B and C and both assume
+    /// leadership — the classic double-leader bug the predecessor chain
+    /// exists to prevent.
+    WatchLeaderAssumeOnFire,
+}
+
 /// The election state machine.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Elector {
     zk: ComponentId,
     prefix: String,
@@ -64,6 +79,8 @@ pub struct Elector {
     state: ElectorState,
     /// Open `election.campaign` span: creation → first leader knowledge.
     campaign_span: Option<SpanId>,
+    /// Test-only wrong-protocol variant (see [`SeededBug`]).
+    seeded_bug: Option<SeededBug>,
 }
 
 impl Elector {
@@ -77,12 +94,29 @@ impl Elector {
             my_path: None,
             state: ElectorState::Idle,
             campaign_span: None,
+            seeded_bug: None,
         }
+    }
+
+    /// Enable a known-wrong protocol variant. Test-only: exists so the
+    /// model checker's seeded-bug test can prove the checker would catch
+    /// this class of regression.
+    #[doc(hidden)]
+    pub fn seed_bug(&mut self, bug: SeededBug) {
+        self.seeded_bug = Some(bug);
     }
 
     /// Current state.
     pub fn state(&self) -> ElectorState {
         self.state
+    }
+
+    /// The session epoch of the current campaign. Model-checking
+    /// invariants compare this against the coordination service's
+    /// [`CoordinationService::session_epoch`](crate::coordination::CoordinationService::session_epoch)
+    /// to count *live* leaders.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// True if currently leader.
@@ -189,6 +223,19 @@ impl Elector {
                 self.evaluate(ctx, entries)
             }
             ZkReply::WatchFired { path } if path.prefix == self.prefix => {
+                if self.seeded_bug == Some(SeededBug::WatchLeaderAssumeOnFire) {
+                    // BUG (deliberate, test-only): assume the deleted
+                    // znode was the leader's and that we are next in
+                    // line, without re-listing. Every watcher of that
+                    // znode concludes the same thing.
+                    let was = self.state;
+                    self.state = ElectorState::Leader;
+                    if let Some(sp) = self.campaign_span.take() {
+                        ctx.span_label(sp, "outcome", "leader-assumed");
+                        ctx.span_close(sp);
+                    }
+                    return (was != ElectorState::Leader).then_some(ElectorEvent::BecameLeader);
+                }
                 // Predecessor died — re-examine the field.
                 self.request_children(ctx);
                 None
@@ -234,28 +281,41 @@ impl Elector {
             }
             return (was != ElectorState::Leader).then_some(ElectorEvent::BecameLeader);
         }
-        // Watch the entry immediately preceding ours (failover chain), and
-        // also the leader's znode so stale leadership knowledge is
-        // refreshed promptly even when the leader is not our predecessor.
-        let predecessor = entries
-            .iter()
-            .filter(|(p, _)| p.seq < my_seq)
-            .max_by_key(|(p, _)| p.seq)
-            .map(|(p, _)| p.clone())
-            .expect("non-lowest contender has a predecessor");
         let zk = self.zk;
-        if predecessor != lowest_path {
+        if self.seeded_bug == Some(SeededBug::WatchLeaderAssumeOnFire) {
+            // BUG (deliberate, test-only): thundering-herd watch on the
+            // leader's znode only — every follower fires at once when
+            // the leader dies.
             ctx.send(
                 zk,
                 ProtocolMsg::Request(ZkRequest::WatchDelete {
                     path: lowest_path.clone(),
                 }),
             );
+        } else {
+            // Watch the entry immediately preceding ours (failover
+            // chain), and also the leader's znode so stale leadership
+            // knowledge is refreshed promptly even when the leader is
+            // not our predecessor.
+            let predecessor = entries
+                .iter()
+                .filter(|(p, _)| p.seq < my_seq)
+                .max_by_key(|(p, _)| p.seq)
+                .map(|(p, _)| p.clone())
+                .expect("non-lowest contender has a predecessor");
+            if predecessor != lowest_path {
+                ctx.send(
+                    zk,
+                    ProtocolMsg::Request(ZkRequest::WatchDelete {
+                        path: lowest_path.clone(),
+                    }),
+                );
+            }
+            ctx.send(
+                zk,
+                ProtocolMsg::Request(ZkRequest::WatchDelete { path: predecessor }),
+            );
         }
-        ctx.send(
-            zk,
-            ProtocolMsg::Request(ZkRequest::WatchDelete { path: predecessor }),
-        );
         let was = self.state;
         self.state = ElectorState::Follower {
             leader: lowest_owner,
@@ -265,6 +325,39 @@ impl Elector {
             ctx.span_close(sp);
         }
         (was != self.state).then_some(ElectorEvent::FollowingLeader(lowest_owner))
+    }
+}
+
+impl McState for ElectorState {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match *self {
+            ElectorState::Idle => h.word(1),
+            ElectorState::Campaigning => h.word(2),
+            ElectorState::Leader => h.word(3),
+            ElectorState::Follower { leader } => {
+                h.word(4);
+                h.id(leader);
+            }
+        }
+    }
+}
+
+impl McState for Elector {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.id(self.zk);
+        h.text(&self.prefix);
+        h.span(self.ping_period);
+        h.word(self.epoch);
+        match &self.my_path {
+            Some(p) => {
+                h.word(1);
+                p.mc_fold(h);
+            }
+            None => h.word(0),
+        }
+        self.state.mc_fold(h);
+        h.flag(self.seeded_bug.is_some());
+        // campaign_span is observability only — skipped.
     }
 }
 

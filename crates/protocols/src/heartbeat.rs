@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 /// A timeout-based failure detector over peers identified by `K`.
@@ -87,6 +88,17 @@ impl<K: Copy + Ord> FailureDetector<K> {
     /// Drop all tracked peers (e.g. when the host component restarts).
     pub fn reset(&mut self) {
         self.last_heard.clear();
+    }
+}
+
+impl<K: Copy + Ord + Into<u64>> McState for FailureDetector<K> {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.span(self.timeout);
+        h.word(self.last_heard.len() as u64);
+        for (&peer, &t) in &self.last_heard {
+            h.word(peer.into());
+            h.time(t);
+        }
     }
 }
 

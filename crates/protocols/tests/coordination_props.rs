@@ -1,0 +1,212 @@
+//! Property tests for the coordination service: random programs of
+//! creates, closes, and watches across three clients, checked against
+//! the service's core guarantees.
+//!
+//! * Sequential znode numbering is per-prefix and strictly increasing:
+//!   distinct seqs under one prefix are exactly `0..k`, never reused
+//!   across sessions, and each client observes its own seqs in
+//!   non-decreasing order (protected create may repeat the same path).
+//! * A watch set on a node that never exists fires immediately — the
+//!   election recipe's "predecessor already gone" case.
+//! * `GetChildren` listings are sorted strictly by seq.
+
+use proptest::prelude::*;
+use snooze_protocols::coordination::{
+    CoordinationService, ProtocolMsg, ZkReply, ZkRequest, ZnodePath,
+};
+use snooze_simcore::node_enum;
+use snooze_simcore::prelude::*;
+
+const PREFIXES: &[&str] = &["alpha", "beta"];
+
+/// One step of a client's random program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Create an ephemeral sequential znode under `PREFIXES[i]`.
+    Create(usize),
+    /// Watch `PREFIXES[i]/seq` for deletion.
+    Watch(usize, u64),
+    /// Close the session (deleting this client's znodes).
+    Close,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..PREFIXES.len()).prop_map(Op::Create),
+        ((0..PREFIXES.len()), 0..4u64).prop_map(|(p, s)| Op::Watch(p, s)),
+        (0..PREFIXES.len()).prop_map(Op::Create),
+        Just(Op::Close),
+    ]
+}
+
+struct Driver {
+    zk: ComponentId,
+    script: Vec<ZkRequest>,
+    replies: Vec<ZkReply>,
+}
+
+impl Component for Driver {
+    type Msg = ProtocolMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>) {
+        for req in self.script.drain(..) {
+            let zk = self.zk;
+            ctx.send(zk, req);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, ProtocolMsg>, _src: ComponentId, msg: ProtocolMsg) {
+        if let ProtocolMsg::Reply(reply) = msg {
+            self.replies.push(reply);
+        }
+    }
+}
+
+node_enum! {
+    enum PropNode: ProtocolMsg {
+        Zk(CoordinationService<ProtocolMsg>) as as_zk,
+        Driver(Driver) as as_driver,
+    }
+}
+
+fn to_requests(ops: &[Op]) -> Vec<ZkRequest> {
+    let mut reqs: Vec<ZkRequest> = ops
+        .iter()
+        .map(|op| match op {
+            Op::Create(p) => ZkRequest::CreateEphemeralSequential {
+                prefix: PREFIXES[*p].to_string(),
+                epoch: 0,
+            },
+            Op::Watch(p, seq) => ZkRequest::WatchDelete {
+                path: ZnodePath {
+                    prefix: PREFIXES[*p].to_string(),
+                    seq: *seq,
+                },
+            },
+            Op::Close => ZkRequest::CloseSession { epoch: 0 },
+        })
+        .collect();
+    for prefix in PREFIXES {
+        reqs.push(ZkRequest::GetChildren {
+            prefix: prefix.to_string(),
+        });
+    }
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_programs_respect_znode_guarantees(
+        seed in 0..1000u64,
+        programs in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..10),
+            3,
+        ),
+    ) {
+        // Instant network: FIFO delivery, so each client's requests are
+        // processed in script order and replies arrive in request order.
+        let mut sim: Engine<PropNode> = SimBuilder::new(seed)
+            .network(NetworkConfig::instant())
+            .build();
+        // Session timeout far beyond the run: expiry paths are unit-tested
+        // separately; here sessions only end via explicit Close.
+        let zk = sim.add_component("zk", CoordinationService::new(SimSpan::from_secs(600)));
+        let clients: Vec<ComponentId> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                sim.add_component(
+                    format!("client{i}"),
+                    Driver { zk, script: to_requests(ops), replies: Vec::new() },
+                )
+            })
+            .collect();
+        sim.run_until(SimTime::from_secs(2));
+
+        // Collect every Created reply as (prefix, seq, client).
+        let mut created: Vec<(String, u64, ComponentId)> = Vec::new();
+        for &c in &clients {
+            let drv = sim.component(c).as_driver().unwrap();
+            let mut last_seq: std::collections::BTreeMap<&str, u64> =
+                std::collections::BTreeMap::new();
+            for reply in &drv.replies {
+                if let ZkReply::Created { path } = reply {
+                    // Per client and prefix, observed seqs never go
+                    // backwards: protected create repeats the same path,
+                    // create-after-close allocates a strictly larger seq.
+                    if let Some(&prev) = last_seq.get(path.prefix.as_str()) {
+                        prop_assert!(
+                            path.seq >= prev,
+                            "client {c:?} saw seq {} after {} under {:?}",
+                            path.seq, prev, path.prefix,
+                        );
+                    }
+                    last_seq.insert(&path.prefix, path.seq);
+                    created.push((path.prefix.clone(), path.seq, c));
+                }
+            }
+        }
+
+        for prefix in PREFIXES {
+            // A (prefix, seq) is never handed to two different clients:
+            // per-prefix counters only move forward, so no session ever
+            // inherits another session's number.
+            let mut owner: std::collections::BTreeMap<u64, ComponentId> =
+                std::collections::BTreeMap::new();
+            for (p, seq, c) in &created {
+                if p == prefix {
+                    if let Some(prev) = owner.insert(*seq, *c) {
+                        prop_assert!(
+                            prev == *c,
+                            "{prefix}/{seq} created for both {prev:?} and {c:?}",
+                        );
+                    }
+                }
+            }
+            // Strictly increasing per prefix: the distinct seqs allocated
+            // are exactly 0..k, in allocation order, with no gaps.
+            let distinct: Vec<u64> = owner.keys().copied().collect();
+            let expect: Vec<u64> = (0..distinct.len() as u64).collect();
+            prop_assert_eq!(
+                &distinct, &expect,
+                "prefix {} allocated seqs {:?}", prefix, &distinct,
+            );
+        }
+
+        let ever_created: std::collections::BTreeSet<(String, u64)> = created
+            .iter()
+            .map(|(p, s, _)| (p.clone(), *s))
+            .collect();
+        for (i, &c) in clients.iter().enumerate() {
+            let drv = sim.component(c).as_driver().unwrap();
+            // Every watch on a path that never existed must have fired
+            // immediately at watch time.
+            for op in &programs[i] {
+                let Op::Watch(p, seq) = op else { continue };
+                let key = (PREFIXES[*p].to_string(), *seq);
+                if ever_created.contains(&key) {
+                    continue;
+                }
+                let fired = drv.replies.iter().any(|r| {
+                    matches!(r, ZkReply::WatchFired { path }
+                        if path.prefix == key.0 && path.seq == key.1)
+                });
+                prop_assert!(
+                    fired,
+                    "watch on never-created {}/{} did not fire for {c:?}",
+                    key.0, key.1,
+                );
+            }
+            // Children listings are sorted strictly by seq.
+            for reply in &drv.replies {
+                let ZkReply::Children { entries, prefix } = reply else { continue };
+                let seqs: Vec<u64> = entries.iter().map(|(p, _)| p.seq).collect();
+                prop_assert!(
+                    seqs.windows(2).all(|w| w[0] < w[1]),
+                    "unsorted children of {prefix}: {seqs:?}",
+                );
+            }
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //!   fault+observe programs and returns a [`compile::ScenarioOutcome`].
 //! * [`presets`] — the checked-in E4–E10 suite as preset builders, the
 //!   source of truth for `scenarios/*.toml`.
+//! * [`mc_trace`] — model-checking counterexamples from `snooze-mc` as
+//!   replayable scenario documents, on the same TOML machinery.
 //!
 //! Determinism contract: a spec plus its seed fully determines the event
 //! stream. Probe points split `run_until` calls but schedule nothing, so
@@ -27,6 +29,7 @@
 
 pub mod compile;
 pub mod live;
+pub mod mc_trace;
 pub mod presets;
 pub mod spec;
 pub mod toml;
@@ -36,4 +39,5 @@ pub use live::{
     burst, deploy, deploy_hierarchy, deploy_unified, vm_item, Deployment, LiveSystem, Stack,
     VmIdAlloc,
 };
+pub use mc_trace::{McTraceDoc, McTraceStep};
 pub use spec::{ScenarioDoc, ScenarioSpec};

@@ -20,12 +20,13 @@
 //! breaks ties in scheduling order, so the engine is fully deterministic.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::fmt;
 
 use snooze_telemetry::label::label;
 use snooze_telemetry::span::{SpanId, SpanLog};
 
+use crate::mc::McState as _;
 use crate::metrics::MetricsRegistry;
 use crate::network::{Network, NetworkConfig};
 use crate::rng::SimRng;
@@ -50,6 +51,12 @@ impl fmt::Debug for ComponentId {
         } else {
             write!(f, "c{}", self.0)
         }
+    }
+}
+
+impl From<ComponentId> for u64 {
+    fn from(id: ComponentId) -> u64 {
+        id.0 as u64
     }
 }
 
@@ -110,7 +117,8 @@ pub enum NetFault {
     SetLossPpm(u32),
 }
 
-enum EventKind<M> {
+#[derive(Clone)]
+pub(crate) enum EventKind<M> {
     Start(ComponentId),
     Deliver {
         src: ComponentId,
@@ -135,10 +143,11 @@ enum EventKind<M> {
     Net(NetFault),
 }
 
-struct Scheduled<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+#[derive(Clone)]
+pub(crate) struct Scheduled<M> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
 }
 
 impl<M> PartialEq for Scheduled<M> {
@@ -177,7 +186,7 @@ pub(crate) struct EngineCore<M> {
     alive: Vec<bool>,
     incarnation: Vec<u32>,
     names: Vec<String>,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: BTreeSet<u64>,
     next_timer_id: u64,
     halted: bool,
     events_executed: u64,
@@ -512,7 +521,7 @@ impl SimBuilder {
                 alive: Vec::new(),
                 incarnation: Vec::new(),
                 names: Vec::new(),
-                cancelled_timers: HashSet::new(),
+                cancelled_timers: BTreeSet::new(),
                 next_timer_id: 0,
                 halted: false,
                 events_executed: 0,
@@ -684,6 +693,14 @@ impl<C: Component> Engine<C> {
             None => return false,
         };
         debug_assert!(ev.time >= self.core.now);
+        self.execute(ev);
+        true
+    }
+
+    /// Execute one event: advance the clock, fold the digest, dispatch to
+    /// the target component. Shared by [`Engine::step`] (which executes
+    /// the queue minimum) and the model checker's re-timed apply path.
+    fn execute(&mut self, ev: Scheduled<C::Msg>) {
         crate::audit_invariant!(
             "engine",
             "monotonic-clock",
@@ -782,7 +799,6 @@ impl<C: Component> Engine<C> {
                 }
             }
         }
-        true
     }
 
     fn with_component<F: FnOnce(&mut C, &mut Ctx<'_, C::Msg>)>(&mut self, id: ComponentId, f: F) {
@@ -831,6 +847,354 @@ impl<C: Component> Engine<C> {
     pub fn run_for(&mut self, span: SimSpan) {
         let deadline = self.core.now + span;
         self.run_until(deadline);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-checking hooks (see `crate::mc` and the `snooze-mc` crate)
+// ---------------------------------------------------------------------------
+
+impl<C: Component> Engine<C>
+where
+    C: Clone,
+    C::Msg: Clone,
+{
+    /// Capture a full copy of the engine state: clock, counters, pending
+    /// events, network, RNG, span log and every component. Metrics and
+    /// the bounded trace are *not* captured — they are observers, never
+    /// causes, and restoring them would only blur exploration statistics.
+    pub fn mc_snapshot(&self) -> crate::mc::SystemState<C> {
+        crate::mc::SystemState {
+            now: self.core.now,
+            seq: self.core.seq,
+            queue: self.core.queue.iter().map(|Reverse(e)| e.clone()).collect(),
+            rng: self.core.rng.clone(),
+            network: self.core.network.save_state(),
+            spans: self.core.spans.clone(),
+            ctx_span: self.core.ctx_span,
+            alive: self.core.alive.clone(),
+            incarnation: self.core.incarnation.clone(),
+            cancelled_timers: self.core.cancelled_timers.clone(),
+            next_timer_id: self.core.next_timer_id,
+            halted: self.core.halted,
+            events_executed: self.core.events_executed,
+            digest: self.core.digest,
+            last_executed: self.core.last_executed,
+            components: self.components.clone(),
+        }
+    }
+
+    /// Restore a state captured by [`Engine::mc_snapshot`]. The snapshot
+    /// must come from *this* engine (same components, same names); the
+    /// checker only ever restores its own captures.
+    pub fn mc_restore(&mut self, state: &crate::mc::SystemState<C>) {
+        assert_eq!(
+            state.components.len(),
+            self.components.len(),
+            "snapshot from a different system shape"
+        );
+        self.core.now = state.now;
+        self.core.seq = state.seq;
+        self.core.queue = state.queue.iter().cloned().map(Reverse).collect();
+        self.core.rng = state.rng.clone();
+        self.core.network.load_state(&state.network);
+        self.core.spans = state.spans.clone();
+        self.core.ctx_span = state.ctx_span;
+        self.core.alive = state.alive.clone();
+        self.core.incarnation = state.incarnation.clone();
+        self.core.cancelled_timers = state.cancelled_timers.clone();
+        self.core.next_timer_id = state.next_timer_id;
+        self.core.halted = state.halted;
+        self.core.events_executed = state.events_executed;
+        self.core.digest = state.digest;
+        self.core.last_executed = state.last_executed;
+        self.components = state.components.clone();
+    }
+}
+
+impl<C: Component> Engine<C> {
+    fn timer_is_stale(&self, dst: ComponentId, incarnation: u32, id: u64) -> bool {
+        self.core.cancelled_timers.contains(&id)
+            || self.core.incarnation.get(dst.0).copied() != Some(incarnation)
+            || !self.core.alive.get(dst.0).copied().unwrap_or(false)
+    }
+
+    /// Every pending event a checker could execute next, sorted by
+    /// `(time, seq)`. Stale timers (cancelled, or set by a dead or
+    /// superseded incarnation) are omitted — they would be silently
+    /// discarded by normal execution too.
+    pub fn mc_pending(&self) -> Vec<crate::mc::McPending> {
+        let mut out: Vec<crate::mc::McPending> = self
+            .core
+            .queue
+            .iter()
+            .filter_map(|Reverse(ev)| {
+                let desc = match &ev.kind {
+                    EventKind::Start(dst) => crate::mc::McEventDesc::Start { dst: *dst },
+                    EventKind::Deliver { src, dst, .. } => crate::mc::McEventDesc::Deliver {
+                        src: *src,
+                        dst: *dst,
+                    },
+                    EventKind::Timer {
+                        dst,
+                        tag,
+                        incarnation,
+                        id,
+                        ..
+                    } => {
+                        if self.timer_is_stale(*dst, *incarnation, *id) {
+                            return None;
+                        }
+                        crate::mc::McEventDesc::Timer {
+                            dst: *dst,
+                            tag: *tag,
+                        }
+                    }
+                    EventKind::Crash(dst) => crate::mc::McEventDesc::Crash { dst: *dst },
+                    EventKind::Restart(dst) => crate::mc::McEventDesc::Restart { dst: *dst },
+                    EventKind::Net(_) => crate::mc::McEventDesc::Net,
+                };
+                let dst_alive = match desc {
+                    crate::mc::McEventDesc::Start { dst }
+                    | crate::mc::McEventDesc::Deliver { dst, .. }
+                    | crate::mc::McEventDesc::Timer { dst, .. } => self.is_alive(dst),
+                    _ => true,
+                };
+                Some(crate::mc::McPending {
+                    seq: ev.seq,
+                    time: ev.time,
+                    dst_alive,
+                    desc,
+                })
+            })
+            .collect();
+        out.sort_by_key(|p| (p.time, p.seq));
+        out
+    }
+
+    fn mc_remove(&mut self, seq: u64) -> Option<Scheduled<C::Msg>> {
+        let mut found = None;
+        let drained = std::mem::take(&mut self.core.queue);
+        self.core.queue = drained
+            .into_iter()
+            .filter_map(|Reverse(ev)| {
+                if ev.seq == seq && found.is_none() {
+                    found = Some(ev);
+                    None
+                } else {
+                    Some(Reverse(ev))
+                }
+            })
+            .collect();
+        found
+    }
+
+    /// Execute pending event `seq` *now*, regardless of queue order: the
+    /// event is re-timed to `max(now, its scheduled time)` and re-sequenced
+    /// so the executed stream stays strictly `(time, seq)`-ordered — the
+    /// audit invariants hold during exploration exactly as during normal
+    /// runs. Returns `false` if no such pending event exists.
+    pub fn mc_execute_pending(&mut self, seq: u64) -> bool {
+        let Some(ev) = self.mc_remove(seq) else {
+            return false;
+        };
+        let time = ev.time.max(self.core.now);
+        let new_seq = self.core.seq;
+        self.core.seq += 1;
+        self.execute(Scheduled {
+            time,
+            seq: new_seq,
+            kind: ev.kind,
+        });
+        true
+    }
+
+    /// Drop pending event `seq` without executing it — the checker's
+    /// explicit message-loss action. Returns `false` if no such pending
+    /// event exists.
+    pub fn mc_drop_pending(&mut self, seq: u64) -> bool {
+        if self.mc_remove(seq).is_none() {
+            return false;
+        }
+        self.core.metrics.incr("mc.dropped");
+        true
+    }
+
+    /// Crash `id` immediately (a checker-chosen crash point). No-op if
+    /// already dead.
+    pub fn mc_inject_crash(&mut self, id: ComponentId) {
+        let seq = self.core.seq;
+        self.core.seq += 1;
+        self.execute(Scheduled {
+            time: self.core.now,
+            seq,
+            kind: EventKind::Crash(id),
+        });
+    }
+
+    /// Restart `id` immediately. No-op if alive.
+    pub fn mc_inject_restart(&mut self, id: ComponentId) {
+        let seq = self.core.seq;
+        self.core.seq += 1;
+        self.execute(Scheduled {
+            time: self.core.now,
+            seq,
+            kind: EventKind::Restart(id),
+        });
+    }
+
+    /// Purge stale timers from the queue (and their ids from the
+    /// cancelled set). Keeps snapshots small and fingerprints free of
+    /// events that can never fire.
+    pub fn mc_gc(&mut self) {
+        let mut stale: Vec<u64> = Vec::new();
+        let drained = std::mem::take(&mut self.core.queue);
+        self.core.queue = drained
+            .into_iter()
+            .filter(|Reverse(ev)| {
+                if let EventKind::Timer {
+                    dst,
+                    incarnation,
+                    id,
+                    ..
+                } = &ev.kind
+                {
+                    if self.core.cancelled_timers.contains(id)
+                        || self.core.incarnation.get(dst.0).copied() != Some(*incarnation)
+                        || !self.core.alive.get(dst.0).copied().unwrap_or(false)
+                    {
+                        stale.push(*id);
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect();
+        for id in stale {
+            self.core.cancelled_timers.remove(&id);
+        }
+    }
+
+    /// Hand the queue back to normal scheduled execution after checker
+    /// perturbation: any event whose scheduled time fell behind the clock
+    /// (a message the checker left "in flight" while executing later
+    /// events) is re-timed to *now*, preserving relative `(time, seq)`
+    /// order via fresh sequence numbers. Without this, [`Engine::step`]'s
+    /// monotonic-clock invariant would trip on the stale entries.
+    pub fn mc_release(&mut self) {
+        if self
+            .core
+            .queue
+            .iter()
+            .all(|Reverse(ev)| ev.time >= self.core.now)
+        {
+            return;
+        }
+        let mut events: Vec<Scheduled<C::Msg>> = std::mem::take(&mut self.core.queue)
+            .into_iter()
+            .map(|Reverse(ev)| ev)
+            .collect();
+        events.sort_by_key(|ev| (ev.time, ev.seq));
+        for mut ev in events {
+            if ev.time < self.core.now {
+                ev.time = self.core.now;
+                ev.seq = self.core.seq;
+                self.core.seq += 1;
+            }
+            self.core.queue.push(Reverse(ev));
+        }
+    }
+}
+
+impl<C> Engine<C>
+where
+    C: Component + crate::mc::McState,
+    C::Msg: crate::mc::McState,
+{
+    /// Canonical fingerprint of the current state, for visited-state
+    /// deduplication: per-component state, liveness, the pending-event
+    /// multiset (stale timers excluded, times relative to now), and the
+    /// network's mutable state. Excludes observers (metrics, trace,
+    /// spans), history (digest, executed count) and identity counters
+    /// (seq, timer ids) — none of which influence future behavior.
+    pub fn mc_fingerprint(&self) -> u64 {
+        let mut h = crate::mc::McHasher::new(self.core.now);
+        h.flag(self.core.halted);
+        for (idx, comp) in self.components.iter().enumerate() {
+            h.word(idx as u64);
+            h.flag(self.core.alive[idx]);
+            h.word(self.core.incarnation[idx] as u64);
+            if let Some(c) = comp {
+                c.mc_fold(&mut h);
+            }
+        }
+        let mut pending: Vec<&Scheduled<C::Msg>> = self
+            .core
+            .queue
+            .iter()
+            .filter(|Reverse(ev)| {
+                if let EventKind::Timer {
+                    dst,
+                    incarnation,
+                    id,
+                    ..
+                } = &ev.kind
+                {
+                    !self.timer_is_stale(*dst, *incarnation, *id)
+                } else {
+                    true
+                }
+            })
+            .map(|Reverse(ev)| ev)
+            .collect();
+        pending.sort_by_key(|ev| (ev.time, ev.seq));
+        for ev in pending {
+            h.time(ev.time);
+            match &ev.kind {
+                EventKind::Start(dst) => {
+                    h.word(1);
+                    h.id(*dst);
+                }
+                EventKind::Deliver { src, dst, msg, .. } => {
+                    h.word(2);
+                    h.id(*src);
+                    h.id(*dst);
+                    msg.mc_fold(&mut h);
+                }
+                EventKind::Timer { dst, tag, .. } => {
+                    h.word(3);
+                    h.id(*dst);
+                    h.word(*tag);
+                }
+                EventKind::Crash(dst) => {
+                    h.word(4);
+                    h.id(*dst);
+                }
+                EventKind::Restart(dst) => {
+                    h.word(5);
+                    h.id(*dst);
+                }
+                EventKind::Net(fault) => {
+                    h.word(6);
+                    match fault {
+                        NetFault::Isolate(id) => {
+                            h.word(0);
+                            h.id(*id);
+                        }
+                        NetFault::Reconnect(id) => {
+                            h.word(1);
+                            h.id(*id);
+                        }
+                        NetFault::SetLossPpm(ppm) => {
+                            h.word(2);
+                            h.word(*ppm as u64);
+                        }
+                    }
+                }
+            }
+        }
+        self.core.network.fold_state(|w| h.word(w));
+        h.finish()
     }
 }
 

@@ -85,6 +85,7 @@
 pub mod engine;
 pub mod failure;
 pub mod invariant;
+pub mod mc;
 pub mod metrics;
 pub mod network;
 pub mod rng;
@@ -107,6 +108,7 @@ pub mod prelude {
     pub use crate::engine::{
         Component, ComponentId, Ctx, Engine, GroupId, NetFault, SimBuilder, TimerHandle,
     };
+    pub use crate::mc::{McHasher, McState};
     pub use crate::metrics::MetricsRegistry;
     pub use crate::network::{LatencyModel, NetworkConfig};
     pub use crate::node_enum;

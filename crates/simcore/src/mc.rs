@@ -1,0 +1,237 @@
+//! Model-checking hooks: state snapshots, canonical fingerprints, and
+//! the enabled-event surface an exhaustive explorer drives.
+//!
+//! The `snooze-mc` crate explores the protocol state space by snapshotting
+//! the engine ([`Engine::mc_snapshot`](crate::engine::Engine::mc_snapshot)),
+//! executing one pending event chosen *out of queue order*
+//! ([`Engine::mc_execute_pending`](crate::engine::Engine::mc_execute_pending)),
+//! and restoring to try the siblings. Everything here is ordinary
+//! single-threaded engine machinery — no `unsafe`, no global state — so the
+//! same engine binary runs simulations and model checks.
+//!
+//! ## Fingerprints
+//!
+//! Visited-state deduplication hashes a *canonical* view of the system:
+//! per-component state (via [`McState`]), liveness/incarnation vectors,
+//! the pending-event multiset, and the network's mutable state, all folded
+//! with the same FNV-1a used by the audit digest. Absolute virtual time is
+//! deliberately excluded — times are folded **relative to now** — so states
+//! that differ only by a clock shift deduplicate. Two states with equal
+//! fingerprints are treated as equal, which is an abstraction: payload
+//! folds are written to cover every behavior-relevant field, but state
+//! reached first wins, so exploration is exhaustive *up to* fingerprint
+//! equality.
+
+use std::collections::BTreeSet;
+
+use snooze_telemetry::span::{SpanId, SpanLog};
+
+use crate::engine::{Component, ComponentId, Scheduled};
+use crate::network::NetworkState;
+use crate::rng::SimRng;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::{fnv1a, FNV_OFFSET};
+
+/// Canonical FNV-1a folder handed to [`McState::mc_fold`] implementations.
+///
+/// Carries the current virtual time so implementations fold timestamps
+/// *relative* to now ([`McHasher::time`]) — the key to deduplicating
+/// states that differ only by when they happened.
+pub struct McHasher {
+    hash: u64,
+    now: SimTime,
+}
+
+impl McHasher {
+    /// A fresh hasher anchored at virtual time `now`.
+    pub fn new(now: SimTime) -> Self {
+        McHasher {
+            hash: FNV_OFFSET,
+            now,
+        }
+    }
+
+    /// Fold one machine word.
+    pub fn word(&mut self, w: u64) {
+        self.hash = fnv1a(self.hash, &w.to_le_bytes());
+    }
+
+    /// Fold a boolean.
+    pub fn flag(&mut self, b: bool) {
+        self.word(b as u64);
+    }
+
+    /// Fold a float by bit pattern.
+    pub fn float(&mut self, f: f64) {
+        self.word(f.to_bits());
+    }
+
+    /// Fold a string (length-prefixed, so concatenations can't collide).
+    pub fn text(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        self.hash = fnv1a(self.hash, s.as_bytes());
+    }
+
+    /// Fold a component id (`EXTERNAL` keeps its sentinel value).
+    pub fn id(&mut self, id: ComponentId) {
+        self.word(id.0 as u64);
+    }
+
+    /// Fold an optional component id.
+    pub fn opt_id(&mut self, id: Option<ComponentId>) {
+        match id {
+            Some(id) => {
+                self.word(1);
+                self.id(id);
+            }
+            None => self.word(0),
+        }
+    }
+
+    /// Fold a timestamp **relative to the current virtual time**, so a
+    /// whole-system time shift does not change the fingerprint.
+    pub fn time(&mut self, t: SimTime) {
+        let delta = t.0 as i64 - self.now.0 as i64;
+        self.word(delta as u64);
+    }
+
+    /// Fold a duration (durations are shift-invariant already).
+    pub fn span(&mut self, s: SimSpan) {
+        self.word(s.0);
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Canonical state capture for model checking.
+///
+/// Implemented by every component (and message payload) a checked system
+/// contains. Implementations fold every field that influences *future
+/// behavior*; observational state (spans, statistics counters) may be
+/// skipped, and timestamps should be folded with [`McHasher::time`] so
+/// they compare shift-invariantly.
+pub trait McState {
+    /// Fold this value's behavior-relevant state into `h`.
+    fn mc_fold(&self, h: &mut McHasher);
+}
+
+impl<T: McState> McState for Option<T> {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            Some(v) => {
+                h.word(1);
+                v.mc_fold(h);
+            }
+            None => h.word(0),
+        }
+    }
+}
+
+/// A full copy of one engine state: clock, counters, pending events,
+/// network, RNG, span log and every component. Produced by
+/// [`Engine::mc_snapshot`](crate::engine::Engine::mc_snapshot), consumed
+/// by [`Engine::mc_restore`](crate::engine::Engine::mc_restore). Opaque
+/// outside the crate — the explorer treats snapshots as tokens.
+pub struct SystemState<C: Component> {
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: Vec<Scheduled<C::Msg>>,
+    pub(crate) rng: SimRng,
+    pub(crate) network: NetworkState,
+    pub(crate) spans: SpanLog,
+    pub(crate) ctx_span: Option<SpanId>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) incarnation: Vec<u32>,
+    pub(crate) cancelled_timers: BTreeSet<u64>,
+    pub(crate) next_timer_id: u64,
+    pub(crate) halted: bool,
+    pub(crate) events_executed: u64,
+    pub(crate) digest: u64,
+    pub(crate) last_executed: Option<(SimTime, u64)>,
+    pub(crate) components: Vec<Option<C>>,
+}
+
+impl<C: Component> SystemState<C> {
+    /// Virtual time at capture.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events at capture.
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// What kind of event a pending queue entry is — the action surface the
+/// explorer enumerates, stripped of payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum McEventDesc {
+    /// A component's `on_start`.
+    Start {
+        /// The starting component.
+        dst: ComponentId,
+    },
+    /// A message in flight.
+    Deliver {
+        /// Sender.
+        src: ComponentId,
+        /// Receiver.
+        dst: ComponentId,
+    },
+    /// A live (non-stale) timer.
+    Timer {
+        /// The component the timer fires on.
+        dst: ComponentId,
+        /// The caller-chosen timer tag.
+        tag: u64,
+    },
+    /// A scheduled crash (from a pre-exploration fault plan).
+    Crash {
+        /// The crash target.
+        dst: ComponentId,
+    },
+    /// A scheduled restart.
+    Restart {
+        /// The restart target.
+        dst: ComponentId,
+    },
+    /// A scheduled network-health change.
+    Net,
+}
+
+impl McEventDesc {
+    /// Stable discriminant + endpoint words, for fingerprinting and trace
+    /// serialization.
+    pub fn words(&self) -> (u64, u64, u64) {
+        match *self {
+            McEventDesc::Start { dst } => (1, dst.0 as u64, 0),
+            McEventDesc::Deliver { src, dst } => (2, src.0 as u64, dst.0 as u64),
+            McEventDesc::Timer { dst, tag } => (3, dst.0 as u64, tag),
+            McEventDesc::Crash { dst } => (4, dst.0 as u64, 0),
+            McEventDesc::Restart { dst } => (5, dst.0 as u64, 0),
+            McEventDesc::Net => (6, 0, 0),
+        }
+    }
+}
+
+/// One pending (enabled or enablable) event, as reported by
+/// [`Engine::mc_pending`](crate::engine::Engine::mc_pending). Stale
+/// timers — cancelled, or belonging to a dead or superseded incarnation —
+/// are never reported.
+#[derive(Clone, Copy, Debug)]
+pub struct McPending {
+    /// Queue identity; pass to `mc_execute_pending` / `mc_drop_pending`.
+    pub seq: u64,
+    /// The time the event would fire at under normal execution. The
+    /// checker executes it at `max(now, time)` instead.
+    pub time: SimTime,
+    /// Whether the destination component is currently alive (`true` for
+    /// events without a destination).
+    pub dst_alive: bool,
+    /// What the event is.
+    pub desc: McEventDesc,
+}

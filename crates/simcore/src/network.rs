@@ -6,7 +6,7 @@
 //! loss, and reachability — without simulating packets: each logical
 //! message gets a sampled one-way transit time, or is dropped.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::engine::{ComponentId, GroupId};
 use crate::rng::SimRng;
@@ -114,18 +114,32 @@ impl Default for NetworkConfig {
     }
 }
 
-/// Live network state owned by the engine.
+/// Live network state owned by the engine. The mutable parts (group
+/// membership, partitions, FIFO clamps) live in ordered collections so
+/// snapshots hash and restore deterministically.
 pub struct Network {
     config: NetworkConfig,
     groups: Vec<Vec<ComponentId>>,
     /// Pairs `(a, b)` with `a < b` that cannot communicate.
-    blocked_pairs: HashSet<(usize, usize)>,
+    blocked_pairs: BTreeSet<(usize, usize)>,
     /// Components cut off from everyone.
-    isolated: HashSet<usize>,
+    isolated: BTreeSet<usize>,
     /// Last scheduled arrival per directed `(src, dst)` pair — enforces
     /// per-pair FIFO, matching the TCP connections Snooze's RESTful
     /// services ride on.
-    last_arrival: HashMap<(usize, usize), SimTime>,
+    last_arrival: BTreeMap<(usize, usize), SimTime>,
+}
+
+/// A copy of the network's mutable state — everything except the latency
+/// model, which is behavior-constant for the lifetime of an engine. Part
+/// of the model checker's [`crate::mc::SystemState`] snapshots.
+#[derive(Clone, Debug)]
+pub struct NetworkState {
+    groups: Vec<Vec<ComponentId>>,
+    blocked_pairs: BTreeSet<(usize, usize)>,
+    isolated: BTreeSet<usize>,
+    last_arrival: BTreeMap<(usize, usize), SimTime>,
+    loss_rate: f64,
 }
 
 impl Network {
@@ -133,10 +147,50 @@ impl Network {
         Network {
             config,
             groups: Vec::new(),
-            blocked_pairs: HashSet::new(),
-            isolated: HashSet::new(),
-            last_arrival: HashMap::new(),
+            blocked_pairs: BTreeSet::new(),
+            isolated: BTreeSet::new(),
+            last_arrival: BTreeMap::new(),
         }
+    }
+
+    /// Capture the mutable state (for snapshot/restore).
+    pub(crate) fn save_state(&self) -> NetworkState {
+        NetworkState {
+            groups: self.groups.clone(),
+            blocked_pairs: self.blocked_pairs.clone(),
+            isolated: self.isolated.clone(),
+            last_arrival: self.last_arrival.clone(),
+            loss_rate: self.config.loss_rate,
+        }
+    }
+
+    /// Restore state captured by [`Network::save_state`].
+    pub(crate) fn load_state(&mut self, state: &NetworkState) {
+        self.groups = state.groups.clone();
+        self.blocked_pairs = state.blocked_pairs.clone();
+        self.isolated = state.isolated.clone();
+        self.last_arrival = state.last_arrival.clone();
+        self.config.loss_rate = state.loss_rate;
+    }
+
+    /// Fold the behavior-relevant mutable state into an FNV word stream
+    /// (group membership and reachability; FIFO clamps are excluded —
+    /// they only delay arrivals, and the checker re-times events anyway).
+    pub(crate) fn fold_state(&self, mut fold: impl FnMut(u64)) {
+        for members in &self.groups {
+            fold(members.len() as u64);
+            for m in members {
+                fold(m.0 as u64);
+            }
+        }
+        for &(a, b) in &self.blocked_pairs {
+            fold(a as u64);
+            fold(b as u64);
+        }
+        for &c in &self.isolated {
+            fold(c as u64);
+        }
+        fold(self.config.loss_rate.to_bits());
     }
 
     /// Compute the arrival time of a message departing at `departs`, or

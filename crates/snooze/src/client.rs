@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
 use snooze_simcore::engine::{Component, ComponentId, Ctx};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
@@ -52,6 +53,7 @@ pub struct PlacementAck {
 }
 
 /// The client component.
+#[derive(Clone)]
 pub struct ClientDriver {
     /// Entry points, tried in rotation — the paper's EPs are
     /// "replicated", and the client is where that replication pays off:
@@ -108,6 +110,47 @@ impl ClientDriver {
     /// VMs this client was scripted to submit.
     pub fn schedule_len(&self) -> usize {
         self.schedule.len()
+    }
+
+    /// Fold for model checking. `vm_locations` lives in a `HashMap`
+    /// (allowed off the deterministic message path), so its entries are
+    /// sorted before folding.
+    fn mc_fold_impl(&self, h: &mut McHasher) {
+        h.word(self.eps.len() as u64);
+        for ep in &self.eps {
+            h.id(*ep);
+        }
+        h.word(self.ep_cursor as u64);
+        h.word(self.schedule.len() as u64);
+        h.word(self.outstanding.len() as u64);
+        for (vm, o) in &self.outstanding {
+            vm.mc_fold(h);
+            h.word(o.schedule_idx as u64);
+            h.time(o.submitted_at);
+            h.word(o.attempts as u64);
+        }
+        let mut locations: Vec<(VmId, ComponentId)> =
+            // audit-allow(hash-iter): sorted immediately below
+            self.vm_locations.iter().map(|(v, c)| (*v, *c)).collect();
+        locations.sort();
+        h.word(locations.len() as u64);
+        for (vm, lc) in locations {
+            vm.mc_fold(h);
+            h.id(lc);
+        }
+        h.word(self.placed.len() as u64);
+        for p in &self.placed {
+            p.vm.mc_fold(h);
+            h.id(p.lc);
+        }
+        h.word(self.rejected.len() as u64);
+        for vm in &self.rejected {
+            vm.mc_fold(h);
+        }
+        h.word(self.abandoned.len() as u64);
+        for vm in &self.abandoned {
+            vm.mc_fold(h);
+        }
     }
 
     /// Mean placement latency in seconds (0 if nothing placed).
@@ -169,6 +212,12 @@ impl ClientDriver {
         // First attempt uses the preferred EP; retries rotate.
         let ep = self.eps[(self.ep_cursor + attempts as usize - 1) % self.eps.len()];
         ctx.send_in(span, ep, msg);
+    }
+}
+
+impl McState for ClientDriver {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.mc_fold_impl(h);
     }
 }
 

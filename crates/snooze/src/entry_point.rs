@@ -9,6 +9,7 @@
 //! current GL (dropping them when no GL is known — clients retry).
 
 use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::time::SimTime;
 
@@ -16,6 +17,7 @@ use crate::config::SnoozeConfig;
 use crate::messages::{GlInfo, SnoozeMsg};
 
 /// The Entry Point component.
+#[derive(Clone)]
 pub struct EntryPoint {
     config: SnoozeConfig,
     gl_group: GroupId,
@@ -54,6 +56,14 @@ impl EntryPoint {
         } else {
             self.gl
         }
+    }
+}
+
+impl McState for EntryPoint {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.opt_id(self.gl);
+        h.time(self.last_gl_heartbeat);
+        // forwarded/dropped are observational counters — skipped.
     }
 }
 

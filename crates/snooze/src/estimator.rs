@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use snooze_cluster::resources::ResourceVector;
+use snooze_simcore::mc::{McHasher, McState};
 
 /// Which estimator GMs use.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -87,6 +88,28 @@ impl DemandEstimator {
     /// Samples observed so far.
     pub fn sample_count(&self) -> u64 {
         self.samples
+    }
+}
+
+impl McState for DemandEstimator {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self.kind {
+            EstimatorKind::LastValue => h.word(1),
+            EstimatorKind::Ewma { alpha } => {
+                h.word(2);
+                h.float(alpha);
+            }
+            EstimatorKind::WindowMax { window } => {
+                h.word(3);
+                h.word(window as u64);
+            }
+        }
+        self.estimate.mc_fold(h);
+        h.word(self.history.len() as u64);
+        for v in &self.history {
+            v.mc_fold(h);
+        }
+        h.word(self.samples);
     }
 }
 

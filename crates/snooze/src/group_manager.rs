@@ -26,6 +26,7 @@ use snooze_protocols::coordination::ProtocolMsg;
 use snooze_protocols::election::{Elector, ElectorEvent, ELECTION_PING_TAG};
 use snooze_protocols::heartbeat::FailureDetector;
 use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::SimTime;
@@ -57,6 +58,7 @@ pub enum Mode {
 }
 
 /// Per-LC record kept by a GM.
+#[derive(Clone)]
 struct LcRecord {
     capacity: ResourceVector,
     reserved: ResourceVector,
@@ -91,6 +93,7 @@ struct VmRecord {
 }
 
 /// A placement waiting for capacity (e.g. a node waking up).
+#[derive(Clone)]
 struct PendingPlacement {
     spec: VmSpec,
     workload: VmWorkload,
@@ -101,6 +104,7 @@ struct PendingPlacement {
 }
 
 /// Dispatch state the GL keeps per in-flight submission.
+#[derive(Clone)]
 struct DispatchState {
     spec: VmSpec,
     workload: VmWorkload,
@@ -143,6 +147,7 @@ pub struct GmStats {
 }
 
 /// The Group Manager component.
+#[derive(Clone)]
 pub struct GroupManager {
     config: SnoozeConfig,
     gl_group: GroupId,
@@ -209,6 +214,13 @@ impl GroupManager {
     /// True if currently the Group Leader.
     pub fn is_gl(&self) -> bool {
         self.mode == Mode::Gl
+    }
+
+    /// The elector's current session epoch. Model-checking invariants
+    /// compare it to the coordination service's session table to count
+    /// *live* leaders (a deposed-in-flight GL is not a violation).
+    pub fn election_epoch(&self) -> u64 {
+        self.elector.epoch()
     }
 
     /// Number of LCs currently managed.
@@ -817,6 +829,97 @@ impl GroupManager {
         } else {
             self.gm_timer_armed = false;
         }
+    }
+}
+
+impl McState for Mode {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match *self {
+            Mode::Candidate => h.word(1),
+            Mode::Gl => h.word(2),
+            Mode::Gm(gl) => {
+                h.word(3);
+                h.id(gl);
+            }
+        }
+    }
+}
+
+impl McState for GroupManager {
+    fn mc_fold(&self, h: &mut McHasher) {
+        // Config, groups, placer and dispatcher are run constants —
+        // identical in every state of one exploration — so only the
+        // mutable protocol state is folded.
+        self.elector.mc_fold(h);
+        self.mode.mc_fold(h);
+        h.word(self.lcs.len() as u64);
+        for (lc, rec) in &self.lcs {
+            h.id(*lc);
+            rec.capacity.mc_fold(h);
+            rec.reserved.mc_fold(h);
+            rec.usage.mc_fold(h);
+            h.flag(rec.powered_on);
+            h.flag(rec.waking);
+            match rec.wake_sent_at {
+                Some(t) => {
+                    h.word(1);
+                    h.time(t);
+                }
+                None => h.word(0),
+            }
+            match rec.idle_since {
+                Some(t) => {
+                    h.word(1);
+                    h.time(t);
+                }
+                None => h.word(0),
+            }
+            h.word(rec.vms.len() as u64);
+            for (vm, v) in &rec.vms {
+                vm.mc_fold(h);
+                v.spec.mc_fold(h);
+                v.workload.mc_fold(h);
+                v.usage.mc_fold(h);
+                h.opt_id(v.migrating_to);
+                h.flag(v.confirmed);
+                h.time(v.start_sent_at);
+            }
+        }
+        self.lc_fd.mc_fold(h);
+        h.word(self.pending.len() as u64);
+        for p in &self.pending {
+            p.spec.mc_fold(h);
+            p.workload.mc_fold(h);
+            h.word(p.retries as u64);
+        }
+        h.flag(self.gm_timer_armed);
+        h.word(self.gm_summaries.len() as u64);
+        for (gm, hb) in &self.gm_summaries {
+            h.id(*gm);
+            hb.mc_fold(h);
+        }
+        self.gm_fd.mc_fold(h);
+        h.word(self.dispatches.len() as u64);
+        for (vm, d) in &self.dispatches {
+            vm.mc_fold(h);
+            d.spec.mc_fold(h);
+            d.workload.mc_fold(h);
+            h.id(d.client);
+            h.word(d.candidates.len() as u64);
+            for c in &d.candidates {
+                h.id(*c);
+            }
+            h.word(d.next as u64);
+            h.time(d.started_at);
+            h.flag(d.accepted);
+        }
+        h.word(self.placed_registry.len() as u64);
+        for (vm, (gm, lc)) in &self.placed_registry {
+            vm.mc_fold(h);
+            h.id(*gm);
+            h.id(*lc);
+        }
+        // stats are observational counters — skipped.
     }
 }
 

@@ -17,6 +17,7 @@ use snooze_cluster::node::{NodeSpec, PowerState, PowerStateMachine};
 use snooze_cluster::power::EnergyMeter;
 use snooze_cluster::vm::{VmId, VmState};
 use snooze_simcore::engine::{Component, ComponentId, Ctx, GroupId};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::telemetry::label::label;
 use snooze_simcore::telemetry::SpanId;
 use snooze_simcore::time::{SimSpan, SimTime};
@@ -55,6 +56,7 @@ pub struct LcStats {
 }
 
 /// The Local Controller component.
+#[derive(Clone)]
 pub struct LocalController {
     node: NodeSpec,
     config: SnoozeConfig,
@@ -246,6 +248,37 @@ impl LocalController {
         }
         self.leave_gm(ctx);
         true
+    }
+}
+
+impl McState for LocalController {
+    fn mc_fold(&self, h: &mut McHasher) {
+        // Node spec and config are run constants; the energy meter,
+        // stats and span bookkeeping are observational — all skipped.
+        self.hypervisor.mc_fold(h);
+        self.power.mc_fold(h);
+        h.opt_id(self.gm);
+        match self.gm_group {
+            Some(g) => {
+                h.word(1);
+                h.word(g.0 as u64);
+            }
+            None => h.word(0),
+        }
+        h.time(self.last_gm_heartbeat);
+        match self.assignment_requested_at {
+            Some(t) => {
+                h.word(1);
+                h.time(t);
+            }
+            None => h.word(0),
+        }
+        h.word(self.migrating_out.len() as u64);
+        for (vm, to, _span) in &self.migrating_out {
+            vm.mc_fold(h);
+            h.id(*to);
+        }
+        h.time(self.last_anomaly_at);
     }
 }
 

@@ -19,6 +19,7 @@ use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::VmWorkload;
 use snooze_protocols::coordination::{ProtocolCarrier, ProtocolMsg};
 use snooze_simcore::engine::{ComponentId, GroupId};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::SimTime;
 
 // ---------------------------------------------------------------------------
@@ -427,6 +428,197 @@ impl ProtocolCarrier for SnoozeMsg {
         match self {
             SnoozeMsg::Protocol(p) => Some(p),
             _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-checking folds: every in-flight message is part of the system
+// state the checker deduplicates on, so each variant folds a distinct
+// discriminant plus its behavior-relevant payload.
+// ---------------------------------------------------------------------------
+
+impl McState for GmHeartbeat {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.used.mc_fold(h);
+        self.total.mc_fold(h);
+        self.reserved.mc_fold(h);
+        h.word(self.n_lcs as u64);
+        h.word(self.n_vms as u64);
+    }
+}
+
+impl McState for VmUsage {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.vm.mc_fold(h);
+        self.requested.mc_fold(h);
+        self.used.mc_fold(h);
+    }
+}
+
+impl McState for LcMonitoring {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.capacity.mc_fold(h);
+        self.reserved.mc_fold(h);
+        h.word(self.vms.len() as u64);
+        for u in &self.vms {
+            u.mc_fold(h);
+        }
+        h.flag(self.powered_on);
+        h.time(self.sampled_at);
+    }
+}
+
+impl McState for SnoozeMsg {
+    fn mc_fold(&self, h: &mut McHasher) {
+        match self {
+            SnoozeMsg::Protocol(p) => {
+                h.word(1);
+                p.mc_fold(h);
+            }
+            SnoozeMsg::DiscoverGl(_) => h.word(2),
+            SnoozeMsg::GlInfo(m) => {
+                h.word(3);
+                h.opt_id(m.gl);
+            }
+            SnoozeMsg::SubmitVm(m) => {
+                h.word(4);
+                m.spec.mc_fold(h);
+                m.workload.mc_fold(h);
+                h.id(m.client);
+            }
+            SnoozeMsg::VmPlaced(m) => {
+                h.word(5);
+                m.vm.mc_fold(h);
+                h.id(m.gm);
+                h.id(m.lc);
+            }
+            SnoozeMsg::VmRejected(m) => {
+                h.word(6);
+                m.vm.mc_fold(h);
+            }
+            SnoozeMsg::DestroyVm(m) => {
+                h.word(7);
+                m.vm.mc_fold(h);
+            }
+            SnoozeMsg::HierarchyQuery(_) => h.word(8),
+            SnoozeMsg::HierarchySnapshot(m) => {
+                h.word(9);
+                h.id(m.gl);
+                h.word(m.gms.len() as u64);
+                for (gm, hb) in &m.gms {
+                    h.id(*gm);
+                    hb.mc_fold(h);
+                }
+            }
+            SnoozeMsg::GlHeartbeat(m) => {
+                h.word(10);
+                h.id(m.gl);
+            }
+            SnoozeMsg::GmHeartbeat(m) => {
+                h.word(11);
+                m.mc_fold(h);
+            }
+            SnoozeMsg::GmLcHeartbeat(m) => {
+                h.word(12);
+                h.id(m.gm);
+            }
+            SnoozeMsg::GmJoin(_) => h.word(13),
+            SnoozeMsg::LcAssignRequest(m) => {
+                h.word(14);
+                m.capacity.mc_fold(h);
+            }
+            SnoozeMsg::LcAssignment(m) => {
+                h.word(15);
+                h.id(m.gm);
+            }
+            SnoozeMsg::LcJoin(m) => {
+                h.word(16);
+                m.capacity.mc_fold(h);
+            }
+            SnoozeMsg::LcJoinAckWithGroup(m) => {
+                h.word(17);
+                h.word(m.group.0 as u64);
+            }
+            SnoozeMsg::LcMonitoring(m) => {
+                h.word(18);
+                m.mc_fold(h);
+            }
+            SnoozeMsg::AnomalyReport(m) => {
+                h.word(19);
+                h.word(match m.kind {
+                    AnomalyKind::Overload => 1,
+                    AnomalyKind::Underload => 2,
+                });
+                m.monitoring.mc_fold(h);
+            }
+            SnoozeMsg::PlaceVmRequest(m) => {
+                h.word(20);
+                m.spec.mc_fold(h);
+                m.workload.mc_fold(h);
+            }
+            SnoozeMsg::PlaceVmResponse(m) => {
+                h.word(21);
+                m.vm.mc_fold(h);
+                h.opt_id(m.placed_on);
+            }
+            SnoozeMsg::StartVm(m) => {
+                h.word(22);
+                m.spec.mc_fold(h);
+                m.workload.mc_fold(h);
+            }
+            SnoozeMsg::StartVmResult(m) => {
+                h.word(23);
+                m.vm.mc_fold(h);
+                h.flag(m.ok);
+            }
+            SnoozeMsg::MigrateVm(m) => {
+                h.word(24);
+                m.vm.mc_fold(h);
+                h.id(m.to);
+            }
+            SnoozeMsg::MigrateRefused(m) => {
+                h.word(25);
+                m.vm.mc_fold(h);
+            }
+            SnoozeMsg::VmHandoff(m) => {
+                h.word(26);
+                m.spec.mc_fold(h);
+                m.workload.mc_fold(h);
+            }
+            SnoozeMsg::MigrationDone(m) => {
+                h.word(27);
+                m.vm.mc_fold(h);
+                h.flag(m.ok);
+            }
+            SnoozeMsg::SuspendNode(_) => h.word(28),
+            SnoozeMsg::WakeNode(_) => h.word(29),
+            SnoozeMsg::NodePowerChanged(m) => {
+                h.word(30);
+                h.flag(m.powered_on);
+            }
+            SnoozeMsg::VmActive(m) => {
+                h.word(31);
+                m.vm.mc_fold(h);
+                h.id(m.lc);
+            }
+            SnoozeMsg::VmFailed(m) => {
+                h.word(32);
+                m.vm.mc_fold(h);
+            }
+            SnoozeMsg::PromoteIfIdle(_) => h.word(33),
+            SnoozeMsg::DemoteToLc(_) => h.word(34),
+            SnoozeMsg::RoleReport(m) => {
+                h.word(35);
+                m.role.mc_fold(h);
+                h.flag(m.promotable);
+            }
+            SnoozeMsg::QueryRole(_) => h.word(36),
+            SnoozeMsg::ManagerCensusQuery(_) => h.word(37),
+            SnoozeMsg::ManagerCensusReply(m) => {
+                h.word(38);
+                h.word(m.managers as u64);
+            }
         }
     }
 }

@@ -21,6 +21,7 @@
 
 use snooze_cluster::node::NodeSpec;
 use snooze_simcore::engine::{Component, ComponentId, Ctx, Engine, GroupId};
+use snooze_simcore::mc::{McHasher, McState};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::config::SnoozeConfig;
@@ -44,6 +45,7 @@ pub enum NodeRole {
 }
 
 /// A node that can play either hierarchy role.
+#[derive(Clone)]
 pub struct UnifiedNode {
     lc: LocalController,
     gm: GroupManager,
@@ -178,6 +180,7 @@ impl Component for UnifiedNode {
 const DIRECTOR_TICK: u8 = 48;
 
 /// The role director: keeps the manager pool at its target size.
+#[derive(Clone)]
 pub struct RoleDirector {
     nodes: Vec<ComponentId>,
     gl_group: GroupId,
@@ -257,6 +260,46 @@ impl RoleDirector {
                 }
             }
         }
+    }
+}
+
+impl McState for NodeRole {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.word(match self {
+            NodeRole::LocalController => 1,
+            NodeRole::Manager => 2,
+        });
+    }
+}
+
+impl McState for UnifiedNode {
+    fn mc_fold(&self, h: &mut McHasher) {
+        self.lc.mc_fold(h);
+        self.gm.mc_fold(h);
+        self.role.mc_fold(h);
+    }
+}
+
+impl McState for RoleDirector {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.word(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.id(*n);
+        }
+        h.word(self.target_managers as u64);
+        h.opt_id(self.gl);
+        h.word(self.roles.len() as u64);
+        for r in &self.roles {
+            match r {
+                Some(report) => {
+                    h.word(1);
+                    report.role.mc_fold(h);
+                    h.flag(report.promotable);
+                }
+                None => h.word(0),
+            }
+        }
+        h.word(self.cursor as u64);
     }
 }
 

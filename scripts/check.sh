@@ -8,15 +8,22 @@
 # `--e11-smoke` additionally runs the reduced kilonode scenario (256
 # LCs, fault-free) in release and fails on a missing throughput column
 # or any dead letter.
+#
+# `--mc-smoke` additionally runs the model checker's built-in smoke
+# exploration (failover topology, bounded depth) twice in release and
+# fails on any invariant violation or on a mismatch between the two
+# runs' explored-state counts and fingerprints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_e11_smoke=0
+run_mc_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --e11-smoke) run_e11_smoke=1 ;;
+    --mc-smoke) run_mc_smoke=1 ;;
     *)
-      echo "unknown argument: $arg (supported: --e11-smoke)" >&2
+      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke)" >&2
       exit 2
       ;;
   esac
@@ -60,6 +67,11 @@ rm -rf "$tmp"
 if [ "$run_e11_smoke" -eq 1 ]; then
   say "e11 smoke (256 LCs, release, zero dead letters + throughput column)"
   cargo run --offline -q --release -p snooze-bench --bin run_experiments -- --e11-smoke
+fi
+
+if [ "$run_mc_smoke" -eq 1 ]; then
+  say "mc smoke (bounded failover exploration, two-run determinism)"
+  cargo run --offline -q --release -p snooze-mc -- --smoke
 fi
 
 say "all checks passed"
