@@ -915,6 +915,67 @@ mod tests {
         );
     }
 
+    /// Pin the lint's jurisdiction. Every crate whose code can touch a
+    /// simulated history must be listed — including the observability
+    /// path (`telemetry` windows, the `scenario` compiler's SLO/flight
+    /// machinery, the `mc` checker), whose whole contract is *not*
+    /// perturbing that history. Growing the workspace means consciously
+    /// extending this list; shrinking it silently would exempt live
+    /// simulation code, so any change must update this test too.
+    #[test]
+    fn sim_path_covers_every_simulation_crate() {
+        assert_eq!(
+            SIM_PATH,
+            &[
+                "crates/simcore/src",
+                "crates/protocols/src",
+                "crates/cluster/src",
+                "crates/snooze/src",
+                "crates/consolidation/src",
+                "crates/telemetry/src",
+                "crates/scenario/src",
+                "crates/mc/src",
+            ]
+        );
+        for path in [
+            "crates/simcore/src/flight.rs",
+            "crates/telemetry/src/window.rs",
+            "crates/scenario/src/incident.rs",
+            "crates/scenario/src/compile.rs",
+        ] {
+            assert!(scope_sim_path(path), "{path} must be in lint scope");
+        }
+    }
+
+    /// The observability modules this repo grew (flight recorder +
+    /// profiler, windowed time-series, incident dumps, SLO evaluation)
+    /// must be lint-clean against the real allowlist: they observe the
+    /// simulation and therefore sit on the simulation path themselves.
+    #[test]
+    fn observability_modules_are_lint_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let allowlist = Allowlist::load(&root.join("audit.allowlist")).expect("allowlist loads");
+        for rel in [
+            "crates/simcore/src/flight.rs",
+            "crates/telemetry/src/window.rs",
+            "crates/scenario/src/incident.rs",
+            "crates/scenario/src/compile.rs",
+        ] {
+            let text = std::fs::read_to_string(root.join(rel)).expect(rel);
+            let file = SourceFile::parse(rel, &text);
+            let live: Vec<String> = lint_file(&file, &allowlist)
+                .into_iter()
+                .filter(|f| !f.allowed)
+                .map(|f| format!("{}:{} {} {}", f.path, f.line, f.rule, f.snippet))
+                .collect();
+            assert!(
+                live.is_empty(),
+                "lint findings in {rel}:\n{}",
+                live.join("\n")
+            );
+        }
+    }
+
     #[test]
     fn tuple_field_access_is_not_float_eq() {
         let f = SourceFile::parse(

@@ -3,7 +3,8 @@
 //! ```text
 //! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|all]...
 //! run_experiments --e11-smoke
-//! run_experiments --scenario <file.toml>
+//! run_experiments --obs-smoke [artifact-dir]
+//! run_experiments --scenario <file.toml> [--watch]
 //! run_experiments --list-scenarios [dir]
 //! run_experiments --check-scenarios [dir]
 //! run_experiments --dump-scenarios [dir]
@@ -131,13 +132,79 @@ fn main() {
         }
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--obs-smoke") {
+        let artifact_dir = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(std::path::PathBuf::from);
+        eprintln!("[obs-smoke] 256 LCs, windows + profiler + SLOs + forced incident, 3x2 runs …");
+        let smoke = match obs_smoke::run() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("obs smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rows = vec![smoke.baseline.clone(), smoke.observed.clone()];
+        e11_kilonode::render(&rows).print();
+        if let Some(dir) = &artifact_dir {
+            std::fs::create_dir_all(dir).expect("create artifact dir");
+            std::fs::write(dir.join("windows.jsonl"), &smoke.windows_jsonl).expect("write jsonl");
+            std::fs::write(dir.join("windows.csv"), &smoke.windows_csv).expect("write csv");
+            std::fs::write(dir.join("profile.folded"), &smoke.folded).expect("write folded");
+            std::fs::write(dir.join("incident_forced.toml"), &smoke.incident_toml)
+                .expect("write incident");
+            obs_smoke::comparison_table(&smoke)
+                .write_json(dir, "e11_obs")
+                .expect("write comparison json");
+            eprintln!("[obs-smoke] artifacts in {}", dir.display());
+        }
+        let mut failures = Vec::new();
+        if !smoke.digest_match {
+            failures.push("observability changed the engine digest".to_string());
+        }
+        if !smoke.bytes_identical {
+            failures
+                .push("two observed runs disagree on windows/profile/incident bytes".to_string());
+        }
+        if smoke.windows == 0 {
+            failures.push("observed run closed no metric windows".to_string());
+        }
+        if smoke.observed.placed != smoke.observed.vms {
+            failures.push(format!(
+                "placed {}/{} VMs",
+                smoke.observed.placed, smoke.observed.vms
+            ));
+        }
+        if smoke.throughput_ratio < 0.9 || smoke.throughput_ratio.is_nan() {
+            failures.push(format!(
+                "observability overhead too high: {:.1}% of baseline throughput (floor 90%)",
+                smoke.throughput_ratio * 100.0
+            ));
+        }
+        if failures.is_empty() {
+            println!(
+                "obs smoke: OK ({} windows, {} profiled handler rows, {:.1}% of baseline throughput)",
+                smoke.windows,
+                smoke.folded.lines().count(),
+                smoke.throughput_ratio * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("obs smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--scenario") {
         let Some(file) = args.get(i + 1).cloned() else {
             eprintln!("--scenario needs a file argument");
             std::process::exit(2);
         };
+        let watch = args.iter().any(|a| a == "--watch");
         let path = std::path::PathBuf::from(file);
-        match scenario_cli::run_file(&path) {
+        match scenario_cli::run_file(&path, watch) {
             Ok(outcomes) => {
                 let title = path
                     .file_stem()
@@ -151,6 +218,10 @@ fn main() {
                 let probes = scenario_cli::probe_table(&outcomes);
                 if !probes.is_empty() {
                     probes.print();
+                }
+                let slos = scenario_cli::slo_table(&outcomes);
+                if !slos.is_empty() {
+                    slos.print();
                 }
             }
             Err(e) => {

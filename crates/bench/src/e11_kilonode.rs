@@ -16,7 +16,10 @@
 //! column must be present and the run must finish with zero dead
 //! letters.
 
+use std::collections::BTreeMap;
+
 use snooze_scenario::presets;
+use snooze_scenario::ScenarioRun;
 
 use crate::table::{f2, Table};
 
@@ -48,6 +51,14 @@ pub struct E11Row {
     pub dead_letters: u64,
     /// Advisory wall-clock of the whole run, ms.
     pub wall_ms: f64,
+    /// Worst-offending `dead_letters{msg=..}` variant, rendered
+    /// `variant x<count>` (`-` when nothing was dropped). Attributes
+    /// the fault shape's dead letters to the protocol traffic that was
+    /// in flight toward the dead manager.
+    pub top_dead_letter: String,
+    /// The profiler's three busiest `(component kind, message variant)`
+    /// handlers by deterministic event count (`-` without a profiler).
+    pub top_handlers: String,
 }
 
 impl E11Row {
@@ -62,13 +73,45 @@ impl E11Row {
     }
 }
 
-/// Run one E11 shape: `lcs` nodes, the scaled fleet, optionally the GL
-/// crash + re-election observation.
-pub fn run(lcs: usize, with_fault: bool, seed: u64) -> E11Row {
-    let spec = presets::e11(lcs, with_fault, seed);
-    let o = snooze_scenario::run(&spec)
-        .expect("E11 preset compiles")
-        .outcome;
+/// The `dead_letters{reason,msg}` counters summed per message variant,
+/// worst first (ties broken alphabetically, so the string is stable).
+pub fn dead_letter_breakdown(run: &ScenarioRun) -> Vec<(String, u64)> {
+    let mut by_variant: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, labels, n) in run.live.sim.metrics().counters_iter() {
+        if name == "dead_letters" {
+            let variant = labels.get("msg").unwrap_or("unclassified").to_string();
+            *by_variant.entry(variant).or_insert(0) += n;
+        }
+    }
+    let mut rows: Vec<(String, u64)> = by_variant.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Fold a finished scenario run into an [`E11Row`], resolving the
+/// dead-letter breakdown and the profiler's busiest handlers.
+pub fn row_from_run(mut run: ScenarioRun, lcs: usize) -> E11Row {
+    let top_dead_letter = dead_letter_breakdown(&run)
+        .first()
+        .map(|(v, n)| format!("{v} x{n}"))
+        .unwrap_or_else(|| "-".into());
+    let mut handlers = run.live.sim.profile_rows();
+    handlers.sort_by(|a, b| {
+        b.events
+            .cmp(&a.events)
+            .then_with(|| (&a.kind, &a.variant).cmp(&(&b.kind, &b.variant)))
+    });
+    let top_handlers = if handlers.is_empty() {
+        "-".into()
+    } else {
+        handlers
+            .iter()
+            .take(3)
+            .map(|r| format!("{}/{} x{}", r.kind, r.variant, r.events))
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
+    let o = run.outcome;
     let gl_recovery_s = o.faults.first().map(|f| f.recovery_s).unwrap_or(f64::NAN);
     E11Row {
         name: o.name,
@@ -82,7 +125,19 @@ pub fn run(lcs: usize, with_fault: bool, seed: u64) -> E11Row {
         sim_events: o.sim_events,
         dead_letters: o.dead_letters,
         wall_ms: o.wall_ms,
+        top_dead_letter,
+        top_handlers,
     }
+}
+
+/// Run one E11 shape: `lcs` nodes, the scaled fleet, optionally the GL
+/// crash + re-election observation.
+pub fn run(lcs: usize, with_fault: bool, seed: u64) -> E11Row {
+    let spec = presets::e11(lcs, with_fault, seed);
+    row_from_run(
+        snooze_scenario::run(&spec).expect("E11 preset compiles"),
+        lcs,
+    )
 }
 
 /// The full E11 configuration used by `run_experiments e11`.
@@ -110,6 +165,8 @@ pub fn render(rows: &[E11Row]) -> Table {
             "GL reelect s",
             "sim events",
             "dead letters",
+            "top dead letter",
+            "top handlers",
             "wall ms",
             "events/s",
         ],
@@ -130,6 +187,8 @@ pub fn render(rows: &[E11Row]) -> Table {
             },
             r.sim_events.to_string(),
             r.dead_letters.to_string(),
+            r.top_dead_letter.clone(),
+            r.top_handlers.clone(),
             f2(r.wall_ms),
             if r.events_per_sec().is_nan() {
                 "-".into()
@@ -163,5 +222,17 @@ mod tests {
         let rendered = render(&rows).render();
         assert!(rendered.contains("events/s"));
         assert!(rendered.contains("dead letters"));
+        assert!(rendered.contains("top dead letter"));
+        assert!(rendered.contains("top handlers"));
+    }
+
+    #[test]
+    fn clean_run_attributes_handlers_but_no_dead_letters() {
+        let r = run(16, false, 3);
+        assert_eq!(r.top_dead_letter, "-", "fault-free run drops nothing");
+        // The preset enables the profiler, so the busiest handlers are
+        // attributed; LC heartbeat traffic dominates any settle phase.
+        assert_ne!(r.top_handlers, "-");
+        assert!(r.top_handlers.contains("lc/"), "got: {}", r.top_handlers);
     }
 }

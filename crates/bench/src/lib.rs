@@ -23,6 +23,7 @@ pub mod e6_fault_tolerance;
 pub mod e7_energy_savings;
 pub mod e8_ablations;
 pub mod e9_failover_sensitivity;
+pub mod obs_smoke;
 pub mod report;
 pub mod scenario_cli;
 pub mod simrun;

@@ -1,0 +1,197 @@
+//! The `--obs-smoke` CI gate: run the E11 256-LC smoke shape three
+//! times with full observability (windows, profiler, flight recorder,
+//! SLO watchdogs and a forced incident trigger) and three times
+//! without, interleaved, then check
+//!
+//! 1. observation is invisible to the simulation — the engine digest of
+//!    the observed run equals the plain run's;
+//! 2. every observability artifact is byte-deterministic — the two
+//!    observed runs produce identical windows JSONL, folded-stack
+//!    profile and incident-dump TOML;
+//! 3. the forced incident dump round-trips through the `IncidentDoc`
+//!    parser (so `--check-scenarios` can always re-read it);
+//! 4. the overhead is bounded — observed throughput must stay within
+//!    10% of the plain run measured in the same invocation (both
+//!    advisory wall-clock, compared run-to-run so machine speed cancels
+//!    out).
+
+use snooze_scenario::incident::{is_incident, IncidentDoc};
+use snooze_scenario::spec::ScenarioSpec;
+use snooze_scenario::{presets, ScenarioRun};
+
+use crate::e11_kilonode::{self, E11Row};
+use crate::table::{f2, Table};
+
+/// When the forced trigger fires: two minutes in, mid-arrival-wave, so
+/// the ring is full of real placement traffic.
+const FORCE_AT_MS: f64 = 120_000.0;
+
+/// Everything the gate measured, for the binary to print and assert on.
+pub struct ObsSmoke {
+    /// The no-observability baseline row.
+    pub baseline: E11Row,
+    /// The fully-observed row (first observed run).
+    pub observed: E11Row,
+    /// Engine digest equality between baseline and observed runs.
+    pub digest_match: bool,
+    /// Byte-identity of windows JSONL / folded profile / incident TOML
+    /// across the two observed runs.
+    pub bytes_identical: bool,
+    /// Windows the observed run closed.
+    pub windows: u64,
+    /// The observed run's windowed time-series, JSONL.
+    pub windows_jsonl: String,
+    /// The observed run's windowed time-series, CSV.
+    pub windows_csv: String,
+    /// The observed run's folded-stack profile.
+    pub folded: String,
+    /// The forced incident dump, canonical TOML.
+    pub incident_toml: String,
+    /// Observed / baseline throughput (events per wall-second) ratio.
+    pub throughput_ratio: f64,
+}
+
+/// The smoke spec with the full observability surface switched on.
+pub fn observed_spec() -> ScenarioSpec {
+    let mut spec = presets::e11(256, false, 0xE11);
+    let obs = spec.obs.as_mut().expect("e11 preset carries [obs]");
+    obs.force_incident_at_ms = Some(FORCE_AT_MS);
+    spec
+}
+
+/// The same simulation with every observer removed.
+pub fn plain_spec() -> ScenarioSpec {
+    let mut spec = observed_spec();
+    spec.obs = None;
+    spec.slos.clear();
+    spec
+}
+
+fn observe_once() -> Result<(ScenarioRun, String, String, String), String> {
+    let run = snooze_scenario::run(&observed_spec())?;
+    let log = run
+        .windows
+        .as_ref()
+        .ok_or("observed run produced no window log")?;
+    let jsonl = log.to_jsonl();
+    let csv = log.to_csv();
+    let incident = run
+        .incidents
+        .iter()
+        .find(|i| i.trigger == "forced")
+        .ok_or("forced trigger produced no incident dump")?
+        .to_toml();
+    Ok((run, jsonl, csv, incident))
+}
+
+/// Run the gate. Returns the measurements; the binary decides pass/fail
+/// so the failure output can enumerate every violated property.
+///
+/// Each variant runs three times, interleaved — the first two observed
+/// runs double as the byte-identity check — and the throughput ratio
+/// compares the *fastest* run of each triple: the advisory wall clock
+/// swings ±20% under a noisy scheduler, and minima converge on the true
+/// cost while means do not.
+pub fn run() -> Result<ObsSmoke, String> {
+    let plain = snooze_scenario::run(&plain_spec())?;
+    let plain_digest = plain.live.sim.digest();
+    let (mut run_a, jsonl_a, csv_a, incident_a) = observe_once()?;
+    let mut plain_wall = plain.outcome.wall_ms;
+    let mut baseline = e11_kilonode::row_from_run(plain, 256);
+    let (mut run_b, jsonl_b, _, incident_b) = observe_once()?;
+    plain_wall = plain_wall.min(snooze_scenario::run(&plain_spec())?.outcome.wall_ms);
+    let mut obs_wall = run_b.outcome.wall_ms.min(observe_once()?.0.outcome.wall_ms);
+    plain_wall = plain_wall.min(snooze_scenario::run(&plain_spec())?.outcome.wall_ms);
+    baseline.wall_ms = plain_wall;
+
+    let digest_match =
+        run_a.live.sim.digest() == plain_digest && run_b.live.sim.digest() == plain_digest;
+    let folded = run_a.live.sim.profile_folded();
+    let folded_b = run_b.live.sim.profile_folded();
+    let bytes_identical = jsonl_a == jsonl_b && folded == folded_b && incident_a == incident_b;
+    let windows = run_a.outcome.windows;
+    obs_wall = obs_wall.min(run_a.outcome.wall_ms);
+    let mut observed = e11_kilonode::row_from_run(run_a, 256);
+    observed.wall_ms = obs_wall;
+
+    if !is_incident(&incident_a) {
+        return Err("incident dump missed the `trigger = ` discriminator".into());
+    }
+    let reparsed = IncidentDoc::from_toml(&incident_a)
+        .map_err(|e| format!("incident dump does not re-parse: {e}"))?;
+    if reparsed.to_toml() != incident_a {
+        return Err("incident dump is not in canonical form".into());
+    }
+
+    let throughput_ratio = observed.events_per_sec() / baseline.events_per_sec();
+    Ok(ObsSmoke {
+        baseline,
+        observed,
+        digest_match,
+        bytes_identical,
+        windows,
+        windows_jsonl: jsonl_a,
+        windows_csv: csv_a,
+        folded,
+        incident_toml: incident_a,
+        throughput_ratio,
+    })
+}
+
+/// The two-row overhead comparison behind the checked-in
+/// `BENCH_E11_OBS.json`: the same simulation with and without the full
+/// observability surface. Sim events and dead letters are exact; wall
+/// and throughput columns are advisory (best-of-3 on the measuring
+/// host).
+pub fn comparison_table(s: &ObsSmoke) -> Table {
+    let mut t = Table::new(
+        "E11 obs overhead (256-LC smoke, best-of-3 interleaved runs; wall columns advisory)",
+        &[
+            "variant",
+            "sim events",
+            "dead letters",
+            "windows",
+            "digest match",
+            "wall ms",
+            "events/s",
+            "vs plain",
+        ],
+    );
+    t.row(vec![
+        format!("{}-plain", s.baseline.name),
+        s.baseline.sim_events.to_string(),
+        s.baseline.dead_letters.to_string(),
+        "-".into(),
+        "-".into(),
+        f2(s.baseline.wall_ms),
+        format!("{:.0}", s.baseline.events_per_sec()),
+        "100.0%".into(),
+    ]);
+    t.row(vec![
+        format!("{}-obs", s.observed.name),
+        s.observed.sim_events.to_string(),
+        s.observed.dead_letters.to_string(),
+        s.windows.to_string(),
+        if s.digest_match { "yes" } else { "NO" }.into(),
+        f2(s.observed.wall_ms),
+        format!("{:.0}", s.observed.events_per_sec()),
+        format!("{:.1}%", s.throughput_ratio * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_and_plain_specs_differ_only_in_observers() {
+        let o = observed_spec();
+        let p = plain_spec();
+        assert!(o.obs.is_some() && !o.slos.is_empty());
+        assert!(p.obs.is_none() && p.slos.is_empty());
+        assert_eq!(o.seed, p.seed);
+        assert_eq!(o.workload, p.workload);
+        assert_eq!(o.phases, p.phases);
+    }
+}

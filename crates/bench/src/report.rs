@@ -19,17 +19,95 @@ use crate::simrun::LiveSystem;
 use crate::table::{f2, Table};
 
 pub use snooze_scenario::presets::report_failover;
-pub use snooze_scenario::ScenarioSpec;
+pub use snooze_scenario::{ScenarioRun, ScenarioSpec, WindowStatus};
 
-/// Run the scenario to completion and return the live system (with its
-/// span log and metrics) plus the first crashed component, if any.
-/// The acceptance scenario itself is [`report_failover`]
-/// (`scenarios/report.toml`): a 100-VM burst with one GM crash while
-/// placements are in flight.
-pub fn run_scenario(spec: &ScenarioSpec) -> (LiveSystem, Option<ComponentId>) {
-    let run = snooze_scenario::run(spec).expect("report scenario compiles");
-    let crashed = run.outcome.faults.first().map(|f| f.target);
-    (run.live, crashed)
+/// Run the scenario to completion and return the finished run (live
+/// system with its span log and metrics, windowed time-series, SLO
+/// alerts, incident dumps). The acceptance scenario itself is
+/// [`report_failover`] (`scenarios/report.toml`): a 100-VM burst with
+/// one GM crash while placements are in flight — its zero-tolerance
+/// heartbeat watchdog trips during the failover, so the run arrives
+/// with alerts and at least one incident dump. With `watch`, every
+/// closed metric window prints a live status line.
+pub fn run_scenario(spec: &ScenarioSpec, watch: bool) -> ScenarioRun {
+    let name = spec.name.clone();
+    let mut print_status = move |s: &WindowStatus| {
+        eprintln!(
+            "[watch] {name} w{:>3} t={:>5}s rows={:<3} alerts={} queue={} dead={}",
+            s.window,
+            s.at.as_micros() / 1_000_000,
+            s.rows,
+            s.alerts,
+            s.queue_depth,
+            s.dead_letters,
+        );
+    };
+    let cb: Option<&mut dyn FnMut(&WindowStatus)> =
+        if watch { Some(&mut print_status) } else { None };
+    snooze_scenario::run_watch(spec, cb).expect("report scenario compiles")
+}
+
+/// The first crashed component of a finished run, if any.
+pub fn crashed_component(run: &ScenarioRun) -> Option<ComponentId> {
+    run.outcome.faults.first().map(|f| f.target)
+}
+
+/// Continuous-observability headline for a finished run: windows,
+/// alerts, incidents, profiled events.
+pub fn obs_summary(run: &mut ScenarioRun) -> Table {
+    let mut t = Table::new("continuous observability", &["metric", "value"]);
+    t.row(vec![
+        "windows closed".into(),
+        run.outcome.windows.to_string(),
+    ]);
+    t.row(vec![
+        "window rows".into(),
+        run.windows
+            .as_ref()
+            .map(|w| w.len())
+            .unwrap_or(0)
+            .to_string(),
+    ]);
+    t.row(vec![
+        "slo alerts".into(),
+        run.outcome.slo_alerts.len().to_string(),
+    ]);
+    t.row(vec![
+        "incident dumps".into(),
+        run.incidents.len().to_string(),
+    ]);
+    t.row(vec![
+        "profiled events".into(),
+        run.live
+            .sim
+            .profile_rows()
+            .iter()
+            .map(|r| r.events)
+            .sum::<u64>()
+            .to_string(),
+    ]);
+    t
+}
+
+/// Write the continuous-observability exports into `dir`:
+///
+/// * `windows.jsonl` / `windows.csv` — the windowed time-series
+/// * `profile.folded` — folded-stack profile (event counts; feed into
+///   `inferno` / `flamegraph.pl`)
+/// * `incident_<n>.toml` — one canonical dump per captured incident
+///
+/// All deterministic: byte-identical across same-seed runs.
+pub fn export_obs(run: &mut ScenarioRun, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(log) = &run.windows {
+        std::fs::write(dir.join("windows.jsonl"), log.to_jsonl())?;
+        std::fs::write(dir.join("windows.csv"), log.to_csv())?;
+    }
+    std::fs::write(dir.join("profile.folded"), run.live.sim.profile_folded())?;
+    for (i, incident) in run.incidents.iter().enumerate() {
+        std::fs::write(dir.join(format!("incident_{i}.toml")), incident.to_toml())?;
+    }
+    Ok(())
 }
 
 /// Track-naming function for the Chrome exporter: component name + id.

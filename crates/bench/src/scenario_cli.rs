@@ -5,9 +5,10 @@
 
 use std::path::{Path, PathBuf};
 
+use snooze_scenario::incident::{is_incident, IncidentDoc};
 use snooze_scenario::mc_trace::McTraceDoc;
 use snooze_scenario::spec::ScenarioDoc;
-use snooze_scenario::{compile, run, ScenarioOutcome};
+use snooze_scenario::{compile, run_watch, ScenarioOutcome, WindowStatus};
 
 use crate::table::{f2, Table};
 
@@ -24,14 +25,30 @@ fn is_mc_trace(text: &str) -> bool {
     text.lines().any(|l| l.starts_with("harness = "))
 }
 
-/// Run every variant of a scenario file, in document order.
-pub fn run_file(path: &Path) -> Result<Vec<ScenarioOutcome>, String> {
+/// Run every variant of a scenario file, in document order. With
+/// `watch`, every closed metric window prints a status line as the run
+/// progresses (`[obs]` scenarios only — others produce no windows).
+pub fn run_file(path: &Path, watch: bool) -> Result<Vec<ScenarioOutcome>, String> {
     let doc = load(path)?;
     doc.expand()?
         .iter()
         .map(|spec| {
             eprintln!("[scenario] {} …", spec.name);
-            run(spec).map(|r| r.outcome)
+            let name = spec.name.clone();
+            let mut print_status = move |s: &WindowStatus| {
+                eprintln!(
+                    "[watch] {name} w{:>3} t={:>6}s rows={:<3} alerts={} queue={} dead={}",
+                    s.window,
+                    s.at.as_micros() / 1_000_000,
+                    s.rows,
+                    s.alerts,
+                    s.queue_depth,
+                    s.dead_letters,
+                );
+            };
+            let cb: Option<&mut dyn FnMut(&WindowStatus)> =
+                if watch { Some(&mut print_status) } else { None };
+            run_watch(spec, cb).map(|r| r.outcome)
         })
         .collect()
 }
@@ -147,6 +164,31 @@ pub fn probe_table(outcomes: &[ScenarioOutcome]) -> Table {
     t
 }
 
+/// SLO watchdog breaches of every run that raised any (empty table
+/// otherwise).
+pub fn slo_table(outcomes: &[ScenarioOutcome]) -> Table {
+    let mut t = Table::new(
+        "slo alerts",
+        &[
+            "scenario", "slo", "signal", "window", "at s", "value", "max",
+        ],
+    );
+    for o in outcomes {
+        for a in &o.slo_alerts {
+            t.row(vec![
+                o.name.clone(),
+                a.name.clone(),
+                a.signal.as_str().to_string(),
+                a.window.to_string(),
+                (a.at.as_micros() / 1_000_000).to_string(),
+                f2(a.value),
+                f2(a.max),
+            ]);
+        }
+    }
+    t
+}
+
 /// Every `*.toml` under `dir`, sorted by file name.
 pub fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
@@ -180,6 +222,21 @@ pub fn list_table(dir: &Path) -> Result<Table, String> {
                 doc.name,
                 "-".to_string(),
                 format!("mc counterexample ({} steps)", doc.steps.len()),
+            ]);
+            continue;
+        }
+        if is_incident(&text) {
+            let doc =
+                IncidentDoc::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            t.row(vec![
+                file,
+                doc.name,
+                "-".to_string(),
+                format!(
+                    "incident dump (trigger `{}`, {} event(s))",
+                    doc.trigger,
+                    doc.events.len()
+                ),
             ]);
             continue;
         }
@@ -219,6 +276,26 @@ pub fn check_dir(dir: &Path) -> Result<Vec<String>, String> {
                 "{}: mc counterexample trace ({} step(s)) parses canonically",
                 path.display(),
                 doc.steps.len()
+            ));
+            continue;
+        }
+        if is_incident(&text) {
+            // Incident dumps are evidence, not programs: they must
+            // parse and be canonical so tooling can always re-read
+            // them, but there is nothing to compile.
+            let doc =
+                IncidentDoc::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            if doc.to_toml() != text {
+                return Err(format!(
+                    "{}: incident dump not in canonical form",
+                    path.display()
+                ));
+            }
+            report.push(format!(
+                "{}: incident dump (trigger `{}`, {} event(s)) parses canonically",
+                path.display(),
+                doc.trigger,
+                doc.events.len()
             ));
             continue;
         }
@@ -269,6 +346,10 @@ pub fn fmt_dir(dir: &Path) -> Result<Vec<String>, String> {
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let canon = if is_mc_trace(&text) {
             McTraceDoc::from_toml(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_toml()
+        } else if is_incident(&text) {
+            IncidentDoc::from_toml(&text)
                 .map_err(|e| format!("{}: {e}", path.display()))?
                 .to_toml()
         } else {

@@ -8,7 +8,9 @@
 //! * two same-seed runs produce byte-identical span and metric exports
 //!   in every standard format.
 
-use snooze_bench::report::{export_all, find_descendant, report_failover, run_scenario};
+use snooze_bench::report::{
+    crashed_component, export_all, find_descendant, report_failover, run_scenario,
+};
 use snooze_simcore::prelude::*;
 use snooze_simcore::telemetry;
 
@@ -28,8 +30,12 @@ fn render_exports<C: Component>(sim: &Engine<C>) -> [String; 4] {
 #[test]
 fn e4_failover_scenario_produces_linked_span_trees_and_identical_exports() {
     let spec = report_failover(SEED);
-    let (live_a, crashed) = run_scenario(&spec);
-    assert!(crashed.is_some(), "scenario must crash a GM");
+    let run_a = run_scenario(&spec, false);
+    assert!(
+        crashed_component(&run_a).is_some(),
+        "scenario must crash a GM"
+    );
+    let live_a = run_a.live;
 
     // --- every submission placed, each a well-linked span tree ---------
     let client = live_a.client();
@@ -81,7 +87,7 @@ fn e4_failover_scenario_produces_linked_span_trees_and_identical_exports() {
     );
 
     // --- two same-seed runs: byte-identical exports ---------------------
-    let (live_b, _) = run_scenario(&spec);
+    let live_b = run_scenario(&spec, false).live;
     assert_eq!(live_a.sim.span_digest(), live_b.sim.span_digest());
     assert_eq!(live_a.sim.digest(), live_b.sim.digest());
     let a = render_exports(&live_a.sim);

@@ -4,20 +4,32 @@
 //! The compiler is deliberately boring: it performs exactly the
 //! deployment sequence the hand-written experiment harnesses performed
 //! (builder → system → client → static fault plan), so a spec-driven run
-//! is event-for-event identical to the code it replaced. The runner then
-//! interprets the phase program — run / settle / sample / fault+observe
-//! — splitting `run_until` at probe points, which is digest-neutral
-//! because executing the same event set in more slices schedules
-//! nothing new.
+//! is event-for-event identical to the code it replaced. The
+//! [`Runner`] then interprets the phase program — run / settle / sample
+//! / fault+observe — splitting `run_until` at probe points, metric
+//! window boundaries and forced incident triggers, all of which are
+//! digest-neutral because executing the same event set in more slices
+//! schedules nothing new.
+//!
+//! With an `[obs]` table the runner also rolls the engine's metrics
+//! into fixed-width windows, evaluates `[[slo]]` watchdogs at every
+//! boundary, and snapshots the flight recorder into
+//! [`IncidentDoc`] dumps when a watchdog trips, a scheduled fault
+//! fires, or the spec forces a test trigger.
 
 use snooze::prelude::*;
 use snooze_cluster::node::NodeSpec;
 use snooze_simcore::failure::FailurePlan;
+use snooze_simcore::flight::Windower;
 use snooze_simcore::prelude::*;
+use snooze_simcore::telemetry::window::WindowKind;
+use snooze_simcore::telemetry::WindowLog;
 
+use crate::incident::{IncidentDoc, IncidentEvent, IncidentSpan, IncidentWindow};
 use crate::live::{build_workload, LiveSystem, Stack, VmIdAlloc};
 use crate::spec::{
-    ms_to_span, ms_to_time, Condition, ObserveSpec, PhaseSpec, ProbeSpec, ScenarioSpec, TargetSpec,
+    ms_to_span, ms_to_time, Condition, ObserveSpec, PhaseSpec, ProbeSpec, ScenarioSpec, SloSignal,
+    SloSpec, TargetSpec,
 };
 
 /// One fault phase's measured aftermath.
@@ -37,6 +49,40 @@ pub struct FaultOutcome {
     /// Seconds until the recovery condition first held (NaN = never
     /// within the observation).
     pub recovery_s: f64,
+}
+
+/// One SLO watchdog breach, raised at a window boundary.
+#[derive(Clone, Debug)]
+pub struct SloAlert {
+    /// Watchdog name.
+    pub name: String,
+    /// The breached signal.
+    pub signal: SloSignal,
+    /// Index of the window whose boundary raised the alert.
+    pub window: u64,
+    /// Boundary time.
+    pub at: SimTime,
+    /// Observed value.
+    pub value: f64,
+    /// The configured bound.
+    pub max: f64,
+}
+
+/// Per-window status surfaced to `--watch` callbacks.
+#[derive(Clone, Debug)]
+pub struct WindowStatus {
+    /// Window index just closed.
+    pub window: u64,
+    /// Boundary time.
+    pub at: SimTime,
+    /// Rows the window emitted.
+    pub rows: usize,
+    /// Alerts raised at this boundary.
+    pub alerts: usize,
+    /// Engine queue depth at the boundary.
+    pub queue_depth: usize,
+    /// Whole-run dead letters as of the boundary.
+    pub dead_letters: u64,
 }
 
 /// A named probe's snapshot.
@@ -110,6 +156,10 @@ pub struct ScenarioOutcome {
     pub faults: Vec<FaultOutcome>,
     /// Probe snapshots, in time order.
     pub probes: Vec<ProbeSample>,
+    /// Metric windows closed (0 without an `[obs]` table).
+    pub windows: u64,
+    /// SLO watchdog breaches, in boundary order.
+    pub slo_alerts: Vec<SloAlert>,
 }
 
 /// A finished run: the live system (spans, metrics, digests still
@@ -119,6 +169,10 @@ pub struct ScenarioRun {
     pub live: LiveSystem,
     /// The measurements.
     pub outcome: ScenarioOutcome,
+    /// The windowed time-series (`Some` with an `[obs]` table).
+    pub windows: Option<WindowLog>,
+    /// Incident dumps captured during the run, in trigger order.
+    pub incidents: Vec<IncidentDoc>,
 }
 
 /// Deploy a spec: engine → system stack → client → static fault plan.
@@ -203,6 +257,13 @@ pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
     }
     plan.apply(&mut live.sim);
 
+    if let Some(o) = &spec.obs {
+        live.sim.enable_flight_recorder(o.ring);
+        if o.profile {
+            live.sim.enable_profiler();
+        }
+    }
+
     Ok(live)
 }
 
@@ -231,29 +292,270 @@ fn probe_sample(live: &LiveSystem, name: &str) -> ProbeSample {
     }
 }
 
-/// Advance virtual time to `to`, pausing at every pending probe point on
-/// the way to record its snapshot. Splitting `run_until` adds no events,
-/// so digests and event counts are unchanged by probes.
-fn advance(
-    live: &mut LiveSystem,
-    to: SimTime,
-    probes: &[ProbeSpec],
-    next_probe: &mut usize,
-    samples: &mut Vec<ProbeSample>,
-) {
-    while let Some(p) = probes.get(*next_probe) {
-        let at = ms_to_time(p.at_ms);
-        if at > to {
-            break;
+/// Observability runtime: the windower, the watchdogs, and everything
+/// they have produced so far.
+struct ObsRun {
+    windower: Windower,
+    slos: Vec<SloSpec>,
+    /// Pending forced trigger (cleared once fired).
+    force_at: Option<SimTime>,
+    /// Queued fault captures `(instant, trigger, detail)`: the driver
+    /// pauses when it next *crosses* the instant and dumps there. The
+    /// injection site must not advance the clock itself — a pause there
+    /// would shift the next phase's `now()`-relative stepping grid and
+    /// break digest neutrality.
+    pending_faults: Vec<(SimTime, String, String)>,
+    alerts: Vec<SloAlert>,
+    incidents: Vec<IncidentDoc>,
+    scenario: String,
+    seed: u64,
+}
+
+/// The phase interpreter's threaded state: the live system, the probe
+/// cursor, and (with an `[obs]` table) the observability runtime.
+/// Replaces the old free functions that threaded five `&mut` arguments
+/// through every call.
+struct Runner<'w> {
+    live: LiveSystem,
+    probes: Vec<ProbeSpec>,
+    next_probe: usize,
+    samples: Vec<ProbeSample>,
+    obs: Option<ObsRun>,
+    watch: Option<&'w mut dyn FnMut(&WindowStatus)>,
+}
+
+/// Snapshot the flight recorder, recent span closures and the windows
+/// around `now` into an incident dump.
+fn capture_incident(live: &LiveSystem, o: &mut ObsRun, trigger: &str, detail: &str) {
+    let Some(ring) = live.sim.flight_recorder() else {
+        return;
+    };
+    let resolve = |idx: u64| -> String {
+        if idx == usize::MAX as u64 {
+            "external".to_string()
+        } else {
+            live.sim.name_of(ComponentId(idx as usize)).to_string()
         }
-        if at > live.sim.now() {
-            live.sim.run_until(at);
+    };
+    let events = ring
+        .events()
+        .into_iter()
+        .map(|e| IncidentEvent {
+            at_us: e.time_us,
+            seq: e.seq,
+            kind: e.kind.to_string(),
+            src: resolve(e.a),
+            dst: if e.kind == "deliver" {
+                resolve(e.b)
+            } else {
+                String::new()
+            },
+            variant: e.variant.to_string(),
+        })
+        .collect();
+    let closed: Vec<&snooze_simcore::telemetry::SpanRecord> = live
+        .sim
+        .spans()
+        .iter()
+        .filter(|s| s.end_us.is_some())
+        .collect();
+    let spans = closed
+        .iter()
+        .rev()
+        .take(16)
+        .rev()
+        .map(|s| IncidentSpan {
+            name: s.name.to_string(),
+            start_us: s.start_us,
+            end_us: s.end_us.unwrap_or(s.start_us),
+        })
+        .collect();
+    // The last two closed windows' rows, newest last, bounded.
+    let min_index = o.windower.index().saturating_sub(2);
+    let near: Vec<&snooze_simcore::telemetry::WindowRow> = o
+        .windower
+        .log()
+        .rows()
+        .iter()
+        .filter(|r| r.index >= min_index)
+        .collect();
+    let skip = near.len().saturating_sub(64);
+    let windows = near
+        .into_iter()
+        .skip(skip)
+        .map(|r| IncidentWindow {
+            window: r.index,
+            kind: r.kind.as_str().to_string(),
+            name: r.name.clone(),
+            labels: r.labels.render(),
+            count: r.count,
+            value: match r.kind {
+                WindowKind::Counter => 0.0,
+                WindowKind::Gauge => r.stats.max,
+                WindowKind::Histogram => r.stats.p95,
+            },
+        })
+        .collect();
+    o.incidents.push(IncidentDoc {
+        name: format!("{}-incident-{}", o.scenario, o.incidents.len()),
+        scenario: o.scenario.clone(),
+        seed: o.seed,
+        trigger: trigger.to_string(),
+        detail: detail.to_string(),
+        at_us: live.sim.now().0,
+        events,
+        spans,
+        windows,
+    });
+}
+
+impl Runner<'_> {
+    /// Advance virtual time to `to`, pausing at every pending probe
+    /// point, metric window boundary and forced incident trigger on the
+    /// way. Splitting `run_until` adds no events, so digests and event
+    /// counts are unchanged by observation.
+    fn advance(&mut self, to: SimTime) {
+        loop {
+            let probe_at = self
+                .probes
+                .get(self.next_probe)
+                .map(|p| ms_to_time(p.at_ms))
+                .filter(|&t| t <= to);
+            let window_at = self
+                .obs
+                .as_ref()
+                .map(|o| o.windower.next_boundary())
+                .filter(|&t| t <= to);
+            let force_at = self
+                .obs
+                .as_ref()
+                .and_then(|o| o.force_at)
+                .filter(|&t| t <= to);
+            let fault_at = self
+                .obs
+                .as_ref()
+                .and_then(|o| o.pending_faults.iter().map(|p| p.0).min())
+                .filter(|&t| t <= to);
+            let stop = [probe_at, window_at, force_at, fault_at]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(stop) = stop else {
+                if to > self.live.sim.now() {
+                    self.live.sim.run_until(to);
+                }
+                return;
+            };
+            if stop > self.live.sim.now() {
+                self.live.sim.run_until(stop);
+            }
+            if probe_at == Some(stop) {
+                let name = self.probes[self.next_probe].name.clone();
+                self.samples.push(probe_sample(&self.live, &name));
+                self.next_probe += 1;
+            }
+            if window_at == Some(stop) {
+                self.roll_window(stop);
+            }
+            if force_at == Some(stop) {
+                if let Some(o) = self.obs.as_mut() {
+                    o.force_at = None;
+                    capture_incident(&self.live, o, "forced", "scheduled test trigger");
+                }
+            }
+            if fault_at == Some(stop) {
+                self.capture_pending_faults(stop);
+            }
         }
-        samples.push(probe_sample(live, &p.name));
-        *next_probe += 1;
     }
-    if to > live.sim.now() {
-        live.sim.run_until(to);
+
+    /// Dump every queued fault capture due at or before `upto`, in queue
+    /// order.
+    fn capture_pending_faults(&mut self, upto: SimTime) {
+        let Some(o) = self.obs.as_mut() else { return };
+        let mut due = Vec::new();
+        o.pending_faults.retain(|p| {
+            if p.0 <= upto {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for (_, trigger, detail) in due {
+            capture_incident(&self.live, o, &trigger, &detail);
+        }
+    }
+
+    /// Close the window ending at `at`: emit its rows, evaluate every
+    /// watchdog over them, raise alert spans / incidents on breach, and
+    /// surface the boundary to a `--watch` callback.
+    fn roll_window(&mut self, at: SimTime) {
+        let Some(o) = self.obs.as_mut() else { return };
+        let index = o.windower.index();
+        let rows = o.windower.roll(self.live.sim.metrics(), at).to_vec();
+        let mut alerts_here = 0usize;
+        for slo in o.slos.clone() {
+            let value = match slo.signal {
+                SloSignal::P95PlacementLatencyS => rows
+                    .iter()
+                    .find(|r| {
+                        r.kind == WindowKind::Histogram && r.name == "client.placement_latency_s"
+                    })
+                    .map(|r| r.stats.p95),
+                SloSignal::HeartbeatMisses => Some(
+                    rows.iter()
+                        .filter(|r| r.kind == WindowKind::Counter && r.name == "heartbeat_missed")
+                        .map(|r| r.count)
+                        .sum::<u64>() as f64,
+                ),
+                SloSignal::DeadLetters => Some(self.live.sim.dead_letters() as f64),
+                SloSignal::QueueDepth => Some(self.live.sim.queue_depth() as f64),
+            };
+            let Some(value) = value else { continue };
+            if value > slo.max {
+                alerts_here += 1;
+                let us = at.0;
+                let spans = self.live.sim.spans_mut();
+                let id = spans.open("slo.alert", 0, None, us);
+                spans.label(id, "slo", slo.name.clone());
+                spans.label(id, "signal", slo.signal.as_str());
+                spans.close(id, us);
+                let detail = format!(
+                    "{} = {value} > {} in window {index}",
+                    slo.signal.as_str(),
+                    slo.max
+                );
+                capture_incident(&self.live, o, &format!("slo:{}", slo.name), &detail);
+                o.alerts.push(SloAlert {
+                    name: slo.name.clone(),
+                    signal: slo.signal,
+                    window: index,
+                    at,
+                    value,
+                    max: slo.max,
+                });
+            }
+        }
+        if let Some(watch) = self.watch.as_mut() {
+            watch(&WindowStatus {
+                window: index,
+                at,
+                rows: rows.len(),
+                alerts: alerts_here,
+                queue_depth: self.live.sim.queue_depth(),
+                dead_letters: self.live.sim.dead_letters(),
+            });
+        }
+    }
+
+    /// Flush the final (partial) window so per-window counter deltas
+    /// always sum to the whole-run totals.
+    fn finish_windows(&mut self) {
+        let now = self.live.sim.now();
+        if self.obs.as_ref().is_some_and(|o| now > o.windower.start()) {
+            self.roll_window(now);
+        }
     }
 }
 
@@ -281,49 +583,76 @@ fn condition_holds(c: Condition, live: &LiveSystem, reschedule: bool, baseline_v
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn observe(
-    live: &mut LiveSystem,
-    from: SimTime,
-    o: &ObserveSpec,
-    reschedule: bool,
-    baseline_vms: usize,
-    probes: &[ProbeSpec],
-    next_probe: &mut usize,
-    samples: &mut Vec<ProbeSample>,
-) -> (f64, f64) {
-    let step_span = ms_to_span(o.step_ms);
-    let perf_window = ms_to_span(o.perf_window_ms);
-    let mut acc = 0.0;
-    let mut n = 0u32;
-    let mut recovery = f64::NAN;
-    for step in 1..=o.steps as u64 {
-        let t = from + step_span * step;
-        advance(live, t, probes, next_probe, samples);
-        if o.perf_window_ms > 0.0 && step_span * step <= perf_window {
-            if let Ok(sys) = hierarchy(live) {
-                acc += sys.mean_performance(&live.sim, live.sim.now());
-                n += 1;
+impl Runner<'_> {
+    /// Drive a fault phase's observation block: step forward (through
+    /// [`Runner::advance`], so probes and windows still fire), averaging
+    /// application performance over the perf window and timing the
+    /// recovery condition.
+    fn observe_fault(
+        &mut self,
+        from: SimTime,
+        o: &ObserveSpec,
+        reschedule: bool,
+        baseline_vms: usize,
+    ) -> (f64, f64) {
+        let step_span = ms_to_span(o.step_ms);
+        let perf_window = ms_to_span(o.perf_window_ms);
+        let mut acc = 0.0;
+        let mut n = 0u32;
+        let mut recovery = f64::NAN;
+        for step in 1..=o.steps as u64 {
+            let t = from + step_span * step;
+            self.advance(t);
+            if o.perf_window_ms > 0.0 && step_span * step <= perf_window {
+                if let Ok(sys) = hierarchy(&self.live) {
+                    acc += sys.mean_performance(&self.live.sim, self.live.sim.now());
+                    n += 1;
+                }
+            }
+            if recovery.is_nan() && condition_holds(o.until, &self.live, reschedule, baseline_vms) {
+                recovery = step as f64 * o.step_ms / 1e3;
+                if o.stop_on_success {
+                    break;
+                }
             }
         }
-        if recovery.is_nan() && condition_holds(o.until, live, reschedule, baseline_vms) {
-            recovery = step as f64 * o.step_ms / 1e3;
-            if o.stop_on_success {
-                break;
-            }
-        }
+        (if n == 0 { 1.0 } else { acc / n as f64 }, recovery)
     }
-    (if n == 0 { 1.0 } else { acc / n as f64 }, recovery)
 }
 
 /// Compile a spec and execute its phase program.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
-    let mut live = compile(spec)?;
+    run_watch(spec, None)
+}
+
+/// [`run`], surfacing every closed metric window to `watch` — the
+/// `--watch` mode's per-window status feed.
+pub fn run_watch(
+    spec: &ScenarioSpec,
+    watch: Option<&mut dyn FnMut(&WindowStatus)>,
+) -> Result<ScenarioRun, String> {
+    let live = compile(spec)?;
     let reschedule = spec.config.build()?.reschedule_on_lc_failure;
     let mut probes = spec.probes.clone();
     probes.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
-    let mut next_probe = 0usize;
-    let mut samples = Vec::new();
+    let obs = spec.obs.as_ref().map(|o| ObsRun {
+        windower: Windower::new(ms_to_span(o.window_ms)),
+        slos: spec.slos.clone(),
+        force_at: o.force_incident_at_ms.map(ms_to_time),
+        pending_faults: Vec::new(),
+        alerts: Vec::new(),
+        incidents: Vec::new(),
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+    });
+    let mut r = Runner {
+        live,
+        probes,
+        next_probe: 0,
+        samples: Vec::new(),
+        obs,
+        watch,
+    };
     let mut settle_placed = None;
     let mut faults = Vec::new();
     let mut on_acc = 0.0;
@@ -332,44 +661,38 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
     for phase in &spec.phases {
         match phase {
             PhaseSpec::RunTo { t_ms } => {
-                advance(
-                    &mut live,
-                    ms_to_time(*t_ms),
-                    &probes,
-                    &mut next_probe,
-                    &mut samples,
-                );
+                r.advance(ms_to_time(*t_ms));
             }
             PhaseSpec::RunFor { dur_ms } => {
-                let to = live.sim.now() + ms_to_span(*dur_ms);
-                advance(&mut live, to, &probes, &mut next_probe, &mut samples);
+                let to = r.live.sim.now() + ms_to_span(*dur_ms);
+                r.advance(to);
             }
             PhaseSpec::Settle { deadline_ms } => {
                 let deadline = ms_to_time(*deadline_ms);
-                if live.client_id.is_none() {
-                    advance(&mut live, deadline, &probes, &mut next_probe, &mut samples);
+                if r.live.client_id.is_none() {
+                    r.advance(deadline);
                 } else {
                     let step = SimSpan::from_secs(5);
-                    while live.sim.now() < deadline {
-                        let next = (live.sim.now() + step).min(deadline);
-                        advance(&mut live, next, &probes, &mut next_probe, &mut samples);
-                        if live.client().done() {
+                    while r.live.sim.now() < deadline {
+                        let next = (r.live.sim.now() + step).min(deadline);
+                        r.advance(next);
+                        if r.live.client().done() {
                             break;
                         }
                     }
                 }
                 if settle_placed.is_none() {
-                    settle_placed = Some(live.client_opt().map(|c| c.placed.len()).unwrap_or(0));
+                    settle_placed = Some(r.live.client_opt().map(|c| c.placed.len()).unwrap_or(0));
                 }
             }
             PhaseSpec::SampleTo { t_ms, every_ms } => {
                 let horizon = ms_to_time(*t_ms);
                 let step = ms_to_span(*every_ms);
-                while live.sim.now() < horizon {
-                    let next = (live.sim.now() + step).min(horizon);
-                    advance(&mut live, next, &probes, &mut next_probe, &mut samples);
-                    let sys = hierarchy(&live)?;
-                    let (on, transitioning, _) = sys.power_census(&live.sim);
+                while r.live.sim.now() < horizon {
+                    let next = (r.live.sim.now() + step).min(horizon);
+                    r.advance(next);
+                    let sys = hierarchy(&r.live)?;
+                    let (on, transitioning, _) = sys.power_census(&r.live.sim);
                     on_acc += (on + transitioning) as f64;
                     on_n += 1;
                 }
@@ -379,13 +702,14 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
                 target,
                 delay_ms,
                 kind,
-                observe: obs,
+                observe: ob_spec,
             } => {
                 if kind != "crash" {
                     return Err(format!("unsupported dynamic fault kind `{kind}`"));
                 }
                 let (resolved, baseline_vms) = {
-                    let sys = hierarchy(&live)?;
+                    let live = &r.live;
+                    let sys = hierarchy(live)?;
                     let resolved = match target {
                         TargetSpec::Gl => sys.current_gl(&live.sim),
                         TargetSpec::ActiveGm(i) => sys.active_gms(&live.sim).get(*i).copied(),
@@ -409,22 +733,22 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
                 // An unresolvable target (no GL yet, index out of range)
                 // skips the fault, like the hand-written harnesses did.
                 let Some(victim) = resolved else { continue };
-                let t = live.sim.now() + ms_to_span(*delay_ms);
-                live.sim.schedule_crash(t, victim);
-                let (perf_after, recovery_s, vms_after) = match obs {
+                let t = r.live.sim.now() + ms_to_span(*delay_ms);
+                r.live.sim.schedule_crash(t, victim);
+                if let Some(o) = r.obs.as_mut() {
+                    // Queue the capture for when the driver next crosses
+                    // the injection instant. Advancing to `t` here would
+                    // move the phase clock and shift every later
+                    // `now()`-relative stepping grid — observably, in the
+                    // digest.
+                    let detail = format!("crash of {:?} ({})", victim, r.live.sim.name_of(victim));
+                    o.pending_faults.push((t, format!("fault:{label}"), detail));
+                }
+                let (perf_after, recovery_s, vms_after) = match ob_spec {
                     None => (f64::NAN, f64::NAN, baseline_vms),
                     Some(o) => {
-                        let (perf, recovery) = observe(
-                            &mut live,
-                            t,
-                            o,
-                            reschedule,
-                            baseline_vms,
-                            &probes,
-                            &mut next_probe,
-                            &mut samples,
-                        );
-                        let vms = hierarchy(&live)?.total_vms(&live.sim);
+                        let (perf, recovery) = r.observe_fault(t, o, reschedule, baseline_vms);
+                        let vms = hierarchy(&r.live)?.total_vms(&r.live.sim);
                         (perf, recovery, vms)
                     }
                 };
@@ -439,6 +763,26 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
             }
         }
     }
+
+    // Fault captures the phase loop never crossed: dump the ones whose
+    // injection instant has passed (the crash did execute); a pending
+    // instant beyond the end of the run means the crash never happened,
+    // so no incident either.
+    let end = r.live.sim.now();
+    r.capture_pending_faults(end);
+    r.finish_windows();
+    let Runner {
+        live, samples, obs, ..
+    } = r;
+    let (windows_closed, slo_alerts, window_log, incidents) = match obs {
+        Some(o) => (
+            o.windower.index(),
+            o.alerts,
+            Some(o.windower.into_log()),
+            o.incidents,
+        ),
+        None => (0, Vec::new(), None, Vec::new()),
+    };
 
     let (energy_wh, migrations, suspends, wakeups, nodes_on_end, total_vms_end) = match &live.stack
     {
@@ -511,8 +855,15 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioRun, String> {
         total_vms_end,
         faults,
         probes: samples,
+        windows: windows_closed,
+        slo_alerts,
     };
-    Ok(ScenarioRun { live, outcome })
+    Ok(ScenarioRun {
+        live,
+        outcome,
+        windows: window_log,
+        incidents,
+    })
 }
 
 #[cfg(test)]
@@ -555,7 +906,20 @@ mod tests {
                     at_ms: 14000.0,
                 },
             ],
+            obs: None,
+            slos: Vec::new(),
         }
+    }
+
+    fn obs_spec() -> ScenarioSpec {
+        let mut spec = small_burst_spec();
+        spec.obs = Some(crate::spec::ObsSpec {
+            window_ms: 5000.0,
+            ring: 64,
+            profile: true,
+            force_incident_at_ms: None,
+        });
+        spec
     }
 
     #[test]
@@ -611,5 +975,75 @@ mod tests {
         assert_eq!(run.outcome.placed, 4);
         let lc0 = run.live.system().lcs[0];
         assert!(run.live.sim.is_alive(lc0), "restarted after downtime");
+    }
+
+    #[test]
+    fn observability_does_not_change_the_event_stream() {
+        let plain = run(&small_burst_spec()).unwrap();
+        let observed = run(&obs_spec()).unwrap();
+        assert_eq!(plain.live.sim.digest(), observed.live.sim.digest());
+        assert_eq!(
+            plain.outcome.sim_events, observed.outcome.sim_events,
+            "window/incident splits must not add events"
+        );
+        assert!(observed.outcome.windows > 0);
+        assert!(observed.windows.is_some());
+        assert!(plain.windows.is_none());
+    }
+
+    #[test]
+    fn window_counter_sums_match_run_totals() {
+        let run = run(&obs_spec()).unwrap();
+        let log = run.windows.as_ref().unwrap();
+        // Per-window deltas of any counter must sum to its final value:
+        // the windower never drops or double-counts a window.
+        for name in ["net.sent", "net.delivered"] {
+            assert_eq!(
+                log.counter_sum(name),
+                run.live.sim.metrics().counter(name),
+                "windowed sum of `{name}` diverged from the run total"
+            );
+        }
+        assert!(log.counter_sum("net.sent") > 0);
+    }
+
+    #[test]
+    fn forced_incident_dumps_are_byte_identical_across_runs() {
+        let mut spec = obs_spec();
+        spec.obs.as_mut().unwrap().force_incident_at_ms = Some(15000.0);
+        let a = run(&spec).unwrap();
+        let b = run(&spec).unwrap();
+        assert_eq!(a.incidents.len(), 1);
+        assert_eq!(a.incidents[0].trigger, "forced");
+        assert!(!a.incidents[0].events.is_empty(), "ring captured events");
+        let ta = a.incidents[0].to_toml();
+        assert_eq!(ta, b.incidents[0].to_toml(), "dump must be deterministic");
+        let parsed = crate::incident::IncidentDoc::from_toml(&ta).unwrap();
+        assert_eq!(parsed, a.incidents[0]);
+    }
+
+    #[test]
+    fn slo_watchdog_raises_alerts_spans_and_incidents() {
+        let mut spec = obs_spec();
+        // max = -1 on a non-negative signal: every window breaches.
+        spec.slos.push(SloSpec {
+            name: "impossible".into(),
+            signal: SloSignal::QueueDepth,
+            max: -1.0,
+        });
+        let mut statuses = Vec::new();
+        let mut cb = |s: &WindowStatus| statuses.push(s.clone());
+        let run = run_watch(&spec, Some(&mut cb)).unwrap();
+        assert_eq!(run.outcome.slo_alerts.len() as u64, run.outcome.windows);
+        assert!(run.incidents.iter().all(|i| i.trigger == "slo:impossible"));
+        assert!(!run.incidents.is_empty());
+        assert!(run
+            .live
+            .sim
+            .spans()
+            .iter()
+            .any(|s| s.name == "slo.alert" && s.end_us.is_some()));
+        assert_eq!(statuses.len() as u64, run.outcome.windows);
+        assert!(statuses.iter().all(|s| s.alerts == 1));
     }
 }

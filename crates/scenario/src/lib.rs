@@ -28,13 +28,18 @@
 //! digests and event counts are unchanged by observation.
 
 pub mod compile;
+pub mod incident;
 pub mod live;
 pub mod mc_trace;
 pub mod presets;
 pub mod spec;
 pub mod toml;
 
-pub use compile::{compile, run, FaultOutcome, ProbeSample, ScenarioOutcome, ScenarioRun};
+pub use compile::{
+    compile, run, run_watch, FaultOutcome, ProbeSample, ScenarioOutcome, ScenarioRun, SloAlert,
+    WindowStatus,
+};
+pub use incident::IncidentDoc;
 pub use live::{
     burst, deploy, deploy_hierarchy, deploy_unified, vm_item, Deployment, LiveSystem, Stack,
     VmIdAlloc,

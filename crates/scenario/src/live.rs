@@ -176,6 +176,10 @@ pub fn deploy_hierarchy(
     client: Option<(Vec<ScheduledVm>, SimSpan)>,
 ) -> LiveSystem {
     let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    // Purely observational (dead-letter breakdown, profiler, flight
+    // recorder); installed unconditionally because it cannot perturb
+    // the digest-covered history.
+    sim.set_msg_classifier(snooze::messages::SnoozeMsg::variant_name);
     let system = SnoozeSystem::deploy(&mut sim, config, managers, nodes, eps);
     let client_id = client.map(|(schedule, retry)| {
         let ep = *system.eps.first().expect("a client needs an EP");
@@ -199,6 +203,7 @@ pub fn deploy_unified(
     client: Option<(Vec<ScheduledVm>, SimSpan)>,
 ) -> LiveSystem {
     let mut sim: Engine<SnoozeNode> = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    sim.set_msg_classifier(snooze::messages::SnoozeMsg::variant_name);
     let system = UnifiedSystem::deploy(&mut sim, config, nodes, target_managers, eps);
     let client_id = client.map(|(schedule, retry)| {
         let ep = *system.eps.first().expect("a client needs an EP");

@@ -7,8 +7,8 @@
 //! asserts the checked-in files still expand to exactly these specs.
 
 use crate::spec::{
-    ClientSpec, Condition, ConfigSpec, KnobsSpec, ObserveSpec, PhaseSpec, ReconfSpec, ScenarioDoc,
-    ScenarioSpec, TargetSpec, TopologySpec, WorkloadSpec,
+    ClientSpec, Condition, ConfigSpec, KnobsSpec, ObsSpec, ObserveSpec, PhaseSpec, ReconfSpec,
+    ScenarioDoc, ScenarioSpec, SloSignal, SloSpec, TargetSpec, TopologySpec, WorkloadSpec,
 };
 
 fn hierarchy(managers: usize, lcs: usize, retry_ms: f64) -> TopologySpec {
@@ -67,6 +67,8 @@ pub fn e4(vm_counts: &[usize], lcs: usize, managers: usize, seed: u64) -> Vec<Sc
                 deadline_ms: 1_800_000.0,
             }],
             probes: Vec::new(),
+            obs: None,
+            slos: Vec::new(),
         })
         .collect()
 }
@@ -92,6 +94,8 @@ pub fn e5(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scenari
                 deadline_ms: 1_200_000.0,
             }],
             probes: Vec::new(),
+            obs: None,
+            slos: Vec::new(),
         })
         .collect()
 }
@@ -148,6 +152,8 @@ pub fn e6(seed: u64, reschedule: bool) -> ScenarioSpec {
             },
         ],
         probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
     }
 }
 
@@ -199,6 +205,8 @@ pub fn e7(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<ScenarioS
             every_ms: 60000.0,
         }],
         probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
     };
     let no_pm = base("e7-no-pm", "energy baseline: power management off");
     let mut pm = base("e7-suspend", "energy: suspend idle nodes after 120 s");
@@ -250,6 +258,8 @@ pub fn e7b(
                 t_ms: horizon_secs as f64 * 1e3,
             }],
             probes: Vec::new(),
+            obs: None,
+            slos: Vec::new(),
         })
         .collect()
 }
@@ -315,6 +325,8 @@ pub fn e9_single(session_ms: u64, heartbeat_ms: u64, seed: u64) -> ScenarioSpec 
             },
         ],
         probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
     }
 }
 
@@ -358,6 +370,8 @@ pub fn e10b(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scena
             faults: Vec::new(),
             phases: vec![PhaseSpec::RunTo { t_ms: 1_800_000.0 }],
             probes: Vec::new(),
+            obs: None,
+            slos: Vec::new(),
         })
         .collect()
 }
@@ -420,6 +434,29 @@ pub fn e11(lcs: usize, with_fault: bool, seed: u64) -> ScenarioSpec {
         faults: Vec::new(),
         phases,
         probes: Vec::new(),
+        // One-minute metric windows + the profiler: the kilonode run is
+        // exactly where per-handler attribution and the dead-letter
+        // breakdown pay for themselves. Generous watchdog bounds — a
+        // healthy run stays silent; the fault shape's re-election storm
+        // is what they exist to flag.
+        obs: Some(ObsSpec {
+            window_ms: 60_000.0,
+            ring: 256,
+            profile: true,
+            force_incident_at_ms: None,
+        }),
+        slos: vec![
+            SloSpec {
+                name: "placement-p95".into(),
+                signal: SloSignal::P95PlacementLatencyS,
+                max: 120.0,
+            },
+            SloSpec {
+                name: "dead-letter-budget".into(),
+                signal: SloSignal::DeadLetters,
+                max: 500.0,
+            },
+        ],
     }
 }
 
@@ -458,6 +495,20 @@ pub fn report_failover(seed: u64) -> ScenarioSpec {
             },
         ],
         probes: Vec::new(),
+        // 30 s windows with a zero-tolerance heartbeat watchdog: the GM
+        // crash *will* miss heartbeats, so this scenario demonstrates
+        // the alert → incident-dump path end to end.
+        obs: Some(ObsSpec {
+            window_ms: 30_000.0,
+            ring: 128,
+            profile: true,
+            force_incident_at_ms: None,
+        }),
+        slos: vec![SloSpec {
+            name: "heartbeat-misses".into(),
+            signal: SloSignal::HeartbeatMisses,
+            max: 0.0,
+        }],
     }
 }
 

@@ -60,6 +60,76 @@ pub struct ScenarioSpec {
     pub phases: Vec<PhaseSpec>,
     /// Named sample points.
     pub probes: Vec<ProbeSpec>,
+    /// Continuous observability (windowed metrics, profiler, flight
+    /// recorder). Absent = off, exactly the pre-observability runner.
+    pub obs: Option<ObsSpec>,
+    /// SLO watchdogs evaluated at every window boundary (requires
+    /// `obs`).
+    pub slos: Vec<SloSpec>,
+}
+
+/// Continuous-observability settings (the `[obs]` table).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsSpec {
+    /// Metric window width, ms.
+    pub window_ms: f64,
+    /// Flight-recorder ring capacity, events.
+    pub ring: usize,
+    /// Attribute events to (component kind, message variant).
+    pub profile: bool,
+    /// Force an incident dump at this instant, ms — a deterministic
+    /// trigger for testing the dump pipeline end to end.
+    pub force_incident_at_ms: Option<f64>,
+}
+
+/// One SLO watchdog (a `[[slo]]` entry): at every window boundary the
+/// runner evaluates the signal over the just-closed window and raises an
+/// alert (span + flight-recorder incident) when it exceeds `max`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Watchdog name (labels alert spans, incident dumps and reports).
+    pub name: String,
+    /// Which signal to watch.
+    pub signal: SloSignal,
+    /// Inclusive upper bound; strictly above it is a breach.
+    pub max: f64,
+}
+
+/// The signals SLO watchdogs understand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloSignal {
+    /// p95 of `client.placement_latency_s` samples in the window,
+    /// seconds.
+    P95PlacementLatencyS,
+    /// `heartbeat_missed` increments in the window (all roles).
+    HeartbeatMisses,
+    /// Whole-run `dead_letters` total as of the boundary (a budget).
+    DeadLetters,
+    /// Engine queue depth at the boundary.
+    QueueDepth,
+}
+
+impl SloSignal {
+    /// Stable TOML name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloSignal::P95PlacementLatencyS => "p95_placement_latency_s",
+            SloSignal::HeartbeatMisses => "heartbeat_misses",
+            SloSignal::DeadLetters => "dead_letters",
+            SloSignal::QueueDepth => "queue_depth",
+        }
+    }
+
+    /// Inverse of [`SloSignal::as_str`].
+    pub fn parse(s: &str) -> Result<SloSignal, String> {
+        match s {
+            "p95_placement_latency_s" => Ok(SloSignal::P95PlacementLatencyS),
+            "heartbeat_misses" => Ok(SloSignal::HeartbeatMisses),
+            "dead_letters" => Ok(SloSignal::DeadLetters),
+            "queue_depth" => Ok(SloSignal::QueueDepth),
+            other => Err(format!("unknown slo signal `{other}`")),
+        }
+    }
 }
 
 /// Deployment shape.
@@ -512,6 +582,8 @@ impl ScenarioSpec {
                 "fault",
                 "phase",
                 "probe",
+                "obs",
+                "slo",
             ],
             "scenario",
         )?;
@@ -702,6 +774,38 @@ impl ScenarioSpec {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        let obs = match root.get("obs") {
+            None => None,
+            Some(v) => {
+                let o = v.as_table().ok_or("`obs` must be a table")?;
+                known_keys(
+                    o,
+                    &["window_ms", "ring", "profile", "force_incident_at_ms"],
+                    "obs",
+                )?;
+                Some(ObsSpec {
+                    window_ms: get_f64(o, "window_ms")?,
+                    ring: opt_i64(o, "ring")?.unwrap_or(256).max(1) as usize,
+                    profile: o.get("profile").and_then(|v| v.as_bool()).unwrap_or(true),
+                    force_incident_at_ms: opt_f64(o, "force_incident_at_ms")?,
+                })
+            }
+        };
+        let slos = table_array(root, "slo")?
+            .into_iter()
+            .map(|s| {
+                known_keys(s, &["name", "signal", "max"], "slo")?;
+                Ok(SloSpec {
+                    name: get_str(s, "name")?,
+                    signal: SloSignal::parse(&get_str(s, "signal")?)?,
+                    max: get_f64(s, "max")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if !slos.is_empty() && obs.is_none() {
+            return Err("`[[slo]]` watchdogs require an `[obs]` table".into());
+        }
+
         Ok(ScenarioSpec {
             name: get_str(root, "name")?,
             description: root
@@ -719,6 +823,8 @@ impl ScenarioSpec {
             faults,
             phases,
             probes,
+            obs,
+            slos,
         })
     }
 
@@ -849,6 +955,30 @@ impl ScenarioSpec {
                 })
                 .collect();
             root.insert("probe".into(), Value::TableArray(probes));
+        }
+        if let Some(o) = &self.obs {
+            let mut t = Tbl::new();
+            t.insert("window_ms".into(), Value::Float(o.window_ms));
+            t.insert("ring".into(), Value::Int(o.ring as i64));
+            t.insert("profile".into(), Value::Bool(o.profile));
+            if let Some(at) = o.force_incident_at_ms {
+                t.insert("force_incident_at_ms".into(), Value::Float(at));
+            }
+            root.insert("obs".into(), Value::Table(t));
+        }
+        if !self.slos.is_empty() {
+            let slos = self
+                .slos
+                .iter()
+                .map(|s| {
+                    let mut t = Tbl::new();
+                    t.insert("name".into(), Value::Str(s.name.clone()));
+                    t.insert("signal".into(), Value::Str(s.signal.as_str().into()));
+                    t.insert("max".into(), Value::Float(s.max));
+                    t
+                })
+                .collect();
+            root.insert("slo".into(), Value::TableArray(slos));
         }
         root
     }
@@ -1298,6 +1428,8 @@ mod tests {
                 name: "mid".into(),
                 at_ms: 150000.0,
             }],
+            obs: None,
+            slos: vec![],
         }
     }
 
@@ -1355,6 +1487,54 @@ mod tests {
         // Truncating integer division, exactly as the hand-built sweep.
         assert_eq!(c.election_ping_period, SimSpan::from_micros(4_000_000 / 3));
         assert!(c.idle_suspend_after.is_none());
+    }
+
+    #[test]
+    fn obs_and_slo_round_trip_and_validate() {
+        let mut spec = demo_spec();
+        spec.obs = Some(ObsSpec {
+            window_ms: 60000.0,
+            ring: 512,
+            profile: true,
+            force_incident_at_ms: Some(120000.0),
+        });
+        spec.slos = vec![
+            SloSpec {
+                name: "submit-p95".into(),
+                signal: SloSignal::P95PlacementLatencyS,
+                max: 2.0,
+            },
+            SloSpec {
+                name: "dead-letter-budget".into(),
+                signal: SloSignal::DeadLetters,
+                max: 0.0,
+            },
+        ];
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), text);
+        assert!(text.contains("[obs]"));
+        assert!(text.contains("[[slo]]"));
+
+        // The obs-free encoding is unchanged — pinned presets stay
+        // byte-identical.
+        let plain = demo_spec();
+        assert!(!plain.to_toml().contains("[obs]"));
+        assert!(!plain.to_toml().contains("[[slo]]"));
+
+        // Watchdogs without an [obs] table are a decode error.
+        let mut orphan = demo_spec();
+        orphan.slos = vec![SloSpec {
+            name: "x".into(),
+            signal: SloSignal::QueueDepth,
+            max: 10.0,
+        }];
+        let err = ScenarioSpec::from_toml(&orphan.to_toml()).unwrap_err();
+        assert!(err.contains("require an `[obs]`"), "{err}");
+
+        let err = SloSignal::parse("bogus").unwrap_err();
+        assert!(err.contains("bogus"));
     }
 
     #[test]

@@ -195,6 +195,16 @@ pub(crate) struct EngineCore<M> {
     /// `(time, seq)` of the last executed event — the audit's witness
     /// that the executed stream is strictly ordered.
     last_executed: Option<(SimTime, u64)>,
+    /// Names payloads of `M` for the profiler, the flight recorder and
+    /// the `dead_letters{msg}` breakdown. An observer: never folded
+    /// into the digest, excluded from mc snapshots and fingerprints.
+    classifier: Option<fn(&M) -> &'static str>,
+    /// Per-(component kind, message variant) event attribution; `None`
+    /// until enabled. Observer.
+    profiler: Option<crate::flight::Profiler>,
+    /// Bounded ring of recent executed events; `None` until enabled.
+    /// Observer.
+    flight: Option<crate::flight::FlightRecorder>,
 }
 
 impl<M> EngineCore<M> {
@@ -527,6 +537,9 @@ impl SimBuilder {
                 events_executed: 0,
                 digest: crate::trace::FNV_OFFSET,
                 last_executed: None,
+                classifier: None,
+                profiler: None,
+                flight: None,
             },
             components: Vec::new(),
             started: false,
@@ -664,6 +677,74 @@ impl<C: Component> Engine<C> {
         self.core.spans.digest()
     }
 
+    /// Mutable span log — for drivers recording engine-external spans
+    /// (e.g. the scenario layer's SLO alert spans).
+    pub fn spans_mut(&mut self) -> &mut SpanLog {
+        &mut self.core.spans
+    }
+
+    /// Number of events currently pending in the queue. An observer
+    /// reading (the queue is untouched); SLO watchdogs use it as the
+    /// backlog signal.
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Install the message classifier: a plain `fn` mapping a payload
+    /// to its `&'static str` variant name. Powers the profiler's
+    /// per-variant attribution, the flight recorder's event labels and
+    /// the `dead_letters{msg}` breakdown. Purely observational — the
+    /// digest-covered history is identical with or without it.
+    pub fn set_msg_classifier(&mut self, classify: fn(&C::Msg) -> &'static str) {
+        self.core.classifier = Some(classify);
+    }
+
+    /// Turn on the sim-time profiler (idempotent). Costs one advisory
+    /// wall-clock read per executed event while on.
+    pub fn enable_profiler(&mut self) {
+        if self.core.profiler.is_none() {
+            self.core.profiler = Some(crate::flight::Profiler::new());
+        }
+    }
+
+    /// Turn on the flight recorder with a ring of `capacity` events
+    /// (idempotent; the first call wins).
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        if self.core.flight.is_none() {
+            self.core.flight = Some(crate::flight::FlightRecorder::new(capacity));
+        }
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn flight_recorder(&self) -> Option<&crate::flight::FlightRecorder> {
+        self.core.flight.as_ref()
+    }
+
+    /// The aggregated profile, hottest bucket first — empty when the
+    /// profiler is off. Flushes the in-flight attribution first.
+    pub fn profile_rows(&mut self) -> Vec<crate::flight::ProfileRow> {
+        match self.core.profiler.as_mut() {
+            Some(p) => {
+                p.flush();
+                p.rows()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Folded-stack profile text (`kind;variant events` per line),
+    /// flamegraph-compatible and byte-deterministic — empty when the
+    /// profiler is off.
+    pub fn profile_folded(&mut self) -> String {
+        match self.core.profiler.as_mut() {
+            Some(p) => {
+                p.flush();
+                p.folded()
+            }
+            None => String::new(),
+        }
+    }
+
     /// Direct mutable access to the simulated network (partitions etc.).
     pub fn network_mut(&mut self) -> &mut Network {
         &mut self.core.network
@@ -724,6 +805,9 @@ impl<C: Component> Engine<C> {
         self.core.fold_event(&ev);
         self.core.now = ev.time;
         self.core.events_executed += 1;
+        if self.core.profiler.is_some() || self.core.flight.is_some() {
+            self.observe_event(&ev);
+        }
         match ev.kind {
             EventKind::Start(id) => {
                 self.with_component(id, |comp, ctx| comp.on_start(ctx));
@@ -748,9 +832,14 @@ impl<C: Component> Engine<C> {
                     } else {
                         "unknown_dst"
                     };
-                    self.core
-                        .metrics
-                        .incr_with("dead_letters", &label("reason", reason));
+                    let mut labels = label("reason", reason);
+                    if let Some(classify) = self.core.classifier {
+                        // Break the drop count down by message variant
+                        // so "129 dead letters" becomes "mostly missed
+                        // GmLcHeartbeat to a crashed LC".
+                        labels.insert("msg", classify(&msg));
+                    }
+                    self.core.metrics.incr_with("dead_letters", &labels);
                 }
             }
             EventKind::Timer {
@@ -798,6 +887,41 @@ impl<C: Component> Engine<C> {
                     NetFault::SetLossPpm(ppm) => self.core.network.set_loss_rate(ppm as f64 / 1e6),
                 }
             }
+        }
+    }
+
+    /// Feed one executed event to the enabled observers (profiler and
+    /// flight recorder). Pure observation: reads the event, mutates
+    /// only observer state, schedules nothing — the digest-covered
+    /// history is identical with observers on or off.
+    fn observe_event(&mut self, ev: &Scheduled<C::Msg>) {
+        let (kind, comp, a, b): (&'static str, Option<usize>, u64, u64) = match &ev.kind {
+            EventKind::Start(id) => ("start", Some(id.0), id.0 as u64, 0),
+            EventKind::Deliver { src, dst, .. } => {
+                ("deliver", Some(dst.0), src.0 as u64, dst.0 as u64)
+            }
+            EventKind::Timer { dst, tag, .. } => ("timer", Some(dst.0), dst.0 as u64, *tag),
+            EventKind::Crash(id) => ("crash", Some(id.0), id.0 as u64, 0),
+            EventKind::Restart(id) => ("restart", Some(id.0), id.0 as u64, 0),
+            EventKind::Net(_) => ("net", None, 0, 0),
+        };
+        let variant = match (&ev.kind, self.core.classifier) {
+            (EventKind::Deliver { msg, .. }, Some(classify)) => classify(msg),
+            _ => kind,
+        };
+        if let Some(p) = self.core.profiler.as_mut() {
+            let k = p.kind_index(comp, &self.core.names);
+            p.begin_event(k, variant);
+        }
+        if let Some(fr) = self.core.flight.as_mut() {
+            fr.record(crate::flight::FlightEvent {
+                time_us: ev.time.0,
+                seq: ev.seq,
+                kind,
+                a,
+                b,
+                variant,
+            });
         }
     }
 
@@ -1847,5 +1971,121 @@ mod tests {
         sim.add_component("h", Halter);
         sim.run();
         assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    fn classify(_m: &TestMsg) -> &'static str {
+        "Ping"
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_event_digest() {
+        fn run(observed: bool) -> (u64, u64) {
+            let mut sim = sim(9);
+            if observed {
+                sim.set_msg_classifier(classify);
+                sim.enable_profiler();
+                sim.enable_flight_recorder(16);
+            }
+            let echo = sim.add_component(
+                "echo",
+                Echo {
+                    bounces: 5,
+                    seen: 0,
+                },
+            );
+            sim.add_component("kick", Kickoff { peer: echo });
+            sim.run();
+            (sim.digest(), sim.events_executed())
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiler_attributes_events_to_kind_and_variant() {
+        let mut sim = sim(3);
+        sim.set_msg_classifier(classify);
+        sim.enable_profiler();
+        let echo = sim.add_component(
+            "echo1",
+            Echo {
+                bounces: 2,
+                seen: 0,
+            },
+        );
+        sim.add_component("echo2", Kickoff { peer: echo });
+        sim.run();
+        let folded = sim.profile_folded();
+        // Both components share the digit-stripped kind "echo"; starts
+        // and delivers are separate buckets.
+        assert!(folded.contains("echo;Ping "), "folded:\n{folded}");
+        assert!(folded.contains("echo;start 2\n"), "folded:\n{folded}");
+        let rows = sim.profile_rows();
+        let total: u64 = rows.iter().map(|r| r.events).sum();
+        assert_eq!(total, sim.events_executed());
+        // Deterministic bytes for the deterministic columns.
+        assert_eq!(folded, sim.profile_folded());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_recent_events_with_variants() {
+        let mut sim = sim(4);
+        sim.set_msg_classifier(classify);
+        sim.enable_flight_recorder(4);
+        let echo = sim.add_component(
+            "echo",
+            Echo {
+                bounces: 6,
+                seen: 0,
+            },
+        );
+        sim.add_component("kick", Kickoff { peer: echo });
+        sim.run();
+        let fr = sim.flight_recorder().unwrap();
+        assert_eq!(fr.capacity(), 4);
+        assert_eq!(fr.recorded(), sim.events_executed());
+        let evs = fr.events();
+        assert_eq!(evs.len(), 4);
+        assert!(evs
+            .windows(2)
+            .all(|w| (w[0].time_us, w[0].seq) < (w[1].time_us, w[1].seq)));
+        assert!(evs
+            .iter()
+            .all(|e| e.kind == "deliver" && e.variant == "Ping"));
+    }
+
+    #[test]
+    fn dead_letters_carry_msg_variant_when_classified() {
+        let mut sim = sim(5);
+        sim.set_msg_classifier(classify);
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        sim.schedule_crash(SimTime::from_secs(1), id);
+        sim.post(SimTime::from_secs(2), id, TestMsg::Ping);
+        sim.run();
+        let labels = label("reason", "crashed").with("msg", "Ping");
+        assert_eq!(sim.metrics().counter_with("dead_letters", &labels), 1);
+        assert_eq!(sim.dead_letters(), 1);
+    }
+
+    #[test]
+    fn queue_depth_reports_pending_events() {
+        let mut sim = sim(6);
+        let id = sim.add_component(
+            "t",
+            TimerUser {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        assert_eq!(sim.queue_depth(), 1, "the pending Start event");
+        sim.post(SimTime::from_secs(10), id, TestMsg::Ping);
+        assert_eq!(sim.queue_depth(), 2);
+        sim.run();
+        assert_eq!(sim.queue_depth(), 0);
     }
 }

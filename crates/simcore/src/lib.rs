@@ -84,6 +84,7 @@
 
 pub mod engine;
 pub mod failure;
+pub mod flight;
 pub mod invariant;
 pub mod mc;
 pub mod metrics;

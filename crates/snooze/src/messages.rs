@@ -400,6 +400,23 @@ macro_rules! snooze_msg {
                 }
             }
         )+
+
+        impl SnoozeMsg {
+            /// The static variant name, with coordination traffic split
+            /// by direction (`Protocol.Request` / `Protocol.Reply`).
+            ///
+            /// This is the engine's message classifier for Snooze
+            /// deployments: the profiler's per-(component kind, message
+            /// variant) attribution, the flight recorder's event labels
+            /// and the `dead_letters{msg=..}` breakdown all key on it.
+            pub fn variant_name(&self) -> &'static str {
+                match self {
+                    SnoozeMsg::Protocol(ProtocolMsg::Request(_)) => "Protocol.Request",
+                    SnoozeMsg::Protocol(ProtocolMsg::Reply(_)) => "Protocol.Reply",
+                    $( SnoozeMsg::$ty(_) => stringify!($ty), )+
+                }
+            }
+        }
     };
 }
 
@@ -620,5 +637,19 @@ impl McState for SnoozeMsg {
                 h.word(m.managers as u64);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod variant_tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_are_stable_and_split_protocol_by_direction() {
+        use snooze_protocols::coordination::ZkRequest;
+        assert_eq!(SnoozeMsg::from(QueryRole).variant_name(), "QueryRole");
+        assert_eq!(SnoozeMsg::from(DiscoverGl).variant_name(), "DiscoverGl");
+        let req = SnoozeMsg::Protocol(ProtocolMsg::Request(ZkRequest::Ping { epoch: 0 }));
+        assert_eq!(req.variant_name(), "Protocol.Request");
     }
 }

@@ -63,6 +63,8 @@ fn spec(
         faults: Vec::new(),
         phases: Vec::new(),
         probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
     }
 }
 

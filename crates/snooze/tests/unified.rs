@@ -41,6 +41,8 @@ fn deploy(seed: u64, n_nodes: usize, target_managers: usize) -> LiveSystem {
         faults: Vec::new(),
         phases: Vec::new(),
         probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
     };
     snooze_scenario::compile(&spec).expect("unified spec compiles")
 }

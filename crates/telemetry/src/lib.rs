@@ -7,6 +7,9 @@
 //!   spans with deterministic sequence-counter ids (never wall clock),
 //! - [`label::LabelSet`] — sorted label sets for dimensional metrics
 //!   (`heartbeat_missed{role="gm"}`),
+//! - [`window::WindowLog`] — fixed-width sim-time windows aggregating
+//!   counter deltas, gauge boundary values and per-window histogram
+//!   statistics, with JSONL/CSV trajectory exports,
 //! - exporters — [`chrome`] (trace-event JSON loadable in Perfetto /
 //!   `about://tracing`), [`prometheus`] (text exposition format) and
 //!   [`jsonl`] (one JSON object per line),
@@ -29,9 +32,11 @@ pub mod jsonl;
 pub mod label;
 pub mod prometheus;
 pub mod span;
+pub mod window;
 
 pub use label::LabelSet;
 pub use span::{SpanId, SpanLog, SpanRecord};
+pub use window::{WindowKind, WindowLog, WindowRow};
 
 /// FNV-1a 64-bit offset basis (same constant simcore's trace digest uses).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

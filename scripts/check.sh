@@ -13,17 +13,26 @@
 # exploration (failover topology, bounded depth) twice in release and
 # fails on any invariant violation or on a mismatch between the two
 # runs' explored-state counts and fingerprints.
+#
+# `--obs-smoke` additionally runs the continuous-observability gate in
+# release: the E11 256-LC shape with windows, profiler, SLO watchdogs
+# and a forced incident, 3x2 interleaved runs. The binary fails on a
+# digest change, non-identical artifact bytes, or >10% throughput
+# overhead; the script then re-parses the emitted incident dump through
+# `--check-scenarios`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_e11_smoke=0
 run_mc_smoke=0
+run_obs_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --e11-smoke) run_e11_smoke=1 ;;
     --mc-smoke) run_mc_smoke=1 ;;
+    --obs-smoke) run_obs_smoke=1 ;;
     *)
-      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke)" >&2
+      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke)" >&2
       exit 2
       ;;
   esac
@@ -56,12 +65,19 @@ say "telemetry export determinism (two same-seed report runs)"
 tmp="$(mktemp -d)"
 cargo run --offline -q -p snooze-bench --bin report -- --out "$tmp/a" >/dev/null
 cargo run --offline -q -p snooze-bench --bin report -- --out "$tmp/b" >/dev/null
-for f in trace.chrome.json spans.jsonl metrics.prom metrics.jsonl; do
+for f in trace.chrome.json spans.jsonl metrics.prom metrics.jsonl \
+  windows.jsonl windows.csv profile.folded; do
   cmp -s "$tmp/a/$f" "$tmp/b/$f" || {
     echo "nondeterministic telemetry export: $f" >&2
     exit 1
   }
 done
+# Incident dumps too (the report scenario's heartbeat watchdog trips,
+# so at least incident_0.toml exists in both runs).
+diff -rq "$tmp/a" "$tmp/b" >/dev/null || {
+  echo "nondeterministic telemetry export directory" >&2
+  exit 1
+}
 rm -rf "$tmp"
 
 if [ "$run_e11_smoke" -eq 1 ]; then
@@ -72,6 +88,21 @@ fi
 if [ "$run_mc_smoke" -eq 1 ]; then
   say "mc smoke (bounded failover exploration, two-run determinism)"
   cargo run --offline -q --release -p snooze-mc -- --smoke
+fi
+
+if [ "$run_obs_smoke" -eq 1 ]; then
+  say "obs smoke (windows + profiler + SLOs + forced incident, release)"
+  obs_tmp="$(mktemp -d)"
+  cargo run --offline -q --release -p snooze-bench --bin run_experiments -- \
+    --obs-smoke "$obs_tmp/artifacts"
+  # The emitted incident dump must parse back through the scenario
+  # checker alongside every checked-in preset file.
+  mkdir -p "$obs_tmp/scenarios"
+  cp scenarios/*.toml "$obs_tmp/scenarios/"
+  cp "$obs_tmp/artifacts/incident_forced.toml" "$obs_tmp/scenarios/"
+  cargo run --offline -q -p snooze-bench --bin run_experiments -- \
+    --check-scenarios "$obs_tmp/scenarios"
+  rm -rf "$obs_tmp"
 fi
 
 say "all checks passed"
