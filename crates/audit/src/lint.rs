@@ -45,6 +45,7 @@ pub const SIM_PATH: &[&str] = &[
     "crates/telemetry/src",
     "crates/scenario/src",
     "crates/mc/src",
+    "crates/trace/src",
 ];
 
 /// One source line, split into its code and comment parts (string
@@ -935,6 +936,7 @@ mod tests {
                 "crates/telemetry/src",
                 "crates/scenario/src",
                 "crates/mc/src",
+                "crates/trace/src",
             ]
         );
         for path in [

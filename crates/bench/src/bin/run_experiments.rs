@@ -1,8 +1,9 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|all]...
+//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|e12|all]...
 //! run_experiments --e11-smoke
+//! run_experiments --trace-smoke [trace.csv]
 //! run_experiments --obs-smoke [artifact-dir]
 //! run_experiments --scenario <file.toml> [--watch]
 //! run_experiments --list-scenarios [dir]
@@ -10,12 +11,17 @@
 //! run_experiments --dump-scenarios [dir]
 //! ```
 //!
-//! With no experiment arguments, runs everything *except* E11, which is
-//! explicit-only (`run_experiments e11`): its 1024-LC / 5000-VM run is
-//! deliberately heavy. `--e11-smoke` runs the reduced 256-LC fault-free
-//! shape and fails unless the throughput column is present and the run
-//! finished with zero dead letters — the CI gate behind
-//! `scripts/check.sh --e11-smoke`.
+//! With no experiment arguments, runs everything *except* E11 and E12,
+//! which are explicit-only (`run_experiments e11`, `run_experiments
+//! e12`): their kilonode-scale runs are deliberately heavy. `--e11-smoke`
+//! runs the reduced 256-LC fault-free shape and fails unless the
+//! throughput column is present and the run finished with zero dead
+//! letters — the CI gate behind `scripts/check.sh --e11-smoke`.
+//! `--trace-smoke` generates a tiny trace from the fixed seed (or takes
+//! a `snooze-tracegen`-written file), replays it twice on the reduced
+//! 128-LC E12 shape, and fails unless the two runs agree byte-for-byte
+//! on event digest and table — the gate behind `scripts/check.sh
+//! --trace-smoke`.
 //!
 //! Each experiment prints
 //! the table documented in DESIGN.md's per-experiment index (and, with
@@ -127,6 +133,53 @@ fn main() {
         } else {
             for f in &failures {
                 eprintln!("e11 smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace-smoke") {
+        let trace = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(std::path::PathBuf::from);
+        eprintln!("[trace-smoke] seeded trace, 128-LC replay x2 per variant, identity check …");
+        let smoke = match e12_trace::smoke(trace.as_deref()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        e12_trace::render(&smoke.rows).print();
+        let mut failures = Vec::new();
+        if !smoke.digests_match {
+            failures.push("two same-seed runs disagree on the event digest".to_string());
+        }
+        if !smoke.tables_identical {
+            failures
+                .push("two same-seed runs disagree on a deterministic table column".to_string());
+        }
+        for r in &smoke.rows {
+            if r.placed == 0 {
+                failures.push(format!("{}: no trace VM was placed", r.name));
+            }
+            if r.dead_letters != 0 {
+                failures.push(format!(
+                    "{}: {} dead letter(s) in a fault-free run",
+                    r.name, r.dead_letters
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "trace smoke: OK ({} variant(s), trace {})",
+                smoke.rows.len(),
+                smoke.trace_path
+            );
+        } else {
+            for f in &failures {
+                eprintln!("trace smoke FAILED: {f}");
             }
             std::process::exit(1);
         }
@@ -341,10 +394,17 @@ fn main() {
             "e10b",
         );
     }
-    // E11 is explicit-only: 1024 LCs / 5000 VMs is deliberately heavy,
-    // so neither bare `run_experiments` nor `all` includes it.
+    // E11 and E12 are explicit-only: their kilonode-scale runs are
+    // deliberately heavy, so neither bare `run_experiments` nor `all`
+    // includes them.
     if args.iter().any(|a| a == "e11") {
         eprintln!("[e11] kilonode scale (1024 LCs, 5000 VMs) …");
         emit(&e11_kilonode::render(&e11_kilonode::default_rows()), "e11");
+    }
+    if args.iter().any(|a| a == "e12") {
+        eprintln!(
+            "[e12] trace-driven consolidation (1000 LCs, full reference trace, ACO vs FFD) …"
+        );
+        emit(&e12_trace::render(&e12_trace::default_rows()), "e12_trace");
     }
 }

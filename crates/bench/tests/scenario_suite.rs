@@ -135,6 +135,7 @@ fn release_tables_match_the_checked_in_goldens() {
                 &e10_distributed_consolidation::default_system_rows(),
             ),
         ),
+        ("e12_trace", e12_trace::render(&e12_trace::default_rows())),
     ];
     for (slug, table) in tables {
         let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

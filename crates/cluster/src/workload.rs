@@ -74,6 +74,16 @@ pub enum UsageShape {
         /// Duration each sample holds.
         step: SimSpan,
     },
+    /// Step function over absolute sim time, lowered from trace demand
+    /// curves: each breakpoint's value holds until the next breakpoint.
+    /// Before the first point the first value holds; past the last point
+    /// the last value holds (no looping — a trace VM's lifetime bounds
+    /// it). Build through [`UsageShape::piecewise`], which validates
+    /// ordering and clamps values.
+    Piecewise {
+        /// Strictly time-increasing `(instant, utilization)` breakpoints.
+        points: Arc<Vec<(SimTime, f64)>>,
+    },
 }
 
 impl UsageShape {
@@ -102,6 +112,31 @@ impl UsageShape {
             samples: Arc::new(data),
             step,
         }
+    }
+
+    /// Build a [`UsageShape::Piecewise`] from `(instant, utilization)`
+    /// breakpoints. Times must be strictly increasing; utilizations are
+    /// clamped to `[0, 1]` and must be finite. At least one point is
+    /// required.
+    pub fn piecewise(points: Vec<(SimTime, f64)>) -> Result<UsageShape, &'static str> {
+        if points.is_empty() {
+            return Err("piecewise shape needs at least one breakpoint");
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err("piecewise breakpoints must be strictly time-increasing");
+            }
+        }
+        if points.iter().any(|(_, u)| !u.is_finite()) {
+            return Err("piecewise utilization must be finite");
+        }
+        let clamped: Vec<(SimTime, f64)> = points
+            .into_iter()
+            .map(|(t, u)| (t, u.clamp(0.0, 1.0)))
+            .collect();
+        Ok(UsageShape::Piecewise {
+            points: Arc::new(clamped),
+        })
     }
 
     /// Utilization in `[0, 1]` at time `t` for a VM whose stream seed is
@@ -139,6 +174,13 @@ impl UsageShape {
                 }
                 let idx = (t.as_micros() / step.as_micros().max(1)) as usize % samples.len();
                 samples[idx].clamp(0.0, 1.0)
+            }
+            UsageShape::Piecewise { points } => {
+                // Index of the first breakpoint strictly after `t`; the
+                // active value is the one just before it. Before the first
+                // breakpoint, the first value holds.
+                let after = points.partition_point(|(bt, _)| *bt <= t);
+                points[after.saturating_sub(1)].1
             }
         }
     }
@@ -196,6 +238,14 @@ impl McState for UsageShape {
                     h.float(*s);
                 }
                 h.span(*step);
+            }
+            UsageShape::Piecewise { points } => {
+                h.word(5);
+                h.word(points.len() as u64);
+                for (t, u) in points.iter() {
+                    h.time(*t);
+                    h.float(*u);
+                }
             }
         }
     }
@@ -498,6 +548,53 @@ mod tests {
             step: SimSpan::from_secs(1),
         };
         assert_eq!(empty.sample(t(5), 0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_boundary_sampling() {
+        let shape = UsageShape::piecewise(vec![(t(10), 0.2), (t(20), 0.6), (t(30), 0.9)]).unwrap();
+        // Before the first breakpoint the first value holds.
+        assert_eq!(shape.sample(t(0), 0), 0.2);
+        assert_eq!(shape.sample(t(9), 0), 0.2);
+        // Exactly on a breakpoint, that breakpoint's value takes over.
+        assert_eq!(shape.sample(t(10), 0), 0.2);
+        assert_eq!(shape.sample(t(20), 0), 0.6);
+        // Between breakpoints the earlier value holds (step, not lerp).
+        assert_eq!(shape.sample(t(15), 0), 0.2);
+        assert_eq!(shape.sample(t(25), 0), 0.6);
+        // Past the last breakpoint the last value holds — no looping.
+        assert_eq!(shape.sample(t(30), 0), 0.9);
+        assert_eq!(shape.sample(t(1_000_000), 0), 0.9);
+        // The seed is irrelevant: the shape is a pure function of time.
+        assert_eq!(shape.sample(t(25), 1), shape.sample(t(25), 2));
+    }
+
+    #[test]
+    fn piecewise_single_point_is_constant() {
+        let shape = UsageShape::piecewise(vec![(t(100), 0.4)]).unwrap();
+        assert_eq!(shape.sample(t(0), 0), 0.4);
+        assert_eq!(shape.sample(t(100), 0), 0.4);
+        assert_eq!(shape.sample(t(500), 0), 0.4);
+    }
+
+    #[test]
+    fn piecewise_validates_and_clamps() {
+        assert!(UsageShape::piecewise(vec![]).is_err(), "empty rejected");
+        assert!(
+            UsageShape::piecewise(vec![(t(20), 0.5), (t(10), 0.5)]).is_err(),
+            "unsorted rejected"
+        );
+        assert!(
+            UsageShape::piecewise(vec![(t(10), 0.5), (t(10), 0.6)]).is_err(),
+            "duplicate time rejected"
+        );
+        assert!(
+            UsageShape::piecewise(vec![(t(0), f64::NAN)]).is_err(),
+            "non-finite rejected"
+        );
+        let shape = UsageShape::piecewise(vec![(t(0), -0.5), (t(10), 1.5)]).unwrap();
+        assert_eq!(shape.sample(t(5), 0), 0.0, "clamped low");
+        assert_eq!(shape.sample(t(15), 0), 1.0, "clamped high");
     }
 
     #[test]

@@ -32,6 +32,12 @@ use crate::spec::{
     SloSpec, TargetSpec,
 };
 
+/// Delivered-performance floor below which a loaded LC-sample counts
+/// as an SLA violation. `performance_at` is 1.0 on uncontended nodes,
+/// so the floor only trips when VMs actually starve; it sits a hair
+/// under 1.0 to absorb float noise in the contention model.
+pub const SLA_PERFORMANCE_FLOOR: f64 = 0.999;
+
 /// One fault phase's measured aftermath.
 #[derive(Clone, Debug)]
 pub struct FaultOutcome {
@@ -148,6 +154,15 @@ pub struct ScenarioOutcome {
     pub wakeups: u64,
     /// Mean powered-on node count across `sample_to` samples.
     pub mean_nodes_on: f64,
+    /// Mean application performance across `sample_to` samples
+    /// (1.0 = no contention anywhere; 1.0 without samples).
+    pub mean_performance: f64,
+    /// LC-samples observed across `sample_to` (an LC hosting VMs at a
+    /// sample instant counts once) — the SLA-violation denominator.
+    pub sla_samples: u64,
+    /// LC-samples whose delivered performance fell below the SLA floor
+    /// ([`SLA_PERFORMANCE_FLOOR`]).
+    pub sla_violations: u64,
     /// Nodes on or transitioning at the end.
     pub nodes_on_end: usize,
     /// VMs alive at the end.
@@ -182,7 +197,7 @@ pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
     let mut alloc = VmIdAlloc::new();
     let mut schedule = Vec::new();
     for w in &spec.workload {
-        schedule.extend(build_workload(&mut alloc, w));
+        schedule.extend(build_workload(&mut alloc, w)?);
     }
     let client = match &spec.topology.client {
         None => {
@@ -657,6 +672,9 @@ pub fn run_watch(
     let mut faults = Vec::new();
     let mut on_acc = 0.0;
     let mut on_n = 0u32;
+    let mut perf_acc = 0.0;
+    let mut sla_samples = 0u64;
+    let mut sla_violations = 0u64;
 
     for phase in &spec.phases {
         match phase {
@@ -695,6 +713,12 @@ pub fn run_watch(
                     let (on, transitioning, _) = sys.power_census(&r.live.sim);
                     on_acc += (on + transitioning) as f64;
                     on_n += 1;
+                    let now = r.live.sim.now();
+                    perf_acc += sys.mean_performance(&r.live.sim, now);
+                    let (loaded, violating) =
+                        sys.sla_census(&r.live.sim, now, SLA_PERFORMANCE_FLOOR);
+                    sla_samples += loaded as u64;
+                    sla_violations += violating as u64;
                 }
             }
             PhaseSpec::Fault {
@@ -851,6 +875,13 @@ pub fn run_watch(
         suspends,
         wakeups,
         mean_nodes_on: if on_n > 0 { on_acc / on_n as f64 } else { 0.0 },
+        mean_performance: if on_n > 0 {
+            perf_acc / on_n as f64
+        } else {
+            1.0
+        },
+        sla_samples,
+        sla_violations,
         nodes_on_end,
         total_vms_end,
         faults,

@@ -76,8 +76,9 @@ pub fn burst(
         .collect()
 }
 
-/// Materialize one workload entry, drawing ids from `alloc`.
-pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Vec<ScheduledVm> {
+/// Materialize one workload entry, drawing ids from `alloc`. Only the
+/// trace entry can fail (missing file, malformed record, bad curve).
+pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Result<Vec<ScheduledVm>, String> {
     match w {
         WorkloadSpec::Burst {
             n,
@@ -85,14 +86,14 @@ pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Vec<ScheduledV
             cores,
             memory_mb,
             util,
-        } => burst(
+        } => Ok(burst(
             alloc,
             *n,
             crate::spec::ms_to_time(*at_ms),
             *cores,
             *memory_mb,
             *util,
-        ),
+        )),
         WorkloadSpec::RandomFleet {
             n,
             seed,
@@ -110,7 +111,7 @@ pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Vec<ScheduledV
         } => {
             let mut rng = SimRng::new(*seed);
             let base_at = crate::spec::ms_to_time(*arrival_at_ms);
-            (0..*n)
+            Ok((0..*n)
                 .map(|i| {
                     let cores = rng.uniform(*cores_min, *cores_max);
                     let mem = rng.uniform(*mem_min_mb, *mem_max_mb);
@@ -127,9 +128,124 @@ pub fn build_workload(alloc: &mut VmIdAlloc, w: &WorkloadSpec) -> Vec<ScheduledV
                     }
                     item
                 })
-                .collect()
+                .collect())
         }
+        WorkloadSpec::Trace {
+            path,
+            time_scale,
+            max_vms,
+            policy,
+        } => trace_schedule(alloc, path, *time_scale, *max_vms, policy),
     }
+}
+
+/// Resolve a trace path: absolute or locally-existing paths are used
+/// as-is; otherwise the path is taken relative to the repository root,
+/// so checked-in scenarios resolve from any crate's test harness.
+fn resolve_trace_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() || p.exists() {
+        return p.to_path_buf();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(p)
+}
+
+/// Replay a canonical trace file into a VM schedule. `time_scale`
+/// multiplies every trace time; `policy = "loop"` replays the whole
+/// trace shifted past its last arrival until `max_vms` is reached.
+fn trace_schedule(
+    alloc: &mut VmIdAlloc,
+    path: &str,
+    time_scale: f64,
+    max_vms: usize,
+    policy: &str,
+) -> Result<Vec<ScheduledVm>, String> {
+    let resolved = resolve_trace_path(path);
+    let records = snooze_trace::load_path(&resolved)
+        .map_err(|e| format!("trace `{}`: {e}", resolved.display()))?;
+    if records.is_empty() {
+        return Err(format!("trace `{}` has no records", resolved.display()));
+    }
+    let cap = if max_vms > 0 { max_vms } else { records.len() };
+
+    // One lap spans the last arrival, rounded up a second so looped
+    // laps never interleave with the previous one's arrivals.
+    let span_s = records
+        .iter()
+        .map(|r| r.arrival_s)
+        .fold(0.0f64, f64::max)
+        .ceil()
+        + 1.0;
+
+    let mut schedule = Vec::with_capacity(cap.min(records.len()));
+    let mut shift_s = 0.0f64;
+    'laps: loop {
+        for r in &records {
+            if schedule.len() >= cap {
+                break 'laps;
+            }
+            schedule.push(lower_record(alloc.next_id(), r, shift_s, time_scale)?);
+        }
+        if policy != "loop" {
+            break;
+        }
+        shift_s += span_s;
+    }
+    Ok(schedule)
+}
+
+/// Lower one trace record to a scheduled VM: reservation becomes the
+/// spec, the demand curve becomes piecewise cpu/mem shapes anchored at
+/// the (scaled, shifted) arrival instant, and the record lifetime
+/// terminates the VM.
+fn lower_record(
+    id: u64,
+    r: &snooze_trace::TraceRecord,
+    shift_s: f64,
+    time_scale: f64,
+) -> Result<ScheduledVm, String> {
+    let at = crate::spec::ms_to_time((r.arrival_s + shift_s) * time_scale * 1000.0);
+    let lifetime = crate::spec::ms_to_span(r.lifetime_s * time_scale * 1000.0);
+
+    let shape = |points: Vec<(SimTime, f64)>| -> Result<UsageShape, String> {
+        UsageShape::piecewise(points)
+            .map_err(|e| format!("trace vm {}: bad demand curve: {e}", r.vm))
+    };
+    let (cpu, memory) = if r.curve.is_empty() {
+        (UsageShape::Constant(1.0), UsageShape::Constant(1.0))
+    } else {
+        let bp = |f: fn(&snooze_trace::CurvePoint) -> f64| -> Vec<(SimTime, f64)> {
+            r.curve
+                .iter()
+                .map(|p| {
+                    (
+                        at + crate::spec::ms_to_span(p.offset_s * time_scale * 1000.0),
+                        f(p),
+                    )
+                })
+                .collect()
+        };
+        (shape(bp(|p| p.cpu))?, shape(bp(|p| p.mem))?)
+    };
+
+    let mut spec = VmSpec::new(
+        VmId(id),
+        ResourceVector::new(r.cpu_cores, r.mem_mb, 100.0, 100.0),
+    );
+    spec.image_mb = 1024.0;
+    Ok(ScheduledVm {
+        at,
+        spec,
+        workload: VmWorkload {
+            network: cpu.clone(),
+            cpu,
+            memory,
+            seed: id,
+        },
+        lifetime: Some(lifetime),
+    })
 }
 
 /// Deployment shape for a plain hierarchy run (the harness shape the
@@ -334,7 +450,8 @@ mod tests {
                 lifetime_min_s: 1200,
                 lifetime_max_s: 3600,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             fleet.iter().map(|v| v.spec.id.0).collect::<Vec<_>>(),
             vec![4, 5, 6]
@@ -342,5 +459,88 @@ mod tests {
         assert!(fleet[0].lifetime.is_some(), "i % 2 == 0 terminates");
         assert!(fleet[1].lifetime.is_none());
         assert!(fleet.iter().all(|v| v.at >= SimTime::from_secs(30)));
+    }
+
+    fn sample_record() -> snooze_trace::TraceRecord {
+        snooze_trace::TraceRecord {
+            vm: 0,
+            arrival_s: 10.0,
+            lifetime_s: 60.0,
+            cpu_cores: 2.0,
+            mem_mb: 4096.0,
+            curve: vec![
+                snooze_trace::CurvePoint {
+                    offset_s: 0.0,
+                    cpu: 0.2,
+                    mem: 0.5,
+                },
+                snooze_trace::CurvePoint {
+                    offset_s: 30.0,
+                    cpu: 0.8,
+                    mem: 0.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_record_lowers_to_a_piecewise_vm() {
+        let vm = lower_record(7, &sample_record(), 0.0, 1.0).unwrap();
+        assert_eq!(vm.spec.id.0, 7);
+        assert_eq!(vm.at, SimTime::from_secs(10));
+        assert_eq!(vm.lifetime, Some(SimSpan::from_secs(60)));
+        assert_eq!(vm.spec.requested.cpu, 2.0);
+        assert_eq!(vm.spec.requested.memory, 4096.0);
+        // Demand curve anchored at arrival: first segment until t=40 s,
+        // second afterwards; seed-independent (piecewise is scripted).
+        assert_eq!(vm.workload.cpu.sample(SimTime::from_secs(10), 1), 0.2);
+        assert_eq!(vm.workload.cpu.sample(SimTime::from_secs(39), 2), 0.2);
+        assert_eq!(vm.workload.cpu.sample(SimTime::from_secs(40), 3), 0.8);
+        assert_eq!(vm.workload.memory.sample(SimTime::from_secs(70), 4), 0.6);
+    }
+
+    #[test]
+    fn trace_time_scale_compresses_the_replay() {
+        let vm = lower_record(0, &sample_record(), 0.0, 0.5).unwrap();
+        assert_eq!(vm.at, SimTime::from_secs(5));
+        assert_eq!(vm.lifetime, Some(SimSpan::from_secs(30)));
+        // Curve offsets scale with the replay: the 30 s breakpoint
+        // lands 15 s after arrival.
+        assert_eq!(vm.workload.cpu.sample(SimTime::from_secs(19), 1), 0.2);
+        assert_eq!(vm.workload.cpu.sample(SimTime::from_secs(20), 1), 0.8);
+    }
+
+    #[test]
+    fn trace_loop_policy_replays_shifted_laps() {
+        let dir = std::env::temp_dir().join("snooze-live-trace-loop-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two.csv");
+        let mut recs = vec![sample_record(), sample_record()];
+        recs[1].vm = 1;
+        recs[1].arrival_s = 40.0;
+        std::fs::write(&path, snooze_trace::csv::to_string(&recs)).unwrap();
+
+        let mut alloc = VmIdAlloc::new();
+        let sched = trace_schedule(&mut alloc, path.to_str().unwrap(), 1.0, 5, "loop").unwrap();
+        assert_eq!(sched.len(), 5);
+        assert_eq!(
+            sched.iter().map(|v| v.spec.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        // Lap span = ceil(40) + 1 = 41 s: the second lap starts at
+        // 10 + 41 s, the third at 10 + 82 s.
+        assert_eq!(sched[2].at, SimTime::from_secs(51));
+        assert_eq!(sched[3].at, SimTime::from_secs(81));
+        assert_eq!(sched[4].at, SimTime::from_secs(92));
+
+        let truncated = trace_schedule(
+            &mut VmIdAlloc::new(),
+            path.to_str().unwrap(),
+            1.0,
+            0,
+            "truncate",
+        )
+        .unwrap();
+        assert_eq!(truncated.len(), 2, "max_vms = 0 takes the whole trace");
     }
 }

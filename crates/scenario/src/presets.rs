@@ -218,6 +218,7 @@ pub fn e7(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<ScenarioS
     pm_reconf.config.idle_suspend_ms = Some(120_000.0);
     pm_reconf.config.reconfiguration = Some(ReconfSpec {
         period_ms: 900_000.0,
+        algo: "aco".into(),
         aco: "default".into(),
         aco_cycles: Some(15),
         max_migrations: 12,
@@ -360,6 +361,7 @@ pub fn e10b(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scena
                 underload_threshold: Some(0.0),
                 reconfiguration: Some(ReconfSpec {
                     period_ms: 120_000.0,
+                    algo: "aco".into(),
                     aco: "default".into(),
                     aco_cycles: Some(15),
                     max_migrations: 16,
@@ -470,6 +472,73 @@ pub fn e11_smoke() -> ScenarioSpec {
     e11(256, false, 0xE11)
 }
 
+/// Path of the checked-in reference trace, relative to the repo root
+/// (`snooze-tracegen --seed 42`, 2000 VMs over two simulated hours).
+pub const REFERENCE_TRACE: &str = "traces/azure_diurnal_2k.csv";
+
+/// **E12 — trace-driven consolidation**: replay a diurnal VM-request
+/// trace and compare ACO against FFD reconfiguration on the same
+/// cluster. Placement is round-robin (spread, so packing is entirely
+/// the consolidator's work), underload drain is disabled, and idle
+/// nodes suspend after 120 s — energy differences between the two
+/// variants come from how well the periodic consolidator packs the
+/// live, curve-driven demand. The two variants differ only in
+/// `config.reconfiguration.algo`: no per-algorithm Rust.
+pub fn e12_trace(
+    lcs: usize,
+    trace_path: &str,
+    max_vms: usize,
+    horizon_secs: u64,
+    seed: u64,
+) -> Vec<ScenarioSpec> {
+    let base = |algo: &str| ScenarioSpec {
+        name: format!("e12-trace-{algo}"),
+        description: format!("diurnal trace replay on {lcs} LCs, {algo} reconfiguration"),
+        seed,
+        topology: hierarchy(9, lcs, 15000.0),
+        config: ConfigSpec {
+            placement: Some("round_robin".into()),
+            idle_suspend_ms: Some(120_000.0),
+            underload_threshold: Some(0.0),
+            reconfiguration: Some(ReconfSpec {
+                period_ms: 600_000.0,
+                algo: algo.into(),
+                aco: "default".into(),
+                aco_cycles: Some(15),
+                max_migrations: 16,
+            }),
+            ..ConfigSpec::preset("default")
+        },
+        workload: vec![WorkloadSpec::Trace {
+            path: trace_path.into(),
+            time_scale: 1.0,
+            max_vms,
+            policy: "truncate".into(),
+        }],
+        faults: Vec::new(),
+        phases: vec![PhaseSpec::SampleTo {
+            t_ms: horizon_secs as f64 * 1e3,
+            every_ms: 60000.0,
+        }],
+        probes: Vec::new(),
+        obs: None,
+        slos: Vec::new(),
+    };
+    vec![base("aco"), base("ffd")]
+}
+
+/// The default E12 configuration: the whole checked-in reference trace
+/// on 1000 LCs, three simulated hours (`scenarios/e12_trace.toml`).
+pub fn e12_trace_default() -> Vec<ScenarioSpec> {
+    e12_trace(1000, REFERENCE_TRACE, 0, 10_800, 0xE12)
+}
+
+/// The reduced shape behind `run_experiments --trace-smoke`: 128 LCs,
+/// a capped VM count, 45 simulated minutes.
+pub fn e12_trace_smoke(trace_path: &str) -> Vec<ScenarioSpec> {
+    e12_trace(128, trace_path, 200, 2700, 0xE12)
+}
+
 /// The telemetry-report acceptance scenario: an E4-shaped burst with one
 /// GM crash while placements are in flight.
 pub fn report_failover(seed: u64) -> ScenarioSpec {
@@ -528,6 +597,7 @@ pub fn checked_in() -> Vec<(&'static str, ScenarioDoc)> {
         ("e9.toml", doc(e9_default())),
         ("e10b.toml", doc(e10b_default())),
         ("e11.toml", ScenarioDoc::from_specs(&e11_default(), &[])),
+        ("e12_trace.toml", doc(e12_trace_default())),
         (
             "report.toml",
             ScenarioDoc::from_specs(&report_failover(0x5EED), &[]),

@@ -212,6 +212,8 @@ pub struct ConfigSpec {
 pub struct ReconfSpec {
     /// Pass period, ms.
     pub period_ms: f64,
+    /// `"aco"` or `"ffd"` — which consolidator plans the pass.
+    pub algo: String,
     /// `"default"` or `"fast"` colony parameters.
     pub aco: String,
     /// ACO cycle-count override.
@@ -278,6 +280,23 @@ pub enum WorkloadSpec {
         lifetime_min_s: i64,
         /// Lifetime draw range, whole seconds.
         lifetime_max_s: i64,
+    },
+    /// VM requests replayed from a canonical trace file (CSV or JSONL,
+    /// see `snooze-trace`). Every record becomes one scheduled VM with
+    /// a piecewise cpu/mem demand curve and a fixed lifetime.
+    Trace {
+        /// Trace file path; relative paths resolve against the repo
+        /// root so checked-in scenarios work from any crate.
+        path: String,
+        /// Multiplier on every trace time (arrival, lifetime, curve
+        /// offsets); `0.5` replays the trace twice as fast.
+        time_scale: f64,
+        /// Cap on VMs taken from the trace (`0` = all records).
+        max_vms: usize,
+        /// What to do against `max_vms`: `"truncate"` stops at the
+        /// cap; `"loop"` replays the trace shifted in time until the
+        /// cap is reached (requires `max_vms > 0`).
+        policy: String,
     },
 }
 
@@ -489,8 +508,14 @@ impl ConfigSpec {
             if let Some(n) = r.aco_cycles {
                 aco.n_cycles = n as usize;
             }
+            let algo = match r.algo.as_str() {
+                "aco" => snooze::scheduling::reconfiguration::ConsolidatorKind::Aco,
+                "ffd" => snooze::scheduling::reconfiguration::ConsolidatorKind::Ffd,
+                other => return Err(format!("unknown reconfiguration algo `{other}`")),
+            };
             c.reconfiguration = Some(ReconfigurationConfig {
                 period: ms_to_span(r.period_ms),
+                algo,
                 aco,
                 max_migrations: r.max_migrations as usize,
             });
@@ -676,11 +701,16 @@ impl ScenarioSpec {
                         let r = v.as_table().ok_or("`reconfiguration` must be a table")?;
                         known_keys(
                             r,
-                            &["period_ms", "aco", "aco_cycles", "max_migrations"],
+                            &["period_ms", "algo", "aco", "aco_cycles", "max_migrations"],
                             "config.reconfiguration",
                         )?;
                         Some(ReconfSpec {
                             period_ms: get_f64(r, "period_ms")?,
+                            algo: r
+                                .get("algo")
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("aco")
+                                .to_string(),
                             aco: r
                                 .get("aco")
                                 .and_then(|v| v.as_str())
@@ -895,6 +925,7 @@ impl ScenarioSpec {
         if let Some(r) = &self.config.reconfiguration {
             let mut t = Tbl::new();
             t.insert("period_ms".into(), Value::Float(r.period_ms));
+            t.insert("algo".into(), Value::Str(r.algo.clone()));
             t.insert("aco".into(), Value::Str(r.aco.clone()));
             if let Some(n) = r.aco_cycles {
                 t.insert("aco_cycles".into(), Value::Int(n));
@@ -1059,6 +1090,44 @@ fn decode_workload(w: &Tbl) -> Result<WorkloadSpec, String> {
                     .ok_or("`lifetime_max_s` must be an integer")?,
             })
         }
+        "trace" => {
+            known_keys(
+                w,
+                &["kind", "path", "time_scale", "max_vms", "policy"],
+                "workload (trace)",
+            )?;
+            let time_scale = opt_f64(w, "time_scale")?.unwrap_or(1.0);
+            if !(time_scale.is_finite() && time_scale > 0.0) {
+                return Err("trace `time_scale` must be a positive number".into());
+            }
+            let max_vms = opt_i64(w, "max_vms")?
+                .filter(|&i| i >= 0)
+                .map(|i| i as usize)
+                .unwrap_or(0);
+            let policy = match w.get("policy") {
+                None => "truncate".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or("trace `policy` must be a string")?,
+            };
+            match policy.as_str() {
+                "truncate" => {}
+                "loop" if max_vms > 0 => {}
+                "loop" => return Err("trace policy `loop` requires `max_vms` > 0".into()),
+                other => {
+                    return Err(format!(
+                        "unknown trace policy `{other}` (expected `truncate` or `loop`)"
+                    ))
+                }
+            }
+            Ok(WorkloadSpec::Trace {
+                path: get_str(w, "path")?,
+                time_scale,
+                max_vms,
+                policy,
+            })
+        }
         other => Err(format!("unknown workload kind `{other}`")),
     }
 }
@@ -1109,6 +1178,18 @@ fn encode_workload(w: &WorkloadSpec) -> Tbl {
             t.insert("lifetime_every".into(), Value::Int(*lifetime_every));
             t.insert("lifetime_min_s".into(), Value::Int(*lifetime_min_s));
             t.insert("lifetime_max_s".into(), Value::Int(*lifetime_max_s));
+        }
+        WorkloadSpec::Trace {
+            path,
+            time_scale,
+            max_vms,
+            policy,
+        } => {
+            t.insert("kind".into(), Value::Str("trace".into()));
+            t.insert("path".into(), Value::Str(path.clone()));
+            t.insert("time_scale".into(), Value::Float(*time_scale));
+            t.insert("max_vms".into(), Value::Int(*max_vms as i64));
+            t.insert("policy".into(), Value::Str(policy.clone()));
         }
     }
     t
@@ -1459,6 +1540,7 @@ mod tests {
         v2.name = "demo-reconf".into();
         v2.config.reconfiguration = Some(ReconfSpec {
             period_ms: 60000.0,
+            algo: "aco".into(),
             aco: "fast".into(),
             aco_cycles: None,
             max_migrations: 8,

@@ -43,6 +43,10 @@ use crate::scheduling::relocation::{
 use crate::scheduling::{GmSummaryView, LcView};
 use crate::tags::*;
 use snooze_consolidation::aco::AcoConsolidator;
+use snooze_consolidation::ffd::{FirstFitDecreasing, SortKey};
+use snooze_consolidation::problem::Consolidator;
+
+use crate::scheduling::reconfiguration::ConsolidatorKind;
 
 pub use crate::messages::{VmActive, VmFailed};
 
@@ -597,11 +601,14 @@ impl GroupManager {
                     })
             })
             .collect();
-        let consolidator = AcoConsolidator::new(rc.aco);
+        let consolidator: Box<dyn Consolidator> = match rc.algo {
+            ConsolidatorKind::Aco => Box::new(AcoConsolidator::new(rc.aco)),
+            ConsolidatorKind::Ffd => Box::new(FirstFitDecreasing { key: SortKey::L1 }),
+        };
         let plan = plan_reconfiguration(
             &views,
             &placements,
-            &consolidator,
+            consolidator.as_ref(),
             rc.max_migrations,
             self.config.overload_threshold,
         );

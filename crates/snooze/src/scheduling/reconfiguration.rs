@@ -23,12 +23,25 @@ use super::relocation::{PlannedMigration, VmView};
 use super::LcView;
 use snooze_consolidation::aco::AcoParams;
 
+/// Which algorithm the periodic pass runs. The paper proposes ACO;
+/// FFD is the greedy baseline it is measured against (E12 compares the
+/// two live, under a trace-driven workload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsolidatorKind {
+    /// Ant-colony consolidation (paper §IV).
+    Aco,
+    /// First-Fit Decreasing with the L1 presort.
+    Ffd,
+}
+
 /// Configuration of the periodic reconfiguration pass.
 #[derive(Clone, Copy, Debug)]
 pub struct ReconfigurationConfig {
     /// How often the pass runs.
     pub period: SimSpan,
-    /// Colony parameters for the ACO consolidator.
+    /// Which consolidator plans the pass.
+    pub algo: ConsolidatorKind,
+    /// Colony parameters for the ACO consolidator (ignored under FFD).
     pub aco: AcoParams,
     /// Maximum migrations issued per pass (live migration has a cost).
     pub max_migrations: usize,
@@ -38,6 +51,7 @@ impl Default for ReconfigurationConfig {
     fn default() -> Self {
         ReconfigurationConfig {
             period: SimSpan::from_secs(600),
+            algo: ConsolidatorKind::Aco,
             aco: AcoParams::default(),
             max_migrations: 16,
         }

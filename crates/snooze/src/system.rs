@@ -207,4 +207,31 @@ impl SnoozeSystem {
             sum / n as f64
         }
     }
+
+    /// SLA census at `now`: how many LCs host VMs, and how many of
+    /// those deliver less than `threshold` of requested performance.
+    pub fn sla_census<C: Component + NodeView>(
+        &self,
+        engine: &Engine<C>,
+        now: SimTime,
+        threshold: f64,
+    ) -> (usize, usize) {
+        let mut loaded = 0;
+        let mut violating = 0;
+        for &lc in &self.lcs {
+            if !engine.is_alive(lc) {
+                continue;
+            }
+            let Some(l) = engine.get(lc).and_then(|c| c.lc()) else {
+                continue;
+            };
+            if l.hypervisor().guest_count() > 0 {
+                loaded += 1;
+                if l.performance_at(now) < threshold {
+                    violating += 1;
+                }
+            }
+        }
+        (loaded, violating)
+    }
 }

@@ -117,6 +117,7 @@ fn destroy_chases_a_migrated_vm() {
         period: SimSpan::from_secs(30),
         aco: AcoParams::fast(),
         max_migrations: 8,
+        ..ReconfigurationConfig::default()
     });
     let mut sim: Engine<ApiNode> = SimBuilder::new(72).network(NetworkConfig::lan()).build();
     let nodes = NodeSpec::standard_cluster(4);

@@ -579,6 +579,7 @@ fn reconfiguration_consolidates_spread_vms() {
         underload_threshold: Some(0.0),
         reconfiguration: Some(ReconfSpec {
             period_ms: 60000.0,
+            algo: "aco".into(),
             aco: "fast".into(),
             aco_cycles: None,
             max_migrations: 16,

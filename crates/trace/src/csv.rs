@@ -1,0 +1,249 @@
+//! Canonical CSV trace format.
+//!
+//! Header, then one record per line:
+//!
+//! ```text
+//! vm,arrival_s,lifetime_s,cpu_cores,mem_mb,curve
+//! 0,12.5,3600,2,4096,0:0.3:0.5;300:0.8:0.6
+//! ```
+//!
+//! The `curve` field is a `;`-separated list of `offset:cpu:mem`
+//! triples (fractions of the reservation); an empty field means "flat
+//! at the full reservation". Floats render in Rust's shortest
+//! round-trip form, so writing and re-reading is byte-exact — the
+//! canonical-writer property the round-trip tests pin.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::{parse_field, DatasetReader, LineReader};
+use crate::error::TraceError;
+use crate::record::{fmt_f64, CurvePoint, TraceRecord};
+
+/// The canonical header line.
+pub const HEADER: &str = "vm,arrival_s,lifetime_s,cpu_cores,mem_mb,curve";
+
+/// Streaming, validating reader of the canonical CSV format.
+pub struct CsvReader<R: BufRead> {
+    lines: LineReader<R>,
+    header_seen: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wrap a buffered reader over canonical CSV text.
+    pub fn new(inner: R) -> Self {
+        CsvReader {
+            lines: LineReader::new(inner),
+            header_seen: false,
+        }
+    }
+}
+
+impl<R: BufRead> DatasetReader for CsvReader<R> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if !self.header_seen {
+            if !self.lines.advance()? {
+                return Err(TraceError::at(0, "empty input: missing header"));
+            }
+            let h = self.lines.current();
+            if h.trim() != HEADER {
+                return Err(TraceError::at(
+                    self.lines.line(),
+                    format!("unexpected header `{h}` (expected `{HEADER}`)"),
+                ));
+            }
+            self.header_seen = true;
+        }
+        if !self.lines.advance()? {
+            return Ok(None);
+        }
+        let n = self.lines.line();
+        let fields: Vec<&str> = self.lines.current().split(',').collect();
+        if fields.len() != 6 {
+            return Err(TraceError::at(
+                n,
+                format!(
+                    "expected 6 fields, got {} (truncated record?)",
+                    fields.len()
+                ),
+            ));
+        }
+        let record = TraceRecord {
+            vm: parse_field(n, "vm", fields[0])?,
+            arrival_s: parse_field(n, "arrival_s", fields[1])?,
+            lifetime_s: parse_field(n, "lifetime_s", fields[2])?,
+            cpu_cores: parse_field(n, "cpu_cores", fields[3])?,
+            mem_mb: parse_field(n, "mem_mb", fields[4])?,
+            curve: parse_curve(n, fields[5])?,
+        };
+        record.validate().map_err(|m| TraceError::at(n, m))?;
+        Ok(Some(record))
+    }
+}
+
+fn parse_curve(line: usize, raw: &str) -> Result<Vec<CurvePoint>, TraceError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(';')
+        .map(|triple| {
+            let parts: Vec<&str> = triple.split(':').collect();
+            if parts.len() != 3 {
+                return Err(TraceError::at(
+                    line,
+                    format!("curve point `{triple}` must be `offset:cpu:mem` (truncated record?)"),
+                ));
+            }
+            Ok(CurvePoint {
+                offset_s: parse_field(line, "curve offset", parts[0])?,
+                cpu: parse_field(line, "curve cpu", parts[1])?,
+                mem: parse_field(line, "curve mem", parts[2])?,
+            })
+        })
+        .collect()
+}
+
+/// Render one record as its canonical CSV line (no newline).
+pub fn format_record(r: &TraceRecord) -> String {
+    let curve: Vec<String> = r
+        .curve
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}:{}",
+                fmt_f64(p.offset_s),
+                fmt_f64(p.cpu),
+                fmt_f64(p.mem)
+            )
+        })
+        .collect();
+    format!(
+        "{},{},{},{},{},{}",
+        r.vm,
+        fmt_f64(r.arrival_s),
+        fmt_f64(r.lifetime_s),
+        fmt_f64(r.cpu_cores),
+        fmt_f64(r.mem_mb),
+        curve.join(";")
+    )
+}
+
+/// Write records in canonical CSV form.
+pub fn write<W: Write>(w: &mut W, records: &[TraceRecord]) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in records {
+        writeln!(w, "{}", format_record(r))?;
+    }
+    Ok(())
+}
+
+/// Canonical CSV text for `records`.
+pub fn to_string(records: &[TraceRecord]) -> String {
+    let mut out = Vec::new();
+    // Writing to a Vec cannot fail.
+    let _ = write(&mut out, records);
+    String::from_utf8(out).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::read_all;
+
+    fn rec(vm: u64) -> TraceRecord {
+        TraceRecord {
+            vm,
+            arrival_s: 12.5,
+            lifetime_s: 3600.0,
+            cpu_cores: 2.0,
+            mem_mb: 4096.0,
+            curve: vec![
+                CurvePoint {
+                    offset_s: 0.0,
+                    cpu: 0.3,
+                    mem: 0.5,
+                },
+                CurvePoint {
+                    offset_s: 300.0,
+                    cpu: 0.8,
+                    mem: 0.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn writes_then_reads_back_exactly() {
+        let records = vec![rec(0), rec(1)];
+        let text = to_string(&records);
+        let mut reader = CsvReader::new(text.as_bytes());
+        assert_eq!(read_all(&mut reader).unwrap(), records);
+        // And the re-written text is byte-identical.
+        let mut reader = CsvReader::new(text.as_bytes());
+        assert_eq!(to_string(&read_all(&mut reader).unwrap()), text);
+    }
+
+    #[test]
+    fn tolerates_crlf_and_bom() {
+        let text = to_string(&[rec(3)]);
+        let crlf = format!("\u{feff}{}", text.replace('\n', "\r\n"));
+        let mut reader = CsvReader::new(crlf.as_bytes());
+        assert_eq!(read_all(&mut reader).unwrap(), vec![rec(3)]);
+    }
+
+    #[test]
+    fn empty_curve_means_flat_full() {
+        let text = format!("{HEADER}\n5,0,60,1,1024,\n");
+        let mut reader = CsvReader::new(text.as_bytes());
+        let all = read_all(&mut reader).unwrap();
+        assert!(all[0].curve.is_empty());
+    }
+
+    #[test]
+    fn truncated_row_is_a_line_numbered_error() {
+        let text = format!("{HEADER}\n0,12.5,3600,2,4096,\n1,9,60\n");
+        let mut reader = CsvReader::new(text.as_bytes());
+        let err = read_all(&mut reader).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("truncated"), "{}", err.msg);
+    }
+
+    #[test]
+    fn truncated_curve_point_is_a_line_numbered_error() {
+        let text = format!("{HEADER}\n0,12.5,3600,2,4096,0:0.3\n");
+        let mut reader = CsvReader::new(text.as_bytes());
+        let err = read_all(&mut reader).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("offset:cpu:mem"), "{}", err.msg);
+    }
+
+    #[test]
+    fn validation_errors_carry_the_line() {
+        // Negative lifetime on line 3.
+        let text = format!("{HEADER}\n0,0,60,1,1024,\n1,5,-60,1,1024,\n");
+        let mut reader = CsvReader::new(text.as_bytes());
+        let err = read_all(&mut reader).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("lifetime"), "{}", err.msg);
+
+        // Demand over reservation.
+        let text = format!("{HEADER}\n0,0,60,1,1024,0:1.5:0.5\n");
+        let err = read_all(&mut CsvReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("exceeds reservation"), "{}", err.msg);
+
+        // Unsorted curve.
+        let text = format!("{HEADER}\n0,0,60,1,1024,300:0.5:0.5;0:0.4:0.4\n");
+        let err = read_all(&mut CsvReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("time-increasing"), "{}", err.msg);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let err = read_all(&mut CsvReader::new("".as_bytes())).unwrap_err();
+        assert_eq!(err.line, 0);
+        let err = read_all(&mut CsvReader::new("vm,foo\n".as_bytes())).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`DatasetReader`] adapter trait and external-format adapters.
+//!
+//! The canonical readers ([`crate::csv`], [`crate::jsonl`]) and the
+//! external-layout adapters below all present the same streaming
+//! interface: pull one validated [`TraceRecord`] at a time. Scenario
+//! code consumes the trait, so a new dataset format only needs a new
+//! adapter, not new plumbing.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::error::TraceError;
+use crate::record::{CurvePoint, TraceRecord};
+
+/// A streaming source of canonical trace records.
+///
+/// Implementations validate as they go and report failures with input
+/// line numbers; they must never panic on malformed input and must
+/// preserve input order (no hash containers — readers sit on the
+/// simulation path).
+pub trait DatasetReader {
+    /// Pull the next record, `Ok(None)` at end of input.
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError>;
+}
+
+/// Drain a reader into a vector.
+pub fn read_all(reader: &mut dyn DatasetReader) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut out = Vec::new();
+    while let Some(r) = reader.next_record()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Load a trace file by extension (`.csv` or `.jsonl`), returning the
+/// records sorted by `(arrival, vm)` — the deterministic replay order
+/// the scenario compiler wants regardless of file order.
+pub fn load_path(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let buf = std::io::BufReader::new(file);
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let mut records = match ext {
+        "csv" => read_all(&mut crate::csv::CsvReader::new(buf)),
+        "jsonl" => read_all(&mut crate::jsonl::JsonlReader::new(buf)),
+        other => {
+            return Err(format!(
+                "{}: unknown trace extension `{other}` (expected .csv or .jsonl)",
+                path.display()
+            ))
+        }
+    }
+    .map_err(|e| format!("{}: {e}", path.display()))?;
+    records.sort_by(|a, b| {
+        a.arrival_s
+            .total_cmp(&b.arrival_s)
+            .then_with(|| a.vm.cmp(&b.vm))
+    });
+    Ok(records)
+}
+
+/// Line-by-line input with 1-based numbering, BOM stripping and
+/// `\r\n` tolerance — the byte-order/line-ending independence both
+/// canonical readers share. Call [`LineReader::advance`] then borrow
+/// the line with [`LineReader::current`].
+pub(crate) struct LineReader<R: BufRead> {
+    inner: R,
+    line: usize,
+    buf: String,
+    start: usize,
+    end: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    pub(crate) fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            line: 0,
+            buf: String::new(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// The 1-based number of the current line.
+    pub(crate) fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Advance to the next non-empty line; `false` at end of input.
+    /// The line is trimmed of its trailing newline (`\n` or `\r\n`)
+    /// and, on the first line, of a UTF-8 BOM.
+    pub(crate) fn advance(&mut self) -> Result<bool, TraceError> {
+        loop {
+            self.buf.clear();
+            let n = self
+                .inner
+                .read_line(&mut self.buf)
+                .map_err(|e| TraceError::at(self.line + 1, format!("read error: {e}")))?;
+            if n == 0 {
+                return Ok(false);
+            }
+            self.line += 1;
+            let trimmed = self.buf.trim_end_matches(['\n', '\r']);
+            let mut start = 0;
+            let end = trimmed.len();
+            if self.line == 1 {
+                if let Some(stripped) = trimmed.strip_prefix('\u{feff}') {
+                    start = trimmed.len() - stripped.len();
+                }
+            }
+            if !self.buf[start..end].trim().is_empty() {
+                self.start = start;
+                self.end = end;
+                return Ok(true);
+            }
+        }
+    }
+
+    /// The current line (valid after `advance` returned `true`).
+    pub(crate) fn current(&self) -> &str {
+        &self.buf[self.start..self.end]
+    }
+}
+
+pub(crate) fn parse_field<T: std::str::FromStr>(
+    line: usize,
+    name: &str,
+    raw: &str,
+) -> Result<T, TraceError> {
+    raw.trim()
+        .parse::<T>()
+        .map_err(|_| TraceError::at(line, format!("invalid `{name}`: `{}`", raw.trim())))
+}
+
+// ---------------------------------------------------------------------------
+// Azure-shaped adapter
+// ---------------------------------------------------------------------------
+
+/// Adapter for an Azure-Public-Dataset-shaped VM table: CSV with columns
+/// `vmid,vmcreated,vmdeleted,corecount,memorygb,avgcpu,p95maxcpu`
+/// (timestamps in seconds, cpu readings in percent of the reservation).
+///
+/// Lowering: arrival = `vmcreated`, lifetime = `vmdeleted − vmcreated`,
+/// reservation = `corecount` cores / `memorygb × 1024` MB, and the
+/// demand curve is two points — average cpu from arrival, p95 cpu from
+/// the lifetime's midpoint — with memory flat at the reservation (the
+/// Azure table reports allocations, not memory readings).
+pub struct AzureShapedReader<R: BufRead> {
+    lines: LineReader<R>,
+    header_seen: bool,
+}
+
+impl<R: BufRead> AzureShapedReader<R> {
+    /// Wrap a buffered reader over the Azure-shaped CSV.
+    pub fn new(inner: R) -> Self {
+        AzureShapedReader {
+            lines: LineReader::new(inner),
+            header_seen: false,
+        }
+    }
+}
+
+const AZURE_HEADER: &str = "vmid,vmcreated,vmdeleted,corecount,memorygb,avgcpu,p95maxcpu";
+
+impl<R: BufRead> DatasetReader for AzureShapedReader<R> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if !self.header_seen {
+            if !self.lines.advance()? {
+                return Err(TraceError::at(0, "empty input: missing header"));
+            }
+            let h = self.lines.current();
+            if h.trim() != AZURE_HEADER {
+                return Err(TraceError::at(
+                    self.lines.line(),
+                    format!("unexpected header `{h}` (expected `{AZURE_HEADER}`)"),
+                ));
+            }
+            self.header_seen = true;
+        }
+        if !self.lines.advance()? {
+            return Ok(None);
+        }
+        let n = self.lines.line();
+        let fields: Vec<&str> = self.lines.current().split(',').collect();
+        if fields.len() != 7 {
+            return Err(TraceError::at(
+                n,
+                format!(
+                    "expected 7 fields, got {} (truncated record?)",
+                    fields.len()
+                ),
+            ));
+        }
+        let vm: u64 = parse_field(n, "vmid", fields[0])?;
+        let created: f64 = parse_field(n, "vmcreated", fields[1])?;
+        let deleted: f64 = parse_field(n, "vmdeleted", fields[2])?;
+        let cores: f64 = parse_field(n, "corecount", fields[3])?;
+        let mem_gb: f64 = parse_field(n, "memorygb", fields[4])?;
+        let avg_pct: f64 = parse_field(n, "avgcpu", fields[5])?;
+        let p95_pct: f64 = parse_field(n, "p95maxcpu", fields[6])?;
+        let lifetime = deleted - created;
+        let mut curve = vec![CurvePoint {
+            offset_s: 0.0,
+            cpu: avg_pct / 100.0,
+            mem: 1.0,
+        }];
+        if lifetime > 2.0 {
+            curve.push(CurvePoint {
+                offset_s: lifetime / 2.0,
+                cpu: p95_pct / 100.0,
+                mem: 1.0,
+            });
+        }
+        let record = TraceRecord {
+            vm,
+            arrival_s: created,
+            lifetime_s: lifetime,
+            cpu_cores: cores,
+            mem_mb: mem_gb * 1024.0,
+            curve,
+        };
+        record.validate().map_err(|m| TraceError::at(n, m))?;
+        Ok(Some(record))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Huawei-shaped adapter
+// ---------------------------------------------------------------------------
+
+/// Adapter for a Huawei-cloud-shaped VM table: CSV with columns
+/// `vm_id,start_time,end_time,cpu,memory,cpu_util,mem_util` where
+/// `cpu`/`memory` are cores/MB and the util columns are `|`-separated
+/// percentage series sampled every `interval_s` from the VM's start.
+pub struct HuaweiShapedReader<R: BufRead> {
+    lines: LineReader<R>,
+    header_seen: bool,
+    interval_s: f64,
+}
+
+impl<R: BufRead> HuaweiShapedReader<R> {
+    /// Wrap a buffered reader; `interval_s` is the sampling period of
+    /// the utilization series.
+    pub fn new(inner: R, interval_s: f64) -> Self {
+        HuaweiShapedReader {
+            lines: LineReader::new(inner),
+            header_seen: false,
+            interval_s,
+        }
+    }
+}
+
+const HUAWEI_HEADER: &str = "vm_id,start_time,end_time,cpu,memory,cpu_util,mem_util";
+
+fn parse_series(line: usize, name: &str, raw: &str) -> Result<Vec<f64>, TraceError> {
+    if raw.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split('|')
+        .map(|p| parse_field::<f64>(line, name, p))
+        .collect()
+}
+
+impl<R: BufRead> DatasetReader for HuaweiShapedReader<R> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if !self.header_seen {
+            if !self.lines.advance()? {
+                return Err(TraceError::at(0, "empty input: missing header"));
+            }
+            let h = self.lines.current();
+            if h.trim() != HUAWEI_HEADER {
+                return Err(TraceError::at(
+                    self.lines.line(),
+                    format!("unexpected header `{h}` (expected `{HUAWEI_HEADER}`)"),
+                ));
+            }
+            self.header_seen = true;
+        }
+        if !self.lines.advance()? {
+            return Ok(None);
+        }
+        let n = self.lines.line();
+        let fields: Vec<&str> = self.lines.current().split(',').collect();
+        if fields.len() != 7 {
+            return Err(TraceError::at(
+                n,
+                format!(
+                    "expected 7 fields, got {} (truncated record?)",
+                    fields.len()
+                ),
+            ));
+        }
+        let vm: u64 = parse_field(n, "vm_id", fields[0])?;
+        let start: f64 = parse_field(n, "start_time", fields[1])?;
+        let end: f64 = parse_field(n, "end_time", fields[2])?;
+        let cpu: f64 = parse_field(n, "cpu", fields[3])?;
+        let memory: f64 = parse_field(n, "memory", fields[4])?;
+        let cpu_series = parse_series(n, "cpu_util", fields[5])?;
+        let mem_series = parse_series(n, "mem_util", fields[6])?;
+        let len = cpu_series.len().max(mem_series.len());
+        let sample = |series: &[f64], i: usize| -> f64 {
+            series
+                .get(i)
+                .or_else(|| series.last())
+                .copied()
+                .unwrap_or(100.0)
+                / 100.0
+        };
+        let curve: Vec<CurvePoint> = (0..len)
+            .map(|i| CurvePoint {
+                offset_s: i as f64 * self.interval_s,
+                cpu: sample(&cpu_series, i),
+                mem: sample(&mem_series, i),
+            })
+            .collect();
+        let record = TraceRecord {
+            vm,
+            arrival_s: start,
+            lifetime_s: end - start,
+            cpu_cores: cpu,
+            mem_mb: memory,
+            curve,
+        };
+        record.validate().map_err(|m| TraceError::at(n, m))?;
+        Ok(Some(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure_shape_maps_onto_canonical_records() {
+        let input = "vmid,vmcreated,vmdeleted,corecount,memorygb,avgcpu,p95maxcpu\n\
+                     1,0,3600,4,16,12.5,80\n\
+                     2,300,360,2,8,50,90\n";
+        let mut r = AzureShapedReader::new(input.as_bytes());
+        let all = read_all(&mut r).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].cpu_cores, 4.0);
+        assert_eq!(all[0].mem_mb, 16.0 * 1024.0);
+        assert_eq!(all[0].curve.len(), 2);
+        assert_eq!(all[0].curve[0].cpu, 0.125);
+        assert_eq!(all[0].curve[1].offset_s, 1800.0);
+        assert_eq!(all[0].curve[1].cpu, 0.8);
+    }
+
+    #[test]
+    fn azure_shape_rejects_deleted_before_created() {
+        let input = "vmid,vmcreated,vmdeleted,corecount,memorygb,avgcpu,p95maxcpu\n\
+                     1,3600,0,4,16,12.5,80\n";
+        let mut r = AzureShapedReader::new(input.as_bytes());
+        let err = read_all(&mut r).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("lifetime"));
+    }
+
+    #[test]
+    fn huawei_shape_expands_util_series() {
+        let input = "vm_id,start_time,end_time,cpu,memory,cpu_util,mem_util\n\
+                     9,60,1260,2,4096,10|50|30,60|60|70\n";
+        let mut r = HuaweiShapedReader::new(input.as_bytes(), 300.0);
+        let all = read_all(&mut r).unwrap();
+        assert_eq!(all.len(), 1);
+        let rec = &all[0];
+        assert_eq!(rec.curve.len(), 3);
+        assert_eq!(rec.curve[1].offset_s, 300.0);
+        assert_eq!(rec.curve[1].cpu, 0.5);
+        assert_eq!(rec.curve[2].mem, 0.7);
+    }
+
+    #[test]
+    fn huawei_shape_reports_bad_series_with_line() {
+        let input = "vm_id,start_time,end_time,cpu,memory,cpu_util,mem_util\n\
+                     9,60,1260,2,4096,10|x|30,\n";
+        let mut r = HuaweiShapedReader::new(input.as_bytes(), 300.0);
+        let err = read_all(&mut r).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("cpu_util"));
+    }
+}

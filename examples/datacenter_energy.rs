@@ -9,7 +9,7 @@
 
 use snooze::prelude::*;
 use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze::scheduling::reconfiguration::{ConsolidatorKind, ReconfigurationConfig};
 use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
@@ -104,6 +104,7 @@ fn main() {
             idle_suspend_after: Some(SimSpan::from_secs(120)),
             reconfiguration: Some(ReconfigurationConfig {
                 period: SimSpan::from_secs(900),
+                algo: ConsolidatorKind::Aco,
                 aco: AcoParams {
                     n_cycles: 15,
                     ..AcoParams::default()

@@ -20,19 +20,26 @@
 # digest change, non-identical artifact bytes, or >10% throughput
 # overhead; the script then re-parses the emitted incident dump through
 # `--check-scenarios`.
+#
+# `--trace-smoke` additionally generates a tiny trace twice with
+# `snooze-tracegen --seed 42` (the two files must be byte-identical),
+# then replays it twice per variant on the reduced 128-LC E12 shape in
+# release and fails on any digest or table-column mismatch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_e11_smoke=0
 run_mc_smoke=0
 run_obs_smoke=0
+run_trace_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --e11-smoke) run_e11_smoke=1 ;;
     --mc-smoke) run_mc_smoke=1 ;;
     --obs-smoke) run_obs_smoke=1 ;;
+    --trace-smoke) run_trace_smoke=1 ;;
     *)
-      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke)" >&2
+      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke, --trace-smoke)" >&2
       exit 2
       ;;
   esac
@@ -103,6 +110,24 @@ if [ "$run_obs_smoke" -eq 1 ]; then
   cargo run --offline -q -p snooze-bench --bin run_experiments -- \
     --check-scenarios "$obs_tmp/scenarios"
   rm -rf "$obs_tmp"
+fi
+
+if [ "$run_trace_smoke" -eq 1 ]; then
+  say "trace smoke (seeded tracegen + 128-LC replay, two-run identity)"
+  trace_tmp="$(mktemp -d)"
+  cargo run --offline -q --release -p snooze-trace --bin snooze-tracegen -- \
+    --seed 42 --vms 200 --horizon-s 1800 --diurnal-period-s 900 \
+    --flash-crowds 1 --curve-step-s 300 --out "$trace_tmp/a.csv"
+  cargo run --offline -q --release -p snooze-trace --bin snooze-tracegen -- \
+    --seed 42 --vms 200 --horizon-s 1800 --diurnal-period-s 900 \
+    --flash-crowds 1 --curve-step-s 300 --out "$trace_tmp/b.csv"
+  cmp -s "$trace_tmp/a.csv" "$trace_tmp/b.csv" || {
+    echo "snooze-tracegen is not byte-deterministic for a fixed seed" >&2
+    exit 1
+  }
+  cargo run --offline -q --release -p snooze-bench --bin run_experiments -- \
+    --trace-smoke "$trace_tmp/a.csv"
+  rm -rf "$trace_tmp"
 fi
 
 say "all checks passed"

@@ -4,7 +4,7 @@
 
 use snooze::prelude::*;
 use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::ReconfigurationConfig;
+use snooze::scheduling::reconfiguration::{ConsolidatorKind, ReconfigurationConfig};
 use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
@@ -153,6 +153,7 @@ fn consolidation_in_the_loop_reduces_powered_nodes() {
             underload_threshold: 0.0, // isolate the reconfiguration effect
             reconfiguration: reconf.then(|| ReconfigurationConfig {
                 period: SimSpan::from_secs(60),
+                algo: ConsolidatorKind::Aco,
                 aco: AcoParams::fast(),
                 max_migrations: 16,
             }),
