@@ -1,0 +1,19 @@
+//! Suppressed twin of `unscoped_thread_bad.rs`: the same constructs
+//! behind explicit inline allow markers (e.g. a test-only diagnostics
+//! sink that never feeds back into the simulated history).
+
+// audit-allow(unscoped-thread): diagnostics sink, never read by simulation code
+use std::sync::atomic::{AtomicUsize, Ordering};
+// audit-allow(unscoped-thread): diagnostics sink, never read by simulation code
+use std::sync::Mutex;
+
+// audit-allow(unscoped-thread): diagnostics sink, never read by simulation code
+static EVENTS: AtomicUsize = AtomicUsize::new(0);
+// audit-allow(unscoped-thread): diagnostics sink, never read by simulation code
+static LOG: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn record(i: u64) {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    // audit-allow(unscoped-thread): diagnostics sink, never read by simulation code
+    LOG.lock().unwrap().push(i);
+}

@@ -1,0 +1,18 @@
+//! Positive fixture for `unscoped-thread`: ad-hoc concurrency on the
+//! simulation path — a spawned thread racing the virtual clock and a
+//! shared atomic counter observing real scheduling order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static EVENTS: AtomicUsize = AtomicUsize::new(0);
+static LOG: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn count_in_background(n: u64) {
+    std::thread::spawn(move || {
+        for i in 0..n {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
+            LOG.lock().unwrap().push(i);
+        }
+    });
+}

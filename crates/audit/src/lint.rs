@@ -15,6 +15,7 @@
 //! | `handler-unwrap`   | `.unwrap()`/`.expect(` inside `on_message`       |
 //! | `type-erasure`     | `dyn Any` / `downcast` on the simulation path    |
 //! | `interleaving-hashset` | any `HashSet` on the simulation path         |
+//! | `unscoped-thread`  | threads/locks/atomics outside the shard executor |
 //!
 //! The analysis is deliberately lightweight: a comment/string-aware line
 //! model plus token scanning — no syn, no rustc internals, no external
@@ -634,6 +635,36 @@ fn check_interleaving_hashset(file: &SourceFile) -> Vec<Hit> {
     check_tokens(file, &["HashSet", "hash_set"])
 }
 
+// --- rule: unscoped-thread ------------------------------------------------
+
+/// The sharded executor (`crates/simcore/src/exec.rs`) is the one
+/// module allowed to touch real concurrency: it owns the scoped fork /
+/// join and the deterministic commit that makes worker threads
+/// invisible to the digest. Everywhere else on the simulation path,
+/// threads, locks and atomics are how nondeterminism sneaks back in —
+/// an unscoped `thread::spawn` races the virtual clock, and a shared
+/// `Mutex`/`AtomicUsize` counter observes real scheduling order.
+fn scope_sim_path_outside_shard_executor(path: &str) -> bool {
+    scope_sim_path(path) && path != "crates/simcore/src/exec.rs"
+}
+
+fn check_unscoped_thread(file: &SourceFile) -> Vec<Hit> {
+    check_tokens(
+        file,
+        &[
+            "thread::spawn",
+            "Mutex",
+            "RwLock",
+            "Condvar",
+            "AtomicUsize",
+            "AtomicU64",
+            "AtomicU32",
+            "AtomicBool",
+            "AtomicI64",
+        ],
+    )
+}
+
 /// The rule set, in reporting order.
 pub fn rules() -> &'static [RuleDef] {
     &[
@@ -692,6 +723,13 @@ pub fn rules() -> &'static [RuleDef] {
             hint: "use a BTreeSet: set order leaks into simulated histories even without direct iteration",
             in_scope: scope_sim_path,
             check: check_interleaving_hashset,
+        },
+        RuleDef {
+            id: "unscoped-thread",
+            summary: "threads, locks or atomics on the simulation path outside the shard executor",
+            hint: "real concurrency belongs in crates/simcore/src/exec.rs (scoped fork/join + deterministic commit); route parallel work through the sharded engine",
+            in_scope: scope_sim_path_outside_shard_executor,
+            check: check_unscoped_thread,
         },
     ]
 }

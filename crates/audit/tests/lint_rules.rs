@@ -243,6 +243,65 @@ fn interleaving_hashset_respects_targeted_allow() {
 }
 
 #[test]
+fn unscoped_thread_fires_on_sim_path_concurrency() {
+    // The fixture spawns a thread and declares a Mutex and an
+    // AtomicUsize (imports included) — five flagged lines.
+    let hits = active(
+        "crates/snooze/src/fixture.rs",
+        include_str!("../fixtures/unscoped_thread_bad.rs"),
+    );
+    assert!(!hits.is_empty());
+    assert!(
+        hits.iter().all(|&r| r == "unscoped-thread"),
+        "got: {hits:?}"
+    );
+}
+
+#[test]
+fn unscoped_thread_exempts_the_shard_executor() {
+    // The same source inside the approved shard-executor module is out
+    // of scope: exec.rs owns the scoped fork/join.
+    let hits = active(
+        "crates/simcore/src/exec.rs",
+        include_str!("../fixtures/unscoped_thread_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn unscoped_thread_is_scoped_to_sim_path_crates() {
+    let hits = active(
+        "crates/bench/src/fixture.rs",
+        include_str!("../fixtures/unscoped_thread_bad.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn unscoped_thread_respects_inline_allow() {
+    let hits = active(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/unscoped_thread_allowed.rs"),
+    );
+    assert_eq!(hits, Vec::<&str>::new());
+}
+
+#[test]
+fn unscoped_thread_respects_the_curated_allowlist() {
+    let allow = Allowlist::parse("unscoped-thread crates/simcore/src/invariant.rs")
+        .expect("allowlist parses");
+    let flagged: Vec<_> = findings(
+        "crates/simcore/src/invariant.rs",
+        include_str!("../fixtures/unscoped_thread_bad.rs"),
+        &allow,
+    )
+    .into_iter()
+    .filter(|(_, allowed)| !allowed)
+    .collect();
+    assert_eq!(flagged, Vec::<(&str, bool)>::new());
+}
+
+#[test]
 fn every_rule_has_fixture_coverage() {
     // Keep this test honest if rules are added later: each rule id must
     // appear among the fixture-driven positives above.
@@ -255,6 +314,7 @@ fn every_rule_has_fixture_coverage() {
         "handler-unwrap",
         "type-erasure",
         "interleaving-hashset",
+        "unscoped-thread",
     ];
     for rule in rules() {
         assert!(

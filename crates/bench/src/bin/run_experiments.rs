@@ -1,8 +1,9 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|e12|all]...
+//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|e12|e13|all]...
 //! run_experiments --e11-smoke
+//! run_experiments --shard-smoke
 //! run_experiments --trace-smoke [trace.csv]
 //! run_experiments --obs-smoke [artifact-dir]
 //! run_experiments --scenario <file.toml> [--watch]
@@ -17,6 +18,12 @@
 //! runs the reduced 256-LC fault-free shape and fails unless the
 //! throughput column is present and the run finished with zero dead
 //! letters — the CI gate behind `scripts/check.sh --e11-smoke`.
+//! `--shard-smoke` runs the same reduced shape on the 4-shard engine at
+//! 1 and 4 workers and fails unless both runs agree byte-for-byte on
+//! the engine digest with zero dead letters — the gate behind
+//! `scripts/check.sh --shard-smoke`. E13 itself (`run_experiments
+//! e13`) sweeps queue implementation and worker count at kilonode
+//! scale; `BENCH_E13_SHARD.json` is the checked-in measurement.
 //! `--trace-smoke` generates a tiny trace from the fixed seed (or takes
 //! a `snooze-tracegen`-written file), replays it twice on the reduced
 //! 128-LC E12 shape, and fails unless the two runs agree byte-for-byte
@@ -133,6 +140,23 @@ fn main() {
         } else {
             for f in &failures {
                 eprintln!("e11 smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--shard-smoke") {
+        eprintln!("[shard-smoke] 256 LCs, 4 shards at 1 and 4 workers, digest identity …");
+        let (rows, failures) = e13_shard::smoke();
+        e13_shard::render(&rows).print();
+        if failures.is_empty() {
+            println!(
+                "shard smoke: OK (digest {:016x} at every worker count)",
+                rows[0].digest
+            );
+        } else {
+            for f in &failures {
+                eprintln!("shard smoke FAILED: {f}");
             }
             std::process::exit(1);
         }
@@ -406,5 +430,13 @@ fn main() {
             "[e12] trace-driven consolidation (1000 LCs, full reference trace, ACO vs FFD) …"
         );
         emit(&e12_trace::render(&e12_trace::default_rows()), "e12_trace");
+    }
+    if args.iter().any(|a| a == "e13") {
+        eprintln!("[e13] sharded execution (1024 LCs, queue-impl x worker-count sweep) …");
+        let rows = e13_shard::default_rows();
+        for f in e13_shard::digest_failures(&rows) {
+            eprintln!("e13 DETERMINISM FAILURE: {f}");
+        }
+        emit(&e13_shard::render(&rows), "e13_shard");
     }
 }

@@ -1,0 +1,240 @@
+//! **E13 — sharded execution** (engine throughput under shards).
+//!
+//! The sharded engine partitions the event queue by GM subtree and runs
+//! the shards on worker threads, committing events through a
+//! timestamp-ordered merge inside a conservative lookahead window (see
+//! DESIGN.md row 36). Two properties are on trial here, on the same
+//! fault-free kilonode shape as E11:
+//!
+//! 1. **Determinism**: the audited engine digest must not depend on the
+//!    worker count — every 4-shard row reports one digest, whatever the
+//!    thread pool width. (Shard *count* is semantic: it reorders
+//!    same-timestamp events across subtrees, so S=1 and S=4 digests
+//!    legitimately differ. The S=1 rows are byte-identical to E11.)
+//! 2. **Throughput**: events per wall-clock second across the queue
+//!    implementation (binary heap vs bucket/calendar) and worker-count
+//!    axes. `BENCH_E13_SHARD.json` at the workspace root is the
+//!    checked-in measurement.
+//!
+//! `run_experiments --shard-smoke` runs the reduced 256-LC shape at
+//! S=4/W=1 and S=4/W=4 and fails on any digest disagreement, dead
+//! letter, or placement shortfall — the CI gate behind
+//! `scripts/check.sh --shard-smoke`.
+
+use snooze_scenario::presets;
+
+use crate::table::{f2, Table};
+
+/// One E13 run's outcome.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// Scenario name (`e13-shard-1024-s4w4-bucket`, …).
+    pub name: String,
+    /// Event-queue shards.
+    pub shards: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue implementation (`heap` / `bucket`).
+    pub queue: String,
+    /// VMs submitted.
+    pub vms: usize,
+    /// VMs successfully placed.
+    pub placed: usize,
+    /// Simulator events executed.
+    pub sim_events: u64,
+    /// Deliveries that found no live receiver (must be 0: fault-free).
+    pub dead_letters: u64,
+    /// The audited FNV engine digest of the run's executed history.
+    pub digest: u64,
+    /// Advisory wall-clock of the whole run, ms.
+    pub wall_ms: f64,
+}
+
+impl E13Row {
+    /// Advisory engine throughput: simulated events per wall-clock
+    /// second (NaN when the clock read 0 ms).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.sim_events as f64 / (self.wall_ms / 1000.0)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Run one E13 shape and fold it into a row.
+pub fn run_shape(lcs: usize, shards: usize, workers: usize, queue: &str, seed: u64) -> E13Row {
+    let spec = presets::e13(lcs, shards, workers, queue, seed);
+    let run = snooze_scenario::run(&spec).expect("E13 preset compiles");
+    let o = &run.outcome;
+    E13Row {
+        name: o.name.clone(),
+        shards,
+        workers,
+        queue: queue.into(),
+        vms: o.requested_vms,
+        placed: o.placed,
+        sim_events: o.sim_events,
+        dead_letters: o.dead_letters,
+        digest: run.live.sim.digest(),
+        wall_ms: o.wall_ms,
+    }
+}
+
+/// The full E13 sweep used by `run_experiments e13` (1024 LCs, the
+/// `presets::e13_default` geometry grid).
+pub fn default_rows() -> Vec<E13Row> {
+    sweep_rows(1024, 0xE11)
+}
+
+/// The sweep at an arbitrary scale (tests run it at a few dozen LCs).
+pub fn sweep_rows(lcs: usize, seed: u64) -> Vec<E13Row> {
+    let mut rows = vec![
+        run_shape(lcs, 1, 1, "heap", seed),
+        run_shape(lcs, 1, 1, "bucket", seed),
+    ];
+    for &workers in &[1usize, 2, 4, 8] {
+        rows.push(run_shape(lcs, 4, workers, "bucket", seed));
+    }
+    rows.push(run_shape(lcs, 4, 4, "heap", seed));
+    rows
+}
+
+/// Cross-row determinism violations: rows with the same shard count
+/// must agree on the digest regardless of worker count or queue
+/// implementation. Empty = clean.
+pub fn digest_failures(rows: &[E13Row]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        if let Some(first) = rows.iter().find(|o| o.shards == r.shards) {
+            if first.digest != r.digest {
+                failures.push(format!(
+                    "{}: digest {:016x} != {:016x} ({}) at the same shard count",
+                    r.name, r.digest, first.digest, first.name
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// The `--shard-smoke` gate: the reduced 256-LC shape at S=4/W=1 and
+/// S=4/W=4. Returns the rows and every failure found (digest drift
+/// across worker counts, dead letters, placement shortfall).
+pub fn smoke() -> (Vec<E13Row>, Vec<String>) {
+    let rows = vec![
+        run_shape(256, 4, 1, "bucket", 0xE11),
+        run_shape(256, 4, 4, "bucket", 0xE11),
+    ];
+    let mut failures = digest_failures(&rows);
+    for r in &rows {
+        if r.dead_letters != 0 {
+            failures.push(format!(
+                "{}: {} dead letter(s) in a fault-free run",
+                r.name, r.dead_letters
+            ));
+        }
+        if r.placed != r.vms {
+            failures.push(format!("{}: placed {}/{} VMs", r.name, r.placed, r.vms));
+        }
+        if r.events_per_sec().is_nan() {
+            failures.push(format!("{}: throughput column is empty", r.name));
+        }
+    }
+    (rows, failures)
+}
+
+/// Render the table.
+pub fn render(rows: &[E13Row]) -> Table {
+    let baseline = rows
+        .iter()
+        .find(|r| r.shards == 1 && r.queue == "heap")
+        .map(|r| r.events_per_sec());
+    let mut t = Table::new(
+        "E13: sharded execution (fault-free E11 shape; same-shard rows must agree on digest)",
+        &[
+            "scenario",
+            "shards",
+            "workers",
+            "queue",
+            "VMs",
+            "placed",
+            "sim events",
+            "dead letters",
+            "digest",
+            "wall ms",
+            "events/s",
+            "vs s1-heap",
+        ],
+    );
+    for r in rows {
+        let eps = r.events_per_sec();
+        t.row(vec![
+            r.name.clone(),
+            r.shards.to_string(),
+            r.workers.to_string(),
+            r.queue.clone(),
+            r.vms.to_string(),
+            r.placed.to_string(),
+            r.sim_events.to_string(),
+            r.dead_letters.to_string(),
+            format!("{:016x}", r.digest),
+            f2(r.wall_ms),
+            if eps.is_nan() {
+                "-".into()
+            } else {
+                format!("{eps:.0}")
+            },
+            match baseline {
+                Some(b) if b > 0.0 && eps.is_finite() => format!("{:.2}x", eps / b),
+                _ => "-".into(),
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_row_matches_plain_e11_history() {
+        // The S=1 heap shape is the plain E11 smoke run plus an inert
+        // `[engine]`-table default — digests must be byte-identical.
+        let e13 = run_shape(16, 1, 1, "heap", 3);
+        let e11 = snooze_scenario::run(&presets::e11(16, false, 3)).unwrap();
+        assert_eq!(e13.digest, e11.live.sim.digest());
+        assert_eq!(e13.sim_events, e11.outcome.sim_events);
+        assert_eq!(e13.dead_letters, 0);
+        assert_eq!(e13.placed, e13.vms);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_digest() {
+        let rows: Vec<E13Row> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| run_shape(16, 4, w, "bucket", 3))
+            .collect();
+        assert!(digest_failures(&rows).is_empty(), "{:?}", rows);
+        assert!(rows.iter().all(|r| r.dead_letters == 0));
+        assert!(rows.iter().all(|r| r.placed == r.vms));
+    }
+
+    #[test]
+    fn queue_impl_never_changes_the_digest() {
+        let heap = run_shape(16, 4, 1, "heap", 3);
+        let bucket = run_shape(16, 4, 1, "bucket", 3);
+        assert_eq!(heap.digest, bucket.digest);
+        assert_eq!(heap.sim_events, bucket.sim_events);
+    }
+
+    #[test]
+    fn table_has_the_digest_and_speedup_columns() {
+        let rows = vec![run_shape(16, 1, 1, "heap", 3)];
+        let rendered = render(&rows).render();
+        assert!(rendered.contains("digest"));
+        assert!(rendered.contains("vs s1-heap"));
+        assert!(rendered.contains("1.00x"));
+    }
+}

@@ -214,26 +214,45 @@ pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
         }
     };
 
+    let eopts = match &spec.engine {
+        None => crate::live::EngineOpts::default(),
+        Some(e) => crate::live::EngineOpts {
+            shards: e.shards.max(1),
+            workers: e.workers,
+            queue: match e.queue.as_deref() {
+                None => None,
+                Some("heap") => Some(QueueKind::Heap),
+                Some("bucket") => Some(QueueKind::Bucket),
+                Some(other) => {
+                    return Err(format!(
+                        "unknown `engine.queue` `{other}` (expected `heap` or `bucket`)"
+                    ))
+                }
+            },
+        },
+    };
     let mut live = if let Some(u) = &spec.topology.unified {
         if spec.topology.managers > 0 || spec.topology.lcs > 0 {
             return Err("unified topology excludes `managers`/`lcs`".into());
         }
-        crate::live::deploy_unified(
+        crate::live::deploy_unified_with(
             spec.seed,
             &config,
             &NodeSpec::standard_cluster(u.nodes),
             u.target_managers,
             spec.topology.eps,
             client,
+            &eopts,
         )
     } else {
-        crate::live::deploy_hierarchy(
+        crate::live::deploy_hierarchy_with(
             spec.seed,
             &config,
             spec.topology.managers,
             &spec.topology.build_nodes(),
             spec.topology.eps,
             client,
+            &eopts,
         )
     };
 
@@ -939,6 +958,7 @@ mod tests {
             ],
             obs: None,
             slos: Vec::new(),
+            engine: None,
         }
     }
 

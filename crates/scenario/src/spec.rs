@@ -66,6 +66,25 @@ pub struct ScenarioSpec {
     /// SLO watchdogs evaluated at every window boundary (requires
     /// `obs`).
     pub slos: Vec<SloSpec>,
+    /// Sharded-engine settings. Absent = the classic single-shard
+    /// engine, byte-identical to every pre-shard run.
+    pub engine: Option<EngineSpec>,
+}
+
+/// Sharded-execution settings (the `[engine]` table).
+///
+/// `shards` partitions the deployment's GM subtrees across that many
+/// event queues; `workers` only sets the thread pool width and never
+/// changes the run's digest. The queue implementation defaults to the
+/// binary heap on one shard and the bucket (calendar) queue otherwise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSpec {
+    /// Number of event-queue shards (≥ 1).
+    pub shards: usize,
+    /// Worker threads; defaults to the shard count.
+    pub workers: Option<usize>,
+    /// Event-queue implementation: `"heap"` or `"bucket"`.
+    pub queue: Option<String>,
 }
 
 /// Continuous-observability settings (the `[obs]` table).
@@ -609,6 +628,7 @@ impl ScenarioSpec {
                 "probe",
                 "obs",
                 "slo",
+                "engine",
             ],
             "scenario",
         )?;
@@ -835,6 +855,33 @@ impl ScenarioSpec {
         if !slos.is_empty() && obs.is_none() {
             return Err("`[[slo]]` watchdogs require an `[obs]` table".into());
         }
+        let engine = match root.get("engine") {
+            None => None,
+            Some(v) => {
+                let e = v.as_table().ok_or("`engine` must be a table")?;
+                known_keys(e, &["shards", "workers", "queue"], "engine")?;
+                let queue = match e.get("queue") {
+                    None => None,
+                    Some(v) => {
+                        let q = v
+                            .as_str()
+                            .ok_or("`engine.queue` must be a string")?
+                            .to_string();
+                        if q != "heap" && q != "bucket" {
+                            return Err(format!(
+                                "unknown `engine.queue` `{q}` (expected `heap` or `bucket`)"
+                            ));
+                        }
+                        Some(q)
+                    }
+                };
+                Some(EngineSpec {
+                    shards: opt_i64(e, "shards")?.unwrap_or(1).max(1) as usize,
+                    workers: opt_i64(e, "workers")?.map(|w| w.max(1) as usize),
+                    queue,
+                })
+            }
+        };
 
         Ok(ScenarioSpec {
             name: get_str(root, "name")?,
@@ -855,6 +902,7 @@ impl ScenarioSpec {
             probes,
             obs,
             slos,
+            engine,
         })
     }
 
@@ -1010,6 +1058,17 @@ impl ScenarioSpec {
                 })
                 .collect();
             root.insert("slo".into(), Value::TableArray(slos));
+        }
+        if let Some(e) = &self.engine {
+            let mut t = Tbl::new();
+            t.insert("shards".into(), Value::Int(e.shards as i64));
+            if let Some(w) = e.workers {
+                t.insert("workers".into(), Value::Int(w as i64));
+            }
+            if let Some(q) = &e.queue {
+                t.insert("queue".into(), Value::Str(q.clone()));
+            }
+            root.insert("engine".into(), Value::Table(t));
         }
         root
     }
@@ -1511,6 +1570,7 @@ mod tests {
             }],
             obs: None,
             slos: vec![],
+            engine: None,
         }
     }
 
@@ -1521,6 +1581,35 @@ mod tests {
         let back = ScenarioSpec::from_toml(&text).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn engine_table_round_trips_and_validates() {
+        let mut spec = demo_spec();
+        spec.engine = Some(EngineSpec {
+            shards: 4,
+            workers: Some(2),
+            queue: Some("bucket".into()),
+        });
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), text);
+
+        // Defaults: shards alone is enough.
+        let minimal = text
+            .replace("workers = 2\n", "")
+            .replace("queue = \"bucket\"\n", "");
+        let back = ScenarioSpec::from_toml(&minimal).unwrap();
+        let e = back.engine.unwrap();
+        assert_eq!(e.shards, 4);
+        assert_eq!(e.workers, None);
+        assert_eq!(e.queue, None);
+
+        // Unknown queue names are rejected at parse time.
+        let bad = text.replace("queue = \"bucket\"", "queue = \"splay\"");
+        let err = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert!(err.contains("engine.queue"), "got: {err}");
     }
 
     #[test]

@@ -37,10 +37,14 @@
 //!
 //! ## Determinism
 //!
-//! The engine is single-threaded. Events are totally ordered by
-//! `(time, sequence-number)`, and all randomness flows from one master seed
-//! through per-purpose [`rng::SimRng`] streams, so two runs with the same
-//! seed produce byte-identical histories.
+//! Events are totally ordered by `(time, sequence-number)`, and all
+//! randomness flows from one master seed through per-purpose
+//! [`rng::SimRng`] streams, so two runs with the same seed produce
+//! byte-identical histories. A single-shard engine executes on one
+//! thread; a sharded engine ([`SimBuilder::shards`]) executes
+//! conservative lookahead windows on worker threads ([`exec`]) and
+//! commits them through a timestamp-ordered merge, so its audited
+//! digest is independent of the worker count.
 //!
 //! ## Example
 //!
@@ -83,6 +87,8 @@
 //! ```
 
 pub mod engine;
+pub mod equeue;
+pub mod exec;
 pub mod failure;
 pub mod flight;
 pub mod invariant;
@@ -100,6 +106,7 @@ pub mod wallclock;
 pub use snooze_telemetry as telemetry;
 
 pub use engine::{Component, ComponentId, Ctx, Engine, GroupId, NetFault, SimBuilder};
+pub use equeue::QueueKind;
 pub use telemetry::{LabelSet, SpanId};
 pub use time::{SimSpan, SimTime};
 pub use wallclock::WallClock;
@@ -109,6 +116,7 @@ pub mod prelude {
     pub use crate::engine::{
         Component, ComponentId, Ctx, Engine, GroupId, NetFault, SimBuilder, TimerHandle,
     };
+    pub use crate::equeue::QueueKind;
     pub use crate::mc::{McHasher, McState};
     pub use crate::metrics::MetricsRegistry;
     pub use crate::network::{LatencyModel, NetworkConfig};

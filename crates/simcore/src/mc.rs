@@ -22,11 +22,11 @@
 //! reached first wins, so exploration is exhaustive *up to* fingerprint
 //! equality.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use snooze_telemetry::span::{SpanId, SpanLog};
 
-use crate::engine::{Component, ComponentId, Scheduled};
+use crate::engine::{Component, ComponentId, NetFault, Scheduled};
 use crate::network::NetworkState;
 use crate::rng::SimRng;
 use crate::time::{SimSpan, SimTime};
@@ -130,6 +130,13 @@ impl<T: McState> McState for Option<T> {
     }
 }
 
+/// Plain-word payloads (toy protocols, tests) fold as themselves.
+impl McState for u64 {
+    fn mc_fold(&self, h: &mut McHasher) {
+        h.word(*self);
+    }
+}
+
 /// A full copy of one engine state: clock, counters, pending events,
 /// network, RNG, span log and every component. Produced by
 /// [`Engine::mc_snapshot`](crate::engine::Engine::mc_snapshot), consumed
@@ -137,21 +144,37 @@ impl<T: McState> McState for Option<T> {
 /// outside the crate — the explorer treats snapshots as tokens.
 pub struct SystemState<C: Component> {
     pub(crate) now: SimTime,
-    pub(crate) seq: u64,
-    pub(crate) queue: Vec<Scheduled<C::Msg>>,
-    pub(crate) rng: SimRng,
+    /// Per-shard captures, index-aligned with the engine's shards. A
+    /// single-shard engine snapshots exactly one entry.
+    pub(crate) shards: Vec<ShardSnap<C::Msg>>,
+    /// Scheduled network faults held outside the shard queues (always
+    /// empty on single-shard engines).
+    pub(crate) net_events: Vec<(SimTime, u64, NetFault)>,
     pub(crate) network: NetworkState,
     pub(crate) spans: SpanLog,
     pub(crate) ctx_span: Option<SpanId>,
     pub(crate) alive: Vec<bool>,
     pub(crate) incarnation: Vec<u32>,
-    pub(crate) cancelled_timers: BTreeSet<u64>,
-    pub(crate) next_timer_id: u64,
     pub(crate) halted: bool,
     pub(crate) events_executed: u64,
     pub(crate) digest: u64,
     pub(crate) last_executed: Option<(SimTime, u64)>,
-    pub(crate) components: Vec<Option<C>>,
+    /// Components, grouped by shard like the engine holds them.
+    pub(crate) components: Vec<Vec<Option<C>>>,
+}
+
+/// One shard's share of a [`SystemState`]: its pending events (sorted),
+/// scheduling counters, RNG stream, cancelled-timer set and the span
+/// bookkeeping that must survive restore (span ids are allocated
+/// per-shard and parent links live in shard scratch).
+pub(crate) struct ShardSnap<M> {
+    pub(crate) queue: Vec<Scheduled<M>>,
+    pub(crate) seq: u64,
+    pub(crate) rng: SimRng,
+    pub(crate) next_timer_id: u64,
+    pub(crate) cancelled_timers: BTreeSet<u64>,
+    pub(crate) next_span: u64,
+    pub(crate) span_parents: BTreeMap<u64, Option<SpanId>>,
 }
 
 impl<C: Component> SystemState<C> {
@@ -162,7 +185,7 @@ impl<C: Component> SystemState<C> {
 
     /// Number of pending events at capture.
     pub fn pending_count(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum::<usize>() + self.net_events.len()
     }
 }
 

@@ -64,6 +64,7 @@ fn spec(
         phases: Vec::new(),
         probes: Vec::new(),
         obs: None,
+        engine: None,
         slos: Vec::new(),
     }
 }

@@ -21,6 +21,11 @@
 # overhead; the script then re-parses the emitted incident dump through
 # `--check-scenarios`.
 #
+# `--shard-smoke` additionally runs the reduced kilonode scenario on
+# the 4-shard engine at 1 and 4 workers in release and fails unless
+# both runs report byte-identical engine digests with zero dead
+# letters.
+#
 # `--trace-smoke` additionally generates a tiny trace twice with
 # `snooze-tracegen --seed 42` (the two files must be byte-identical),
 # then replays it twice per variant on the reduced 128-LC E12 shape in
@@ -32,14 +37,16 @@ run_e11_smoke=0
 run_mc_smoke=0
 run_obs_smoke=0
 run_trace_smoke=0
+run_shard_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --e11-smoke) run_e11_smoke=1 ;;
     --mc-smoke) run_mc_smoke=1 ;;
     --obs-smoke) run_obs_smoke=1 ;;
     --trace-smoke) run_trace_smoke=1 ;;
+    --shard-smoke) run_shard_smoke=1 ;;
     *)
-      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke, --trace-smoke)" >&2
+      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke, --trace-smoke, --shard-smoke)" >&2
       exit 2
       ;;
   esac
@@ -90,6 +97,11 @@ rm -rf "$tmp"
 if [ "$run_e11_smoke" -eq 1 ]; then
   say "e11 smoke (256 LCs, release, zero dead letters + throughput column)"
   cargo run --offline -q --release -p snooze-bench --bin run_experiments -- --e11-smoke
+fi
+
+if [ "$run_shard_smoke" -eq 1 ]; then
+  say "shard smoke (256 LCs, 4 shards at 1 and 4 workers, digest identity)"
+  cargo run --offline -q --release -p snooze-bench --bin run_experiments -- --shard-smoke
 fi
 
 if [ "$run_mc_smoke" -eq 1 ]; then

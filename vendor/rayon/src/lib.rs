@@ -1,16 +1,24 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment cannot fetch crates.io, so this crate provides
-//! the tiny slice of rayon's API the workspace consumes — `into_par_iter`,
-//! `map`, `filter`, `collect`, `sum`, and `ThreadPoolBuilder::install` —
-//! with **sequential** execution in source order. That choice is
-//! deliberate beyond mere simplicity: the simulator's contract is that
-//! parallel ant construction must equal sequential construction
-//! (`tests/determinism.rs` asserts it), and a sequential executor makes
-//! the equality structural. Wall-clock speedup numbers from
-//! `crates/bench` are meaningless under this stand-in; correctness
-//! results are unaffected because every consumer already derives
-//! per-work-item RNG streams.
+//! the slice of rayon's API the workspace consumes.
+//!
+//! Two execution strategies coexist:
+//!
+//! * The **iterator surface** (`into_par_iter`, `map`, `filter`,
+//!   `collect`, `sum`, and `ThreadPoolBuilder::install`) executes
+//!   **sequentially** in source order. That choice is deliberate beyond
+//!   mere simplicity: the simulator's contract is that parallel ant
+//!   construction must equal sequential construction
+//!   (`tests/determinism.rs` asserts it), and a sequential executor
+//!   makes the equality structural.
+//! * [`scope`] and [`join`] run their tasks on **real worker threads**
+//!   backed by a lazily-started global pool — the sharded simulation
+//!   engine dispatches per-shard event windows through them, and its
+//!   determinism comes from a timestamp-ordered commit protocol, not
+//!   from sequential execution. A thread blocked in [`scope`] helps
+//!   drain the pool's queue, so nested scopes and `join` trees cannot
+//!   deadlock even on a single-core host.
 
 /// Mirrors `rayon::prelude` for `use rayon::prelude::*;` imports.
 pub mod prelude {
@@ -141,13 +149,222 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// Inline replacement for `rayon::join`.
+// ---------------------------------------------------------------------------
+// Real threads: the global pool behind `scope` and `join`
+// ---------------------------------------------------------------------------
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The global worker pool: a mutex-guarded injector queue plus a condvar
+/// the workers park on. Workers are spawned once, on first use, and live
+/// for the rest of the process.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    /// Notified on new work *and* on every task completion, so threads
+    /// blocked in [`Pool::run_until`] re-check their latch promptly.
+    cv: Condvar,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<&'static Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }));
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2);
+            for i in 0..n {
+                std::thread::Builder::new()
+                    .name(format!("snooze-pool-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn inject(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn worker_loop(&self) -> ! {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.cv.wait(q).unwrap();
+                }
+            };
+            job(); // panics are caught inside the job wrapper
+        }
+    }
+
+    /// Block until `latch` completes, executing queued jobs while
+    /// waiting — the "help-first" discipline that keeps nested scopes
+    /// deadlock-free regardless of pool size.
+    fn run_until(&self, latch: &Latch) {
+        loop {
+            if latch.done() {
+                return;
+            }
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if latch.done() {
+                        return;
+                    }
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.cv.wait(q).unwrap();
+                }
+            };
+            job();
+        }
+    }
+}
+
+/// Completion tracker for one scope: a pending-task count plus the first
+/// captured panic payload.
+struct Latch {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Arc<Latch> {
+        Arc::new(Latch {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    fn task_finished(&self, pool: &Pool) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task out: wake everyone parked in `run_until`.
+            let _guard = pool.queue.lock().unwrap();
+            pool.cv.notify_all();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A spawn handle tied to the stack frame of the [`scope`] call that
+/// created it. Tasks may borrow anything that outlives that frame.
+pub struct Scope<'scope> {
+    latch: Arc<Latch>,
+    /// Invariant over `'scope`, mirroring rayon: the scope must not be
+    /// coerced to a longer or shorter lifetime.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Run `f` on a pool worker (or on a thread helping the pool while
+    /// it waits). The task may borrow from the enclosing stack frame;
+    /// the owning [`scope`] call does not return until every spawned
+    /// task has finished.
+    ///
+    /// The workspace denies `unsafe_code`; this is the single sanctioned
+    /// exception, the same lifetime erasure upstream rayon performs to
+    /// hand scoped borrows to long-lived workers. Soundness rests on the
+    /// latch: [`scope`] cannot return before `pending` drops to zero.
+    #[allow(unsafe_code)]
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let pool = Pool::global();
+        self.latch.pending.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let inner = Scope {
+                latch: Arc::clone(&latch),
+                _marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&inner))) {
+                latch.record_panic(payload);
+            }
+            latch.task_finished(Pool::global());
+        });
+        // SAFETY: `scope` blocks until the latch reports every spawned
+        // task finished, so all `'scope` borrows captured by the task
+        // strictly outlive its execution. This is the same lifetime
+        // erasure rayon itself performs.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        pool.inject(job);
+    }
+}
+
+/// Structured fork/join over the global pool, mirroring `rayon::scope`:
+/// tasks spawned on the passed [`Scope`] may borrow from the caller's
+/// stack, run on real worker threads, and are all complete when `scope`
+/// returns. A panic in the body or in any task is propagated to the
+/// caller (the first one wins) after every task has finished.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        latch: Latch::new(),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    Pool::global().run_until(&scope.latch);
+    let task_panic = scope.latch.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = task_panic {
+                resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+/// Replacement for `rayon::join`: `b` is offered to the pool while the
+/// calling thread runs `a`; the caller then helps the pool until `b`
+/// completes. Both closures' panics propagate.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(b()));
+        a()
+    });
+    (ra, rb.expect("join task completed without a result"))
 }
 
 #[cfg(test)]
@@ -180,5 +397,85 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_stack_data() {
+        let mut slots = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64 + 1) * 10);
+            }
+        });
+        assert_eq!(slots, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn scope_tasks_run_on_worker_threads() {
+        // Two tasks rendezvous on a barrier: impossible unless they run
+        // concurrently on distinct threads.
+        let barrier = std::sync::Barrier::new(2);
+        super::scope(|s| {
+            s.spawn(|_| {
+                barrier.wait();
+            });
+            s.spawn(|_| {
+                barrier.wait();
+            });
+        });
+    }
+
+    #[test]
+    fn nested_scopes_and_joins_do_not_deadlock() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            if range.end - range.start <= 4 {
+                return range.sum();
+            }
+            let mid = range.start + (range.end - range.start) / 2;
+            let (a, b) = super::join(|| sum(range.start..mid), || sum(mid..range.end));
+            a + b
+        }
+        assert_eq!(sum(0..100), 4950);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        });
+        assert!(caught.is_err());
+        // The pool must remain usable after a panicking task.
+        assert_eq!(super::join(|| 2, || 3), (2, 3));
+    }
+
+    #[test]
+    fn spawn_from_within_a_task() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 }
