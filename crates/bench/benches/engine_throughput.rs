@@ -1,12 +1,18 @@
 //! Criterion bench for the simulation substrate itself: raw event
 //! throughput of the discrete-event engine (timer storms, message
 //! ping-pong, and the deliver path at fleet sizes), which bounds how
-//! large a cluster the experiments can simulate.
+//! large a cluster the experiments can simulate — plus the
+//! `consolidators` group, which times every `ConsolidatorRegistry`
+//! algorithm on one fixed 512-VM GRID'11 instance (the reconfiguration
+//! kernel the GM runs live).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use snooze_consolidation::problem::InstanceGenerator;
+use snooze_consolidation::registry::{ConsolidatorRegistry, ParamValue, Params, REGISTRY_KEYS};
 use snooze_simcore::prelude::*;
+use snooze_simcore::rng::SimRng;
 
 struct TimerStorm {
     remaining: u64,
@@ -219,5 +225,31 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// Every registry algorithm on one fixed 512-VM GRID'11 instance: the
+/// cost of a single reconfiguration pass at the E12/E14 fleet scale.
+/// `bnb` runs under a small node budget (it is exact search; unbounded
+/// it would not return at this size) — the same way the arena smoke
+/// configures it.
+fn bench_consolidators(c: &mut Criterion) {
+    let inst = InstanceGenerator::grid11().generate(512, &mut SimRng::new(0xE14));
+    let registry = ConsolidatorRegistry::standard();
+    let mut group = c.benchmark_group("consolidators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(512));
+    for key in REGISTRY_KEYS {
+        let mut params = Params::new();
+        if key == "bnb" {
+            params.insert("node_budget".into(), ParamValue::Int(200_000));
+        }
+        let algo = registry
+            .build(key, &params)
+            .expect("every registry key builds");
+        group.bench_function(BenchmarkId::new("grid11_512", key), |b| {
+            b.iter(|| black_box(algo.consolidate(black_box(&inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_consolidators);
 criterion_main!(benches);

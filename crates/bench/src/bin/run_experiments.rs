@@ -1,10 +1,11 @@
 //! Regenerate the paper's evaluation tables.
 //!
 //! ```text
-//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|e12|e13|all]...
+//! run_experiments [--csv <dir>] [--json <dir>] [e1|e2|...|e10|e11|e12|e13|e14|all]...
 //! run_experiments --e11-smoke
 //! run_experiments --shard-smoke
 //! run_experiments --trace-smoke [trace.csv]
+//! run_experiments --arena-smoke [trace.csv]
 //! run_experiments --obs-smoke [artifact-dir]
 //! run_experiments --scenario <file.toml> [--watch]
 //! run_experiments --list-scenarios [dir]
@@ -28,7 +29,13 @@
 //! a `snooze-tracegen`-written file), replays it twice on the reduced
 //! 128-LC E12 shape, and fails unless the two runs agree byte-for-byte
 //! on event digest and table — the gate behind `scripts/check.sh
-//! --trace-smoke`.
+//! --trace-smoke`. `--arena-smoke` replays the same tiny trace once per
+//! `ConsolidatorRegistry` key on the reduced 128-LC arena shape under
+//! the billed-DVFS power model, twice each, and fails unless every cell
+//! agrees byte-for-byte on digest and table — the gate behind
+//! `scripts/check.sh --arena-smoke`. E14 itself (`run_experiments e14`)
+//! sweeps algorithm × power model at kilonode scale;
+//! `BENCH_E14_ARENA.json` is the checked-in measurement.
 //!
 //! Each experiment prints
 //! the table documented in DESIGN.md's per-experiment index (and, with
@@ -204,6 +211,54 @@ fn main() {
         } else {
             for f in &failures {
                 eprintln!("trace smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--arena-smoke") {
+        let trace = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(std::path::PathBuf::from);
+        eprintln!("[arena-smoke] seeded trace, every registry key on 128 LCs x2, identity check …");
+        let smoke = match e14_arena::smoke(trace.as_deref()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("arena smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        e14_arena::render(&smoke.rows).print();
+        let mut failures = Vec::new();
+        if !smoke.digests_match {
+            failures.push("two same-seed runs disagree on the event digest".to_string());
+        }
+        if !smoke.tables_identical {
+            failures
+                .push("two same-seed runs disagree on a deterministic table column".to_string());
+        }
+        for r in &smoke.rows {
+            if r.placed == 0 {
+                failures.push(format!("{}: no trace VM was placed", r.name));
+            }
+            if r.dead_letters != 0 {
+                failures.push(format!(
+                    "{}: {} dead letter(s) in a fault-free run",
+                    r.name, r.dead_letters
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "arena smoke: OK ({} registry key(s): {}, trace {})",
+                smoke.keys_run.len(),
+                smoke.keys_run.join(" "),
+                smoke.trace_path
+            );
+        } else {
+            for f in &failures {
+                eprintln!("arena smoke FAILED: {f}");
             }
             std::process::exit(1);
         }
@@ -418,7 +473,7 @@ fn main() {
             "e10b",
         );
     }
-    // E11 and E12 are explicit-only: their kilonode-scale runs are
+    // E11–E14 are explicit-only: their kilonode-scale runs are
     // deliberately heavy, so neither bare `run_experiments` nor `all`
     // includes them.
     if args.iter().any(|a| a == "e11") {
@@ -438,5 +493,9 @@ fn main() {
             eprintln!("e13 DETERMINISM FAILURE: {f}");
         }
         emit(&e13_shard::render(&rows), "e13_shard");
+    }
+    if args.iter().any(|a| a == "e14") {
+        eprintln!("[e14] consolidation arena (1000 LCs, algorithm x power-model sweep) …");
+        emit(&e14_arena::render(&e14_arena::default_rows()), "e14_arena");
     }
 }

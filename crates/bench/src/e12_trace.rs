@@ -156,15 +156,13 @@ pub struct TraceSmoke {
     pub trace_path: String,
 }
 
-/// The `--trace-smoke` gate. With `trace` set, replay that file
-/// (typically written by `snooze-tracegen --seed 42`); otherwise
-/// generate the same tiny trace in-process and additionally assert the
-/// generator is a pure function of the seed (two generations must be
-/// byte-identical). Either way, run the reduced 128-LC shape twice and
-/// compare event digests and rendered tables byte-for-byte.
-pub fn smoke(trace: Option<&Path>) -> Result<TraceSmoke, String> {
-    let path = match trace {
-        Some(p) => p.to_path_buf(),
+/// Resolve the smoke-trace path: the caller's file when given,
+/// otherwise the tiny seed-42 trace generated in-process (asserting the
+/// generator is a pure function of the seed). Shared by `--trace-smoke`
+/// and `--arena-smoke`.
+pub fn smoke_trace_path(trace: Option<&Path>) -> Result<std::path::PathBuf, String> {
+    match trace {
+        Some(p) => Ok(p.to_path_buf()),
         None => {
             let cfg = snooze_trace::GeneratorConfig {
                 vms: 200,
@@ -182,9 +180,19 @@ pub fn smoke(trace: Option<&Path>) -> Result<TraceSmoke, String> {
             std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let p = dir.join("smoke_seed42.csv");
             std::fs::write(&p, text).map_err(|e| format!("{}: {e}", p.display()))?;
-            p
+            Ok(p)
         }
-    };
+    }
+}
+
+/// The `--trace-smoke` gate. With `trace` set, replay that file
+/// (typically written by `snooze-tracegen --seed 42`); otherwise
+/// generate the same tiny trace in-process and additionally assert the
+/// generator is a pure function of the seed (two generations must be
+/// byte-identical). Either way, run the reduced 128-LC shape twice and
+/// compare event digests and rendered tables byte-for-byte.
+pub fn smoke(trace: Option<&Path>) -> Result<TraceSmoke, String> {
+    let path = smoke_trace_path(trace)?;
     let path_str = path
         .to_str()
         .ok_or_else(|| format!("non-UTF8 trace path {}", path.display()))?;

@@ -1,0 +1,386 @@
+//! **E14 — the consolidation arena** (the registry tournament).
+//!
+//! E12 compared two hard-wired consolidators; E14 sweeps the whole
+//! pluggable surface: every `ConsolidatorRegistry` algorithm crossed
+//! with every power model in the `[power]` library, on the same 1000-LC
+//! diurnal-trace shape (`scenarios/e14_arena.toml`). Each cell reports
+//! energy, SLA violations and migration count; within each power model
+//! the Pareto-optimal cells on (energy, SLA violations, migrations) are
+//! starred, and [`winner`] picks the algorithm the live GM
+//! reconfiguration loop adopts as its default
+//! ([`ReconfigurationConfig::default`][snooze::scheduling::reconfiguration::ReconfigurationConfig]).
+//! `BENCH_E14_ARENA.json` at the workspace root is the checked-in
+//! baseline.
+//!
+//! `run_experiments --arena-smoke` is the CI gate: every registry key —
+//! including `bnb`, which the full arena skips — replays the tiny
+//! seed-42 trace twice on a reduced 128-LC shape under the billed-DVFS
+//! model, and the gate fails unless both runs agree byte-for-byte on
+//! the event digest and every deterministic table column.
+
+use std::path::Path;
+
+use snooze_scenario::presets;
+
+use crate::table::{f2, Table};
+
+/// One (algorithm, power model) cell's outcome.
+#[derive(Clone, Debug)]
+pub struct E14Row {
+    /// Scenario name (`e14-{algo}-{power}`).
+    pub name: String,
+    /// Registry key of the consolidator.
+    pub algo: String,
+    /// Power-model name.
+    pub power: String,
+    /// LCs in the cluster.
+    pub lcs: usize,
+    /// VM requests the trace submitted.
+    pub vms: usize,
+    /// VMs placed.
+    pub placed: usize,
+    /// VMs rejected.
+    pub rejected: usize,
+    /// Total cluster energy over the horizon, Wh.
+    pub energy_wh: f64,
+    /// Live migrations performed.
+    pub migrations: u64,
+    /// Suspend transitions performed.
+    pub suspends: u64,
+    /// Mean powered-on node count (sampled every minute).
+    pub mean_nodes_on: f64,
+    /// Mean delivered application performance across samples.
+    pub mean_performance: f64,
+    /// Loaded LC-samples whose performance fell below the SLA floor.
+    pub sla_violations: u64,
+    /// Loaded LC-samples observed (the violation denominator).
+    pub sla_samples: u64,
+    /// Deliveries that found no live receiver (must be 0: no faults).
+    pub dead_letters: u64,
+    /// Advisory wall-clock of the run, ms.
+    pub wall_ms: f64,
+}
+
+fn row_from_outcome(
+    o: snooze_scenario::ScenarioOutcome,
+    algo: &str,
+    power: &str,
+    lcs: usize,
+) -> E14Row {
+    E14Row {
+        name: o.name,
+        algo: algo.to_string(),
+        power: power.to_string(),
+        lcs,
+        vms: o.requested_vms,
+        placed: o.placed,
+        rejected: o.rejected,
+        energy_wh: o.energy_wh,
+        migrations: o.migrations,
+        suspends: o.suspends,
+        mean_nodes_on: o.mean_nodes_on,
+        mean_performance: o.mean_performance,
+        sla_violations: o.sla_violations,
+        sla_samples: o.sla_samples,
+        dead_letters: o.dead_letters,
+        wall_ms: o.wall_ms,
+    }
+}
+
+/// Run the arena over the given algorithm and power-model axes.
+pub fn run(
+    lcs: usize,
+    trace_path: &str,
+    max_vms: usize,
+    horizon_secs: u64,
+    seed: u64,
+    algos: &[&str],
+    powers: &[&str],
+) -> Vec<E14Row> {
+    let specs = presets::e14_arena(lcs, trace_path, max_vms, horizon_secs, seed, algos, powers);
+    let mut rows = Vec::new();
+    let mut i = 0;
+    for algo in algos {
+        for power in powers {
+            let o = snooze_scenario::run(&specs[i])
+                .expect("E14 preset compiles")
+                .outcome;
+            rows.push(row_from_outcome(o, algo, power, lcs));
+            i += 1;
+        }
+    }
+    rows
+}
+
+/// The full configuration used by `run_experiments e14`: all
+/// `E14_ALGOS` × `E14_POWER_MODELS` cells on 1000 LCs.
+pub fn default_rows() -> Vec<E14Row> {
+    run(
+        1000,
+        presets::REFERENCE_TRACE,
+        0,
+        10_800,
+        0xE14,
+        &presets::E14_ALGOS,
+        &presets::E14_POWER_MODELS,
+    )
+}
+
+/// `a` dominates `b` when it is no worse on every objective (energy,
+/// SLA violations, migrations) and strictly better on at least one.
+fn dominates(a: &E14Row, b: &E14Row) -> bool {
+    let le = a.energy_wh <= b.energy_wh
+        && a.sla_violations <= b.sla_violations
+        && a.migrations <= b.migrations;
+    let lt = a.energy_wh < b.energy_wh
+        || a.sla_violations < b.sla_violations
+        || a.migrations < b.migrations;
+    le && lt
+}
+
+/// Pareto flags, one per row: `true` when no other row *under the same
+/// power model* dominates it.
+pub fn pareto_flags(rows: &[E14Row]) -> Vec<bool> {
+    rows.iter()
+        .map(|r| {
+            !rows
+                .iter()
+                .any(|o| o.power == r.power && !std::ptr::eq(o, r) && dominates(o, r))
+        })
+        .collect()
+}
+
+/// The arena winner: the algorithm the live reconfiguration loop should
+/// default to. Judged on the legacy `grid5000` rows (the environment
+/// every pre-arena experiment runs in; falls back to all rows when that
+/// column is absent): fewest SLA violations, then least energy, then
+/// fewest migrations.
+pub fn winner(rows: &[E14Row]) -> Option<String> {
+    let pool: Vec<&E14Row> = {
+        let legacy: Vec<&E14Row> = rows.iter().filter(|r| r.power == "grid5000").collect();
+        if legacy.is_empty() {
+            rows.iter().collect()
+        } else {
+            legacy
+        }
+    };
+    pool.into_iter()
+        .min_by(|a, b| {
+            (a.sla_violations, a.energy_wh, a.migrations)
+                .partial_cmp(&(b.sla_violations, b.energy_wh, b.migrations))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|r| r.algo.clone())
+}
+
+/// Render the Pareto table.
+pub fn render(rows: &[E14Row]) -> Table {
+    let flags = pareto_flags(rows);
+    let mut t = Table::new(
+        "E14: consolidation arena — algorithm × power model, Pareto on (energy, SLA, migrations)",
+        &[
+            "scenario",
+            "algo",
+            "power",
+            "LCs",
+            "VMs",
+            "placed",
+            "rejected",
+            "energy Wh",
+            "migrations",
+            "suspends",
+            "mean nodes on",
+            "mean perf",
+            "SLA viol",
+            "SLA samples",
+            "dead letters",
+            "pareto",
+            "wall ms",
+        ],
+    );
+    for (r, pareto) in rows.iter().zip(flags) {
+        t.row(vec![
+            r.name.clone(),
+            r.algo.clone(),
+            r.power.clone(),
+            r.lcs.to_string(),
+            r.vms.to_string(),
+            r.placed.to_string(),
+            r.rejected.to_string(),
+            f2(r.energy_wh),
+            r.migrations.to_string(),
+            r.suspends.to_string(),
+            f2(r.mean_nodes_on),
+            f2(r.mean_performance),
+            r.sla_violations.to_string(),
+            r.sla_samples.to_string(),
+            r.dead_letters.to_string(),
+            if pareto { "*" } else { "" }.to_string(),
+            f2(r.wall_ms),
+        ]);
+    }
+    t
+}
+
+/// Everything `--arena-smoke` measured.
+#[derive(Debug)]
+pub struct ArenaSmoke {
+    /// The first run's rows (one per registry key), for rendering.
+    pub rows: Vec<E14Row>,
+    /// Both runs of every cell agreed on the event digest.
+    pub digests_match: bool,
+    /// Both runs rendered byte-identical tables.
+    pub tables_identical: bool,
+    /// Registry keys that ran (must be every key).
+    pub keys_run: Vec<String>,
+    /// Where the trace came from.
+    pub trace_path: String,
+}
+
+/// The `--arena-smoke` gate: every registry key once, twice each,
+/// digest + table identity (see the module docs).
+pub fn smoke(trace: Option<&Path>) -> Result<ArenaSmoke, String> {
+    let path = crate::e12_trace::smoke_trace_path(trace)?;
+    let path_str = path
+        .to_str()
+        .ok_or_else(|| format!("non-UTF8 trace path {}", path.display()))?;
+
+    let specs = presets::e14_arena_smoke(path_str);
+    let keys = snooze_consolidation::registry::REGISTRY_KEYS;
+    if specs.len() != keys.len() {
+        return Err(format!(
+            "arena smoke must cover every registry key: {} specs vs {} keys",
+            specs.len(),
+            keys.len()
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut digests_match = true;
+    let mut tables_identical = true;
+    for (spec, key) in specs.iter().zip(keys) {
+        let a = snooze_scenario::run(spec)?;
+        let b = snooze_scenario::run(spec)?;
+        digests_match &= a.live.sim.digest() == b.live.sim.digest();
+        let row_a = row_from_outcome(a.outcome, key, "dvfs3_billed", 128);
+        let row_b = row_from_outcome(b.outcome, key, "dvfs3_billed", 128);
+        let strip = |r: &E14Row| {
+            render(std::slice::from_ref(r))
+                .without_columns(&["wall ms"])
+                .to_json()
+        };
+        tables_identical &= strip(&row_a) == strip(&row_b);
+        rows.push(row_a);
+    }
+    Ok(ArenaSmoke {
+        rows,
+        digests_match,
+        tables_identical,
+        keys_run: keys.iter().map(|k| k.to_string()).collect(),
+        trace_path: path_str.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny, fast arena slice: 12 LCs, 40 trace VMs, two algorithms
+    /// under two power models.
+    fn small_rows() -> Vec<E14Row> {
+        run(
+            12,
+            presets::REFERENCE_TRACE,
+            40,
+            2700,
+            0x14,
+            &["ffd", "mo-aco"],
+            &["grid5000", "dvfs3_billed"],
+        )
+    }
+
+    #[test]
+    fn arena_cells_run_and_admission_is_uniform() {
+        let rows = small_rows();
+        assert_eq!(rows.len(), 4, "full cross product");
+        for r in &rows {
+            assert_eq!(r.vms, 40);
+            assert!(r.placed > 0, "{}: trace VMs must place", r.name);
+            assert_eq!(r.dead_letters, 0, "{}: fault-free run", r.name);
+            assert!(r.energy_wh > 0.0);
+        }
+        // Placement is round-robin: admission cannot depend on the cell.
+        assert!(rows.iter().all(|r| r.placed == rows[0].placed));
+        // Same algorithm, same event history: the power model only
+        // changes the billing, never the digest-bearing decisions —
+        // so migrations agree across the power axis.
+        assert_eq!(rows[0].migrations, rows[1].migrations);
+        assert_eq!(rows[2].migrations, rows[3].migrations);
+    }
+
+    #[test]
+    fn pareto_flags_mark_non_dominated_rows_per_power_model() {
+        let mk = |algo: &str, power: &str, e: f64, v: u64, m: u64| E14Row {
+            name: format!("e14-{algo}-{power}"),
+            algo: algo.into(),
+            power: power.into(),
+            lcs: 1,
+            vms: 0,
+            placed: 0,
+            rejected: 0,
+            energy_wh: e,
+            migrations: m,
+            suspends: 0,
+            mean_nodes_on: 0.0,
+            mean_performance: 1.0,
+            sla_violations: v,
+            sla_samples: 0,
+            dead_letters: 0,
+            wall_ms: 0.0,
+        };
+        let rows = vec![
+            mk("a", "p", 100.0, 0, 10), // dominated by c
+            mk("b", "p", 120.0, 0, 5),  // pareto: fewest migrations
+            mk("c", "p", 90.0, 0, 10),  // pareto: least energy
+            mk("d", "q", 500.0, 9, 99), // alone under q: trivially pareto
+        ];
+        assert_eq!(pareto_flags(&rows), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn winner_prefers_sla_then_energy_then_migrations_on_legacy_rows() {
+        let mk = |algo: &str, power: &str, e: f64, v: u64, m: u64| E14Row {
+            name: format!("e14-{algo}-{power}"),
+            algo: algo.into(),
+            power: power.into(),
+            lcs: 1,
+            vms: 0,
+            placed: 0,
+            rejected: 0,
+            energy_wh: e,
+            migrations: m,
+            suspends: 0,
+            mean_nodes_on: 0.0,
+            mean_performance: 1.0,
+            sla_violations: v,
+            sla_samples: 0,
+            dead_letters: 0,
+            wall_ms: 0.0,
+        };
+        let rows = vec![
+            mk("cheap-but-violating", "grid5000", 10.0, 3, 1),
+            mk("best", "grid5000", 100.0, 0, 7),
+            mk("same-energy-more-churn", "grid5000", 100.0, 0, 9),
+            mk("cheaper-but-dvfs", "grid5000_dvfs3", 1.0, 0, 1), // wrong column
+        ];
+        assert_eq!(winner(&rows).as_deref(), Some("best"));
+        assert!(winner(&[]).is_none());
+    }
+
+    #[test]
+    fn table_has_the_arena_columns() {
+        let rendered = render(&small_rows()).render();
+        assert!(rendered.contains("pareto"));
+        assert!(rendered.contains("power"));
+        assert!(rendered.contains("energy Wh"));
+    }
+}

@@ -136,6 +136,7 @@ fn release_tables_match_the_checked_in_goldens() {
             ),
         ),
         ("e12_trace", e12_trace::render(&e12_trace::default_rows())),
+        ("e14_arena", e14_arena::render(&e14_arena::default_rows())),
     ];
     for (slug, table) in tables {
         let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -30,7 +30,9 @@ pub mod workload;
 
 pub use hypervisor::Hypervisor;
 pub use node::{NodeId, NodeSpec, PowerState, PowerStateMachine, TransitionTimes};
-pub use power::{EnergyMeter, LinearPower, PowerModel, SpecLikePower};
+pub use power::{
+    BilledTransitions, DvfsPower, DvfsState, EnergyMeter, LinearPower, PowerModel, SpecLikePower,
+};
 pub use resources::ResourceVector;
 pub use vm::{VmId, VmSpec, VmState};
 pub use workload::{FleetGenerator, UsageShape, VmWorkload};

@@ -209,15 +209,18 @@ impl PowerStateMachine {
     /// Instantaneous power draw in the current state, given a power model
     /// and the node's CPU utilization (only meaningful when on).
     ///
-    /// Transitional states draw idle power: hardware is busy but not doing
-    /// guest work.
+    /// Transitional states draw whatever the model bills for them; the
+    /// trait defaults charge idle power (hardware busy but doing no guest
+    /// work), while wrappers like
+    /// [`BilledTransitions`](crate::power::BilledTransitions) charge peak
+    /// on the way up.
     pub fn watts(&self, model: &dyn PowerModel, utilization: f64) -> f64 {
         match self.state {
             PowerState::On => model.active_watts(utilization),
-            PowerState::Suspending(_)
-            | PowerState::Resuming(_)
-            | PowerState::ShuttingDown(_)
-            | PowerState::Booting(_) => model.active_watts(0.0),
+            PowerState::Suspending(_) => model.suspending_watts(),
+            PowerState::Resuming(_) => model.resuming_watts(),
+            PowerState::ShuttingDown(_) => model.shutting_down_watts(),
+            PowerState::Booting(_) => model.booting_watts(),
             PowerState::Suspended => model.suspended_watts(),
             PowerState::Off => model.off_watts(),
         }
@@ -387,6 +390,64 @@ mod tests {
         assert_eq!(off.watts(&model, 0.0), 0.0);
         off.boot(t(0)).unwrap();
         assert_eq!(off.watts(&model, 0.0), 100.0);
+    }
+
+    #[test]
+    fn billed_round_trip_can_net_lose_energy_for_short_idle_gaps() {
+        // With transition energy billed honestly, suspending for a short
+        // idle gap costs more than idling through it — the break-even an
+        // energy-aware consolidator has to see. Gap: 60 s wall, of which
+        // 8 s suspending (idle watts), 27 s suspended, 25 s resuming at
+        // peak.
+        use crate::power::{BilledTransitions, EnergyMeter};
+
+        let base = LinearPower::grid5000(); // 160 idle / 250 peak / 5 susp
+        let model = BilledTransitions::new(Arc::new(base));
+        let gap = SimSpan::from_secs(60);
+
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        let mut meter = EnergyMeter::new(t(0), m.watts(&model, 0.0));
+        let suspend_done = m.suspend(t(0)).unwrap();
+        meter.update(t(0), m.watts(&model, 0.0)); // suspending @ idle
+        m.tick(suspend_done);
+        meter.update(suspend_done, m.watts(&model, 0.0)); // suspended @ 5 W
+                                                          // Wake so the node is back On exactly at the end of the gap.
+        let wake_at = t(0) + gap - TransitionTimes::typical_server().resume;
+        let resume_done = m.resume(wake_at).unwrap();
+        meter.update(wake_at, m.watts(&model, 0.0)); // resuming @ peak
+        m.tick(resume_done);
+        meter.update(resume_done, m.watts(&model, 0.0));
+        assert_eq!(resume_done, t(60));
+        assert_eq!(m.state(), PowerState::On);
+
+        let round_trip = meter.joules_at(t(60));
+        let idle_through = base.active_watts(0.0) * gap.as_secs_f64();
+        // 8·160 + 27·5 + 25·250 = 7665 J > 60·160 = 9600? No: 7665 < 9600.
+        // The 60 s gap is already past break-even for suspend-to-RAM; use
+        // a 35 s gap (8 s suspend + 2 s suspended + 25 s resume) instead:
+        // 8·160 + 2·5 + 25·250 = 7540 J vs 35·160 = 5600 J — a net loss.
+        assert!((round_trip - (8.0 * 160.0 + 27.0 * 5.0 + 25.0 * 250.0)).abs() < 1e-6);
+        assert!(round_trip < idle_through, "60 s gap breaks even");
+
+        let mut m = PowerStateMachine::new_on(TransitionTimes::typical_server());
+        let mut meter = EnergyMeter::new(t(100), m.watts(&model, 0.0));
+        let short_gap = SimSpan::from_secs(35);
+        let suspend_done = m.suspend(t(100)).unwrap();
+        meter.update(t(100), m.watts(&model, 0.0));
+        m.tick(suspend_done);
+        meter.update(suspend_done, m.watts(&model, 0.0));
+        let wake_at = t(100) + short_gap - TransitionTimes::typical_server().resume;
+        let resume_done = m.resume(wake_at).unwrap();
+        meter.update(wake_at, m.watts(&model, 0.0));
+        m.tick(resume_done);
+        meter.update(resume_done, m.watts(&model, 0.0));
+
+        let round_trip = meter.joules_at(resume_done);
+        let idle_through = base.active_watts(0.0) * short_gap.as_secs_f64();
+        assert!(
+            round_trip > idle_through,
+            "short gap must net-lose: {round_trip} J vs {idle_through} J idling"
+        );
     }
 
     #[test]

@@ -9,12 +9,24 @@
 //!   an idle server still burns ~60–70% of peak).
 //! * [`SpecLikePower`] — an 11-point piecewise-linear curve in the style of
 //!   SPECpower_ssj2008 submissions, for sensitivity analysis.
+//! * [`DvfsPower`] — a frequency-stepped model: a governor picks the
+//!   slowest P-state that can serve the demand, and each state has its own
+//!   idle/peak interpolation.
+//! * [`BilledTransitions`] — a wrapper charging sleep/wake transitions at
+//!   model-specified wattages (peak during resume/boot) instead of the
+//!   legacy idle draw.
 //!
 //! [`EnergyMeter`] integrates instantaneous power over virtual time.
+
+use std::sync::Arc;
 
 use snooze_simcore::time::SimTime;
 
 /// Maps a node's CPU utilization in `[0, 1]` to instantaneous power draw.
+///
+/// The four transition hooks default to the legacy behaviour — idle draw
+/// (`active_watts(0.0)`) in every transitional state — so existing models
+/// and goldens are unaffected unless a model opts in.
 pub trait PowerModel: Send + Sync + 'static {
     /// Power in watts when powered on at `utilization`.
     fn active_watts(&self, utilization: f64) -> f64;
@@ -27,6 +39,26 @@ pub trait PowerModel: Send + Sync + 'static {
     /// Power in watts while fully off (typically a small standby draw).
     fn off_watts(&self) -> f64 {
         0.0
+    }
+
+    /// Power while entering suspend-to-RAM (flushing state, parking cores).
+    fn suspending_watts(&self) -> f64 {
+        self.active_watts(0.0)
+    }
+
+    /// Power while waking from suspend (devices re-powering at full tilt).
+    fn resuming_watts(&self) -> f64 {
+        self.active_watts(0.0)
+    }
+
+    /// Power while shutting down to soft-off.
+    fn shutting_down_watts(&self) -> f64 {
+        self.active_watts(0.0)
+    }
+
+    /// Power while cold-booting (POST + OS boot run the machine hard).
+    fn booting_watts(&self) -> f64 {
+        self.active_watts(0.0)
     }
 }
 
@@ -103,6 +135,144 @@ impl PowerModel for SpecLikePower {
 
     fn suspended_watts(&self) -> f64 {
         self.suspend_watts
+    }
+}
+
+/// One DVFS operating point: a core frequency and the linear power curve
+/// the node follows while pinned to it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DvfsState {
+    /// Core frequency in GHz (states must be sorted ascending).
+    pub freq_ghz: f64,
+    /// Watts at 0% utilization in this state.
+    pub idle_watts: f64,
+    /// Watts at 100% utilization in this state.
+    pub max_watts: f64,
+}
+
+/// Frequency-stepped power model with an on-demand-style governor.
+///
+/// Demand `u` (a fraction of the node's full-speed capacity) is served by
+/// the slowest state whose frequency covers it: the governor picks the
+/// first state with `freq / max_freq ≥ u`, then the node runs at the
+/// *effective* utilization `u · max_freq / freq` of that state's curve.
+/// Slow states burn less at the wall but sit proportionally busier —
+/// exactly the race-to-idle trade DVFS policies argue about.
+#[derive(Clone, Debug)]
+pub struct DvfsPower {
+    /// Operating points, ascending by frequency. Must be non-empty.
+    pub states: Vec<DvfsState>,
+    /// Watts while suspended.
+    pub suspend_watts: f64,
+}
+
+impl DvfsPower {
+    /// A three-state profile for the same class of 2011 dual-socket box as
+    /// [`LinearPower::grid5000`]: 1.2 / 1.8 / 2.4 GHz. At full load it
+    /// meets grid5000's 250 W peak; at low demand the slow states shave
+    /// the idle floor below grid5000's 160 W.
+    pub fn grid5000_3state() -> Self {
+        DvfsPower {
+            states: vec![
+                DvfsState {
+                    freq_ghz: 1.2,
+                    idle_watts: 118.0,
+                    max_watts: 162.0,
+                },
+                DvfsState {
+                    freq_ghz: 1.8,
+                    idle_watts: 136.0,
+                    max_watts: 201.0,
+                },
+                DvfsState {
+                    freq_ghz: 2.4,
+                    idle_watts: 160.0,
+                    max_watts: 250.0,
+                },
+            ],
+            suspend_watts: 5.0,
+        }
+    }
+
+    /// The state the governor selects for demand `u` ∈ [0, 1].
+    pub fn governor_pick(&self, u: f64) -> &DvfsState {
+        let max_freq = self
+            .states
+            .last()
+            .expect("DvfsPower has no states")
+            .freq_ghz;
+        self.states
+            .iter()
+            .find(|s| s.freq_ghz / max_freq >= u - 1e-12)
+            .unwrap_or_else(|| self.states.last().expect("DvfsPower has no states"))
+    }
+}
+
+impl PowerModel for DvfsPower {
+    fn active_watts(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let max_freq = self
+            .states
+            .last()
+            .expect("DvfsPower has no states")
+            .freq_ghz;
+        let state = self.governor_pick(u);
+        // Effective busy fraction once the clock is scaled down.
+        let eff = (u * max_freq / state.freq_ghz).clamp(0.0, 1.0);
+        state.idle_watts + (state.max_watts - state.idle_watts) * eff
+    }
+
+    fn suspended_watts(&self) -> f64 {
+        self.suspend_watts
+    }
+}
+
+/// Wraps any model so transitional power states are billed honestly:
+/// resume and boot draw *peak* power (devices re-initialising, POST, OS
+/// boot), suspend-entry and shutdown draw idle. With this wrapper a
+/// suspend→resume round-trip has a real energy cost, so suspending for a
+/// short idle gap can net-*lose* energy — the break-even an energy-aware
+/// consolidator must reason about.
+#[derive(Clone)]
+pub struct BilledTransitions {
+    /// The underlying steady-state model.
+    pub base: Arc<dyn PowerModel>,
+}
+
+impl BilledTransitions {
+    /// Bill transitions on top of `base`.
+    pub fn new(base: Arc<dyn PowerModel>) -> Self {
+        BilledTransitions { base }
+    }
+}
+
+impl PowerModel for BilledTransitions {
+    fn active_watts(&self, utilization: f64) -> f64 {
+        self.base.active_watts(utilization)
+    }
+
+    fn suspended_watts(&self) -> f64 {
+        self.base.suspended_watts()
+    }
+
+    fn off_watts(&self) -> f64 {
+        self.base.off_watts()
+    }
+
+    fn suspending_watts(&self) -> f64 {
+        self.base.active_watts(0.0)
+    }
+
+    fn resuming_watts(&self) -> f64 {
+        self.base.active_watts(1.0)
+    }
+
+    fn shutting_down_watts(&self) -> f64 {
+        self.base.active_watts(0.0)
+    }
+
+    fn booting_watts(&self) -> f64 {
+        self.base.active_watts(1.0)
     }
 }
 
@@ -196,6 +366,59 @@ mod tests {
             let w = m.active_watts(i as f64 / 100.0);
             assert!(w >= prev);
             prev = w;
+        }
+    }
+
+    #[test]
+    fn default_transition_watts_equal_idle() {
+        // The legacy contract: without an explicit override every
+        // transitional state draws active_watts(0.0). Goldens depend on it.
+        let m = LinearPower::grid5000();
+        assert_eq!(m.suspending_watts(), m.active_watts(0.0));
+        assert_eq!(m.resuming_watts(), m.active_watts(0.0));
+        assert_eq!(m.shutting_down_watts(), m.active_watts(0.0));
+        assert_eq!(m.booting_watts(), m.active_watts(0.0));
+    }
+
+    #[test]
+    fn billed_transitions_charge_peak_on_the_way_up() {
+        let base = LinearPower::grid5000();
+        let billed = BilledTransitions::new(Arc::new(base));
+        assert_eq!(billed.active_watts(0.3), base.active_watts(0.3));
+        assert_eq!(billed.suspended_watts(), base.suspended_watts());
+        assert_eq!(billed.suspending_watts(), base.active_watts(0.0));
+        assert_eq!(billed.shutting_down_watts(), base.active_watts(0.0));
+        assert_eq!(billed.resuming_watts(), base.active_watts(1.0));
+        assert_eq!(billed.booting_watts(), base.active_watts(1.0));
+    }
+
+    #[test]
+    fn dvfs_governor_picks_slowest_sufficient_state() {
+        let m = DvfsPower::grid5000_3state();
+        // 1.2/2.4 = 0.5, 1.8/2.4 = 0.75 are the state boundaries.
+        assert_eq!(m.governor_pick(0.0).freq_ghz, 1.2);
+        assert_eq!(m.governor_pick(0.5).freq_ghz, 1.2);
+        assert_eq!(m.governor_pick(0.6).freq_ghz, 1.8);
+        assert_eq!(m.governor_pick(0.75).freq_ghz, 1.8);
+        assert_eq!(m.governor_pick(0.9).freq_ghz, 2.4);
+        assert_eq!(m.governor_pick(1.0).freq_ghz, 2.4);
+    }
+
+    #[test]
+    fn dvfs_curve_is_continuous_enough_and_beats_linear_at_low_load() {
+        let m = DvfsPower::grid5000_3state();
+        let lin = LinearPower::grid5000();
+        // Idle lands on the slowest state's idle floor, below grid5000's.
+        assert_eq!(m.active_watts(0.0), 118.0);
+        assert!(m.active_watts(0.0) < lin.active_watts(0.0));
+        // Full load saturates the fastest state at its peak.
+        assert_eq!(m.active_watts(1.0), 250.0);
+        // At a state boundary the node runs flat-out in the slow state.
+        assert_eq!(m.active_watts(0.5), 162.0);
+        // Monotone non-decreasing within each state; bounded overall.
+        for i in 0..=100 {
+            let w = m.active_watts(i as f64 / 100.0);
+            assert!((118.0..=250.0).contains(&w), "u={i}% -> {w} W");
         }
     }
 

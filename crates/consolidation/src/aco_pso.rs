@@ -1,0 +1,190 @@
+//! Two-stage ACO-PSO consolidation (after arxiv 2510.00541).
+//!
+//! Stage one runs the paper's ACO colony to get a strong seed. Stage two
+//! treats assignments as particle positions in a discrete PSO: a small
+//! swarm of perturbed copies of the ACO solution iteratively drifts back
+//! toward the global best (each item adopts the global-best bin with some
+//! probability, only when it fits), explores with occasional random
+//! moves, and is polished by the bin-emptying local search. The swarm
+//! never leaves the feasible region — adoption and exploration are
+//! capacity-checked move-by-move — so the result is always at least as
+//! good as the ACO seed.
+
+use snooze_cluster::resources::ResourceVector;
+use snooze_simcore::rng::SimRng;
+
+use crate::aco::{bin_emptying_local_search, AcoConsolidator, AcoParams};
+use crate::problem::{Consolidator, Instance, Solution};
+
+/// Parameters of the two-stage scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct AcoPsoParams {
+    /// Colony parameters for the seeding stage.
+    pub aco: AcoParams,
+    /// Number of particles in the refinement swarm.
+    pub swarm: usize,
+    /// Refinement iterations.
+    pub iterations: usize,
+    /// Per-item probability of adopting the global best's bin.
+    pub adopt_prob: f64,
+    /// Per-item probability of an exploratory random move.
+    pub explore_prob: f64,
+    /// Seed of the refinement stage's RNG (the colony uses `aco.seed`).
+    pub seed: u64,
+}
+
+impl Default for AcoPsoParams {
+    fn default() -> Self {
+        AcoPsoParams {
+            aco: AcoParams::default(),
+            swarm: 8,
+            iterations: 12,
+            adopt_prob: 0.35,
+            explore_prob: 0.05,
+            seed: 0xAC050,
+        }
+    }
+}
+
+/// The two-stage ACO-PSO consolidator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcoPsoConsolidator {
+    /// Scheme parameters.
+    pub params: AcoPsoParams,
+}
+
+impl AcoPsoConsolidator {
+    /// A consolidator with the given parameters.
+    pub fn new(params: AcoPsoParams) -> Self {
+        AcoPsoConsolidator { params }
+    }
+
+    /// Move `item` of `particle` to `to` iff capacity allows, keeping the
+    /// running loads consistent. Returns whether the move happened.
+    fn try_move(
+        instance: &Instance,
+        particle: &mut Solution,
+        loads: &mut [ResourceVector],
+        item: usize,
+        to: usize,
+    ) -> bool {
+        let from = particle.assignment[item];
+        if from == to {
+            return false;
+        }
+        let demand = instance.items[item];
+        if !(loads[to] + demand).fits_within(&instance.bins[to]) {
+            return false;
+        }
+        loads[from] = loads[from].saturating_sub(&demand);
+        loads[to] += demand;
+        particle.assignment[item] = to;
+        true
+    }
+}
+
+impl Consolidator for AcoPsoConsolidator {
+    fn consolidate(&self, instance: &Instance) -> Option<Solution> {
+        let p = self.params;
+        let seed = AcoConsolidator::new(p.aco).consolidate(instance)?;
+        if instance.n_items() == 0 || p.swarm == 0 || p.iterations == 0 {
+            return Some(seed);
+        }
+
+        let rng = SimRng::new(p.seed);
+        let mut gbest = seed.clone();
+
+        // Perturbed copies of the seed: each particle shakes a few items
+        // loose so the swarm starts spread around the ACO optimum.
+        let mut swarm: Vec<(Solution, Vec<ResourceVector>)> = (0..p.swarm)
+            .map(|k| {
+                let mut particle = seed.clone();
+                let mut loads = particle.bin_loads(instance);
+                let mut prng = rng.fork(k as u64 + 1);
+                let shakes = (instance.n_items() / 8).max(1);
+                for _ in 0..shakes {
+                    let item = prng.range(0, instance.n_items());
+                    let to = prng.range(0, instance.n_bins());
+                    Self::try_move(instance, &mut particle, &mut loads, item, to);
+                }
+                (particle, loads)
+            })
+            .collect();
+
+        for iter in 0..p.iterations {
+            let mut iter_rng = rng.fork(0x1000 + iter as u64);
+            for (particle, loads) in swarm.iter_mut() {
+                for item in 0..instance.n_items() {
+                    let r = iter_rng.uniform(0.0, 1.0);
+                    if r < p.adopt_prob {
+                        let to = gbest.assignment[item];
+                        Self::try_move(instance, particle, loads, item, to);
+                    } else if r < p.adopt_prob + p.explore_prob {
+                        let to = iter_rng.range(0, instance.n_bins());
+                        Self::try_move(instance, particle, loads, item, to);
+                    }
+                }
+                bin_emptying_local_search(instance, particle);
+                *loads = particle.bin_loads(instance);
+                if particle.bins_used() < gbest.bins_used() {
+                    gbest = particle.clone();
+                }
+            }
+        }
+
+        debug_assert!(gbest.is_feasible(instance));
+        debug_assert!(gbest.bins_used() <= seed.bins_used());
+        Some(gbest)
+    }
+
+    fn name(&self) -> &'static str {
+        "ACO-PSO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::InstanceGenerator;
+
+    #[test]
+    fn refinement_never_worse_than_the_aco_seed() {
+        let gen = InstanceGenerator::grid11();
+        for seed in 0..4 {
+            let inst = gen.generate(40, &mut SimRng::new(seed));
+            let params = AcoPsoParams {
+                aco: AcoParams::fast(),
+                ..AcoPsoParams::default()
+            };
+            let aco = AcoConsolidator::new(params.aco).consolidate(&inst).unwrap();
+            let pso = AcoPsoConsolidator::new(params).consolidate(&inst).unwrap();
+            assert!(pso.is_feasible(&inst), "seed {seed}");
+            assert!(
+                pso.bins_used() <= aco.bins_used(),
+                "seed {seed}: pso {} vs aco {}",
+                pso.bins_used(),
+                aco.bins_used()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = InstanceGenerator::grid11();
+        let inst = gen.generate(35, &mut SimRng::new(11));
+        let params = AcoPsoParams {
+            aco: AcoParams::fast(),
+            ..AcoPsoParams::default()
+        };
+        let a = AcoPsoConsolidator::new(params).consolidate(&inst);
+        let b = AcoPsoConsolidator::new(params).consolidate(&inst);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let inst = Instance::homogeneous(vec![], 3, ResourceVector::splat(1.0));
+        let sol = AcoPsoConsolidator::default().consolidate(&inst).unwrap();
+        assert!(sol.assignment.is_empty());
+    }
+}

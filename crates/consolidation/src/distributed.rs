@@ -83,6 +83,7 @@ impl DistributedAco {
                 let sub = Instance {
                     items: my_items.iter().map(|&i| instance.items[i]).collect(),
                     bins: instance.bins[bin_ranges[p].clone()].to_vec(),
+                    incumbent: None,
                 };
                 let aco = AcoConsolidator::new(AcoParams {
                     seed: self.params.aco.seed ^ (p as u64).wrapping_mul(0x9E37_79B9),

@@ -26,19 +26,33 @@
 //!   energy spent into the computation").
 //! * [`distributed`] — the future-work §V "distributed version of the
 //!   algorithm": per-partition ACO with ring-based residual exchange.
+//! * [`aco_pso`] — the two-stage ACO-PSO refinement (arxiv 2510.00541):
+//!   a feasibility-preserving particle swarm polishing the colony's best.
+//! * [`multi_objective`] — migration-cost-aware consolidation (arxiv
+//!   1706.06646): weighs freed hosts against live-migration churn.
+//! * [`registry`] — the string-keyed [`registry::ConsolidatorRegistry`]
+//!   building any of the above from flat TOML-expressible parameters.
 
 pub mod aco;
+pub mod aco_pso;
 pub mod distributed;
 pub mod energy;
 pub mod exact;
 pub mod ffd;
+pub mod multi_objective;
 pub mod problem;
+pub mod registry;
 
 pub use aco::{
     bin_emptying_local_search, AcoConsolidator, AcoParams, AcoPhaseProfile, AcoRun, UpdateRule,
 };
+pub use aco_pso::{AcoPsoConsolidator, AcoPsoParams};
 pub use distributed::{DistributedAco, DistributedParams};
 pub use energy::{placement_energy_wh, EnergyParams};
 pub use exact::{BranchAndBound, ExactOutcome};
 pub use ffd::{BestFit, FirstFitDecreasing, NextFit, SortKey, WorstFit};
+pub use multi_objective::{MigrationAwareAco, MigrationAwareParams};
 pub use problem::{Consolidator, Instance, InstanceGenerator, Solution};
+pub use registry::{
+    ConsolidatorRegistry, GuardedBranchAndBound, ParamValue, Params, REGISTRY_KEYS,
+};

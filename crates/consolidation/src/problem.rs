@@ -17,6 +17,11 @@ pub struct Instance {
     pub items: Vec<ResourceVector>,
     /// Host capacities. `bins.len()` bounds the number of usable hosts.
     pub bins: Vec<ResourceVector>,
+    /// The placement currently in force, if the instance describes a live
+    /// reconfiguration: `incumbent[i]` is item `i`'s current bin. Lets
+    /// migration-cost-aware consolidators weigh churn against packing
+    /// quality. `None` for from-scratch placement.
+    pub incumbent: Option<Vec<usize>>,
 }
 
 impl Instance {
@@ -29,7 +34,20 @@ impl Instance {
         Instance {
             items,
             bins: vec![capacity; n_bins],
+            incumbent: None,
         }
+    }
+
+    /// Attach an incumbent placement (`incumbent[i]` = item `i`'s current
+    /// bin). Panics if the length does not match the item count.
+    pub fn with_incumbent(mut self, incumbent: Vec<usize>) -> Self {
+        assert_eq!(
+            incumbent.len(),
+            self.items.len(),
+            "incumbent must assign every item"
+        );
+        self.incumbent = Some(incumbent);
+        self
     }
 
     /// Number of VMs.
@@ -150,6 +168,30 @@ impl Solution {
         }
     }
 
+    /// Number of items whose bin differs from the incumbent placement —
+    /// the live migrations this solution would trigger. Zero against an
+    /// identical incumbent.
+    pub fn migration_count(&self, incumbent: &[usize]) -> usize {
+        self.assignment
+            .iter()
+            .zip(incumbent)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Total memory (in the instance's memory units, MB throughout this
+    /// codebase) of the items that move — the dominant term of pre-copy
+    /// live-migration cost.
+    pub fn migration_bytes(&self, instance: &Instance, incumbent: &[usize]) -> f64 {
+        self.assignment
+            .iter()
+            .zip(incumbent)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| instance.items[i].memory)
+            .sum()
+    }
+
     /// Renumber bins so that used bins are `0..bins_used()` in first-use
     /// order. Quality metrics are invariant; this canonical form makes
     /// solutions comparable across algorithms that open bins in different
@@ -172,7 +214,10 @@ impl Solution {
 }
 
 /// The interface every consolidation algorithm implements.
-pub trait Consolidator {
+///
+/// `Send + Sync` because configured consolidators are shared (via `Arc`)
+/// with Group Managers that may execute on sharded-engine worker threads.
+pub trait Consolidator: Send + Sync {
     /// Compute a feasible placement, or `None` if the algorithm cannot
     /// place every item within the available bins.
     fn consolidate(&self, instance: &Instance) -> Option<Solution>;
@@ -238,6 +283,7 @@ impl InstanceGenerator {
         let tmp = Instance {
             items,
             bins: vec![self.capacity],
+            incumbent: None,
         };
         let lb = tmp.lower_bound();
         let n_bins = (((lb as f64) * self.bin_slack).ceil() as usize)
@@ -268,6 +314,7 @@ mod tests {
                 ResourceVector::new(0.6, 0.1, 0.0, 0.0),
             ],
             bins: unit_bins(5),
+            incumbent: None,
         };
         // CPU total 1.8 ⇒ at least 2 bins; memory total 0.3 ⇒ 1.
         assert_eq!(inst.lower_bound(), 2);
@@ -278,11 +325,13 @@ mod tests {
         let empty = Instance {
             items: vec![],
             bins: unit_bins(3),
+            incumbent: None,
         };
         assert_eq!(empty.lower_bound(), 0);
         let one = Instance {
             items: vec![item(0.01)],
             bins: unit_bins(3),
+            incumbent: None,
         };
         assert_eq!(one.lower_bound(), 1);
     }
@@ -292,6 +341,7 @@ mod tests {
         let inst = Instance {
             items: vec![item(0.6), item(0.6)],
             bins: unit_bins(2),
+            incumbent: None,
         };
         assert!(Solution {
             assignment: vec![0, 1]
@@ -334,6 +384,7 @@ mod tests {
         let inst = Instance {
             items: vec![item(0.5), item(0.5)],
             bins: unit_bins(10),
+            incumbent: None,
         };
         let s = Solution {
             assignment: vec![0, 0],
@@ -351,6 +402,7 @@ mod tests {
         let inst = Instance {
             items: vec![item(0.3); 4],
             bins: unit_bins(10),
+            incumbent: None,
         };
         let mut s = Solution {
             assignment: vec![7, 2, 7, 9],

@@ -1,0 +1,380 @@
+//! The string-keyed consolidator registry.
+//!
+//! Every placement algorithm in this crate is constructible from a key
+//! plus a flat map of scalar parameters — the bridge that lets scenario
+//! TOML pick any algorithm with zero per-variant Rust. Unknown keys and
+//! unknown or ill-typed parameters are hard errors naming what *is*
+//! available, so a typo in a scenario file fails loudly at compile time
+//! rather than silently running the default.
+
+use std::collections::BTreeMap;
+
+use crate::aco::{AcoConsolidator, AcoParams, UpdateRule};
+use crate::aco_pso::{AcoPsoConsolidator, AcoPsoParams};
+use crate::distributed::{DistributedAco, DistributedParams};
+use crate::exact::BranchAndBound;
+use crate::ffd::{BestFit, FirstFitDecreasing, NextFit, SortKey, WorstFit};
+use crate::multi_objective::{MigrationAwareAco, MigrationAwareParams};
+use crate::problem::{Consolidator, Instance, Solution};
+
+/// A scalar algorithm parameter, as scenario TOML can express it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamValue {
+    /// An integer.
+    Int(i64),
+    /// A float (integers coerce where a float is expected).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// A flat parameter map (sorted for deterministic error messages).
+pub type Params = BTreeMap<String, ParamValue>;
+
+/// Tracks which parameters a builder consumed so leftovers can be
+/// rejected by name.
+struct ParamReader<'a> {
+    params: &'a Params,
+    consumed: Vec<&'a str>,
+}
+
+impl<'a> ParamReader<'a> {
+    fn new(params: &'a Params) -> Self {
+        ParamReader {
+            params,
+            consumed: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<&'a ParamValue> {
+        let v = self.params.get_key_value(key);
+        if let Some((k, _)) = v {
+            self.consumed.push(k.as_str());
+        }
+        v.map(|(_, v)| v)
+    }
+
+    fn usize(&mut self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Int(i)) if *i >= 0 => Ok(*i as usize),
+            Some(other) => Err(format!(
+                "parameter `{key}` must be a non-negative integer, got {other:?}"
+            )),
+        }
+    }
+
+    fn u64(&mut self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Int(i)) if *i >= 0 => Ok(*i as u64),
+            Some(other) => Err(format!(
+                "parameter `{key}` must be a non-negative integer, got {other:?}"
+            )),
+        }
+    }
+
+    fn f64(&mut self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Float(f)) => Ok(*f),
+            Some(ParamValue::Int(i)) => Ok(*i as f64),
+            Some(other) => Err(format!("parameter `{key}` must be a number, got {other:?}")),
+        }
+    }
+
+    fn bool(&mut self, key: &str, default: bool) -> Result<bool, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(ParamValue::Bool(b)) => Ok(*b),
+            Some(other) => Err(format!(
+                "parameter `{key}` must be a boolean, got {other:?}"
+            )),
+        }
+    }
+
+    fn str(&mut self, key: &str, default: &str) -> Result<String, String> {
+        match self.get(key) {
+            None => Ok(default.to_string()),
+            Some(ParamValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(format!("parameter `{key}` must be a string, got {other:?}")),
+        }
+    }
+
+    /// Error on any parameter no builder consumed.
+    fn finish(self) -> Result<(), String> {
+        for key in self.params.keys() {
+            if !self.consumed.contains(&key.as_str()) {
+                return Err(format!("unknown parameter `{key}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sort_key(reader: &mut ParamReader<'_>) -> Result<SortKey, String> {
+    let label = reader.str("sort", "l1")?;
+    SortKey::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            let all: Vec<&str> = SortKey::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown sort key `{label}`; available: {}", all.join(", "))
+        })
+}
+
+/// Colony parameters from `preset` (an [`AcoParams`] constructor name)
+/// plus individual field overrides.
+fn aco_params(reader: &mut ParamReader<'_>) -> Result<AcoParams, String> {
+    let preset = reader.str("preset", "default")?;
+    let mut p = match preset.as_str() {
+        "default" => AcoParams::default(),
+        "fast" => AcoParams::fast(),
+        other => {
+            return Err(format!(
+                "unknown aco preset `{other}`; available: default, fast"
+            ))
+        }
+    };
+    p.n_ants = reader.usize("n_ants", p.n_ants)?;
+    p.n_cycles = reader.usize("n_cycles", p.n_cycles)?;
+    p.alpha = reader.f64("alpha", p.alpha)?;
+    p.beta = reader.f64("beta", p.beta)?;
+    p.rho = reader.f64("rho", p.rho)?;
+    p.q = reader.f64("q", p.q)?;
+    p.tau0 = reader.f64("tau0", p.tau0)?;
+    p.tau_min = reader.f64("tau_min", p.tau_min)?;
+    p.seed = reader.u64("seed", p.seed)?;
+    p.parallel_ants = reader.bool("parallel_ants", p.parallel_ants)?;
+    p.local_search = reader.bool("local_search", p.local_search)?;
+    p.update_rule = match reader.str("update_rule", "global_best")?.as_str() {
+        "global_best" => UpdateRule::GlobalBest,
+        "all_ants" => UpdateRule::AllAnts,
+        other => {
+            return Err(format!(
+                "unknown update_rule `{other}`; available: global_best, all_ants"
+            ))
+        }
+    };
+    Ok(p)
+}
+
+/// Branch-and-bound behind a homogeneity guard: the raw solver asserts on
+/// heterogeneous instances (its symmetry breaking needs identical bins);
+/// in a live reconfiguration loop that must be a clean "no plan", not a
+/// panic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GuardedBranchAndBound {
+    /// The underlying exact solver.
+    pub inner: BranchAndBound,
+}
+
+impl Consolidator for GuardedBranchAndBound {
+    fn consolidate(&self, instance: &Instance) -> Option<Solution> {
+        if !instance.is_homogeneous() {
+            return None;
+        }
+        self.inner.consolidate(instance)
+    }
+
+    fn name(&self) -> &'static str {
+        "B&B"
+    }
+}
+
+/// Builds any of the crate's consolidators from a string key and a flat
+/// parameter map.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConsolidatorRegistry;
+
+/// Every registered key, sorted. Kept in one place so error messages,
+/// sweeps and smoke tests can't drift from the builder.
+pub const REGISTRY_KEYS: [&str; 9] = [
+    "aco", "aco-pso", "bfd", "bnb", "daco", "ffd", "mo-aco", "nfd", "wfd",
+];
+
+impl ConsolidatorRegistry {
+    /// The registry of everything in this crate.
+    pub fn standard() -> Self {
+        ConsolidatorRegistry
+    }
+
+    /// All registered keys, sorted.
+    pub fn keys(&self) -> &'static [&'static str] {
+        &REGISTRY_KEYS
+    }
+
+    /// Build the consolidator registered under `algo` from `params`.
+    /// Unknown keys, unknown parameters and type mismatches are errors;
+    /// every parameter is optional with the algorithm's documented
+    /// default.
+    pub fn build(&self, algo: &str, params: &Params) -> Result<Box<dyn Consolidator>, String> {
+        let mut r = ParamReader::new(params);
+        let built: Box<dyn Consolidator> = match algo {
+            "aco" => Box::new(AcoConsolidator::new(aco_params(&mut r)?)),
+            "ffd" => Box::new(FirstFitDecreasing {
+                key: sort_key(&mut r)?,
+            }),
+            "bfd" => Box::new(BestFit {
+                key: sort_key(&mut r)?,
+            }),
+            "wfd" => Box::new(WorstFit {
+                key: sort_key(&mut r)?,
+            }),
+            "nfd" => Box::new(NextFit {
+                key: sort_key(&mut r)?,
+            }),
+            "bnb" => {
+                let default = BranchAndBound::default();
+                Box::new(GuardedBranchAndBound {
+                    inner: BranchAndBound {
+                        node_budget: r.u64("node_budget", default.node_budget)?,
+                    },
+                })
+            }
+            "daco" => {
+                let default = DistributedParams::default();
+                Box::new(DistributedAco::new(DistributedParams {
+                    partitions: r.usize("partitions", default.partitions)?,
+                    exchange_rounds: r.usize("exchange_rounds", default.exchange_rounds)?,
+                    aco: aco_params(&mut r)?,
+                }))
+            }
+            "aco-pso" => {
+                let default = AcoPsoParams::default();
+                Box::new(AcoPsoConsolidator::new(AcoPsoParams {
+                    aco: aco_params(&mut r)?,
+                    swarm: r.usize("swarm", default.swarm)?,
+                    iterations: r.usize("iterations", default.iterations)?,
+                    adopt_prob: r.f64("adopt_prob", default.adopt_prob)?,
+                    explore_prob: r.f64("explore_prob", default.explore_prob)?,
+                    seed: r.u64("pso_seed", default.seed)?,
+                }))
+            }
+            "mo-aco" => {
+                let default = MigrationAwareParams::default();
+                Box::new(MigrationAwareAco::new(MigrationAwareParams {
+                    aco: aco_params(&mut r)?,
+                    migration_weight: r.f64("migration_weight", default.migration_weight)?,
+                }))
+            }
+            other => {
+                return Err(format!(
+                    "unknown consolidator `{other}`; available: {}",
+                    REGISTRY_KEYS.join(", ")
+                ))
+            }
+        };
+        r.finish().map_err(|e| format!("{algo}: {e}"))?;
+        Ok(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(pairs: &[(&str, ParamValue)]) -> Params {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn every_key_builds_with_empty_params() {
+        let reg = ConsolidatorRegistry::standard();
+        for key in reg.keys() {
+            let c = reg.build(key, &Params::new());
+            assert!(c.is_ok(), "{key}: {:?}", c.err());
+        }
+    }
+
+    #[test]
+    fn unknown_key_lists_the_field() {
+        let err = ConsolidatorRegistry::standard()
+            .build("simulated-annealing", &Params::new())
+            .err()
+            .expect("build must fail");
+        assert!(err.contains("unknown consolidator `simulated-annealing`"));
+        for key in REGISTRY_KEYS {
+            assert!(err.contains(key), "error must list `{key}`: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_parameter_is_rejected() {
+        let err = ConsolidatorRegistry::standard()
+            .build("ffd", &params(&[("colour", ParamValue::Str("red".into()))]))
+            .err()
+            .expect("build must fail");
+        assert!(err.contains("unknown parameter `colour`"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let err = ConsolidatorRegistry::standard()
+            .build(
+                "aco",
+                &params(&[("n_ants", ParamValue::Str("many".into()))]),
+            )
+            .err()
+            .expect("build must fail");
+        assert!(err.contains("n_ants"), "{err}");
+    }
+
+    #[test]
+    fn default_aco_build_matches_the_type_defaults() {
+        // The digest-identity contract: building "aco" with only the
+        // preset/n_cycles the old ReconfigurationConfig knew about must
+        // reproduce AcoConsolidator::new(AcoParams::default()) exactly.
+        let built = ConsolidatorRegistry::standard()
+            .build(
+                "aco",
+                &params(&[
+                    ("preset", ParamValue::Str("default".into())),
+                    ("n_cycles", ParamValue::Int(15)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(built.name(), "ACO");
+        let reference = AcoConsolidator::new(AcoParams {
+            n_cycles: 15,
+            ..AcoParams::default()
+        });
+        let inst = crate::problem::InstanceGenerator::grid11()
+            .generate(24, &mut snooze_simcore::rng::SimRng::new(3));
+        assert_eq!(built.consolidate(&inst), reference.consolidate(&inst));
+    }
+
+    #[test]
+    fn sort_keys_select_the_ffd_variant() {
+        let reg = ConsolidatorRegistry::standard();
+        let c = reg
+            .build("ffd", &params(&[("sort", ParamValue::Str("cpu".into()))]))
+            .unwrap();
+        assert_eq!(c.name(), "FFD-cpu");
+        let err = reg
+            .build("ffd", &params(&[("sort", ParamValue::Str("disk".into()))]))
+            .err()
+            .expect("build must fail");
+        assert!(err.contains("available: cpu, mem, l1, l2, linf"), "{err}");
+    }
+
+    #[test]
+    fn guarded_bnb_declines_heterogeneous_instances() {
+        use snooze_cluster::resources::ResourceVector;
+        let inst = Instance {
+            items: vec![ResourceVector::splat(0.5)],
+            bins: vec![ResourceVector::splat(1.0), ResourceVector::splat(2.0)],
+            incumbent: None,
+        };
+        let c = ConsolidatorRegistry::standard()
+            .build("bnb", &Params::new())
+            .unwrap();
+        assert!(c.consolidate(&inst).is_none(), "no panic, just no plan");
+    }
+}

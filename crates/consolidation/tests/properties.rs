@@ -12,6 +12,7 @@ use snooze_consolidation::distributed::{DistributedAco, DistributedParams};
 use snooze_consolidation::exact::BranchAndBound;
 use snooze_consolidation::ffd::{BestFit, FirstFitDecreasing, NextFit, SortKey, WorstFit};
 use snooze_consolidation::problem::{Consolidator, Instance, Solution};
+use snooze_consolidation::registry::{ConsolidatorRegistry, ParamValue, Params};
 
 /// Strategy: a random homogeneous instance with unit bins and items in
 /// (0, 0.7] per dimension — always solvable with enough bins.
@@ -95,6 +96,50 @@ proptest! {
     }
 
     #[test]
+    fn every_registered_consolidator_is_feasible(inst in homogeneous_instance()) {
+        // The registry contract: anything a scenario file can name must
+        // yield a feasible solution or decline — on fresh instances and
+        // on live ones carrying an incumbent placement.
+        let reg = ConsolidatorRegistry::standard();
+        let fast: Params = [
+            ("preset".to_string(), ParamValue::Str("fast".into())),
+            ("n_ants".to_string(), ParamValue::Int(4)),
+            ("n_cycles".to_string(), ParamValue::Int(4)),
+        ].into_iter().collect();
+        let spread: Vec<usize> = (0..inst.n_items()).map(|i| i % inst.n_bins()).collect();
+        let live = inst.clone().with_incumbent(spread.clone());
+        for key in reg.keys() {
+            let params = if ["aco", "daco", "aco-pso", "mo-aco"].contains(key) {
+                fast.clone()
+            } else {
+                Params::new()
+            };
+            let algo = reg.build(key, &params)
+                .unwrap_or_else(|e| panic!("{key} must build: {e}"));
+            for variant in [&inst, &live] {
+                if let Some(sol) = algo.consolidate(variant) {
+                    prop_assert!(sol.is_feasible(variant), "{key} infeasible");
+                    prop_assert!(
+                        sol.bins_used() >= variant.lower_bound(),
+                        "{key} beat the lower bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_cost_is_zero_against_identical_incumbent(inst in homogeneous_instance()) {
+        // Any solution measured against itself as incumbent moves nothing.
+        for algo in algorithms() {
+            if let Some(sol) = algo.consolidate(&inst) {
+                prop_assert_eq!(sol.migration_count(&sol.assignment), 0);
+                prop_assert_eq!(sol.migration_bytes(&inst, &sol.assignment), 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn optimum_is_never_beaten(inst in homogeneous_instance()) {
         prop_assume!(inst.n_items() <= 12); // keep B&B instant
         let out = BranchAndBound { node_budget: 2_000_000 }.solve(&inst);
@@ -165,6 +210,7 @@ fn exact_solver_rejects_heterogeneous_instances() {
     let inst = Instance {
         items: vec![ResourceVector::splat(0.5)],
         bins: vec![ResourceVector::splat(1.0), ResourceVector::splat(2.0)],
+        incumbent: None,
     };
     assert!(!inst.is_homogeneous());
     let result = std::panic::catch_unwind(|| BranchAndBound::default().solve(&inst));

@@ -235,10 +235,14 @@ pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
         if spec.topology.managers > 0 || spec.topology.lcs > 0 {
             return Err("unified topology excludes `managers`/`lcs`".into());
         }
+        let mut nodes = NodeSpec::standard_cluster(u.nodes);
+        if let Some(p) = &spec.power {
+            p.apply_default(&mut nodes)?;
+        }
         crate::live::deploy_unified_with(
             spec.seed,
             &config,
-            &NodeSpec::standard_cluster(u.nodes),
+            &nodes,
             u.target_managers,
             spec.topology.eps,
             client,
@@ -249,7 +253,7 @@ pub fn compile(spec: &ScenarioSpec) -> Result<LiveSystem, String> {
             spec.seed,
             &config,
             spec.topology.managers,
-            &spec.topology.build_nodes(),
+            &spec.topology.build_nodes(spec.power.as_ref())?,
             spec.topology.eps,
             client,
             &eopts,
@@ -957,6 +961,7 @@ mod tests {
                 },
             ],
             obs: None,
+            power: None,
             slos: Vec::new(),
             engine: None,
         }

@@ -6,11 +6,14 @@
 //! --dump-scenarios` writes them to `scenarios/*.toml`, and a drift test
 //! asserts the checked-in files still expand to exactly these specs.
 
+use std::collections::BTreeMap;
+
 use crate::spec::{
     ClientSpec, Condition, ConfigSpec, EngineSpec, KnobsSpec, ObsSpec, ObserveSpec, PhaseSpec,
-    ReconfSpec, ScenarioDoc, ScenarioSpec, SloSignal, SloSpec, TargetSpec, TopologySpec,
-    WorkloadSpec,
+    PowerModelSpec, PowerSpec, ReconfSpec, ScenarioDoc, ScenarioSpec, SloSignal, SloSpec,
+    TargetSpec, TopologySpec, WorkloadSpec,
 };
+use crate::toml::Value;
 
 fn hierarchy(managers: usize, lcs: usize, retry_ms: f64) -> TopologySpec {
     TopologySpec {
@@ -69,6 +72,7 @@ pub fn e4(vm_counts: &[usize], lcs: usize, managers: usize, seed: u64) -> Vec<Sc
             }],
             probes: Vec::new(),
             obs: None,
+            power: None,
             engine: None,
             slos: Vec::new(),
         })
@@ -97,6 +101,7 @@ pub fn e5(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scenari
             }],
             probes: Vec::new(),
             obs: None,
+            power: None,
             engine: None,
             slos: Vec::new(),
         })
@@ -156,6 +161,7 @@ pub fn e6(seed: u64, reschedule: bool) -> ScenarioSpec {
         ],
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     }
@@ -210,6 +216,7 @@ pub fn e7(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<ScenarioS
         }],
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     };
@@ -227,6 +234,7 @@ pub fn e7(lcs: usize, vms: usize, horizon_secs: u64, seed: u64) -> Vec<ScenarioS
         aco: "default".into(),
         aco_cycles: Some(15),
         max_migrations: 12,
+        params: None,
     });
     vec![no_pm, pm, pm_reconf]
 }
@@ -265,6 +273,7 @@ pub fn e7b(
             }],
             probes: Vec::new(),
             obs: None,
+            power: None,
             engine: None,
             slos: Vec::new(),
         })
@@ -333,6 +342,7 @@ pub fn e9_single(session_ms: u64, heartbeat_ms: u64, seed: u64) -> ScenarioSpec 
         ],
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     }
@@ -372,6 +382,7 @@ pub fn e10b(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scena
                     aco: "default".into(),
                     aco_cycles: Some(15),
                     max_migrations: 16,
+                    params: None,
                 }),
                 ..ConfigSpec::preset("default")
             },
@@ -380,6 +391,7 @@ pub fn e10b(gm_counts: &[usize], lcs: usize, vms: usize, seed: u64) -> Vec<Scena
             phases: vec![PhaseSpec::RunTo { t_ms: 1_800_000.0 }],
             probes: Vec::new(),
             obs: None,
+            power: None,
             engine: None,
             slos: Vec::new(),
         })
@@ -450,6 +462,7 @@ pub fn e11(lcs: usize, with_fault: bool, seed: u64) -> ScenarioSpec {
         // healthy run stays silent; the fault shape's re-election storm
         // is what they exist to flag.
         engine: None,
+        power: None,
         obs: Some(ObsSpec {
             window_ms: 60_000.0,
             ring: 256,
@@ -551,6 +564,7 @@ pub fn e12_trace(
                 aco: "default".into(),
                 aco_cycles: Some(15),
                 max_migrations: 16,
+                params: None,
             }),
             ..ConfigSpec::preset("default")
         },
@@ -567,6 +581,7 @@ pub fn e12_trace(
         }],
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     };
@@ -583,6 +598,158 @@ pub fn e12_trace_default() -> Vec<ScenarioSpec> {
 /// a capped VM count, 45 simulated minutes.
 pub fn e12_trace_smoke(trace_path: &str) -> Vec<ScenarioSpec> {
     e12_trace(128, trace_path, 200, 2700, 0xE12)
+}
+
+/// The consolidators the full E14 arena sweeps (every registry key
+/// except `bnb`, whose exhaustive search is pointless at cluster scale;
+/// the smoke gate still exercises it on the small shape).
+pub const E14_ALGOS: [&str; 8] = [
+    "aco", "aco-pso", "bfd", "daco", "ffd", "mo-aco", "nfd", "wfd",
+];
+
+/// The power models the E14 arena sweeps: the legacy linear profile,
+/// the 3-state DVFS curve, and the same DVFS curve with billed
+/// suspend/resume transitions.
+pub const E14_POWER_MODELS: [&str; 3] = ["grid5000", "grid5000_dvfs3", "dvfs3_billed"];
+
+/// The E14 `[power]` table: `dvfs3_billed` is the built-in 3-state
+/// DVFS curve with `transitions = "billed"` — resume and boot draw the
+/// top state's peak, so short idle gaps can net-lose energy and the
+/// arena punishes over-eager packing.
+fn e14_power_spec(default: &str) -> PowerSpec {
+    let mut params = BTreeMap::new();
+    params.insert(
+        "freq_ghz".to_string(),
+        Value::Array(vec![
+            Value::Float(1.2),
+            Value::Float(1.8),
+            Value::Float(2.4),
+        ]),
+    );
+    params.insert(
+        "idle_watts".to_string(),
+        Value::Array(vec![
+            Value::Float(118.0),
+            Value::Float(136.0),
+            Value::Float(160.0),
+        ]),
+    );
+    params.insert(
+        "max_watts".to_string(),
+        Value::Array(vec![
+            Value::Float(162.0),
+            Value::Float(201.0),
+            Value::Float(250.0),
+        ]),
+    );
+    params.insert("suspend_watts".to_string(), Value::Float(5.0));
+    PowerSpec {
+        default: Some(default.to_string()),
+        models: vec![PowerModelSpec {
+            name: "dvfs3_billed".into(),
+            kind: "dvfs".into(),
+            transitions: "billed".into(),
+            params,
+        }],
+    }
+}
+
+/// **E14 — the consolidation arena**: the E12 diurnal-trace shape swept
+/// over the full `algo` × power-model grid. Placement stays round-robin
+/// (spread), underload drain stays off, so packing quality, migration
+/// churn and transition billing are entirely down to the
+/// (consolidator, power model) pair under test. One scenario per cell,
+/// named `e14-{algo}-{power}`.
+pub fn e14_arena(
+    lcs: usize,
+    trace_path: &str,
+    max_vms: usize,
+    horizon_secs: u64,
+    seed: u64,
+    algos: &[&str],
+    powers: &[&str],
+) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for algo in algos {
+        for power in powers {
+            // `bnb` needs a node budget the small smoke shape can
+            // exhaust quickly; every other algorithm takes registry
+            // defaults.
+            let params = (*algo == "bnb").then(|| {
+                let mut p = BTreeMap::new();
+                p.insert("node_budget".to_string(), Value::Int(200_000));
+                p
+            });
+            specs.push(ScenarioSpec {
+                name: format!("e14-{algo}-{power}"),
+                description: format!(
+                    "consolidation arena: {algo} reconfiguration under the {power} power model"
+                ),
+                seed,
+                topology: hierarchy(9, lcs, 15000.0),
+                config: ConfigSpec {
+                    placement: Some("round_robin".into()),
+                    idle_suspend_ms: Some(120_000.0),
+                    underload_threshold: Some(0.0),
+                    reconfiguration: Some(ReconfSpec {
+                        period_ms: 600_000.0,
+                        algo: (*algo).into(),
+                        aco: "default".into(),
+                        aco_cycles: Some(15),
+                        max_migrations: 16,
+                        params,
+                    }),
+                    ..ConfigSpec::preset("default")
+                },
+                workload: vec![WorkloadSpec::Trace {
+                    path: trace_path.into(),
+                    time_scale: 1.0,
+                    max_vms,
+                    policy: "truncate".into(),
+                }],
+                faults: Vec::new(),
+                phases: vec![PhaseSpec::SampleTo {
+                    t_ms: horizon_secs as f64 * 1e3,
+                    every_ms: 60000.0,
+                }],
+                probes: Vec::new(),
+                obs: None,
+                power: Some(e14_power_spec(power)),
+                engine: None,
+                slos: Vec::new(),
+            });
+        }
+    }
+    specs
+}
+
+/// The full arena (`scenarios/e14_arena.toml`): the whole reference
+/// trace on 1000 LCs, three simulated hours, all 8 × 3 cells.
+pub fn e14_arena_default() -> Vec<ScenarioSpec> {
+    e14_arena(
+        1000,
+        REFERENCE_TRACE,
+        0,
+        10_800,
+        0xE14,
+        &E14_ALGOS,
+        &E14_POWER_MODELS,
+    )
+}
+
+/// The reduced shape behind `run_experiments --arena-smoke`: 128 LCs,
+/// 200 VMs, 45 simulated minutes, *every* registry key (including
+/// `bnb`) under the billed-DVFS model.
+pub fn e14_arena_smoke(trace_path: &str) -> Vec<ScenarioSpec> {
+    e14_arena(
+        128,
+        trace_path,
+        200,
+        2700,
+        0xE14,
+        &snooze_consolidation::registry::REGISTRY_KEYS,
+        &["dvfs3_billed"],
+    )
 }
 
 /// The telemetry-report acceptance scenario: an E4-shaped burst with one
@@ -614,6 +781,7 @@ pub fn report_failover(seed: u64) -> ScenarioSpec {
         // crash *will* miss heartbeats, so this scenario demonstrates
         // the alert → incident-dump path end to end.
         engine: None,
+        power: None,
         obs: Some(ObsSpec {
             window_ms: 30_000.0,
             ring: 128,
@@ -646,6 +814,7 @@ pub fn checked_in() -> Vec<(&'static str, ScenarioDoc)> {
         ("e11.toml", ScenarioDoc::from_specs(&e11_default(), &[])),
         ("e12_trace.toml", doc(e12_trace_default())),
         ("e13_shard.toml", doc(e13_default())),
+        ("e14_arena.toml", doc(e14_arena_default())),
         (
             "report.toml",
             ScenarioDoc::from_specs(&report_failover(0x5EED), &[]),

@@ -18,8 +18,11 @@ use snooze::prelude::SnoozeConfig;
 use snooze::scheduling::placement::PlacementKind;
 use snooze::scheduling::reconfiguration::ReconfigurationConfig;
 use snooze_cluster::node::{NodeId, NodeSpec, TransitionTimes};
-use snooze_cluster::power::LinearPower;
+use snooze_cluster::power::{
+    BilledTransitions, DvfsPower, DvfsState, LinearPower, PowerModel, SpecLikePower,
+};
 use snooze_cluster::resources::ResourceVector;
+use snooze_consolidation::registry::{ConsolidatorRegistry, ParamValue};
 use snooze_simcore::time::{SimSpan, SimTime};
 
 use crate::toml::{self, Value};
@@ -69,6 +72,44 @@ pub struct ScenarioSpec {
     /// Sharded-engine settings. Absent = the classic single-shard
     /// engine, byte-identical to every pre-shard run.
     pub engine: Option<EngineSpec>,
+    /// Power-model library (the `[power]` table). Absent = the built-in
+    /// Grid'5000 linear model everywhere, exactly the pre-arena objects.
+    pub power: Option<PowerSpec>,
+}
+
+/// The `[power]` table: a library of named power models plus an optional
+/// default for the standard LC fleet. Node groups pick a model by name
+/// via their `model` key; names resolve against `[[power.model]]`
+/// definitions first, then the built-ins (`grid5000`, `xeon_2011`,
+/// `grid5000_dvfs3`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerSpec {
+    /// Model name applied to the standard `lcs` nodes (and unified
+    /// nodes). Absent = the built-in Grid'5000 linear model.
+    pub default: Option<String>,
+    /// Named model definitions.
+    pub models: Vec<PowerModelSpec>,
+}
+
+/// One `[[power.model]]` definition. `kind` selects the curve family and
+/// the remaining keys are its parameters (validated when the model is
+/// built):
+///
+/// - `"linear"`: `idle_watts`, `max_watts`, `suspend_watts`
+/// - `"spec"`: `points` (11 watts values at 0..100% load), `suspend_watts`
+/// - `"dvfs"`: parallel arrays `freq_ghz`, `idle_watts`, `max_watts`
+///   (one entry per frequency state, ascending), plus `suspend_watts`
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerModelSpec {
+    /// The name node groups and `power.default` refer to.
+    pub name: String,
+    /// `"linear"`, `"spec"` or `"dvfs"`.
+    pub kind: String,
+    /// Transition billing: `"legacy"` draws idle while suspending /
+    /// resuming / booting; `"billed"` draws peak on the way up.
+    pub transitions: String,
+    /// Kind-specific parameters (raw scalars / arrays).
+    pub params: BTreeMap<String, Value>,
 }
 
 /// Sharded-execution settings (the `[engine]` table).
@@ -186,6 +227,9 @@ pub struct NodeGroupSpec {
     pub max_watts: f64,
     /// Suspended power draw, watts.
     pub suspend_watts: f64,
+    /// Named `[power]` model for this group. When set, it supersedes the
+    /// inline linear watts above.
+    pub model: Option<String>,
 }
 
 /// Unified-node (§V) deployment: every node starts as an LC and the
@@ -231,14 +275,20 @@ pub struct ConfigSpec {
 pub struct ReconfSpec {
     /// Pass period, ms.
     pub period_ms: f64,
-    /// `"aco"` or `"ffd"` — which consolidator plans the pass.
+    /// Which consolidator plans the pass — any
+    /// [`ConsolidatorRegistry`] key (`aco`, `aco-pso`, `bfd`, `bnb`,
+    /// `daco`, `ffd`, `mo-aco`, `nfd`, `wfd`).
     pub algo: String,
-    /// `"default"` or `"fast"` colony parameters.
+    /// `"default"` or `"fast"` colony parameters (colony-based
+    /// algorithms only; greedy ones ignore it).
     pub aco: String,
     /// ACO cycle-count override.
     pub aco_cycles: Option<i64>,
     /// Migration budget per pass.
     pub max_migrations: i64,
+    /// Extra per-algorithm parameters forwarded verbatim to the registry
+    /// (the `[config.reconfiguration.params]` sub-table).
+    pub params: Option<BTreeMap<String, Value>>,
 }
 
 /// The two administrator dials §II-D/E healing latency hangs on. Setting
@@ -442,25 +492,209 @@ pub struct ProbeSpec {
 
 impl TopologySpec {
     /// The node list: `lcs` standard nodes, then each group, ids
-    /// continuing in order.
-    pub fn build_nodes(&self) -> Vec<NodeSpec> {
+    /// continuing in order. `power` is the scenario's `[power]` table;
+    /// absent, every node draws the hard-coded Grid'5000 linear model —
+    /// exactly the pre-arena objects.
+    pub fn build_nodes(&self, power: Option<&PowerSpec>) -> Result<Vec<NodeSpec>, String> {
         let mut nodes = NodeSpec::standard_cluster(self.lcs);
+        if let Some(p) = power {
+            p.apply_default(&mut nodes)?;
+        }
         for g in &self.node_groups {
+            let model: Arc<dyn PowerModel> = match (&g.model, power) {
+                (Some(name), Some(p)) => p.resolve(name)?,
+                (Some(name), None) => {
+                    return Err(format!(
+                    "node group names power model `{name}` but the scenario has no [power] table"
+                ))
+                }
+                (None, _) => Arc::new(LinearPower {
+                    idle_watts: g.idle_watts,
+                    max_watts: g.max_watts,
+                    suspend_watts: g.suspend_watts,
+                }),
+            };
             for _ in 0..g.count {
                 let id = NodeId(nodes.len());
                 nodes.push(NodeSpec {
                     id,
                     capacity: ResourceVector::new(g.cores, g.memory_mb, g.net_mbps, g.net_mbps),
                     transitions: TransitionTimes::typical_server(),
-                    power: Arc::new(LinearPower {
-                        idle_watts: g.idle_watts,
-                        max_watts: g.max_watts,
-                        suspend_watts: g.suspend_watts,
-                    }),
+                    power: Arc::clone(&model),
                 });
             }
         }
-        nodes
+        Ok(nodes)
+    }
+}
+
+impl PowerSpec {
+    /// Resolve a model name: `[[power.model]]` definitions first, then
+    /// the built-ins.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn PowerModel>, String> {
+        if let Some(def) = self.models.iter().find(|m| m.name == name) {
+            return def.build();
+        }
+        match name {
+            "grid5000" => Ok(Arc::new(LinearPower::grid5000())),
+            "xeon_2011" => Ok(Arc::new(SpecLikePower::xeon_2011())),
+            "grid5000_dvfs3" => Ok(Arc::new(DvfsPower::grid5000_3state())),
+            other => {
+                let mut names: Vec<&str> = self.models.iter().map(|m| m.name.as_str()).collect();
+                names.extend(["grid5000", "xeon_2011", "grid5000_dvfs3"]);
+                names.sort_unstable();
+                Err(format!(
+                    "unknown power model `{other}`; available: {}",
+                    names.join(", ")
+                ))
+            }
+        }
+    }
+
+    /// Swap the default model onto every node in `nodes` (the standard
+    /// LC / unified fleet). No-op when `power.default` is absent.
+    pub fn apply_default(&self, nodes: &mut [NodeSpec]) -> Result<(), String> {
+        if let Some(name) = &self.default {
+            let model = self.resolve(name)?;
+            for n in nodes {
+                n.power = Arc::clone(&model);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn param_f64(t: &BTreeMap<String, Value>, k: &str, ctx: &str) -> Result<f64, String> {
+    t.get(k)
+        .and_then(|v| v.as_float())
+        .ok_or_else(|| format!("{ctx}: `{k}` must be a number"))
+}
+
+fn param_f64_array(t: &BTreeMap<String, Value>, k: &str, ctx: &str) -> Result<Vec<f64>, String> {
+    match t.get(k) {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_float()
+                    .ok_or_else(|| format!("{ctx}: `{k}` must contain only numbers"))
+            })
+            .collect(),
+        _ => Err(format!("{ctx}: `{k}` must be an array of numbers")),
+    }
+}
+
+impl PowerModelSpec {
+    /// Materialize the model, validating kind-specific parameters.
+    pub fn build(&self) -> Result<Arc<dyn PowerModel>, String> {
+        let ctx = format!("power model `{}`", self.name);
+        let allowed: &[&str] = match self.kind.as_str() {
+            "linear" => &["idle_watts", "max_watts", "suspend_watts"],
+            "spec" => &["points", "suspend_watts"],
+            "dvfs" => &["freq_ghz", "idle_watts", "max_watts", "suspend_watts"],
+            other => {
+                return Err(format!(
+                    "{ctx}: unknown kind `{other}` (expected `linear`, `spec` or `dvfs`)"
+                ))
+            }
+        };
+        for k in self.params.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("{ctx}: unknown parameter `{k}`"));
+            }
+        }
+        let base: Arc<dyn PowerModel> = match self.kind.as_str() {
+            "linear" => Arc::new(LinearPower {
+                idle_watts: param_f64(&self.params, "idle_watts", &ctx)?,
+                max_watts: param_f64(&self.params, "max_watts", &ctx)?,
+                suspend_watts: param_f64(&self.params, "suspend_watts", &ctx)?,
+            }),
+            "spec" => {
+                let pts = param_f64_array(&self.params, "points", &ctx)?;
+                let points: [f64; 11] = pts.try_into().map_err(|v: Vec<f64>| {
+                    format!("{ctx}: `points` needs exactly 11 entries, got {}", v.len())
+                })?;
+                Arc::new(SpecLikePower {
+                    points,
+                    suspend_watts: param_f64(&self.params, "suspend_watts", &ctx)?,
+                })
+            }
+            "dvfs" => {
+                let freq = param_f64_array(&self.params, "freq_ghz", &ctx)?;
+                let idle = param_f64_array(&self.params, "idle_watts", &ctx)?;
+                let max = param_f64_array(&self.params, "max_watts", &ctx)?;
+                if freq.is_empty() || freq.len() != idle.len() || freq.len() != max.len() {
+                    return Err(format!(
+                        "{ctx}: `freq_ghz`, `idle_watts` and `max_watts` must be \
+                         non-empty arrays of equal length"
+                    ));
+                }
+                if freq.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("{ctx}: `freq_ghz` must be strictly ascending"));
+                }
+                Arc::new(DvfsPower {
+                    states: freq
+                        .into_iter()
+                        .zip(idle)
+                        .zip(max)
+                        .map(|((freq_ghz, idle_watts), max_watts)| DvfsState {
+                            freq_ghz,
+                            idle_watts,
+                            max_watts,
+                        })
+                        .collect(),
+                    suspend_watts: param_f64(&self.params, "suspend_watts", &ctx)?,
+                })
+            }
+            _ => unreachable!("kind validated above"),
+        };
+        match self.transitions.as_str() {
+            "legacy" => Ok(base),
+            "billed" => Ok(Arc::new(BilledTransitions { base })),
+            other => Err(format!(
+                "{ctx}: unknown transitions `{other}` (expected `legacy` or `billed`)"
+            )),
+        }
+    }
+}
+
+impl ReconfSpec {
+    /// Materialize the pass configuration: the consolidator comes from
+    /// the [`ConsolidatorRegistry`], keyed by `algo`, fed the colony
+    /// preset plus any `params` overrides.
+    pub fn build(&self) -> Result<ReconfigurationConfig, String> {
+        // The colony preset is validated up front even for greedy
+        // algorithms that ignore it — the pre-registry strictness.
+        if self.aco != "default" && self.aco != "fast" {
+            return Err(format!("unknown aco preset `{}`", self.aco));
+        }
+        let mut params = snooze_consolidation::registry::Params::new();
+        if matches!(self.algo.as_str(), "aco" | "daco" | "aco-pso" | "mo-aco") {
+            params.insert("preset".into(), ParamValue::Str(self.aco.clone()));
+            if let Some(n) = self.aco_cycles {
+                params.insert("n_cycles".into(), ParamValue::Int(n));
+            }
+        }
+        if let Some(extra) = &self.params {
+            for (k, v) in extra {
+                let pv = match v {
+                    Value::Int(i) => ParamValue::Int(*i),
+                    Value::Float(f) => ParamValue::Float(*f),
+                    Value::Str(s) => ParamValue::Str(s.clone()),
+                    Value::Bool(b) => ParamValue::Bool(*b),
+                    _ => return Err(format!("reconfiguration param `{k}` must be a scalar")),
+                };
+                params.insert(k.clone(), pv);
+            }
+        }
+        let consolidator = ConsolidatorRegistry::standard()
+            .build(&self.algo, &params)
+            .map_err(|e| format!("reconfiguration: {e}"))?;
+        Ok(ReconfigurationConfig {
+            period: ms_to_span(self.period_ms),
+            algo: self.algo.clone(),
+            consolidator: Arc::from(consolidator),
+            max_migrations: self.max_migrations as usize,
+        })
     }
 }
 
@@ -519,25 +753,7 @@ impl ConfigSpec {
             c.reschedule_on_lc_failure = r;
         }
         if let Some(r) = &self.reconfiguration {
-            let mut aco = match r.aco.as_str() {
-                "default" => snooze_consolidation::aco::AcoParams::default(),
-                "fast" => snooze_consolidation::aco::AcoParams::fast(),
-                other => return Err(format!("unknown aco preset `{other}`")),
-            };
-            if let Some(n) = r.aco_cycles {
-                aco.n_cycles = n as usize;
-            }
-            let algo = match r.algo.as_str() {
-                "aco" => snooze::scheduling::reconfiguration::ConsolidatorKind::Aco,
-                "ffd" => snooze::scheduling::reconfiguration::ConsolidatorKind::Ffd,
-                other => return Err(format!("unknown reconfiguration algo `{other}`")),
-            };
-            c.reconfiguration = Some(ReconfigurationConfig {
-                period: ms_to_span(r.period_ms),
-                algo,
-                aco,
-                max_migrations: r.max_migrations as usize,
-            });
+            c.reconfiguration = Some(r.build()?);
         }
         Ok(c)
     }
@@ -629,6 +845,7 @@ impl ScenarioSpec {
                 "obs",
                 "slo",
                 "engine",
+                "power",
             ],
             "scenario",
         )?;
@@ -653,6 +870,7 @@ impl ScenarioSpec {
                         "idle_watts",
                         "max_watts",
                         "suspend_watts",
+                        "model",
                     ],
                     "topology.nodes",
                 )?;
@@ -664,6 +882,7 @@ impl ScenarioSpec {
                     idle_watts: get_f64(g, "idle_watts")?,
                     max_watts: get_f64(g, "max_watts")?,
                     suspend_watts: get_f64(g, "suspend_watts")?,
+                    model: g.get("model").and_then(|v| v.as_str()).map(String::from),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -721,9 +940,24 @@ impl ScenarioSpec {
                         let r = v.as_table().ok_or("`reconfiguration` must be a table")?;
                         known_keys(
                             r,
-                            &["period_ms", "algo", "aco", "aco_cycles", "max_migrations"],
+                            &[
+                                "period_ms",
+                                "algo",
+                                "aco",
+                                "aco_cycles",
+                                "max_migrations",
+                                "params",
+                            ],
                             "config.reconfiguration",
                         )?;
+                        let params = match r.get("params") {
+                            None => None,
+                            Some(v) => Some(
+                                v.as_table()
+                                    .ok_or("`reconfiguration.params` must be a table")?
+                                    .clone(),
+                            ),
+                        };
                         Some(ReconfSpec {
                             period_ms: get_f64(r, "period_ms")?,
                             algo: r
@@ -740,6 +974,7 @@ impl ScenarioSpec {
                             max_migrations: get(r, "max_migrations")?
                                 .as_int()
                                 .ok_or("`max_migrations` must be an integer")?,
+                            params,
                         })
                     }
                 };
@@ -882,6 +1117,39 @@ impl ScenarioSpec {
                 })
             }
         };
+        let power = match root.get("power") {
+            None => None,
+            Some(v) => {
+                let p = v.as_table().ok_or("`power` must be a table")?;
+                known_keys(p, &["default", "model"], "power")?;
+                let models = table_array(p, "model")?
+                    .into_iter()
+                    .map(|m| {
+                        let mut params = m.clone();
+                        let name = get_str(m, "name")?;
+                        let kind = get_str(m, "kind")?;
+                        let transitions = m
+                            .get("transitions")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("legacy")
+                            .to_string();
+                        params.remove("name");
+                        params.remove("kind");
+                        params.remove("transitions");
+                        Ok(PowerModelSpec {
+                            name,
+                            kind,
+                            transitions,
+                            params,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Some(PowerSpec {
+                    default: p.get("default").and_then(|v| v.as_str()).map(String::from),
+                    models,
+                })
+            }
+        };
 
         Ok(ScenarioSpec {
             name: get_str(root, "name")?,
@@ -903,6 +1171,7 @@ impl ScenarioSpec {
             obs,
             slos,
             engine,
+            power,
         })
     }
 
@@ -932,6 +1201,9 @@ impl ScenarioSpec {
                     t.insert("idle_watts".into(), Value::Float(g.idle_watts));
                     t.insert("max_watts".into(), Value::Float(g.max_watts));
                     t.insert("suspend_watts".into(), Value::Float(g.suspend_watts));
+                    if let Some(m) = &g.model {
+                        t.insert("model".into(), Value::Str(m.clone()));
+                    }
                     t
                 })
                 .collect();
@@ -979,6 +1251,9 @@ impl ScenarioSpec {
                 t.insert("aco_cycles".into(), Value::Int(n));
             }
             t.insert("max_migrations".into(), Value::Int(r.max_migrations));
+            if let Some(p) = &r.params {
+                t.insert("params".into(), Value::Table(p.clone()));
+            }
             cfg.insert("reconfiguration".into(), Value::Table(t));
         }
         if let Some(k) = &self.config.knobs {
@@ -1069,6 +1344,27 @@ impl ScenarioSpec {
                 t.insert("queue".into(), Value::Str(q.clone()));
             }
             root.insert("engine".into(), Value::Table(t));
+        }
+        if let Some(p) = &self.power {
+            let mut t = Tbl::new();
+            if let Some(d) = &p.default {
+                t.insert("default".into(), Value::Str(d.clone()));
+            }
+            if !p.models.is_empty() {
+                let models = p
+                    .models
+                    .iter()
+                    .map(|m| {
+                        let mut mt = m.params.clone();
+                        mt.insert("name".into(), Value::Str(m.name.clone()));
+                        mt.insert("kind".into(), Value::Str(m.kind.clone()));
+                        mt.insert("transitions".into(), Value::Str(m.transitions.clone()));
+                        mt
+                    })
+                    .collect();
+                t.insert("model".into(), Value::TableArray(models));
+            }
+            root.insert("power".into(), Value::Table(t));
         }
         root
     }
@@ -1513,6 +1809,7 @@ mod tests {
                     idle_watts: 200.0,
                     max_watts: 320.0,
                     suspend_watts: 6.0,
+                    model: None,
                 }],
                 eps: 1,
                 unified: None,
@@ -1571,6 +1868,7 @@ mod tests {
             obs: None,
             slos: vec![],
             engine: None,
+            power: None,
         }
     }
 
@@ -1633,12 +1931,152 @@ mod tests {
             aco: "fast".into(),
             aco_cycles: None,
             max_migrations: 8,
+            params: None,
         });
         let doc = ScenarioDoc::from_specs(&base, &[v1.clone(), v2.clone()]);
         let text = doc.to_toml();
         let parsed = ScenarioDoc::parse(&text).unwrap();
         assert_eq!(parsed.to_toml(), text, "document round-trip");
         assert_eq!(parsed.expand().unwrap(), vec![v1, v2]);
+    }
+
+    #[test]
+    fn unknown_reconfiguration_algo_lists_registry_keys() {
+        let cs = ConfigSpec {
+            reconfiguration: Some(ReconfSpec {
+                period_ms: 60000.0,
+                algo: "simulated-annealing".into(),
+                aco: "default".into(),
+                aco_cycles: None,
+                max_migrations: 8,
+                params: None,
+            }),
+            ..ConfigSpec::preset("default")
+        };
+        let err = cs.build().unwrap_err();
+        assert!(err.contains("simulated-annealing"), "{err}");
+        assert!(err.contains("available:"), "{err}");
+        for key in snooze_consolidation::registry::REGISTRY_KEYS {
+            assert!(err.contains(key), "error must list `{key}`: {err}");
+        }
+    }
+
+    #[test]
+    fn every_registry_algo_is_selectable_from_toml() {
+        for key in snooze_consolidation::registry::REGISTRY_KEYS {
+            let cs = ConfigSpec {
+                reconfiguration: Some(ReconfSpec {
+                    period_ms: 60000.0,
+                    algo: key.to_string(),
+                    aco: "fast".into(),
+                    aco_cycles: Some(4),
+                    max_migrations: 8,
+                    params: None,
+                }),
+                ..ConfigSpec::preset("default")
+            };
+            let c = cs.build().unwrap_or_else(|e| panic!("{key}: {e}"));
+            let rc = c.reconfiguration.expect(key);
+            assert_eq!(rc.algo, *key);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_params_round_trip_and_reach_the_registry() {
+        let mut spec = demo_spec();
+        let mut params = BTreeMap::new();
+        params.insert("sort".to_string(), Value::Str("cpu".into()));
+        spec.config.reconfiguration = Some(ReconfSpec {
+            period_ms: 60000.0,
+            algo: "ffd".into(),
+            aco: "default".into(),
+            aco_cycles: None,
+            max_migrations: 8,
+            params: Some(params),
+        });
+        let text = spec.to_toml();
+        assert!(text.contains("[config.reconfiguration.params]"), "{text}");
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), text);
+        back.config.build().unwrap();
+
+        // A bogus parameter is rejected at build time with the algo name.
+        let mut bad = spec.clone();
+        if let Some(r) = &mut bad.config.reconfiguration {
+            r.params
+                .as_mut()
+                .unwrap()
+                .insert("ants".into(), Value::Int(3));
+        }
+        let err = bad.config.build().unwrap_err();
+        assert!(err.contains("unknown parameter `ants`"), "{err}");
+    }
+
+    #[test]
+    fn power_table_round_trips_and_builds_models() {
+        let mut spec = demo_spec();
+        let mut dvfs = BTreeMap::new();
+        dvfs.insert(
+            "freq_ghz".to_string(),
+            Value::Array(vec![Value::Float(1.2), Value::Float(2.4)]),
+        );
+        dvfs.insert(
+            "idle_watts".to_string(),
+            Value::Array(vec![Value::Float(118.0), Value::Float(160.0)]),
+        );
+        dvfs.insert(
+            "max_watts".to_string(),
+            Value::Array(vec![Value::Float(162.0), Value::Float(250.0)]),
+        );
+        dvfs.insert("suspend_watts".to_string(), Value::Float(5.0));
+        spec.power = Some(PowerSpec {
+            default: Some("slowstep".into()),
+            models: vec![PowerModelSpec {
+                name: "slowstep".into(),
+                kind: "dvfs".into(),
+                transitions: "billed".into(),
+                params: dvfs,
+            }],
+        });
+        spec.topology.node_groups[0].model = Some("xeon_2011".into());
+
+        let text = spec.to_toml();
+        assert!(text.contains("[power]"), "{text}");
+        assert!(text.contains("[[power.model]]"), "{text}");
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_toml(), text);
+
+        let nodes = back.topology.build_nodes(back.power.as_ref()).unwrap();
+        assert_eq!(nodes.len(), 8 + 2);
+        // The default model resumes at the billed (peak) wattage, the
+        // legacy linear model would bill idle.
+        assert!(nodes[0].power.resuming_watts() > nodes[0].power.active_watts(0.0));
+        // The group picked the built-in SPEC-like curve.
+        let xeon = SpecLikePower::xeon_2011();
+        assert_eq!(nodes[9].power.active_watts(1.0), xeon.active_watts(1.0));
+
+        // Unknown names are spec errors listing what exists.
+        let err = back
+            .power
+            .as_ref()
+            .unwrap()
+            .resolve("warp-drive")
+            .err()
+            .expect("unknown model must fail");
+        assert!(err.contains("warp-drive"), "{err}");
+        assert!(err.contains("slowstep"), "{err}");
+        assert!(err.contains("grid5000_dvfs3"), "{err}");
+
+        // Absent [power], a named group model is an error …
+        let mut orphan = demo_spec();
+        orphan.topology.node_groups[0].model = Some("slowstep".into());
+        let err = orphan.topology.build_nodes(None).unwrap_err();
+        assert!(err.contains("no [power] table"), "{err}");
+
+        // … and the plain spec's encoding carries no power table at all.
+        assert!(!demo_spec().to_toml().contains("[power]"));
     }
 
     #[test]

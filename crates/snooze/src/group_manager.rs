@@ -18,6 +18,7 @@
 //!   self-organization protocol.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
@@ -34,6 +35,7 @@ use snooze_simcore::time::SimTime;
 use crate::config::SnoozeConfig;
 use crate::estimator::DemandEstimator;
 use crate::messages::*;
+pub use crate::messages::{VmActive, VmFailed};
 use crate::scheduling::dispatching::Dispatcher;
 use crate::scheduling::placement::Placer;
 use crate::scheduling::reconfiguration::plan_reconfiguration;
@@ -42,13 +44,6 @@ use crate::scheduling::relocation::{
 };
 use crate::scheduling::{GmSummaryView, LcView};
 use crate::tags::*;
-use snooze_consolidation::aco::AcoConsolidator;
-use snooze_consolidation::ffd::{FirstFitDecreasing, SortKey};
-use snooze_consolidation::problem::Consolidator;
-
-use crate::scheduling::reconfiguration::ConsolidatorKind;
-
-pub use crate::messages::{VmActive, VmFailed};
 
 /// Role of the manager right now.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -576,9 +571,11 @@ impl GroupManager {
     }
 
     fn reconfigure(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
-        let Some(rc) = self.config.reconfiguration else {
+        let Some(rc) = self.config.reconfiguration.as_ref() else {
             return;
         };
+        let consolidator = Arc::clone(&rc.consolidator);
+        let max_migrations = rc.max_migrations;
         self.stats.reconfigurations += 1;
         let span = ctx.span_open("gm.reconfigure");
         let views = self.lc_views();
@@ -601,15 +598,11 @@ impl GroupManager {
                     })
             })
             .collect();
-        let consolidator: Box<dyn Consolidator> = match rc.algo {
-            ConsolidatorKind::Aco => Box::new(AcoConsolidator::new(rc.aco)),
-            ConsolidatorKind::Ffd => Box::new(FirstFitDecreasing { key: SortKey::L1 }),
-        };
         let plan = plan_reconfiguration(
             &views,
             &placements,
             consolidator.as_ref(),
-            rc.max_migrations,
+            max_migrations,
             self.config.overload_threshold,
         );
         if !plan.is_empty() {
@@ -936,7 +929,7 @@ impl Component for GroupManager {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SnoozeMsg>) {
         ctx.join_group(self.gl_group);
         self.elector.start(ctx);
-        if let Some(rc) = self.config.reconfiguration {
+        if let Some(rc) = self.config.reconfiguration.as_ref() {
             ctx.set_timer(rc.period, tag(GM_RECONF, 0));
         }
     }
@@ -1353,7 +1346,7 @@ impl Component for GroupManager {
                 if matches!(self.mode, Mode::Gm(_)) {
                     self.reconfigure(ctx);
                 }
-                if let Some(rc) = self.config.reconfiguration {
+                if let Some(rc) = self.config.reconfiguration.as_ref() {
                     ctx.set_timer(rc.period, tag(GM_RECONF, 0));
                 }
             }
@@ -1375,7 +1368,7 @@ impl Component for GroupManager {
         self.gm_timer_armed = false;
         ctx.trace("restart", "GM back up");
         self.elector.start(ctx);
-        if let Some(rc) = self.config.reconfiguration {
+        if let Some(rc) = self.config.reconfiguration.as_ref() {
             ctx.set_timer(rc.period, tag(GM_RECONF, 0));
         }
     }

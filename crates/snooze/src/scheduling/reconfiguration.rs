@@ -15,46 +15,61 @@
 //! it actually reduces the number of occupied LCs — migrations are not
 //! free.
 
+use std::sync::Arc;
+
 use snooze_consolidation::problem::{Consolidator, Instance};
 use snooze_simcore::engine::ComponentId;
 use snooze_simcore::time::SimSpan;
 
 use super::relocation::{PlannedMigration, VmView};
 use super::LcView;
-use snooze_consolidation::aco::AcoParams;
-
-/// Which algorithm the periodic pass runs. The paper proposes ACO;
-/// FFD is the greedy baseline it is measured against (E12 compares the
-/// two live, under a trace-driven workload).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ConsolidatorKind {
-    /// Ant-colony consolidation (paper §IV).
-    Aco,
-    /// First-Fit Decreasing with the L1 presort.
-    Ffd,
-}
+use snooze_consolidation::ffd::{SortKey, WorstFit};
 
 /// Configuration of the periodic reconfiguration pass.
-#[derive(Clone, Copy, Debug)]
+///
+/// The consolidator is an open, pre-built instance rather than a closed
+/// enum: any algorithm in the
+/// [`ConsolidatorRegistry`](snooze_consolidation::registry::ConsolidatorRegistry)
+/// — or any custom [`Consolidator`] — plugs in. `algo` carries the
+/// registry key (or any display label) for tables and traces.
+#[derive(Clone)]
 pub struct ReconfigurationConfig {
     /// How often the pass runs.
     pub period: SimSpan,
-    /// Which consolidator plans the pass.
-    pub algo: ConsolidatorKind,
-    /// Colony parameters for the ACO consolidator (ignored under FFD).
-    pub aco: AcoParams,
+    /// Registry key / display label of the consolidator.
+    pub algo: String,
+    /// The consolidator planning the pass. Shared: GMs on sharded-engine
+    /// worker threads clone the handle, not the algorithm state.
+    pub consolidator: Arc<dyn Consolidator>,
     /// Maximum migrations issued per pass (live migration has a cost).
     pub max_migrations: usize,
 }
 
 impl Default for ReconfigurationConfig {
     fn default() -> Self {
+        // The E14 arena winner (BENCH_E14_ARENA.json): on the 1000-LC
+        // diurnal-trace shape, worst-fit-decreasing Pareto-dominates the
+        // whole field under every power model — least energy, zero SLA
+        // violations and near-zero migration churn — so it is the
+        // out-of-the-box consolidator. Scenarios always name `algo`
+        // explicitly, so checked-in experiment outputs don't move.
         ReconfigurationConfig {
             period: SimSpan::from_secs(600),
-            algo: ConsolidatorKind::Aco,
-            aco: AcoParams::default(),
+            algo: "wfd".to_string(),
+            consolidator: Arc::new(WorstFit { key: SortKey::L1 }),
             max_migrations: 16,
         }
+    }
+}
+
+impl std::fmt::Debug for ReconfigurationConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconfigurationConfig")
+            .field("period", &self.period)
+            .field("algo", &self.algo)
+            .field("consolidator", &self.consolidator.name())
+            .field("max_migrations", &self.max_migrations)
+            .finish()
     }
 }
 
@@ -97,9 +112,12 @@ pub fn plan_reconfiguration(
         return Vec::new();
     }
 
+    // Carry the current placement as the incumbent so migration-cost-aware
+    // consolidators can weigh churn against packing quality.
     let instance = Instance {
         items: movable.iter().map(|(v, _)| v.requested).collect(),
         bins: active.iter().map(|l| l.capacity).collect(),
+        incumbent: Some(movable.iter().map(|(_, lc)| bin_of_lc[lc]).collect()),
     };
     let solution = match consolidator.consolidate(&instance) {
         Some(s) => s,
@@ -145,7 +163,7 @@ mod tests {
     use super::*;
     use snooze_cluster::resources::ResourceVector;
     use snooze_cluster::vm::VmId;
-    use snooze_consolidation::aco::AcoConsolidator;
+    use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
     use snooze_consolidation::ffd::{FirstFitDecreasing, SortKey};
 
     fn lc(id: usize, cap: f64, used: f64, on: bool) -> LcView {

@@ -9,7 +9,7 @@ use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
-use snooze_consolidation::aco::AcoParams;
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
 use snooze_protocols::coordination::CoordinationService;
 use snooze_simcore::prelude::*;
 
@@ -115,7 +115,7 @@ fn destroy_chases_a_migrated_vm() {
     config.underload_threshold = 0.0;
     config.reconfiguration = Some(ReconfigurationConfig {
         period: SimSpan::from_secs(30),
-        aco: AcoParams::fast(),
+        consolidator: std::sync::Arc::new(AcoConsolidator::new(AcoParams::fast())),
         max_migrations: 8,
         ..ReconfigurationConfig::default()
     });

@@ -64,6 +64,7 @@ fn spec(
         phases: Vec::new(),
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     }
@@ -584,6 +585,7 @@ fn reconfiguration_consolidates_spread_vms() {
             aco: "fast".into(),
             aco_cycles: None,
             max_migrations: 16,
+            params: None,
         }),
         ..fast_config()
     }

@@ -42,6 +42,7 @@ fn deploy(seed: u64, n_nodes: usize, target_managers: usize) -> LiveSystem {
         phases: Vec::new(),
         probes: Vec::new(),
         obs: None,
+        power: None,
         engine: None,
         slos: Vec::new(),
     };

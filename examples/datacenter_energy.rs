@@ -9,12 +9,12 @@
 
 use snooze::prelude::*;
 use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::{ConsolidatorKind, ReconfigurationConfig};
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
 use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
-use snooze_consolidation::aco::AcoParams;
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
 use snooze_simcore::prelude::*;
 
 fn schedule(seed: u64) -> Vec<ScheduledVm> {
@@ -104,11 +104,11 @@ fn main() {
             idle_suspend_after: Some(SimSpan::from_secs(120)),
             reconfiguration: Some(ReconfigurationConfig {
                 period: SimSpan::from_secs(900),
-                algo: ConsolidatorKind::Aco,
-                aco: AcoParams {
+                algo: "aco".into(),
+                consolidator: std::sync::Arc::new(AcoConsolidator::new(AcoParams {
                     n_cycles: 15,
                     ..AcoParams::default()
-                },
+                })),
                 max_migrations: 12,
             }),
             ..base

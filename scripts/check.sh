@@ -30,6 +30,11 @@
 # `snooze-tracegen --seed 42` (the two files must be byte-identical),
 # then replays it twice per variant on the reduced 128-LC E12 shape in
 # release and fails on any digest or table-column mismatch.
+#
+# `--arena-smoke` additionally replays the seeded tiny trace once per
+# `ConsolidatorRegistry` key on the reduced 128-LC arena shape under
+# the billed-DVFS power model, twice each, in release, and fails on any
+# digest or table-column mismatch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +43,7 @@ run_mc_smoke=0
 run_obs_smoke=0
 run_trace_smoke=0
 run_shard_smoke=0
+run_arena_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --e11-smoke) run_e11_smoke=1 ;;
@@ -45,8 +51,9 @@ for arg in "$@"; do
     --obs-smoke) run_obs_smoke=1 ;;
     --trace-smoke) run_trace_smoke=1 ;;
     --shard-smoke) run_shard_smoke=1 ;;
+    --arena-smoke) run_arena_smoke=1 ;;
     *)
-      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke, --trace-smoke, --shard-smoke)" >&2
+      echo "unknown argument: $arg (supported: --e11-smoke, --mc-smoke, --obs-smoke, --trace-smoke, --shard-smoke, --arena-smoke)" >&2
       exit 2
       ;;
   esac
@@ -140,6 +147,11 @@ if [ "$run_trace_smoke" -eq 1 ]; then
   cargo run --offline -q --release -p snooze-bench --bin run_experiments -- \
     --trace-smoke "$trace_tmp/a.csv"
   rm -rf "$trace_tmp"
+fi
+
+if [ "$run_arena_smoke" -eq 1 ]; then
+  say "arena smoke (every registry key on 128 LCs, two-run identity)"
+  cargo run --offline -q --release -p snooze-bench --bin run_experiments -- --arena-smoke
 fi
 
 say "all checks passed"

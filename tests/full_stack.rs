@@ -4,12 +4,12 @@
 
 use snooze::prelude::*;
 use snooze::scheduling::placement::PlacementKind;
-use snooze::scheduling::reconfiguration::{ConsolidatorKind, ReconfigurationConfig};
+use snooze::scheduling::reconfiguration::ReconfigurationConfig;
 use snooze_cluster::node::NodeSpec;
 use snooze_cluster::resources::ResourceVector;
 use snooze_cluster::vm::{VmId, VmSpec};
 use snooze_cluster::workload::{UsageShape, VmWorkload};
-use snooze_consolidation::aco::AcoParams;
+use snooze_consolidation::aco::{AcoConsolidator, AcoParams};
 use snooze_simcore::failure::FailurePlan;
 use snooze_simcore::prelude::*;
 use snooze_simcore::rng::SimRng;
@@ -153,8 +153,8 @@ fn consolidation_in_the_loop_reduces_powered_nodes() {
             underload_threshold: 0.0, // isolate the reconfiguration effect
             reconfiguration: reconf.then(|| ReconfigurationConfig {
                 period: SimSpan::from_secs(60),
-                algo: ConsolidatorKind::Aco,
-                aco: AcoParams::fast(),
+                algo: "aco".into(),
+                consolidator: std::sync::Arc::new(AcoConsolidator::new(AcoParams::fast())),
                 max_migrations: 16,
             }),
             ..SnoozeConfig::fast_test()
